@@ -1,0 +1,381 @@
+(* The full benchmark harness.
+
+   The paper's evaluation is its running example (Figures 1-12 and the
+   numbered Examples) — there are no performance tables.  Accordingly this
+   harness has two parts:
+
+   1. Regenerate every figure/example (experiments F*/E*/S2 of DESIGN.md),
+      exactly as bin/figures.exe does, so `dune exec bench/main.exe`
+      reproduces the complete evaluation in one run.
+
+   2. Performance benchmarks (experiments B1-B8) for the algorithms whose
+      cost the paper alludes to ("we make use of evaluation and
+      optimization techniques for the minimal union operator to
+      efficiently compute D(G)"): minimum union naive vs indexed, full
+      disjunction naive vs indexed vs outer-join plan, sufficient
+      illustration selection, walk enumeration, chase scans, end-to-end
+      mapping evaluation, FK mining, and illustration evolution.
+
+   Pass --no-figures or --no-bench to run only one part. *)
+
+open Bechamel
+open Relational
+module Qgraph = Querygraph.Qgraph
+
+let seeded seed = Random.State.make [| seed |]
+
+(* --- B1: minimum union — naive vs indexed subsumption removal --- *)
+
+let minunion_tests =
+  let input size =
+    (* Sparse tuples over a tiny domain maximize subsumption pressure. *)
+    Synth.Gen_db.sparse_tuples (seeded 42) ~rows:size ~arity:6 ~null_prob:0.45 ~domain:8
+    |> List.filteri (fun _ t -> not (Tuple.all_null t))
+  in
+  let sizes = [ 100; 400; 1600 ] in
+  List.concat_map
+    (fun size ->
+      let tuples = input size in
+      [
+        Test.make
+          ~name:(Printf.sprintf "minunion/naive/%d" size)
+          (Staged.stage (fun () ->
+               ignore (Fulldisj.Min_union.remove_subsumed_naive tuples)));
+        Test.make
+          ~name:(Printf.sprintf "minunion/indexed/%d" size)
+          (Staged.stage (fun () ->
+               ignore (Fulldisj.Min_union.remove_subsumed tuples)));
+        (* Ablation: probe the first non-null column instead of the most
+           selective one. *)
+        Test.make
+          ~name:(Printf.sprintf "minunion/first-probe/%d" size)
+          (Staged.stage (fun () ->
+               ignore (Fulldisj.Min_union.remove_subsumed_first_probe tuples)));
+      ])
+    sizes
+  @
+  (* Skewed values (Zipf): a few huge buckets — where selectivity-aware
+     probing should pay off. *)
+  let skewed size =
+    Synth.Gen_db.skewed_tuples (seeded 43) ~rows:size ~arity:6 ~null_prob:0.45
+      ~domain:64 ()
+    |> List.filter (fun t -> not (Tuple.all_null t))
+  in
+  List.concat_map
+    (fun size ->
+      let tuples = skewed size in
+      [
+        Test.make
+          ~name:(Printf.sprintf "minunion/skew-selective/%d" size)
+          (Staged.stage (fun () -> ignore (Fulldisj.Min_union.remove_subsumed tuples)));
+        Test.make
+          ~name:(Printf.sprintf "minunion/skew-first-probe/%d" size)
+          (Staged.stage (fun () ->
+               ignore (Fulldisj.Min_union.remove_subsumed_first_probe tuples)));
+      ])
+    [ 1600 ]
+
+(* --- B2: full disjunction — naive vs indexed vs outer-join plan --- *)
+
+let fulldisj_tests =
+  let configs = [ (3, 150); (4, 150); (5, 100) ] in
+  List.concat_map
+    (fun (n, rows) ->
+      let inst =
+        Synth.Gen_graph.chain (seeded 7) ~n ~rows ~null_prob:0.25 ~orphan_prob:0.2 ()
+      in
+      let lookup = Database.find inst.Synth.Gen_graph.db in
+      let g = inst.Synth.Gen_graph.graph in
+      let tag algo = Printf.sprintf "fulldisj/%s/n%d-r%d" algo n rows in
+      [
+        Test.make ~name:(tag "naive")
+          (Staged.stage (fun () -> ignore (Fulldisj.Full_disjunction.naive ~lookup g)));
+        Test.make ~name:(tag "indexed")
+          (Staged.stage (fun () -> ignore (Fulldisj.Full_disjunction.compute ~lookup g)));
+        Test.make ~name:(tag "outerjoin")
+          (Staged.stage (fun () ->
+               ignore (Fulldisj.Outerjoin_plan.full_disjunction ~lookup g)));
+        (* Ablation: the cascade without the final subsumption sweep,
+           isolating the sweep's cost. *)
+        Test.make ~name:(tag "oj-no-sweep")
+          (Staged.stage (fun () ->
+               ignore (Fulldisj.Outerjoin_plan.full_disjunction_no_sweep ~lookup g)));
+      ])
+    configs
+
+(* --- B3: sufficient-illustration selection --- *)
+
+let illustration_tests =
+  let inst =
+    Synth.Gen_graph.star (seeded 9) ~leaves:4 ~rows:120 ~null_prob:0.3 ~orphan_prob:0.2 ()
+  in
+  let db = inst.Synth.Gen_graph.db in
+  let aliases = Qgraph.aliases inst.Synth.Gen_graph.graph in
+  let m =
+    Clio.Mapping.make ~graph:inst.Synth.Gen_graph.graph ~target:"T"
+      ~target_cols:(List.map (fun a -> "c_" ^ a) aliases)
+      ~correspondences:
+        (List.map
+           (fun a -> Clio.Correspondence.identity ("c_" ^ a) (Attr.make a "id"))
+           aliases)
+      ()
+  in
+  let universe = Clio.Mapping_eval.examples db m in
+  [
+    Test.make ~name:"illustration/select"
+      (Staged.stage (fun () ->
+           ignore
+             (Clio.Sufficiency.select ~universe ~target_cols:m.Clio.Mapping.target_cols ())));
+    Test.make ~name:"illustration/universe"
+      (Staged.stage (fun () -> ignore (Clio.Mapping_eval.examples db m)));
+  ]
+
+(* --- B4: walk enumeration --- *)
+
+let walk_tests =
+  List.map
+    (fun (leaves, max_len) ->
+      let inst = Synth.Gen_graph.star (seeded 11) ~leaves ~rows:10 () in
+      let m =
+        Clio.Mapping.make
+          ~graph:(Qgraph.singleton ~alias:"Fact" ~base:"Fact")
+          ~target:"T" ~target_cols:[ "x" ] ()
+      in
+      let goal = Printf.sprintf "D%d" leaves in
+      Test.make
+        ~name:(Printf.sprintf "walk/leaves%d-len%d" leaves max_len)
+        (Staged.stage (fun () ->
+             ignore
+               (Clio.Op_walk.data_walk ~kb:inst.Synth.Gen_graph.kb m ~start:"Fact"
+                  ~goal ~max_len ()))))
+    [ (4, 2); (8, 2); (8, 3) ]
+
+(* --- B5: chase scans (full scan vs prebuilt inverted index) --- *)
+
+let chase_tests =
+  List.concat_map
+    (fun rows ->
+      let inst = Synth.Gen_graph.chain (seeded 13) ~n:4 ~rows () in
+      let db = inst.Synth.Gen_graph.db in
+      let index = Value_index.build db in
+      let m =
+        Clio.Mapping.make
+          ~graph:(Qgraph.singleton ~alias:"R1" ~base:"R1")
+          ~target:"T" ~target_cols:[ "x" ] ()
+      in
+      [
+        Test.make
+          ~name:(Printf.sprintf "chase/scan/rows%d" rows)
+          (Staged.stage (fun () ->
+               ignore
+                 (Clio.Op_chase.chase db m ~attr:(Attr.make "R1" "id")
+                    ~value:(Value.Int (rows / 2)))));
+        Test.make
+          ~name:(Printf.sprintf "chase/indexed/rows%d" rows)
+          (Staged.stage (fun () ->
+               ignore
+                 (Clio.Op_chase.chase ~index db m ~attr:(Attr.make "R1" "id")
+                    ~value:(Value.Int (rows / 2)))));
+        Test.make
+          ~name:(Printf.sprintf "chase/index-build/rows%d" rows)
+          (Staged.stage (fun () -> ignore (Value_index.build db)));
+      ])
+    [ 500; 2000; 8000 ]
+
+(* --- B6: end-to-end mapping evaluation (paper database) --- *)
+
+let mapping_tests =
+  let db = Paperdata.Figure1.database in
+  [
+    Test.make ~name:"mapping/eval-section2"
+      (Staged.stage (fun () ->
+           ignore (Clio.Mapping_eval.eval db Paperdata.Running.section2_mapping)));
+    Test.make ~name:"mapping/examples-fig9"
+      (Staged.stage (fun () ->
+           ignore (Clio.Mapping_eval.examples db Paperdata.Running.mapping)));
+    Test.make ~name:"mapping/sql-outer-join"
+      (Staged.stage (fun () ->
+           ignore
+             (Clio.Mapping_sql.outer_join ~root:"Children"
+                Paperdata.Running.section2_mapping)));
+  ]
+
+(* --- B7: inclusion-dependency mining --- *)
+
+let mine_tests =
+  List.map
+    (fun rows ->
+      let inst = Synth.Gen_graph.star (seeded 17) ~leaves:5 ~rows () in
+      Test.make
+        ~name:(Printf.sprintf "mine/rows%d" rows)
+        (Staged.stage (fun () ->
+             ignore (Schemakb.Mine.inclusion_dependencies inst.Synth.Gen_graph.db))))
+    [ 200; 800 ]
+
+(* --- B8: illustration evolution after a walk --- *)
+
+let evolve_tests =
+  let db = Paperdata.Figure1.database in
+  let kb = Paperdata.Figure1.kb in
+  let old_m = Paperdata.Running.mapping_g1 in
+  let old_ill = Clio.illustrate db old_m in
+  let new_m =
+    (List.hd (Clio.Op_walk.data_walk ~kb old_m ~start:"Children" ~goal:"PhoneDir"
+                ~max_len:2 ()))
+      .Clio.Op_walk.mapping
+  in
+  [
+    Test.make ~name:"evolve/walk-extension"
+      (Staged.stage (fun () ->
+           ignore (Clio.Evolution.evolve db ~old_mapping:old_m ~old_illustration:old_ill new_m)));
+  ]
+
+(* --- B9: illustration at scale — full universe vs sampled slice --- *)
+
+let sampling_tests =
+  let inst =
+    Synth.Gen_graph.chain (seeded 23) ~n:3 ~rows:4000 ~null_prob:0.2 ~orphan_prob:0.15 ()
+  in
+  let db = inst.Synth.Gen_graph.db in
+  let aliases = Qgraph.aliases inst.Synth.Gen_graph.graph in
+  let m =
+    Clio.Mapping.make ~graph:inst.Synth.Gen_graph.graph ~target:"T"
+      ~target_cols:(List.map (fun a -> "c_" ^ a) aliases)
+      ~correspondences:
+        (List.map
+           (fun a -> Clio.Correspondence.identity ("c_" ^ a) (Attr.make a "id"))
+           aliases)
+      ()
+  in
+  [
+    Test.make ~name:"sampling/full-illustrate"
+      (Staged.stage (fun () ->
+           let universe = Clio.Mapping_eval.examples db m in
+           ignore
+             (Clio.Sufficiency.select ~universe
+                ~target_cols:m.Clio.Mapping.target_cols ())));
+    Test.make ~name:"sampling/sliced-illustrate"
+      (Staged.stage (fun () ->
+           ignore (Clio.Sampling.illustrate_sampled ~seed:3 ~per_relation:12 db m)));
+  ]
+
+(* --- B10: join implementations and attribute matching --- *)
+
+let join_impl_tests =
+  let st = seeded 29 in
+  let mk name rows =
+    Relation.make name
+      (Schema.make name [ "k"; "p" ])
+      (List.init rows (fun i ->
+           Tuple.make [ Value.Int (Random.State.int st (rows / 2)); Value.Int i ]))
+  in
+  let l = mk "L" 3000 and r = mk "R" 3000 in
+  let p = Predicate.eq_cols (Attr.make "L" "k") (Attr.make "R" "k") in
+  [
+    Test.make ~name:"join/hash/3000"
+      (Staged.stage (fun () -> ignore (Algebra.join p l r)));
+    Test.make ~name:"join/sort-merge/3000"
+      (Staged.stage (fun () -> ignore (Algebra.join_sort_merge p l r)));
+    Test.make ~name:"join/nested-loop/600"
+      (let l = mk "L2" 600 and r = mk "R2" 600 in
+       let p = Predicate.eq_cols (Attr.make "L2" "k") (Attr.make "R2" "k") in
+       Staged.stage (fun () -> ignore (Algebra.join_nested_loop p l r)));
+  ]
+
+let match_tests =
+  let db = Paperdata.Figure1.database in
+  [
+    Test.make ~name:"match/kids-columns"
+      (Staged.stage (fun () ->
+           ignore
+             (Schemakb.Match.suggest db
+                ~target_cols:[ "ID"; "name"; "affiliation"; "contactPh"; "BusSchedule" ])));
+  ]
+
+(* --- B11: static category pruning (required aliases) --- *)
+
+let pruning_tests =
+  let inst =
+    Synth.Gen_graph.star (seeded 31) ~leaves:4 ~rows:200 ~null_prob:0.25
+      ~orphan_prob:0.2 ()
+  in
+  let db = inst.Synth.Gen_graph.db in
+  let aliases = Qgraph.aliases inst.Synth.Gen_graph.graph in
+  let m =
+    Clio.Mapping.make ~graph:inst.Synth.Gen_graph.graph ~target:"T"
+      ~target_cols:(List.map (fun a -> "c_" ^ a) aliases)
+      ~correspondences:
+        (List.map
+           (fun a -> Clio.Correspondence.identity ("c_" ^ a) (Attr.make a "id"))
+           aliases)
+      ~target_filters:[ Predicate.Is_not_null (Expr.col "T" "c_Fact") ]
+      ()
+  in
+  [
+    Test.make ~name:"pruning/full-eval"
+      (Staged.stage (fun () -> ignore (Clio.Mapping_eval.eval db m)));
+    Test.make ~name:"pruning/pruned-eval"
+      (Staged.stage (fun () -> ignore (Clio.Mapping_analysis.eval_pruned db m)));
+  ]
+
+let all_tests =
+  minunion_tests @ fulldisj_tests @ illustration_tests @ walk_tests @ chase_tests
+  @ mapping_tests @ mine_tests @ evolve_tests @ sampling_tests @ join_impl_tests
+  @ match_tests @ pruning_tests
+
+(* --- running and reporting --- *)
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let results = ref [] in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let anl = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> e
+            | _ -> nan
+          in
+          results := (name, ns) :: !results)
+        anl)
+    all_tests;
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !results in
+  let pretty ns =
+    if Float.is_nan ns then "n/a"
+    else if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+    else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+    else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+    else Printf.sprintf "%8.0f ns" ns
+  in
+  Printf.printf "%-32s %12s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 46 '-');
+  List.iter (fun (name, ns) -> Printf.printf "%-32s %12s\n" name (pretty ns)) sorted
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let figures = not (List.mem "--no-figures" args) in
+  let bench = not (List.mem "--no-bench" args) in
+  if figures then begin
+    print_endline "######################################################";
+    print_endline "# Part 1: paper evaluation — figures and examples   #";
+    print_endline "######################################################\n";
+    List.iter
+      (fun (id, descr, render) ->
+        Printf.printf "==== %s — %s ====\n%s\n\n" id descr (render ()))
+      Paperdata.Report.all
+  end;
+  if bench then begin
+    print_endline "######################################################";
+    print_endline "# Part 2: performance benchmarks (B1-B8)            #";
+    print_endline "######################################################\n";
+    run_benchmarks ()
+  end

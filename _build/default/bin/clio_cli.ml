@@ -1,0 +1,295 @@
+(* clio-cli — explore a source database the Clio way.
+
+   The database is either the built-in paper database (default) or a
+   directory of CSV files (one relation per file, header = column names;
+   join knowledge is mined from the data).
+
+     clio_cli show [REL]          render relations
+     clio_cli profile [REL]       column statistics (nulls, keys, ranges)
+     clio_cli mine                mined inclusion dependencies (join knowledge)
+     clio_cli select REL PRED     filter a relation with a SQL-ish predicate
+     clio_cli occurrences VALUE   where a value occurs (the chase primitive)
+     clio_cli walk START GOAL     join paths between two relations
+     clio_cli suggest REL...      query graphs connecting a set of relations
+     clio_cli illustrate          sufficient illustration of the paper mapping
+     clio_cli sql                 SQL for the paper's final Section 2 mapping
+     clio_cli run FILE [--save O] run a mapping-session script
+     clio_cli repl                interactive mapping session *)
+
+open Relational
+open Cmdliner
+
+let database data_dir =
+  match data_dir with
+  | None -> Paperdata.Figure1.database
+  | Some dir -> Csv_io.database_of_dir dir
+
+let kb_of db data_dir =
+  match data_dir with
+  | None -> Paperdata.Figure1.kb
+  | Some _ ->
+      (* CSV directories carry no constraints: mine the data.  Real data is
+         dirty (orphan references), so accept candidates with at least 60%
+         inclusion. *)
+      Schemakb.Kb.add_mined (Schemakb.Kb.of_database db)
+        (Schemakb.Mine.inclusion_dependencies ~min_overlap:0.6 db)
+
+let data_arg =
+  let doc = "Directory of CSV files to load as the source database." in
+  Arg.(value & opt (some dir) None & info [ "d"; "data" ] ~docv:"DIR" ~doc)
+
+let show_cmd =
+  let rel_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"REL" ~doc:"Relation name")
+  in
+  let run data rel =
+    let db = database data in
+    match rel with
+    | None -> List.iter (fun r -> print_endline (Render.relation r)) (Database.relations db)
+    | Some name -> (
+        match Database.find db name with
+        | Some r -> print_endline (Render.relation r)
+        | None ->
+            Printf.eprintf "unknown relation %s\n" name;
+            exit 1)
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Render relations of the source database")
+    Term.(const run $ data_arg $ rel_arg)
+
+let mine_cmd =
+  let overlap_arg =
+    Arg.(value & opt float 1.0 & info [ "overlap" ] ~docv:"FRACTION"
+           ~doc:"Minimum inclusion fraction (1.0 = exact).")
+  in
+  let run data overlap =
+    let db = database data in
+    Schemakb.Mine.inclusion_dependencies ~min_overlap:overlap db
+    |> List.iter (fun c ->
+           Format.printf "%a@." Schemakb.Mine.pp_candidate c)
+  in
+  Cmd.v (Cmd.info "mine" ~doc:"Mine inclusion dependencies (join knowledge)")
+    Term.(const run $ data_arg $ overlap_arg)
+
+let occurrences_cmd =
+  let value_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"VALUE" ~doc:"Value to chase")
+  in
+  let run data value =
+    let db = database data in
+    let v = Value.of_csv_cell value in
+    match Database.find_value db v with
+    | [] -> Printf.printf "value %s not found\n" (Value.to_string v)
+    | occs ->
+        List.iter
+          (fun (rel, col, count) -> Printf.printf "%s.%s (%d tuples)\n" rel col count)
+          occs
+  in
+  Cmd.v
+    (Cmd.info "occurrences" ~doc:"Locate a value across the database (chase primitive)")
+    Term.(const run $ data_arg $ value_arg)
+
+let walk_cmd =
+  let start_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"START" ~doc:"Start relation")
+  in
+  let goal_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"GOAL" ~doc:"Goal relation")
+  in
+  let len_arg =
+    Arg.(value & opt int 3 & info [ "max-len" ] ~docv:"N" ~doc:"Maximum path length")
+  in
+  let run data start goal max_len =
+    let db = database data in
+    let kb = kb_of db data in
+    if not (Database.mem db start) then begin
+      Printf.eprintf "unknown relation %s\n" start;
+      exit 1
+    end;
+    let m =
+      Clio.Mapping.make
+        ~graph:(Querygraph.Qgraph.singleton ~alias:start ~base:start)
+        ~target:"Out" ~target_cols:[] ()
+    in
+    match Clio.Op_walk.data_walk ~kb m ~start ~goal ~max_len () with
+    | [] -> Printf.printf "no walks from %s to %s within %d steps\n" start goal max_len
+    | alts ->
+        List.iteri
+          (fun i (a : Clio.Op_walk.alternative) ->
+            Printf.printf "%d. %s\n" (i + 1) a.Clio.Op_walk.description)
+          alts
+  in
+  Cmd.v (Cmd.info "walk" ~doc:"Enumerate join paths between two relations")
+    Term.(const run $ data_arg $ start_arg $ goal_arg $ len_arg)
+
+let profile_cmd =
+  let rel_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"REL" ~doc:"Relation name")
+  in
+  let run data rel =
+    let db = database data in
+    let stats =
+      match rel with
+      | None -> Schemakb.Profile.database db
+      | Some name -> (
+          match Database.find db name with
+          | Some r -> Schemakb.Profile.relation r
+          | None ->
+              Printf.eprintf "unknown relation %s\n" name;
+              exit 1)
+    in
+    print_endline (Schemakb.Profile.render stats)
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Column statistics mined from the source data")
+    Term.(const run $ data_arg $ rel_arg)
+
+let suggest_cmd =
+  let rels_arg =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"REL" ~doc:"Relations to connect")
+  in
+  let run data rels =
+    let db = database data in
+    let kb = kb_of db data in
+    match Clio.Suggest.connection_graphs ~kb rels with
+    | [] -> Printf.printf "no connection graphs found for %s\n" (String.concat ", " rels)
+    | suggestions ->
+        List.iteri
+          (fun i (s : Clio.Suggest.suggestion) ->
+            Printf.printf "%d. %s\n" (i + 1)
+              (Querygraph.Qgraph.to_string s.Clio.Suggest.graph))
+          suggestions
+  in
+  Cmd.v
+    (Cmd.info "suggest"
+       ~doc:"Suggest query graphs connecting a set of relations (universal-relation style)")
+    Term.(const run $ data_arg $ rels_arg)
+
+let select_cmd =
+  let rel_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"REL" ~doc:"Relation name")
+  in
+  let pred_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"PREDICATE" ~doc:"Filter, e.g. 'age < 7'")
+  in
+  let run data rel pred =
+    let db = database data in
+    match Database.find db rel with
+    | None ->
+        Printf.eprintf "unknown relation %s\n" rel;
+        exit 1
+    | Some r -> (
+        match Parse.predicate_opt ~rel pred with
+        | None ->
+            Printf.eprintf "cannot parse predicate: %s\n" pred;
+            exit 1
+        | Some p -> print_endline (Render.relation (Algebra.select p r)))
+  in
+  Cmd.v (Cmd.info "select" ~doc:"Filter a relation with a SQL-ish predicate")
+    Term.(const run $ data_arg $ rel_arg $ pred_arg)
+
+let illustrate_cmd =
+  let run () =
+    let db = Paperdata.Figure1.database in
+    let m = Paperdata.Running.mapping in
+    let ill = Clio.illustrate db m in
+    let fd = Clio.Mapping_eval.data_associations db m in
+    print_endline
+      (Clio.Illustration.render ~short:Paperdata.Figure1.short
+         ~scheme:fd.Fulldisj.Full_disjunction.scheme ill)
+  in
+  Cmd.v
+    (Cmd.info "illustrate"
+       ~doc:"Sufficient illustration of the paper's running mapping")
+    Term.(const run $ const ())
+
+let sql_cmd =
+  let run () = print_endline (Paperdata.Report.sql ()) in
+  Cmd.v (Cmd.info "sql" ~doc:"Generated SQL for the Section 2 mapping")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Script file")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"OUT"
+             ~doc:"Write the resulting mapping as a runnable script to $(docv).")
+  in
+  let html_arg =
+    Arg.(value & opt (some string) None
+         & info [ "html" ] ~docv:"OUT"
+             ~doc:"Write an HTML report of the resulting mapping to $(docv).")
+  in
+  let run data file save html =
+    let db = database data in
+    let kb = kb_of db data in
+    let ic = open_in_bin file in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Clio.Script.run_result ~db ~kb text with
+    | Ok outcome ->
+        List.iter print_endline outcome.Clio.Script.log;
+        let emit what out render =
+          match outcome.Clio.Script.mapping with
+          | Some m ->
+              let oc = open_out out in
+              output_string oc (render m);
+              close_out oc;
+              Printf.printf "%s written to %s\n" what out
+          | None -> Printf.eprintf "warning: no mapping for --%s\n" what
+        in
+        Option.iter (fun out -> emit "save" out Clio.Mapping_io.save) save;
+        Option.iter (fun out -> emit "html" out (Clio.Report_html.page db)) html
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 1
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a mapping-session script (see Clio.Script)")
+    Term.(const run $ data_arg $ file_arg $ save_arg $ html_arg)
+
+let repl_cmd =
+  let run data =
+    let db = database data in
+    let kb = kb_of db data in
+    print_endline "clio repl — type commands (see Clio.Script); ctrl-d to quit";
+    let state = ref (Clio.Script.Interactive.start ~db ~kb) in
+    (try
+       while true do
+         print_string "clio> ";
+         let line = read_line () in
+         match Clio.Script.Interactive.feed !state line with
+         | Ok (st, output) ->
+             state := st;
+             List.iter print_endline output
+         | Error e -> Printf.printf "error: %s\n" e
+       done
+     with End_of_file -> print_newline ());
+    match Clio.Script.Interactive.mapping !state with
+    | Some m -> Format.printf "final mapping:@.%a@." Clio.Mapping.pp m
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "repl" ~doc:"Interactive mapping session") Term.(const run $ data_arg)
+
+let () =
+  let info =
+    Cmd.info "clio_cli" ~version:"1.0.0"
+      ~doc:"Data-driven understanding and refinement of schema mappings"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            show_cmd;
+            mine_cmd;
+            occurrences_cmd;
+            walk_cmd;
+            illustrate_cmd;
+            sql_cmd;
+            profile_cmd;
+            suggest_cmd;
+            select_cmd;
+            run_cmd;
+            repl_cmd;
+          ]))

@@ -1,0 +1,31 @@
+(* Regenerate the paper's figures and worked examples.
+
+   Usage:  figures            — print everything
+           figures fig8 sql   — print selected experiments
+           figures --list     — list available experiment ids *)
+
+let print_one (id, descr, render) =
+  Printf.printf "=============================================================\n";
+  Printf.printf "%s — %s\n" id descr;
+  Printf.printf "=============================================================\n";
+  print_endline (render ());
+  print_newline ()
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [ "--list" ] ->
+      List.iter
+        (fun (id, descr, _) -> Printf.printf "%-6s %s\n" id descr)
+        Paperdata.Report.all
+  | [] | [ _ ] -> List.iter print_one Paperdata.Report.all
+  | _ :: ids ->
+      List.iter
+        (fun id ->
+          match
+            List.find_opt (fun (i, _, _) -> String.equal i id) Paperdata.Report.all
+          with
+          | Some exp -> print_one exp
+          | None ->
+              Printf.eprintf "unknown experiment %s (try --list)\n" id;
+              exit 1)
+        ids

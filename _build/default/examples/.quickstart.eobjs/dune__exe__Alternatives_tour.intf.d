@@ -1,0 +1,1 @@
+examples/alternatives_tour.mli:

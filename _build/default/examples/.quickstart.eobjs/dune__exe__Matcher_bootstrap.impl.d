@@ -1,0 +1,1 @@
+examples/matcher_bootstrap.ml: Attr Clio Correspondence Differentiate Format List Mapping Paperdata Printf Querygraph Random Relational Sampling Schemakb Suggest Synth Unix

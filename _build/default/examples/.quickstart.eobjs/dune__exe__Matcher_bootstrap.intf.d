@@ -1,0 +1,1 @@
+examples/matcher_bootstrap.mli:

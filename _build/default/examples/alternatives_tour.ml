@@ -1,0 +1,81 @@
+(* Differentiating alternative mappings with examples: the heart of the
+   paper's thesis.  Two mappings may look almost identical as queries; the
+   right data example makes the difference obvious.
+
+   Build and run with:  dune exec examples/alternatives_tour.exe *)
+
+open Relational
+open Clio
+module Qgraph = Querygraph.Qgraph
+module Rank = Schemakb.Rank
+
+let db = Paperdata.Figure1.database
+let kb = Paperdata.Figure1.kb
+let short = Paperdata.Figure1.short
+
+let () =
+  let m = Paperdata.Running.mapping_g1 in
+  print_endline "Current mapping (children with their fathers' affiliations):";
+  print_endline (Render.relation (Mapping_eval.target_view db m));
+
+  print_endline "\nThe user wants phone numbers.  DataWalk(G1, Children, PhoneDir):";
+  let alts = Op_walk.data_walk ~kb m ~start:"Children" ~goal:"PhoneDir" ~max_len:2 () in
+
+  (* Show each alternative with its rank score and Maya's example — the
+     tuple the user knows, so she can tell mother from father. *)
+  let maya =
+    Relation.tuples (Database.get db "Children")
+    |> List.filter (fun t -> Value.equal t.(0) (Value.String "002"))
+  in
+  List.iteri
+    (fun i (a : Op_walk.alternative) ->
+      let score = Rank.score ~kb ~old:m.Mapping.graph a.Op_walk.mapping.Mapping.graph in
+      Printf.printf "\n--- Alternative %d (%s)\n    rank: %s\n" (i + 1)
+        a.Op_walk.description
+        (Format.asprintf "%a" Rank.pp score);
+      let withcorr =
+        Mapping.set_correspondence a.Op_walk.mapping
+          (corr_identity "contactPh" a.Op_walk.new_alias "number")
+      in
+      let fd = Mapping_eval.data_associations db withcorr in
+      let universe = Mapping_eval.examples db withcorr in
+      let focus =
+        Focus.focus_set ~universe ~scheme:fd.Fulldisj.Full_disjunction.scheme
+          ~rel:"Children" ~tuples:maya
+      in
+      print_endline
+        (Illustration.render_target ~short
+           ~target_schema:(Mapping.target_schema withcorr) focus))
+    alts;
+
+  print_endline "\nMaya's mother (103, Acta) has phone 555-0103; her father";
+  print_endline "(104, IBM) has 555-0104.  The examples make the semantics of";
+  print_endline "each alternative obvious, where the SQL would not.";
+
+  (* The same discrimination via the chase: where else does Maya appear? *)
+  print_endline "\nChasing Maya's ID (002) through the database:";
+  List.iter
+    (fun (a : Op_chase.alternative) ->
+      Printf.printf "  %s\n" a.Op_chase.description)
+    (Op_chase.chase db m ~attr:(Attr.make "Children" "ID") ~value:(Value.String "002"));
+
+  (* And how a subtle trimming decision shows up in the examples. *)
+  let with_bus =
+    match
+      Op_walk.data_walk ~kb m ~start:"Children" ~goal:"SBPS" ~max_len:1 ()
+    with
+    | (a : Op_walk.alternative) :: _ ->
+        Mapping.set_correspondence a.Op_walk.mapping
+          (corr_identity "BusSchedule" a.Op_walk.new_alias "time")
+    | [] -> assert false
+  in
+  print_endline "\nAfter linking SBPS, two trimming choices:";
+  let outer = Mapping_eval.target_view db with_bus in
+  Printf.printf "  outer semantics: %d kids (Ann has a null BusSchedule)\n"
+    (Relation.cardinality
+       (Relation.filter (fun t -> not (Value.is_null t.(0))) outer));
+  let inner = (Op_trim.require_target_column db with_bus "BusSchedule").Op_trim.mapping in
+  let inner_view = Mapping_eval.target_view db inner in
+  Printf.printf "  BusSchedule required: %d kids (Ann disappears)\n"
+    (Relation.cardinality
+       (Relation.filter (fun t -> not (Value.is_null t.(0))) inner_view))

@@ -1,0 +1,1 @@
+lib/core/correspondence.ml: Array Attr Expr Format List Printf Relational Schema String Value

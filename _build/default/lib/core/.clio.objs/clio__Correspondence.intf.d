@@ -1,0 +1,1 @@
+lib/core/correspondence.mli: Attr Expr Format Relational Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/core/differentiate.ml: Assoc Coverage Example Full_disjunction Fulldisj Hashtbl List Mapping Mapping_eval Option Printf Querygraph Relation Relational Render Schema Tuple

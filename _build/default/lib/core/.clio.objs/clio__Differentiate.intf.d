@@ -1,0 +1,1 @@
+lib/core/differentiate.mli: Database Mapping Relational Schema Tuple

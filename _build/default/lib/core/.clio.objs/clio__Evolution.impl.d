@@ -1,0 +1,1 @@
+lib/core/evolution.ml: Array Assoc Database Example Fulldisj Illustration List Mapping Mapping_eval Querygraph Relational Schema Sufficiency Tuple

@@ -1,0 +1,1 @@
+lib/core/example.ml: Assoc Bool Coverage Fulldisj Relational Tuple

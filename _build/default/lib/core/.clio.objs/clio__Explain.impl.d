@@ -1,0 +1,1 @@
+lib/core/explain.ml: Assoc Correspondence Coverage Example Full_disjunction Fulldisj List Mapping Mapping_eval Printf Querygraph Relational Schema String Tuple

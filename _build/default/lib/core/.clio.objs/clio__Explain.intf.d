@@ -1,0 +1,1 @@
+lib/core/explain.mli: Database Example Mapping Relational Schema Tuple

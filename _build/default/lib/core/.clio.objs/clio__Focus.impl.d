@@ -1,0 +1,1 @@
+lib/core/focus.ml: Algebra Assoc Database Example Fulldisj Illustration List Querygraph Relation Relational Schema Tuple

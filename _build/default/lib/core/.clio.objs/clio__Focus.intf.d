@@ -1,0 +1,1 @@
+lib/core/focus.mli: Database Example Predicate Querygraph Relational Schema Tuple

@@ -1,0 +1,1 @@
+lib/core/illustration.ml: Array Assoc Coverage Example Fulldisj Fun Hashtbl List Querygraph Relation Relational Render Schema String Tuple

@@ -1,0 +1,1 @@
+lib/core/illustration.mli: Attr Coverage Example Fulldisj Querygraph Relational Schema

@@ -1,0 +1,1 @@
+lib/core/interpretation.ml: Assoc Coverage Database Format Full_disjunction Fulldisj Join_eval List Mapping Mapping_eval Predicate Querygraph Relation Relational Render Schema String Tuple

@@ -1,0 +1,1 @@
+lib/core/interpretation.mli: Database Format Mapping Relation Relational Schema Tuple

@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Attr Correspondence Format List Predicate Printf Querygraph Relational Schema String

@@ -1,0 +1,1 @@
+lib/core/mapping.mli: Correspondence Format Predicate Querygraph Relational Schema

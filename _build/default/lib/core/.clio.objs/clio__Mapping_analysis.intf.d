@@ -1,0 +1,1 @@
+lib/core/mapping_analysis.mli: Coverage Database Fulldisj Mapping Relation Relational

@@ -1,0 +1,1 @@
+lib/core/mapping_eval.ml: Array Assoc Correspondence Database Example Full_disjunction Fulldisj List Mapping Outerjoin_plan Predicate Querygraph Relation Relational Value

@@ -1,0 +1,1 @@
+lib/core/mapping_eval.mli: Assoc Database Example Full_disjunction Fulldisj Mapping Relation Relational Tuple

@@ -1,0 +1,1 @@
+lib/core/mapping_io.ml: Buffer Correspondence Expr List Mapping Predicate Printf Querygraph Relational Script String

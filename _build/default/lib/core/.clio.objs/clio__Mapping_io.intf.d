@@ -1,0 +1,1 @@
+lib/core/mapping_io.mli: Database Mapping Relational Schemakb

@@ -1,0 +1,1 @@
+lib/core/mapping_sql.mli: Database Mapping Predicate Relational

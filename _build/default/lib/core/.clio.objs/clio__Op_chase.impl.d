@@ -1,0 +1,1 @@
+lib/core/op_chase.ml: Array Assoc Attr Database Example Full_disjunction Fulldisj List Mapping Mapping_eval Predicate Printf Querygraph Relational Schema Value Value_index

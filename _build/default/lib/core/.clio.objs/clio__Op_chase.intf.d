@@ -1,0 +1,1 @@
+lib/core/op_chase.mli: Attr Database Example Mapping Querygraph Relational Value Value_index

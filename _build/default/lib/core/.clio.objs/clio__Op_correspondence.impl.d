@@ -1,0 +1,1 @@
+lib/core/op_correspondence.ml: Correspondence List Mapping Op_walk Querygraph Reuse Schemakb String

@@ -1,0 +1,1 @@
+lib/core/op_correspondence.mli: Correspondence Mapping Schemakb

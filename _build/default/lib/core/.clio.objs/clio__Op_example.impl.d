@@ -1,0 +1,1 @@
+lib/core/op_example.ml: Bool Coverage Example Fulldisj Illustration List Sufficiency

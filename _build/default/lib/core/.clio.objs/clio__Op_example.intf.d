@@ -1,0 +1,1 @@
+lib/core/op_example.mli: Example Sufficiency

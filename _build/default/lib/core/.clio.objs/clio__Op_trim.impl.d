@@ -1,0 +1,1 @@
+lib/core/op_trim.ml: Example Expr Fulldisj List Mapping Mapping_eval Option Predicate Relational

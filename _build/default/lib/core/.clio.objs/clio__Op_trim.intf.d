@@ -1,0 +1,1 @@
+lib/core/op_trim.mli: Database Example Mapping Predicate Relational

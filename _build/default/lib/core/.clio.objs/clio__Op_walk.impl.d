@@ -1,0 +1,1 @@
+lib/core/op_walk.ml: List Mapping Option Predicate Printf Querygraph Relational Schemakb String

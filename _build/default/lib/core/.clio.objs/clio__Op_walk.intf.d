@@ -1,0 +1,1 @@
+lib/core/op_walk.mli: Mapping Querygraph Schemakb

@@ -1,0 +1,1 @@
+lib/core/project.ml: Array Attr List Mapping Option Printf Relation Relational Render Schema String Target Value

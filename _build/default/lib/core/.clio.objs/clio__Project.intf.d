@@ -1,0 +1,1 @@
+lib/core/project.mli: Database Mapping Relation Relational

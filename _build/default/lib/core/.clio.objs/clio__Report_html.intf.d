@@ -1,0 +1,1 @@
+lib/core/report_html.mli: Database Mapping Relational

@@ -1,0 +1,1 @@
+lib/core/sampling.mli: Database Example Mapping Querygraph Relational

@@ -1,0 +1,1 @@
+lib/core/schema_project.ml: Database Integrity List Mapping Printf Project Relational String

@@ -1,0 +1,1 @@
+lib/core/schema_project.mli: Database Integrity Mapping Project Relational

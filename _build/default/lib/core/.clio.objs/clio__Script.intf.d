@@ -1,0 +1,1 @@
+lib/core/script.mli: Database Mapping Relational Schemakb

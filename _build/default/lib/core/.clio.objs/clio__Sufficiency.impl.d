@@ -1,0 +1,1 @@
+lib/core/sufficiency.ml: Array Bool Coverage Example Format Fulldisj Hashtbl List Relational String Value

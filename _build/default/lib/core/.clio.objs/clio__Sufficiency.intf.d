@@ -1,0 +1,1 @@
+lib/core/sufficiency.mli: Coverage Example Format Fulldisj

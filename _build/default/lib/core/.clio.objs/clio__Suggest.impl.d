@@ -1,0 +1,1 @@
+lib/core/suggest.ml: Correspondence List Mapping Op_walk Querygraph Schemakb String

@@ -1,0 +1,1 @@
+lib/core/suggest.mli: Correspondence Mapping Querygraph Schemakb

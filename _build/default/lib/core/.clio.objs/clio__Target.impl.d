@@ -1,0 +1,1 @@
+lib/core/target.ml: Fulldisj List Mapping Mapping_eval Relation Relational String

@@ -1,0 +1,1 @@
+lib/core/target.mli: Database Mapping Relation Relational

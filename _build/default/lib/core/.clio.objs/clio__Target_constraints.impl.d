@@ -1,0 +1,1 @@
+lib/core/target_constraints.ml: Expr Integrity List Mapping Predicate Relational String

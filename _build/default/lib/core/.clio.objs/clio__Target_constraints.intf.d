@@ -1,0 +1,1 @@
+lib/core/target_constraints.mli: Integrity Mapping Predicate Relational

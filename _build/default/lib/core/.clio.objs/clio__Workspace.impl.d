@@ -1,0 +1,1 @@
+lib/core/workspace.ml: Buffer Database Differentiate Evolution Fulldisj Illustration List Mapping Mapping_eval Option Printf Querygraph Relational Render Schemakb Sufficiency

@@ -1,0 +1,1 @@
+lib/core/workspace.mli: Database Differentiate Illustration Mapping Relation Relational Schemakb

@@ -1,0 +1,49 @@
+open Relational
+
+type fn =
+  | Of_expr of Expr.t
+  | Custom of { name : string; sources : Attr.t list; fn : Value.t list -> Value.t }
+
+type t = { target : string; fn : fn }
+
+let identity target src = { target; fn = Of_expr (Expr.Col src) }
+let of_expr target e = { target; fn = Of_expr e }
+let constant target v = { target; fn = Of_expr (Expr.Const v) }
+let custom target name sources fn = { target; fn = Custom { name; sources; fn } }
+
+let sources t =
+  match t.fn with Of_expr e -> Expr.columns e | Custom { sources; _ } -> sources
+
+let source_rels t =
+  sources t |> List.map (fun a -> a.Attr.rel) |> List.sort_uniq String.compare
+
+let rename_rel t ~from ~into =
+  match t.fn with
+  | Of_expr e -> { t with fn = Of_expr (Expr.rename_rel e ~from ~into) }
+  | Custom c ->
+      let sources =
+        List.map
+          (fun a ->
+            if String.equal a.Attr.rel from then Attr.make into a.Attr.name else a)
+          c.sources
+      in
+      { t with fn = Custom { c with sources } }
+
+let compile scheme t =
+  match t.fn with
+  | Of_expr e -> Expr.compile scheme e
+  | Custom { sources; fn; _ } ->
+      let positions = List.map (Schema.index scheme) sources in
+      fun tuple -> fn (List.map (fun i -> tuple.(i)) positions)
+
+let to_sql t =
+  let body =
+    match t.fn with
+    | Of_expr e -> Expr.to_sql e
+    | Custom { name; sources; _ } ->
+        Printf.sprintf "%s(%s)" name
+          (String.concat ", " (List.map Attr.to_string sources))
+  in
+  Printf.sprintf "%s as %s" body t.target
+
+let pp ppf t = Format.pp_print_string ppf (to_sql t)

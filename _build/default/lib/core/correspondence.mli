@@ -1,0 +1,44 @@
+(** Value correspondences (Definition 3.1): functions over source attribute
+    values that compute a value for one target attribute.
+
+    A correspondence is either a scalar {!Relational.Expr.t} (renderable to
+    SQL) or an opaque OCaml function with a display name.  Either way it
+    exposes its source attributes, which mapping construction uses to decide
+    which relations must be linked into the query graph. *)
+
+open Relational
+
+type fn =
+  | Of_expr of Expr.t
+  | Custom of { name : string; sources : Attr.t list; fn : Value.t list -> Value.t }
+
+type t = { target : string;  (** target column name *) fn : fn }
+
+(** [identity target src] — v : src → target. *)
+val identity : string -> Attr.t -> t
+
+val of_expr : string -> Expr.t -> t
+val constant : string -> Value.t -> t
+
+(** [custom target name sources fn]. *)
+val custom : string -> string -> Attr.t list -> (Value.t list -> Value.t) -> t
+
+(** Source attributes mentioned by the correspondence. *)
+val sources : t -> Attr.t list
+
+(** Base-relation-independent: the node names (aliases) mentioned. *)
+val source_rels : t -> string list
+
+(** Compile against the scheme of D(G).  Raises [Not_found] if a source
+    attribute is missing from the scheme. *)
+val compile : Schema.t -> t -> Tuple.t -> Value.t
+
+(** Rename every source attribute owned by node [from] to node [into]
+    (used when a walk binds a correspondence's relation to a fresh copy). *)
+val rename_rel : t -> from:string -> into:string -> t
+
+(** SQL select-item, e.g. ["C.ID as ID"] or ["concat(Ph.type, Ph.number) as
+    contactPh"]. *)
+val to_sql : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+(** Distinguishing examples between alternative mappings.
+
+    The introduction's requirement: chosen examples must "both illuminate a
+    specific mapping ... and also illustrate any differences from
+    alternative mappings (helping the user to differentiate mappings)".
+    Given two alternatives (typically produced by the same walk), this
+    module finds the data that tells them apart.
+
+    Two notions are provided:
+
+    - {!target_diff}: target tuples produced by exactly one of the
+      mappings — the coarse, result-level difference;
+    - {!distinguishing}: per focus tuple of a shared relation (e.g. per
+      child), the target tuples each mapping derives from it — the
+      fine-grained view the paper's Figure 3/4 scenarios use (Maya's row
+      under the mother vs father linkings). *)
+
+open Relational
+
+type side = Only_left | Only_right
+
+type target_diff = { tuple : Tuple.t; side : side }
+
+(** Symmetric difference of the two mappings' (positive) results.  Raises
+    [Invalid_argument] when the target schemas differ. *)
+val target_diff : Database.t -> Mapping.t -> Mapping.t -> target_diff list
+
+(** Two mappings are indistinguishable on this database when their results
+    coincide — the paper notes a join/outer-join change "may have no effect
+    due to constraints that hold on the source". *)
+val equivalent_on : Database.t -> Mapping.t -> Mapping.t -> bool
+
+type contrast = {
+  focus_tuple : Tuple.t;
+  left_targets : Tuple.t list;  (** positive target tuples involving it *)
+  right_targets : Tuple.t list;
+}
+
+(** [distinguishing db ~rel m1 m2] — for each tuple of shared node [rel]
+    whose induced target tuples differ between the mappings, the contrast.
+    [rel] must be a node of both graphs with the same base. *)
+val distinguishing :
+  Database.t -> rel:string -> Mapping.t -> Mapping.t -> contrast list
+
+(** Render contrasts side by side. *)
+val render : target_schema:Schema.t -> contrast list -> string

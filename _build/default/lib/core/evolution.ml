@@ -1,0 +1,51 @@
+open Relational
+open Fulldisj
+
+let continues ~old_scheme ~new_scheme old_e new_e =
+  let positions =
+    Array.to_list (Schema.attrs old_scheme) |> List.map (Schema.index new_scheme)
+  in
+  let proj = Tuple.project new_e.Example.assoc.Assoc.tuple positions in
+  Tuple.subsumes proj old_e.Example.assoc.Assoc.tuple
+
+let continuations ~old_scheme ~new_scheme old_e candidates =
+  List.filter (continues ~old_scheme ~new_scheme old_e) candidates
+
+let schemes db (old_m : Mapping.t) (new_m : Mapping.t) =
+  let lookup = Database.find db in
+  ( Querygraph.Qgraph.scheme ~lookup old_m.Mapping.graph,
+    Querygraph.Qgraph.scheme ~lookup new_m.Mapping.graph )
+
+let evolve db ~old_mapping ~old_illustration (new_m : Mapping.t) =
+  let old_scheme, new_scheme = schemes db old_mapping new_m in
+  let universe = Mapping_eval.examples db new_m in
+  let seed =
+    List.filter_map
+      (fun old_e ->
+        match continuations ~old_scheme ~new_scheme old_e universe with
+        | [] -> None
+        | c :: _ -> Some c)
+      old_illustration
+  in
+  (* An old example can be continued by the same new example; dedup seeds. *)
+  let seed =
+    List.fold_left
+      (fun acc e -> if Illustration.mem e acc then acc else acc @ [ e ])
+      [] seed
+  in
+  Sufficiency.select ~seed ~universe ~target_cols:new_m.Mapping.target_cols ()
+
+let is_continuous db ~old_mapping ~old_illustration ~new_mapping illustration =
+  let old_scheme, new_scheme = schemes db old_mapping new_mapping in
+  let universe = Mapping_eval.examples db new_mapping in
+  List.for_all
+    (fun old_e ->
+      match continuations ~old_scheme ~new_scheme old_e universe with
+      | [] -> true
+      | _ ->
+          List.exists
+            (fun e ->
+              Illustration.mem e illustration
+              && continues ~old_scheme ~new_scheme old_e e)
+            universe)
+    old_illustration

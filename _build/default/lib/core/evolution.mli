@@ -1,0 +1,44 @@
+(** Continuous evolution of illustrations (Section 5.3): when a mapping
+    evolves, the new illustration should retain the data the user already
+    knows — each old example is {e continued} by new examples that extend
+    it, and only then is the illustration topped up for sufficiency.
+
+    Continuation (our formalization, the paper defers to [17]): a new
+    example (d', t') continues an old example (d, t) when d', projected
+    onto the old mapping's scheme, subsumes d (agrees with every non-null
+    field the user saw).  When the old graph is an induced connected
+    subgraph of the new one, every old association has at least one
+    continuation (tested as a property). *)
+
+open Relational
+
+(** [continues ~old_scheme ~new_scheme old_e new_e]. *)
+val continues :
+  old_scheme:Schema.t -> new_scheme:Schema.t -> Example.t -> Example.t -> bool
+
+(** Continuations present in a list of candidate new examples. *)
+val continuations :
+  old_scheme:Schema.t ->
+  new_scheme:Schema.t ->
+  Example.t ->
+  Example.t list ->
+  Example.t list
+
+(** Evolve an illustration onto a new mapping: one continuation per old
+    example (when one exists), then greedy top-up to sufficiency. *)
+val evolve :
+  Database.t ->
+  old_mapping:Mapping.t ->
+  old_illustration:Example.t list ->
+  Mapping.t ->
+  Example.t list
+
+(** The continuity requirement: every old example that has a continuation
+    among the new mapping's examples has one in the new illustration. *)
+val is_continuous :
+  Database.t ->
+  old_mapping:Mapping.t ->
+  old_illustration:Example.t list ->
+  new_mapping:Mapping.t ->
+  Example.t list ->
+  bool

@@ -1,0 +1,16 @@
+open Relational
+open Fulldisj
+
+type t = { assoc : Assoc.t; target_tuple : Tuple.t; positive : bool }
+
+let coverage e = e.assoc.Assoc.coverage
+let is_positive e = e.positive
+let is_negative e = not e.positive
+let polarity e = if e.positive then "+" else "-"
+
+let equal a b =
+  Assoc.equal a.assoc b.assoc
+  && Tuple.equal a.target_tuple b.target_tuple
+  && Bool.equal a.positive b.positive
+
+let tag ?short e = Coverage.label ?short (coverage e) ^ " " ^ polarity e

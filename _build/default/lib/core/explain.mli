@@ -1,0 +1,36 @@
+(** Lineage: from a target tuple back to the source data that produced it.
+
+    The WYSIWYG target viewer (Section 6.1) shows result tuples; when a
+    user asks "where did this row come from?", the answer is the set of
+    examples whose induced target tuple matches — i.e. the data
+    associations behind the row, with the source tuple each relation
+    contributed. *)
+
+open Relational
+
+type provenance = {
+  example : Example.t;
+  (* source tuples per graph node, in alias order; absent nodes are None *)
+  contributions : (string * Tuple.t option) list;
+}
+
+(** All derivations of a target tuple under a mapping (several data
+    associations can induce the same target row). *)
+val of_target_tuple :
+  Database.t -> Mapping.t -> Tuple.t -> provenance list
+
+(** Why is this column null in this row?  Either no correspondence exists,
+    the correspondence computed null from the sources, or the covering
+    association misses the relations the correspondence reads. *)
+type null_reason =
+  | Not_mapped  (** no correspondence for the column *)
+  | Source_relation_absent of string list  (** coverage misses these aliases *)
+  | Computed_null  (** correspondence evaluated to null on present sources *)
+
+val why_null :
+  Database.t -> Mapping.t -> Tuple.t -> string -> (provenance * null_reason) list
+
+val render : Schema.t -> provenance -> string
+
+(** D(G)'s scheme for the mapping (needed to render provenances). *)
+val scheme : Database.t -> Mapping.t -> Schema.t

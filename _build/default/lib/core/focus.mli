@@ -1,0 +1,31 @@
+(** Focused illustrations (Definition 4.7): given a focus relation F (a
+    query-graph node) and focus tuples f ⊆ F, an illustration is focused on
+    f when it contains {e every} example whose association involves one of
+    the focus tuples. *)
+
+open Relational
+
+(** [focus_set ~universe ~scheme ~rel ~tuples] — the examples that any
+    illustration focused on [tuples] must contain: those whose association,
+    projected onto [rel]'s columns, equals one of [tuples].  [scheme] is
+    the D(G) scheme; [tuples] range over [rel]'s column layout within it. *)
+val focus_set :
+  universe:Example.t list ->
+  scheme:Schema.t ->
+  rel:string ->
+  tuples:Tuple.t list ->
+  Example.t list
+
+(** Check Definition 4.7 for an illustration. *)
+val is_focussed :
+  universe:Example.t list ->
+  scheme:Schema.t ->
+  rel:string ->
+  tuples:Tuple.t list ->
+  Example.t list ->
+  bool
+
+(** Focus tuples matching a predicate on the focus relation, a convenience
+    for "the user selects the children she knows". *)
+val tuples_matching :
+  Database.t -> graph:Querygraph.Qgraph.t -> rel:string -> Predicate.t -> Tuple.t list

@@ -1,0 +1,42 @@
+(** Illustrations: sets of examples shown to the user, with text rendering
+    in the style of the paper's Figures 8 and 9. *)
+
+open Relational
+open Fulldisj
+
+type t = Example.t list
+
+(** Examples grouped by coverage, categories in first-appearance order. *)
+val by_category : t -> (Coverage.t * Example.t list) list
+
+val positives : t -> t
+val negatives : t -> t
+
+(** Render the source side: one row per example, tagged with coverage and
+    polarity.  [short] abbreviates alias names in tags (the paper writes
+    "CPPhS"); [columns] optionally restricts the displayed attributes (the
+    paper drops unused columns "due to space constraints"). *)
+val render :
+  ?short:(string -> string option) ->
+  ?columns:Attr.t list ->
+  scheme:Schema.t ->
+  t ->
+  string
+
+(** Render the induced target tuples (positive examples' rows marked "+",
+    negative "-"). *)
+val render_target : ?short:(string -> string option) -> target_schema:Schema.t -> t -> string
+
+(** Membership up to {!Example.equal}. *)
+val mem : Example.t -> t -> bool
+
+(** The paper's Figure 3/4 style: render each source relation as its own
+    table, marking the rows that participate in the illustration with [*]
+    ("the highlighted rows of Figure 3").  [lookup] resolves base
+    relations; aliases of the same base render as separate tables. *)
+val render_source_tables :
+  lookup:(string -> Relational.Relation.t option) ->
+  graph:Querygraph.Qgraph.t ->
+  scheme:Schema.t ->
+  t ->
+  string

@@ -1,0 +1,100 @@
+open Relational
+open Fulldisj
+module Qgraph = Querygraph.Qgraph
+
+type t = Inner_join | Rooted of string | Covering of string list | Full_disjunction
+
+let pp ppf = function
+  | Inner_join -> Format.pp_print_string ppf "inner join"
+  | Rooted r -> Format.fprintf ppf "left joins rooted at %s" r
+  | Covering rs ->
+      Format.fprintf ppf "associations covering {%s}" (String.concat ", " rs)
+  | Full_disjunction -> Format.pp_print_string ppf "full disjunction"
+
+let associations db (m : Mapping.t) = function
+  | Full_disjunction -> Mapping_eval.data_associations db m
+  | Inner_join ->
+      let lookup = Database.find db in
+      let g = m.Mapping.graph in
+      let f = Join_eval.full_associations ~lookup g in
+      let scheme = Relation.schema f in
+      let cov = Coverage.of_list (Qgraph.aliases g) in
+      {
+        Full_disjunction.scheme;
+        node_positions =
+          List.map (fun a -> (a, Schema.positions_of_rel scheme a)) (Qgraph.aliases g);
+        associations =
+          List.map (fun t -> Assoc.make t cov) (Relation.tuples f);
+      }
+  | Rooted root ->
+      let fd = Mapping_eval.data_associations db m in
+      {
+        fd with
+        Full_disjunction.associations =
+          List.filter
+            (fun (a : Assoc.t) -> Coverage.mem root a.Assoc.coverage)
+            fd.Full_disjunction.associations;
+      }
+  | Covering required ->
+      let fd = Mapping_eval.data_associations db m in
+      {
+        fd with
+        Full_disjunction.associations =
+          List.filter
+            (fun (a : Assoc.t) ->
+              List.for_all (fun r -> Coverage.mem r a.Assoc.coverage) required)
+            fd.Full_disjunction.associations;
+      }
+
+let eval db (m : Mapping.t) interp =
+  let fd = associations db m interp in
+  let tr = Mapping_eval.transform fd m in
+  let src_ok =
+    let fs =
+      List.map (Predicate.compile fd.Full_disjunction.scheme) m.Mapping.source_filters
+    in
+    fun t -> List.for_all (fun f -> f t) fs
+  in
+  let tgt_ok =
+    let schema = Mapping.target_schema m in
+    let fs = List.map (Predicate.compile schema) m.Mapping.target_filters in
+    fun t -> List.for_all (fun f -> f t) fs
+  in
+  Relation.make ~allow_all_null:true m.Mapping.target (Mapping.target_schema m)
+    (List.filter_map
+       (fun (a : Assoc.t) ->
+         if src_ok a.Assoc.tuple then
+           let t = tr a.Assoc.tuple in
+           if tgt_ok t then Some t else None
+         else None)
+       fd.Full_disjunction.associations)
+
+type comparison = {
+  interpretation_a : t;
+  interpretation_b : t;
+  only_a : Tuple.t list;
+  only_b : Tuple.t list;
+}
+
+let compare_under db m a b =
+  let ra = eval db m a and rb = eval db m b in
+  {
+    interpretation_a = a;
+    interpretation_b = b;
+    only_a = Relation.tuples ra |> List.filter (fun t -> not (Relation.mem rb t));
+    only_b = Relation.tuples rb |> List.filter (fun t -> not (Relation.mem ra t));
+  }
+
+let no_effect db m a b =
+  let c = compare_under db m a b in
+  c.only_a = [] && c.only_b = []
+
+let render_comparison ~target_schema c =
+  let rows =
+    List.map (fun t -> (Format.asprintf "only under %a" pp c.interpretation_a, t)) c.only_a
+    @ List.map
+        (fun t -> (Format.asprintf "only under %a" pp c.interpretation_b, t))
+        c.only_b
+  in
+  if rows = [] then "(no difference on this database)"
+  else Render.annotated ~qualified:false ~annot_header:"difference" rows target_schema

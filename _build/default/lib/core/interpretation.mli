@@ -1,0 +1,43 @@
+(** Interpretations of a query graph (Section 3.2): "Clearly, one
+    interpretation is as a join query.  However ... we may also want to
+    interpret a query graph as an outer join query or as a combination".
+
+    This module evaluates a mapping under the different interpretations and
+    reports how the results differ — the machinery behind "subtle changes
+    to the mapping, for example, changing a join from an inner join to an
+    outer join, may dramatically change the target data ... In other cases,
+    the same change may have no effect due to constraints that hold on the
+    source schema." *)
+
+open Relational
+
+type t =
+  | Inner_join  (** only full data associations F(G) *)
+  | Rooted of string  (** associations covering the given node (left joins) *)
+  | Covering of string list
+      (** associations covering every listed node — the per-join
+          inner/outer fine-tuning of Section 2 ("change this left outer
+          join to an inner join" = add that node to the required set) *)
+  | Full_disjunction  (** all of D(G) — the mapping default *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Evaluate the mapping's query under an interpretation (its own filters
+    still apply). *)
+val eval : Database.t -> Mapping.t -> t -> Relation.t
+
+type comparison = {
+  interpretation_a : t;
+  interpretation_b : t;
+  only_a : Tuple.t list;
+  only_b : Tuple.t list;
+}
+
+(** Compare two interpretations of the same mapping. *)
+val compare_under : Database.t -> Mapping.t -> t -> t -> comparison
+
+(** No difference on this database — e.g. turning the Children–Parents join
+    inner is invisible when every child has a parent. *)
+val no_effect : Database.t -> Mapping.t -> t -> t -> bool
+
+val render_comparison : target_schema:Schema.t -> comparison -> string

@@ -1,0 +1,105 @@
+open Relational
+module Qgraph = Querygraph.Qgraph
+
+type t = {
+  graph : Qgraph.t;
+  target : string;
+  target_cols : string list;
+  correspondences : Correspondence.t list;
+  source_filters : Predicate.t list;
+  target_filters : Predicate.t list;
+}
+
+let validate m =
+  if not (Qgraph.is_connected m.graph) then
+    invalid_arg "Mapping: query graph must be connected";
+  let sorted = List.sort_uniq String.compare m.target_cols in
+  if List.length sorted <> List.length m.target_cols then
+    invalid_arg "Mapping: duplicate target columns";
+  List.iter
+    (fun (c : Correspondence.t) ->
+      if not (List.mem c.Correspondence.target m.target_cols) then
+        invalid_arg ("Mapping: correspondence for unknown target column " ^ c.target);
+      List.iter
+        (fun a ->
+          if not (Qgraph.mem_node m.graph a.Attr.rel) then
+            invalid_arg
+              (Printf.sprintf "Mapping: correspondence source %s not in query graph"
+                 (Attr.to_string a)))
+        (Correspondence.sources c))
+    m.correspondences;
+  let dup_targets =
+    List.map (fun (c : Correspondence.t) -> c.Correspondence.target) m.correspondences
+  in
+  if List.length (List.sort_uniq String.compare dup_targets) <> List.length dup_targets
+  then invalid_arg "Mapping: two correspondences for the same target column";
+  m
+
+let make ~graph ~target ~target_cols ?(correspondences = []) ?(source_filters = [])
+    ?(target_filters = []) () =
+  validate
+    { graph; target; target_cols; correspondences; source_filters; target_filters }
+
+let target_schema m = Schema.make m.target m.target_cols
+
+let correspondence_for m col =
+  List.find_opt
+    (fun (c : Correspondence.t) -> String.equal c.Correspondence.target col)
+    m.correspondences
+
+let set_correspondence m c =
+  let others =
+    List.filter
+      (fun (o : Correspondence.t) ->
+        not (String.equal o.Correspondence.target c.Correspondence.target))
+      m.correspondences
+  in
+  validate { m with correspondences = others @ [ c ] }
+
+let remove_correspondence m col =
+  validate
+    {
+      m with
+      correspondences =
+        List.filter
+          (fun (c : Correspondence.t) -> not (String.equal c.Correspondence.target col))
+          m.correspondences;
+    }
+
+let with_graph m graph = validate { m with graph }
+let add_source_filter m p = validate { m with source_filters = m.source_filters @ [ p ] }
+
+let remove_source_filter m p =
+  validate
+    { m with source_filters = List.filter (fun q -> not (Predicate.equal p q)) m.source_filters }
+
+let add_target_filter m p = validate { m with target_filters = m.target_filters @ [ p ] }
+
+let remove_target_filter m p =
+  validate
+    { m with target_filters = List.filter (fun q -> not (Predicate.equal p q)) m.target_filters }
+
+let phi m = { m with source_filters = []; target_filters = [] }
+
+let referenced_aliases m =
+  let from_corrs = List.concat_map Correspondence.source_rels m.correspondences in
+  let from_filters =
+    List.concat_map
+      (fun p -> List.map (fun a -> a.Attr.rel) (Predicate.columns p))
+      m.source_filters
+  in
+  List.sort_uniq String.compare (from_corrs @ from_filters)
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<v>mapping into %s@,graph: %a@,correspondences: %a@,C_S: %a@,C_T: %a@]" m.target
+    Qgraph.pp m.graph
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Correspondence.pp)
+    m.correspondences
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " and ")
+       Predicate.pp)
+    m.source_filters
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " and ")
+       Predicate.pp)
+    m.target_filters

@@ -1,0 +1,58 @@
+(** Mappings (Definition 3.14): M = ⟨G, V, C_S, C_T⟩.
+
+    A mapping produces a subset of one target relation from a set of source
+    relations.  [G] links source tuples (data linking), [V] translates data
+    associations into target tuples (correspondence), and the filters [C_S]
+    (over source attributes) and [C_T] (over the target relation) trim the
+    result (data trimming). *)
+
+open Relational
+module Qgraph = Querygraph.Qgraph
+
+type t = private {
+  graph : Qgraph.t;
+  target : string;  (** target relation name *)
+  target_cols : string list;  (** B1..Bm, fixing the target schema order *)
+  correspondences : Correspondence.t list;  (** at most one per target column *)
+  source_filters : Predicate.t list;  (** C_S *)
+  target_filters : Predicate.t list;  (** C_T *)
+}
+
+(** [make ~graph ~target ~target_cols ()] — an empty mapping (no
+    correspondences or filters).  Raises [Invalid_argument] if [graph] is
+    not connected or [target_cols] has duplicates. *)
+val make :
+  graph:Qgraph.t ->
+  target:string ->
+  target_cols:string list ->
+  ?correspondences:Correspondence.t list ->
+  ?source_filters:Predicate.t list ->
+  ?target_filters:Predicate.t list ->
+  unit ->
+  t
+
+val target_schema : t -> Schema.t
+
+(** The correspondence for a target column, if any. *)
+val correspondence_for : t -> string -> Correspondence.t option
+
+(** Add or replace pieces, revalidating.  [set_correspondence] raises
+    [Invalid_argument] if the column is not a target column or if its source
+    nodes are absent from the graph; use {!Op_correspondence.add} for the
+    full workflow that extends the graph. *)
+val set_correspondence : t -> Correspondence.t -> t
+
+val remove_correspondence : t -> string -> t
+val with_graph : t -> Qgraph.t -> t
+val add_source_filter : t -> Predicate.t -> t
+val remove_source_filter : t -> Predicate.t -> t
+val add_target_filter : t -> Predicate.t -> t
+val remove_target_filter : t -> Predicate.t -> t
+
+(** φ(M): the mapping without any filters (Section 4.1). *)
+val phi : t -> t
+
+(** Source node aliases referenced by correspondences and source filters. *)
+val referenced_aliases : t -> string list
+
+val pp : Format.formatter -> t -> unit

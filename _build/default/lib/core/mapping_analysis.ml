@@ -1,0 +1,83 @@
+open Relational
+open Fulldisj
+module Qgraph = Querygraph.Qgraph
+module Subgraphs = Querygraph.Subgraphs
+
+type verdict = Always_negative of string list | Possibly_positive
+
+let required_aliases (m : Mapping.t) =
+  m.Mapping.target_filters
+  |> List.concat_map (fun p ->
+         match p with
+         | Predicate.Is_not_null (Expr.Col a)
+           when String.equal a.Attr.rel m.Mapping.target -> (
+             match Mapping.correspondence_for m a.Attr.name with
+             | Some c -> Correspondence.source_rels c
+             | None -> [])
+         | _ -> [])
+  |> List.sort_uniq String.compare
+
+let category_verdict (m : Mapping.t) cov =
+  let missing =
+    required_aliases m |> List.filter (fun a -> not (Coverage.mem a cov))
+  in
+  if missing = [] then Possibly_positive else Always_negative missing
+
+let possibly_positive_categories (m : Mapping.t) =
+  let required = required_aliases m in
+  Subgraphs.connected_node_sets m.Mapping.graph
+  |> List.filter (fun aliases -> List.for_all (fun r -> List.mem r aliases) required)
+
+(* D(G) restricted to the possibly-positive categories: compute F(J) per
+   surviving category, then indexed subsumption removal among them.  This
+   is exactly the restriction of D(G) (subsumers live in superset
+   categories, and required aliases are inherited by supersets). *)
+let eval_pruned db (m : Mapping.t) =
+  let lookup = Database.find db in
+  let g = m.Mapping.graph in
+  let scheme = Qgraph.scheme ~lookup g in
+  let survivors = possibly_positive_categories m in
+  let tuples =
+    List.concat_map
+      (fun aliases ->
+        let j = Qgraph.induced g aliases in
+        let fj = Join_eval.full_associations ~lookup j in
+        Relation.tuples (Algebra.pad fj scheme))
+      survivors
+  in
+  let kept = Min_union.remove_subsumed tuples in
+  let fd =
+    {
+      Full_disjunction.scheme;
+      node_positions =
+        List.map (fun a -> (a, Schema.positions_of_rel scheme a)) (Qgraph.aliases g);
+      associations =
+        List.map
+          (fun t ->
+            Assoc.make t
+              (Assoc.coverage_of_tuple
+                 (List.map
+                    (fun a -> (a, Schema.positions_of_rel scheme a))
+                    (Qgraph.aliases g))
+                 t))
+          kept;
+    }
+  in
+  let tr = Mapping_eval.transform fd m in
+  let src_ok =
+    let fs = List.map (Predicate.compile scheme) m.Mapping.source_filters in
+    fun t -> List.for_all (fun f -> f t) fs
+  in
+  let tgt_ok =
+    let schema = Mapping.target_schema m in
+    let fs = List.map (Predicate.compile schema) m.Mapping.target_filters in
+    fun t -> List.for_all (fun f -> f t) fs
+  in
+  Relation.make ~allow_all_null:true m.Mapping.target (Mapping.target_schema m)
+    (List.filter_map
+       (fun (a : Assoc.t) ->
+         if src_ok a.Assoc.tuple then
+           let t = tr a.Assoc.tuple in
+           if tgt_ok t then Some t else None
+         else None)
+       fd.Full_disjunction.associations)

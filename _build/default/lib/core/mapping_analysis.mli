@@ -1,0 +1,38 @@
+(** Static analysis of coverage categories against the target filters.
+
+    Section 2: "a target constraint may indicate that every Kid tuple must
+    have an ID value.  From this constraint, Clio would know not to include
+    SBPS or Parent values in the target if they are not associated with a
+    Child tuple."  Formally: if C_T contains [B is not null] and the
+    correspondence for B reads node [a], every association whose coverage
+    misses [a] is {e always negative} — no data needs to be examined to
+    know it.
+
+    Because a subsumer's coverage is a superset of its victim's, and
+    required aliases propagate to supersets, restricting D(G)'s computation
+    to the possibly-positive categories preserves the mapping query's
+    result exactly ({!eval_pruned} is tested equal to the full evaluator,
+    and bench B11 measures the savings). *)
+
+open Relational
+open Fulldisj
+
+type verdict =
+  | Always_negative of string list
+      (** the required aliases this category misses *)
+  | Possibly_positive
+
+(** Aliases that every positive association must cover: sources of
+    correspondences feeding a [col is not null] target filter. *)
+val required_aliases : Mapping.t -> string list
+
+val category_verdict : Mapping.t -> Coverage.t -> verdict
+
+(** The categories (induced connected subgraphs, as alias sets) that can
+    produce positive tuples. *)
+val possibly_positive_categories : Mapping.t -> string list list
+
+(** The mapping query evaluated over possibly-positive categories only.
+    Equal to {!Mapping_eval.eval} (tested); faster when filters doom many
+    categories. *)
+val eval_pruned : Database.t -> Mapping.t -> Relation.t

@@ -1,0 +1,66 @@
+open Relational
+open Fulldisj
+module Qgraph = Querygraph.Qgraph
+
+type algorithm = Naive | Indexed | Outerjoin_if_tree
+
+let data_associations ?(algorithm = Indexed) db (m : Mapping.t) =
+  let lookup = Database.find db in
+  match algorithm with
+  | Naive -> Full_disjunction.naive ~lookup m.Mapping.graph
+  | Indexed -> Full_disjunction.compute ~lookup m.Mapping.graph
+  | Outerjoin_if_tree ->
+      if Outerjoin_plan.is_tree m.Mapping.graph then
+        Outerjoin_plan.full_disjunction ~lookup m.Mapping.graph
+      else Full_disjunction.compute ~lookup m.Mapping.graph
+
+let transform (fd : Full_disjunction.result) (m : Mapping.t) =
+  let compiled =
+    List.map
+      (fun col ->
+        match Mapping.correspondence_for m col with
+        | Some c -> Correspondence.compile fd.Full_disjunction.scheme c
+        | None -> fun _ -> Value.Null)
+      m.Mapping.target_cols
+  in
+  fun tuple -> Array.of_list (List.map (fun f -> f tuple) compiled)
+
+let compile_source_filters (fd : Full_disjunction.result) (m : Mapping.t) =
+  let fs =
+    List.map (Predicate.compile fd.Full_disjunction.scheme) m.Mapping.source_filters
+  in
+  fun tuple -> List.for_all (fun f -> f tuple) fs
+
+let compile_target_filters (m : Mapping.t) =
+  let schema = Mapping.target_schema m in
+  let fs = List.map (Predicate.compile schema) m.Mapping.target_filters in
+  fun tuple -> List.for_all (fun f -> f tuple) fs
+
+let examples ?algorithm db (m : Mapping.t) =
+  let fd = data_associations ?algorithm db m in
+  let tr = transform fd m in
+  let src_ok = compile_source_filters fd m in
+  let tgt_ok = compile_target_filters m in
+  List.map
+    (fun (a : Assoc.t) ->
+      let t = tr a.Assoc.tuple in
+      { Example.assoc = a; target_tuple = t; positive = src_ok a.Assoc.tuple && tgt_ok t })
+    fd.Full_disjunction.associations
+
+let apply_one (fd : Full_disjunction.result) (m : Mapping.t) (a : Assoc.t) =
+  let tr = transform fd m in
+  let src_ok = compile_source_filters fd m in
+  let tgt_ok = compile_target_filters m in
+  if src_ok a.Assoc.tuple then
+    let t = tr a.Assoc.tuple in
+    if tgt_ok t then Some t else None
+  else None
+
+let eval ?algorithm db (m : Mapping.t) =
+  let exs = examples ?algorithm db m in
+  Relation.make ~allow_all_null:true m.Mapping.target (Mapping.target_schema m)
+    (List.filter_map
+       (fun e -> if e.Example.positive then Some e.Example.target_tuple else None)
+       exs)
+
+let target_view = eval

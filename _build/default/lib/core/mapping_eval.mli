@@ -1,0 +1,38 @@
+(** Evaluation of the mapping query Q_M (Definition 3.14) and generation of
+    the mapping's examples.
+
+    The pipeline is: D(G) → apply C_S per association → transform through V
+    → apply C_T.  {!examples} runs the same pipeline without dropping
+    anything, recording each association's polarity instead. *)
+
+open Relational
+open Fulldisj
+
+(** Choice of D(G) algorithm (see {!Fulldisj.Full_disjunction}). *)
+type algorithm = Naive | Indexed | Outerjoin_if_tree
+
+(** D(G) for the mapping's query graph. *)
+val data_associations :
+  ?algorithm:algorithm -> Database.t -> Mapping.t -> Full_disjunction.result
+
+(** Compiled transform Q_{φ(M)}: maps an association tuple (over
+    [fd.scheme]) to a target tuple.  Target columns without a
+    correspondence are null. *)
+val transform :
+  Full_disjunction.result -> Mapping.t -> Tuple.t -> Tuple.t
+
+(** All examples of the mapping: one per data association, tagged positive
+    or negative (Definition 4.1). *)
+val examples : ?algorithm:algorithm -> Database.t -> Mapping.t -> Example.t list
+
+(** Q_M(d) for a single association: [Some t] if [d] passes C_S and [t]
+    passes C_T, else [None]. *)
+val apply_one :
+  Full_disjunction.result -> Mapping.t -> Assoc.t -> Tuple.t option
+
+(** The mapping query result: a subset of the target relation (distinct). *)
+val eval : ?algorithm:algorithm -> Database.t -> Mapping.t -> Relation.t
+
+(** Positive examples only, as a relation over the target schema — the
+    "target viewer" contents for this mapping. *)
+val target_view : ?algorithm:algorithm -> Database.t -> Mapping.t -> Relation.t

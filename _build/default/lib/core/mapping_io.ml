@@ -1,0 +1,54 @@
+open Relational
+module Qgraph = Querygraph.Qgraph
+
+exception Unserializable of string
+
+let save (m : Mapping.t) =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "# clio mapping (runnable with clio_cli run / Clio.Script)";
+  line "target %s(%s)" m.Mapping.target (String.concat ", " m.Mapping.target_cols);
+  List.iter
+    (fun n -> line "node %s %s" n.Qgraph.alias n.Qgraph.base)
+    (Qgraph.nodes m.Mapping.graph);
+  List.iter
+    (fun e -> line "edge %s %s %s" e.Qgraph.n1 e.Qgraph.n2 (Predicate.to_sql e.Qgraph.pred))
+    (Qgraph.edges m.Mapping.graph);
+  List.iter
+    (fun (c : Correspondence.t) ->
+      match c.Correspondence.fn with
+      | Correspondence.Of_expr e ->
+          line "corr %s = %s" c.Correspondence.target (Expr.to_sql e)
+      | Correspondence.Custom { name; _ } ->
+          raise
+            (Unserializable
+               (Printf.sprintf "custom correspondence %s (%s) cannot be saved"
+                  c.Correspondence.target name)))
+    m.Mapping.correspondences;
+  List.iter (fun p -> line "sfilter %s" (Predicate.to_sql p)) m.Mapping.source_filters;
+  List.iter (fun p -> line "tfilter %s" (Predicate.to_sql p)) m.Mapping.target_filters;
+  Buffer.contents b
+
+let load ~db ~kb text =
+  match Script.run_result ~db ~kb text with
+  | Error e -> Error e
+  | Ok { Script.mapping = Some m; _ } -> Ok m
+  | Ok { Script.mapping = None; _ } -> Error "script declared no mapping"
+
+let equal_mapping (a : Mapping.t) (b : Mapping.t) =
+  Qgraph.equal a.Mapping.graph b.Mapping.graph
+  && String.equal a.Mapping.target b.Mapping.target
+  && a.Mapping.target_cols = b.Mapping.target_cols
+  && List.length a.Mapping.correspondences = List.length b.Mapping.correspondences
+  && List.for_all2
+       (fun (x : Correspondence.t) (y : Correspondence.t) ->
+         String.equal x.Correspondence.target y.Correspondence.target
+         && String.equal (Correspondence.to_sql x) (Correspondence.to_sql y))
+       a.Mapping.correspondences b.Mapping.correspondences
+  && List.map Predicate.to_sql a.Mapping.source_filters
+     = List.map Predicate.to_sql b.Mapping.source_filters
+  && List.map Predicate.to_sql a.Mapping.target_filters
+     = List.map Predicate.to_sql b.Mapping.target_filters
+
+let roundtrips ~db ~kb m =
+  match load ~db ~kb (save m) with Ok m' -> equal_mapping m m' | Error _ -> false

@@ -1,0 +1,24 @@
+(** Mapping persistence, using the {!Script} language as the on-disk
+    format: a saved mapping is a runnable script of [target]/[node]/
+    [edge]/[corr]/[sfilter]/[tfilter] commands, so saved files are
+    human-readable, diffable, and editable by hand.
+
+    Custom (opaque OCaml) correspondences cannot be serialized; {!save}
+    raises on them.  Everything expressible with {!Relational.Expr} round
+    trips — tested by [test_script.ml]. *)
+
+open Relational
+
+exception Unserializable of string
+
+(** Render a mapping as a script.  Raises {!Unserializable} for custom
+    correspondences. *)
+val save : Mapping.t -> string
+
+(** Rebuild a mapping by running a saved script (only declaration commands
+    are expected, but any valid script works).  Errors are reported as
+    [Error message]. *)
+val load : db:Database.t -> kb:Schemakb.Kb.t -> string -> (Mapping.t, string) result
+
+(** [save] then [load] and compare (test oracle). *)
+val roundtrips : db:Database.t -> kb:Schemakb.Kb.t -> Mapping.t -> bool

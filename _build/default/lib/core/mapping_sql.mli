@@ -1,0 +1,30 @@
+(** SQL generation for mappings.
+
+    Two renderings:
+
+    - {!canonical}: the literal Definition 3.14 query, with D(G) expanded
+      as a minimum union of join queries over the induced connected
+      subgraphs (the formal semantics, readable but not meant for an
+      engine);
+    - {!outer_join}: the Section 2 style — a cascade of LEFT JOINs rooted
+      at a required relation, with joins promoted to INNER where a target
+      not-null filter makes the joined relation required.  Valid when the
+      graph is a tree and the mapping's filters restrict it to associations
+      covering the root; {!rooted_equivalent} checks that equivalence by
+      evaluation. *)
+
+open Relational
+
+val canonical : Mapping.t -> string
+
+(** Raises [Invalid_argument] if the graph is not a tree or [root] is not a
+    node. *)
+val outer_join : root:string -> Mapping.t -> string
+
+(** Target filters pulled back through the correspondences into predicates
+    over source attributes (unmapped target columns become NULL literals). *)
+val pullback_target_filters : Mapping.t -> Predicate.t list
+
+(** Evaluate both semantics and compare: the mapping query (Definition
+    3.14) against the rooted left-join cascade with the same filters. *)
+val rooted_equivalent : Database.t -> root:string -> Mapping.t -> bool

@@ -1,0 +1,68 @@
+open Relational
+open Fulldisj
+module Qgraph = Querygraph.Qgraph
+
+type occurrence = { rel : string; column : string; count : int }
+
+type alternative = {
+  mapping : Mapping.t;
+  new_alias : string;
+  occurrence : occurrence;
+  description : string;
+}
+
+let occurrences_anywhere ?index db v =
+  match index with
+  | Some idx ->
+      Value_index.find idx v
+      |> List.map (fun (o : Value_index.occurrence) ->
+             { rel = o.Value_index.rel; column = o.Value_index.column; count = o.Value_index.count })
+  | None ->
+      Database.find_value db v
+      |> List.map (fun (rel, column, count) -> { rel; column; count })
+
+let occurrences ?index db (m : Mapping.t) v =
+  let bases =
+    Qgraph.nodes m.Mapping.graph |> List.map (fun n -> n.Qgraph.base)
+  in
+  occurrences_anywhere ?index db v
+  |> List.filter (fun o -> not (List.mem o.rel bases))
+
+let chase ?illustration ?index db (m : Mapping.t) ~attr ~value =
+  let q = attr.Attr.rel in
+  if not (Qgraph.mem_node m.Mapping.graph q) then
+    invalid_arg ("Op_chase.chase: node " ^ q ^ " not in mapping graph");
+  (match illustration with
+  | None -> ()
+  | Some exs ->
+      let fd = Mapping_eval.data_associations db m in
+      let scheme = fd.Full_disjunction.scheme in
+      let pos = Schema.index scheme attr in
+      let shown =
+        List.exists
+          (fun e -> Value.equal e.Example.assoc.Assoc.tuple.(pos) value)
+          exs
+      in
+      if not shown then
+        invalid_arg
+          (Printf.sprintf "Op_chase.chase: value %s not visible in %s of the illustration"
+             (Value.to_string value) (Attr.to_string attr)));
+  occurrences ?index db m value
+  |> List.map (fun o ->
+         let alias = Qgraph.fresh_alias m.Mapping.graph o.rel in
+         let pred = Predicate.eq_cols attr (Attr.make alias o.column) in
+         let g =
+           Qgraph.add_edge
+             (Qgraph.add_node m.Mapping.graph ~alias ~base:o.rel)
+             q alias pred
+         in
+         {
+           mapping = Mapping.with_graph m g;
+           new_alias = alias;
+           occurrence = o;
+           description =
+             Printf.sprintf "%s found in %s.%s (%d occurrence%s): extend with %s on %s"
+               (Value.to_string value) o.rel o.column o.count
+               (if o.count = 1 then "" else "s")
+               alias (Predicate.to_sql pred);
+         })

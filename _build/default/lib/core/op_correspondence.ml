@@ -1,0 +1,110 @@
+module Qgraph = Querygraph.Qgraph
+module Kb = Schemakb.Kb
+
+type alternative = { mapping : Mapping.t; description : string }
+
+type outcome =
+  | Updated of Mapping.t
+  | Alternatives of alternative list
+  | New_mapping of outcome
+
+(* One partial linking state while folding walks over the missing
+   relations: the extended mapping, the alias each missing name was bound
+   to, and the accumulated human-readable path description. *)
+type partial = {
+  p_mapping : Mapping.t;
+  renames : (string * string) list;
+  p_descr : string list;
+}
+
+(* A correspondence may reference a relation copy by the paper's naming
+   convention ("Parents2"): resolve such a name to the base relation the KB
+   knows, so the walk has a real goal. *)
+let base_of_name ~kb name =
+  let known n =
+    Kb.pairs kb
+    |> List.exists (fun p -> String.equal p.Kb.r1 n || String.equal p.Kb.r2 n)
+  in
+  if known name then name
+  else
+    let stripped =
+      let n = String.length name in
+      let rec start i = if i > 0 && name.[i - 1] >= '0' && name.[i - 1] <= '9' then start (i - 1) else i in
+      String.sub name 0 (start n)
+    in
+    if String.length stripped > 0 && known stripped then stripped else name
+
+let link_missing ~kb ?max_len ?(beam = 6) (m : Mapping.t) missing =
+  List.fold_left
+    (fun partials name ->
+      let goal = base_of_name ~kb name in
+      List.concat_map
+        (fun p ->
+          Op_walk.data_walk_any_start ~kb p.p_mapping ~goal ?max_len ()
+          |> List.filteri (fun i _ -> i < beam)
+          |> List.map (fun (w : Op_walk.alternative) ->
+                 {
+                   p_mapping = w.Op_walk.mapping;
+                   renames = (name, w.Op_walk.new_alias) :: p.renames;
+                   p_descr = p.p_descr @ [ w.Op_walk.description ];
+                 }))
+        partials)
+    [ { p_mapping = m; renames = []; p_descr = [] } ]
+    missing
+
+let rec add ~kb ?max_len (m : Mapping.t) (corr : Correspondence.t) =
+  match Mapping.correspondence_for m corr.Correspondence.target with
+  | Some existing when existing <> corr ->
+      (* A different way of computing an already-mapped column: spawn a new
+         mapping by reuse and add there (Example 6.2). *)
+      let base = Reuse.derive_for m ~target_col:corr.Correspondence.target in
+      New_mapping (add ~kb ?max_len base corr)
+  | _ -> (
+      let missing =
+        Correspondence.source_rels corr
+        |> List.filter (fun r -> not (Qgraph.mem_node m.Mapping.graph r))
+      in
+      match missing with
+      | [] -> Updated (Mapping.set_correspondence m corr)
+      | missing ->
+          let partials = link_missing ~kb ?max_len m missing in
+          let alts =
+            List.filter_map
+              (fun p ->
+                let corr' =
+                  List.fold_left
+                    (fun c (rel, alias) ->
+                      if String.equal rel alias then c
+                      else Correspondence.rename_rel c ~from:rel ~into:alias)
+                    corr p.renames
+                in
+                match Mapping.set_correspondence p.p_mapping corr' with
+                | m' ->
+                    Some { mapping = m'; description = String.concat "; " p.p_descr }
+                | exception Invalid_argument _ -> None)
+              partials
+          in
+          (* Different walk orders can build the same graph; dedupe. *)
+          let deduped =
+            List.fold_left
+              (fun acc alt ->
+                if
+                  List.exists
+                    (fun a ->
+                      Qgraph.equal a.mapping.Mapping.graph alt.mapping.Mapping.graph)
+                    acc
+                then acc
+                else acc @ [ alt ])
+              [] alts
+          in
+          let ranked =
+            Schemakb.Rank.order ~kb ~old:m.Mapping.graph
+              (List.map (fun a -> a.mapping.Mapping.graph) deduped)
+          in
+          Alternatives
+            (List.map
+               (fun g ->
+                 List.find
+                   (fun a -> Qgraph.equal a.mapping.Mapping.graph g)
+                   deduped)
+               ranked))

@@ -1,0 +1,37 @@
+(** Correspondence operators (Section 5): adding a value correspondence,
+    with the full workflow the paper describes.
+
+    Three situations arise when the user draws a new correspondence:
+
+    - its source relations are already in the query graph → the mapping is
+      simply updated (edge v1/v2 in Section 2);
+    - a source relation is missing → Clio runs data walks to propose
+      alternative ways of linking it in (edge v3: two scenarios via [mid]
+      and [fid]);
+    - the target column is already mapped by a different correspondence →
+      a {e new mapping} is required; Clio seeds it by reuse (Example 6.2),
+      and the alternatives extend that copy. *)
+
+
+type alternative = {
+  mapping : Mapping.t;  (** correspondence installed, graph extended *)
+  description : string;
+}
+
+type outcome =
+  | Updated of Mapping.t
+  | Alternatives of alternative list
+      (** one per way of linking the missing relation; ranked *)
+  | New_mapping of outcome
+      (** the target column was already mapped; payload is the outcome of
+          adding the correspondence to the reused copy *)
+
+(** [add ~kb m corr].  The correspondence's source attributes name either
+    aliases of the graph or base relations; every base relation missing
+    from the graph is linked by folding data walks over them (keeping the
+    [beam≈6] best partial linkings per step), so a correspondence like
+    [Parents.salary + Parents2.salary → FamilyIncome] can pull in several
+    relations at once.  Alternatives are deduplicated by graph and ranked.
+    [max_len] bounds each walk's length. *)
+val add :
+  kb:Schemakb.Kb.t -> ?max_len:int -> Mapping.t -> Correspondence.t -> outcome

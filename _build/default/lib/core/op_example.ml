@@ -1,0 +1,34 @@
+open Fulldisj
+
+type removal_result =
+  | Removed of Example.t list
+  | Would_break_sufficiency of Sufficiency.requirement list
+
+let alternatives_for ~universe e =
+  List.filter
+    (fun o ->
+      (not (Example.equal o e))
+      && Coverage.equal (Example.coverage o) (Example.coverage e)
+      && Bool.equal o.Example.positive e.Example.positive)
+    universe
+
+let swap ~universe ~target_cols illustration ~old_example ~replacement =
+  if not (Illustration.mem old_example illustration) then
+    invalid_arg "Op_example.swap: example not in the illustration";
+  if not (Illustration.mem replacement universe) then
+    invalid_arg "Op_example.swap: replacement not in the universe";
+  let swapped =
+    List.map
+      (fun e -> if Example.equal e old_example then replacement else e)
+      illustration
+  in
+  if Sufficiency.is_sufficient ~universe ~target_cols swapped then swapped
+  else invalid_arg "Op_example.swap: result would not be sufficient"
+
+let add illustration e =
+  if Illustration.mem e illustration then illustration else illustration @ [ e ]
+
+let remove ~universe ~target_cols illustration e =
+  let remaining = List.filter (fun o -> not (Example.equal o e)) illustration in
+  let missing = Sufficiency.missing ~universe ~target_cols remaining in
+  if missing = [] then Removed remaining else Would_break_sufficiency missing

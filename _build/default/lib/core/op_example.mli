@@ -1,0 +1,40 @@
+(** Operators on mapping examples (Section 1: "a small set of intuitive
+    operators for manipulating examples"; Section 2: the user "can view and
+    manipulate the illustrations, perhaps asking for different example
+    tuples").
+
+    These operators edit an illustration while keeping it sufficient:
+    swapping an example for an equivalent one the user knows better, adding
+    extra examples, and removing examples — refusing when removal would
+    leave some aspect of the mapping unillustrated. *)
+
+type removal_result =
+  | Removed of Example.t list
+  | Would_break_sufficiency of Sufficiency.requirement list
+
+(** Other examples in the universe with the same coverage and polarity as
+    the given one — the candidates for "show me a different tuple". *)
+val alternatives_for : universe:Example.t list -> Example.t -> Example.t list
+
+(** Replace [old_example] with [replacement] (must come from the universe).
+    Raises [Invalid_argument] if the result would not be sufficient, or if
+    [old_example] is absent. *)
+val swap :
+  universe:Example.t list ->
+  target_cols:string list ->
+  Example.t list ->
+  old_example:Example.t ->
+  replacement:Example.t ->
+  Example.t list
+
+(** Add an example (idempotent). *)
+val add : Example.t list -> Example.t -> Example.t list
+
+(** Remove an example, unless sufficiency would be lost — then report the
+    requirements only it satisfies. *)
+val remove :
+  universe:Example.t list ->
+  target_cols:string list ->
+  Example.t list ->
+  Example.t ->
+  removal_result

@@ -1,0 +1,21 @@
+(** Data-trimming operators (Section 5): modify the source and target
+    filters of a mapping without touching its query graph, and report the
+    examples that change polarity so the user can see the filter's effect. *)
+
+open Relational
+
+type change = {
+  mapping : Mapping.t;
+  became_negative : Example.t list;  (** positive under the old filters only *)
+  became_positive : Example.t list;
+}
+
+val add_source_filter : Database.t -> Mapping.t -> Predicate.t -> change
+val add_target_filter : Database.t -> Mapping.t -> Predicate.t -> change
+val remove_source_filter : Database.t -> Mapping.t -> Predicate.t -> change
+val remove_target_filter : Database.t -> Mapping.t -> Predicate.t -> change
+
+(** "Indicate that [col] is really a required field" (Section 2): adds the
+    target filter [col is not null].  The outer-join SQL generator renders
+    the corresponding join as inner. *)
+val require_target_column : Database.t -> Mapping.t -> string -> change

@@ -1,0 +1,154 @@
+open Relational
+module Qgraph = Querygraph.Qgraph
+module Kb = Schemakb.Kb
+module Rank = Schemakb.Rank
+
+type alternative = {
+  mapping : Mapping.t;
+  extension : Qgraph.t;
+  new_alias : string;
+  description : string;
+}
+
+(* A walk state: the accumulated union graph (original G plus the path built
+   so far), the path graph G' alone, the alias at the path's end, and the
+   aliases already on the path (paths are simple). *)
+let walks ~kb ~graph ~start ~goal ?(max_len = 3) () =
+  if not (Qgraph.mem_node graph start) then
+    invalid_arg ("Op_walk.walks: start node " ^ start ^ " not in graph");
+  let results = ref [] in
+  let rec extend ~union ~path ~cur ~visited ~len =
+    if len < max_len then
+      List.iter
+        (fun (pair : Kb.join_pair) ->
+          let next_base = pair.Kb.r2 in
+          (* (a) travel along an existing edge of the union graph whose label
+             matches this KB pair. *)
+          let travelled = ref false in
+          List.iter
+            (fun a ->
+              if
+                (not (List.mem a visited))
+                && String.equal (Qgraph.base_of union a) next_base
+              then
+                match Qgraph.find_edge union cur a with
+                | Some e
+                  when Kb.matches_edge pair ~alias1:cur ~alias2:a e.Qgraph.pred ->
+                    travelled := true;
+                    let path' =
+                      let p =
+                        if Qgraph.mem_node path a then path
+                        else Qgraph.add_node path ~alias:a ~base:next_base
+                      in
+                      Qgraph.add_edge p cur a e.Qgraph.pred
+                    in
+                    (* An existing node is never the walk's end (R ∉ N). *)
+                    extend ~union ~path:path' ~cur:a ~visited:(a :: visited)
+                      ~len:(len + 1)
+                | Some _ | None -> ())
+            (Qgraph.aliases union);
+          (* (b) attach a fresh node — a copy when the base already occurs.
+             Suppressed when (a) applied: duplicating an edge that is
+             already in the graph with the same label only yields a
+             semantically redundant copy. *)
+          if not !travelled then begin
+            let alias = Qgraph.fresh_alias union next_base in
+            let pred = Kb.predicate pair ~alias1:cur ~alias2:alias in
+            let union' =
+              Qgraph.add_edge (Qgraph.add_node union ~alias ~base:next_base) cur alias
+                pred
+            in
+            let path' =
+              Qgraph.add_edge (Qgraph.add_node path ~alias ~base:next_base) cur alias
+                pred
+            in
+            if String.equal next_base goal then results := (path', alias) :: !results
+            else
+              extend ~union:union' ~path:path' ~cur:alias ~visited:(alias :: visited)
+                ~len:(len + 1)
+          end)
+        (Kb.joinable kb (Qgraph.base_of union cur))
+  in
+  let path0 = Qgraph.singleton ~alias:start ~base:(Qgraph.base_of graph start) in
+  extend ~union:graph ~path:path0 ~cur:start ~visited:[ start ] ~len:0;
+  (* Deduplicate structurally equal paths (different KB pairs can induce the
+     same predicate). *)
+  let deduped =
+    List.fold_left
+      (fun acc (g, _) -> if List.exists (Qgraph.equal g) acc then acc else g :: acc)
+      []
+      (List.rev !results)
+  in
+  List.rev deduped
+
+let describe_path path start =
+  let rec follow cur visited acc =
+    match
+      Qgraph.neighbours path cur |> List.filter (fun n -> not (List.mem n visited))
+    with
+    | [] -> List.rev acc
+    | next :: _ ->
+        let e = Option.get (Qgraph.find_edge path cur next) in
+        follow next (next :: visited)
+          ((Printf.sprintf "-(%s)- %s" (Predicate.to_sql e.Qgraph.pred) next) :: acc)
+  in
+  String.concat " " (start :: follow start [ start ] [])
+
+(* The end alias of a path from [start]: the other endpoint of degree <= 1. *)
+let path_end path start =
+  match
+    Qgraph.aliases path
+    |> List.filter (fun a ->
+           (not (String.equal a start)) && List.length (Qgraph.neighbours path a) <= 1)
+  with
+  | [ e ] -> e
+  | _ :: _ as ends -> List.hd ends
+  | [] -> start
+
+let data_walk ~kb (m : Mapping.t) ~start ~goal ?max_len () =
+  let paths = walks ~kb ~graph:m.Mapping.graph ~start ~goal ?max_len () in
+  let candidates =
+    List.map (fun p -> (p, Qgraph.union m.Mapping.graph p)) paths
+  in
+  let ranked =
+    Rank.order ~kb ~old:m.Mapping.graph (List.map snd candidates)
+  in
+  List.map
+    (fun g ->
+      let path, _ =
+        List.find (fun (_, g') -> Qgraph.equal g g') candidates
+      in
+      {
+        mapping = Mapping.with_graph m g;
+        extension = path;
+        new_alias = path_end path start;
+        description = describe_path path start;
+      })
+    ranked
+
+let data_walk_any_start ~kb (m : Mapping.t) ~goal ?max_len () =
+  let all =
+    List.concat_map
+      (fun start -> data_walk ~kb m ~start ~goal ?max_len ())
+      (Qgraph.aliases m.Mapping.graph)
+  in
+  (* Different starts can induce the same final graph; keep the first. *)
+  let deduped =
+    List.fold_left
+      (fun acc alt ->
+        if
+          List.exists
+            (fun a -> Qgraph.equal a.mapping.Mapping.graph alt.mapping.Mapping.graph)
+            acc
+        then acc
+        else alt :: acc)
+      [] all
+  in
+  let ranked =
+    Rank.order ~kb ~old:m.Mapping.graph
+      (List.rev_map (fun a -> a.mapping.Mapping.graph) deduped)
+  in
+  List.map
+    (fun g ->
+      List.find (fun a -> Qgraph.equal a.mapping.Mapping.graph g) deduped)
+    ranked

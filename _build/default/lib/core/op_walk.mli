@@ -1,0 +1,47 @@
+(** The data walk operator (Section 5.1).
+
+    [walks(G, Q, R)] enumerates path query graphs G' from node Q of G to a
+    {e new} node over base relation R, following Clio's join knowledge base.
+    A step may travel along an existing edge of G (same label — the paper's
+    second condition) or attach a fresh node; when a path needs a relation
+    already in G under an incompatible join, a fresh copy (e.g. [Parents2])
+    is introduced.  G is always an induced connected subgraph of each
+    result, so existing categories keep their meaning.
+
+    [DataWalk(M, Q, R)] lifts each G' to a mapping G ∪ G' inheriting all of
+    M's correspondences and filters (Example 6.1). *)
+
+module Qgraph = Querygraph.Qgraph
+
+type alternative = {
+  mapping : Mapping.t;
+  extension : Qgraph.t;  (** the path graph G' *)
+  new_alias : string;  (** the alias created for the end relation R *)
+  description : string;  (** human-readable path, e.g. "Children -(C.mid = Parents2.ID)- Parents2" *)
+}
+
+(** Path graphs G' (each includes the start node).  [max_len] bounds the
+    number of edges (default 3).  Raises [Invalid_argument] when [start] is
+    not a node of [graph]. *)
+val walks :
+  kb:Schemakb.Kb.t ->
+  graph:Qgraph.t ->
+  start:string ->
+  goal:string ->
+  ?max_len:int ->
+  unit ->
+  Qgraph.t list
+
+(** The operator: alternatives ranked by {!Schemakb.Rank}. *)
+val data_walk :
+  kb:Schemakb.Kb.t ->
+  Mapping.t ->
+  start:string ->
+  goal:string ->
+  ?max_len:int ->
+  unit ->
+  alternative list
+
+(** Walk trying every node of the mapping's graph as the start. *)
+val data_walk_any_start :
+  kb:Schemakb.Kb.t -> Mapping.t -> goal:string -> ?max_len:int -> unit -> alternative list

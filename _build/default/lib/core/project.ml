@@ -1,0 +1,73 @@
+open Relational
+
+type t = { target : string; target_cols : string list; mappings : Mapping.t list }
+
+let create ~target ~target_cols = { target; target_cols; mappings = [] }
+let target t = t.target
+let target_cols t = t.target_cols
+
+let accept t (m : Mapping.t) =
+  if not (String.equal m.Mapping.target t.target) || m.Mapping.target_cols <> t.target_cols
+  then invalid_arg "Project.accept: mapping targets a different relation";
+  { t with mappings = t.mappings @ [ m ] }
+
+let retract t i =
+  if i < 0 || i >= List.length t.mappings then invalid_arg "Project.retract: bad index";
+  { t with mappings = List.filteri (fun j _ -> j <> i) t.mappings }
+
+let mappings t = t.mappings
+
+let materialize ?(minimal = false) db t =
+  match t.mappings with
+  | [] ->
+      Relation.make ~allow_all_null:true t.target
+        (Schema.make t.target t.target_cols)
+        []
+  | ms -> if minimal then Target.assemble_min db ms else Target.assemble db ms
+
+type column_report = {
+  column : string;
+  mapped_by : int;
+  non_null_rows : int;
+  total_rows : int;
+}
+
+let completeness ?minimal db t =
+  let result = materialize ?minimal db t in
+  let schema = Relation.schema result in
+  let total_rows = Relation.cardinality result in
+  List.map
+    (fun col ->
+      let i = Schema.index schema (Attr.make t.target col) in
+      let non_null_rows =
+        Relation.fold
+          (fun acc tup -> if Value.is_null tup.(i) then acc else acc + 1)
+          0 result
+      in
+      let mapped_by =
+        List.length
+          (List.filter
+             (fun m -> Option.is_some (Mapping.correspondence_for m col))
+             t.mappings)
+      in
+      { column = col; mapped_by; non_null_rows; total_rows })
+    t.target_cols
+
+let render_completeness reports =
+  let header = [ "column"; "mapped by"; "non-null"; "rows"; "coverage" ] in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.column;
+          string_of_int r.mapped_by;
+          string_of_int r.non_null_rows;
+          string_of_int r.total_rows;
+          (if r.total_rows = 0 then "-"
+           else
+             Printf.sprintf "%.0f%%"
+               (100. *. float_of_int r.non_null_rows /. float_of_int r.total_rows));
+        ])
+      reports
+  in
+  Render.table ~header rows

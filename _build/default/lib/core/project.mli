@@ -1,0 +1,41 @@
+(** A mapping project: all the accepted mappings populating one target
+    relation (Section 6.2 — "many mappings may need to be created to map an
+    entire target schema"), with completeness reporting.
+
+    Each mapping produces a subset of the target; the project's value is
+    the union (or minimum union) of its mappings, and the coverage report
+    tells the user which target columns are still unmapped or frequently
+    null — the "how complete is the mapping" question of Section 4.2. *)
+
+open Relational
+
+type t
+
+val create : target:string -> target_cols:string list -> t
+val target : t -> string
+val target_cols : t -> string list
+
+(** Accept a mapping into the project.  Raises [Invalid_argument] if it
+    targets a different relation or column list. *)
+val accept : t -> Mapping.t -> t
+
+(** Remove the [i]-th accepted mapping (0-based). *)
+val retract : t -> int -> t
+
+val mappings : t -> Mapping.t list
+
+(** The assembled target: distinct union of all accepted mappings'
+    results; with [minimal:true], strictly subsumed rows are removed. *)
+val materialize : ?minimal:bool -> Database.t -> t -> Relation.t
+
+type column_report = {
+  column : string;
+  mapped_by : int;  (** how many accepted mappings have a correspondence *)
+  non_null_rows : int;
+  total_rows : int;
+}
+
+(** Per-column completeness of the materialized target. *)
+val completeness : ?minimal:bool -> Database.t -> t -> column_report list
+
+val render_completeness : column_report list -> string

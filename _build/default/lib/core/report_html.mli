@@ -1,0 +1,18 @@
+(** Self-contained HTML report of a mapping — the shareable artifact of a
+    refinement session: the query graph, correspondences and filters, the
+    sufficient illustration (coverage/polarity tags as row badges), the
+    WYSIWYG target view, and the generated SQL. *)
+
+open Relational
+
+(** [page db m] — a complete HTML document.  [title] defaults to the
+    target relation's name; [short] abbreviates coverage tags; [root]
+    (default: first alias) selects the outer-join SQL root when the graph
+    is a tree — for non-tree graphs the canonical form is shown instead. *)
+val page :
+  ?title:string ->
+  ?short:(string -> string option) ->
+  ?root:string ->
+  Database.t ->
+  Mapping.t ->
+  string

@@ -1,0 +1,21 @@
+module Qgraph = Querygraph.Qgraph
+
+let prune_graph (m : Mapping.t) =
+  let needed = Mapping.referenced_aliases m in
+  let rec shrink g =
+    let removable =
+      Qgraph.aliases g
+      |> List.filter (fun a ->
+             (not (List.mem a needed))
+             && List.length (Qgraph.neighbours g a) <= 1
+             && Qgraph.node_count g > 1)
+    in
+    match removable with
+    | [] -> g
+    | a :: _ ->
+        shrink (Qgraph.induced g (List.filter (fun x -> x <> a) (Qgraph.aliases g)))
+  in
+  Mapping.with_graph m (shrink m.Mapping.graph)
+
+let derive_for (m : Mapping.t) ~target_col =
+  prune_graph (Mapping.remove_correspondence m target_col)

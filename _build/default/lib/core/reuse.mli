@@ -1,0 +1,18 @@
+(** Mapping reuse (Section 6.2): when a second way of computing a target
+    column is introduced, Clio spawns a new mapping that copies the
+    correspondences and filters for the other columns, and the query graph
+    as it was before that column was first mapped.
+
+    We do not keep mapping history, so "the graph as it was prior" is
+    recovered by pruning: the smallest induced connected subgraph still
+    supporting the remaining correspondences and source filters. *)
+
+(** Iteratively drop leaf nodes not referenced by any correspondence or
+    source filter.  The result still contains every referenced alias and
+    remains connected. *)
+val prune_graph : Mapping.t -> Mapping.t
+
+(** [derive_for m ~target_col] — the reusable base mapping for a new way of
+    computing [target_col]: [m] minus [target_col]'s correspondence, graph
+    pruned (Example 6.2). *)
+val derive_for : Mapping.t -> target_col:string -> Mapping.t

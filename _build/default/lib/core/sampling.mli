@@ -1,0 +1,37 @@
+(** Managing large data volumes (Section 6): illustrations are computed
+    over a small {e slice} of the source database instead of all of it.
+
+    A slice is a sub-database built from a random probe of each relation,
+    closed under join partners along the query graph's edges, plus one
+    {e dangling witness} per edge side (a tuple with no partner in the full
+    database), so that non-full coverage categories remain illustratable.
+    Because a slice is closed under partners, every data association of the
+    slice is a genuine data association of the full database — examples
+    never lie; rare categories may be missed, which is the documented
+    trade-off of sampling (the user can always re-sample with another
+    seed or grow [per_relation]). *)
+
+open Relational
+module Qgraph = Querygraph.Qgraph
+
+(** [slice db graph] — sub-database over the same relation names (only
+    relations appearing as node bases are reduced; others pass through).
+    [per_relation] bounds the initial probe per relation (default 20);
+    partner closure may add more tuples.  Deterministic in [seed]. *)
+val slice :
+  ?seed:int -> ?per_relation:int -> Database.t -> Qgraph.t -> Database.t
+
+(** A sufficient illustration of the mapping's examples {e over the
+    slice}.  The returned universe/illustration pair lets callers check
+    categories against expectations. *)
+val illustrate_sampled :
+  ?seed:int ->
+  ?per_relation:int ->
+  Database.t ->
+  Mapping.t ->
+  Example.t list * Example.t list
+(** (universe over the slice, sufficient illustration of it) *)
+
+(** Every association computed over the slice also holds over the full
+    database (soundness oracle used by tests). *)
+val sound : Database.t -> Mapping.t -> slice_universe:Example.t list -> bool

@@ -1,0 +1,39 @@
+open Relational
+
+type t = { projects : (string * Project.t) list; constraints : Integrity.t list }
+
+let create ?(constraints = []) () = { projects = []; constraints }
+
+let add_target t ~target ~cols =
+  if List.mem_assoc target t.projects then
+    invalid_arg ("Schema_project.add_target: duplicate target " ^ target);
+  { t with projects = t.projects @ [ (target, Project.create ~target ~target_cols:cols) ] }
+
+let targets t = List.map fst t.projects
+let project t name = List.assoc name t.projects
+
+let accept t (m : Mapping.t) =
+  let name = m.Mapping.target in
+  if not (List.mem_assoc name t.projects) then raise Not_found;
+  {
+    t with
+    projects =
+      List.map
+        (fun (n, p) -> if String.equal n name then (n, Project.accept p m) else (n, p))
+        t.projects;
+  }
+
+let materialize ?minimal db t =
+  Database.of_relations ~constraints:t.constraints
+    (List.map (fun (_, p) -> Project.materialize ?minimal db p) t.projects)
+
+let check ?minimal db t = Database.check (materialize ?minimal db t)
+
+let report ?minimal db t =
+  t.projects
+  |> List.map (fun (name, p) ->
+         Printf.sprintf "%s (%d mapping%s):\n%s" name
+           (List.length (Project.mappings p))
+           (if List.length (Project.mappings p) = 1 then "" else "s")
+           (Project.render_completeness (Project.completeness ?minimal db p)))
+  |> String.concat "\n\n"

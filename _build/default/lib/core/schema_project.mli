@@ -1,0 +1,40 @@
+(** Mapping an entire target schema (Section 6): several target relations,
+    each populated by its own set of accepted mappings, with target-schema
+    constraints (including foreign keys {e between} target relations)
+    validated on the materialized instance.
+
+    This is the top of the tool's object hierarchy:
+    {!Workspace}/{!Session} manage one mapping; {!Project} manages the
+    mappings of one target relation; a schema project manages all target
+    relations and answers "is the target instance I would produce
+    consistent and complete?". *)
+
+open Relational
+
+type t
+
+val create : ?constraints:Integrity.t list -> unit -> t
+
+(** Declare a target relation.  Raises on duplicates. *)
+val add_target : t -> target:string -> cols:string list -> t
+
+val targets : t -> string list
+
+(** The per-relation project.  Raises [Not_found]. *)
+val project : t -> string -> Project.t
+
+(** Accept a mapping into its target's project.  Raises [Not_found] if the
+    target was not declared. *)
+val accept : t -> Mapping.t -> t
+
+(** Materialize every target relation (distinct union of accepted
+    mappings; [minimal] removes subsumed rows) into a target database
+    carrying the declared constraints. *)
+val materialize : ?minimal:bool -> Database.t -> t -> Database.t
+
+(** Constraint violations of the materialized instance — including
+    cross-relation target FKs. *)
+val check : ?minimal:bool -> Database.t -> t -> Integrity.violation list
+
+(** Completeness of every target relation (see {!Project.completeness}). *)
+val report : ?minimal:bool -> Database.t -> t -> string

@@ -1,0 +1,60 @@
+(** A small scripting language for mapping sessions, so a complete
+    refinement — the Section 2 scenario, say — can be driven from a text
+    file (CLI: [clio_cli run FILE]) or replayed in tests.
+
+    One command per line; [#] starts a comment.  Commands:
+
+    {v
+    target NAME(col, col, ...)     declare the target relation
+    source REL                     start the mapping from one relation
+    corr COL = EXPR                add a value correspondence (may produce
+                                   ranked alternatives; then use pick)
+    walk START GOAL [N]            data walk (max length N, default 2)
+    chase REL.ATTR VALUE           data chase from a value
+    pick N                         choose pending alternative N (1-based)
+    sfilter PRED                   add a source filter (SQL-ish predicate)
+    tfilter PRED                   add a target filter (columns qualified
+                                   by the target name)
+    require COL                    make a target column required
+    undo                           back out the last mapping change
+    show target                    print the WYSIWYG target view
+    show illustration              print a sufficient illustration
+    show mapping                   print the mapping structure
+    show alternatives              print pending alternatives
+    show sql ROOT                  print the left-outer-join SQL
+    v}
+
+    Alternatives produced by [corr]/[walk]/[chase] stay pending until
+    [pick]; commands that need a settled mapping fail while alternatives
+    are pending. *)
+
+open Relational
+
+type outcome = {
+  log : string list;  (** output of [show] commands, in order *)
+  mapping : Mapping.t option;  (** final mapping, if settled *)
+}
+
+exception Script_error of { line : int; message : string }
+
+(** Run a script against a database and knowledge base.  Raises
+    {!Script_error} with a 1-based line number on any failure. *)
+val run : db:Database.t -> kb:Schemakb.Kb.t -> string -> outcome
+
+(** Like {!run} but captures the error instead of raising. *)
+val run_result : db:Database.t -> kb:Schemakb.Kb.t -> string -> (outcome, string) result
+
+(** Incremental execution — the engine behind [clio_cli repl]. *)
+module Interactive : sig
+  type t
+
+  val start : db:Database.t -> kb:Schemakb.Kb.t -> t
+
+  (** Execute one command line.  On success, the new state and the lines it
+      printed; on failure, the unchanged state is kept by the caller and
+      the error message returned. *)
+  val feed : t -> string -> (t * string list, string) result
+
+  (** The settled mapping so far, if any. *)
+  val mapping : t -> Mapping.t option
+end

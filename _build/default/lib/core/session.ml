@@ -1,0 +1,22 @@
+(* past holds states older than the cursor (most recent first); future holds
+   undone states (nearest first). *)
+type t = { past : Workspace.t list; now : Workspace.t; future : Workspace.t list }
+
+let start ws = { past = []; now = ws; future = [] }
+let current t = t.now
+let apply t ws = { past = t.now :: t.past; now = ws; future = [] }
+
+let undo t =
+  match t.past with
+  | [] -> t
+  | p :: rest -> { past = rest; now = p; future = t.now :: t.future }
+
+let redo t =
+  match t.future with
+  | [] -> t
+  | f :: rest -> { past = t.now :: t.past; now = f; future = rest }
+
+let can_undo t = t.past <> []
+let can_redo t = t.future <> []
+let depth t = 1 + List.length t.past + List.length t.future
+let update t f = apply t (f t.now)

@@ -1,0 +1,29 @@
+(** Undo/redo over workspace states.
+
+    Section 6.1 notes that when an operator replaces the workspaces, "the
+    old workspaces could be 'remembered' to make backing out changes more
+    efficient".  A session is exactly that memory: a linear history of
+    {!Workspace.t} snapshots with a cursor. *)
+
+type t
+
+val start : Workspace.t -> t
+
+(** The workspace at the cursor. *)
+val current : t -> Workspace.t
+
+(** Push the result of an operation; truncates any redo tail. *)
+val apply : t -> Workspace.t -> t
+
+(** Step back / forward; identity at the ends. *)
+val undo : t -> t
+
+val redo : t -> t
+val can_undo : t -> bool
+val can_redo : t -> bool
+
+(** Number of remembered states (including the current one). *)
+val depth : t -> int
+
+(** Convenience: apply a function to the current workspace and push. *)
+val update : t -> (Workspace.t -> Workspace.t) -> t

@@ -1,0 +1,166 @@
+open Relational
+open Fulldisj
+
+type requirement =
+  | Cover of Coverage.t
+  | Polarity of Coverage.t * bool
+  | Attr_null of Coverage.t * string * bool
+
+let pp_requirement ppf = function
+  | Cover c -> Format.fprintf ppf "coverage %a" Coverage.pp c
+  | Polarity (c, pos) ->
+      Format.fprintf ppf "%s example at %a" (if pos then "positive" else "negative")
+        Coverage.pp c
+  | Attr_null (c, b, null) ->
+      Format.fprintf ppf "positive example at %a with %s %s" Coverage.pp c b
+        (if null then "null" else "non-null")
+
+let target_position target_cols b =
+  let rec go i = function
+    | [] -> raise Not_found
+    | c :: rest -> if String.equal c b then i else go (i + 1) rest
+  in
+  go 0 target_cols
+
+let satisfies ~target_cols e = function
+  | Cover c -> Coverage.equal (Example.coverage e) c
+  | Polarity (c, pos) ->
+      Coverage.equal (Example.coverage e) c && Bool.equal e.Example.positive pos
+  | Attr_null (c, b, null) ->
+      Coverage.equal (Example.coverage e) c
+      && e.Example.positive
+      && Bool.equal (Value.is_null e.Example.target_tuple.(target_position target_cols b)) null
+
+let distinct_coverages universe =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun e ->
+      let key = Coverage.to_list (Example.coverage e) in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.add seen key ();
+        Some (Example.coverage e)
+      end)
+    universe
+
+let graph_requirements ~universe =
+  List.map (fun c -> Cover c) (distinct_coverages universe)
+
+let satisfiable ~target_cols universe req =
+  List.exists (fun e -> satisfies ~target_cols e req) universe
+
+let filter_requirements ~universe =
+  distinct_coverages universe
+  |> List.concat_map (fun c ->
+         List.filter
+           (satisfiable ~target_cols:[] universe)
+           [ Polarity (c, true); Polarity (c, false) ])
+
+let correspondence_requirements ~universe ~target_cols =
+  distinct_coverages universe
+  |> List.concat_map (fun c ->
+         List.concat_map
+           (fun b ->
+              List.filter
+                (satisfiable ~target_cols universe)
+                [ Attr_null (c, b, false); Attr_null (c, b, true) ])
+           target_cols)
+
+let requirements ~universe ~target_cols =
+  graph_requirements ~universe
+  @ filter_requirements ~universe
+  @ correspondence_requirements ~universe ~target_cols
+
+let missing ~universe ~target_cols illustration =
+  requirements ~universe ~target_cols
+  |> List.filter (fun req ->
+         not (List.exists (fun e -> satisfies ~target_cols e req) illustration))
+
+let check reqs ~target_cols illustration =
+  List.for_all
+    (fun req -> List.exists (fun e -> satisfies ~target_cols e req) illustration)
+    reqs
+
+let is_sufficient_graph ~universe ~target_cols illustration =
+  check (graph_requirements ~universe) ~target_cols illustration
+
+let is_sufficient_filters ~universe ~target_cols illustration =
+  check (filter_requirements ~universe) ~target_cols illustration
+
+let is_sufficient_correspondences ~universe ~target_cols illustration =
+  check (correspondence_requirements ~universe ~target_cols) ~target_cols illustration
+
+let is_sufficient ~universe ~target_cols illustration =
+  check (requirements ~universe ~target_cols) ~target_cols illustration
+
+let select_greedy ~seed ~universe ~target_cols =
+  let reqs = requirements ~universe ~target_cols in
+  let unmet =
+    List.filter
+      (fun req -> not (List.exists (fun e -> satisfies ~target_cols e req) seed))
+      reqs
+  in
+  (* Greedy set cover: repeatedly take the example satisfying the most
+     still-unmet requirements. *)
+  let rec cover chosen unmet =
+    if unmet = [] then List.rev chosen
+    else
+      let gain e = List.length (List.filter (satisfies ~target_cols e) unmet) in
+      let best =
+        List.fold_left
+          (fun acc e ->
+            let g = gain e in
+            match acc with
+            | Some (_, bg) when bg >= g -> acc
+            | _ when g = 0 -> acc
+            | _ -> Some (e, g))
+          None universe
+      in
+      match best with
+      | None ->
+          (* Unsatisfiable requirements cannot arise: they were derived from
+             the universe itself. *)
+          assert false
+      | Some (e, _) ->
+          cover (e :: chosen)
+            (List.filter (fun req -> not (satisfies ~target_cols e req)) unmet)
+  in
+  seed @ cover [] unmet
+
+let select ?(seed = []) ~universe ~target_cols () =
+  select_greedy ~seed ~universe ~target_cols
+
+(* Branch and bound over examples ordered by decreasing requirement gain.
+   At each node: if every requirement is met, record; else pick the first
+   unmet requirement and branch on each example satisfying it. *)
+let select_exact ?(max_universe = 64) ~universe ~target_cols () =
+  let greedy = select_greedy ~seed:[] ~universe ~target_cols in
+  if List.length universe > max_universe then greedy
+  else begin
+    let reqs = Array.of_list (requirements ~universe ~target_cols) in
+    let n_reqs = Array.length reqs in
+    let best = ref (Array.of_list greedy) in
+    let rec branch chosen met =
+      if List.length chosen >= Array.length !best then ()
+      else
+        match
+          (* first unmet requirement *)
+          let rec find i = if i >= n_reqs then None else if met.(i) then find (i + 1) else Some i in
+          find 0
+        with
+        | None -> best := Array.of_list (List.rev chosen)
+        | Some i ->
+            List.iter
+              (fun e ->
+                if satisfies ~target_cols e reqs.(i) then begin
+                  let newly =
+                    Array.init n_reqs (fun j ->
+                        met.(j) || satisfies ~target_cols e reqs.(j))
+                  in
+                  branch (e :: chosen) newly
+                end)
+              universe
+    in
+    branch [] (Array.make n_reqs false);
+    Array.to_list !best
+  end

@@ -1,0 +1,73 @@
+module Qgraph = Querygraph.Qgraph
+
+type suggestion = { graph : Qgraph.t; description : string }
+
+type partial = { graph_ : Qgraph.t; descr : string list }
+
+let connection_graphs ~kb ?max_len ?(beam = 6) rels =
+  match List.sort_uniq String.compare rels with
+  | [] -> invalid_arg "Suggest.connection_graphs: no relations"
+  | first :: rest ->
+      let start = Qgraph.singleton ~alias:first ~base:first in
+      let partials =
+        List.fold_left
+          (fun partials rel ->
+            List.concat_map
+              (fun p ->
+                if
+                  (* Already reachable under its own name? Then keep as is;
+                     otherwise enumerate walks to it. *)
+                  Qgraph.nodes p.graph_
+                  |> List.exists (fun n -> String.equal n.Qgraph.base rel)
+                then [ p ]
+                else
+                  let m =
+                    Mapping.make ~graph:p.graph_ ~target:"_suggest" ~target_cols:[] ()
+                  in
+                  Op_walk.data_walk_any_start ~kb m ~goal:rel ?max_len ()
+                  |> List.filteri (fun i _ -> i < beam)
+                  |> List.map (fun (w : Op_walk.alternative) ->
+                         {
+                           graph_ = w.Op_walk.mapping.Mapping.graph;
+                           descr = p.descr @ [ w.Op_walk.description ];
+                         }))
+              partials)
+          [ { graph_ = start; descr = [] } ]
+          rest
+      in
+      let deduped =
+        List.fold_left
+          (fun acc p ->
+            if List.exists (fun q -> Qgraph.equal q.graph_ p.graph_) acc then acc
+            else acc @ [ p ])
+          [] partials
+      in
+      let ranked =
+        Schemakb.Rank.order ~kb ~old:start (List.map (fun p -> p.graph_) deduped)
+      in
+      List.map
+        (fun g ->
+          let p = List.find (fun q -> Qgraph.equal q.graph_ g) deduped in
+          {
+            graph = g;
+            description =
+              (if p.descr = [] then first else String.concat "; " p.descr);
+          })
+        ranked
+
+let mappings_for ~kb ?max_len ~target ~target_cols corrs =
+  let rels = List.concat_map Correspondence.source_rels corrs in
+  connection_graphs ~kb ?max_len rels
+  |> List.filter_map (fun s ->
+         (* Correspondences reference base names; suggestions keep the
+            first occurrence under its own name, so installation succeeds
+            unless a correspondence needs a renamed copy — those
+            suggestions are skipped (the walk-based Op_correspondence
+            handles renames when adding one correspondence at a time). *)
+         match
+           List.fold_left Mapping.set_correspondence
+             (Mapping.make ~graph:s.graph ~target ~target_cols ())
+             corrs
+         with
+         | m -> Some (m, s.description)
+         | exception Invalid_argument _ -> None)

@@ -1,0 +1,40 @@
+(** Universal-relation-style mapping suggestion (Section 7): given only the
+    relations a user's correspondences mention, propose connected query
+    graphs joining them — the starting point Clio derives from value
+    correspondences alone ("much of the work on universal relations can be
+    used to suggest possible mappings").
+
+    Unlike Universal Relation systems, which must characterize when the
+    translation is well-behaved, a schema-mapping tool proposes {e all}
+    reasonable linkings and lets the user discriminate them with examples;
+    this module accordingly enumerates alternatives (ranked) rather than
+    computing one canonical answer. *)
+
+module Qgraph = Querygraph.Qgraph
+
+type suggestion = { graph : Qgraph.t; description : string }
+
+(** [connection_graphs ~kb rels] — connected query graphs over the KB
+    containing (an occurrence of) every base relation in [rels], built by
+    folding walks from the first relation; ranked by {!Schemakb.Rank}
+    relative to the single-node start.  [max_len] bounds each linking walk
+    (default 3); [beam] bounds partial states kept per step (default 6).
+    Raises [Invalid_argument] on an empty list. *)
+val connection_graphs :
+  kb:Schemakb.Kb.t ->
+  ?max_len:int ->
+  ?beam:int ->
+  string list ->
+  suggestion list
+
+(** [mappings_for ~kb ~target ~target_cols corrs] — seed mappings for a set
+    of correspondences: one suggestion per connection graph over the
+    relations the correspondences mention, with all correspondences
+    installed. *)
+val mappings_for :
+  kb:Schemakb.Kb.t ->
+  ?max_len:int ->
+  target:string ->
+  target_cols:string list ->
+  Correspondence.t list ->
+  (Mapping.t * string) list

@@ -1,0 +1,25 @@
+open Relational
+
+let check_compatible = function
+  | [] -> invalid_arg "Target.assemble: no mappings"
+  | (m : Mapping.t) :: rest ->
+      List.iter
+        (fun (m' : Mapping.t) ->
+          if
+            (not (String.equal m'.Mapping.target m.Mapping.target))
+            || m'.Mapping.target_cols <> m.Mapping.target_cols
+          then invalid_arg "Target.assemble: mappings disagree on the target relation")
+        rest;
+      m
+
+let assemble db mappings =
+  let first = check_compatible mappings in
+  let results = List.map (Mapping_eval.eval db) mappings in
+  Relation.make ~allow_all_null:true first.Mapping.target
+    (Mapping.target_schema first)
+    (List.concat_map Relation.tuples results)
+
+let assemble_min db mappings =
+  let r = assemble db mappings in
+  Relation.make ~allow_all_null:true (Relation.name r) (Relation.schema r)
+    (Fulldisj.Min_union.remove_subsumed (Relation.tuples r))

@@ -1,0 +1,15 @@
+(** Target assembly (Section 3 / 6.2): a target relation is populated by
+    the union of several mappings' results — "portions of a target relation
+    are computed by separate queries.  The results of these queries are
+    then combined". *)
+
+open Relational
+
+(** Distinct union of the mappings' results.  All mappings must target the
+    same relation with the same columns. *)
+val assemble : Database.t -> Mapping.t list -> Relation.t
+
+(** Variant that additionally removes strictly subsumed target tuples —
+    useful when complementary mappings (Example 6.1) can produce a padded
+    and an extended version of the same kid. *)
+val assemble_min : Database.t -> Mapping.t list -> Relation.t

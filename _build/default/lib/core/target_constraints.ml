@@ -1,0 +1,23 @@
+open Relational
+
+let filters_of constraints ~target =
+  List.concat_map
+    (fun c ->
+      match c with
+      | Integrity.Not_null (rel, col) when String.equal rel target ->
+          [ Predicate.Is_not_null (Expr.col target col) ]
+      | Integrity.Primary_key (rel, cols) when String.equal rel target ->
+          List.map (fun col -> Predicate.Is_not_null (Expr.col target col)) cols
+      | Integrity.Not_null _ | Integrity.Primary_key _ | Integrity.Foreign_key _ -> [])
+    constraints
+  |> List.fold_left
+       (fun acc p -> if List.exists (Predicate.equal p) acc then acc else acc @ [ p ])
+       []
+
+let apply constraints (m : Mapping.t) =
+  filters_of constraints ~target:m.Mapping.target
+  |> List.fold_left
+       (fun m p ->
+         if List.exists (Predicate.equal p) m.Mapping.target_filters then m
+         else Mapping.add_target_filter m p)
+       m

@@ -1,0 +1,20 @@
+(** Deriving data-trimming filters from target-schema constraints.
+
+    Section 2: "Clio also uses target constraints (provided as part of the
+    schema or input by the user) as part of mapping creation.  For example,
+    a target constraint may indicate that every Kid tuple must have an ID
+    value.  From this constraint, Clio would know not to include SBPS or
+    Parent values in the target if they are not associated with a Child
+    tuple."  This module turns declared constraints on the target relation
+    into the corresponding C_T predicates. *)
+
+open Relational
+
+(** Predicates induced on the target relation: not-null columns and primary
+    key columns become [is not null] filters; constraints on other
+    relations are ignored. *)
+val filters_of : Integrity.t list -> target:string -> Predicate.t list
+
+(** Add every induced filter to the mapping's C_T (skipping ones already
+    present). *)
+val apply : Integrity.t list -> Mapping.t -> Mapping.t

@@ -1,0 +1,60 @@
+(** Clio's mapping framework (Section 6.1): a set of workspaces, each
+    holding one alternative mapping with its illustration; one workspace is
+    active; the target view always shows what the active mapping would
+    produce (WYSIWYG).
+
+    When an operator yields several alternative mappings, {!offer} replaces
+    the current workspaces with the alternatives (illustrations evolved
+    continuously from the active one) and activates the first (the
+    highest-ranked).  The user can {!rotate}, {!select}, {!delete}
+    alternatives, or {!confirm} the active one, discarding the others. *)
+
+open Relational
+
+type entry = {
+  id : int;
+  mapping : Mapping.t;
+  illustration : Illustration.t;
+  label : string;
+}
+
+type t
+
+val create : db:Database.t -> kb:Schemakb.Kb.t -> ?label:string -> Mapping.t -> t
+val db : t -> Database.t
+val kb : t -> Schemakb.Kb.t
+val entries : t -> entry list
+val active : t -> entry
+
+(** The WYSIWYG target viewer: the active mapping's positive tuples. *)
+val target_view : t -> Relation.t
+
+(** Replace workspaces with alternatives; each gets a continuously evolved
+    illustration.  [labels] pair with mappings positionally. *)
+val offer : t -> ?labels:string list -> Mapping.t list -> t
+
+val rotate : t -> t
+
+(** Raises [Not_found] for unknown ids. *)
+val select : t -> int -> t
+
+(** Deleting the active entry activates the next remaining one; deleting
+    the last entry raises [Invalid_argument]. *)
+val delete : t -> int -> t
+
+(** Keep only the active workspace. *)
+val confirm : t -> t
+
+(** Replace the active mapping in place (e.g. after a trim operator),
+    evolving its illustration. *)
+val update_active : t -> ?label:string -> Mapping.t -> t
+
+(** Text dashboard: every workspace with its label and graph (the active
+    one marked), the active illustration, and the target view — the
+    textual counterpart of the Clio screen described in Section 6.1. *)
+val render : ?short:(string -> string option) -> t -> string
+
+(** What tells two workspaces apart, per tuple of a shared node (see
+    {!Differentiate.distinguishing}).  Raises [Not_found] on unknown ids;
+    [Invalid_argument] when the entries disagree on the target schema. *)
+val compare_entries : t -> rel:string -> int -> int -> Differentiate.contrast list

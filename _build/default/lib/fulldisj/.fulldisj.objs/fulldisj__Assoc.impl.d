@@ -1,0 +1,1 @@
+lib/fulldisj/assoc.ml: Array Coverage Format List Relational Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/fulldisj/assoc.mli: Coverage Format Relational Schema Tuple

@@ -1,0 +1,1 @@
+lib/fulldisj/coverage.ml: Format List Set String

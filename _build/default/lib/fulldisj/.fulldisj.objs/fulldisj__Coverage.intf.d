@@ -1,0 +1,1 @@
+lib/fulldisj/coverage.mli: Format

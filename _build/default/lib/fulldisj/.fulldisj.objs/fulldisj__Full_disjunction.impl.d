@@ -1,0 +1,1 @@
+lib/fulldisj/full_disjunction.ml: Algebra Array Assoc Coverage Database Hashtbl Join_eval List Min_union Querygraph Relation Relational Schema Tuple Value

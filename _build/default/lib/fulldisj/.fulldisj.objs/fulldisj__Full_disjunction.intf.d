@@ -1,0 +1,1 @@
+lib/fulldisj/full_disjunction.mli: Assoc Coverage Database Querygraph Relation Relational Schema

@@ -1,0 +1,1 @@
+lib/fulldisj/join_eval.ml: Algebra Array List Option Predicate Querygraph Relation Relational Schema Tuple

@@ -1,0 +1,1 @@
+lib/fulldisj/join_eval.mli: Querygraph Relation Relational Schema

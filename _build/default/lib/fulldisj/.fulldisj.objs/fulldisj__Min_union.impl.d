@@ -1,0 +1,1 @@
+lib/fulldisj/min_union.ml: Algebra Array Hashtbl List Option Relation Relational Tuple Value

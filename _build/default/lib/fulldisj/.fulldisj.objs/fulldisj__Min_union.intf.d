@@ -1,0 +1,1 @@
+lib/fulldisj/min_union.mli: Relation Relational Tuple

@@ -1,0 +1,1 @@
+lib/fulldisj/outerjoin_plan.ml: Algebra Assoc Full_disjunction Join_eval List Min_union Option Predicate Querygraph Relation Relational Schema

@@ -1,0 +1,1 @@
+lib/fulldisj/outerjoin_plan.mli: Full_disjunction Querygraph Relation Relational

@@ -1,0 +1,1 @@
+lib/fulldisj/plan.ml: Full_disjunction List Outerjoin_plan Printf Querygraph Relation Relational String

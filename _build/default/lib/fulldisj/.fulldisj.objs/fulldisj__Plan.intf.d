@@ -1,0 +1,1 @@
+lib/fulldisj/plan.mli: Full_disjunction Querygraph Relation Relational

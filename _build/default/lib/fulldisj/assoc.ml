@@ -1,0 +1,28 @@
+open Relational
+
+type t = { tuple : Tuple.t; coverage : Coverage.t }
+
+let make tuple coverage = { tuple; coverage }
+
+let equal a b = Tuple.equal a.tuple b.tuple && Coverage.equal a.coverage b.coverage
+
+let coverage_of_tuple node_positions tuple =
+  List.filter_map
+    (fun (alias, positions) ->
+      if List.exists (fun i -> not (Value.is_null tuple.(i))) positions then Some alias
+      else None)
+    node_positions
+  |> Coverage.of_list
+
+let covered_positions node_positions t =
+  List.concat_map
+    (fun (alias, positions) ->
+      if Coverage.mem alias t.coverage then positions else [])
+    node_positions
+
+let project_alias scheme t alias =
+  Tuple.project t.tuple (Schema.positions_of_rel scheme alias)
+
+let pp scheme ppf t =
+  Format.fprintf ppf "[%a] %a" Coverage.pp t.coverage Tuple.pp t.tuple;
+  ignore scheme

@@ -1,0 +1,24 @@
+(** Data associations: tuples over a query graph's combined scheme, tagged
+    with their coverage (Definitions 3.5–3.6). *)
+
+open Relational
+
+type t = { tuple : Tuple.t; coverage : Coverage.t }
+
+val make : Tuple.t -> Coverage.t -> t
+val equal : t -> t -> bool
+
+(** [coverage_of_tuple scheme node_positions tuple] — infer coverage from
+    the null pattern: a node participates iff at least one of its columns is
+    non-null.  Sound because source relations contain no all-null tuples.
+    [node_positions] maps each alias to its column positions in [scheme]. *)
+val coverage_of_tuple : (string * int list) list -> Tuple.t -> Coverage.t
+
+(** Positions (in the full scheme) covered by the association's coverage. *)
+val covered_positions : (string * int list) list -> t -> int list
+
+(** [project_alias full_scheme assoc alias] — the source tuple contributed
+    by one node (all of that node's columns). *)
+val project_alias : Schema.t -> t -> string -> Tuple.t
+
+val pp : Schema.t -> Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+(** Coverage of a data association (Definition 3.6): the set of query-graph
+    nodes whose tuples participate in the association. *)
+
+type t
+
+val of_list : string list -> t
+val to_list : t -> string list
+val singleton : string -> t
+val mem : string -> t -> bool
+val subset : t -> t -> bool
+val strict_superset : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val cardinal : t -> int
+
+(** Human-readable tag.  [short] maps an alias to its abbreviation (the
+    paper tags rows "CPPhS"); defaults to the alias' first letter sequence
+    fallback of the full name. Unmapped aliases print in full. *)
+val label : ?short:(string -> string option) -> t -> string
+
+val pp : Format.formatter -> t -> unit

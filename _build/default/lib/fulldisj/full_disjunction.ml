@@ -1,0 +1,146 @@
+open Relational
+module Qgraph = Querygraph.Qgraph
+module Subgraphs = Querygraph.Subgraphs
+
+type result = {
+  scheme : Schema.t;
+  node_positions : (string * int list) list;
+  associations : Assoc.t list;
+}
+
+let node_positions_of scheme g =
+  List.map (fun a -> (a, Schema.positions_of_rel scheme a)) (Qgraph.aliases g)
+
+(* Every F(J) padded to the full scheme and tagged with coverage J. *)
+let padded_categories ~lookup g =
+  let scheme = Qgraph.scheme ~lookup g in
+  let subsets = Subgraphs.connected_node_sets g in
+  let per_category =
+    List.map
+      (fun aliases ->
+        let j = Qgraph.induced g aliases in
+        let fj = Join_eval.full_associations ~lookup j in
+        let padded = Algebra.pad fj scheme in
+        (Coverage.of_list aliases, Relation.tuples padded))
+      subsets
+  in
+  (scheme, per_category)
+
+let possible_associations ~lookup g =
+  let scheme, per_category = padded_categories ~lookup g in
+  let associations =
+    List.concat_map
+      (fun (cov, tuples) -> List.map (fun t -> Assoc.make t cov) tuples)
+      per_category
+  in
+  { scheme; node_positions = node_positions_of scheme g; associations }
+
+(* Dedup equal tuples across categories, keeping the larger coverage (an
+   equal tuple's smaller-coverage tag is subsumption-redundant). *)
+let dedup_assocs assocs =
+  let table = Hashtbl.create 256 in
+  List.iter
+    (fun (a : Assoc.t) ->
+      let key = Tuple.hash a.tuple in
+      let bucket = Hashtbl.find_all table key in
+      match
+        List.find_opt (fun (b : Assoc.t) -> Tuple.equal b.tuple a.tuple) bucket
+      with
+      | Some b ->
+          if Coverage.cardinal a.coverage > Coverage.cardinal b.coverage then begin
+            let bucket' =
+              a :: List.filter (fun (c : Assoc.t) -> not (Tuple.equal c.tuple a.tuple)) bucket
+            in
+            (* Rebuild the bucket list for this key. *)
+            while Hashtbl.mem table key do
+              Hashtbl.remove table key
+            done;
+            List.iter (fun c -> Hashtbl.add table key c) bucket'
+          end
+      | None -> Hashtbl.add table key a)
+    assocs;
+  Hashtbl.fold (fun _ a acc -> a :: acc) table []
+
+let naive ~lookup g =
+  let { scheme; node_positions; associations } = possible_associations ~lookup g in
+  let deduped = dedup_assocs associations in
+  let tuples = List.map (fun (a : Assoc.t) -> a.tuple) deduped in
+  let kept = Min_union.remove_subsumed_naive tuples in
+  let keep_set = Hashtbl.create (List.length kept) in
+  List.iter (fun t -> Hashtbl.replace keep_set (Tuple.hash t) t) kept;
+  let associations =
+    List.filter
+      (fun (a : Assoc.t) ->
+        Hashtbl.find_all keep_set (Tuple.hash a.tuple)
+        |> List.exists (Tuple.equal a.tuple))
+      deduped
+  in
+  { scheme; node_positions; associations }
+
+(* Indexed subsumption removal: a subsumer of [t] must agree with [t] on
+   every non-null column of [t], so probing the per-column value index at
+   [t]'s most selective non-null column yields a small, complete candidate
+   set.  Strict subsumption is transitive, so checking against all
+   associations (not just kept ones) is equivalent to checking against the
+   maximal ones. *)
+let compute ~lookup g =
+  let scheme, per_category = padded_categories ~lookup g in
+  let node_positions = node_positions_of scheme g in
+  let assocs =
+    List.concat_map
+      (fun (cov, tuples) -> List.map (fun t -> Assoc.make t cov) tuples)
+      per_category
+  in
+  let deduped = dedup_assocs assocs in
+  (* Global indexed removal: correctness does not depend on ordering; the
+     index makes candidate sets small. *)
+  let arr = Array.of_list deduped in
+  let arity = Schema.arity scheme in
+  let index = Array.init arity (fun _ -> Hashtbl.create 64) in
+  Array.iteri
+    (fun id (a : Assoc.t) ->
+      for p = 0 to arity - 1 do
+        if not (Value.is_null a.tuple.(p)) then Hashtbl.add index.(p) a.tuple.(p) id
+      done)
+    arr;
+  let subsumed id (a : Assoc.t) =
+    let t = a.tuple in
+    let best = ref (-1) and best_count = ref max_int in
+    for p = 0 to arity - 1 do
+      if not (Value.is_null t.(p)) then begin
+        let c = List.length (Hashtbl.find_all index.(p) t.(p)) in
+        if c < !best_count then begin
+          best := p;
+          best_count := c
+        end
+      end
+    done;
+    if !best < 0 then Array.length arr > 1
+    else
+      Hashtbl.find_all index.(!best) t.(!best)
+      |> List.exists (fun oid ->
+             oid <> id && Tuple.strictly_subsumes arr.(oid).Assoc.tuple t)
+  in
+  let associations =
+    Array.to_list arr |> List.filteri (fun id a -> not (subsumed id a))
+  in
+  { scheme; node_positions; associations }
+
+let naive_db db g = naive ~lookup:(Database.find db) g
+let compute_db db g = compute ~lookup:(Database.find db) g
+
+let to_relation ?(name = "D(G)") r =
+  Relation.make ~allow_all_null:true name r.scheme
+    (List.map (fun (a : Assoc.t) -> a.Assoc.tuple) r.associations)
+
+let categories r =
+  let groups = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (a : Assoc.t) ->
+      let key = Coverage.to_list a.coverage in
+      if not (Hashtbl.mem groups key) then order := (key, a.coverage) :: !order;
+      Hashtbl.add groups key a)
+    r.associations;
+  List.rev !order
+  |> List.map (fun (key, cov) -> (cov, List.rev (Hashtbl.find_all groups key)))

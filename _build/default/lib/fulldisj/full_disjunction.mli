@@ -1,0 +1,41 @@
+(** The set of data associations D(G) (Definition 3.11) — Galindo-Legaria's
+    {e full disjunction} of the query graph.
+
+    D(G) = F(J1) ⊕ ... ⊕ F(Jn) over all induced connected subgraphs Ji of G.
+    Three algorithms are provided (bench [B2] compares them):
+
+    - {!naive}: materializes every F(Ji), pads, then removes strictly
+      subsumed tuples globally.
+    - {!compute}: processes categories largest-first and keeps an
+      association only if no already-kept association subsumes it, probing a
+      per-column index (sound for arbitrary source nulls).
+    - {!Outerjoin_plan} (separate module): a cascade of full outer joins,
+      valid for tree-shaped graphs. *)
+
+open Relational
+module Qgraph = Querygraph.Qgraph
+
+type result = {
+  scheme : Schema.t;  (** combined scheme of G, sorted alias order *)
+  node_positions : (string * int list) list;  (** alias → column positions *)
+  associations : Assoc.t list;
+}
+
+val naive : lookup:(string -> Relation.t option) -> Qgraph.t -> result
+val compute : lookup:(string -> Relation.t option) -> Qgraph.t -> result
+
+(** Convenience wrappers resolving relations in a database. *)
+val naive_db : Database.t -> Qgraph.t -> result
+
+val compute_db : Database.t -> Qgraph.t -> result
+
+(** D(G) as a relation (coverage dropped). *)
+val to_relation : ?name:string -> result -> Relation.t
+
+(** Associations partitioned by coverage — the {e categories} of Section 4.2.
+    Only non-empty categories appear. *)
+val categories : result -> (Coverage.t * Assoc.t list) list
+
+(** The possible data associations S(G) (Definition 3.6): every F(J) padded,
+    {e without} subsumption removal.  Exposed for tests/oracles. *)
+val possible_associations : lookup:(string -> Relation.t option) -> Qgraph.t -> result

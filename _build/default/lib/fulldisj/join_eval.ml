@@ -1,0 +1,54 @@
+open Relational
+module Qgraph = Querygraph.Qgraph
+
+let reorder r target =
+  let src = Relation.schema r in
+  if Schema.arity src <> Schema.arity target then
+    invalid_arg "Join_eval.reorder: arity mismatch";
+  let positions =
+    Array.to_list (Schema.attrs target) |> List.map (Schema.index src)
+  in
+  Relation.make ~allow_all_null:true (Relation.name r) target
+    (List.map (fun t -> Tuple.project t positions) (Relation.tuples r))
+
+(* BFS order from the lexicographically first alias; each step joins the next
+   node in, with the conjunction of all edges linking it to nodes already
+   present. *)
+let join_order g =
+  match Qgraph.aliases g with
+  | [] -> []
+  | start :: _ ->
+      let rec bfs visited queue acc =
+        match queue with
+        | [] -> List.rev acc
+        | a :: rest ->
+            if List.mem a visited then bfs visited rest acc
+            else
+              let next =
+                Qgraph.neighbours g a |> List.filter (fun n -> not (List.mem n visited))
+              in
+              bfs (a :: visited) (rest @ next) (a :: acc)
+      in
+      bfs [] [ start ] []
+
+let full_associations ~lookup g =
+  if Qgraph.node_count g = 0 then invalid_arg "Join_eval.full_associations: empty graph";
+  if not (Qgraph.is_connected g) then
+    invalid_arg "Join_eval.full_associations: graph not connected";
+  match join_order g with
+  | [] -> assert false
+  | first :: rest ->
+      let acc = ref (Qgraph.node_relation ~lookup g first) in
+      let present = ref [ first ] in
+      List.iter
+        (fun alias ->
+          let next_rel = Qgraph.node_relation ~lookup g alias in
+          let preds =
+            List.filter_map
+              (fun p -> Qgraph.find_edge g alias p |> Option.map (fun e -> e.Qgraph.pred))
+              !present
+          in
+          acc := Algebra.join (Predicate.conj preds) !acc next_rel;
+          present := alias :: !present)
+        rest;
+      reorder !acc (Qgraph.scheme ~lookup g)

@@ -1,0 +1,19 @@
+(** Evaluation of full data associations F(J) (Definition 3.5).
+
+    F(J) = σ_P(R1 × ... × Rn) with P the conjunction of edge predicates —
+    computed here as a sequence of (hash) joins along a traversal of the
+    graph, applying each edge predicate as soon as both endpoints are
+    present.  Works for cyclic graphs too (extra edges become filters). *)
+
+open Relational
+
+(** [full_associations ~lookup j] — F(J) for a connected query graph [j].
+    The result's schema is the graph's {!Qgraph.scheme} (sorted alias
+    order), independent of join order.  Raises [Invalid_argument] when [j]
+    is empty or not connected. *)
+val full_associations :
+  lookup:(string -> Relation.t option) -> Querygraph.Qgraph.t -> Relation.t
+
+(** Reorder a relation's columns to match a target schema containing
+    exactly the same attributes. *)
+val reorder : Relation.t -> Schema.t -> Relation.t

@@ -1,0 +1,99 @@
+open Relational
+
+let remove_subsumed_naive tuples =
+  let arr = Array.of_list tuples in
+  Array.to_list arr
+  |> List.filteri (fun i t ->
+         not
+           (Array.exists
+              (fun other -> (not (other == arr.(i))) && Tuple.strictly_subsumes other t)
+              arr))
+
+(* Per-column index: column position -> value -> tuple indices having that
+   value there.  A subsumer of [t] must carry t's exact value at every
+   non-null position of [t], so probing one such column yields a complete
+   candidate set; [selective] picks the smallest bucket instead of the first
+   non-null column. *)
+let remove_subsumed_indexed ~selective tuples =
+  match tuples with
+  | [] -> []
+  | first :: _ ->
+      let arity = Tuple.arity first in
+      let arr = Array.of_list tuples in
+      let index = Array.init arity (fun _ -> Hashtbl.create 64) in
+      (* Bucket sizes kept separately: probing selectivity must not pay to
+         materialize the bucket it is sizing up. *)
+      let counts = Array.init arity (fun _ -> Hashtbl.create 64) in
+      Array.iteri
+        (fun id t ->
+          for p = 0 to arity - 1 do
+            if not (Value.is_null t.(p)) then begin
+              Hashtbl.add index.(p) t.(p) id;
+              Hashtbl.replace counts.(p) t.(p)
+                (1 + Option.value (Hashtbl.find_opt counts.(p) t.(p)) ~default:0)
+            end
+          done)
+        arr;
+      let probe_position t =
+        if selective then begin
+          let best = ref (-1) and best_count = ref max_int in
+          for p = 0 to arity - 1 do
+            if not (Value.is_null t.(p)) then begin
+              let c = Option.value (Hashtbl.find_opt counts.(p) t.(p)) ~default:0 in
+              if c < !best_count then begin
+                best := p;
+                best_count := c
+              end
+            end
+          done;
+          !best
+        end
+        else
+          let rec first_non_null p =
+            if p >= arity then -1
+            else if Value.is_null t.(p) then first_non_null (p + 1)
+            else p
+          in
+          first_non_null 0
+      in
+      let subsumed id t =
+        match probe_position t with
+        | -1 ->
+            (* All-null tuple: strictly subsumed by any other tuple. *)
+            Array.length arr > 1
+        | p ->
+            Hashtbl.find_all index.(p) t.(p)
+            |> List.exists (fun oid -> oid <> id && Tuple.strictly_subsumes arr.(oid) t)
+      in
+      Array.to_list arr |> List.filteri (fun id t -> not (subsumed id t))
+
+let remove_subsumed tuples = remove_subsumed_indexed ~selective:true tuples
+let remove_subsumed_first_probe tuples = remove_subsumed_indexed ~selective:false tuples
+
+let min_union r1 r2 =
+  let ou = Algebra.outer_union r1 r2 in
+  Relation.make ~allow_all_null:true (Relation.name ou) (Relation.schema ou)
+    (remove_subsumed (Relation.tuples ou))
+
+let min_union_all = function
+  | [] -> None
+  | [ r ] ->
+      Some
+        (Relation.make ~allow_all_null:true (Relation.name r) (Relation.schema r)
+           (remove_subsumed (Relation.tuples r)))
+  | r :: rest ->
+      let merged = List.fold_left Algebra.outer_union r rest in
+      Some
+        (Relation.make ~allow_all_null:true (Relation.name merged)
+           (Relation.schema merged)
+           (remove_subsumed (Relation.tuples merged)))
+
+let is_minimal tuples =
+  let arr = Array.of_list tuples in
+  not
+    (Array.exists
+       (fun t ->
+         Array.exists
+           (fun other -> (not (other == t)) && Tuple.strictly_subsumes other t)
+           arr)
+       arr)

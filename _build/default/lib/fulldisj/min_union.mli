@@ -1,0 +1,33 @@
+(** Subsumption and the minimum union operator ⊕ (Definitions 3.8–3.9).
+
+    Two implementations of subsumed-tuple removal are provided: the naive
+    quadratic scan and a per-column hash-indexed variant; bench [B1]
+    compares them.  Both require input deduplicated to set semantics (every
+    caller here goes through {!Relational.Relation.make}, which dedups). *)
+
+open Relational
+
+(** [remove_subsumed_naive tuples] — keep tuples not strictly subsumed by
+    any other, via pairwise scan.  O(n² · arity). *)
+val remove_subsumed_naive : Tuple.t list -> Tuple.t list
+
+(** Indexed variant: candidates that could subsume [t] are found through a
+    per-column value index (a subsumer must agree with [t] on each of [t]'s
+    non-null columns), probing [t]'s most selective non-null column. *)
+val remove_subsumed : Tuple.t list -> Tuple.t list
+
+(** Ablation of {!remove_subsumed}: probes the {e first} non-null column
+    instead of the most selective one.  Same result, used by bench B1 to
+    measure the value of selectivity-aware probing. *)
+val remove_subsumed_first_probe : Tuple.t list -> Tuple.t list
+
+(** Minimum union of two relations: outer union with strictly subsumed
+    tuples removed. *)
+val min_union : Relation.t -> Relation.t -> Relation.t
+
+(** N-ary minimum union over a common schema (relations are padded to the
+    merged schema first, as in D(G) = F(J1) ⊕ ... ⊕ F(Jn)). *)
+val min_union_all : Relation.t list -> Relation.t option
+
+(** [is_minimal tuples] — no tuple strictly subsumes another (test oracle). *)
+val is_minimal : Tuple.t list -> bool

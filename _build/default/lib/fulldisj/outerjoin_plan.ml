@@ -1,0 +1,77 @@
+open Relational
+module Qgraph = Querygraph.Qgraph
+
+let is_tree g =
+  Qgraph.node_count g > 0
+  && Qgraph.is_connected g
+  && Qgraph.edge_count g = Qgraph.node_count g - 1
+
+(* BFS order rooted at [root]; each node after the root is joined through
+   its unique tree edge to the already-present part. *)
+let bfs_order g root =
+  let rec bfs visited queue acc =
+    match queue with
+    | [] -> List.rev acc
+    | a :: rest ->
+        if List.mem a visited then bfs visited rest acc
+        else
+          let next =
+            Qgraph.neighbours g a |> List.filter (fun n -> not (List.mem n visited))
+          in
+          bfs (a :: visited) (rest @ next) (a :: acc)
+  in
+  bfs [] [ root ] []
+
+let cascade ~lookup ~join g root =
+  let order = bfs_order g root in
+  match order with
+  | [] -> invalid_arg "Outerjoin_plan: empty graph"
+  | first :: rest ->
+      let acc = ref (Qgraph.node_relation ~lookup g first) in
+      let present = ref [ first ] in
+      List.iter
+        (fun alias ->
+          let next_rel = Qgraph.node_relation ~lookup g alias in
+          let preds =
+            List.filter_map
+              (fun p -> Qgraph.find_edge g alias p |> Option.map (fun e -> e.Qgraph.pred))
+              !present
+          in
+          acc := join (Predicate.conj preds) !acc next_rel;
+          present := alias :: !present)
+        rest;
+      Join_eval.reorder !acc (Qgraph.scheme ~lookup g)
+
+let tag_result ~lookup g rel =
+  let scheme = Qgraph.scheme ~lookup g in
+  let node_positions =
+    List.map (fun a -> (a, Schema.positions_of_rel scheme a)) (Qgraph.aliases g)
+  in
+  let associations =
+    Relation.tuples rel
+    |> List.map (fun t -> Assoc.make t (Assoc.coverage_of_tuple node_positions t))
+  in
+  { Full_disjunction.scheme; node_positions; associations }
+
+let full_disjunction ~lookup g =
+  if not (is_tree g) then invalid_arg "Outerjoin_plan.full_disjunction: not a tree";
+  let root = List.hd (Qgraph.aliases g) in
+  let fused = cascade ~lookup ~join:Algebra.full_outer_join g root in
+  (* Safety net: the cascade can only miss subsumption across branches. *)
+  let minimal =
+    Relation.make ~allow_all_null:true "D(G)" (Relation.schema fused)
+      (Min_union.remove_subsumed (Relation.tuples fused))
+  in
+  tag_result ~lookup g minimal
+
+let full_disjunction_no_sweep ~lookup g =
+  if not (is_tree g) then
+    invalid_arg "Outerjoin_plan.full_disjunction_no_sweep: not a tree";
+  let root = List.hd (Qgraph.aliases g) in
+  tag_result ~lookup g (cascade ~lookup ~join:Algebra.full_outer_join g root)
+
+let rooted ~lookup ~root g =
+  if not (is_tree g) then invalid_arg "Outerjoin_plan.rooted: not a tree";
+  if not (Qgraph.mem_node g root) then invalid_arg ("Outerjoin_plan.rooted: " ^ root);
+  let rel = cascade ~lookup ~join:Algebra.left_outer_join g root in
+  tag_result ~lookup g rel

@@ -1,0 +1,38 @@
+(** Outer-join evaluation of D(G) for tree-shaped query graphs.
+
+    Galindo-Legaria showed that full disjunctions of γ-acyclic join queries
+    can be computed by sequences of outer joins; binary-edge tree graphs
+    qualify.  We cascade full outer joins in BFS order (each new node
+    attaches to an already-present node) and finish with an indexed
+    subsumption sweep as a safety net — property tests check equality with
+    the naive algorithm on random trees.
+
+    Also provides the {e left}-outer-join plan rooted at a required
+    relation, which is how the paper's Section 2 SQL (all kids, optional
+    parent/phone/bus data) arises: rooting at [Children] and left-joining
+    outward computes exactly the data associations that cover the root. *)
+
+open Relational
+module Qgraph = Querygraph.Qgraph
+
+val is_tree : Qgraph.t -> bool
+
+(** D(G) by full-outer-join cascade. Raises [Invalid_argument] if [g] is
+    not a tree. *)
+val full_disjunction :
+  lookup:(string -> Relation.t option) -> Qgraph.t -> Full_disjunction.result
+
+(** Ablation: the raw cascade without the final subsumption sweep — bench
+    B2 measures the sweep's cost.  On path graphs this equals
+    {!full_disjunction}; on branching trees it may retain subsumed rows. *)
+val full_disjunction_no_sweep :
+  lookup:(string -> Relation.t option) -> Qgraph.t -> Full_disjunction.result
+
+(** Associations covering [root], by left-outer-join cascade from [root].
+    Equals the subset of D(G) whose coverage contains [root] (tested).
+    Raises [Invalid_argument] if [g] is not a tree. *)
+val rooted :
+  lookup:(string -> Relation.t option) ->
+  root:string ->
+  Qgraph.t ->
+  Full_disjunction.result

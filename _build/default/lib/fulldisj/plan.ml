@@ -1,0 +1,73 @@
+open Relational
+module Qgraph = Querygraph.Qgraph
+module Subgraphs = Querygraph.Subgraphs
+
+type algorithm_choice = Outerjoin_cascade | Indexed_categories
+
+type t = {
+  algorithm : algorithm_choice;
+  nodes : int;
+  edges : int;
+  categories : int;
+  join_order : string list;
+  estimated_base_rows : (string * int) list;
+}
+
+let bfs_order g =
+  match Qgraph.aliases g with
+  | [] -> []
+  | start :: _ ->
+      let rec bfs visited queue acc =
+        match queue with
+        | [] -> List.rev acc
+        | a :: rest ->
+            if List.mem a visited then bfs visited rest acc
+            else
+              let next =
+                Qgraph.neighbours g a |> List.filter (fun n -> not (List.mem n visited))
+              in
+              bfs (a :: visited) (rest @ next) (a :: acc)
+      in
+      bfs [] [ start ] []
+
+let analyze ~lookup g =
+  {
+    algorithm =
+      (if Outerjoin_plan.is_tree g then Outerjoin_cascade else Indexed_categories);
+    nodes = Qgraph.node_count g;
+    edges = Qgraph.edge_count g;
+    categories = Subgraphs.count g;
+    join_order = bfs_order g;
+    estimated_base_rows =
+      List.map
+        (fun n ->
+          ( n.Qgraph.alias,
+            match lookup n.Qgraph.base with
+            | Some r -> Relation.cardinality r
+            | None -> -1 ))
+        (Qgraph.nodes g);
+  }
+
+let execute ~lookup g =
+  if Outerjoin_plan.is_tree g then Outerjoin_plan.full_disjunction ~lookup g
+  else Full_disjunction.compute ~lookup g
+
+let render p =
+  let algo =
+    match p.algorithm with
+    | Outerjoin_cascade -> "full-outer-join cascade (tree graph) + subsumption sweep"
+    | Indexed_categories -> "per-category joins + indexed minimum union"
+  in
+  String.concat "\n"
+    ([
+       Printf.sprintf "D(G) plan: %s" algo;
+       Printf.sprintf "  graph: %d nodes, %d edges; %d coverage categories" p.nodes
+         p.edges p.categories;
+       Printf.sprintf "  join order: %s" (String.concat " -> " p.join_order);
+       "  base cardinalities:";
+     ]
+    @ List.map
+        (fun (alias, n) ->
+          Printf.sprintf "    %-16s %s" alias
+            (if n < 0 then "(unknown relation)" else string_of_int n))
+        p.estimated_base_rows)

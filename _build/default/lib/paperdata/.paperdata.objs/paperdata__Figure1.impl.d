@@ -1,0 +1,1 @@
+lib/paperdata/figure1.ml: Database Integrity List Relation Relational Schema Schemakb Tuple Value

@@ -1,0 +1,1 @@
+lib/paperdata/figure1.mli: Database Relation Relational Schemakb

@@ -1,0 +1,1 @@
+lib/paperdata/report.mli:

@@ -1,0 +1,1 @@
+lib/paperdata/running.ml: Attr Clio Expr Predicate Querygraph Relational Value

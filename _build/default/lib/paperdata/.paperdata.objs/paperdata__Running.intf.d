@@ -1,0 +1,1 @@
+lib/paperdata/running.mli: Clio Predicate Querygraph Relational

@@ -1,0 +1,114 @@
+open Relational
+
+let s v = Value.String v
+let i v = Value.Int v
+let nul = Value.Null
+
+let rel name cols rows =
+  Relation.make name (Schema.make name cols) (List.map Tuple.make rows)
+
+let children =
+  rel "Children"
+    [ "ID"; "name"; "age"; "mid"; "fid"; "docid" ]
+    [
+      [ s "001"; s "Joe"; i 6; s "101"; s "102"; s "d17" ];
+      [ s "002"; s "Maya"; i 5; s "103"; s "104"; s "d31" ];
+      [ s "004"; s "Ann"; i 6; s "105"; s "106"; s "d17" ];
+      [ s "009"; s "Bob"; i 8; nul; s "107"; s "d02" ];
+    ]
+
+let parents =
+  rel "Parents"
+    [ "ID"; "affiliation"; "salary"; "address" ]
+    [
+      [ s "101"; s "IBM"; i 60000; s "123 Elm St" ];
+      [ s "102"; s "UCSF"; i 75000; s "123 Elm St" ];
+      [ s "103"; s "Acta"; i 55000; s "9 Oak Ave" ];
+      [ s "104"; s "IBM"; i 80000; s "9 Oak Ave" ];
+      [ s "105"; s "UW"; i 50000; s "77 Pine Rd" ];
+      [ s "106"; s "Sun"; i 65000; s "77 Pine Rd" ];
+      [ s "107"; s "HP"; i 70000; s "5 Birch Ln" ];
+      [ s "205"; s "MIT"; i 90000; s "1 Beacon St" ];
+      [ s "206"; s "BBN"; i 40000; s "2 Cedar Ct" ];
+    ]
+
+let phone_dir =
+  rel "PhoneDir"
+    [ "ID"; "type"; "number" ]
+    [
+      [ s "101"; s "home"; s "555-0101" ];
+      [ s "102"; s "cell"; s "555-0102" ];
+      [ s "103"; s "home"; s "555-0103" ];
+      [ s "104"; s "cell"; s "555-0104" ];
+      [ s "105"; s "home"; s "555-0105" ];
+      [ s "106"; s "cell"; s "555-0106" ];
+      [ s "107"; s "home"; s "555-0107" ];
+      [ s "205"; s "office"; s "555-0205" ];
+      [ s "999"; s "fax"; s "555-0999" ];
+    ]
+
+let sbps =
+  rel "SBPS"
+    [ "ID"; "time"; "location" ]
+    [
+      [ s "001"; s "7:45am"; s "Elm & 1st" ];
+      [ s "002"; s "8:05am"; s "Oak & Main" ];
+      [ s "009"; s "8:20am"; s "Birch & 2nd" ];
+      [ s "777"; s "7:30am"; s "Depot" ];
+    ]
+
+let xmas_bar =
+  rel "XmasBar"
+    [ "sellerID"; "buyerID"; "item" ]
+    [
+      [ s "002"; s "001"; s "cookies" ];
+      [ s "004"; s "002"; s "candles" ];
+    ]
+
+(* Only children without a bus pickup have class-schedule rows (Example 6.2
+   computes ArrivalTime from SBPS when the child takes a bus, else from
+   ClassSched) — and keeping the bus kids out preserves the Figure 5 claim
+   that 002 occurs only in SBPS (×1) and XmasBar (×2) outside Children. *)
+let class_sched =
+  rel "ClassSched"
+    [ "ID"; "lastClassEnd" ]
+    [ [ s "004"; s "1:45pm" ]; [ s "888"; s "2:00pm" ] ]
+
+let database =
+  Database.of_relations
+    ~constraints:
+      [
+        Integrity.Primary_key ("Children", [ "ID" ]);
+        Integrity.Primary_key ("Parents", [ "ID" ]);
+        Integrity.Not_null ("Children", "ID");
+        Integrity.Not_null ("Parents", "ID");
+        Integrity.Foreign_key
+          { rel = "Children"; cols = [ "mid" ]; ref_rel = "Parents"; ref_cols = [ "ID" ] };
+        Integrity.Foreign_key
+          { rel = "Children"; cols = [ "fid" ]; ref_rel = "Parents"; ref_cols = [ "ID" ] };
+      ]
+    [ children; parents; phone_dir; sbps; xmas_bar; class_sched ]
+
+let kb =
+  let asserted r1 c1 r2 c2 =
+    { Schemakb.Kb.r1; r2; atoms = [ (c1, c2) ]; origin = Schemakb.Kb.Asserted }
+  in
+  let kb = Schemakb.Kb.of_database database in
+  List.fold_left Schemakb.Kb.add kb
+    [
+      asserted "Parents" "ID" "PhoneDir" "ID";
+      asserted "Children" "ID" "PhoneDir" "ID";
+      asserted "Children" "ID" "SBPS" "ID";
+      asserted "Children" "ID" "ClassSched" "ID";
+    ]
+
+let short = function
+  | "Children" -> Some "C"
+  | "Parents" -> Some "P"
+  | "Parents2" -> Some "P2"
+  | "PhoneDir" -> Some "Ph"
+  | "PhoneDir2" -> Some "Ph2"
+  | "SBPS" -> Some "S"
+  | "XmasBar" -> Some "X"
+  | "ClassSched" -> Some "CS"
+  | _ -> None

@@ -1,0 +1,39 @@
+(** The paper's Figure 1 source database, reconstructed.
+
+    The figures in the available text are partly illegible; this instance
+    is engineered so that every claim the prose makes about the data holds
+    (each is asserted in [test/test_paperdata.ml]):
+
+    - every parent of a child (mother or father) has a phone entry —
+      Example 3.10's [R1 ⊕ R2 = R2], Example 4.3's empty C/CP/CPS
+      categories;
+    - parent 205 has a phone but no children (the PPh category of Figure 9
+      and Example 4.8); parent 206 has neither (category P);
+    - phone entry 999 and bus-schedule entry 777 are dangling (categories
+      Ph and S);
+    - child 009 (Bob) is motherless (Example 6.1) and aged 8, making him
+      the negative example under the running filter [C.age < 7];
+    - value "002" (Maya) occurs in one attribute of SBPS and two attributes
+      of XmasBar (the Section 2 / Figure 5 chase). *)
+
+open Relational
+
+val children : Relation.t
+val parents : Relation.t
+val phone_dir : Relation.t
+val sbps : Relation.t
+val xmas_bar : Relation.t
+val class_sched : Relation.t
+
+(** All six relations with the declared constraints (keys, the [mid]/[fid]
+    foreign keys, not-null IDs). *)
+val database : Database.t
+
+(** Clio's join knowledge: the declared FKs plus the asserted pairs used in
+    the paper's walks (Parents–PhoneDir, Children–PhoneDir, Children–SBPS,
+    Children–ClassSched). *)
+val kb : Schemakb.Kb.t
+
+(** Abbreviations used in the paper's coverage tags: Children → "C",
+    Parents → "P", Parents2 → "P2", PhoneDir → "Ph", SBPS → "S". *)
+val short : string -> string option

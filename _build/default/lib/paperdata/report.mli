@@ -1,0 +1,52 @@
+(** Regeneration of every figure and worked example in the paper, as text.
+
+    Each function returns the rendered content of one experiment from the
+    per-experiment index in DESIGN.md; [all] lists them with their ids so
+    [bin/figures.exe] and [bench/main.exe] can print any subset. *)
+
+val fig1 : unit -> string
+(** The source database. *)
+
+val fig2 : unit -> string
+(** Correspondences v1–v5, a source sample, and the mapping's target. *)
+
+val fig3 : unit -> string
+(** Two scenarios for affiliation (mid vs fid), illustrated with Maya. *)
+
+val fig4 : unit -> string
+(** Data-walk scenarios for associating children with phone numbers. *)
+
+val fig5 : unit -> string
+(** The chase of value 002 from Children.ID. *)
+
+val fig6 : unit -> string
+(** Query graphs G, G1, G2 (text and DOT). *)
+
+val fig7 : unit -> string
+(** Tuples t, u, v: full and padded data associations. *)
+
+val fig8 : unit -> string
+(** D(G) with coverage tags. *)
+
+val fig9 : unit -> string
+(** A sufficient illustration of the running mapping, focused on the four
+    children, with its induced target tuples. *)
+
+val fig11 : unit -> string
+(** The walk extensions G2–G4 of G1. *)
+
+val fig12 : unit -> string
+(** The chase extensions of G1 via value 002. *)
+
+val sql : unit -> string
+(** Section 2: generated SQL (canonical and left-outer-join forms) for the
+    final mapping, plus the WYSIWYG target view. *)
+
+val example_6_1 : unit -> string
+(** Complementary mother/father phone mappings and their assembled target. *)
+
+val example_6_2 : unit -> string
+(** Mapping reuse when ArrivalTime gains a second derivation. *)
+
+(** (id, description, render) for every experiment. *)
+val all : (string * string * (unit -> string)) list

@@ -1,0 +1,97 @@
+open Relational
+module Qgraph = Querygraph.Qgraph
+
+let target = "Kids"
+let kids_cols = [ "ID"; "name"; "affiliation"; "contactPh"; "BusSchedule" ]
+
+let eq r1 c1 r2 c2 = Predicate.eq_cols (Attr.make r1 c1) (Attr.make r2 c2)
+
+let graph_g =
+  Qgraph.make
+    [ ("Children", "Children"); ("Parents", "Parents"); ("PhoneDir", "PhoneDir") ]
+    [
+      ("Children", "Parents", eq "Children" "mid" "Parents" "ID");
+      ("Parents", "PhoneDir", eq "Parents" "ID" "PhoneDir" "ID");
+    ]
+
+let graph_g1 = Qgraph.induced graph_g [ "Children"; "Parents" ]
+let graph_g2 = Qgraph.induced graph_g [ "Children"; "Parents"; "PhoneDir" ]
+
+let fig9_graph =
+  Qgraph.make
+    [
+      ("Children", "Children");
+      ("Parents", "Parents");
+      ("PhoneDir", "PhoneDir");
+      ("SBPS", "SBPS");
+    ]
+    [
+      ("Children", "Parents", eq "Children" "fid" "Parents" "ID");
+      ("Parents", "PhoneDir", eq "Parents" "ID" "PhoneDir" "ID");
+      ("Children", "SBPS", eq "Children" "ID" "SBPS" "ID");
+    ]
+
+let age_filter =
+  Predicate.Cmp (Predicate.Lt, Expr.col "Children" "age", Expr.Const (Value.Int 7))
+
+let id_required = Predicate.Is_not_null (Expr.col target "ID")
+
+let contact_ph_expr alias =
+  Expr.Concat
+    (Expr.Concat (Expr.col alias "type", Expr.Const (Value.String ":")),
+     Expr.col alias "number")
+
+let mapping =
+  Clio.Mapping.make ~graph:fig9_graph ~target ~target_cols:kids_cols
+    ~correspondences:
+      [
+        Clio.Correspondence.identity "ID" (Attr.make "Children" "ID");
+        Clio.Correspondence.identity "name" (Attr.make "Children" "name");
+        Clio.Correspondence.identity "affiliation" (Attr.make "Parents" "affiliation");
+        Clio.Correspondence.of_expr "contactPh" (contact_ph_expr "PhoneDir");
+        Clio.Correspondence.identity "BusSchedule" (Attr.make "SBPS" "time");
+      ]
+    ~source_filters:[ age_filter ] ~target_filters:[ id_required ] ()
+
+let mapping_g1 =
+  Clio.Mapping.make
+    ~graph:
+      (Qgraph.make
+         [ ("Children", "Children"); ("Parents", "Parents") ]
+         [ ("Children", "Parents", eq "Children" "fid" "Parents" "ID") ])
+    ~target ~target_cols:kids_cols
+    ~correspondences:
+      [
+        Clio.Correspondence.identity "ID" (Attr.make "Children" "ID");
+        Clio.Correspondence.identity "name" (Attr.make "Children" "name");
+        Clio.Correspondence.identity "affiliation" (Attr.make "Parents" "affiliation");
+      ]
+    ()
+
+let section2_mapping =
+  let graph =
+    Qgraph.make
+      [
+        ("Children", "Children");
+        ("Parents", "Parents");
+        ("Parents2", "Parents");
+        ("PhoneDir", "PhoneDir");
+        ("SBPS", "SBPS");
+      ]
+      [
+        ("Children", "Parents", eq "Children" "fid" "Parents" "ID");
+        ("Children", "Parents2", eq "Children" "mid" "Parents2" "ID");
+        ("Parents2", "PhoneDir", eq "Parents2" "ID" "PhoneDir" "ID");
+        ("Children", "SBPS", eq "Children" "ID" "SBPS" "ID");
+      ]
+  in
+  Clio.Mapping.make ~graph ~target ~target_cols:kids_cols
+    ~correspondences:
+      [
+        Clio.Correspondence.identity "ID" (Attr.make "Children" "ID");
+        Clio.Correspondence.identity "name" (Attr.make "Children" "name");
+        Clio.Correspondence.identity "affiliation" (Attr.make "Parents" "affiliation");
+        Clio.Correspondence.identity "contactPh" (Attr.make "PhoneDir" "number");
+        Clio.Correspondence.identity "BusSchedule" (Attr.make "SBPS" "time");
+      ]
+    ~target_filters:[ id_required ] ()

@@ -1,0 +1,43 @@
+(** The paper's running example: the Figure 6 query graphs, the Example
+    3.15 mapping (illustrated in Figure 9), the Section 5 walk/chase start
+    mapping, and the final Section 2 mapping whose SQL the paper prints. *)
+
+open Relational
+module Qgraph = Querygraph.Qgraph
+
+val target : string
+(** "Kids" *)
+
+val kids_cols : string list
+(** ID, name, affiliation, contactPh, BusSchedule *)
+
+(** Figure 6: G is the path Children —(C.mid = P.ID)— Parents —(P.ID =
+    Ph.ID)— PhoneDir; G1 and G2 are the subgraphs induced by
+    {Children, Parents} and {Children, Parents, PhoneDir}. *)
+val graph_g : Qgraph.t
+
+val graph_g1 : Qgraph.t
+val graph_g2 : Qgraph.t
+
+(** The Example 3.15 / Figure 9 graph: PhoneDir — Parents — Children — SBPS
+    with edges P.ID = Ph.ID, C.fid = P.ID, C.ID = S.ID. *)
+val fig9_graph : Qgraph.t
+
+(** The Example 3.15 mapping: v1–v5 (contactPh concatenates Ph.type and
+    Ph.number), C_S = [C.age < 7], C_T = [Kids.ID is not null]. *)
+val mapping : Clio.Mapping.t
+
+(** Section 5's starting mapping: graph G1 of Figure 11 (Children —(fid)—
+    Parents) with ID, name and affiliation mapped. *)
+val mapping_g1 : Clio.Mapping.t
+
+(** The final Section 2 mapping: affiliation from the father (scenario 1 of
+    Figure 3), contactPh from the mother's phone (scenario 2 of Figure 4,
+    via the Parents2 copy), BusSchedule from SBPS; Kids.ID required. *)
+val section2_mapping : Clio.Mapping.t
+
+(** Predicate [C.age < 7] (the running source filter). *)
+val age_filter : Predicate.t
+
+(** Predicate [Kids.ID is not null] (the running target filter). *)
+val id_required : Predicate.t

@@ -1,0 +1,1 @@
+lib/querygraph/dot.ml: Buffer List Predicate Printf Qgraph Relational String

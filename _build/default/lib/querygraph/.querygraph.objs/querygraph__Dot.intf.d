@@ -1,0 +1,1 @@
+lib/querygraph/dot.mli: Qgraph

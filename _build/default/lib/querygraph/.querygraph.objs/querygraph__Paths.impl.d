@@ -1,0 +1,1 @@
+lib/querygraph/paths.ml: List String

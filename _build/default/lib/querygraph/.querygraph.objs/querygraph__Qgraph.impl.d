@@ -1,0 +1,1 @@
+lib/querygraph/qgraph.ml: Format Hashtbl List Map Option Predicate Printf Relation Relational Schema String

@@ -1,0 +1,1 @@
+lib/querygraph/qgraph.mli: Format Predicate Relation Relational Schema

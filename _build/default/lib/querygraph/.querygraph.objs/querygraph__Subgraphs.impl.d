@@ -1,0 +1,1 @@
+lib/querygraph/subgraphs.ml: List Qgraph Set String

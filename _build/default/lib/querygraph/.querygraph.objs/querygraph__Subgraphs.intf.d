@@ -1,0 +1,1 @@
+lib/querygraph/subgraphs.mli: Qgraph

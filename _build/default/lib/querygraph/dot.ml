@@ -1,0 +1,32 @@
+open Relational
+
+let escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let to_dot ?(highlight = []) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "graph query_graph {\n  node [shape=box];\n";
+  List.iter
+    (fun n ->
+      let label =
+        if String.equal n.Qgraph.alias n.Qgraph.base then n.Qgraph.alias
+        else Printf.sprintf "%s (copy of %s)" n.Qgraph.alias n.Qgraph.base
+      in
+      let style =
+        if List.mem n.Qgraph.alias highlight then
+          ", style=filled, fillcolor=lightgrey"
+        else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" [label=\"%s\"%s];\n" (escape n.Qgraph.alias)
+           (escape label) style))
+    (Qgraph.nodes g);
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -- \"%s\" [label=\"%s\"];\n" (escape e.Qgraph.n1)
+           (escape e.Qgraph.n2)
+           (escape (Predicate.to_sql e.Qgraph.pred))))
+    (Qgraph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

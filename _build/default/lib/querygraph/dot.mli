@@ -1,0 +1,7 @@
+(** Graphviz DOT export of query graphs — the text stand-in for Clio's
+    schema-viewer visualization of the query graph (Section 6.1). *)
+
+(** [to_dot ?highlight g] — DOT source; aliases in [highlight] are drawn
+    filled (used to show the active mapping's graph on top of the schema
+    graph). *)
+val to_dot : ?highlight:string list -> Qgraph.t -> string

@@ -1,0 +1,23 @@
+(* neighbours yields (next_node, label) pairs; explore in node order. *)
+let sort_steps steps =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) steps
+
+let enumerate ~neighbours ~max_len ~keep start =
+  let out = ref [] in
+  let rec go node visited path_rev depth =
+    if keep node (depth > 0) then out := List.rev path_rev :: !out;
+    if depth < max_len then
+      List.iter
+        (fun (next, label) ->
+          if not (List.mem next visited) then
+            go next (next :: visited) ((label, next) :: path_rev) (depth + 1))
+        (sort_steps (neighbours node))
+  in
+  go start [ start ] [] 0;
+  List.rev !out
+
+let simple_paths ~neighbours ~max_len start goal =
+  enumerate ~neighbours ~max_len ~keep:(fun node _ -> String.equal node goal) start
+
+let paths_from ~neighbours ~max_len start =
+  enumerate ~neighbours ~max_len ~keep:(fun _ nonempty -> nonempty) start

@@ -1,0 +1,27 @@
+(** Simple-path enumeration over an abstract labeled adjacency relation.
+
+    Used by the data-walk machinery (Section 5.1): Clio's knowledge of
+    joinable relation pairs forms a graph, and [walks(G, Q, R)] enumerates
+    the simple paths from Q to R within it.  The adjacency function may
+    return several labels for the same pair (several candidate join
+    conditions), each yielding a distinct path. *)
+
+(** [simple_paths ~neighbours ~max_len start goal] — every simple path
+    [start = n0, l1, n1, ..., lk, nk = goal] with [k <= max_len] edges.
+    Each path is the list of steps [(label, node)] after [start].
+    Paths are returned in lexicographic node order; [start = goal] yields
+    the empty path. *)
+val simple_paths :
+  neighbours:(string -> (string * 'label) list) ->
+  max_len:int ->
+  string ->
+  string ->
+  ('label * string) list list
+
+(** All simple paths from [start] of length 1..max_len, regardless of
+    endpoint (used for exploratory walks with no fixed target). *)
+val paths_from :
+  neighbours:(string -> (string * 'label) list) ->
+  max_len:int ->
+  string ->
+  ('label * string) list list

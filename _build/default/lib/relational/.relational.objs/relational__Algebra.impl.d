@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Array Attr Hashtbl List Predicate Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/csv_io.ml: Array Attr Buffer Database Filename List Printf Relation Schema String Sys Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/database.ml: Array Attr Hashtbl Integrity List Relation Schema Value

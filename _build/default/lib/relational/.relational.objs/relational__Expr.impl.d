@@ -1,0 +1,1 @@
+lib/relational/expr.ml: Array Attr Format List Printf Schema String Value

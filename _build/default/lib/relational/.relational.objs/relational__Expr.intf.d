@@ -1,0 +1,1 @@
+lib/relational/expr.mli: Attr Format Schema Tuple Value

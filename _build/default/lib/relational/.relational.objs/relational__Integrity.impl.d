@@ -1,0 +1,1 @@
+lib/relational/integrity.ml: Array Attr Format Hashtbl List Predicate Printf Relation Result Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/parse.ml: Attr Buffer Expr List Predicate Printf String Value

@@ -1,0 +1,1 @@
+lib/relational/parse.mli: Expr Predicate

@@ -1,0 +1,1 @@
+lib/relational/predicate.ml: Expr Format List Option Printf Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/relation.mli: Attr Format Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/render.ml: Array Attr List Option Relation Schema String Value

@@ -1,0 +1,1 @@
+lib/relational/render.mli: Relation Schema Tuple

@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Array Attr Format Hashtbl List String

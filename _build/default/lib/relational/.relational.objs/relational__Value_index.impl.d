@@ -1,0 +1,1 @@
+lib/relational/value_index.ml: Array Attr Database Hashtbl List Option Relation Schema String Value

@@ -1,0 +1,1 @@
+lib/relational/value_index.mli: Database Value

@@ -1,0 +1,242 @@
+let select p r =
+  let keep = Predicate.compile (Relation.schema r) p in
+  Relation.filter keep r
+
+let project attrs r =
+  let schema = Relation.schema r in
+  let positions = List.map (Schema.index schema) attrs in
+  let out_schema = Schema.project schema attrs in
+  Relation.make ~allow_all_null:true (Relation.name r) out_schema
+    (List.map (fun t -> Tuple.project t positions) (Relation.tuples r))
+
+let product l r =
+  let schema = Schema.append (Relation.schema l) (Relation.schema r) in
+  let out = ref [] in
+  Relation.iter
+    (fun tl -> Relation.iter (fun tr -> out := Tuple.concat tl tr :: !out) r)
+    l;
+  Relation.make ~allow_all_null:true
+    (Relation.name l ^ "x" ^ Relation.name r)
+    schema (List.rev !out)
+
+(* Split equality atoms into (left-position, right-position) pairs usable for
+   a hash join, plus check that every atom spans the two sides. *)
+let hashable_atoms l_schema r_schema p =
+  match Predicate.as_equi_atoms p with
+  | None -> None
+  | Some atoms ->
+      let split (a, b) =
+        match (Schema.index_opt l_schema a, Schema.index_opt r_schema b) with
+        | Some i, Some j -> Some (i, j)
+        | _ -> (
+            match (Schema.index_opt l_schema b, Schema.index_opt r_schema a) with
+            | Some i, Some j -> Some (i, j)
+            | _ -> None)
+      in
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | atom :: rest -> (
+            match split atom with Some ij -> go (ij :: acc) rest | None -> None)
+      in
+      go [] atoms
+
+(* Inner join returning, additionally, per-side match flags for outer joins. *)
+let join_with_flags p l r =
+  let l_schema = Relation.schema l and r_schema = Relation.schema r in
+  let schema = Schema.append l_schema r_schema in
+  let l_tuples = Array.of_list (Relation.tuples l) in
+  let r_tuples = Array.of_list (Relation.tuples r) in
+  let l_matched = Array.make (Array.length l_tuples) false in
+  let r_matched = Array.make (Array.length r_tuples) false in
+  let out = ref [] in
+  let emit li ri tl tr =
+    l_matched.(li) <- true;
+    r_matched.(ri) <- true;
+    out := Tuple.concat tl tr :: !out
+  in
+  (match hashable_atoms l_schema r_schema p with
+  | Some ((_ :: _) as pairs) ->
+      (* Hash join on the conjunction of equality atoms.  Null keys never
+         match (strong predicate semantics). *)
+      let key_of positions t =
+        let vs = List.map (fun i -> t.(i)) positions in
+        if List.exists Value.is_null vs then None else Some vs
+      in
+      let l_pos = List.map fst pairs and r_pos = List.map snd pairs in
+      let table = Hashtbl.create (Array.length r_tuples) in
+      Array.iteri
+        (fun ri tr ->
+          match key_of r_pos tr with
+          | Some k -> Hashtbl.add table k ri
+          | None -> ())
+        r_tuples;
+      Array.iteri
+        (fun li tl ->
+          match key_of l_pos tl with
+          | Some k ->
+              List.iter
+                (fun ri -> emit li ri tl r_tuples.(ri))
+                (Hashtbl.find_all table k)
+          | None -> ())
+        l_tuples
+  | Some [] | None ->
+      let keep = Predicate.compile schema p in
+      Array.iteri
+        (fun li tl ->
+          Array.iteri
+            (fun ri tr ->
+              let t = Tuple.concat tl tr in
+              if keep t then emit li ri tl tr)
+            r_tuples)
+        l_tuples);
+  (schema, List.rev !out, l_tuples, r_tuples, l_matched, r_matched)
+
+let join p l r =
+  let schema, matched, _, _, _, _ = join_with_flags p l r in
+  Relation.make ~allow_all_null:true
+    (Relation.name l ^ "*" ^ Relation.name r)
+    schema matched
+
+let join_nested_loop p l r =
+  let schema = Schema.append (Relation.schema l) (Relation.schema r) in
+  let keep = Predicate.compile schema p in
+  let out = ref [] in
+  Relation.iter
+    (fun tl ->
+      Relation.iter
+        (fun tr ->
+          let t = Tuple.concat tl tr in
+          if keep t then out := t :: !out)
+        r)
+    l;
+  Relation.make ~allow_all_null:true
+    (Relation.name l ^ "*" ^ Relation.name r)
+    schema (List.rev !out)
+
+let join_sort_merge p l r =
+  let l_schema = Relation.schema l and r_schema = Relation.schema r in
+  let schema = Schema.append l_schema r_schema in
+  match hashable_atoms l_schema r_schema p with
+  | None | Some [] ->
+      invalid_arg "Algebra.join_sort_merge: predicate is not a cross-side equi-join"
+  | Some pairs ->
+      let l_pos = List.map fst pairs and r_pos = List.map snd pairs in
+      let key positions t = List.map (fun i -> t.(i)) positions in
+      let cmp_key a b =
+        let rec go = function
+          | [], [] -> 0
+          | x :: xs, y :: ys ->
+              let c = Value.compare x y in
+              if c <> 0 then c else go (xs, ys)
+          | _ -> assert false
+        in
+        go (a, b)
+      in
+      let non_null k = not (List.exists Value.is_null k) in
+      let sorted positions rel =
+        Relation.tuples rel
+        |> List.filter_map (fun t ->
+               let k = key positions t in
+               if non_null k then Some (k, t) else None)
+        |> List.sort (fun (a, _) (b, _) -> cmp_key a b)
+      in
+      let ls = sorted l_pos l and rs = sorted r_pos r in
+      (* Merge, pairing equal-key groups. *)
+      let out = ref [] in
+      let rec take_group k acc = function
+        | (k', t) :: rest when cmp_key k k' = 0 -> take_group k (t :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let rec merge ls rs =
+        match (ls, rs) with
+        | [], _ | _, [] -> ()
+        | (lk, lt) :: ltail, (rk, rt) :: rtail ->
+            let c = cmp_key lk rk in
+            if c < 0 then merge ltail rs
+            else if c > 0 then merge ls rtail
+            else begin
+              let lgroup, lrest = take_group lk [ lt ] ltail in
+              let rgroup, rrest = take_group rk [ rt ] rtail in
+              List.iter
+                (fun tl ->
+                  List.iter (fun tr -> out := Tuple.concat tl tr :: !out) rgroup)
+                lgroup;
+              merge lrest rrest
+            end
+      in
+      merge ls rs;
+      Relation.make ~allow_all_null:true
+        (Relation.name l ^ "*" ^ Relation.name r)
+        schema (List.rev !out)
+
+let left_outer_join p l r =
+  let schema, matched, l_tuples, _, l_matched, _ = join_with_flags p l r in
+  let r_nulls = Tuple.nulls (Schema.arity (Relation.schema r)) in
+  let dangling =
+    Array.to_list l_tuples
+    |> List.filteri (fun i _ -> not l_matched.(i))
+    |> List.map (fun tl -> Tuple.concat tl r_nulls)
+  in
+  Relation.make ~allow_all_null:true
+    (Relation.name l ^ "=*" ^ Relation.name r)
+    schema (matched @ dangling)
+
+let full_outer_join p l r =
+  let schema, matched, l_tuples, r_tuples, l_matched, r_matched =
+    join_with_flags p l r
+  in
+  let l_nulls = Tuple.nulls (Schema.arity (Relation.schema l)) in
+  let r_nulls = Tuple.nulls (Schema.arity (Relation.schema r)) in
+  let l_dangling =
+    Array.to_list l_tuples
+    |> List.filteri (fun i _ -> not l_matched.(i))
+    |> List.map (fun tl -> Tuple.concat tl r_nulls)
+  in
+  let r_dangling =
+    Array.to_list r_tuples
+    |> List.filteri (fun i _ -> not r_matched.(i))
+    |> List.map (fun tr -> Tuple.concat l_nulls tr)
+  in
+  Relation.make ~allow_all_null:true
+    (Relation.name l ^ "=*=" ^ Relation.name r)
+    schema
+    (matched @ l_dangling @ r_dangling)
+
+let require_same_schema op a b =
+  if not (Schema.equal (Relation.schema a) (Relation.schema b)) then
+    invalid_arg (op ^ ": schema mismatch")
+
+let union a b =
+  require_same_schema "Algebra.union" a b;
+  Relation.make ~allow_all_null:true (Relation.name a) (Relation.schema a)
+    (Relation.tuples a @ Relation.tuples b)
+
+let difference a b =
+  require_same_schema "Algebra.difference" a b;
+  Relation.filter (fun t -> not (Relation.mem b t)) a
+
+let pad r schema =
+  let src = Relation.schema r in
+  let mapping =
+    Array.map
+      (fun a -> Schema.index_opt src a)
+      (Schema.attrs schema)
+  in
+  Array.iter
+    (fun a ->
+      if not (Schema.mem schema a) then
+        invalid_arg ("Algebra.pad: target schema lacks " ^ Attr.to_string a))
+    (Schema.attrs src);
+  let widen t =
+    Array.map (function Some i -> t.(i) | None -> Value.Null) mapping
+  in
+  Relation.make ~allow_all_null:true (Relation.name r) schema
+    (List.map widen (Relation.tuples r))
+
+let outer_union a b =
+  let sa = Relation.schema a and sb = Relation.schema b in
+  let extra =
+    Array.to_list (Schema.attrs sb) |> List.filter (fun at -> not (Schema.mem sa at))
+  in
+  let merged = Schema.of_attrs (Array.to_list (Schema.attrs sa) @ extra) in
+  union (pad a merged) (Relation.with_name (Relation.name a) (pad b merged))

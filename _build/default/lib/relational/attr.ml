@@ -1,0 +1,25 @@
+type t = { rel : string; name : string }
+
+let make rel name = { rel; name }
+let to_string a = a.rel ^ "." ^ a.name
+let equal a b = String.equal a.rel b.rel && String.equal a.name b.name
+
+let compare a b =
+  match String.compare a.rel b.rel with 0 -> String.compare a.name b.name | c -> c
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+let of_string s =
+  match String.index_opt s '.' with
+  | None -> invalid_arg ("Attr.of_string: missing '.' in " ^ s)
+  | Some i ->
+      { rel = String.sub s 0 i; name = String.sub s (i + 1) (String.length s - i - 1) }
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

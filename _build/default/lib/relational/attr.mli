@@ -1,0 +1,23 @@
+(** Qualified attribute names.
+
+    An attribute is identified by the {e node name} that owns it (a base
+    relation name, or an alias such as ["Parents2"] when a mapping uses
+    multiple copies of a relation — see Section 3 of the paper) and the column
+    name within it. *)
+
+type t = { rel : string; name : string }
+
+val make : string -> string -> t
+
+(** ["Rel.name"] rendering. *)
+val to_string : t -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Parse ["Rel.name"]; raises [Invalid_argument] when there is no dot. *)
+val of_string : string -> t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,98 @@
+let parse_string text =
+  let n = String.length text in
+  let rows = ref [] and row = ref [] and buf = Buffer.create 32 in
+  let flush_cell () =
+    row := Buffer.contents buf :: !row;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_cell ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  let rec plain i =
+    if i >= n then ()
+    else
+      match text.[i] with
+      | ',' ->
+          flush_cell ();
+          plain (i + 1)
+      | '\r' when i + 1 < n && text.[i + 1] = '\n' ->
+          flush_row ();
+          plain (i + 2)
+      | '\n' ->
+          flush_row ();
+          plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          plain (i + 1)
+  and quoted i =
+    if i >= n then ()
+    else
+      match text.[i] with
+      | '"' when i + 1 < n && text.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  in
+  plain 0;
+  if Buffer.length buf > 0 || !row <> [] then flush_row ();
+  List.rev !rows |> List.filter (function [ "" ] -> false | _ -> true)
+
+let relation_of_string ~name text =
+  match parse_string text with
+  | [] -> invalid_arg "Csv_io.relation_of_string: empty input"
+  | header :: rows ->
+      let schema = Schema.make name (List.map String.trim header) in
+      let width = Schema.arity schema in
+      let tuples =
+        List.map
+          (fun cells ->
+            if List.length cells <> width then
+              invalid_arg
+                (Printf.sprintf "Csv_io: row width %d, header width %d"
+                   (List.length cells) width);
+            Tuple.make (List.map Value.of_csv_cell cells))
+          rows
+      in
+      Relation.make name schema tuples
+
+let relation_of_file ~name path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  relation_of_string ~name text
+
+let database_of_dir dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.filter (fun f -> Filename.check_suffix f ".csv")
+  |> List.map (fun f ->
+         relation_of_file ~name:(Filename.remove_extension f) (Filename.concat dir f))
+  |> Database.of_relations
+
+let quote_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let relation_to_string r =
+  let schema = Relation.schema r in
+  let header =
+    Array.to_list (Schema.attrs schema)
+    |> List.map (fun a -> quote_cell a.Attr.name)
+    |> String.concat ","
+  in
+  let rows =
+    Relation.tuples r
+    |> List.map (fun t ->
+           Array.to_list t
+           |> List.map (fun v ->
+                  match v with Value.Null -> "" | _ -> quote_cell (Value.to_string v))
+           |> String.concat ",")
+  in
+  String.concat "\n" (header :: rows) ^ "\n"

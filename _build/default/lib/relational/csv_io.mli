@@ -1,0 +1,20 @@
+(** Minimal CSV reader/writer for loading source databases into the tool.
+
+    Supports RFC-4180-style quoting (double quotes, escaped by doubling),
+    which is enough for the CLI's data-loading path. *)
+
+(** Parse CSV text into rows of cells. *)
+val parse_string : string -> string list list
+
+(** [relation_of_string ~name csv] — first row is the header (column names);
+    remaining rows become tuples via {!Value.of_csv_cell}. *)
+val relation_of_string : name:string -> string -> Relation.t
+
+val relation_of_file : name:string -> string -> Relation.t
+
+(** Load every [*.csv] file of a directory as a relation named after the
+    file (sorted by filename). *)
+val database_of_dir : string -> Database.t
+
+(** Render a relation as CSV (header + rows). *)
+val relation_to_string : Relation.t -> string

@@ -1,0 +1,59 @@
+type t = {
+  rels : (string * Relation.t) list;  (** insertion order *)
+  by_name : (string, Relation.t) Hashtbl.t;
+  constraints : Integrity.t list;
+}
+
+let empty = { rels = []; by_name = Hashtbl.create 16; constraints = [] }
+
+let add t r =
+  let name = Relation.name r in
+  if Hashtbl.mem t.by_name name then
+    invalid_arg ("Database.add: duplicate relation " ^ name);
+  let by_name = Hashtbl.copy t.by_name in
+  Hashtbl.add by_name name r;
+  { t with rels = t.rels @ [ (name, r) ]; by_name }
+
+let add_constraint t c = { t with constraints = t.constraints @ [ c ] }
+
+let of_relations ?(constraints = []) rels =
+  let t = List.fold_left add empty rels in
+  List.fold_left add_constraint t constraints
+
+let find t name = Hashtbl.find_opt t.by_name name
+
+let get t name =
+  match find t name with Some r -> r | None -> raise Not_found
+
+let mem t name = Hashtbl.mem t.by_name name
+let relations t = List.map snd t.rels
+let relation_names t = List.map fst t.rels
+let constraints t = t.constraints
+
+let foreign_keys t =
+  List.filter (function Integrity.Foreign_key _ -> true | _ -> false) t.constraints
+
+let check t =
+  List.concat_map (Integrity.check ~lookup:(find t)) t.constraints
+
+let cell_count t =
+  List.fold_left
+    (fun acc (_, r) -> acc + (Relation.cardinality r * Schema.arity (Relation.schema r)))
+    0 t.rels
+
+let find_value t v =
+  if Value.is_null v then []
+  else
+    List.concat_map
+      (fun (name, r) ->
+      let schema = Relation.schema r in
+      Array.to_list (Schema.attrs schema)
+      |> List.filter_map (fun a ->
+             let i = Schema.index schema a in
+             let count =
+               Relation.fold
+                 (fun acc tup -> if Value.equal tup.(i) v then acc + 1 else acc)
+                 0 r
+             in
+             if count > 0 then Some (name, a.Attr.name, count) else None))
+    t.rels

@@ -1,0 +1,32 @@
+(** Databases: a catalog of relations over mutually disjoint schemes, plus
+    declared integrity constraints. *)
+
+type t
+
+val empty : t
+val add : t -> Relation.t -> t
+val add_constraint : t -> Integrity.t -> t
+val of_relations : ?constraints:Integrity.t list -> Relation.t list -> t
+val find : t -> string -> Relation.t option
+
+(** Raises [Not_found]. *)
+val get : t -> string -> Relation.t
+
+val mem : t -> string -> bool
+
+(** In insertion order. *)
+val relations : t -> Relation.t list
+val relation_names : t -> string list
+val constraints : t -> Integrity.t list
+val foreign_keys : t -> Integrity.t list
+
+(** All violations of all declared constraints. *)
+val check : t -> Integrity.violation list
+
+(** Total number of cells (tuples × arity) — the chase's scan cost. *)
+val cell_count : t -> int
+
+(** All occurrences of a value: [(relation, column, count)] triples.  The
+    primitive behind the data chase (Section 5.2).  Nulls have no
+    occurrences ([find_value db Null = []]). *)
+val find_value : t -> Value.t -> (string * string * int) list

@@ -1,0 +1,66 @@
+type t =
+  | Const of Value.t
+  | Col of Attr.t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Concat of t * t
+  | Coalesce of t * t
+
+let const v = Const v
+let col rel name = Col (Attr.make rel name)
+
+let columns e =
+  let rec go acc = function
+    | Const _ -> acc
+    | Col a -> a :: acc
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Concat (a, b) | Coalesce (a, b) ->
+        go (go acc a) b
+  in
+  List.rev (go [] e)
+
+let rec compile schema = function
+  | Const v -> fun _ -> v
+  | Col a ->
+      let i = Schema.index schema a in
+      fun t -> t.(i)
+  | Add (a, b) ->
+      let fa = compile schema a and fb = compile schema b in
+      fun t -> Value.add (fa t) (fb t)
+  | Sub (a, b) ->
+      let fa = compile schema a and fb = compile schema b in
+      fun t -> Value.sub (fa t) (fb t)
+  | Mul (a, b) ->
+      let fa = compile schema a and fb = compile schema b in
+      fun t -> Value.mul (fa t) (fb t)
+  | Concat (a, b) ->
+      let fa = compile schema a and fb = compile schema b in
+      fun t -> Value.concat (fa t) (fb t)
+  | Coalesce (a, b) ->
+      let fa = compile schema a and fb = compile schema b in
+      fun t ->
+        let v = fa t in
+        if Value.is_null v then fb t else v
+
+let eval schema e t = compile schema e t
+
+let rec rename_rel e ~from ~into =
+  match e with
+  | Const _ -> e
+  | Col a -> if String.equal a.Attr.rel from then Col (Attr.make into a.Attr.name) else e
+  | Add (a, b) -> Add (rename_rel a ~from ~into, rename_rel b ~from ~into)
+  | Sub (a, b) -> Sub (rename_rel a ~from ~into, rename_rel b ~from ~into)
+  | Mul (a, b) -> Mul (rename_rel a ~from ~into, rename_rel b ~from ~into)
+  | Concat (a, b) -> Concat (rename_rel a ~from ~into, rename_rel b ~from ~into)
+  | Coalesce (a, b) -> Coalesce (rename_rel a ~from ~into, rename_rel b ~from ~into)
+
+let rec to_sql = function
+  | Const v -> Value.to_sql v
+  | Col a -> Attr.to_string a
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (to_sql a) (to_sql b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (to_sql a) (to_sql b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (to_sql a) (to_sql b)
+  | Concat (a, b) -> Printf.sprintf "(%s || %s)" (to_sql a) (to_sql b)
+  | Coalesce (a, b) -> Printf.sprintf "coalesce(%s, %s)" (to_sql a) (to_sql b)
+
+let pp ppf e = Format.pp_print_string ppf (to_sql e)

@@ -1,0 +1,33 @@
+(** Scalar expressions over tuples: constants, column references and the
+    arithmetic/string operators value correspondences and predicates need. *)
+
+type t =
+  | Const of Value.t
+  | Col of Attr.t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Concat of t * t
+      (** String concatenation, null-propagating (see {!Value.concat}). *)
+  | Coalesce of t * t  (** First non-null operand. *)
+
+val const : Value.t -> t
+val col : string -> string -> t
+
+(** Attributes referenced anywhere in the expression. *)
+val columns : t -> Attr.t list
+
+(** Compile against a schema to an index-based evaluator. Raises
+    [Not_found] if a referenced column is absent from the schema. *)
+val compile : Schema.t -> t -> Tuple.t -> Value.t
+
+(** One-shot evaluation ({!compile} then apply). *)
+val eval : Schema.t -> t -> Tuple.t -> Value.t
+
+(** Rename the owning node of every referenced column. *)
+val rename_rel : t -> from:string -> into:string -> t
+
+(** SQL-ish rendering, e.g. ["P.salary + P2.salary"]. *)
+val to_sql : t -> string
+
+val pp : Format.formatter -> t -> unit

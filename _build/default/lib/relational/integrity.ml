@@ -1,0 +1,121 @@
+type t =
+  | Primary_key of string * string list
+  | Foreign_key of { rel : string; cols : string list; ref_rel : string; ref_cols : string list }
+  | Not_null of string * string
+
+type violation = { constr : t; detail : string }
+
+let pp ppf = function
+  | Primary_key (r, cols) ->
+      Format.fprintf ppf "PRIMARY KEY %s(%s)" r (String.concat ", " cols)
+  | Foreign_key { rel; cols; ref_rel; ref_cols } ->
+      Format.fprintf ppf "FOREIGN KEY %s(%s) REFERENCES %s(%s)" rel
+        (String.concat ", " cols) ref_rel
+        (String.concat ", " ref_cols)
+  | Not_null (r, c) -> Format.fprintf ppf "NOT NULL %s.%s" r c
+
+let to_string c = Format.asprintf "%a" pp c
+
+let violation constr detail = { constr; detail }
+
+let column_positions rel cols =
+  let schema = Relation.schema rel in
+  List.map
+    (fun c ->
+      match Schema.index_opt schema (Attr.make (Relation.name rel) c) with
+      | Some i -> Ok i
+      | None -> Error c)
+    cols
+
+let rec collect_errors = function
+  | [] -> Ok []
+  | Ok x :: rest -> Result.map (fun xs -> x :: xs) (collect_errors rest)
+  | Error c :: _ -> Error c
+
+let check ~lookup constr =
+  let missing_rel name = [ violation constr ("unknown relation " ^ name) ] in
+  let missing_col rel c =
+    [ violation constr (Printf.sprintf "unknown column %s.%s" rel c) ]
+  in
+  match constr with
+  | Primary_key (rname, cols) -> (
+      match lookup rname with
+      | None -> missing_rel rname
+      | Some rel -> (
+          match collect_errors (column_positions rel cols) with
+          | Error c -> missing_col rname c
+          | Ok positions ->
+              let seen = Hashtbl.create 16 in
+              Relation.fold
+                (fun acc t ->
+                  let key = List.map (fun i -> t.(i)) positions in
+                  if List.exists Value.is_null key then
+                    violation constr
+                      (Printf.sprintf "null key in %s" (Tuple.to_string t))
+                    :: acc
+                  else if Hashtbl.mem seen key then
+                    violation constr
+                      (Printf.sprintf "duplicate key %s"
+                         (String.concat "," (List.map Value.to_string key)))
+                    :: acc
+                  else begin
+                    Hashtbl.add seen key ();
+                    acc
+                  end)
+                [] rel))
+  | Not_null (rname, col) -> (
+      match lookup rname with
+      | None -> missing_rel rname
+      | Some rel -> (
+          match collect_errors (column_positions rel [ col ]) with
+          | Error c -> missing_col rname c
+          | Ok [ i ] ->
+              Relation.fold
+                (fun acc t ->
+                  if Value.is_null t.(i) then
+                    violation constr
+                      (Printf.sprintf "null in %s of %s" col (Tuple.to_string t))
+                    :: acc
+                  else acc)
+                [] rel
+          | Ok _ -> assert false))
+  | Foreign_key { rel = rname; cols; ref_rel; ref_cols } -> (
+      match (lookup rname, lookup ref_rel) with
+      | None, _ -> missing_rel rname
+      | _, None -> missing_rel ref_rel
+      | Some child, Some parent -> (
+          match
+            (collect_errors (column_positions child cols),
+             collect_errors (column_positions parent ref_cols))
+          with
+          | Error c, _ -> missing_col rname c
+          | _, Error c -> missing_col ref_rel c
+          | Ok child_pos, Ok parent_pos ->
+              let keys = Hashtbl.create 64 in
+              Relation.iter
+                (fun t ->
+                  let key = List.map (fun i -> t.(i)) parent_pos in
+                  if not (List.exists Value.is_null key) then
+                    Hashtbl.replace keys key ())
+                parent;
+              Relation.fold
+                (fun acc t ->
+                  let key = List.map (fun i -> t.(i)) child_pos in
+                  (* SQL FK semantics: rows with a null FK component pass. *)
+                  if List.exists Value.is_null key || Hashtbl.mem keys key then acc
+                  else
+                    violation constr
+                      (Printf.sprintf "dangling reference %s"
+                         (String.concat "," (List.map Value.to_string key)))
+                    :: acc)
+                [] child))
+
+let join_predicate = function
+  | Foreign_key { rel; cols; ref_rel; ref_cols } ->
+      let atoms =
+        List.map2
+          (fun c rc -> Predicate.eq_cols (Attr.make rel c) (Attr.make ref_rel rc))
+          cols ref_cols
+      in
+      Some (Predicate.conj atoms)
+  | Primary_key _ | Not_null _ -> None

@@ -1,0 +1,25 @@
+(** Integrity constraints: keys, foreign keys and not-null columns.
+
+    Constraints play two roles in the paper: Clio uses foreign keys to
+    propose join paths (Section 5.1), and target constraints (e.g. a
+    not-null key) drive data trimming (Sections 2 and 3.3). *)
+
+type t =
+  | Primary_key of string * string list  (** relation, key columns *)
+  | Foreign_key of { rel : string; cols : string list; ref_rel : string; ref_cols : string list }
+  | Not_null of string * string  (** relation, column *)
+
+type violation = { constr : t; detail : string }
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Check a single constraint against relations fetched via [lookup]
+    (relation name → relation).  Unknown relations/columns are reported as
+    violations rather than exceptions, so loading malformed data is
+    diagnosable. *)
+val check : lookup:(string -> Relation.t option) -> t -> violation list
+
+(** Join predicate induced by a foreign key (child.col = parent.ref_col
+    conjunction). [None] for non-FK constraints. *)
+val join_predicate : t -> Predicate.t option

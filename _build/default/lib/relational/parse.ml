@@ -1,0 +1,260 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --- lexer --- *)
+
+type token =
+  | Tint of int
+  | Tfloat of float
+  | Tstring of string
+  | Tident of string  (** possibly dotted *)
+  | Tpunct of string  (** operators and parens *)
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || is_digit c || c = '_' || c = '.'
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let rec go i =
+    if i >= n then ()
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '\'' ->
+          let buf = Buffer.create 16 in
+          let rec str j =
+            if j >= n then fail "unterminated string literal"
+            else if s.[j] = '\'' then
+              if j + 1 < n && s.[j + 1] = '\'' then begin
+                Buffer.add_char buf '\'';
+                str (j + 2)
+              end
+              else j + 1
+            else begin
+              Buffer.add_char buf s.[j];
+              str (j + 1)
+            end
+          in
+          let next = str (i + 1) in
+          push (Tstring (Buffer.contents buf));
+          go next
+      | c when is_digit c ->
+          let j = ref i in
+          while !j < n && (is_digit s.[!j] || s.[!j] = '.') do incr j done;
+          let lit = String.sub s i (!j - i) in
+          (match int_of_string_opt lit with
+          | Some v -> push (Tint v)
+          | None -> (
+              match float_of_string_opt lit with
+              | Some v -> push (Tfloat v)
+              | None -> fail "bad numeric literal %s" lit));
+          go !j
+      | c when is_ident_char c && not (is_digit c) ->
+          let j = ref i in
+          while !j < n && is_ident_char s.[!j] do incr j done;
+          push (Tident (String.sub s i (!j - i)));
+          go !j
+      | '<' when i + 1 < n && (s.[i + 1] = '=' || s.[i + 1] = '>') ->
+          push (Tpunct (String.sub s i 2));
+          go (i + 2)
+      | '>' when i + 1 < n && s.[i + 1] = '=' ->
+          push (Tpunct ">=");
+          go (i + 2)
+      | '!' when i + 1 < n && s.[i + 1] = '=' ->
+          push (Tpunct "!=");
+          go (i + 2)
+      | '|' when i + 1 < n && s.[i + 1] = '|' ->
+          push (Tpunct "||");
+          go (i + 2)
+      | ('=' | '<' | '>' | '+' | '-' | '*' | '(' | ')' | ',') as c ->
+          push (Tpunct (String.make 1 c));
+          go (i + 1)
+      | c -> fail "unexpected character %c" c
+  in
+  go 0;
+  List.rev !toks
+
+(* --- parser: a mutable token cursor --- *)
+
+type cursor = { mutable toks : token list }
+
+let peek cur = match cur.toks with [] -> None | t :: _ -> Some t
+let advance cur = match cur.toks with [] -> () | _ :: rest -> cur.toks <- rest
+
+let keyword_of = function
+  | Tident id -> Some (String.lowercase_ascii id)
+  | _ -> None
+
+let eat_keyword cur kw =
+  match peek cur with
+  | Some t when keyword_of t = Some kw ->
+      advance cur;
+      true
+  | _ -> false
+
+let expect_punct cur p =
+  match peek cur with
+  | Some (Tpunct q) when String.equal p q -> advance cur
+  | _ -> fail "expected %s" p
+
+let column ~rel id =
+  match String.index_opt id '.' with
+  | Some i ->
+      Expr.Col
+        (Attr.make (String.sub id 0 i) (String.sub id (i + 1) (String.length id - i - 1)))
+  | None -> (
+      match rel with
+      | Some r -> Expr.Col (Attr.make r id)
+      | None -> fail "unqualified column %s (no default relation)" id)
+
+let rec parse_expr ~rel cur =
+  let lhs = parse_term ~rel cur in
+  let rec loop lhs =
+    match peek cur with
+    | Some (Tpunct "+") ->
+        advance cur;
+        loop (Expr.Add (lhs, parse_term ~rel cur))
+    | Some (Tpunct "-") ->
+        advance cur;
+        loop (Expr.Sub (lhs, parse_term ~rel cur))
+    | Some (Tpunct "||") ->
+        advance cur;
+        loop (Expr.Concat (lhs, parse_term ~rel cur))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_term ~rel cur =
+  let lhs = parse_factor ~rel cur in
+  let rec loop lhs =
+    match peek cur with
+    | Some (Tpunct "*") ->
+        advance cur;
+        loop (Expr.Mul (lhs, parse_factor ~rel cur))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_factor ~rel cur =
+  match peek cur with
+  | Some (Tint v) ->
+      advance cur;
+      Expr.Const (Value.Int v)
+  | Some (Tfloat v) ->
+      advance cur;
+      Expr.Const (Value.Float v)
+  | Some (Tstring v) ->
+      advance cur;
+      Expr.Const (Value.String v)
+  | Some (Tpunct "(") ->
+      advance cur;
+      let e = parse_expr ~rel cur in
+      expect_punct cur ")";
+      e
+  | Some (Tident id) -> (
+      match String.lowercase_ascii id with
+      | "null" ->
+          advance cur;
+          Expr.Const Value.Null
+      | "true" ->
+          advance cur;
+          Expr.Const (Value.Bool true)
+      | "false" ->
+          advance cur;
+          Expr.Const (Value.Bool false)
+      | "coalesce" ->
+          advance cur;
+          expect_punct cur "(";
+          let a = parse_expr ~rel cur in
+          expect_punct cur ",";
+          let b = parse_expr ~rel cur in
+          expect_punct cur ")";
+          Expr.Coalesce (a, b)
+      | _ ->
+          advance cur;
+          column ~rel id)
+  | Some (Tpunct p) -> fail "unexpected token %s" p
+  | None -> fail "unexpected end of input"
+
+let cmp_of = function
+  | "=" -> Predicate.Eq
+  | "<>" | "!=" -> Predicate.Neq
+  | "<" -> Predicate.Lt
+  | "<=" -> Predicate.Le
+  | ">" -> Predicate.Gt
+  | ">=" -> Predicate.Ge
+  | p -> fail "unknown comparison %s" p
+
+let rec parse_pred ~rel cur =
+  let lhs = parse_conj ~rel cur in
+  if eat_keyword cur "or" then Predicate.Or (lhs, parse_pred ~rel cur) else lhs
+
+and parse_conj ~rel cur =
+  let lhs = parse_atom ~rel cur in
+  if eat_keyword cur "and" then Predicate.And (lhs, parse_conj ~rel cur) else lhs
+
+and parse_atom ~rel cur =
+  if eat_keyword cur "not" then Predicate.Not (parse_atom ~rel cur)
+  else
+    match peek cur with
+    (* "(" is ambiguous: predicate grouping or a parenthesized expression
+       starting a comparison.  Try predicate first, backtracking on
+       failure. *)
+    | Some (Tpunct "(") -> (
+        let saved = cur.toks in
+        try
+          advance cur;
+          let p = parse_pred ~rel cur in
+          expect_punct cur ")";
+          (* Must be followed by a boolean context, not a comparison. *)
+          match peek cur with
+          | Some (Tpunct ("=" | "<>" | "!=" | "<" | "<=" | ">" | ">=")) ->
+              cur.toks <- saved;
+              parse_comparison ~rel cur
+          | _ -> p
+        with Parse_error _ ->
+          cur.toks <- saved;
+          parse_comparison ~rel cur)
+    | Some t when keyword_of t = Some "true" && List.length cur.toks = 1 ->
+        advance cur;
+        Predicate.True
+    | Some t when keyword_of t = Some "false" && List.length cur.toks = 1 ->
+        advance cur;
+        Predicate.False
+    | _ -> parse_comparison ~rel cur
+
+and parse_comparison ~rel cur =
+  let lhs = parse_expr ~rel cur in
+  if eat_keyword cur "is" then
+    if eat_keyword cur "not" then
+      if eat_keyword cur "null" then Predicate.Is_not_null lhs
+      else fail "expected null after is not"
+    else if eat_keyword cur "null" then Predicate.Is_null lhs
+    else fail "expected null after is"
+  else
+    match peek cur with
+    | Some (Tpunct (("=" | "<>" | "!=" | "<" | "<=" | ">" | ">=") as p)) ->
+        advance cur;
+        let rhs = parse_expr ~rel cur in
+        Predicate.Cmp (cmp_of p, lhs, rhs)
+    | _ -> fail "expected a comparison operator"
+
+let finish cur what v =
+  match cur.toks with
+  | [] -> v
+  | _ -> fail "trailing tokens after %s" what
+
+let expr ?rel s =
+  let cur = { toks = tokenize s } in
+  finish cur "expression" (parse_expr ~rel cur)
+
+let predicate ?rel s =
+  let cur = { toks = tokenize s } in
+  finish cur "predicate" (parse_pred ~rel cur)
+
+let expr_opt ?rel s = try Some (expr ?rel s) with Parse_error _ -> None
+let predicate_opt ?rel s = try Some (predicate ?rel s) with Parse_error _ -> None

@@ -1,0 +1,36 @@
+(** Parser for the SQL-ish expression and predicate surface syntax used by
+    the CLI and tests.
+
+    Grammar (precedence low → high):
+
+    {v
+    pred    ::= disj
+    disj    ::= conj { "or" conj }
+    conj    ::= atom { "and" atom }
+    atom    ::= "not" atom | "(" pred ")" | expr cmp expr
+              | expr "is" "null" | expr "is" "not" "null"
+              | "true" | "false"
+    cmp     ::= "=" | "<>" | "!=" | "<" | "<=" | ">" | ">="
+    expr    ::= term { ("+" | "-" | "||") term }
+    term    ::= factor { "*" factor }
+    factor  ::= literal | column | "(" expr ")"
+              | "coalesce" "(" expr "," expr ")"
+    column  ::= ident "." ident | ident          (unqualified needs ~rel)
+    literal ::= integer | float | 'string' | "null" | "true" | "false"
+    v}
+
+    Keywords are case-insensitive.  Unqualified column names are resolved
+    against the default relation [~rel] when given, otherwise rejected. *)
+
+exception Parse_error of string
+
+(** Parse a scalar expression. Raises {!Parse_error}. *)
+val expr : ?rel:string -> string -> Expr.t
+
+(** Parse a predicate. Raises {!Parse_error}. *)
+val predicate : ?rel:string -> string -> Predicate.t
+
+(** Option-returning variants. *)
+val expr_opt : ?rel:string -> string -> Expr.t option
+
+val predicate_opt : ?rel:string -> string -> Predicate.t option

@@ -1,0 +1,111 @@
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Cmp of cmp * Expr.t * Expr.t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Is_null of Expr.t
+  | Is_not_null of Expr.t
+
+let eq_cols a b = Cmp (Eq, Expr.Col a, Expr.Col b)
+let conj = function [] -> True | p :: ps -> List.fold_left (fun a b -> And (a, b)) p ps
+
+let columns p =
+  let rec go acc = function
+    | True | False -> acc
+    | Cmp (_, a, b) -> Expr.columns b @ Expr.columns a @ acc
+    | And (a, b) | Or (a, b) -> go (go acc a) b
+    | Not a -> go acc a
+    | Is_null e | Is_not_null e -> Expr.columns e @ acc
+  in
+  List.rev (go [] p)
+
+(* Three-valued logic: [Some b] known, [None] unknown. *)
+let rec eval3 schema = function
+  | True -> fun _ -> Some true
+  | False -> fun _ -> Some false
+  | Cmp (op, a, b) ->
+      let fa = Expr.compile schema a and fb = Expr.compile schema b in
+      fun t -> (
+        match op with
+        | Eq -> Value.sql_eq (fa t) (fb t)
+        | Neq -> Option.map not (Value.sql_eq (fa t) (fb t))
+        | Lt -> Option.map (fun c -> c < 0) (Value.sql_compare (fa t) (fb t))
+        | Le -> Option.map (fun c -> c <= 0) (Value.sql_compare (fa t) (fb t))
+        | Gt -> Option.map (fun c -> c > 0) (Value.sql_compare (fa t) (fb t))
+        | Ge -> Option.map (fun c -> c >= 0) (Value.sql_compare (fa t) (fb t)))
+  | And (a, b) ->
+      let fa = eval3 schema a and fb = eval3 schema b in
+      fun t -> (
+        match (fa t, fb t) with
+        | Some false, _ | _, Some false -> Some false
+        | Some true, Some true -> Some true
+        | _ -> None)
+  | Or (a, b) ->
+      let fa = eval3 schema a and fb = eval3 schema b in
+      fun t -> (
+        match (fa t, fb t) with
+        | Some true, _ | _, Some true -> Some true
+        | Some false, Some false -> Some false
+        | _ -> None)
+  | Not a ->
+      let fa = eval3 schema a in
+      fun t -> Option.map not (fa t)
+  | Is_null e ->
+      let fe = Expr.compile schema e in
+      fun t -> Some (Value.is_null (fe t))
+  | Is_not_null e ->
+      let fe = Expr.compile schema e in
+      fun t -> Some (not (Value.is_null (fe t)))
+
+let compile schema p =
+  let f = eval3 schema p in
+  fun t -> match f t with Some true -> true | Some false | None -> false
+
+let eval schema p t = compile schema p t
+let is_strong schema p = not (eval schema p (Tuple.nulls (Schema.arity schema)))
+
+let as_equi_atoms p =
+  let rec go acc = function
+    | Cmp (Eq, Expr.Col a, Expr.Col b) -> Some ((a, b) :: acc)
+    | And (a, b) -> Option.bind (go acc a) (fun acc -> go acc b)
+    | True -> Some acc
+    | _ -> None
+  in
+  Option.map List.rev (go [] p)
+
+let rename_expr = Expr.rename_rel
+
+let rec rename_rel p ~from ~into =
+  match p with
+  | True | False -> p
+  | Cmp (op, a, b) -> Cmp (op, rename_expr a ~from ~into, rename_expr b ~from ~into)
+  | And (a, b) -> And (rename_rel a ~from ~into, rename_rel b ~from ~into)
+  | Or (a, b) -> Or (rename_rel a ~from ~into, rename_rel b ~from ~into)
+  | Not a -> Not (rename_rel a ~from ~into)
+  | Is_null e -> Is_null (rename_expr e ~from ~into)
+  | Is_not_null e -> Is_not_null (rename_expr e ~from ~into)
+
+let cmp_sql = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec to_sql = function
+  | True -> "true"
+  | False -> "false"
+  | Cmp (op, a, b) -> Printf.sprintf "%s %s %s" (Expr.to_sql a) (cmp_sql op) (Expr.to_sql b)
+  | And (a, b) -> Printf.sprintf "(%s and %s)" (to_sql a) (to_sql b)
+  | Or (a, b) -> Printf.sprintf "(%s or %s)" (to_sql a) (to_sql b)
+  | Not a -> Printf.sprintf "not (%s)" (to_sql a)
+  | Is_null e -> Printf.sprintf "%s is null" (Expr.to_sql e)
+  | Is_not_null e -> Printf.sprintf "%s is not null" (Expr.to_sql e)
+
+let pp ppf p = Format.pp_print_string ppf (to_sql p)
+let equal a b = a = b

@@ -1,0 +1,49 @@
+(** Predicates over tuples, with the paper's {e strong predicate} semantics.
+
+    Comparisons follow SQL three-valued logic collapsed to boolean at the
+    top: a comparison involving [Null] is unknown, and unknown conjuncts make
+    the predicate false — exactly the behaviour needed for Definition 3's
+    strong join predicates.  [Is_null]/[Is_not_null] are the deliberate
+    exceptions (selection predicates need not be strong, Section 3). *)
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Cmp of cmp * Expr.t * Expr.t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Is_null of Expr.t
+  | Is_not_null of Expr.t
+
+(** [eq_cols a b] — the equi-join predicate [a = b]. *)
+val eq_cols : Attr.t -> Attr.t -> t
+
+(** Conjunction of a list ([True] for []). *)
+val conj : t list -> t
+
+val columns : t -> Attr.t list
+
+(** Compile to an index-based evaluator over tuples of the given schema. *)
+val compile : Schema.t -> t -> Tuple.t -> bool
+
+val eval : Schema.t -> t -> Tuple.t -> bool
+
+(** A predicate is {e strong} iff it evaluates to false on the all-null
+    tuple over the given schema (Section 3 / Galindo-Legaria).  This checks
+    by evaluation, which is exact for the closed predicate language here. *)
+val is_strong : Schema.t -> t -> bool
+
+(** Equality atoms [(a, b)] appearing in a pure conjunction of column
+    equalities; [None] if the predicate has any other shape. Used by hash
+    joins and by the walk/chase machinery. *)
+val as_equi_atoms : t -> (Attr.t * Attr.t) list option
+
+(** Syntactic renaming of every column owned by node [from] to node [into]. *)
+val rename_rel : t -> from:string -> into:string -> t
+
+val to_sql : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,71 @@
+type t = { name : string; schema : Schema.t; tuples : Tuple.t array }
+
+module Tuple_tbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+let dedup tuples =
+  let seen = Tuple_tbl.create (List.length tuples) in
+  List.filter
+    (fun t ->
+      if Tuple_tbl.mem seen t then false
+      else begin
+        Tuple_tbl.add seen t ();
+        true
+      end)
+    tuples
+
+let make ?(allow_all_null = false) name schema tuples =
+  let n = Schema.arity schema in
+  List.iter
+    (fun t ->
+      if Tuple.arity t <> n then
+        invalid_arg
+          (Printf.sprintf "Relation.make %s: tuple arity %d, schema arity %d" name
+             (Tuple.arity t) n);
+      if (not allow_all_null) && n > 0 && Tuple.all_null t then
+        invalid_arg (Printf.sprintf "Relation.make %s: all-null tuple" name))
+    tuples;
+  { name; schema; tuples = Array.of_list (dedup tuples) }
+
+let of_array_unsafe name schema tuples = { name; schema; tuples }
+let name t = t.name
+let schema t = t.schema
+let tuples t = Array.to_list t.tuples
+let cardinality t = Array.length t.tuples
+let is_empty t = Array.length t.tuples = 0
+let mem t tup = Array.exists (Tuple.equal tup) t.tuples
+let iter f t = Array.iter f t.tuples
+let fold f init t = Array.fold_left f init t.tuples
+let filter p t = { t with tuples = Array.of_list (List.filter p (tuples t)) }
+let with_name name t = { t with name }
+
+let rename_rel t ~from ~into =
+  { t with schema = Schema.rename_rel t.schema ~from ~into }
+
+let column_values t a =
+  let i = Schema.index t.schema a in
+  let seen = Hashtbl.create 16 in
+  fold
+    (fun acc tup ->
+      let v = tup.(i) in
+      if Value.is_null v || Hashtbl.mem seen v then acc
+      else begin
+        Hashtbl.add seen v ();
+        v :: acc
+      end)
+    [] t
+  |> List.rev
+
+let equal_contents a b =
+  Schema.equal a.schema b.schema
+  && cardinality a = cardinality b
+  && Array.for_all (fun t -> mem b t) a.tuples
+
+let pp ppf t =
+  Format.fprintf ppf "%s%a {@[<v>%a@]}" t.name Schema.pp t.schema
+    (Format.pp_print_list Tuple.pp)
+    (tuples t)

@@ -1,0 +1,40 @@
+(** Named finite sets of tuples over a scheme.
+
+    Relations use set semantics: {!make} and all operators deduplicate.
+    Tuples are stored in an array for cheap iteration; order is unspecified
+    except where an operation documents sorting. *)
+
+type t = private { name : string; schema : Schema.t; tuples : Tuple.t array }
+
+(** Build a relation, checking every tuple's arity and removing duplicates.
+    Raises [Invalid_argument] on arity mismatch or if a source tuple is
+    all-null (disallowed by the paper's preliminaries). Pass
+    [~allow_all_null:true] for intermediate results (e.g. padded
+    associations) where all-null rows may legitimately appear. *)
+val make : ?allow_all_null:bool -> string -> Schema.t -> Tuple.t list -> t
+
+(** Like {!make} without the all-null check and from an array (no copy). *)
+val of_array_unsafe : string -> Schema.t -> Tuple.t array -> t
+
+val name : t -> string
+val schema : t -> Schema.t
+val tuples : t -> Tuple.t list
+val cardinality : t -> int
+val is_empty : t -> bool
+val mem : t -> Tuple.t -> bool
+val iter : (Tuple.t -> unit) -> t -> unit
+val fold : ('a -> Tuple.t -> 'a) -> 'a -> t -> 'a
+val filter : (Tuple.t -> bool) -> t -> t
+val with_name : string -> t -> t
+
+(** Rename the owning node of every attribute; used to create relation
+    copies such as [Parents2]. *)
+val rename_rel : t -> from:string -> into:string -> t
+
+(** Values appearing in a column, nulls excluded, deduplicated. *)
+val column_values : t -> Attr.t -> Value.t list
+
+(** Set equality (same schema, same tuple set). *)
+val equal_contents : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+let table ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let cell row i = match List.nth_opt row i with Some c -> c | None -> "" in
+  let widths =
+    List.init ncols (fun i ->
+        List.fold_left (fun m row -> max m (String.length (cell row i))) 0 all)
+  in
+  let line row =
+    List.mapi
+      (fun i w ->
+        let c = cell row i in
+        c ^ String.make (w - String.length c) ' ')
+      widths
+    |> String.concat " | "
+    |> fun s -> "| " ^ s ^ " |"
+  in
+  let sep =
+    List.map (fun w -> String.make (w + 2) '-') widths
+    |> String.concat "+"
+    |> fun s -> "+" ^ s ^ "+"
+  in
+  String.concat "\n" (sep :: line header :: sep :: List.map line rows)
+  ^ "\n" ^ sep
+
+let headers_of ?qualified schema =
+  let multi = List.length (Schema.rels schema) > 1 in
+  let qualified = Option.value qualified ~default:multi in
+  Array.to_list (Schema.attrs schema)
+  |> List.map (fun a -> if qualified then Attr.to_string a else a.Attr.name)
+
+let relation ?qualified r =
+  let schema = Relation.schema r in
+  let header = headers_of ?qualified schema in
+  let rows =
+    Relation.tuples r
+    |> List.map (fun t -> Array.to_list (Array.map Value.to_string t))
+  in
+  Relation.name r ^ "\n" ^ table ~header rows
+
+let annotated ?qualified ~annot_header rows schema =
+  let header = annot_header :: headers_of ?qualified schema in
+  let body =
+    List.map
+      (fun (annot, t) -> annot :: Array.to_list (Array.map Value.to_string t))
+      rows
+  in
+  table ~header body

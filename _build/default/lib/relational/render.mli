@@ -1,0 +1,15 @@
+(** Plain-text table rendering — the reproduction's stand-in for Clio's GUI
+    workspaces and target viewer. *)
+
+(** Render a relation as an aligned ASCII table.  [qualified] controls
+    whether headers show ["Rel.col"] or just ["col"] (default: qualified
+    when the schema spans several nodes). *)
+val relation : ?qualified:bool -> Relation.t -> string
+
+(** Render arbitrary rows with a header. *)
+val table : header:string list -> string list list -> string
+
+(** Render with an extra leading annotation column (e.g. coverage tags or
+    +/- example polarity). *)
+val annotated :
+  ?qualified:bool -> annot_header:string -> (string * Tuple.t) list -> Schema.t -> string

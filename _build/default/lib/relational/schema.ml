@@ -1,0 +1,72 @@
+type t = { attrs : Attr.t array; index : (Attr.t, int) Hashtbl.t }
+
+let of_attrs l =
+  let attrs = Array.of_list l in
+  let index = Hashtbl.create (Array.length attrs) in
+  Array.iteri
+    (fun i a ->
+      if Hashtbl.mem index a then
+        invalid_arg ("Schema.of_attrs: duplicate attribute " ^ Attr.to_string a);
+      Hashtbl.add index a i)
+    attrs;
+  { attrs; index }
+
+let make rel names = of_attrs (List.map (Attr.make rel) names)
+let attrs t = t.attrs
+let arity t = Array.length t.attrs
+let index_opt t a = Hashtbl.find_opt t.index a
+
+let index t a =
+  match index_opt t a with
+  | Some i -> i
+  | None -> raise Not_found
+
+let mem t a = Hashtbl.mem t.index a
+
+let index_of_name t name =
+  let hits = ref [] in
+  Array.iteri (fun i a -> if String.equal a.Attr.name name then hits := i :: !hits) t.attrs;
+  match !hits with [ i ] -> Some i | _ -> None
+
+let append a b = of_attrs (Array.to_list a.attrs @ Array.to_list b.attrs)
+
+let rels t =
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  Array.iter
+    (fun a ->
+      if not (Hashtbl.mem seen a.Attr.rel) then begin
+        Hashtbl.add seen a.Attr.rel ();
+        order := a.Attr.rel :: !order
+      end)
+    t.attrs;
+  List.rev !order
+
+let positions_of_rel t rel =
+  let acc = ref [] in
+  Array.iteri (fun i a -> if String.equal a.Attr.rel rel then acc := i :: !acc) t.attrs;
+  List.rev !acc
+
+let project t l =
+  List.iter
+    (fun a ->
+      if not (mem t a) then
+        invalid_arg ("Schema.project: unknown attribute " ^ Attr.to_string a))
+    l;
+  of_attrs l
+
+let rename_rel t ~from ~into =
+  of_attrs
+    (Array.to_list t.attrs
+    |> List.map (fun a ->
+           if String.equal a.Attr.rel from then Attr.make into a.Attr.name else a))
+
+let equal a b =
+  arity a = arity b && Array.for_all2 Attr.equal a.attrs b.attrs
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Attr.pp)
+    (Array.to_list t.attrs)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,46 @@
+(** Relation schemes: an ordered sequence of qualified attributes.
+
+    The order fixes the physical layout of tuples ({!Tuple.t} is a value
+    array indexed by schema position), so all relational operators translate
+    attribute references to integer offsets exactly once. *)
+
+type t
+
+(** Build from an attribute list. Raises [Invalid_argument] on duplicates. *)
+val of_attrs : Attr.t list -> t
+
+(** Convenience: a scheme for one node, [make rel ["a"; "b"]]. *)
+val make : string -> string list -> t
+
+val attrs : t -> Attr.t array
+val arity : t -> int
+
+(** Position of an attribute. Raises [Not_found]. *)
+val index : t -> Attr.t -> int
+
+val index_opt : t -> Attr.t -> int option
+val mem : t -> Attr.t -> bool
+
+(** Position of the unique attribute with the given column [name], regardless
+    of owning node. [None] when absent or ambiguous. *)
+val index_of_name : t -> string -> int option
+
+(** Concatenation; raises [Invalid_argument] on attribute clashes. *)
+val append : t -> t -> t
+
+(** All distinct node names appearing in the scheme, in first-occurrence
+    order. *)
+val rels : t -> string list
+
+(** Positions owned by the given node name. *)
+val positions_of_rel : t -> string -> int list
+
+(** Schema for a sub-list of attributes (projection). *)
+val project : t -> Attr.t list -> t
+
+(** Rename the owning node of every attribute ([rename ~from ~into]). *)
+val rename_rel : t -> from:string -> into:string -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

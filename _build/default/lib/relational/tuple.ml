@@ -1,0 +1,46 @@
+type t = Value.t array
+
+let make = Array.of_list
+let arity = Array.length
+let get t i = t.(i)
+let value schema t a = t.(Schema.index schema a)
+let equal a b = Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+let compare a b =
+  let c = Int.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i = Array.length a then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 t
+let all_null t = Array.for_all Value.is_null t
+let nulls n = Array.make n Value.Null
+let concat = Array.append
+let project t positions = Array.of_list (List.map (fun i -> t.(i)) positions)
+
+let subsumes t1 t2 =
+  let n = Array.length t1 in
+  n = Array.length t2
+  &&
+  let rec go i =
+    if i = n then true
+    else if Value.is_null t2.(i) then go (i + 1)
+    else if Value.equal t1.(i) t2.(i) then go (i + 1)
+    else false
+  in
+  go 0
+
+let strictly_subsumes t1 t2 = subsumes t1 t2 && not (equal t1 t2)
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Value.pp)
+    (Array.to_list t)
+
+let to_string t = Format.asprintf "%a" pp t

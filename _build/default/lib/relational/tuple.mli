@@ -1,0 +1,41 @@
+(** Tuples: value arrays laid out according to a {!Schema.t}.
+
+    Tuples do not carry their schema; every operation that needs attribute
+    names takes the schema explicitly.  This keeps relations compact and
+    makes padding / concatenation (the workhorses of outer union and data
+    associations) cheap. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+val arity : t -> int
+val get : t -> int -> Value.t
+
+(** Value of a named attribute. Raises [Not_found] for unknown attributes. *)
+val value : Schema.t -> t -> Attr.t -> Value.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** [true] when every field is [Null]. The paper assumes source relations
+    contain no all-null tuples; this predicate enforces/checks that. *)
+val all_null : t -> bool
+
+(** An all-null tuple of the given arity. *)
+val nulls : int -> t
+
+val concat : t -> t -> t
+
+(** Project onto positions. *)
+val project : t -> int list -> t
+
+(** [subsumes t1 t2]: same scheme assumed; [t1[A] = t2[A]] wherever
+    [t2[A]] is non-null (Definition 3.8). *)
+val subsumes : t -> t -> bool
+
+(** Strict subsumption: subsumes and differs (Definition 3.8). *)
+val strictly_subsumes : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,62 @@
+type occurrence = { rel : string; column : string; count : int }
+
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+(* value -> (rel, column) -> count *)
+type t = { table : (string * string, int) Hashtbl.t Vtbl.t }
+
+let build db =
+  let table = Vtbl.create 1024 in
+  List.iter
+    (fun r ->
+      let rel = Relation.name r in
+      let attrs = Schema.attrs (Relation.schema r) in
+      Relation.iter
+        (fun tup ->
+          Array.iteri
+            (fun i v ->
+              if not (Value.is_null v) then begin
+                let by_loc =
+                  match Vtbl.find_opt table v with
+                  | Some h -> h
+                  | None ->
+                      let h = Hashtbl.create 4 in
+                      Vtbl.add table v h;
+                      h
+                in
+                let key = (rel, attrs.(i).Attr.name) in
+                Hashtbl.replace by_loc key
+                  (1 + Option.value (Hashtbl.find_opt by_loc key) ~default:0)
+              end)
+            tup)
+        r)
+    (Database.relations db);
+  { table }
+
+let find t v =
+  match Vtbl.find_opt t.table v with
+  | None -> []
+  | Some by_loc ->
+      Hashtbl.fold
+        (fun (rel, column) count acc -> { rel; column; count } :: acc)
+        by_loc []
+      |> List.sort (fun a b ->
+             match String.compare a.rel b.rel with
+             | 0 -> String.compare a.column b.column
+             | c -> c)
+
+let distinct_values t = Vtbl.length t.table
+
+let agrees_with_scan t db v =
+  let scanned =
+    Database.find_value db v
+    |> List.map (fun (rel, column, count) -> { rel; column; count })
+    |> List.sort compare
+  in
+  let indexed = find t v |> List.sort compare in
+  scanned = indexed

@@ -1,0 +1,24 @@
+(** Inverted value index over a database: value → every (relation, column)
+    where it occurs.
+
+    The data chase (Section 5.2) must locate "all occurrences of the value
+    within the data source"; scanning every cell per chase is linear in the
+    database, while this index answers in (amortized) constant time.  Bench
+    B5 compares the two.  The index is immutable and built once per
+    database snapshot. *)
+
+type occurrence = { rel : string; column : string; count : int }
+
+type t
+
+(** Build by one full scan.  Nulls are not indexed. *)
+val build : Database.t -> t
+
+(** Occurrences of a value, in relation-then-column order. *)
+val find : t -> Value.t -> occurrence list
+
+(** Number of distinct indexed values. *)
+val distinct_values : t -> int
+
+(** Consistency with {!Database.find_value} (test oracle). *)
+val agrees_with_scan : t -> Database.t -> Value.t -> bool

@@ -1,0 +1,1 @@
+lib/schemakb/kb.ml: Attr Database Format Integrity List Mine Option Predicate Printf Relational String

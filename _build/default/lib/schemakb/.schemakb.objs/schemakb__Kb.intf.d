@@ -1,0 +1,1 @@
+lib/schemakb/kb.mli: Database Format Mine Predicate Relational

@@ -1,0 +1,1 @@
+lib/schemakb/match.ml: Array Attr Buffer Database Float Format Fun List Relation Relational Schema Seq String

@@ -1,0 +1,1 @@
+lib/schemakb/match.mli: Attr Database Format Relational

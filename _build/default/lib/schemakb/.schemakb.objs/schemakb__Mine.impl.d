@@ -1,0 +1,1 @@
+lib/schemakb/mine.ml: Array Attr Database Format Hashtbl List Relation Relational Schema String Value

@@ -1,0 +1,1 @@
+lib/schemakb/mine.mli: Database Format Relational

@@ -1,0 +1,1 @@
+lib/schemakb/profile.ml: Array Attr Database Format Hashtbl List Printf Relation Relational Render Schema Value

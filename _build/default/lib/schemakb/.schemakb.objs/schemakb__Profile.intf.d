@@ -1,0 +1,1 @@
+lib/schemakb/profile.mli: Attr Database Format Relation Relational Value

@@ -1,0 +1,1 @@
+lib/schemakb/rank.ml: Format Kb List Querygraph String

@@ -1,0 +1,1 @@
+lib/schemakb/rank.mli: Format Kb Querygraph

@@ -1,0 +1,90 @@
+open Relational
+
+type origin = Declared | Mined of float | Asserted
+
+type join_pair = {
+  r1 : string;
+  r2 : string;
+  atoms : (string * string) list;
+  origin : origin;
+}
+
+type t = { pairs : join_pair list }
+
+let empty = { pairs = [] }
+
+let flip p =
+  { p with r1 = p.r2; r2 = p.r1; atoms = List.map (fun (a, b) -> (b, a)) p.atoms }
+
+let same_link a b =
+  (String.equal a.r1 b.r1 && String.equal a.r2 b.r2 && a.atoms = b.atoms)
+  ||
+  let fb = flip b in
+  String.equal a.r1 fb.r1 && String.equal a.r2 fb.r2 && a.atoms = fb.atoms
+
+let add t p = if List.exists (same_link p) t.pairs then t else { pairs = t.pairs @ [ p ] }
+let pairs t = t.pairs
+
+let joinable t rel =
+  List.filter_map
+    (fun p ->
+      if String.equal p.r1 rel then Some p
+      else if String.equal p.r2 rel then Some (flip p)
+      else None)
+    t.pairs
+
+let of_database db =
+  List.fold_left
+    (fun kb c ->
+      match c with
+      | Integrity.Foreign_key { rel; cols; ref_rel; ref_cols } ->
+          add kb
+            { r1 = rel; r2 = ref_rel; atoms = List.combine cols ref_cols; origin = Declared }
+      | Integrity.Primary_key _ | Integrity.Not_null _ -> kb)
+    empty (Database.constraints db)
+
+let add_mined t candidates =
+  List.fold_left
+    (fun kb (c : Mine.candidate) ->
+      add kb
+        {
+          r1 = c.Mine.rel;
+          r2 = c.Mine.ref_rel;
+          atoms = [ (c.Mine.col, c.Mine.ref_col) ];
+          origin = Mined c.Mine.confidence;
+        })
+    t candidates
+
+let predicate p ~alias1 ~alias2 =
+  Predicate.conj
+    (List.map
+       (fun (c1, c2) -> Predicate.eq_cols (Attr.make alias1 c1) (Attr.make alias2 c2))
+       p.atoms)
+
+(* Equality-atom set of a pure equi-predicate, orientation-normalized. *)
+let norm_atoms pred =
+  Predicate.as_equi_atoms pred
+  |> Option.map (fun atoms ->
+         atoms
+         |> List.map (fun (a, b) -> if Attr.compare a b <= 0 then (a, b) else (b, a))
+         |> List.sort compare)
+
+let matches_edge p ~alias1 ~alias2 pred =
+  match norm_atoms pred with
+  | None -> false
+  | Some edge_atoms ->
+      (* alias1 may instantiate either side of the pair. *)
+      let candidate1 = norm_atoms (predicate p ~alias1 ~alias2) in
+      let candidate2 = norm_atoms (predicate (flip p) ~alias1 ~alias2) in
+      candidate1 = Some edge_atoms || candidate2 = Some edge_atoms
+
+let pp_origin ppf = function
+  | Declared -> Format.pp_print_string ppf "declared"
+  | Mined c -> Format.fprintf ppf "mined %.2f" c
+  | Asserted -> Format.pp_print_string ppf "asserted"
+
+let pp_pair ppf p =
+  Format.fprintf ppf "%s ~ %s on %s (%a)" p.r1 p.r2
+    (String.concat " and "
+       (List.map (fun (a, b) -> Printf.sprintf "%s.%s = %s.%s" p.r1 a p.r2 b) p.atoms))
+    pp_origin p.origin

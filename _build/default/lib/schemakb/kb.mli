@@ -1,0 +1,47 @@
+(** Clio's schema knowledge base (Section 5.1): "knowledge of a (possibly
+    empty) set of potential query graphs for joining any two source
+    relations", gathered from declared constraints and from mining the data.
+
+    The KB stores {e join pairs}: unordered pairs of base relations with the
+    column equalities that link them, tagged with their provenance.  The
+    walk operator enumerates paths through these pairs. *)
+
+open Relational
+
+type origin =
+  | Declared  (** from a foreign key in the catalog *)
+  | Mined of float  (** inclusion-dependency mining; payload = confidence *)
+  | Asserted  (** input by the user *)
+
+type join_pair = {
+  r1 : string;
+  r2 : string;
+  atoms : (string * string) list;  (** column of [r1] = column of [r2] *)
+  origin : origin;
+}
+
+type t
+
+val empty : t
+val add : t -> join_pair -> t
+val pairs : t -> join_pair list
+
+(** Join pairs incident to a base relation; each is returned oriented so
+    that its [r1] is the queried relation. *)
+val joinable : t -> string -> join_pair list
+
+(** Build a KB from a database's declared foreign keys. *)
+val of_database : Database.t -> t
+
+(** Extend with mined pairs (see {!Mine}). *)
+val add_mined : t -> Mine.candidate list -> t
+
+(** The predicate for a pair, with [r1]/[r2] replaced by the given aliases. *)
+val predicate : join_pair -> alias1:string -> alias2:string -> Predicate.t
+
+(** True when a query-graph edge between these aliases (of the pair's base
+    relations) would carry exactly this pair's predicate. *)
+val matches_edge :
+  join_pair -> alias1:string -> alias2:string -> Predicate.t -> bool
+
+val pp_pair : Format.formatter -> join_pair -> unit

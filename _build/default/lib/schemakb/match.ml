@@ -1,0 +1,94 @@
+open Relational
+
+type candidate = { source : Attr.t; target_col : string; score : float }
+
+let normalize s =
+  String.lowercase_ascii s
+  |> String.to_seq
+  |> Seq.filter (fun c -> c <> '_' && c <> '-' && c <> ' ')
+  |> String.of_seq
+
+(* Split camelCase / snake_case into lowercase tokens. *)
+let tokens s =
+  let out = ref [] and buf = Buffer.create 8 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := String.lowercase_ascii (Buffer.contents buf) :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      if c = '_' || c = '-' || c = ' ' then flush ()
+      else begin
+        if c >= 'A' && c <= 'Z' && Buffer.length buf > 0 then begin
+          (* camelCase boundary, unless we're inside an acronym *)
+          let last = Buffer.nth buf (Buffer.length buf - 1) in
+          if not (last >= 'A' && last <= 'Z') then flush ()
+        end;
+        Buffer.add_char buf c
+      end)
+    s;
+  flush ();
+  List.rev !out
+
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let curr = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    curr.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      curr.(j) <- min (min (curr.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit curr 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let name_similarity a b =
+  let na = normalize a and nb = normalize b in
+  if String.equal na nb then 1.0
+  else
+    let ta = tokens a and tb = tokens b in
+    let token_contained =
+      (ta <> [] && List.for_all (fun t -> List.mem t tb) ta)
+      || (tb <> [] && List.for_all (fun t -> List.mem t ta) tb)
+    in
+    let prefix =
+      String.length na >= 3 && String.length nb >= 3
+      && (String.starts_with ~prefix:na nb || String.starts_with ~prefix:nb na)
+    in
+    let lev =
+      let d = levenshtein na nb in
+      let m = max (String.length na) (String.length nb) in
+      if m = 0 then 0.0 else 1.0 -. (float_of_int d /. float_of_int m)
+    in
+    if token_contained || prefix then Float.max 0.75 lev else lev
+
+let suggest ?(threshold = 0.55) ?(per_target = 3) db ~target_cols =
+  let sources =
+    List.concat_map
+      (fun r ->
+        Array.to_list (Schema.attrs (Relation.schema r)))
+      (Database.relations db)
+  in
+  List.concat_map
+    (fun target_col ->
+      sources
+      |> List.filter_map (fun source ->
+             let score = name_similarity source.Attr.name target_col in
+             if score +. 1e-9 >= threshold then Some { source; target_col; score }
+             else None)
+      |> List.sort (fun a b ->
+             match compare b.score a.score with
+             | 0 -> Attr.compare a.source b.source
+             | c -> c)
+      |> List.filteri (fun i _ -> i < per_target))
+    target_cols
+
+let best_per_target ?threshold db ~target_cols =
+  suggest ?threshold ~per_target:1 db ~target_cols
+
+let pp_candidate ppf c =
+  Format.fprintf ppf "%a -> %s (%.2f)" Attr.pp c.source c.target_col c.score

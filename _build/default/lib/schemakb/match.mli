@@ -1,0 +1,37 @@
+(** Automatic attribute matching — the "automated tool [7]" the paper
+    allows as the source of value correspondences (Section 3.1).
+
+    Matching is schematic: source column names are compared to target
+    column names by normalized string similarity (token-aware Levenshtein),
+    so ["Children.ID" → "Kids.ID"] and ["contact_phone" → "contactPh"]
+    score high.  The result is a ranked list of {e candidate}
+    correspondences for the user (or a test) to confirm — matching only
+    proposes; Clio's data-driven loop verifies. *)
+
+open Relational
+
+type candidate = {
+  source : Attr.t;
+  target_col : string;
+  score : float;  (** 0..1, higher is better *)
+}
+
+(** Similarity between two column names: 1.0 for equal after
+    normalization (case, underscores); token containment scores at least
+    0.75; otherwise 1 - normalized Levenshtein distance. *)
+val name_similarity : string -> string -> float
+
+(** All candidates scoring at least [threshold] (default 0.55), best
+    first; at most [per_target] (default 3) per target column. *)
+val suggest :
+  ?threshold:float ->
+  ?per_target:int ->
+  Database.t ->
+  target_cols:string list ->
+  candidate list
+
+(** The single best-scoring candidate per target column. *)
+val best_per_target :
+  ?threshold:float -> Database.t -> target_cols:string list -> candidate list
+
+val pp_candidate : Format.formatter -> candidate -> unit

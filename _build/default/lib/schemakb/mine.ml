@@ -1,0 +1,75 @@
+open Relational
+
+type candidate = {
+  rel : string;
+  col : string;
+  ref_rel : string;
+  ref_col : string;
+  confidence : float;
+}
+
+type column = {
+  c_rel : string;
+  c_name : string;
+  distinct : Value.t list;
+  value_set : (Value.t, unit) Hashtbl.t;
+  is_key : bool;  (** no duplicates among non-null values and no nulls *)
+}
+
+let columns_of db =
+  List.concat_map
+    (fun r ->
+      let schema = Relation.schema r in
+      let rname = Relation.name r in
+      Array.to_list (Schema.attrs schema)
+      |> List.map (fun a ->
+             let i = Schema.index schema a in
+             let seen = Hashtbl.create 64 in
+             let nulls = ref 0 and dups = ref 0 in
+             Relation.iter
+               (fun t ->
+                 let v = t.(i) in
+                 if Value.is_null v then incr nulls
+                 else if Hashtbl.mem seen v then incr dups
+                 else Hashtbl.add seen v ())
+               r;
+             {
+               c_rel = rname;
+               c_name = a.Attr.name;
+               distinct = Hashtbl.fold (fun v () acc -> v :: acc) seen [];
+               value_set = seen;
+               is_key = !dups = 0 && !nulls = 0 && Relation.cardinality r > 0;
+             }))
+    (Database.relations db)
+
+let inclusion_dependencies ?(min_overlap = 1.0) ?(require_key = true) db =
+  let cols = columns_of db in
+  List.concat_map
+    (fun c ->
+      if c.distinct = [] then []
+      else
+        List.filter_map
+          (fun ref_c ->
+            if String.equal c.c_rel ref_c.c_rel then None
+            else if require_key && not ref_c.is_key then None
+            else
+              let total = List.length c.distinct in
+              let contained =
+                List.length (List.filter (Hashtbl.mem ref_c.value_set) c.distinct)
+              in
+              let confidence = float_of_int contained /. float_of_int total in
+              if confidence +. 1e-9 >= min_overlap then
+                Some
+                  {
+                    rel = c.c_rel;
+                    col = c.c_name;
+                    ref_rel = ref_c.c_rel;
+                    ref_col = ref_c.c_name;
+                    confidence;
+                  }
+              else None)
+          cols)
+    cols
+
+let pp_candidate ppf c =
+  Format.fprintf ppf "%s.%s ⊆ %s.%s (%.2f)" c.rel c.col c.ref_rel c.ref_col c.confidence

@@ -1,0 +1,24 @@
+(** Inclusion-dependency mining — how Clio "mines the source data" for join
+    knowledge when constraints are not declared (Section 5.1).
+
+    A candidate [rel.col ⊆ ref_rel.ref_col] is reported when the non-null
+    values of [col] overlap the values of [ref_col] by at least
+    [min_overlap], and (if [require_key]) [ref_col] is duplicate-free. *)
+
+open Relational
+
+type candidate = {
+  rel : string;
+  col : string;
+  ref_rel : string;
+  ref_col : string;
+  confidence : float;  (** fraction of distinct non-null values contained *)
+}
+
+(** Scan all ordered column pairs across distinct relations.  Skips empty
+    columns.  [min_overlap] defaults to 1.0 (exact inclusion); [require_key]
+    defaults to [true]. *)
+val inclusion_dependencies :
+  ?min_overlap:float -> ?require_key:bool -> Database.t -> candidate list
+
+val pp_candidate : Format.formatter -> candidate -> unit

@@ -1,0 +1,78 @@
+open Relational
+
+type column_stats = {
+  rel : string;
+  column : string;
+  rows : int;
+  non_null : int;
+  distinct : int;
+  null_rate : float;
+  is_key_candidate : bool;
+  min_value : Value.t;
+  max_value : Value.t;
+}
+
+let column r a =
+  let schema = Relation.schema r in
+  let i = Schema.index schema a in
+  let seen = Hashtbl.create 64 in
+  let non_null = ref 0 in
+  let min_v = ref Value.Null and max_v = ref Value.Null in
+  Relation.iter
+    (fun t ->
+      let v = t.(i) in
+      if not (Value.is_null v) then begin
+        incr non_null;
+        if not (Hashtbl.mem seen v) then Hashtbl.add seen v ();
+        if Value.is_null !min_v || Value.compare v !min_v < 0 then min_v := v;
+        if Value.is_null !max_v || Value.compare v !max_v > 0 then max_v := v
+      end)
+    r;
+  let rows = Relation.cardinality r in
+  let distinct = Hashtbl.length seen in
+  {
+    rel = Relation.name r;
+    column = a.Attr.name;
+    rows;
+    non_null = !non_null;
+    distinct;
+    null_rate =
+      (if rows = 0 then 0.0 else float_of_int (rows - !non_null) /. float_of_int rows);
+    is_key_candidate = rows > 0 && !non_null = rows && distinct = rows;
+    min_value = !min_v;
+    max_value = !max_v;
+  }
+
+let relation r =
+  Array.to_list (Schema.attrs (Relation.schema r)) |> List.map (column r)
+
+let database db = List.concat_map relation (Database.relations db)
+
+let key_candidates r =
+  relation r |> List.filter (fun s -> s.is_key_candidate) |> List.map (fun s -> s.column)
+
+let pp ppf s =
+  Format.fprintf ppf "%s.%s: %d rows, %d distinct, %.0f%% null%s" s.rel s.column s.rows
+    s.distinct (s.null_rate *. 100.)
+    (if s.is_key_candidate then ", key candidate" else "")
+
+let render stats =
+  let header =
+    [ "column"; "rows"; "non-null"; "distinct"; "null%"; "key?"; "min"; "max" ]
+  in
+  let rows =
+    List.map
+      (fun s ->
+        [
+          s.rel ^ "." ^ s.column;
+          string_of_int s.rows;
+          string_of_int s.non_null;
+          string_of_int s.distinct;
+          Printf.sprintf "%.0f" (s.null_rate *. 100.);
+          (if s.is_key_candidate then "yes" else "");
+          Value.to_string s.min_value;
+          Value.to_string s.max_value;
+        ])
+      stats
+  in
+  Render.table ~header rows

@@ -1,0 +1,33 @@
+(** Source-data profiling — the statistics Clio mines to understand an
+    unfamiliar source (Section 5.1: knowledge "gathered from schema and
+    constraint definitions and from mining the source data").
+
+    Per-column statistics feed the knowledge base (key candidates, join
+    candidates), the CLI's [profile] command, and help users judge
+    completeness (null rates surface where outer joins will pad). *)
+
+open Relational
+
+type column_stats = {
+  rel : string;
+  column : string;
+  rows : int;
+  non_null : int;
+  distinct : int;
+  null_rate : float;
+  is_key_candidate : bool;  (** no nulls, all distinct, non-empty *)
+  min_value : Value.t;  (** [Null] when the column is all null *)
+  max_value : Value.t;
+}
+
+val column : Relation.t -> Attr.t -> column_stats
+val relation : Relation.t -> column_stats list
+val database : Database.t -> column_stats list
+
+(** Key-candidate columns of a relation. *)
+val key_candidates : Relation.t -> string list
+
+val pp : Format.formatter -> column_stats -> unit
+
+(** Aligned text table for a list of stats (the CLI's profile view). *)
+val render : column_stats list -> string

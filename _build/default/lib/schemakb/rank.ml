@@ -1,0 +1,63 @@
+module Qgraph = Querygraph.Qgraph
+
+type score = {
+  added_nodes : int;
+  added_edges : int;
+  copies : int;
+  undeclared_edges : int;
+}
+
+let total s = (2 * s.added_nodes) + s.added_edges + (3 * s.copies) + (2 * s.undeclared_edges)
+
+let score ~kb ~old candidate =
+  let old_aliases = Qgraph.aliases old in
+  let new_nodes =
+    Qgraph.nodes candidate
+    |> List.filter (fun n -> not (List.mem n.Qgraph.alias old_aliases))
+  in
+  let new_edges =
+    Qgraph.edges candidate
+    |> List.filter (fun e ->
+           match Qgraph.find_edge old e.Qgraph.n1 e.Qgraph.n2 with
+           | Some _ -> false
+           | None -> true)
+  in
+  let copies =
+    List.filter
+      (fun n ->
+        Qgraph.nodes candidate
+        |> List.exists (fun m ->
+               (not (String.equal m.Qgraph.alias n.Qgraph.alias))
+               && String.equal m.Qgraph.base n.Qgraph.base))
+      new_nodes
+  in
+  let declared e =
+    let b1 = Qgraph.base_of candidate e.Qgraph.n1 in
+    let b2 = Qgraph.base_of candidate e.Qgraph.n2 in
+    Kb.pairs kb
+    |> List.exists (fun p ->
+           (match p.Kb.origin with Kb.Declared -> true | _ -> false)
+           && ((String.equal p.Kb.r1 b1 && String.equal p.Kb.r2 b2)
+              || (String.equal p.Kb.r1 b2 && String.equal p.Kb.r2 b1))
+           && Kb.matches_edge p ~alias1:e.Qgraph.n1 ~alias2:e.Qgraph.n2 e.Qgraph.pred)
+  in
+  {
+    added_nodes = List.length new_nodes;
+    added_edges = List.length new_edges;
+    copies = List.length copies;
+    undeclared_edges = List.length (List.filter (fun e -> not (declared e)) new_edges);
+  }
+
+let order ~kb ~old candidates =
+  let keyed =
+    List.map
+      (fun g ->
+        let s = score ~kb ~old g in
+        ((total s, Qgraph.node_count g, Qgraph.to_string g), g))
+      candidates
+  in
+  List.sort (fun (ka, _) (kb', _) -> compare ka kb') keyed |> List.map snd
+
+let pp ppf s =
+  Format.fprintf ppf "+%d nodes, +%d edges, %d copies, %d undeclared edges (total %d)"
+    s.added_nodes s.added_edges s.copies s.undeclared_edges (total s)

@@ -1,0 +1,25 @@
+(** Ranking heuristics for alternative mappings (Section 6.1): "Clio tries
+    to order them from most likely to least likely, using simple heuristics
+    related to path length, least perturbation to the current active
+    mapping, etc."  Lower score = more likely. *)
+
+module Qgraph = Querygraph.Qgraph
+
+type score = {
+  added_nodes : int;  (** perturbation: new nodes vs the old graph *)
+  added_edges : int;
+  copies : int;  (** aliases whose base already appears under another alias *)
+  undeclared_edges : int;  (** edges not backed by a Declared KB pair *)
+}
+
+val total : score -> int
+
+(** [score ~kb ~old candidate] — perturbation of [candidate] relative to
+    [old], with KB-alignment of its new edges. *)
+val score : kb:Kb.t -> old:Qgraph.t -> Qgraph.t -> score
+
+(** Sort candidates by {!total}, ties broken by node count then by a
+    deterministic graph rendering. *)
+val order : kb:Kb.t -> old:Qgraph.t -> Qgraph.t list -> Qgraph.t list
+
+val pp : Format.formatter -> score -> unit

@@ -1,0 +1,1 @@
+lib/synth/gen_db.ml: Array Float Fun List Printf Random Relation Relational Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/synth/gen_db.mli: Random Relation Relational Tuple

@@ -1,0 +1,1 @@
+lib/synth/gen_graph.ml: Attr Database Gen_db Integrity List Predicate Printf Querygraph Random Relational Schemakb String

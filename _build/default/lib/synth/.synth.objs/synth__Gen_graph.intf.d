@@ -1,0 +1,1 @@
+lib/synth/gen_graph.mli: Database Querygraph Random Relational Schemakb

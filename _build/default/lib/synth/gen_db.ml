@@ -1,0 +1,81 @@
+open Relational
+
+type fk_spec = { target : string; null_prob : float; orphan_prob : float }
+
+let sample_ids st ~rows ~key_space =
+  if rows <= key_space then begin
+    (* Fisher–Yates prefix over the key space. *)
+    let arr = Array.init key_space Fun.id in
+    for i = 0 to min (rows - 1) (key_space - 1) do
+      let j = i + Random.State.int st (key_space - i) in
+      let t = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- t
+    done;
+    Array.to_list (Array.sub arr 0 rows)
+  end
+  else List.init rows (fun i -> i mod key_space)
+
+let relation st ~name ~rows ~payload_cols ~fks ~key_space =
+  let cols =
+    "id"
+    :: (List.init payload_cols (fun i -> Printf.sprintf "p%d" i)
+       @ List.map (fun f -> "fk_" ^ f.target) fks)
+  in
+  let schema = Schema.make name cols in
+  let ids = sample_ids st ~rows ~key_space in
+  let tuples =
+    List.map
+      (fun id ->
+        let payload =
+          List.init payload_cols (fun i ->
+              Value.String (Printf.sprintf "%s-%d-%d" name i (Random.State.int st 1000)))
+        in
+        let fk_vals =
+          List.map
+            (fun f ->
+              let r = Random.State.float st 1.0 in
+              if r < f.null_prob then Value.Null
+              else if r < f.null_prob +. f.orphan_prob then
+                Value.Int (key_space + Random.State.int st key_space)
+              else Value.Int (Random.State.int st key_space))
+            fks
+        in
+        Tuple.make ((Value.Int id :: payload) @ fk_vals))
+      ids
+  in
+  Relation.make name schema tuples
+
+let sparse_tuples st ~rows ~arity ~null_prob ~domain =
+  List.init rows (fun _ ->
+      Array.init arity (fun _ ->
+          if Random.State.float st 1.0 < null_prob then Value.Null
+          else Value.Int (Random.State.int st domain)))
+
+let skewed_tuples st ~rows ~arity ~null_prob ~domain ?(zipf_s = 1.0) () =
+  (* Inverse-CDF sampling over the (finite) Zipf distribution. *)
+  let weights =
+    Array.init domain (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) zipf_s)
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make domain 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  let sample () =
+    let u = Random.State.float st 1.0 in
+    let rec bisect lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cdf.(mid) < u then bisect (mid + 1) hi else bisect lo mid
+    in
+    bisect 0 (domain - 1)
+  in
+  List.init rows (fun _ ->
+      Array.init arity (fun _ ->
+          if Random.State.float st 1.0 < null_prob then Value.Null
+          else Value.Int (sample ())))

@@ -1,0 +1,45 @@
+(** Deterministic random data generation for benchmarks and property tests.
+
+    All generators take an explicit [Random.State.t]; the same seed yields
+    the same database. *)
+
+open Relational
+
+type fk_spec = {
+  target : string;  (** referenced relation *)
+  null_prob : float;  (** probability the FK value is null *)
+  orphan_prob : float;  (** probability it references a missing key *)
+}
+
+(** [relation st ~name ~rows ~payload_cols ~fks ~key_space] — a relation
+    with an ["id"] key column (values [0 .. key_space-1], unique, sampled
+    without replacement when [rows <= key_space]), [payload_cols] string
+    columns, and one column ["fk_<target>"] per FK spec.  Orphan references
+    land outside [0 .. key_space-1]. *)
+val relation :
+  Random.State.t ->
+  name:string ->
+  rows:int ->
+  payload_cols:int ->
+  fks:fk_spec list ->
+  key_space:int ->
+  Relation.t
+
+(** A random tuple list over an arbitrary scheme with a given null rate and
+    value domain size — used by property tests for subsumption-heavy
+    inputs. *)
+val sparse_tuples :
+  Random.State.t -> rows:int -> arity:int -> null_prob:float -> domain:int -> Tuple.t list
+
+(** Like {!sparse_tuples} but with Zipf-distributed values (exponent
+    [s]≈1): a few very frequent values and a long tail, the regime where
+    selectivity-aware index probing pays off (bench B1's skew variant). *)
+val skewed_tuples :
+  Random.State.t ->
+  rows:int ->
+  arity:int ->
+  null_prob:float ->
+  domain:int ->
+  ?zipf_s:float ->
+  unit ->
+  Tuple.t list

@@ -1,0 +1,64 @@
+open Relational
+module Qgraph = Querygraph.Qgraph
+
+type instance = { db : Database.t; graph : Qgraph.t; kb : Schemakb.Kb.t }
+
+(* [edges] are (child, parent) pairs: child holds fk_<parent>. *)
+let build st ~names ~edges ~rows ~null_prob ~orphan_prob =
+  let key_space = max 1 rows in
+  let fks_of name =
+    List.filter_map
+      (fun (c, p) ->
+        if String.equal c name then
+          Some { Gen_db.target = p; null_prob; orphan_prob }
+        else None)
+      edges
+  in
+  let rels =
+    List.map
+      (fun name ->
+        Gen_db.relation st ~name ~rows ~payload_cols:1 ~fks:(fks_of name) ~key_space)
+      names
+  in
+  let constraints =
+    List.map
+      (fun (c, p) ->
+        Integrity.Foreign_key
+          { rel = c; cols = [ "fk_" ^ p ]; ref_rel = p; ref_cols = [ "id" ] })
+      edges
+  in
+  let db = Database.of_relations ~constraints rels in
+  let graph =
+    Qgraph.make
+      (List.map (fun n -> (n, n)) names)
+      (List.map
+         (fun (c, p) ->
+           (c, p, Predicate.eq_cols (Attr.make c ("fk_" ^ p)) (Attr.make p "id")))
+         edges)
+  in
+  { db; graph; kb = Schemakb.Kb.of_database db }
+
+let name i = Printf.sprintf "R%d" (i + 1)
+
+let chain st ~n ~rows ?(null_prob = 0.15) ?(orphan_prob = 0.1) () =
+  if n < 1 then invalid_arg "Gen_graph.chain: n >= 1 required";
+  let names = List.init n name in
+  let edges = List.init (n - 1) (fun i -> (name i, name (i + 1))) in
+  build st ~names ~edges ~rows ~null_prob ~orphan_prob
+
+let star st ~leaves ~rows ?(null_prob = 0.15) ?(orphan_prob = 0.1) () =
+  if leaves < 1 then invalid_arg "Gen_graph.star: leaves >= 1 required";
+  let dims = List.init leaves (fun i -> Printf.sprintf "D%d" (i + 1)) in
+  let edges = List.map (fun d -> ("Fact", d)) dims in
+  build st ~names:("Fact" :: dims) ~edges ~rows ~null_prob ~orphan_prob
+
+let random_tree st ~n ~rows ?(null_prob = 0.15) ?(orphan_prob = 0.1) () =
+  if n < 1 then invalid_arg "Gen_graph.random_tree: n >= 1 required";
+  let names = List.init n name in
+  let edges =
+    List.init (n - 1) (fun i ->
+        let child = i + 1 in
+        let parent = Random.State.int st child in
+        (name child, name parent))
+  in
+  build st ~names ~edges ~rows ~null_prob ~orphan_prob

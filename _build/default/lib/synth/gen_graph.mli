@@ -1,0 +1,41 @@
+(** Synthetic schema shapes: a database, the query graph over it, and the
+    matching knowledge base — the substrate for the scaling benchmarks (B2,
+    B4, B5) and for property tests over random tree graphs. *)
+
+open Relational
+module Qgraph = Querygraph.Qgraph
+
+type instance = { db : Database.t; graph : Qgraph.t; kb : Schemakb.Kb.t }
+
+(** [chain st ~n ~rows ...] — relations R1 … Rn, each Ri (i<n) holding a
+    foreign key into R(i+1); the query graph is the n-node path. *)
+val chain :
+  Random.State.t ->
+  n:int ->
+  rows:int ->
+  ?null_prob:float ->
+  ?orphan_prob:float ->
+  unit ->
+  instance
+
+(** [star st ~leaves ~rows ...] — a hub relation [Fact] with one FK per
+    leaf dimension [D1 … Dn]; the query graph is the star. *)
+val star :
+  Random.State.t ->
+  leaves:int ->
+  rows:int ->
+  ?null_prob:float ->
+  ?orphan_prob:float ->
+  unit ->
+  instance
+
+(** A uniformly random tree over [n] relations (random parent for each
+    node), for property tests. *)
+val random_tree :
+  Random.State.t ->
+  n:int ->
+  rows:int ->
+  ?null_prob:float ->
+  ?orphan_prob:float ->
+  unit ->
+  instance

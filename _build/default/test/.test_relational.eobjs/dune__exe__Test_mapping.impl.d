@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Array Attr Clio Correspondence Database Example Expr Fulldisj List Mapping Mapping_eval Mapping_sql Predicate Querygraph Relation Relational Schema String Tuple Value

@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Expr Paperdata Parse Predicate Relational Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_querygraph.ml: Alcotest Attr List Predicate Querygraph Relation Relational Schema String

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Algebra Array Attr Csv_io Database Expr Integrity List Option Predicate Printf Relation Relational Render Schema String Sys Tuple Value

@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Attr Clio Correspondence Database Example Fulldisj List Mapping Mapping_eval Paperdata Querygraph Random Relation Relational Sampling Sufficiency Synth

@@ -1,0 +1,1 @@
+test/test_schemakb.ml: Alcotest Attr Database Integrity List Predicate Querygraph Relation Relational Schema Schemakb Tuple Value

@@ -1,0 +1,1 @@
+test/test_script.ml: Alcotest Clio Correspondence List Mapping Option Paperdata Relational Script String

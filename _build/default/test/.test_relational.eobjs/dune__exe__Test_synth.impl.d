@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Attr Database Fulldisj List Querygraph Random Relation Relational Schema Schemakb Synth Tuple Value

@@ -1,0 +1,189 @@
+(* Tests for static category analysis (pruned evaluation) and whole-schema
+   projects. *)
+
+open Relational
+open Clio
+module Qgraph = Querygraph.Qgraph
+
+let db = Paperdata.Figure1.database
+let eq r1 c1 r2 c2 = Predicate.eq_cols (Attr.make r1 c1) (Attr.make r2 c2)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* --- Mapping_analysis --- *)
+
+let m9 = Paperdata.Running.mapping
+
+let test_required_aliases () =
+  (* Kids.ID not null, ID ← Children.ID: Children is required. *)
+  Alcotest.(check (list string)) "children required" [ "Children" ]
+    (Mapping_analysis.required_aliases m9)
+
+let test_category_verdicts () =
+  let verdict aliases =
+    Mapping_analysis.category_verdict m9 (Fulldisj.Coverage.of_list aliases)
+  in
+  (match verdict [ "Parents"; "PhoneDir" ] with
+  | Mapping_analysis.Always_negative [ "Children" ] -> ()
+  | _ -> Alcotest.fail "PPh should be doomed for missing Children");
+  match verdict [ "Children"; "Parents" ] with
+  | Mapping_analysis.Possibly_positive -> ()
+  | Mapping_analysis.Always_negative _ -> Alcotest.fail "CP can be positive"
+
+let test_possibly_positive_categories () =
+  let cats = Mapping_analysis.possibly_positive_categories m9 in
+  (* Of the 10 connected subgraphs of the 4-node path, exactly those
+     containing Children survive: C, CP, CS, CPPh, CPS, CPPhS -> 6. *)
+  Alcotest.(check int) "six categories" 6 (List.length cats);
+  List.iter
+    (fun c -> Alcotest.(check bool) "has Children" true (List.mem "Children" c))
+    cats
+
+let test_eval_pruned_equals_eval () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "pruned = full" true
+        (Relation.equal_contents (Mapping_eval.eval db m)
+           (Mapping_analysis.eval_pruned db m)))
+    [ m9; Paperdata.Running.section2_mapping; Paperdata.Running.mapping_g1 ]
+
+let test_eval_pruned_random_instances () =
+  for seed = 0 to 15 do
+    let st = Random.State.make [| seed |] in
+    let inst =
+      Synth.Gen_graph.random_tree st ~n:4 ~rows:25 ~null_prob:0.3 ~orphan_prob:0.25 ()
+    in
+    let aliases = Qgraph.aliases inst.Synth.Gen_graph.graph in
+    let m =
+      Mapping.make ~graph:inst.Synth.Gen_graph.graph ~target:"T"
+        ~target_cols:(List.map (fun a -> "c_" ^ a) aliases)
+        ~correspondences:
+          (List.map
+             (fun a -> Correspondence.identity ("c_" ^ a) (Attr.make a "id"))
+             aliases)
+        ~target_filters:
+          [ Predicate.Is_not_null (Expr.col "T" ("c_" ^ List.hd aliases)) ]
+        ()
+    in
+    Alcotest.(check bool) "pruned = full" true
+      (Relation.equal_contents
+         (Mapping_eval.eval inst.Synth.Gen_graph.db m)
+         (Mapping_analysis.eval_pruned inst.Synth.Gen_graph.db m))
+  done
+
+let test_no_filter_means_everything_possible () =
+  let bare = Mapping.phi m9 in
+  Alcotest.(check (list string)) "no required aliases" []
+    (Mapping_analysis.required_aliases bare);
+  Alcotest.(check int) "all 10 categories" 10
+    (List.length (Mapping_analysis.possibly_positive_categories bare))
+
+(* --- Schema_project --- *)
+
+let kids_mapping =
+  Mapping.make
+    ~graph:
+      (Qgraph.make
+         [ ("Children", "Children"); ("Parents", "Parents") ]
+         [ ("Children", "Parents", eq "Children" "fid" "Parents" "ID") ])
+    ~target:"Kids"
+    ~target_cols:[ "ID"; "name"; "father_id" ]
+    ~correspondences:
+      [
+        Clio.corr_identity "ID" "Children" "ID";
+        Clio.corr_identity "name" "Children" "name";
+        Clio.corr_identity "father_id" "Children" "fid";
+      ]
+    ~target_filters:[ Predicate.Is_not_null (Expr.col "Kids" "ID") ]
+    ()
+
+let guardians_mapping =
+  Mapping.make
+    ~graph:(Qgraph.singleton ~alias:"Parents" ~base:"Parents")
+    ~target:"Guardians"
+    ~target_cols:[ "id"; "affiliation" ]
+    ~correspondences:
+      [
+        Clio.corr_identity "id" "Parents" "ID";
+        Clio.corr_identity "affiliation" "Parents" "affiliation";
+      ]
+    ()
+
+let target_fk =
+  Integrity.Foreign_key
+    { rel = "Kids"; cols = [ "father_id" ]; ref_rel = "Guardians"; ref_cols = [ "id" ] }
+
+let schema_project () =
+  let sp = Schema_project.create ~constraints:[ target_fk ] () in
+  let sp = Schema_project.add_target sp ~target:"Kids" ~cols:[ "ID"; "name"; "father_id" ] in
+  let sp = Schema_project.add_target sp ~target:"Guardians" ~cols:[ "id"; "affiliation" ] in
+  sp
+
+let test_schema_project_materialize_and_check () =
+  let sp = schema_project () in
+  let sp = Schema_project.accept sp kids_mapping in
+  let sp = Schema_project.accept sp guardians_mapping in
+  let inst = Schema_project.materialize db sp in
+  Alcotest.(check (list string)) "two targets" [ "Kids"; "Guardians" ]
+    (Database.relation_names inst);
+  Alcotest.(check int) "4 kids" 4 (Relation.cardinality (Database.get inst "Kids"));
+  (* All fathers are in Parents: the cross-target FK holds. *)
+  Alcotest.(check int) "no violations" 0 (List.length (Schema_project.check db sp))
+
+let test_schema_project_detects_fk_violation () =
+  (* Kids accepted but Guardians left unmapped: every father_id dangles. *)
+  let sp = Schema_project.accept (schema_project ()) kids_mapping in
+  Alcotest.(check bool) "violations" true
+    (List.length (Schema_project.check db sp) > 0)
+
+let test_schema_project_report () =
+  let sp = Schema_project.accept (schema_project ()) kids_mapping in
+  let s = Schema_project.report db sp in
+  Alcotest.(check bool) "mentions both targets" true
+    (contains s "Kids" && contains s "Guardians");
+  Alcotest.(check bool) "mentions mappings count" true (contains s "(1 mapping)")
+
+let test_schema_project_duplicate_target () =
+  let sp = schema_project () in
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Schema_project.add_target: duplicate target Kids") (fun () ->
+      ignore (Schema_project.add_target sp ~target:"Kids" ~cols:[ "x" ]))
+
+let test_schema_project_unknown_target () =
+  let sp = schema_project () in
+  let other =
+    Mapping.make
+      ~graph:(Qgraph.singleton ~alias:"Children" ~base:"Children")
+      ~target:"Nowhere" ~target_cols:[ "x" ] ()
+  in
+  Alcotest.(check bool) "not found" true
+    (try
+       ignore (Schema_project.accept sp other);
+       false
+     with Not_found -> true)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "analysis"
+    [
+      ( "mapping_analysis",
+        [
+          tc "required aliases" `Quick test_required_aliases;
+          tc "category verdicts" `Quick test_category_verdicts;
+          tc "possibly positive" `Quick test_possibly_positive_categories;
+          tc "pruned = full (paper)" `Quick test_eval_pruned_equals_eval;
+          tc "pruned = full (random)" `Quick test_eval_pruned_random_instances;
+          tc "no filters" `Quick test_no_filter_means_everything_possible;
+        ] );
+      ( "schema_project",
+        [
+          tc "materialize + check" `Quick test_schema_project_materialize_and_check;
+          tc "fk violation" `Quick test_schema_project_detects_fk_violation;
+          tc "report" `Quick test_schema_project_report;
+          tc "duplicate target" `Quick test_schema_project_duplicate_target;
+          tc "unknown target" `Quick test_schema_project_unknown_target;
+        ] );
+    ]

@@ -1,0 +1,118 @@
+(* Golden checks on the figure regenerations (Paperdata.Report): every
+   experiment renders without raising and contains the load-bearing
+   content the paper describes.  This pins the figures against regressions
+   without fixing incidental layout. *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_all figure expectations =
+  let text =
+    match
+      List.find_opt (fun (id, _, _) -> String.equal id figure) Paperdata.Report.all
+    with
+    | Some (_, _, render) -> render ()
+    | None -> Alcotest.failf "unknown figure %s" figure
+  in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (figure ^ " contains " ^ sub) true (contains text sub))
+    expectations
+
+let test_all_render () =
+  List.iter
+    (fun (id, _, render) ->
+      let s = render () in
+      Alcotest.(check bool) (id ^ " non-empty") true (String.length s > 0))
+    Paperdata.Report.all
+
+let test_fig1 () =
+  check_all "fig1" [ "Children"; "Parents"; "PhoneDir"; "SBPS"; "XmasBar"; "Maya" ]
+
+let test_fig2 () =
+  check_all "fig2"
+    [ "v1: Children.ID as ID"; "v5: SBPS.time as BusSchedule"; "Kids" ]
+
+let test_fig3 () =
+  (* Both scenarios, Maya highlighted, the two affiliations visible. *)
+  check_all "fig3"
+    [
+      "Scenario 1";
+      "Scenario 2";
+      "Children.fid = Parents.ID";
+      "Children.mid = Parents.ID";
+      "| * | 002 | Maya";
+      "Acta";
+    ]
+
+let test_fig4 () =
+  check_all "fig4"
+    [ "Scenario 1"; "Scenario 3"; "Parents2"; "555-0103"; "555-0104" ]
+
+let test_fig5 () =
+  check_all "fig5"
+    [
+      "SBPS.ID (1 tuple)";
+      "XmasBar.sellerID (1 tuple)";
+      "XmasBar.buyerID (1 tuple)";
+      "Scenario 3";
+    ]
+
+let test_fig6 () = check_all "fig6" [ "Children.mid = Parents.ID"; "graph query_graph" ]
+
+let test_fig7 () =
+  check_all "fig7" [ "t = full data association"; "strictly subsumes"; "Maya" ]
+
+let test_fig8 () =
+  check_all "fig8" [ "CPPh"; "PPh"; "| C "; "| P "; "| Ph"; "555-0999" ]
+
+let test_fig9 () =
+  check_all "fig9"
+    [ "CPPhS +"; "CPPhS -"; "CPPh +"; "PPh -"; "S -"; "Induced target tuples" ]
+
+let test_fig11 () =
+  check_all "fig11"
+    [ "walks(G1, Children, PhoneDir)"; "G2:"; "G3:"; "G4:"; "Parents2" ]
+
+let test_fig12 () = check_all "fig12" [ "chase(002"; "SBPS"; "XmasBar" ]
+
+let test_sql () =
+  check_all "sql"
+    [
+      "left join Parents on Children.fid = Parents.ID";
+      "left join Parents Parents2 on Children.mid = Parents2.ID";
+      "where Children.ID is not null";
+      "Rooted form equivalent to Q_M on this database: true";
+      "from D(G)";
+    ]
+
+let test_e61 () =
+  check_all "e6.1" [ "555-0103"; "555-0107"; "Assembled target" ]
+
+let test_e62 () = check_all "e6.2" [ "ClassSched"; "1:45pm+walk"; "Assembled" ]
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "figures"
+    [
+      ( "golden",
+        [
+          tc "all render" `Quick test_all_render;
+          tc "fig1" `Quick test_fig1;
+          tc "fig2" `Quick test_fig2;
+          tc "fig3" `Quick test_fig3;
+          tc "fig4" `Quick test_fig4;
+          tc "fig5" `Quick test_fig5;
+          tc "fig6" `Quick test_fig6;
+          tc "fig7" `Quick test_fig7;
+          tc "fig8" `Quick test_fig8;
+          tc "fig9" `Quick test_fig9;
+          tc "fig11" `Quick test_fig11;
+          tc "fig12" `Quick test_fig12;
+          tc "sql" `Quick test_sql;
+          tc "e6.1" `Quick test_e61;
+          tc "e6.2" `Quick test_e62;
+        ] );
+    ]

@@ -1,0 +1,385 @@
+(* Tests for subsumption, minimum union and full disjunction, including
+   QCheck properties checking the indexed algorithms against naive oracles
+   and the outer-join plan against the per-subgraph definition. *)
+
+open Relational
+open Fulldisj
+module Qgraph = Querygraph.Qgraph
+
+let v_int i = Value.Int i
+
+(* --- Coverage --- *)
+
+let test_coverage_basic () =
+  let c = Coverage.of_list [ "B"; "A" ] in
+  Alcotest.(check (list string)) "sorted" [ "A"; "B" ] (Coverage.to_list c);
+  Alcotest.(check bool) "subset" true
+    (Coverage.subset (Coverage.singleton "A") c);
+  Alcotest.(check bool) "strict superset" true
+    (Coverage.strict_superset c (Coverage.singleton "A"));
+  Alcotest.(check bool) "not strict of self" false (Coverage.strict_superset c c)
+
+let test_coverage_label () =
+  let short = function
+    | "Children" -> Some "C"
+    | "PhoneDir" -> Some "Ph"
+    | _ -> None
+  in
+  Alcotest.(check string) "abbrev" "CPh"
+    (Coverage.label ~short (Coverage.of_list [ "Children"; "PhoneDir" ]));
+  (* When any alias lacks an abbreviation, fall back to the comma form,
+     keeping the abbreviations that do exist. *)
+  Alcotest.(check string) "fallback" "C,Zed"
+    (Coverage.label ~short (Coverage.of_list [ "Children"; "Zed" ]))
+
+(* --- Assoc coverage inference --- *)
+
+let test_coverage_of_tuple () =
+  let node_positions = [ ("A", [ 0; 1 ]); ("B", [ 2 ]) ] in
+  let t = Tuple.make [ Value.Null; v_int 1; Value.Null ] in
+  Alcotest.(check (list string)) "A only" [ "A" ]
+    (Coverage.to_list (Assoc.coverage_of_tuple node_positions t))
+
+(* --- Min union --- *)
+
+let test_remove_subsumed_simple () =
+  let full = Tuple.make [ v_int 1; v_int 2 ] in
+  let partial = Tuple.make [ v_int 1; Value.Null ] in
+  let other = Tuple.make [ v_int 9; Value.Null ] in
+  let kept = Min_union.remove_subsumed [ full; partial; other ] in
+  Alcotest.(check int) "two kept" 2 (List.length kept);
+  Alcotest.(check bool) "partial removed" false
+    (List.exists (Tuple.equal partial) kept);
+  Alcotest.(check bool) "other kept" true (List.exists (Tuple.equal other) kept)
+
+let test_remove_subsumed_all_null () =
+  let full = Tuple.make [ v_int 1; v_int 2 ] in
+  let empty = Tuple.nulls 2 in
+  let kept = Min_union.remove_subsumed [ full; empty ] in
+  Alcotest.(check int) "all-null removed" 1 (List.length kept);
+  (* Alone, the all-null tuple is maximal. *)
+  Alcotest.(check int) "alone kept" 1
+    (List.length (Min_union.remove_subsumed [ empty ]))
+
+let test_min_union_not_commutative_content () =
+  (* ⊕ is commutative on contents (schema order may differ). *)
+  let mk name cols rows = Relation.make name (Schema.make name cols) rows in
+  let a = mk "A" [ "x" ] [ Tuple.make [ v_int 1 ] ] in
+  let b = mk "B" [ "y" ] [ Tuple.make [ v_int 2 ] ] in
+  let ab = Min_union.min_union a b in
+  let ba = Min_union.min_union b a in
+  Alcotest.(check int) "same size" (Relation.cardinality ab) (Relation.cardinality ba)
+
+let test_is_minimal () =
+  Alcotest.(check bool) "minimal" true
+    (Min_union.is_minimal [ Tuple.make [ v_int 1 ]; Tuple.make [ v_int 2 ] ]);
+  Alcotest.(check bool) "not minimal" false
+    (Min_union.is_minimal
+       [ Tuple.make [ v_int 1; v_int 2 ]; Tuple.make [ v_int 1; Value.Null ] ])
+
+(* QCheck: indexed removal ≡ naive removal, and the result is minimal. *)
+let tuple_list_gen =
+  QCheck2.Gen.(
+    let* rows = int_range 0 40 in
+    let* arity = int_range 1 4 in
+    let value_gen =
+      frequency [ (1, return Value.Null); (3, map (fun i -> Value.Int i) (int_range 0 3)) ]
+    in
+    list_repeat rows (map Array.of_list (list_repeat arity value_gen)))
+
+let dedup_tuples tuples =
+  List.fold_left
+    (fun acc t -> if List.exists (Tuple.equal t) acc then acc else t :: acc)
+    [] tuples
+  |> List.rev
+
+let prop_indexed_equals_naive =
+  QCheck2.Test.make ~name:"remove_subsumed indexed = naive" ~count:300 tuple_list_gen
+    (fun tuples ->
+      let tuples = dedup_tuples tuples in
+      let naive =
+        Min_union.remove_subsumed_naive tuples |> List.sort Tuple.compare
+      in
+      let indexed = Min_union.remove_subsumed tuples |> List.sort Tuple.compare in
+      List.length naive = List.length indexed
+      && List.for_all2 Tuple.equal naive indexed)
+
+let prop_result_minimal =
+  QCheck2.Test.make ~name:"remove_subsumed result is minimal" ~count:300 tuple_list_gen
+    (fun tuples ->
+      Min_union.is_minimal (Min_union.remove_subsumed (dedup_tuples tuples)))
+
+let prop_kept_subset =
+  QCheck2.Test.make ~name:"remove_subsumed keeps only inputs" ~count:100 tuple_list_gen
+    (fun tuples ->
+      let tuples = dedup_tuples tuples in
+      Min_union.remove_subsumed tuples
+      |> List.for_all (fun t -> List.exists (Tuple.equal t) tuples))
+
+let prop_every_dropped_is_subsumed =
+  QCheck2.Test.make ~name:"dropped tuples are subsumed by a kept one" ~count:200
+    tuple_list_gen (fun tuples ->
+      let tuples = dedup_tuples tuples in
+      let kept = Min_union.remove_subsumed tuples in
+      tuples
+      |> List.for_all (fun t ->
+             List.exists (Tuple.equal t) kept
+             || List.exists (fun k -> Tuple.strictly_subsumes k t) kept))
+
+(* --- Full disjunction on a concrete instance --- *)
+
+let eq r1 c1 r2 c2 = Predicate.eq_cols (Attr.make r1 c1) (Attr.make r2 c2)
+let mk name cols rows = Relation.make name (Schema.make name cols) rows
+
+(* A(id) -- B(aid, cid) -- C(id): B links A and C. *)
+let small_db =
+  Database.of_relations
+    [
+      mk "A" [ "id"; "pa" ]
+        [ Tuple.make [ v_int 1; v_int 10 ]; Tuple.make [ v_int 2; v_int 20 ] ];
+      mk "B" [ "aid"; "cid" ]
+        [
+          Tuple.make [ v_int 1; v_int 7 ];
+          Tuple.make [ v_int 9; v_int 8 ];
+          Tuple.make [ v_int 2; Value.Null ];
+        ];
+      mk "C" [ "id"; "pc" ]
+        [ Tuple.make [ v_int 7; v_int 70 ]; Tuple.make [ v_int 5; v_int 50 ] ];
+    ]
+
+let small_graph =
+  Qgraph.make
+    [ ("A", "A"); ("B", "B"); ("C", "C") ]
+    [ ("A", "B", eq "A" "id" "B" "aid"); ("B", "C", eq "B" "cid" "C" "id") ]
+
+let test_full_associations () =
+  let f =
+    Join_eval.full_associations ~lookup:(Database.find small_db) small_graph
+  in
+  (* Only A1-B(1,7)-C7 fully joins. *)
+  Alcotest.(check int) "one full association" 1 (Relation.cardinality f)
+
+let test_full_disjunction_small () =
+  let fd = Full_disjunction.compute_db small_db small_graph in
+  let by_label =
+    Full_disjunction.categories fd
+    |> List.map (fun (c, l) -> (Coverage.to_list c, List.length l))
+    |> List.sort compare
+  in
+  (* ABC: (1,B17,C7).  AB: (2,B2null).  B: (9,8) — its cid 8 matches no C.
+     C: (5).  A alone: none (both a's join).  Wait: B(9,8): dangles on both
+     sides → category B.  C5 dangles → category C.  C7 is in ABC. *)
+  Alcotest.(check (list (pair (list string) int)))
+    "categories"
+    (List.sort compare
+       [
+         ([ "A"; "B"; "C" ], 1);
+         ([ "A"; "B" ], 1);
+         ([ "B" ], 1);
+         ([ "C" ], 1);
+       ])
+    by_label
+
+let test_naive_equals_indexed_small () =
+  let a = Full_disjunction.naive_db small_db small_graph in
+  let b = Full_disjunction.compute_db small_db small_graph in
+  Alcotest.(check bool) "same D(G)" true
+    (Relation.equal_contents
+       (Full_disjunction.to_relation a)
+       (Full_disjunction.to_relation b))
+
+let test_outerjoin_plan_small () =
+  let a = Full_disjunction.compute_db small_db small_graph in
+  let b =
+    Outerjoin_plan.full_disjunction ~lookup:(Database.find small_db) small_graph
+  in
+  Alcotest.(check bool) "oj = naive" true
+    (Relation.equal_contents
+       (Full_disjunction.to_relation a)
+       (Full_disjunction.to_relation b))
+
+let test_outerjoin_rejects_cycles () =
+  let tri =
+    Qgraph.make
+      [ ("A", "A"); ("B", "B"); ("C", "C") ]
+      [
+        ("A", "B", eq "A" "id" "B" "aid");
+        ("B", "C", eq "B" "cid" "C" "id");
+        ("A", "C", eq "A" "id" "C" "id");
+      ]
+  in
+  Alcotest.check_raises "not a tree"
+    (Invalid_argument "Outerjoin_plan.full_disjunction: not a tree") (fun () ->
+      ignore (Outerjoin_plan.full_disjunction ~lookup:(Database.find small_db) tri))
+
+let test_rooted_is_root_covering_subset () =
+  let fd = Full_disjunction.compute_db small_db small_graph in
+  let rooted =
+    Outerjoin_plan.rooted ~lookup:(Database.find small_db) ~root:"A" small_graph
+  in
+  let covers_a (a : Assoc.t) = Coverage.mem "A" a.Assoc.coverage in
+  let expected =
+    List.filter covers_a fd.Full_disjunction.associations
+    |> List.map (fun (a : Assoc.t) -> a.Assoc.tuple)
+    |> List.sort Tuple.compare
+  in
+  let got =
+    rooted.Full_disjunction.associations
+    |> List.map (fun (a : Assoc.t) -> a.Assoc.tuple)
+    |> List.sort Tuple.compare
+  in
+  Alcotest.(check int) "size" (List.length expected) (List.length got);
+  Alcotest.(check bool) "same tuples" true (List.for_all2 Tuple.equal expected got)
+
+let test_possible_associations_superset () =
+  let poss =
+    Full_disjunction.possible_associations ~lookup:(Database.find small_db) small_graph
+  in
+  let fd = Full_disjunction.compute_db small_db small_graph in
+  Alcotest.(check bool) "D(G) ⊆ S(G)" true
+    (List.for_all
+       (fun (a : Assoc.t) ->
+         List.exists
+           (fun (p : Assoc.t) -> Tuple.equal a.Assoc.tuple p.Assoc.tuple)
+           poss.Full_disjunction.associations)
+       fd.Full_disjunction.associations)
+
+(* QCheck: all three algorithms agree on random tree instances. *)
+let tree_instance_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 0 10000 in
+    let* n = int_range 1 5 in
+    let* rows = int_range 0 12 in
+    return (seed, n, rows))
+
+let prop_algorithms_agree =
+  QCheck2.Test.make ~name:"naive = indexed = outerjoin on random trees" ~count:60
+    tree_instance_gen (fun (seed, n, rows) ->
+      let st = Random.State.make [| seed |] in
+      let inst =
+        Synth.Gen_graph.random_tree st ~n ~rows ~null_prob:0.3 ~orphan_prob:0.2 ()
+      in
+      let lookup = Database.find inst.Synth.Gen_graph.db in
+      let g = inst.Synth.Gen_graph.graph in
+      let rel r = Full_disjunction.to_relation r in
+      let a = rel (Full_disjunction.naive ~lookup g) in
+      let b = rel (Full_disjunction.compute ~lookup g) in
+      let c = rel (Outerjoin_plan.full_disjunction ~lookup g) in
+      Relation.equal_contents a b && Relation.equal_contents a c)
+
+let prop_fd_is_minimal =
+  QCheck2.Test.make ~name:"D(G) has no subsumed tuples" ~count:60 tree_instance_gen
+    (fun (seed, n, rows) ->
+      let st = Random.State.make [| seed |] in
+      let inst =
+        Synth.Gen_graph.random_tree st ~n ~rows ~null_prob:0.3 ~orphan_prob:0.2 ()
+      in
+      let fd =
+        Full_disjunction.compute ~lookup:(Database.find inst.Synth.Gen_graph.db)
+          inst.Synth.Gen_graph.graph
+      in
+      Min_union.is_minimal
+        (List.map (fun (a : Assoc.t) -> a.Assoc.tuple)
+           fd.Full_disjunction.associations))
+
+let prop_coverage_matches_nullness =
+  QCheck2.Test.make ~name:"coverage tag matches null pattern" ~count:60
+    tree_instance_gen (fun (seed, n, rows) ->
+      let st = Random.State.make [| seed |] in
+      let inst =
+        Synth.Gen_graph.random_tree st ~n ~rows ~null_prob:0.3 ~orphan_prob:0.2 ()
+      in
+      let fd =
+        Full_disjunction.compute ~lookup:(Database.find inst.Synth.Gen_graph.db)
+          inst.Synth.Gen_graph.graph
+      in
+      fd.Full_disjunction.associations
+      |> List.for_all (fun (a : Assoc.t) ->
+             Coverage.equal a.Assoc.coverage
+               (Assoc.coverage_of_tuple fd.Full_disjunction.node_positions
+                  a.Assoc.tuple)))
+
+(* --- Plan / explain --- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_plan_tree_vs_cyclic () =
+  let lookup = Database.find small_db in
+  let p = Plan.analyze ~lookup small_graph in
+  Alcotest.(check bool) "tree -> cascade" true
+    (p.Plan.algorithm = Plan.Outerjoin_cascade);
+  Alcotest.(check int) "categories" 6 p.Plan.categories;
+  let tri =
+    Qgraph.make
+      [ ("A", "A"); ("B", "B"); ("C", "C") ]
+      [
+        ("A", "B", eq "A" "id" "B" "aid");
+        ("B", "C", eq "B" "cid" "C" "id");
+        ("A", "C", eq "A" "id" "C" "id");
+      ]
+  in
+  let p2 = Plan.analyze ~lookup tri in
+  Alcotest.(check bool) "cycle -> categories" true
+    (p2.Plan.algorithm = Plan.Indexed_categories)
+
+let test_plan_execute_matches_compute () =
+  let lookup = Database.find small_db in
+  let a = Full_disjunction.to_relation (Plan.execute ~lookup small_graph) in
+  let b = Full_disjunction.to_relation (Full_disjunction.compute ~lookup small_graph) in
+  Alcotest.(check bool) "same" true (Relation.equal_contents a b)
+
+let test_plan_render () =
+  let lookup = Database.find small_db in
+  let s = Plan.render (Plan.analyze ~lookup small_graph) in
+  Alcotest.(check bool) "mentions cascade" true (contains s "cascade");
+  Alcotest.(check bool) "mentions cardinalities" true (contains s "base cardinalities");
+  Alcotest.(check bool) "join order" true (contains s "A -> B -> C")
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "fulldisj"
+    [
+      ( "coverage",
+        [
+          tc "basic" `Quick test_coverage_basic;
+          tc "label" `Quick test_coverage_label;
+          tc "of tuple" `Quick test_coverage_of_tuple;
+        ] );
+      ( "min_union",
+        [
+          tc "remove subsumed" `Quick test_remove_subsumed_simple;
+          tc "all-null tuple" `Quick test_remove_subsumed_all_null;
+          tc "commutative contents" `Quick test_min_union_not_commutative_content;
+          tc "is_minimal" `Quick test_is_minimal;
+        ] );
+      ( "full_disjunction",
+        [
+          tc "full associations" `Quick test_full_associations;
+          tc "small instance categories" `Quick test_full_disjunction_small;
+          tc "naive = indexed" `Quick test_naive_equals_indexed_small;
+          tc "outerjoin plan" `Quick test_outerjoin_plan_small;
+          tc "outerjoin rejects cycles" `Quick test_outerjoin_rejects_cycles;
+          tc "rooted subset" `Quick test_rooted_is_root_covering_subset;
+          tc "possible ⊇ D(G)" `Quick test_possible_associations_superset;
+        ] );
+      ( "plan",
+        [
+          tc "tree vs cyclic" `Quick test_plan_tree_vs_cyclic;
+          tc "execute = compute" `Quick test_plan_execute_matches_compute;
+          tc "render" `Quick test_plan_render;
+        ] );
+      qsuite "properties:min_union"
+        [
+          prop_indexed_equals_naive;
+          prop_result_minimal;
+          prop_kept_subset;
+          prop_every_dropped_is_subsumed;
+        ];
+      qsuite "properties:full_disjunction"
+        [ prop_algorithms_agree; prop_fd_is_minimal; prop_coverage_matches_nullness ];
+    ]

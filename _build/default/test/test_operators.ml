@@ -1,0 +1,373 @@
+(* Tests for the mapping operators: data walk (Section 5.1 / Figure 11 /
+   E5.1), data chase (Section 5.2 / Figure 12 / E5.2), data trimming, the
+   add-correspondence workflow (Figure 3) and continuous evolution
+   (Section 5.3). *)
+
+open Relational
+open Clio
+module Qgraph = Querygraph.Qgraph
+
+let db = Paperdata.Figure1.database
+let kb = Paperdata.Figure1.kb
+let m_g1 = Paperdata.Running.mapping_g1
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let graph_signature g =
+  Qgraph.edges g
+  |> List.map (fun e -> Predicate.to_sql e.Qgraph.pred)
+  |> List.sort compare
+
+(* --- Data walk: Figure 11 / Example 5.1 --- *)
+
+let walk_alts = lazy (Op_walk.data_walk ~kb m_g1 ~start:"Children" ~goal:"PhoneDir" ~max_len:2 ())
+
+let test_walk_produces_three_alternatives () =
+  (* G2: via the existing fid edge (father's phone)
+     G3: via a fresh Parents2 copy on mid (mother's phone)
+     G4: directly on Children.ID = PhoneDir.ID *)
+  Alcotest.(check int) "three alternatives" 3 (List.length (Lazy.force walk_alts))
+
+let test_walk_alternative_shapes () =
+  let sigs =
+    Lazy.force walk_alts
+    |> List.map (fun (a : Op_walk.alternative) ->
+           graph_signature a.Op_walk.mapping.Mapping.graph)
+  in
+  let expect =
+    [
+      (* G2 *)
+      [ "Children.fid = Parents.ID"; "Parents.ID = PhoneDir.ID" ];
+      (* G3 *)
+      [
+        "Children.fid = Parents.ID";
+        "Children.mid = Parents2.ID";
+        "Parents2.ID = PhoneDir.ID";
+      ];
+      (* G4 *)
+      [ "Children.ID = PhoneDir.ID"; "Children.fid = Parents.ID" ];
+    ]
+  in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (String.concat " & " e)
+        true
+        (List.exists (fun s -> List.sort compare e = s) sigs))
+    expect
+
+let test_walk_preserves_original_graph () =
+  List.iter
+    (fun (a : Op_walk.alternative) ->
+      let g = a.Op_walk.mapping.Mapping.graph in
+      (* G1 is an induced connected subgraph of every alternative. *)
+      let induced = Qgraph.induced g [ "Children"; "Parents" ] in
+      Alcotest.(check bool) "induced subgraph equals G1" true
+        (Qgraph.equal induced m_g1.Mapping.graph))
+    (Lazy.force walk_alts)
+
+let test_walk_inherits_correspondences_and_filters () =
+  let m =
+    Mapping.add_source_filter m_g1
+      (Predicate.Cmp (Predicate.Lt, Expr.col "Children" "age", Expr.Const (Value.Int 7)))
+  in
+  let alts = Op_walk.data_walk ~kb m ~start:"Children" ~goal:"PhoneDir" ~max_len:2 () in
+  List.iter
+    (fun (a : Op_walk.alternative) ->
+      Alcotest.(check int) "correspondences inherited" 3
+        (List.length a.Op_walk.mapping.Mapping.correspondences);
+      Alcotest.(check int) "filters inherited" 1
+        (List.length a.Op_walk.mapping.Mapping.source_filters))
+    alts
+
+let test_walk_ranking_prefers_reuse () =
+  (* The reuse alternative (G2, no new copy) must rank before the copy
+     alternative (G3). *)
+  let alts = Lazy.force walk_alts in
+  let pos_of sig_ =
+    let rec go i = function
+      | [] -> -1
+      | (a : Op_walk.alternative) :: rest ->
+          if graph_signature a.Op_walk.mapping.Mapping.graph = List.sort compare sig_
+          then i
+          else go (i + 1) rest
+    in
+    go 0 alts
+  in
+  let g2 = pos_of [ "Children.fid = Parents.ID"; "Parents.ID = PhoneDir.ID" ] in
+  let g3 =
+    pos_of
+      [
+        "Children.fid = Parents.ID";
+        "Children.mid = Parents2.ID";
+        "Parents2.ID = PhoneDir.ID";
+      ]
+  in
+  Alcotest.(check bool) "G2 before G3" true (g2 >= 0 && g3 >= 0 && g2 < g3)
+
+let test_walk_unknown_start_rejected () =
+  Alcotest.check_raises "unknown start"
+    (Invalid_argument "Op_walk.walks: start node Zed not in graph") (fun () ->
+      ignore (Op_walk.walks ~kb ~graph:m_g1.Mapping.graph ~start:"Zed" ~goal:"PhoneDir" ()))
+
+let test_walk_description_readable () =
+  let alts = Lazy.force walk_alts in
+  Alcotest.(check bool) "mentions start" true
+    (List.for_all
+       (fun (a : Op_walk.alternative) -> contains a.Op_walk.description "Children")
+       alts)
+
+let test_walk_any_start_dedups () =
+  let alts = Op_walk.data_walk_any_start ~kb m_g1 ~goal:"PhoneDir" ~max_len:2 () in
+  let sigs =
+    List.map
+      (fun (a : Op_walk.alternative) -> graph_signature a.Op_walk.mapping.Mapping.graph)
+      alts
+  in
+  Alcotest.(check int) "unique graphs" (List.length sigs)
+    (List.length (List.sort_uniq compare sigs))
+
+(* --- Figure 3: two scenarios for affiliation via add-correspondence --- *)
+
+let test_fig3_affiliation_scenarios () =
+  let start =
+    Mapping.make
+      ~graph:(Qgraph.singleton ~alias:"Children" ~base:"Children")
+      ~target:"Kids" ~target_cols:Paperdata.Running.kids_cols
+      ~correspondences:
+        [
+          Correspondence.identity "ID" (Attr.make "Children" "ID");
+          Correspondence.identity "name" (Attr.make "Children" "name");
+        ]
+      ()
+  in
+  let corr = Correspondence.identity "affiliation" (Attr.make "Parents" "affiliation") in
+  match Op_correspondence.add ~kb ~max_len:1 start corr with
+  | Op_correspondence.Alternatives alts ->
+      Alcotest.(check int) "two scenarios (mid, fid)" 2 (List.length alts);
+      List.iter
+        (fun (a : Op_correspondence.alternative) ->
+          match Mapping.correspondence_for a.Op_correspondence.mapping "affiliation" with
+          | Some _ -> ()
+          | None -> Alcotest.fail "correspondence not installed")
+        alts;
+      (* The two scenarios: via mid and via fid. *)
+      let sigs =
+        List.map
+          (fun (a : Op_correspondence.alternative) ->
+            graph_signature a.Op_correspondence.mapping.Mapping.graph)
+          alts
+      in
+      Alcotest.(check bool) "mid scenario" true
+        (List.mem [ "Children.mid = Parents.ID" ] sigs);
+      Alcotest.(check bool) "fid scenario" true
+        (List.mem [ "Children.fid = Parents.ID" ] sigs)
+  | _ -> Alcotest.fail "expected Alternatives"
+
+let test_add_correspondence_in_graph_updates () =
+  let corr = Correspondence.identity "BusSchedule" (Attr.make "Parents" "address") in
+  match Op_correspondence.add ~kb m_g1 corr with
+  | Op_correspondence.Updated m ->
+      Alcotest.(check bool) "installed" true
+        (Option.is_some (Mapping.correspondence_for m "BusSchedule"))
+  | _ -> Alcotest.fail "expected Updated"
+
+let test_add_second_way_triggers_new_mapping () =
+  (* affiliation is already mapped from Parents; a second, different way of
+     computing it must spawn a new mapping (Example 6.2 behaviour). *)
+  let corr = Correspondence.identity "affiliation" (Attr.make "Children" "docid") in
+  match Op_correspondence.add ~kb m_g1 corr with
+  | Op_correspondence.New_mapping (Op_correspondence.Updated m) ->
+      (match Mapping.correspondence_for m "affiliation" with
+      | Some c ->
+          Alcotest.(check (list string)) "new source" [ "Children" ]
+            (Correspondence.source_rels c)
+      | None -> Alcotest.fail "missing correspondence");
+      (* ID and name copied over. *)
+      Alcotest.(check bool) "ID copied" true
+        (Option.is_some (Mapping.correspondence_for m "ID"))
+  | _ -> Alcotest.fail "expected New_mapping Updated"
+
+(* --- Data chase: Figure 5 / 12 / Example 5.2 --- *)
+
+let test_chase_002 () =
+  let alts =
+    Op_chase.chase db m_g1 ~attr:(Attr.make "Children" "ID")
+      ~value:(Value.String "002")
+  in
+  (* SBPS.ID, XmasBar.sellerID, XmasBar.buyerID — Children itself excluded,
+     and 002 does not occur elsewhere. *)
+  Alcotest.(check int) "three scenarios" 3 (List.length alts);
+  let rels =
+    List.map (fun (a : Op_chase.alternative) -> a.Op_chase.occurrence.Op_chase.rel) alts
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "relations" [ "SBPS"; "XmasBar" ] rels
+
+let test_chase_extends_with_equijoin () =
+  let alts =
+    Op_chase.chase db m_g1 ~attr:(Attr.make "Children" "ID")
+      ~value:(Value.String "002")
+  in
+  let sbps =
+    List.find
+      (fun (a : Op_chase.alternative) ->
+        String.equal a.Op_chase.occurrence.Op_chase.rel "SBPS")
+      alts
+  in
+  let g = sbps.Op_chase.mapping.Mapping.graph in
+  Alcotest.(check int) "one more node" 3 (Qgraph.node_count g);
+  match Qgraph.find_edge g "Children" "SBPS" with
+  | Some e ->
+      Alcotest.(check string) "equijoin" "Children.ID = SBPS.ID"
+        (Predicate.to_sql e.Qgraph.pred)
+  | None -> Alcotest.fail "no edge to SBPS"
+
+let test_chase_excludes_mapped_relations () =
+  let alts =
+    Op_chase.chase db m_g1 ~attr:(Attr.make "Children" "ID")
+      ~value:(Value.String "001")
+  in
+  Alcotest.(check bool) "no Parents/Children targets" true
+    (List.for_all
+       (fun (a : Op_chase.alternative) ->
+         let r = a.Op_chase.occurrence.Op_chase.rel in
+         r <> "Children" && r <> "Parents")
+       alts)
+
+let test_chase_validates_illustration () =
+  let exs = Mapping_eval.examples db m_g1 in
+  (* 999 is a PhoneDir id, never a Children.ID in the illustration. *)
+  Alcotest.(check bool) "rejects invisible value" true
+    (try
+       ignore
+         (Op_chase.chase ~illustration:exs db m_g1 ~attr:(Attr.make "Children" "ID")
+            ~value:(Value.String "999"));
+       false
+     with Invalid_argument _ -> true);
+  (* 002 is visible: accepted. *)
+  let alts =
+    Op_chase.chase ~illustration:exs db m_g1 ~attr:(Attr.make "Children" "ID")
+      ~value:(Value.String "002")
+  in
+  Alcotest.(check bool) "accepted" true (List.length alts > 0)
+
+let test_chase_occurrences_anywhere () =
+  let occs = Op_chase.occurrences_anywhere db (Value.String "002") in
+  Alcotest.(check int) "four occurrences incl. Children" 4 (List.length occs)
+
+(* --- Data trimming --- *)
+
+let test_trim_add_source_filter_reports_changes () =
+  let m = Paperdata.Running.mapping in
+  let change =
+    Op_trim.add_source_filter db (Mapping.remove_source_filter m Paperdata.Running.age_filter)
+      Paperdata.Running.age_filter
+  in
+  (* Restoring age<7 flips Bob to negative. *)
+  Alcotest.(check int) "one became negative" 1 (List.length change.Op_trim.became_negative);
+  Alcotest.(check int) "none became positive" 0
+    (List.length change.Op_trim.became_positive);
+  let bob = List.hd change.Op_trim.became_negative in
+  Alcotest.(check string) "it is Bob" "Bob"
+    (Value.to_string bob.Example.target_tuple.(1))
+
+let test_trim_remove_filter_restores () =
+  let m = Paperdata.Running.mapping in
+  let change = Op_trim.remove_source_filter db m Paperdata.Running.age_filter in
+  Alcotest.(check int) "Bob back" 1 (List.length change.Op_trim.became_positive)
+
+let test_trim_require_target_column () =
+  let m = Paperdata.Running.mapping in
+  let change = Op_trim.require_target_column db m "BusSchedule" in
+  (* Ann (null BusSchedule) becomes negative. *)
+  Alcotest.(check bool) "Ann flipped" true
+    (List.exists
+       (fun e -> Value.to_string e.Example.target_tuple.(1) = "Ann")
+       change.Op_trim.became_negative)
+
+(* --- Evolution (Section 5.3) --- *)
+
+let test_evolution_continuations_exist () =
+  let old_m = m_g1 in
+  let old_ill = Clio.illustrate db old_m in
+  let new_m = (List.hd (Lazy.force walk_alts)).Op_walk.mapping in
+  let lookup = Database.find db in
+  let old_scheme = Qgraph.scheme ~lookup old_m.Mapping.graph in
+  let new_scheme = Qgraph.scheme ~lookup new_m.Mapping.graph in
+  let new_universe = Mapping_eval.examples db new_m in
+  List.iter
+    (fun old_e ->
+      Alcotest.(check bool) "has continuation" true
+        (Evolution.continuations ~old_scheme ~new_scheme old_e new_universe <> []))
+    old_ill
+
+let test_evolve_is_sufficient_and_continuous () =
+  let old_m = m_g1 in
+  let old_ill = Clio.illustrate db old_m in
+  let new_m = (List.hd (Lazy.force walk_alts)).Op_walk.mapping in
+  let evolved = Evolution.evolve db ~old_mapping:old_m ~old_illustration:old_ill new_m in
+  let universe = Mapping_eval.examples db new_m in
+  Alcotest.(check bool) "sufficient" true
+    (Sufficiency.is_sufficient ~universe ~target_cols:new_m.Mapping.target_cols evolved);
+  Alcotest.(check bool) "continuous" true
+    (Evolution.is_continuous db ~old_mapping:old_m ~old_illustration:old_ill
+       ~new_mapping:new_m evolved)
+
+let test_fresh_selection_may_break_continuity () =
+  (* The continuity checker must actually discriminate: an illustration
+     missing all continuations of some old example fails it. *)
+  let old_m = m_g1 in
+  let old_ill = Clio.illustrate db old_m in
+  let new_m = (List.hd (Lazy.force walk_alts)).Op_walk.mapping in
+  let empty_ill = [] in
+  Alcotest.(check bool) "empty not continuous" false
+    (old_ill <> []
+    && Evolution.is_continuous db ~old_mapping:old_m ~old_illustration:old_ill
+         ~new_mapping:new_m empty_ill)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "operators"
+    [
+      ( "walk",
+        [
+          tc "three alternatives (F11)" `Quick test_walk_produces_three_alternatives;
+          tc "shapes G2-G4" `Quick test_walk_alternative_shapes;
+          tc "G induced subgraph" `Quick test_walk_preserves_original_graph;
+          tc "inherits V and C_S" `Quick test_walk_inherits_correspondences_and_filters;
+          tc "ranking reuse first" `Quick test_walk_ranking_prefers_reuse;
+          tc "unknown start" `Quick test_walk_unknown_start_rejected;
+          tc "description" `Quick test_walk_description_readable;
+          tc "any start dedup" `Quick test_walk_any_start_dedups;
+        ] );
+      ( "correspondence",
+        [
+          tc "F3 affiliation scenarios" `Quick test_fig3_affiliation_scenarios;
+          tc "in-graph update" `Quick test_add_correspondence_in_graph_updates;
+          tc "second way spawns mapping" `Quick test_add_second_way_triggers_new_mapping;
+        ] );
+      ( "chase",
+        [
+          tc "E5.2 chase 002" `Quick test_chase_002;
+          tc "equijoin extension" `Quick test_chase_extends_with_equijoin;
+          tc "excludes mapped" `Quick test_chase_excludes_mapped_relations;
+          tc "validates illustration" `Quick test_chase_validates_illustration;
+          tc "occurrences anywhere" `Quick test_chase_occurrences_anywhere;
+        ] );
+      ( "trim",
+        [
+          tc "add source filter" `Quick test_trim_add_source_filter_reports_changes;
+          tc "remove restores" `Quick test_trim_remove_filter_restores;
+          tc "require column" `Quick test_trim_require_target_column;
+        ] );
+      ( "evolution",
+        [
+          tc "continuations exist" `Quick test_evolution_continuations_exist;
+          tc "evolve sufficient+continuous" `Quick test_evolve_is_sufficient_and_continuous;
+          tc "checker discriminates" `Quick test_fresh_selection_may_break_continuity;
+        ] );
+    ]

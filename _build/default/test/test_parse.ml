@@ -1,0 +1,126 @@
+(* Tests for the SQL-ish expression/predicate parser used by the CLI. *)
+
+open Relational
+
+let schema = Schema.make "R" [ "a"; "b"; "name" ]
+let t vals = Tuple.make vals
+let v_int i = Value.Int i
+let value = Alcotest.testable Value.pp Value.equal
+
+let eval_e ?rel s tuple = Expr.eval schema (Parse.expr ?rel s) tuple
+let eval_p ?rel s tuple = Predicate.eval schema (Parse.predicate ?rel s) tuple
+
+(* --- expressions --- *)
+
+let test_literals () =
+  Alcotest.(check value) "int" (v_int 42) (eval_e "42" (t [ v_int 0; v_int 0; Value.Null ]));
+  Alcotest.(check value) "float" (Value.Float 2.5)
+    (eval_e "2.5" (t [ v_int 0; v_int 0; Value.Null ]));
+  Alcotest.(check value) "string" (Value.String "it's")
+    (eval_e "'it''s'" (t [ v_int 0; v_int 0; Value.Null ]));
+  Alcotest.(check value) "null" Value.Null
+    (eval_e "null" (t [ v_int 0; v_int 0; Value.Null ]));
+  Alcotest.(check value) "bool" (Value.Bool true)
+    (eval_e "true" (t [ v_int 0; v_int 0; Value.Null ]))
+
+let test_columns () =
+  let tup = t [ v_int 7; v_int 3; Value.String "x" ] in
+  Alcotest.(check value) "qualified" (v_int 7) (eval_e "R.a" tup);
+  Alcotest.(check value) "default rel" (v_int 3) (eval_e ~rel:"R" "b" tup);
+  Alcotest.check_raises "unqualified without default"
+    (Parse.Parse_error "unqualified column b (no default relation)") (fun () ->
+      ignore (Parse.expr "b"))
+
+let test_arith_precedence () =
+  let tup = t [ v_int 2; v_int 3; Value.Null ] in
+  Alcotest.(check value) "mul binds tighter" (v_int 11) (eval_e "R.a + R.b * 3" tup);
+  Alcotest.(check value) "parens" (v_int 15) (eval_e "(R.a + R.b) * 3" tup);
+  Alcotest.(check value) "sub" (v_int (-1)) (eval_e "R.a - R.b" tup)
+
+let test_concat_coalesce () =
+  let tup = t [ Value.Null; v_int 3; Value.String "hi" ] in
+  Alcotest.(check value) "concat" (Value.String "hi3") (eval_e "R.name || R.b" tup);
+  Alcotest.(check value) "coalesce" (v_int 3) (eval_e "coalesce(R.a, R.b)" tup)
+
+(* --- predicates --- *)
+
+let test_comparisons () =
+  let tup = t [ v_int 5; v_int 5; Value.String "Ann" ] in
+  Alcotest.(check bool) "eq" true (eval_p "R.a = R.b" tup);
+  Alcotest.(check bool) "neq sql" false (eval_p "R.a <> R.b" tup);
+  Alcotest.(check bool) "neq c-style" false (eval_p "R.a != R.b" tup);
+  Alcotest.(check bool) "lt" true (eval_p "R.a < 10" tup);
+  Alcotest.(check bool) "ge" true (eval_p "R.a >= 5" tup);
+  Alcotest.(check bool) "string cmp" true (eval_p "R.name = 'Ann'" tup)
+
+let test_null_tests () =
+  let tup = t [ Value.Null; v_int 1; Value.Null ] in
+  Alcotest.(check bool) "is null" true (eval_p "R.a is null" tup);
+  Alcotest.(check bool) "is not null" true (eval_p "R.b is not null" tup);
+  Alcotest.(check bool) "null cmp is unknown" false (eval_p "R.a = 1" tup)
+
+let test_boolean_structure () =
+  let tup = t [ v_int 5; v_int 9; Value.Null ] in
+  Alcotest.(check bool) "and" true (eval_p "R.a = 5 and R.b = 9" tup);
+  Alcotest.(check bool) "or" true (eval_p "R.a = 0 or R.b = 9" tup);
+  Alcotest.(check bool) "not" true (eval_p "not R.a = 0" tup);
+  (* and binds tighter than or *)
+  Alcotest.(check bool) "precedence" true (eval_p "R.a = 0 and R.b = 0 or R.b = 9" tup);
+  Alcotest.(check bool) "grouping" false (eval_p "R.a = 0 and (R.b = 0 or R.b = 9)" tup)
+
+let test_paren_expression_vs_predicate () =
+  let tup = t [ v_int 2; v_int 3; Value.Null ] in
+  (* A parenthesized expression starting a comparison must not be mistaken
+     for predicate grouping. *)
+  Alcotest.(check bool) "(a + b) = 5" true (eval_p "(R.a + R.b) = 5" tup)
+
+let test_case_insensitive_keywords () =
+  let tup = t [ Value.Null; v_int 1; Value.Null ] in
+  Alcotest.(check bool) "IS NULL" true (eval_p "R.a IS NULL" tup);
+  Alcotest.(check bool) "AND/OR" true (eval_p "R.b = 1 AND R.b = 1 OR R.b = 2" tup)
+
+let test_age_filter_equivalence () =
+  (* The paper's filter, parsed, behaves like the hand-built one. *)
+  let parsed = Parse.predicate "Children.age < 7" in
+  Alcotest.(check bool) "same predicate" true
+    (Predicate.equal parsed Paperdata.Running.age_filter)
+
+let test_errors () =
+  let bad s = Alcotest.(check bool) s true (Parse.predicate_opt s = None) in
+  bad "R.a <";
+  bad "R.a = 1 and";
+  bad "R.a is 7";
+  bad "(R.a = 1";
+  bad "R.a = 1 extra";
+  Alcotest.(check bool) "expr_opt bad" true (Parse.expr_opt "1 +" = None);
+  Alcotest.(check bool) "unterminated string" true (Parse.expr_opt "'abc" = None)
+
+let test_roundtrip_through_sql () =
+  (* parse → to_sql → parse is stable for a representative predicate. *)
+  let p = Parse.predicate "R.a >= 2 and (R.b < 4 or R.name is not null)" in
+  let p2 = Parse.predicate (Predicate.to_sql p) in
+  Alcotest.(check bool) "stable" true (Predicate.equal p p2)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "parse"
+    [
+      ( "expr",
+        [
+          tc "literals" `Quick test_literals;
+          tc "columns" `Quick test_columns;
+          tc "precedence" `Quick test_arith_precedence;
+          tc "concat/coalesce" `Quick test_concat_coalesce;
+        ] );
+      ( "predicate",
+        [
+          tc "comparisons" `Quick test_comparisons;
+          tc "null tests" `Quick test_null_tests;
+          tc "boolean structure" `Quick test_boolean_structure;
+          tc "paren disambiguation" `Quick test_paren_expression_vs_predicate;
+          tc "case insensitive" `Quick test_case_insensitive_keywords;
+          tc "paper filter" `Quick test_age_filter_equivalence;
+          tc "errors" `Quick test_errors;
+          tc "sql roundtrip" `Quick test_roundtrip_through_sql;
+        ] );
+    ]

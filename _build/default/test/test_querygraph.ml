@@ -1,0 +1,256 @@
+(* Unit tests for query graphs: structure, connectivity, induced subgraph
+   enumeration (the categories of D(G)), path enumeration, DOT export. *)
+
+open Relational
+module Qgraph = Querygraph.Qgraph
+module Subgraphs = Querygraph.Subgraphs
+module Paths = Querygraph.Paths
+module Dot = Querygraph.Dot
+
+let eq r1 c1 r2 c2 = Predicate.eq_cols (Attr.make r1 c1) (Attr.make r2 c2)
+
+let path3 =
+  Qgraph.make
+    [ ("A", "A"); ("B", "B"); ("C", "C") ]
+    [ ("A", "B", eq "A" "x" "B" "x"); ("B", "C", eq "B" "y" "C" "y") ]
+
+let triangle =
+  Qgraph.make
+    [ ("A", "A"); ("B", "B"); ("C", "C") ]
+    [
+      ("A", "B", eq "A" "x" "B" "x");
+      ("B", "C", eq "B" "y" "C" "y");
+      ("A", "C", eq "A" "z" "C" "z");
+    ]
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* --- structure --- *)
+
+let test_nodes_edges () =
+  Alcotest.(check int) "nodes" 3 (Qgraph.node_count path3);
+  Alcotest.(check int) "edges" 2 (Qgraph.edge_count path3);
+  Alcotest.(check (list string)) "aliases" [ "A"; "B"; "C" ] (Qgraph.aliases path3)
+
+let test_duplicate_alias_rejected () =
+  Alcotest.check_raises "dup" (Invalid_argument "Qgraph.add_node: duplicate alias A")
+    (fun () -> ignore (Qgraph.add_node path3 ~alias:"A" ~base:"A"))
+
+let test_edge_is_undirected () =
+  match (Qgraph.find_edge path3 "A" "B", Qgraph.find_edge path3 "B" "A") with
+  | Some e1, Some e2 ->
+      Alcotest.(check bool) "same predicate" true (Predicate.equal e1.pred e2.pred)
+  | _ -> Alcotest.fail "edge lookup failed"
+
+let test_self_loop_rejected () =
+  Alcotest.check_raises "self" (Invalid_argument "Qgraph.add_edge: self-loop")
+    (fun () -> ignore (Qgraph.add_edge path3 "A" "A" Predicate.True))
+
+let test_neighbours () =
+  Alcotest.(check (list string)) "B's neighbours" [ "A"; "C" ]
+    (Qgraph.neighbours path3 "B");
+  Alcotest.(check (list string)) "A's neighbours" [ "B" ] (Qgraph.neighbours path3 "A")
+
+let test_connectivity () =
+  Alcotest.(check bool) "path connected" true (Qgraph.is_connected path3);
+  let disconnected = Qgraph.make [ ("A", "A"); ("B", "B") ] [] in
+  Alcotest.(check bool) "two isolated nodes" false (Qgraph.is_connected disconnected);
+  Alcotest.(check bool) "empty connected" true (Qgraph.is_connected Qgraph.empty)
+
+let test_induced () =
+  let sub = Qgraph.induced path3 [ "A"; "C" ] in
+  Alcotest.(check int) "nodes" 2 (Qgraph.node_count sub);
+  Alcotest.(check int) "no edges" 0 (Qgraph.edge_count sub);
+  let sub2 = Qgraph.induced path3 [ "A"; "B" ] in
+  Alcotest.(check int) "one edge" 1 (Qgraph.edge_count sub2)
+
+let test_union () =
+  let ext =
+    Qgraph.make [ ("B", "B"); ("D", "D") ] [ ("B", "D", eq "B" "z" "D" "z") ]
+  in
+  let u = Qgraph.union path3 ext in
+  Alcotest.(check int) "nodes" 4 (Qgraph.node_count u);
+  Alcotest.(check int) "edges" 3 (Qgraph.edge_count u)
+
+let test_union_relabel_rejected () =
+  let ext = Qgraph.make [ ("A", "A"); ("B", "B") ] [ ("A", "B", eq "A" "q" "B" "q") ] in
+  Alcotest.check_raises "relabel"
+    (Invalid_argument "Qgraph.union: edge (A,B) relabeled") (fun () ->
+      ignore (Qgraph.union path3 ext))
+
+let test_fresh_alias () =
+  Alcotest.(check string) "A taken" "A2" (Qgraph.fresh_alias path3 "A");
+  Alcotest.(check string) "Z free" "Z" (Qgraph.fresh_alias path3 "Z");
+  let with_a2 = Qgraph.add_node path3 ~alias:"A2" ~base:"A" in
+  Alcotest.(check string) "A and A2 taken" "A3" (Qgraph.fresh_alias with_a2 "A")
+
+let test_scheme_and_node_relation () =
+  let r name = Relation.make name (Schema.make name [ "x"; "y"; "z" ]) [] in
+  let lookup n = Some (r n) in
+  let g =
+    Qgraph.make [ ("P", "Parents"); ("P2", "Parents") ] [ ("P", "P2", eq "P" "x" "P2" "x") ]
+  in
+  let scheme = Qgraph.scheme ~lookup:(fun n -> lookup n) g in
+  Alcotest.(check int) "combined arity" 6 (Schema.arity scheme);
+  Alcotest.(check bool) "copy attrs renamed" true (Schema.mem scheme (Attr.make "P2" "y"));
+  let nr = Qgraph.node_relation ~lookup:(fun n -> lookup n) g "P2" in
+  Alcotest.(check bool) "relation renamed" true
+    (Schema.mem (Relation.schema nr) (Attr.make "P2" "x"))
+
+(* --- induced connected subgraph enumeration --- *)
+
+let test_subgraphs_path () =
+  (* A path of n nodes has n(n+1)/2 contiguous segments. *)
+  Alcotest.(check int) "path3" 6 (Subgraphs.count path3)
+
+let test_subgraphs_triangle () =
+  (* All 7 non-empty subsets of a triangle are connected. *)
+  Alcotest.(check int) "triangle" 7 (Subgraphs.count triangle)
+
+let test_subgraphs_star () =
+  (* Star with hub H and 3 leaves: any subset containing H (8) plus the 3
+     singleton leaves. *)
+  let star =
+    Qgraph.make
+      [ ("H", "H"); ("L1", "L1"); ("L2", "L2"); ("L3", "L3") ]
+      [
+        ("H", "L1", eq "H" "a" "L1" "a");
+        ("H", "L2", eq "H" "b" "L2" "b");
+        ("H", "L3", eq "H" "c" "L3" "c");
+      ]
+  in
+  Alcotest.(check int) "star" 11 (Subgraphs.count star)
+
+let test_subgraphs_no_duplicates () =
+  let sets = Subgraphs.connected_node_sets triangle in
+  let sorted = List.sort compare sets in
+  Alcotest.(check int) "unique" (List.length sorted)
+    (List.length (List.sort_uniq compare sorted))
+
+let test_subgraphs_all_connected () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (String.concat "," s)
+        true
+        (Subgraphs.is_induced_connected triangle s))
+    (Subgraphs.connected_node_sets triangle)
+
+let test_subgraphs_singletons_included () =
+  let sets = Subgraphs.connected_node_sets path3 in
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) a true (List.mem [ a ] sets))
+    [ "A"; "B"; "C" ]
+
+(* brute-force oracle on a 5-node random-ish graph *)
+let test_subgraphs_matches_bruteforce () =
+  let g =
+    Qgraph.make
+      [ ("A", "A"); ("B", "B"); ("C", "C"); ("D", "D"); ("E", "E") ]
+      [
+        ("A", "B", eq "A" "x" "B" "x");
+        ("B", "C", eq "B" "y" "C" "y");
+        ("C", "D", eq "C" "z" "D" "z");
+        ("B", "D", eq "B" "w" "D" "w");
+        ("D", "E", eq "D" "v" "E" "v");
+      ]
+  in
+  let all = Qgraph.aliases g in
+  let rec subsets = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let s = subsets rest in
+        s @ List.map (fun t -> x :: t) s
+  in
+  let brute =
+    subsets all
+    |> List.filter (fun s -> s <> [] && Qgraph.is_connected (Qgraph.induced g s))
+    |> List.map (List.sort String.compare)
+    |> List.sort compare
+  in
+  let fast = Subgraphs.connected_node_sets g |> List.sort compare in
+  Alcotest.(check int) "same count" (List.length brute) (List.length fast);
+  Alcotest.(check bool) "same sets" true (brute = fast)
+
+(* --- paths --- *)
+
+let kb_neighbours node =
+  (* tiny KB graph: A-B (two labels), B-C, A-C *)
+  match node with
+  | "A" -> [ ("B", "ab1"); ("B", "ab2"); ("C", "ac") ]
+  | "B" -> [ ("A", "ab1"); ("A", "ab2"); ("C", "bc") ]
+  | "C" -> [ ("A", "ac"); ("B", "bc") ]
+  | _ -> []
+
+let test_simple_paths () =
+  let paths = Paths.simple_paths ~neighbours:kb_neighbours ~max_len:2 "A" "C" in
+  (* A-C, A-B(ab1)-C, A-B(ab2)-C *)
+  Alcotest.(check int) "three paths" 3 (List.length paths)
+
+let test_simple_paths_max_len () =
+  let paths = Paths.simple_paths ~neighbours:kb_neighbours ~max_len:1 "A" "C" in
+  Alcotest.(check int) "direct only" 1 (List.length paths)
+
+let test_paths_from () =
+  let paths = Paths.paths_from ~neighbours:kb_neighbours ~max_len:1 "A" in
+  (* A->B twice, A->C once *)
+  Alcotest.(check int) "three one-step walks" 3 (List.length paths)
+
+let test_paths_are_simple () =
+  let paths = Paths.simple_paths ~neighbours:kb_neighbours ~max_len:3 "A" "C" in
+  List.iter
+    (fun p ->
+      let nodes = "A" :: List.map snd p in
+      Alcotest.(check int) "no repeats" (List.length nodes)
+        (List.length (List.sort_uniq compare nodes)))
+    paths
+
+(* --- dot --- *)
+
+let test_dot_output () =
+  let dot = Dot.to_dot ~highlight:[ "A" ] path3 in
+  Alcotest.(check bool) "graph kw" true (contains dot "graph query_graph");
+  Alcotest.(check bool) "edge" true (contains dot "\"A\" -- \"B\"");
+  Alcotest.(check bool) "highlight" true (contains dot "filled")
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "querygraph"
+    [
+      ( "structure",
+        [
+          tc "nodes/edges" `Quick test_nodes_edges;
+          tc "duplicate alias" `Quick test_duplicate_alias_rejected;
+          tc "undirected" `Quick test_edge_is_undirected;
+          tc "self loop" `Quick test_self_loop_rejected;
+          tc "neighbours" `Quick test_neighbours;
+          tc "connectivity" `Quick test_connectivity;
+          tc "induced" `Quick test_induced;
+          tc "union" `Quick test_union;
+          tc "union relabel" `Quick test_union_relabel_rejected;
+          tc "fresh alias" `Quick test_fresh_alias;
+          tc "scheme/copies" `Quick test_scheme_and_node_relation;
+        ] );
+      ( "subgraphs",
+        [
+          tc "path" `Quick test_subgraphs_path;
+          tc "triangle" `Quick test_subgraphs_triangle;
+          tc "star" `Quick test_subgraphs_star;
+          tc "no duplicates" `Quick test_subgraphs_no_duplicates;
+          tc "all connected" `Quick test_subgraphs_all_connected;
+          tc "singletons" `Quick test_subgraphs_singletons_included;
+          tc "brute force oracle" `Quick test_subgraphs_matches_bruteforce;
+        ] );
+      ( "paths",
+        [
+          tc "simple paths" `Quick test_simple_paths;
+          tc "max len" `Quick test_simple_paths_max_len;
+          tc "paths from" `Quick test_paths_from;
+          tc "simple" `Quick test_paths_are_simple;
+        ] );
+      ("dot", [ tc "output" `Quick test_dot_output ]);
+    ]

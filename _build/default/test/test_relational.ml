@@ -1,0 +1,526 @@
+(* Unit tests for the relational substrate: values, schemas, tuples,
+   predicates, algebra (joins / outer joins / outer union), constraints,
+   database catalog, CSV round-trips and rendering. *)
+
+open Relational
+
+let v_int i = Value.Int i
+let v_str s = Value.String s
+let attr = Alcotest.testable Attr.pp Attr.equal
+let value = Alcotest.testable Value.pp Value.equal
+let tuple = Alcotest.testable Tuple.pp Tuple.equal
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* --- Value --- *)
+
+let test_value_equal () =
+  Alcotest.(check bool) "null = null" true (Value.equal Value.Null Value.Null);
+  Alcotest.(check bool) "1 = 1" true (Value.equal (v_int 1) (v_int 1));
+  Alcotest.(check bool) "1 <> 2" false (Value.equal (v_int 1) (v_int 2));
+  Alcotest.(check bool) "1 <> '1'" false (Value.equal (v_int 1) (v_str "1"));
+  Alcotest.(check bool) "int <> float ctor" false
+    (Value.equal (v_int 1) (Value.Float 1.0))
+
+let test_value_compare_numeric () =
+  Alcotest.(check int) "1 < 1.5" (-1) (Value.compare (v_int 1) (Value.Float 1.5));
+  Alcotest.(check int) "2.5 > 2" 1 (Value.compare (Value.Float 2.5) (v_int 2));
+  Alcotest.(check int) "equal across" 0 (Value.compare (v_int 2) (Value.Float 2.0))
+
+let test_value_sql_eq_null () =
+  Alcotest.(check (option bool)) "null = x unknown" None
+    (Value.sql_eq Value.Null (v_int 1));
+  Alcotest.(check (option bool)) "null = null unknown" None
+    (Value.sql_eq Value.Null Value.Null);
+  Alcotest.(check (option bool)) "1 = 1" (Some true) (Value.sql_eq (v_int 1) (v_int 1))
+
+let test_value_arith () =
+  Alcotest.(check value) "int add" (v_int 5) (Value.add (v_int 2) (v_int 3));
+  Alcotest.(check value) "mixed add" (Value.Float 5.5)
+    (Value.add (v_int 2) (Value.Float 3.5));
+  Alcotest.(check value) "null propagates" Value.Null (Value.add Value.Null (v_int 1));
+  Alcotest.(check value) "string add null" Value.Null (Value.add (v_str "x") (v_int 1));
+  Alcotest.(check value) "sub" (v_int (-1)) (Value.sub (v_int 2) (v_int 3));
+  Alcotest.(check value) "mul" (v_int 6) (Value.mul (v_int 2) (v_int 3))
+
+let test_value_concat () =
+  Alcotest.(check value) "concat" (v_str "ab") (Value.concat (v_str "a") (v_str "b"));
+  Alcotest.(check value) "concat coerces" (v_str "a1")
+    (Value.concat (v_str "a") (v_int 1));
+  Alcotest.(check value) "concat null" Value.Null (Value.concat (v_str "a") Value.Null)
+
+let test_value_csv_cell () =
+  Alcotest.(check value) "empty is null" Value.Null (Value.of_csv_cell "");
+  Alcotest.(check value) "null word" Value.Null (Value.of_csv_cell "NULL");
+  Alcotest.(check value) "int" (v_int 42) (Value.of_csv_cell "42");
+  Alcotest.(check value) "float" (Value.Float 4.5) (Value.of_csv_cell "4.5");
+  Alcotest.(check value) "bool" (Value.Bool true) (Value.of_csv_cell "true");
+  Alcotest.(check value) "string" (v_str "abc") (Value.of_csv_cell "abc")
+
+let test_value_to_sql () =
+  Alcotest.(check string) "null" "NULL" (Value.to_sql Value.Null);
+  Alcotest.(check string) "string quoted" "'a''b'" (Value.to_sql (v_str "a'b"));
+  Alcotest.(check string) "int" "7" (Value.to_sql (v_int 7))
+
+(* --- Attr / Schema --- *)
+
+let test_attr_of_string () =
+  Alcotest.(check attr) "parse" (Attr.make "R" "x") (Attr.of_string "R.x");
+  Alcotest.check_raises "no dot" (Invalid_argument "Attr.of_string: missing '.' in x")
+    (fun () -> ignore (Attr.of_string "x"))
+
+let abc = Schema.make "R" [ "a"; "b"; "c" ]
+
+let test_schema_index () =
+  Alcotest.(check int) "b at 1" 1 (Schema.index abc (Attr.make "R" "b"));
+  Alcotest.(check (option int)) "missing" None (Schema.index_opt abc (Attr.make "R" "z"));
+  Alcotest.(check int) "arity" 3 (Schema.arity abc)
+
+let test_schema_duplicate_rejected () =
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Schema.of_attrs: duplicate attribute R.a") (fun () ->
+      ignore (Schema.of_attrs [ Attr.make "R" "a"; Attr.make "R" "a" ]))
+
+let test_schema_append_and_rels () =
+  let s2 = Schema.make "S" [ "x" ] in
+  let joined = Schema.append abc s2 in
+  Alcotest.(check int) "arity 4" 4 (Schema.arity joined);
+  Alcotest.(check (list string)) "rels" [ "R"; "S" ] (Schema.rels joined);
+  Alcotest.(check (list int)) "positions of S" [ 3 ] (Schema.positions_of_rel joined "S")
+
+let test_schema_rename () =
+  let renamed = Schema.rename_rel abc ~from:"R" ~into:"R2" in
+  Alcotest.(check int) "lookup renamed" 0 (Schema.index renamed (Attr.make "R2" "a"));
+  Alcotest.(check (option int)) "old gone" None
+    (Schema.index_opt renamed (Attr.make "R" "a"))
+
+let test_schema_index_of_name () =
+  let joined = Schema.append abc (Schema.make "S" [ "a"; "x" ]) in
+  Alcotest.(check (option int)) "ambiguous a" None (Schema.index_of_name joined "a");
+  Alcotest.(check (option int)) "unique x" (Some 4) (Schema.index_of_name joined "x")
+
+(* --- Tuple --- *)
+
+let t123 = Tuple.make [ v_int 1; v_int 2; v_int 3 ]
+
+let test_tuple_subsumption () =
+  let partial = Tuple.make [ v_int 1; Value.Null; v_int 3 ] in
+  Alcotest.(check bool) "subsumes" true (Tuple.subsumes t123 partial);
+  Alcotest.(check bool) "strict" true (Tuple.strictly_subsumes t123 partial);
+  Alcotest.(check bool) "not reverse" false (Tuple.subsumes partial t123);
+  Alcotest.(check bool) "self subsumes" true (Tuple.subsumes t123 t123);
+  Alcotest.(check bool) "self not strict" false (Tuple.strictly_subsumes t123 t123);
+  let other = Tuple.make [ v_int 9; Value.Null; v_int 3 ] in
+  Alcotest.(check bool) "differing value" false (Tuple.subsumes t123 other)
+
+let test_tuple_ops () =
+  Alcotest.(check bool) "all null" true (Tuple.all_null (Tuple.nulls 3));
+  Alcotest.(check bool) "not all null" false (Tuple.all_null t123);
+  Alcotest.(check tuple) "project"
+    (Tuple.make [ v_int 3; v_int 1 ])
+    (Tuple.project t123 [ 2; 0 ]);
+  Alcotest.(check tuple) "concat"
+    (Tuple.make [ v_int 1; v_int 2; v_int 3; v_int 7 ])
+    (Tuple.concat t123 (Tuple.make [ v_int 7 ]))
+
+(* --- Relation --- *)
+
+let mk_rel name cols rows = Relation.make name (Schema.make name cols) rows
+
+let r_small =
+  mk_rel "R" [ "a"; "b" ]
+    [ Tuple.make [ v_int 1; v_str "x" ]; Tuple.make [ v_int 2; v_str "y" ] ]
+
+let test_relation_dedup () =
+  let r = mk_rel "R" [ "a" ] [ Tuple.make [ v_int 1 ]; Tuple.make [ v_int 1 ] ] in
+  Alcotest.(check int) "dedup" 1 (Relation.cardinality r)
+
+let test_relation_all_null_rejected () =
+  Alcotest.check_raises "all null" (Invalid_argument "Relation.make R: all-null tuple")
+    (fun () -> ignore (mk_rel "R" [ "a"; "b" ] [ Tuple.nulls 2 ]))
+
+let test_relation_arity_mismatch () =
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Relation.make R: tuple arity 1, schema arity 2") (fun () ->
+      ignore (mk_rel "R" [ "a"; "b" ] [ Tuple.make [ v_int 1 ] ]))
+
+let test_relation_column_values () =
+  let r =
+    mk_rel "R" [ "a"; "b" ]
+      [
+        Tuple.make [ v_int 1; v_int 0 ];
+        Tuple.make [ v_int 2; v_int 0 ];
+        Tuple.make [ v_int 2; v_int 1 ];
+        Tuple.make [ Value.Null; v_int 0 ];
+      ]
+  in
+  Alcotest.(check int) "non-null distinct" 2
+    (List.length (Relation.column_values r (Attr.make "R" "a")))
+
+(* --- Predicate --- *)
+
+let ab_schema = Schema.make "R" [ "a"; "b" ]
+
+let test_predicate_strongness () =
+  let join_pred = Predicate.eq_cols (Attr.make "R" "a") (Attr.make "R" "b") in
+  Alcotest.(check bool) "equi strong" true (Predicate.is_strong ab_schema join_pred);
+  let weak = Predicate.Is_null (Expr.col "R" "a") in
+  Alcotest.(check bool) "is_null weak" false (Predicate.is_strong ab_schema weak)
+
+let test_predicate_three_valued () =
+  let p = Predicate.Cmp (Predicate.Lt, Expr.col "R" "a", Expr.Const (v_int 5)) in
+  let f = Predicate.compile ab_schema p in
+  Alcotest.(check bool) "3 < 5" true (f (Tuple.make [ v_int 3; v_int 0 ]));
+  Alcotest.(check bool) "7 < 5" false (f (Tuple.make [ v_int 7; v_int 0 ]));
+  Alcotest.(check bool) "null < 5 is unknown -> false" false
+    (f (Tuple.make [ Value.Null; v_int 0 ]))
+
+let test_predicate_not_unknown () =
+  (* NOT (null = 1) is unknown, collapses to false — not true. *)
+  let p =
+    Predicate.Not (Predicate.Cmp (Predicate.Eq, Expr.col "R" "a", Expr.Const (v_int 1)))
+  in
+  let f = Predicate.compile ab_schema p in
+  Alcotest.(check bool) "not unknown = false" false
+    (f (Tuple.make [ Value.Null; v_int 0 ]))
+
+let test_predicate_or_with_unknown () =
+  (* (null = 1) OR true = true. *)
+  let p =
+    Predicate.Or
+      ( Predicate.Cmp (Predicate.Eq, Expr.col "R" "a", Expr.Const (v_int 1)),
+        Predicate.True )
+  in
+  let f = Predicate.compile ab_schema p in
+  Alcotest.(check bool) "unknown or true" true (f (Tuple.make [ Value.Null; v_int 0 ]))
+
+let test_predicate_equi_atoms () =
+  let p =
+    Predicate.And
+      ( Predicate.eq_cols (Attr.make "R" "a") (Attr.make "S" "x"),
+        Predicate.eq_cols (Attr.make "R" "b") (Attr.make "S" "y") )
+  in
+  Alcotest.(check (option int)) "two atoms" (Some 2)
+    (Option.map List.length (Predicate.as_equi_atoms p));
+  let q = Predicate.Is_null (Expr.col "R" "a") in
+  Alcotest.(check (option int)) "not equi" None
+    (Option.map List.length (Predicate.as_equi_atoms q))
+
+let test_predicate_rename () =
+  let p = Predicate.eq_cols (Attr.make "R" "a") (Attr.make "S" "x") in
+  let renamed = Predicate.rename_rel p ~from:"S" ~into:"S2" in
+  Alcotest.(check string) "renamed" "R.a = S2.x" (Predicate.to_sql renamed)
+
+(* --- Expr --- *)
+
+let test_expr_eval () =
+  let e = Expr.Add (Expr.col "R" "a", Expr.Const (v_int 10)) in
+  Alcotest.(check value) "a+10" (v_int 11)
+    (Expr.eval ab_schema e (Tuple.make [ v_int 1; v_int 0 ]));
+  let c = Expr.Coalesce (Expr.col "R" "a", Expr.Const (v_int 0)) in
+  Alcotest.(check value) "coalesce null" (v_int 0)
+    (Expr.eval ab_schema c (Tuple.make [ Value.Null; v_int 5 ]))
+
+let test_expr_columns () =
+  let e = Expr.Concat (Expr.col "R" "a", Expr.col "S" "x") in
+  Alcotest.(check (list attr)) "columns"
+    [ Attr.make "R" "a"; Attr.make "S" "x" ]
+    (Expr.columns e)
+
+(* --- Algebra --- *)
+
+let left =
+  mk_rel "L" [ "id"; "v" ]
+    [
+      Tuple.make [ v_int 1; v_str "a" ];
+      Tuple.make [ v_int 2; v_str "b" ];
+      Tuple.make [ v_int 3; v_str "c" ];
+      Tuple.make [ Value.Null; v_str "d" ];
+    ]
+
+let right =
+  mk_rel "R" [ "id"; "w" ]
+    [
+      Tuple.make [ v_int 1; v_str "x" ];
+      Tuple.make [ v_int 1; v_str "y" ];
+      Tuple.make [ v_int 4; v_str "z" ];
+      Tuple.make [ Value.Null; v_str "q" ];
+    ]
+
+let join_pred = Predicate.eq_cols (Attr.make "L" "id") (Attr.make "R" "id")
+
+let test_join () =
+  let j = Algebra.join join_pred left right in
+  Alcotest.(check int) "two matches" 2 (Relation.cardinality j)
+
+let test_join_null_keys_never_match () =
+  (* Strong predicates: the null ids on both sides must not pair up. *)
+  let j = Algebra.join join_pred left right in
+  Relation.iter
+    (fun t -> Alcotest.(check bool) "no null key" false (Value.is_null t.(0)))
+    j
+
+let test_left_outer_join () =
+  let j = Algebra.left_outer_join join_pred left right in
+  (* 2 matches + 3 dangling left (ids 2, 3, null). *)
+  Alcotest.(check int) "loj size" 5 (Relation.cardinality j)
+
+let test_full_outer_join () =
+  let j = Algebra.full_outer_join join_pred left right in
+  (* 2 matches + 3 dangling left + 2 dangling right (id 4, null). *)
+  Alcotest.(check int) "foj size" 7 (Relation.cardinality j)
+
+let test_join_nested_loop_fallback () =
+  (* Non-equi predicate exercises the nested-loop path. *)
+  let p = Predicate.Cmp (Predicate.Lt, Expr.col "L" "id", Expr.col "R" "id") in
+  let j = Algebra.join p left right in
+  (* pairs with l.id < r.id among non-null: (1,4) (2,4) (3,4). *)
+  Alcotest.(check int) "lt join" 3 (Relation.cardinality j)
+
+let test_select_project () =
+  let p = Predicate.Cmp (Predicate.Ge, Expr.col "L" "id", Expr.Const (v_int 2)) in
+  Alcotest.(check int) "select" 2 (Relation.cardinality (Algebra.select p left));
+  let proj = Algebra.project [ Attr.make "L" "v" ] left in
+  Alcotest.(check int) "project arity" 1 (Schema.arity (Relation.schema proj));
+  Alcotest.(check int) "project size" 4 (Relation.cardinality proj)
+
+let test_product () =
+  let p = Algebra.product left right in
+  Alcotest.(check int) "product" 16 (Relation.cardinality p)
+
+let test_union_difference () =
+  let a = mk_rel "A" [ "x" ] [ Tuple.make [ v_int 1 ]; Tuple.make [ v_int 2 ] ] in
+  let b =
+    Relation.make "B" (Schema.make "A" [ "x" ])
+      [ Tuple.make [ v_int 2 ]; Tuple.make [ v_int 3 ] ]
+  in
+  Alcotest.(check int) "union" 3 (Relation.cardinality (Algebra.union a b));
+  Alcotest.(check int) "difference" 1 (Relation.cardinality (Algebra.difference a b))
+
+let test_outer_union () =
+  let a = mk_rel "A" [ "x" ] [ Tuple.make [ v_int 1 ] ] in
+  let b = mk_rel "B" [ "y" ] [ Tuple.make [ v_int 2 ] ] in
+  let ou = Algebra.outer_union a b in
+  Alcotest.(check int) "arity 2" 2 (Schema.arity (Relation.schema ou));
+  Alcotest.(check int) "two rows" 2 (Relation.cardinality ou);
+  Relation.iter
+    (fun t ->
+      Alcotest.(check bool) "one null each" true
+        (Value.is_null t.(0) <> Value.is_null t.(1)))
+    ou
+
+let test_pad () =
+  let a = mk_rel "A" [ "x" ] [ Tuple.make [ v_int 1 ] ] in
+  let target = Schema.of_attrs [ Attr.make "B" "y"; Attr.make "A" "x" ] in
+  let padded = Algebra.pad a target in
+  Alcotest.(check tuple) "pad reorders"
+    (Tuple.make [ Value.Null; v_int 1 ])
+    (List.hd (Relation.tuples padded))
+
+(* --- Integrity --- *)
+
+let parent = mk_rel "P" [ "id" ] [ Tuple.make [ v_int 1 ]; Tuple.make [ v_int 2 ] ]
+
+let child =
+  mk_rel "C" [ "id"; "pid" ]
+    [
+      Tuple.make [ v_int 10; v_int 1 ];
+      Tuple.make [ v_int 11; Value.Null ];
+      Tuple.make [ v_int 12; v_int 9 ];
+    ]
+
+let db = Database.of_relations [ parent; child ]
+
+let test_fk_violation () =
+  let fk =
+    Integrity.Foreign_key
+      { rel = "C"; cols = [ "pid" ]; ref_rel = "P"; ref_cols = [ "id" ] }
+  in
+  let violations = Integrity.check ~lookup:(Database.find db) fk in
+  (* Null FK passes; 9 dangles. *)
+  Alcotest.(check int) "one dangling" 1 (List.length violations)
+
+let test_pk_violation () =
+  let dup =
+    mk_rel "D" [ "k"; "x" ]
+      [ Tuple.make [ v_int 1; v_int 1 ]; Tuple.make [ v_int 1; v_int 2 ] ]
+  in
+  let db = Database.of_relations [ dup ] in
+  let pk = Integrity.Primary_key ("D", [ "k" ]) in
+  Alcotest.(check int) "dup key" 1
+    (List.length (Integrity.check ~lookup:(Database.find db) pk))
+
+let test_not_null_violation () =
+  let nn = Integrity.Not_null ("C", "pid") in
+  Alcotest.(check int) "one null" 1
+    (List.length (Integrity.check ~lookup:(Database.find db) nn))
+
+let test_unknown_relation_reported () =
+  let pk = Integrity.Primary_key ("Z", [ "k" ]) in
+  Alcotest.(check int) "unknown rel" 1
+    (List.length (Integrity.check ~lookup:(Database.find db) pk))
+
+let test_fk_join_predicate () =
+  let fk =
+    Integrity.Foreign_key
+      { rel = "C"; cols = [ "pid" ]; ref_rel = "P"; ref_cols = [ "id" ] }
+  in
+  match Integrity.join_predicate fk with
+  | Some p -> Alcotest.(check string) "pred" "C.pid = P.id" (Predicate.to_sql p)
+  | None -> Alcotest.fail "expected a predicate"
+
+(* --- Database --- *)
+
+let test_database_ops () =
+  Alcotest.(check (list string)) "names" [ "P"; "C" ] (Database.relation_names db);
+  Alcotest.(check bool) "mem" true (Database.mem db "P");
+  Alcotest.(check bool) "not mem" false (Database.mem db "Z");
+  Alcotest.(check int) "cells" ((2 * 1) + (3 * 2)) (Database.cell_count db)
+
+let test_database_duplicate_rejected () =
+  Alcotest.check_raises "dup" (Invalid_argument "Database.add: duplicate relation P")
+    (fun () -> ignore (Database.add db parent))
+
+let test_database_find_value () =
+  let occs = Database.find_value db (v_int 1) in
+  (* id 1 in P.id and C.pid. *)
+  Alcotest.(check int) "two occurrences" 2 (List.length occs)
+
+(* --- CSV --- *)
+
+let test_csv_roundtrip () =
+  let text = "id,name,age\n1,Ann,6\n2,\"Bo,b\",\n" in
+  let r = Csv_io.relation_of_string ~name:"Kids" text in
+  Alcotest.(check int) "two rows" 2 (Relation.cardinality r);
+  let s = Relation.schema r in
+  let bob =
+    Relation.tuples r
+    |> List.find (fun t ->
+           Value.equal t.(Schema.index s (Attr.make "Kids" "name")) (v_str "Bo,b"))
+  in
+  Alcotest.(check bool) "null age" true
+    (Value.is_null bob.(Schema.index s (Attr.make "Kids" "age")));
+  let again = Csv_io.relation_of_string ~name:"Kids" (Csv_io.relation_to_string r) in
+  Alcotest.(check bool) "round trip" true (Relation.equal_contents r again)
+
+let test_csv_quoted_quote () =
+  let rows = Csv_io.parse_string "a\n\"he said \"\"hi\"\"\"\n" in
+  Alcotest.(check int) "rows" 2 (List.length rows);
+  Alcotest.(check string) "unescaped" "he said \"hi\"" (List.hd (List.nth rows 1))
+
+let test_csv_database_of_dir () =
+  (* The sample library shipped under examples/. *)
+  let dir = "../examples/data/library" in
+  if Sys.file_exists dir then begin
+    let db = Csv_io.database_of_dir dir in
+    Alcotest.(check (list string)) "relations from files" [ "authors"; "books"; "loans" ]
+      (Database.relation_names db);
+    Alcotest.(check int) "books rows" 4
+      (Relation.cardinality (Database.get db "books"))
+  end
+  else Printf.printf "(skipping: %s not found from test cwd)\n" dir
+
+(* --- Render --- *)
+
+let test_render_contains_values () =
+  let s = Render.relation r_small in
+  Alcotest.(check bool) "has name" true (contains s "R");
+  Alcotest.(check bool) "has x" true (contains s "x");
+  Alcotest.(check bool) "has y" true (contains s "y")
+
+let test_render_annotated () =
+  let s =
+    Render.annotated ~annot_header:"tag"
+      [ ("T1", Tuple.make [ v_int 1; v_str "x" ]) ]
+      (Relation.schema r_small)
+  in
+  Alcotest.(check bool) "tag col" true (contains s "tag");
+  Alcotest.(check bool) "annot" true (contains s "T1")
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "relational"
+    [
+      ( "value",
+        [
+          tc "equal" `Quick test_value_equal;
+          tc "numeric compare" `Quick test_value_compare_numeric;
+          tc "sql_eq null" `Quick test_value_sql_eq_null;
+          tc "arith" `Quick test_value_arith;
+          tc "concat" `Quick test_value_concat;
+          tc "csv cell" `Quick test_value_csv_cell;
+          tc "to_sql" `Quick test_value_to_sql;
+        ] );
+      ( "schema",
+        [
+          tc "attr parse" `Quick test_attr_of_string;
+          tc "index" `Quick test_schema_index;
+          tc "duplicate rejected" `Quick test_schema_duplicate_rejected;
+          tc "append/rels" `Quick test_schema_append_and_rels;
+          tc "rename" `Quick test_schema_rename;
+          tc "index_of_name" `Quick test_schema_index_of_name;
+        ] );
+      ( "tuple",
+        [
+          tc "subsumption" `Quick test_tuple_subsumption;
+          tc "ops" `Quick test_tuple_ops;
+        ] );
+      ( "relation",
+        [
+          tc "dedup" `Quick test_relation_dedup;
+          tc "all-null rejected" `Quick test_relation_all_null_rejected;
+          tc "arity mismatch" `Quick test_relation_arity_mismatch;
+          tc "column values" `Quick test_relation_column_values;
+        ] );
+      ( "predicate",
+        [
+          tc "strongness" `Quick test_predicate_strongness;
+          tc "three-valued" `Quick test_predicate_three_valued;
+          tc "not unknown" `Quick test_predicate_not_unknown;
+          tc "or unknown" `Quick test_predicate_or_with_unknown;
+          tc "equi atoms" `Quick test_predicate_equi_atoms;
+          tc "rename" `Quick test_predicate_rename;
+        ] );
+      ("expr", [ tc "eval" `Quick test_expr_eval; tc "columns" `Quick test_expr_columns ]);
+      ( "algebra",
+        [
+          tc "join" `Quick test_join;
+          tc "null keys" `Quick test_join_null_keys_never_match;
+          tc "left outer join" `Quick test_left_outer_join;
+          tc "full outer join" `Quick test_full_outer_join;
+          tc "nested loop" `Quick test_join_nested_loop_fallback;
+          tc "select/project" `Quick test_select_project;
+          tc "product" `Quick test_product;
+          tc "union/difference" `Quick test_union_difference;
+          tc "outer union" `Quick test_outer_union;
+          tc "pad" `Quick test_pad;
+        ] );
+      ( "integrity",
+        [
+          tc "fk violation" `Quick test_fk_violation;
+          tc "pk violation" `Quick test_pk_violation;
+          tc "not-null violation" `Quick test_not_null_violation;
+          tc "unknown relation" `Quick test_unknown_relation_reported;
+          tc "fk join predicate" `Quick test_fk_join_predicate;
+        ] );
+      ( "database",
+        [
+          tc "ops" `Quick test_database_ops;
+          tc "duplicate rejected" `Quick test_database_duplicate_rejected;
+          tc "find value" `Quick test_database_find_value;
+        ] );
+      ( "csv",
+        [
+          tc "roundtrip" `Quick test_csv_roundtrip;
+          tc "quoted quotes" `Quick test_csv_quoted_quote;
+          tc "database of dir" `Quick test_csv_database_of_dir;
+        ] );
+      ( "render",
+        [
+          tc "contains values" `Quick test_render_contains_values;
+          tc "annotated" `Quick test_render_annotated;
+        ] );
+    ]

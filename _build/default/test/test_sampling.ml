@@ -1,0 +1,110 @@
+(* Tests for slice-based illustration over large data volumes: soundness
+   (slice associations are real), determinism, size reduction, dangling
+   witnesses, and end-to-end sampled illustration. *)
+
+open Relational
+open Clio
+module Qgraph = Querygraph.Qgraph
+
+let big_instance seed =
+  let st = Random.State.make [| seed |] in
+  Synth.Gen_graph.chain st ~n:3 ~rows:2000 ~null_prob:0.2 ~orphan_prob:0.15 ()
+
+let identity_mapping (inst : Synth.Gen_graph.instance) =
+  let aliases = Qgraph.aliases inst.Synth.Gen_graph.graph in
+  Mapping.make ~graph:inst.Synth.Gen_graph.graph ~target:"T"
+    ~target_cols:(List.map (fun a -> "c_" ^ a) aliases)
+    ~correspondences:
+      (List.map (fun a -> Correspondence.identity ("c_" ^ a) (Attr.make a "id")) aliases)
+    ()
+
+let test_slice_smaller () =
+  let inst = big_instance 3 in
+  let sliced = Sampling.slice ~seed:5 ~per_relation:15 inst.Synth.Gen_graph.db
+      inst.Synth.Gen_graph.graph
+  in
+  List.iter
+    (fun r ->
+      let full = Database.get inst.Synth.Gen_graph.db (Relation.name r) in
+      Alcotest.(check bool)
+        (Relation.name r ^ " reduced")
+        true
+        (Relation.cardinality r < Relation.cardinality full / 2))
+    (Database.relations sliced)
+
+let test_slice_deterministic () =
+  let inst = big_instance 4 in
+  let s1 = Sampling.slice ~seed:7 inst.Synth.Gen_graph.db inst.Synth.Gen_graph.graph in
+  let s2 = Sampling.slice ~seed:7 inst.Synth.Gen_graph.db inst.Synth.Gen_graph.graph in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "same slice" true (Relation.equal_contents a b))
+    (Database.relations s1) (Database.relations s2)
+
+let test_slice_sound () =
+  let inst = big_instance 5 in
+  let m = identity_mapping inst in
+  let universe, _ =
+    Sampling.illustrate_sampled ~seed:11 ~per_relation:10 inst.Synth.Gen_graph.db m
+  in
+  Alcotest.(check bool) "all slice associations are real" true
+    (Sampling.sound inst.Synth.Gen_graph.db m ~slice_universe:universe)
+
+let test_sampled_illustration_sufficient_over_slice () =
+  let inst = big_instance 6 in
+  let m = identity_mapping inst in
+  let universe, ill =
+    Sampling.illustrate_sampled ~seed:13 ~per_relation:10 inst.Synth.Gen_graph.db m
+  in
+  Alcotest.(check bool) "sufficient" true
+    (Sufficiency.is_sufficient ~universe ~target_cols:m.Mapping.target_cols ill);
+  Alcotest.(check bool) "small" true (List.length ill < List.length universe)
+
+let test_dangling_witnesses_surface_categories () =
+  (* With 15% orphans and 20% null FKs, partial categories exist in the
+     full database; the witnesses make them visible in the slice. *)
+  let inst = big_instance 7 in
+  let m = identity_mapping inst in
+  let universe, _ =
+    Sampling.illustrate_sampled ~seed:17 ~per_relation:8 inst.Synth.Gen_graph.db m
+  in
+  let categories =
+    universe
+    |> List.map (fun e -> Fulldisj.Coverage.to_list (Example.coverage e))
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "several categories" true (List.length categories >= 2)
+
+let test_paper_db_slice_is_whole () =
+  (* The paper database is tiny: the slice is the whole thing, so sampled
+     illustration equals the ordinary one. *)
+  let db = Paperdata.Figure1.database in
+  let m = Paperdata.Running.mapping in
+  let universe, _ = Sampling.illustrate_sampled ~per_relation:50 db m in
+  Alcotest.(check int) "same universe size"
+    (List.length (Mapping_eval.examples db m))
+    (List.length universe)
+
+let test_non_graph_relations_pass_through () =
+  let db = Paperdata.Figure1.database in
+  let sliced = Sampling.slice db Paperdata.Running.graph_g1 in
+  Alcotest.(check bool) "XmasBar untouched" true
+    (Relation.equal_contents
+       (Database.get sliced "XmasBar")
+       (Database.get db "XmasBar"))
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "sampling"
+    [
+      ( "sampling",
+        [
+          tc "slice smaller" `Quick test_slice_smaller;
+          tc "deterministic" `Quick test_slice_deterministic;
+          tc "sound" `Quick test_slice_sound;
+          tc "sufficient over slice" `Quick test_sampled_illustration_sufficient_over_slice;
+          tc "witnesses surface categories" `Quick test_dangling_witnesses_surface_categories;
+          tc "tiny db: slice = whole" `Quick test_paper_db_slice_is_whole;
+          tc "pass-through" `Quick test_non_graph_relations_pass_through;
+        ] );
+    ]

@@ -1,0 +1,197 @@
+(* Tests for the schema knowledge base: FK-derived join pairs, inclusion
+   dependency mining, and the alternative-mapping ranking heuristics. *)
+
+open Relational
+module Kb = Schemakb.Kb
+module Mine = Schemakb.Mine
+module Rank = Schemakb.Rank
+module Qgraph = Querygraph.Qgraph
+
+let mk name cols rows = Relation.make name (Schema.make name cols) rows
+let v_int i = Value.Int i
+
+(* --- Kb --- *)
+
+let fk_db =
+  Database.of_relations
+    ~constraints:
+      [
+        Integrity.Foreign_key
+          { rel = "C"; cols = [ "pid" ]; ref_rel = "P"; ref_cols = [ "id" ] };
+      ]
+    [
+      mk "P" [ "id" ] [ Tuple.make [ v_int 1 ] ];
+      mk "C" [ "id"; "pid" ] [ Tuple.make [ v_int 10; v_int 1 ] ];
+    ]
+
+let test_kb_of_database () =
+  let kb = Kb.of_database fk_db in
+  Alcotest.(check int) "one pair" 1 (List.length (Kb.pairs kb));
+  Alcotest.(check int) "joinable from C" 1 (List.length (Kb.joinable kb "C"));
+  Alcotest.(check int) "joinable from P" 1 (List.length (Kb.joinable kb "P"));
+  Alcotest.(check int) "joinable from X" 0 (List.length (Kb.joinable kb "X"))
+
+let test_kb_orientation () =
+  let kb = Kb.of_database fk_db in
+  let from_p = List.hd (Kb.joinable kb "P") in
+  Alcotest.(check string) "oriented" "P" from_p.Kb.r1;
+  Alcotest.(check string) "other side" "C" from_p.Kb.r2;
+  (* atoms flipped too: P.id = C.pid *)
+  Alcotest.(check string) "pred" "P.id = C2.pid"
+    (Predicate.to_sql (Kb.predicate from_p ~alias1:"P" ~alias2:"C2"))
+
+let test_kb_dedup () =
+  let kb = Kb.of_database fk_db in
+  let again =
+    Kb.add kb { Kb.r1 = "P"; r2 = "C"; atoms = [ ("id", "pid") ]; origin = Kb.Asserted }
+  in
+  Alcotest.(check int) "flipped duplicate ignored" 1 (List.length (Kb.pairs again))
+
+let test_kb_matches_edge () =
+  let kb = Kb.of_database fk_db in
+  let pair = List.hd (Kb.pairs kb) in
+  let pred = Predicate.eq_cols (Attr.make "C" "pid") (Attr.make "P" "id") in
+  Alcotest.(check bool) "matches" true (Kb.matches_edge pair ~alias1:"C" ~alias2:"P" pred);
+  Alcotest.(check bool) "matches flipped" true
+    (Kb.matches_edge pair ~alias1:"P" ~alias2:"C" pred);
+  let wrong = Predicate.eq_cols (Attr.make "C" "id") (Attr.make "P" "id") in
+  Alcotest.(check bool) "no match" false
+    (Kb.matches_edge pair ~alias1:"C" ~alias2:"P" wrong)
+
+(* --- Mine --- *)
+
+let mine_db =
+  Database.of_relations
+    [
+      mk "Parent" [ "id" ]
+        [ Tuple.make [ v_int 1 ]; Tuple.make [ v_int 2 ]; Tuple.make [ v_int 3 ] ];
+      mk "Child" [ "cid"; "pid" ]
+        [
+          Tuple.make [ v_int 10; v_int 1 ];
+          Tuple.make [ v_int 11; v_int 2 ];
+          Tuple.make [ v_int 12; v_int 2 ];
+        ];
+      mk "Noise" [ "x" ] [ Tuple.make [ v_int 99 ] ];
+    ]
+
+let test_mine_finds_inclusion () =
+  let cands = Mine.inclusion_dependencies mine_db in
+  Alcotest.(check bool) "Child.pid ⊆ Parent.id" true
+    (List.exists
+       (fun c ->
+         c.Mine.rel = "Child" && c.Mine.col = "pid" && c.Mine.ref_rel = "Parent"
+         && c.Mine.ref_col = "id"
+         && c.Mine.confidence = 1.0)
+       cands);
+  Alcotest.(check bool) "no Noise candidates" true
+    (List.for_all (fun c -> c.Mine.rel <> "Noise" || c.Mine.ref_rel <> "Child") cands)
+
+let test_mine_respects_key_requirement () =
+  (* Child.pid has duplicates (2 twice): nothing may reference it as a key. *)
+  let cands = Mine.inclusion_dependencies mine_db in
+  Alcotest.(check bool) "nothing references pid" true
+    (List.for_all (fun c -> not (c.Mine.ref_rel = "Child" && c.Mine.ref_col = "pid")) cands)
+
+let test_mine_partial_overlap () =
+  let db =
+    Database.of_relations
+      [
+        mk "A" [ "x" ]
+          [ Tuple.make [ v_int 1 ]; Tuple.make [ v_int 2 ]; Tuple.make [ v_int 9 ];
+            Tuple.make [ v_int 10 ] ];
+        mk "B" [ "y" ] [ Tuple.make [ v_int 1 ]; Tuple.make [ v_int 2 ] ];
+      ]
+  in
+  let strict = Mine.inclusion_dependencies db in
+  Alcotest.(check bool) "not at 1.0" true
+    (List.for_all (fun c -> not (c.Mine.rel = "A" && c.Mine.ref_rel = "B")) strict);
+  let loose = Mine.inclusion_dependencies ~min_overlap:0.5 db in
+  Alcotest.(check bool) "at 0.5" true
+    (List.exists
+       (fun c -> c.Mine.rel = "A" && c.Mine.ref_rel = "B" && c.Mine.confidence = 0.5)
+       loose)
+
+let test_kb_add_mined () =
+  let kb = Kb.add_mined Kb.empty (Mine.inclusion_dependencies mine_db) in
+  Alcotest.(check bool) "pair added" true
+    (List.exists
+       (fun p -> p.Kb.r1 = "Child" && p.Kb.r2 = "Parent")
+       (Kb.pairs kb))
+
+(* --- Rank --- *)
+
+let eq r1 c1 r2 c2 = Predicate.eq_cols (Attr.make r1 c1) (Attr.make r2 c2)
+
+let test_rank_prefers_small_extension () =
+  let old = Qgraph.singleton ~alias:"C" ~base:"C" in
+  let small =
+    Qgraph.make [ ("C", "C"); ("P", "P") ] [ ("C", "P", eq "C" "pid" "P" "id") ]
+  in
+  let big =
+    Qgraph.make
+      [ ("C", "C"); ("X", "X"); ("P", "P") ]
+      [ ("C", "X", eq "C" "xid" "X" "id"); ("X", "P", eq "X" "pid" "P" "id") ]
+  in
+  let ordered = Rank.order ~kb:Kb.empty ~old [ big; small ] in
+  Alcotest.(check bool) "small first" true (Qgraph.equal (List.hd ordered) small)
+
+let test_rank_penalizes_copies () =
+  let old =
+    Qgraph.make [ ("C", "C"); ("P", "P") ] [ ("C", "P", eq "C" "fid" "P" "id") ]
+  in
+  let reuse =
+    Qgraph.make
+      [ ("C", "C"); ("P", "P"); ("D", "D") ]
+      [ ("C", "P", eq "C" "fid" "P" "id"); ("P", "D", eq "P" "id" "D" "id") ]
+  in
+  let copy =
+    Qgraph.make
+      [ ("C", "C"); ("P", "P"); ("P2", "P"); ("D", "D") ]
+      [
+        ("C", "P", eq "C" "fid" "P" "id");
+        ("C", "P2", eq "C" "mid" "P2" "id");
+        ("P2", "D", eq "P2" "id" "D" "id");
+      ]
+  in
+  let s_reuse = Rank.score ~kb:Kb.empty ~old reuse in
+  let s_copy = Rank.score ~kb:Kb.empty ~old copy in
+  Alcotest.(check int) "copy counted" 1 s_copy.Rank.copies;
+  Alcotest.(check bool) "reuse cheaper" true (Rank.total s_reuse < Rank.total s_copy)
+
+let test_rank_rewards_declared_edges () =
+  let kb = Kb.of_database fk_db in
+  let old = Qgraph.singleton ~alias:"C" ~base:"C" in
+  let declared =
+    Qgraph.make [ ("C", "C"); ("P", "P") ] [ ("C", "P", eq "C" "pid" "P" "id") ]
+  in
+  let undeclared =
+    Qgraph.make [ ("C", "C"); ("P", "P") ] [ ("C", "P", eq "C" "id" "P" "id") ]
+  in
+  let ordered = Rank.order ~kb ~old [ undeclared; declared ] in
+  Alcotest.(check bool) "declared first" true (Qgraph.equal (List.hd ordered) declared)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "schemakb"
+    [
+      ( "kb",
+        [
+          tc "of database" `Quick test_kb_of_database;
+          tc "orientation" `Quick test_kb_orientation;
+          tc "dedup" `Quick test_kb_dedup;
+          tc "matches edge" `Quick test_kb_matches_edge;
+          tc "add mined" `Quick test_kb_add_mined;
+        ] );
+      ( "mine",
+        [
+          tc "finds inclusion" `Quick test_mine_finds_inclusion;
+          tc "key requirement" `Quick test_mine_respects_key_requirement;
+          tc "partial overlap" `Quick test_mine_partial_overlap;
+        ] );
+      ( "rank",
+        [
+          tc "prefers small" `Quick test_rank_prefers_small_extension;
+          tc "penalizes copies" `Quick test_rank_penalizes_copies;
+          tc "rewards declared" `Quick test_rank_rewards_declared_edges;
+        ] );
+    ]

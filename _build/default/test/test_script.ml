@@ -1,0 +1,273 @@
+(* Tests for the session scripting language (Clio.Script): the Section 2
+   scenario as a script, error reporting, undo, and the pending-alternative
+   protocol. *)
+
+open Clio
+
+let db = Paperdata.Figure1.database
+let kb = Paperdata.Figure1.kb
+let run text = Script.run ~db ~kb text
+let run_err text =
+  match Script.run_result ~db ~kb text with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e -> e
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let section2_script =
+  {|# The Section 2 refinement session as a script.
+target Kids(ID, name, affiliation, contactPh, BusSchedule)
+source Children
+corr ID = Children.ID
+corr name = Children.name
+
+# Affiliation: two ways to reach Parents; take the top-ranked one.
+corr affiliation = Parents.affiliation
+show alternatives
+pick 1
+
+# Phones: walk to PhoneDir, keep the best scenario, map the number.
+walk Children PhoneDir 2
+pick 1
+corr contactPh = PhoneDir.number
+
+# Bus schedules discovered by chasing Maya's ID.
+chase Children.ID 002
+pick 1
+corr BusSchedule = SBPS.time
+
+tfilter ID is not null
+show target
+show sql Children
+|}
+
+let test_section2_script_runs () =
+  let outcome = run section2_script in
+  (match outcome.Script.mapping with
+  | None -> Alcotest.fail "expected a settled mapping"
+  | Some m ->
+      Alcotest.(check int) "five correspondences" 5
+        (List.length m.Mapping.correspondences));
+  (* The target view lists all four kids. *)
+  let target_view =
+    List.find (fun s -> contains s "Kids") outcome.Script.log
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " present") true (contains target_view name))
+    [ "Joe"; "Maya"; "Ann"; "Bob" ];
+  let sql = List.nth outcome.Script.log (List.length outcome.Script.log - 1) in
+  Alcotest.(check bool) "left join SQL" true (contains sql "left join")
+
+let test_alternatives_listing () =
+  let outcome =
+    run
+      {|target Kids(ID, affiliation)
+source Children
+corr ID = Children.ID
+corr affiliation = Parents.affiliation
+show alternatives|}
+  in
+  let listing = List.nth outcome.Script.log 0 in
+  Alcotest.(check bool) "two options" true
+    (contains listing "1." && contains listing "2.")
+
+let test_pick_out_of_range () =
+  let e =
+    run_err
+      {|target Kids(ID, affiliation)
+source Children
+corr ID = Children.ID
+corr affiliation = Parents.affiliation
+pick 9|}
+  in
+  Alcotest.(check bool) "line 5" true (contains e "line 5");
+  Alcotest.(check bool) "range" true (contains e "pick: expected 1..")
+
+let test_pending_blocks_commands () =
+  let e =
+    run_err
+      {|target Kids(ID, affiliation)
+source Children
+corr affiliation = Parents.affiliation
+sfilter Children.age < 7|}
+  in
+  Alcotest.(check bool) "mentions pending" true (contains e "pick one first")
+
+let test_filters_and_require () =
+  let outcome =
+    run
+      {|target Kids(ID, name, affiliation, contactPh, BusSchedule)
+source Children
+corr ID = Children.ID
+corr name = Children.name
+sfilter Children.age < 7
+walk Children SBPS 1
+pick 1
+corr BusSchedule = SBPS.time
+require BusSchedule
+show target|}
+  in
+  let view = List.hd outcome.Script.log in
+  (* age<7 drops Bob; required BusSchedule drops Ann. *)
+  Alcotest.(check bool) "Joe stays" true (contains view "Joe");
+  Alcotest.(check bool) "Bob dropped" false (contains view "Bob");
+  Alcotest.(check bool) "Ann dropped" false (contains view "Ann")
+
+let test_undo () =
+  let outcome =
+    run
+      {|target Kids(ID, name)
+source Children
+corr ID = Children.ID
+sfilter Children.age < 7
+undo
+show target|}
+  in
+  let view = List.hd outcome.Script.log in
+  Alcotest.(check bool) "Bob back after undo" true (contains view "009")
+
+let test_unknown_command_line_number () =
+  let e = run_err "target Kids(ID)\nsource Children\nfrobnicate" in
+  Alcotest.(check bool) "line 3" true (contains e "line 3");
+  Alcotest.(check bool) "names command" true (contains e "frobnicate")
+
+let test_source_before_target_rejected () =
+  let e = run_err "source Children" in
+  Alcotest.(check bool) "ordering" true (contains e "declare the target")
+
+let test_bad_predicate_reported () =
+  let e =
+    run_err "target Kids(ID)\nsource Children\ncorr ID = Children.ID\nsfilter age <<< 7"
+  in
+  Alcotest.(check bool) "parse error" true (contains e "cannot parse")
+
+let test_comments_and_blank_lines () =
+  let outcome = run "# nothing but comments\n\n   # more\n" in
+  Alcotest.(check bool) "no mapping" true (outcome.Script.mapping = None);
+  Alcotest.(check (list string)) "no output" [] outcome.Script.log
+
+(* --- node/edge graph surgery and persistence --- *)
+
+let test_node_edge_commands () =
+  let outcome =
+    run
+      {|target Kids(ID, affiliation)
+node Children Children
+node Parents2 Parents
+edge Children Parents2 Children.mid = Parents2.ID
+corr ID = Children.ID
+corr affiliation = Parents2.affiliation
+show target|}
+  in
+  let view = List.hd outcome.Script.log in
+  (* Maya's mother is at Acta. *)
+  Alcotest.(check bool) "mother affiliation" true (contains view "Acta")
+
+let test_disconnected_graph_rejected () =
+  let e =
+    run_err
+      {|target Kids(ID)
+node Children Children
+node Parents Parents
+corr ID = Children.ID|}
+  in
+  Alcotest.(check bool) "connectivity" true (contains e "connected")
+
+let test_mapping_io_roundtrip_running () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "roundtrips" true (Clio.Mapping_io.roundtrips ~db ~kb m))
+    [
+      Paperdata.Running.mapping_g1;
+      Paperdata.Running.section2_mapping;
+      (* The Example 3.15 mapping uses an Expr-based concat: serializable. *)
+      Paperdata.Running.mapping;
+    ]
+
+let test_mapping_io_rejects_custom () =
+  let m =
+    Mapping.set_correspondence Paperdata.Running.mapping_g1
+      (Correspondence.custom "contactPh" "weird"
+         [ Relational.Attr.make "Children" "ID" ]
+         (fun vs -> List.hd vs))
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Clio.Mapping_io.save m);
+       false
+     with Clio.Mapping_io.Unserializable _ -> true)
+
+let test_mapping_io_load_reports_errors () =
+  match Clio.Mapping_io.load ~db ~kb "nonsense command" with
+  | Error e -> Alcotest.(check bool) "reported" true (contains e "nonsense")
+  | Ok _ -> Alcotest.fail "expected error"
+
+(* --- interactive (REPL) mode --- *)
+
+let test_interactive_feed () =
+  let st = Script.Interactive.start ~db ~kb in
+  let feed st line =
+    match Script.Interactive.feed st line with
+    | Ok (st, out) -> (st, out)
+    | Error e -> Alcotest.failf "unexpected error: %s" e
+  in
+  let st, out = feed st "target Kids(ID, name)" in
+  Alcotest.(check (list string)) "silent" [] out;
+  let st, _ = feed st "source Children" in
+  let st, _ = feed st "corr ID = Children.ID" in
+  let st, out = feed st "show target" in
+  Alcotest.(check int) "one output block" 1 (List.length out);
+  Alcotest.(check bool) "has rows" true (contains (List.hd out) "009");
+  Alcotest.(check bool) "mapping settled" true
+    (Option.is_some (Script.Interactive.mapping st))
+
+let test_interactive_error_keeps_state () =
+  let st = Script.Interactive.start ~db ~kb in
+  let st =
+    match Script.Interactive.feed st "target Kids(ID)" with
+    | Ok (st, _) -> st
+    | Error e -> Alcotest.failf "setup: %s" e
+  in
+  (match Script.Interactive.feed st "frobnicate" with
+  | Error e -> Alcotest.(check bool) "reports" true (contains e "frobnicate")
+  | Ok _ -> Alcotest.fail "expected error");
+  (* The old state still works. *)
+  match Script.Interactive.feed st "source Children" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "state corrupted: %s" e
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "script"
+    [
+      ( "script",
+        [
+          tc "section 2 end-to-end" `Quick test_section2_script_runs;
+          tc "alternatives listing" `Quick test_alternatives_listing;
+          tc "pick out of range" `Quick test_pick_out_of_range;
+          tc "pending blocks" `Quick test_pending_blocks_commands;
+          tc "filters and require" `Quick test_filters_and_require;
+          tc "undo" `Quick test_undo;
+          tc "unknown command" `Quick test_unknown_command_line_number;
+          tc "source before target" `Quick test_source_before_target_rejected;
+          tc "bad predicate" `Quick test_bad_predicate_reported;
+          tc "comments" `Quick test_comments_and_blank_lines;
+        ] );
+      ( "graph-and-persistence",
+        [
+          tc "node/edge" `Quick test_node_edge_commands;
+          tc "disconnected rejected" `Quick test_disconnected_graph_rejected;
+          tc "mapping_io roundtrip" `Quick test_mapping_io_roundtrip_running;
+          tc "custom rejected" `Quick test_mapping_io_rejects_custom;
+          tc "load errors" `Quick test_mapping_io_load_reports_errors;
+        ] );
+      ( "interactive",
+        [
+          tc "feed" `Quick test_interactive_feed;
+          tc "error keeps state" `Quick test_interactive_error_keeps_state;
+        ] );
+    ]

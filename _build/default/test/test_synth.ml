@@ -1,0 +1,107 @@
+(* Tests for the synthetic workload generators: determinism, shape, and
+   constraint plausibility. *)
+
+open Relational
+module Qgraph = Querygraph.Qgraph
+
+let test_relation_deterministic () =
+  let gen seed =
+    Synth.Gen_db.relation (Random.State.make [| seed |]) ~name:"R" ~rows:50
+      ~payload_cols:2
+      ~fks:[ { Synth.Gen_db.target = "S"; null_prob = 0.2; orphan_prob = 0.1 } ]
+      ~key_space:100
+  in
+  Alcotest.(check bool) "same seed same data" true
+    (Relation.equal_contents (gen 7) (gen 7));
+  Alcotest.(check bool) "different seed differs" false
+    (Relation.equal_contents (gen 7) (gen 8))
+
+let test_relation_ids_unique () =
+  let r =
+    Synth.Gen_db.relation (Random.State.make [| 1 |]) ~name:"R" ~rows:80
+      ~payload_cols:0 ~fks:[] ~key_space:100
+  in
+  let ids = Relation.column_values r (Attr.make "R" "id") in
+  Alcotest.(check int) "unique ids" 80 (List.length ids)
+
+let test_relation_null_rate () =
+  let r =
+    Synth.Gen_db.relation (Random.State.make [| 2 |]) ~name:"R" ~rows:1000
+      ~payload_cols:0
+      ~fks:[ { Synth.Gen_db.target = "S"; null_prob = 0.5; orphan_prob = 0.0 } ]
+      ~key_space:2000
+  in
+  let s = Relation.schema r in
+  let i = Schema.index s (Attr.make "R" "fk_S") in
+  let nulls = Relation.fold (fun acc t -> if Value.is_null t.(i) then acc + 1 else acc) 0 r in
+  Alcotest.(check bool) "roughly half null" true (nulls > 350 && nulls < 650)
+
+let test_chain_shape () =
+  let inst = Synth.Gen_graph.chain (Random.State.make [| 3 |]) ~n:4 ~rows:20 () in
+  Alcotest.(check int) "4 relations" 4
+    (List.length (Database.relations inst.Synth.Gen_graph.db));
+  Alcotest.(check int) "4 nodes" 4 (Qgraph.node_count inst.Synth.Gen_graph.graph);
+  Alcotest.(check int) "3 edges" 3 (Qgraph.edge_count inst.Synth.Gen_graph.graph);
+  Alcotest.(check bool) "connected" true (Qgraph.is_connected inst.Synth.Gen_graph.graph);
+  Alcotest.(check int) "kb pairs" 3 (List.length (Schemakb.Kb.pairs inst.Synth.Gen_graph.kb))
+
+let test_star_shape () =
+  let inst = Synth.Gen_graph.star (Random.State.make [| 4 |]) ~leaves:5 ~rows:10 () in
+  let g = inst.Synth.Gen_graph.graph in
+  Alcotest.(check int) "6 nodes" 6 (Qgraph.node_count g);
+  Alcotest.(check int) "5 edges" 5 (Qgraph.edge_count g);
+  Alcotest.(check int) "hub degree" 5 (List.length (Qgraph.neighbours g "Fact"))
+
+let test_random_tree_is_tree () =
+  for seed = 0 to 20 do
+    let inst =
+      Synth.Gen_graph.random_tree (Random.State.make [| seed |]) ~n:6 ~rows:5 ()
+    in
+    let g = inst.Synth.Gen_graph.graph in
+    Alcotest.(check bool) "tree" true (Fulldisj.Outerjoin_plan.is_tree g)
+  done
+
+let test_no_orphans_means_fk_valid () =
+  let inst =
+    Synth.Gen_graph.chain (Random.State.make [| 5 |]) ~n:3 ~rows:30 ~null_prob:0.2
+      ~orphan_prob:0.0 ()
+  in
+  Alcotest.(check int) "no violations" 0
+    (List.length (Database.check inst.Synth.Gen_graph.db))
+
+let test_orphans_cause_violations () =
+  let inst =
+    Synth.Gen_graph.chain (Random.State.make [| 6 |]) ~n:2 ~rows:200 ~null_prob:0.0
+      ~orphan_prob:0.5 ()
+  in
+  Alcotest.(check bool) "violations found" true
+    (List.length (Database.check inst.Synth.Gen_graph.db) > 0)
+
+let test_sparse_tuples () =
+  let ts =
+    Synth.Gen_db.sparse_tuples (Random.State.make [| 7 |]) ~rows:100 ~arity:3
+      ~null_prob:1.0 ~domain:5
+  in
+  Alcotest.(check int) "rows" 100 (List.length ts);
+  Alcotest.(check bool) "all null at p=1" true (List.for_all Tuple.all_null ts)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "synth"
+    [
+      ( "gen_db",
+        [
+          tc "deterministic" `Quick test_relation_deterministic;
+          tc "unique ids" `Quick test_relation_ids_unique;
+          tc "null rate" `Quick test_relation_null_rate;
+          tc "sparse tuples" `Quick test_sparse_tuples;
+        ] );
+      ( "gen_graph",
+        [
+          tc "chain" `Quick test_chain_shape;
+          tc "star" `Quick test_star_shape;
+          tc "random tree" `Quick test_random_tree_is_tree;
+          tc "fk valid without orphans" `Quick test_no_orphans_means_fk_valid;
+          tc "orphans violate" `Quick test_orphans_cause_violations;
+        ] );
+    ]

@@ -1,0 +1,349 @@
+(* Tests for the workspace framework (Section 6.1), mapping reuse (Section
+   6.2 / Example 6.2), and target assembly from complementary mappings
+   (Example 6.1). *)
+
+open Relational
+open Clio
+module Qgraph = Querygraph.Qgraph
+
+let db = Paperdata.Figure1.database
+let kb = Paperdata.Figure1.kb
+let m_g1 = Paperdata.Running.mapping_g1
+let eq r1 c1 r2 c2 = Predicate.eq_cols (Attr.make r1 c1) (Attr.make r2 c2)
+
+(* --- Workspace lifecycle --- *)
+
+let test_create_has_sufficient_illustration () =
+  let ws = Workspace.create ~db ~kb m_g1 in
+  let e = Workspace.active ws in
+  let universe = Mapping_eval.examples db m_g1 in
+  Alcotest.(check bool) "sufficient" true
+    (Sufficiency.is_sufficient ~universe ~target_cols:m_g1.Mapping.target_cols
+       e.Workspace.illustration)
+
+let test_target_view_wysiwyg () =
+  let ws = Workspace.create ~db ~kb m_g1 in
+  let view = Workspace.target_view ws in
+  Alcotest.(check bool) "same as eval" true
+    (Relation.equal_contents view (Mapping_eval.eval db m_g1))
+
+let walk_mappings () =
+  Op_walk.data_walk ~kb m_g1 ~start:"Children" ~goal:"PhoneDir" ~max_len:2 ()
+  |> List.map (fun (a : Op_walk.alternative) -> a.Op_walk.mapping)
+
+let test_offer_creates_workspaces () =
+  let ws = Workspace.create ~db ~kb m_g1 in
+  let ws = Workspace.offer ws (walk_mappings ()) in
+  Alcotest.(check int) "three workspaces" 3 (List.length (Workspace.entries ws));
+  (* First (highest ranked) is active. *)
+  let active = Workspace.active ws in
+  Alcotest.(check int) "first active" (List.hd (Workspace.entries ws)).Workspace.id
+    active.Workspace.id
+
+let test_offer_evolves_illustrations () =
+  let ws = Workspace.create ~db ~kb m_g1 in
+  let old = Workspace.active ws in
+  let ws = Workspace.offer ws (walk_mappings ()) in
+  List.iter
+    (fun (e : Workspace.entry) ->
+      Alcotest.(check bool) "continuous" true
+        (Evolution.is_continuous db ~old_mapping:m_g1
+           ~old_illustration:old.Workspace.illustration ~new_mapping:e.Workspace.mapping
+           e.Workspace.illustration))
+    (Workspace.entries ws)
+
+let test_rotate_cycles () =
+  let ws = Workspace.create ~db ~kb m_g1 in
+  let ws = Workspace.offer ws (walk_mappings ()) in
+  let ids = List.map (fun (e : Workspace.entry) -> e.Workspace.id) (Workspace.entries ws) in
+  let ws1 = Workspace.rotate ws in
+  Alcotest.(check int) "second" (List.nth ids 1) (Workspace.active ws1).Workspace.id;
+  let ws3 = Workspace.rotate (Workspace.rotate ws1) in
+  Alcotest.(check int) "wraps" (List.hd ids) (Workspace.active ws3).Workspace.id
+
+let test_select_delete_confirm () =
+  let ws = Workspace.create ~db ~kb m_g1 in
+  let ws = Workspace.offer ws (walk_mappings ()) in
+  let ids = List.map (fun (e : Workspace.entry) -> e.Workspace.id) (Workspace.entries ws) in
+  let ws = Workspace.select ws (List.nth ids 2) in
+  Alcotest.(check int) "selected" (List.nth ids 2) (Workspace.active ws).Workspace.id;
+  let ws = Workspace.delete ws (List.hd ids) in
+  Alcotest.(check int) "two left" 2 (List.length (Workspace.entries ws));
+  let ws = Workspace.confirm ws in
+  Alcotest.(check int) "one left" 1 (List.length (Workspace.entries ws));
+  Alcotest.(check int) "active kept" (List.nth ids 2) (Workspace.active ws).Workspace.id
+
+let test_delete_active_moves_activation () =
+  let ws = Workspace.create ~db ~kb m_g1 in
+  let ws = Workspace.offer ws (walk_mappings ()) in
+  let active_id = (Workspace.active ws).Workspace.id in
+  let ws = Workspace.delete ws active_id in
+  Alcotest.(check bool) "new active exists" true
+    (List.exists
+       (fun (e : Workspace.entry) -> e.Workspace.id = (Workspace.active ws).Workspace.id)
+       (Workspace.entries ws))
+
+let test_delete_last_rejected () =
+  let ws = Workspace.create ~db ~kb m_g1 in
+  Alcotest.check_raises "last"
+    (Invalid_argument "Workspace.delete: cannot delete the last workspace") (fun () ->
+      ignore (Workspace.delete ws (Workspace.active ws).Workspace.id))
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_compare_entries () =
+  (* Without a contactPh correspondence, alternative linkings produce the
+     same target — compare_entries must say so; with it mapped, the
+     alternatives become distinguishable. *)
+  let ws = Workspace.create ~db ~kb m_g1 in
+  let bare = Workspace.offer ws (walk_mappings ()) in
+  (match Workspace.entries bare with
+  | e1 :: e2 :: _ ->
+      Alcotest.(check int) "no contrasts without contactPh" 0
+        (List.length
+           (Workspace.compare_entries bare ~rel:"Children" e1.Workspace.id
+              e2.Workspace.id))
+  | _ -> Alcotest.fail "expected at least two workspaces");
+  let with_phone =
+    Op_walk.data_walk ~kb m_g1 ~start:"Children" ~goal:"PhoneDir" ~max_len:2 ()
+    |> List.map (fun (a : Op_walk.alternative) ->
+           Mapping.set_correspondence a.Op_walk.mapping
+             (Clio.corr_identity "contactPh" a.Op_walk.new_alias "number"))
+  in
+  let ws = Workspace.offer ws with_phone in
+  match Workspace.entries ws with
+  | e1 :: e2 :: _ ->
+      let contrasts =
+        Workspace.compare_entries ws ~rel:"Children" e1.Workspace.id e2.Workspace.id
+      in
+      Alcotest.(check bool) "contrasts found" true (contrasts <> []);
+      let self =
+        Workspace.compare_entries ws ~rel:"Children" e1.Workspace.id e1.Workspace.id
+      in
+      Alcotest.(check int) "self empty" 0 (List.length self)
+  | _ -> Alcotest.fail "expected at least two workspaces"
+
+let test_render_dashboard () =
+  let ws = Workspace.create ~db ~kb m_g1 in
+  let ws = Workspace.offer ws ~labels:[ "father"; "mother"; "direct" ] (walk_mappings ()) in
+  let s = Workspace.render ~short:Paperdata.Figure1.short ws in
+  Alcotest.(check bool) "lists workspaces" true (contains s "Workspaces:");
+  Alcotest.(check bool) "labels shown" true (contains s "father");
+  Alcotest.(check bool) "active marked" true (contains s "* [");
+  Alcotest.(check bool) "target view" true (contains s "WYSIWYG")
+
+let test_update_active () =
+  let ws = Workspace.create ~db ~kb m_g1 in
+  let m' = Mapping.add_source_filter m_g1 Paperdata.Running.age_filter in
+  let ws = Workspace.update_active ws ~label:"age filter" m' in
+  Alcotest.(check string) "label" "age filter" (Workspace.active ws).Workspace.label;
+  Alcotest.(check int) "still one" 1 (List.length (Workspace.entries ws))
+
+(* --- Reuse (Example 6.2) --- *)
+
+let test_prune_drops_unreferenced_leaf () =
+  (* fig9 mapping minus the BusSchedule correspondence: SBPS becomes an
+     unreferenced leaf and must be pruned. *)
+  let m = Paperdata.Running.mapping in
+  let base = Reuse.derive_for m ~target_col:"BusSchedule" in
+  Alcotest.(check bool) "SBPS pruned" false
+    (Qgraph.mem_node base.Mapping.graph "SBPS");
+  Alcotest.(check bool) "PhoneDir kept (contactPh)" true
+    (Qgraph.mem_node base.Mapping.graph "PhoneDir");
+  Alcotest.(check bool) "still connected" true (Qgraph.is_connected base.Mapping.graph)
+
+let test_prune_keeps_cut_vertices () =
+  (* Parents carries the affiliation correspondence AND connects PhoneDir;
+     dropping contactPh must keep Parents but drop PhoneDir. *)
+  let m = Paperdata.Running.mapping in
+  let base = Reuse.derive_for m ~target_col:"contactPh" in
+  Alcotest.(check bool) "PhoneDir pruned" false
+    (Qgraph.mem_node base.Mapping.graph "PhoneDir");
+  Alcotest.(check bool) "Parents kept" true (Qgraph.mem_node base.Mapping.graph "Parents")
+
+let test_prune_keeps_connector_nodes () =
+  (* A middle node with no correspondence must survive if it connects two
+     referenced nodes: C - P - Ph with correspondences only on C and Ph. *)
+  let g =
+    Qgraph.make
+      [ ("Children", "Children"); ("Parents", "Parents"); ("PhoneDir", "PhoneDir") ]
+      [
+        ("Children", "Parents", eq "Children" "fid" "Parents" "ID");
+        ("Parents", "PhoneDir", eq "Parents" "ID" "PhoneDir" "ID");
+      ]
+  in
+  let m =
+    Mapping.make ~graph:g ~target:"Kids" ~target_cols:[ "ID"; "contactPh" ]
+      ~correspondences:
+        [
+          Correspondence.identity "ID" (Attr.make "Children" "ID");
+          Correspondence.identity "contactPh" (Attr.make "PhoneDir" "number");
+        ]
+      ()
+  in
+  let pruned = Reuse.prune_graph m in
+  Alcotest.(check int) "all three kept" 3 (Qgraph.node_count pruned.Mapping.graph)
+
+(* Example 6.2 end-to-end: a second way to compute ArrivalTime spawns a new
+   mapping that reuses ID/name and links ClassSched. *)
+let test_example_6_2 () =
+  let cols = [ "ID"; "name"; "ArrivalTime" ] in
+  let graph =
+    Qgraph.make
+      [ ("Children", "Children"); ("SBPS", "SBPS") ]
+      [ ("Children", "SBPS", eq "Children" "ID" "SBPS" "ID") ]
+  in
+  let bus_mapping =
+    Mapping.make ~graph ~target:"Kids" ~target_cols:cols
+      ~correspondences:
+        [
+          Correspondence.identity "ID" (Attr.make "Children" "ID");
+          Correspondence.identity "name" (Attr.make "Children" "name");
+          Correspondence.identity "ArrivalTime" (Attr.make "SBPS" "time");
+        ]
+      ()
+  in
+  let via_class =
+    Correspondence.of_expr "ArrivalTime"
+      (Expr.Concat (Expr.col "ClassSched" "lastClassEnd", Expr.Const (Value.String "+walk")))
+  in
+  match Op_correspondence.add ~kb ~max_len:1 bus_mapping via_class with
+  | Op_correspondence.New_mapping (Op_correspondence.Alternatives (alt :: _)) ->
+      let m = alt.Op_correspondence.mapping in
+      (* reused: ID, name; pruned: SBPS; linked: ClassSched *)
+      Alcotest.(check bool) "ID reused" true
+        (Option.is_some (Mapping.correspondence_for m "ID"));
+      Alcotest.(check bool) "SBPS gone" false (Qgraph.mem_node m.Mapping.graph "SBPS");
+      Alcotest.(check bool) "ClassSched linked" true
+        (Qgraph.mem_node m.Mapping.graph "ClassSched");
+      (* Ann (no bus, has a class schedule) appears in the new mapping. *)
+      let view = Mapping_eval.target_view db m in
+      let names =
+        Relation.column_values view (Attr.make "Kids" "name") |> List.map Value.to_string
+      in
+      Alcotest.(check bool) "Ann arrives" true (List.mem "Ann" names)
+  | _ -> Alcotest.fail "expected New_mapping (Alternatives ...)"
+
+(* --- Target assembly (Example 6.1) --- *)
+
+let mothers_phone_mapping =
+  let graph =
+    Qgraph.make
+      [ ("Children", "Children"); ("Parents", "Parents"); ("PhoneDir", "PhoneDir") ]
+      [
+        ("Children", "Parents", eq "Children" "mid" "Parents" "ID");
+        ("Parents", "PhoneDir", eq "Parents" "ID" "PhoneDir" "ID");
+      ]
+  in
+  Mapping.make ~graph ~target:"Kids" ~target_cols:[ "ID"; "name"; "contactPh" ]
+    ~correspondences:
+      [
+        Correspondence.identity "ID" (Attr.make "Children" "ID");
+        Correspondence.identity "name" (Attr.make "Children" "name");
+        Correspondence.identity "contactPh" (Attr.make "PhoneDir" "number");
+      ]
+    ~source_filters:[ Predicate.Is_not_null (Expr.col "Children" "mid") ]
+    ~target_filters:[ Predicate.Is_not_null (Expr.col "Kids" "ID") ] ()
+
+let fathers_phone_mapping =
+  let graph =
+    Qgraph.make
+      [ ("Children", "Children"); ("Parents", "Parents"); ("PhoneDir", "PhoneDir") ]
+      [
+        ("Children", "Parents", eq "Children" "fid" "Parents" "ID");
+        ("Parents", "PhoneDir", eq "Parents" "ID" "PhoneDir" "ID");
+      ]
+  in
+  Mapping.make ~graph ~target:"Kids" ~target_cols:[ "ID"; "name"; "contactPh" ]
+    ~correspondences:
+      [
+        Correspondence.identity "ID" (Attr.make "Children" "ID");
+        Correspondence.identity "name" (Attr.make "Children" "name");
+        Correspondence.identity "contactPh" (Attr.make "PhoneDir" "number");
+      ]
+    ~source_filters:[ Predicate.Is_null (Expr.col "Children" "mid") ]
+    ~target_filters:[ Predicate.Is_not_null (Expr.col "Kids" "ID") ] ()
+
+let test_example_6_1_complementary_mappings () =
+  (* Mothers' phones where a mother exists; fathers' phones for motherless
+     children.  No child disappears. *)
+  let combined = Target.assemble db [ mothers_phone_mapping; fathers_phone_mapping ] in
+  Alcotest.(check int) "four kids" 4 (Relation.cardinality combined);
+  let s = Relation.schema combined in
+  let phone_of name =
+    Relation.tuples combined
+    |> List.find (fun t ->
+           Value.equal (Tuple.value s t (Attr.make "Kids" "name")) (Value.String name))
+    |> fun t -> Value.to_string (Tuple.value s t (Attr.make "Kids" "contactPh"))
+  in
+  Alcotest.(check string) "Maya: mother's phone" "555-0103" (phone_of "Maya");
+  Alcotest.(check string) "Bob: father's phone" "555-0107" (phone_of "Bob")
+
+let test_mothers_only_loses_bob () =
+  let view = Mapping_eval.target_view db mothers_phone_mapping in
+  let names =
+    Relation.column_values view (Attr.make "Kids" "name") |> List.map Value.to_string
+  in
+  Alcotest.(check bool) "Bob missing" false (List.mem "Bob" names)
+
+let test_assemble_rejects_mixed_targets () =
+  let other =
+    Mapping.make
+      ~graph:(Qgraph.singleton ~alias:"Children" ~base:"Children")
+      ~target:"Other" ~target_cols:[ "ID"; "name"; "contactPh" ] ()
+  in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Target.assemble: mappings disagree on the target relation")
+    (fun () -> ignore (Target.assemble db [ mothers_phone_mapping; other ]))
+
+let test_assemble_min_removes_subsumed () =
+  (* Without the complementary filters, mothers+fathers mappings both emit
+     Bob: (id, name, null) from the mothers mapping... actually the mothers
+     mapping without its filter emits Bob padded.  assemble_min collapses
+     the padded row into the father's-phone row. *)
+  let no_filter m = Mapping.remove_source_filter m (List.hd m.Mapping.source_filters) in
+  let a = no_filter mothers_phone_mapping in
+  let b = no_filter fathers_phone_mapping in
+  let plain = Target.assemble db [ a; b ] in
+  let minimal = Target.assemble_min db [ a; b ] in
+  Alcotest.(check bool) "min smaller" true
+    (Relation.cardinality minimal < Relation.cardinality plain);
+  Alcotest.(check bool) "minimal" true
+    (Fulldisj.Min_union.is_minimal (Relation.tuples minimal))
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "workspace"
+    [
+      ( "workspace",
+        [
+          tc "sufficient at creation" `Quick test_create_has_sufficient_illustration;
+          tc "target view" `Quick test_target_view_wysiwyg;
+          tc "offer" `Quick test_offer_creates_workspaces;
+          tc "offer evolves" `Quick test_offer_evolves_illustrations;
+          tc "rotate" `Quick test_rotate_cycles;
+          tc "select/delete/confirm" `Quick test_select_delete_confirm;
+          tc "delete active" `Quick test_delete_active_moves_activation;
+          tc "delete last" `Quick test_delete_last_rejected;
+          tc "update active" `Quick test_update_active;
+          tc "render dashboard" `Quick test_render_dashboard;
+          tc "compare entries" `Quick test_compare_entries;
+        ] );
+      ( "reuse",
+        [
+          tc "prune leaf" `Quick test_prune_drops_unreferenced_leaf;
+          tc "prune keeps cut vertex" `Quick test_prune_keeps_cut_vertices;
+          tc "prune keeps connector" `Quick test_prune_keeps_connector_nodes;
+          tc "E6.2 ArrivalTime" `Quick test_example_6_2;
+        ] );
+      ( "target",
+        [
+          tc "E6.1 complementary" `Quick test_example_6_1_complementary_mappings;
+          tc "mothers only loses Bob" `Quick test_mothers_only_loses_bob;
+          tc "mixed targets rejected" `Quick test_assemble_rejects_mixed_targets;
+          tc "assemble_min" `Quick test_assemble_min_removes_subsumed;
+        ] );
+    ]
