@@ -16,7 +16,12 @@
       illustration selection, walk enumeration, chase scans, end-to-end
       mapping evaluation, FK mining, and illustration evolution.
 
-   Pass --no-figures or --no-bench to run only one part. *)
+   3. Operator-counter tables (lib/obs): the same workloads run once with
+      observability enabled, reporting subsumption checks, index probes and
+      rows scanned per algorithm — the algorithmic explanation of the
+      timings in part 2.
+
+   Pass --no-figures, --no-bench or --no-stats to skip a part. *)
 
 open Bechamel
 open Relational
@@ -26,13 +31,16 @@ let seeded seed = Random.State.make [| seed |]
 
 (* --- B1: minimum union — naive vs indexed subsumption removal --- *)
 
+let minunion_input size =
+  (* Sparse tuples over a tiny domain maximize subsumption pressure. *)
+  Synth.Gen_db.sparse_tuples (seeded 42) ~rows:size ~arity:6 ~null_prob:0.45 ~domain:8
+  |> List.filteri (fun _ t -> not (Tuple.all_null t))
+
+let minunion_sizes = [ 100; 400; 1600 ]
+
 let minunion_tests =
-  let input size =
-    (* Sparse tuples over a tiny domain maximize subsumption pressure. *)
-    Synth.Gen_db.sparse_tuples (seeded 42) ~rows:size ~arity:6 ~null_prob:0.45 ~domain:8
-    |> List.filteri (fun _ t -> not (Tuple.all_null t))
-  in
-  let sizes = [ 100; 400; 1600 ] in
+  let input = minunion_input in
+  let sizes = minunion_sizes in
   List.concat_map
     (fun size ->
       let tuples = input size in
@@ -77,8 +85,10 @@ let minunion_tests =
 
 (* --- B2: full disjunction — naive vs indexed vs outer-join plan --- *)
 
+let fulldisj_configs = [ (3, 150); (4, 150); (5, 100) ]
+
 let fulldisj_tests =
-  let configs = [ (3, 150); (4, 150); (5, 100) ] in
+  let configs = fulldisj_configs in
   List.concat_map
     (fun (n, rows) ->
       let inst =
@@ -360,10 +370,150 @@ let run_benchmarks () =
   Printf.printf "%s\n" (String.make 46 '-');
   List.iter (fun (name, ns) -> Printf.printf "%-32s %12s\n" name (pretty ns)) sorted
 
+(* --- operator-counter tables (part 3) ---
+
+   Each workload runs once with observability on; the reported counters are
+   exact operation counts, independent of machine noise.  Counter keys come
+   from Obs.Names, the same authoritative list the pipeline increments. *)
+
+let counters_of f =
+  Obs.enable ();
+  Obs.reset ();
+  ignore (f ());
+  let snap = (Obs.Metrics.snapshot ()).Obs.Metrics.counters in
+  Obs.disable ();
+  Obs.reset ();
+  snap
+
+let counter snap c =
+  match List.assoc_opt (Obs.Counter.name c) snap with Some v -> v | None -> 0
+
+let counter_table ~title ~columns rows =
+  print_endline title;
+  print_newline ();
+  let width =
+    List.fold_left (fun w (label, _) -> max w (String.length label)) 8 rows
+  in
+  Printf.printf "%-*s" width "workload";
+  List.iter (fun (h, _) -> Printf.printf " %16s" h) columns;
+  print_newline ();
+  Printf.printf "%s\n" (String.make (width + (17 * List.length columns)) '-');
+  List.iter
+    (fun (label, snap) ->
+      Printf.printf "%-*s" width label;
+      List.iter (fun (_, c) -> Printf.printf " %16d" (counter snap c)) columns;
+      print_newline ())
+    rows;
+  print_newline ()
+
+let minunion_counter_tables () =
+  let variants =
+    [
+      ("naive", Fulldisj.Min_union.remove_subsumed_naive);
+      ("indexed", Fulldisj.Min_union.remove_subsumed);
+      ("first-probe", Fulldisj.Min_union.remove_subsumed_first_probe);
+    ]
+  in
+  counter_table
+    ~title:"B1 — subsumption removal: exact work per algorithm"
+    ~columns:
+      [
+        ("subs.checks", Obs.Names.subsumption_checks);
+        ("index.probes", Obs.Names.index_probes);
+      ]
+    (List.concat_map
+       (fun size ->
+         let tuples = minunion_input size in
+         List.map
+           (fun (name, f) ->
+             ( Printf.sprintf "minunion/%s/%d" name size,
+               counters_of (fun () -> f tuples) ))
+           variants)
+       minunion_sizes)
+
+let fulldisj_counter_tables () =
+  let algos =
+    [
+      ("naive", fun ~lookup g -> ignore (Fulldisj.Full_disjunction.naive ~lookup g));
+      ( "indexed",
+        fun ~lookup g -> ignore (Fulldisj.Full_disjunction.compute ~lookup g) );
+      ( "outerjoin",
+        fun ~lookup g ->
+          ignore (Fulldisj.Outerjoin_plan.full_disjunction ~lookup g) );
+    ]
+  in
+  counter_table
+    ~title:
+      "B2/B3 — full disjunction D(G): exact work per algorithm (chain graphs)"
+    ~columns:
+      [
+        ("subs.checks", Obs.Names.subsumption_checks);
+        ("index.probes", Obs.Names.index_probes);
+        ("assoc.considered", Obs.Names.assoc_considered);
+        ("join.rows_out", Obs.Names.join_rows_out);
+      ]
+    (List.concat_map
+       (fun (n, rows) ->
+         let inst =
+           Synth.Gen_graph.chain (seeded 7) ~n ~rows ~null_prob:0.25
+             ~orphan_prob:0.2 ()
+         in
+         let lookup = Database.find inst.Synth.Gen_graph.db in
+         let g = inst.Synth.Gen_graph.graph in
+         List.map
+           (fun (name, f) ->
+             ( Printf.sprintf "fulldisj/%s/n%d-r%d" name n rows,
+               counters_of (fun () -> f ~lookup g) ))
+           algos)
+       fulldisj_configs)
+
+let chase_counter_tables () =
+  counter_table
+    ~title:"B5 — chase: occurrences scanned up vs alternatives offered"
+    ~columns:
+      [
+        ("occurrences", Obs.Names.chase_occurrences);
+        ("alternatives", Obs.Names.chase_alternatives);
+      ]
+    (List.map
+       (fun rows ->
+         let inst = Synth.Gen_graph.chain (seeded 13) ~n:4 ~rows () in
+         let db = inst.Synth.Gen_graph.db in
+         let m =
+           Clio.Mapping.make
+             ~graph:(Qgraph.singleton ~alias:"R1" ~base:"R1")
+             ~target:"T" ~target_cols:[ "x" ] ()
+         in
+         ( Printf.sprintf "chase/rows%d" rows,
+           counters_of (fun () ->
+               Clio.Op_chase.chase db m ~attr:(Attr.make "R1" "id")
+                 ~value:(Value.Int (rows / 2))) ))
+       [ 500; 2000; 8000 ])
+
+let illustration_counter_tables () =
+  let db = Paperdata.Figure1.database in
+  let m = Paperdata.Running.mapping in
+  counter_table
+    ~title:"B3/B6 — end-to-end illustration on the paper mapping"
+    ~columns:
+      [
+        ("examples", Obs.Names.eval_examples);
+        ("ill.candidates", Obs.Names.illustration_candidates);
+        ("ill.selected", Obs.Names.illustration_selected);
+      ]
+    [ ("illustrate/paper", counters_of (fun () -> Clio.illustrate db m)) ]
+
+let run_counter_tables () =
+  minunion_counter_tables ();
+  fulldisj_counter_tables ();
+  chase_counter_tables ();
+  illustration_counter_tables ()
+
 let () =
   let args = Array.to_list Sys.argv in
   let figures = not (List.mem "--no-figures" args) in
   let bench = not (List.mem "--no-bench" args) in
+  let stats = not (List.mem "--no-stats" args) in
   if figures then begin
     print_endline "######################################################";
     print_endline "# Part 1: paper evaluation — figures and examples   #";
@@ -378,4 +528,10 @@ let () =
     print_endline "# Part 2: performance benchmarks (B1-B8)            #";
     print_endline "######################################################\n";
     run_benchmarks ()
+  end;
+  if stats then begin
+    print_endline "######################################################";
+    print_endline "# Part 3: operator counters (lib/obs)               #";
+    print_endline "######################################################\n";
+    run_counter_tables ()
   end

@@ -13,11 +13,52 @@
      clio_cli suggest REL...      query graphs connecting a set of relations
      clio_cli illustrate          sufficient illustration of the paper mapping
      clio_cli sql                 SQL for the paper's final Section 2 mapping
+     clio_cli stats               operator-counter rollup, per D(G) algorithm
      clio_cli run FILE [--save O] run a mapping-session script
-     clio_cli repl                interactive mapping session *)
+     clio_cli repl                interactive mapping session
+
+   Every subcommand additionally accepts the observability flags
+   --trace[=FILE] (record spans, write Chrome trace-event JSON; default
+   file trace.json) and --stats (print the operator counters and span
+   duration histograms afterwards). *)
 
 open Relational
 open Cmdliner
+
+(* --- observability flags -------------------------------------------------
+
+   Extracted by hand before cmdliner parsing so they behave identically on
+   every subcommand and in any position: both
+   [clio_cli --trace=/tmp/t.json illustrate] and
+   [clio_cli illustrate --stats] work. *)
+
+type obs_opts = { trace : string option; stats : bool }
+
+let extract_obs_flags argv =
+  let trace = ref None and stats = ref false in
+  let starts_with prefix s =
+    String.length s >= String.length prefix
+    && String.equal (String.sub s 0 (String.length prefix)) prefix
+  in
+  let keep =
+    Array.to_list argv
+    |> List.filter (fun arg ->
+           if String.equal arg "--stats" then begin
+             stats := true;
+             false
+           end
+           else if String.equal arg "--trace" then begin
+             trace := Some "trace.json";
+             false
+           end
+           else if starts_with "--trace=" arg then begin
+             trace :=
+               Some (String.sub arg 8 (String.length arg - 8));
+             false
+           end
+           else true)
+  in
+  (Array.of_list keep, { trace = !trace; stats = !stats })
 
 let database data_dir =
   match data_dir with
@@ -208,6 +249,69 @@ let sql_cmd =
   Cmd.v (Cmd.info "sql" ~doc:"Generated SQL for the Section 2 mapping")
     Term.(const run $ const ())
 
+let stats_cmd =
+  let run () =
+    let db = Paperdata.Figure1.database in
+    let m = Paperdata.Running.mapping in
+    Obs.enable ();
+    (* Per-algorithm rollup: the same D(G)+examples workload, counted three
+       ways.  The counter deltas — not the timings — are the algorithmic
+       explanation of why the indexed and outer-join plans win. *)
+    let algorithms =
+      [
+        ("naive", Clio.Mapping_eval.Naive);
+        ("indexed", Clio.Mapping_eval.Indexed);
+        ("outerjoin", Clio.Mapping_eval.Outerjoin_if_tree);
+      ]
+    in
+    let snaps =
+      List.map
+        (fun (label, algorithm) ->
+          Obs.reset ();
+          ignore (Clio.Mapping_eval.examples ~algorithm db m);
+          (label, (Obs.Metrics.snapshot ()).Obs.Metrics.counters))
+        algorithms
+    in
+    let names =
+      List.concat_map (fun (_, cs) -> List.map fst cs) snaps
+      |> List.fold_left
+           (fun acc n -> if List.mem n acc then acc else acc @ [ n ])
+           []
+    in
+    print_endline
+      "Mapping_eval.examples on the paper mapping — operator counters per D(G) algorithm:";
+    print_newline ();
+    let width = List.fold_left (fun w n -> max w (String.length n)) 7 names in
+    Printf.printf "%-*s" width "counter";
+    List.iter (fun (label, _) -> Printf.printf " %10s" label) snaps;
+    print_newline ();
+    Printf.printf "%s\n" (String.make (width + (11 * List.length snaps)) '-');
+    List.iter
+      (fun n ->
+        Printf.printf "%-*s" width n;
+        List.iter
+          (fun (_, cs) ->
+            Printf.printf " %10d"
+              (match List.assoc_opt n cs with Some v -> v | None -> 0))
+          snaps;
+        print_newline ())
+      names;
+    (* End-to-end rollup of the default workflow, histograms included. *)
+    Obs.reset ();
+    ignore (Clio.illustrate db m);
+    print_newline ();
+    print_endline "End-to-end `illustrate` rollup (indexed algorithm):";
+    print_newline ();
+    print_endline (Obs.report ());
+    Obs.disable ();
+    Obs.reset ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Operator-counter rollup on the paper mapping, per D(G) algorithm")
+    Term.(const run $ const ())
+
 let run_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Script file")
@@ -273,23 +377,59 @@ let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive mapping session") Term.(const run $ data_arg)
 
 let () =
+  let argv, obs = extract_obs_flags Sys.argv in
+  if obs.trace <> None || obs.stats then Obs.enable ();
+  let man =
+    [
+      `S Manpage.s_common_options;
+      `P
+        "$(b,--trace)[$(b,=)$(i,FILE)] records execution spans during any \
+         subcommand and writes a Chrome trace-event JSON (default \
+         $(i,trace.json)) loadable in chrome://tracing or ui.perfetto.dev.";
+      `P
+        "$(b,--stats) prints the operator counters and span-duration \
+         histograms after any subcommand.";
+    ]
+  in
   let info =
     Cmd.info "clio_cli" ~version:"1.0.0"
       ~doc:"Data-driven understanding and refinement of schema mappings"
+      ~man
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            show_cmd;
-            mine_cmd;
-            occurrences_cmd;
-            walk_cmd;
-            illustrate_cmd;
-            sql_cmd;
-            profile_cmd;
-            suggest_cmd;
-            select_cmd;
-            run_cmd;
-            repl_cmd;
-          ]))
+  let code =
+    Cmd.eval ~argv
+      (Cmd.group info
+         [
+           show_cmd;
+           mine_cmd;
+           occurrences_cmd;
+           walk_cmd;
+           illustrate_cmd;
+           sql_cmd;
+           stats_cmd;
+           profile_cmd;
+           suggest_cmd;
+           select_cmd;
+           run_cmd;
+           repl_cmd;
+         ])
+  in
+  let code =
+    match obs.trace with
+    | Some file -> (
+        try
+          Obs.write_trace file;
+          Printf.eprintf
+            "trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n"
+            file;
+          code
+        with Sys_error msg ->
+          Printf.eprintf "clio_cli: cannot write trace: %s\n" msg;
+          max code 1)
+    | None -> code
+  in
+  if obs.stats then begin
+    print_newline ();
+    print_endline (Obs.report ())
+  end;
+  exit code

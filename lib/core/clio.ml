@@ -42,8 +42,9 @@ let initial_mapping ~source ~target ~target_cols =
     ~target ~target_cols ()
 
 let illustrate db (m : Mapping.t) =
-  let universe = Mapping_eval.examples db m in
-  Sufficiency.select ~universe ~target_cols:m.Mapping.target_cols ()
+  Obs.with_span Obs.Names.sp_illustrate (fun () ->
+      let universe = Mapping_eval.examples db m in
+      Sufficiency.select ~universe ~target_cols:m.Mapping.target_cols ())
 
 let corr_identity target_col src_rel src_col =
   Correspondence.identity target_col (Attr.make src_rel src_col)

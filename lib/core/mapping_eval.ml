@@ -4,15 +4,24 @@ module Qgraph = Querygraph.Qgraph
 
 type algorithm = Naive | Indexed | Outerjoin_if_tree
 
+let algorithm_name = function
+  | Naive -> "naive"
+  | Indexed -> "indexed"
+  | Outerjoin_if_tree -> "outerjoin-if-tree"
+
 let data_associations ?(algorithm = Indexed) db (m : Mapping.t) =
   let lookup = Database.find db in
-  match algorithm with
-  | Naive -> Full_disjunction.naive ~lookup m.Mapping.graph
-  | Indexed -> Full_disjunction.compute ~lookup m.Mapping.graph
-  | Outerjoin_if_tree ->
-      if Outerjoin_plan.is_tree m.Mapping.graph then
-        Outerjoin_plan.full_disjunction ~lookup m.Mapping.graph
-      else Full_disjunction.compute ~lookup m.Mapping.graph
+  Obs.with_span
+    ~attrs:[ ("algorithm", algorithm_name algorithm) ]
+    Obs.Names.sp_data_associations
+    (fun () ->
+      match algorithm with
+      | Naive -> Full_disjunction.naive ~lookup m.Mapping.graph
+      | Indexed -> Full_disjunction.compute ~lookup m.Mapping.graph
+      | Outerjoin_if_tree ->
+          if Outerjoin_plan.is_tree m.Mapping.graph then
+            Outerjoin_plan.full_disjunction ~lookup m.Mapping.graph
+          else Full_disjunction.compute ~lookup m.Mapping.graph)
 
 let transform (fd : Full_disjunction.result) (m : Mapping.t) =
   let compiled =
@@ -37,15 +46,28 @@ let compile_target_filters (m : Mapping.t) =
   fun tuple -> List.for_all (fun f -> f tuple) fs
 
 let examples ?algorithm db (m : Mapping.t) =
-  let fd = data_associations ?algorithm db m in
-  let tr = transform fd m in
-  let src_ok = compile_source_filters fd m in
-  let tgt_ok = compile_target_filters m in
-  List.map
-    (fun (a : Assoc.t) ->
-      let t = tr a.Assoc.tuple in
-      { Example.assoc = a; target_tuple = t; positive = src_ok a.Assoc.tuple && tgt_ok t })
-    fd.Full_disjunction.associations
+  Obs.with_span Obs.Names.sp_examples (fun () ->
+      let fd = data_associations ?algorithm db m in
+      let tr = transform fd m in
+      let src_ok = compile_source_filters fd m in
+      let tgt_ok = compile_target_filters m in
+      let exs =
+        List.map
+          (fun (a : Assoc.t) ->
+            let t = tr a.Assoc.tuple in
+            {
+              Example.assoc = a;
+              target_tuple = t;
+              positive = src_ok a.Assoc.tuple && tgt_ok t;
+            })
+          fd.Full_disjunction.associations
+      in
+      if Obs.enabled () then begin
+        Obs.add Obs.Names.eval_examples (List.length exs);
+        Obs.add Obs.Names.eval_positive
+          (List.length (List.filter Example.is_positive exs))
+      end;
+      exs)
 
 let apply_one (fd : Full_disjunction.result) (m : Mapping.t) (a : Assoc.t) =
   let tr = transform fd m in
@@ -57,10 +79,13 @@ let apply_one (fd : Full_disjunction.result) (m : Mapping.t) (a : Assoc.t) =
   else None
 
 let eval ?algorithm db (m : Mapping.t) =
-  let exs = examples ?algorithm db m in
-  Relation.make ~allow_all_null:true m.Mapping.target (Mapping.target_schema m)
-    (List.filter_map
-       (fun e -> if e.Example.positive then Some e.Example.target_tuple else None)
-       exs)
+  Obs.with_span Obs.Names.sp_eval (fun () ->
+      let exs = examples ?algorithm db m in
+      Relation.make ~allow_all_null:true m.Mapping.target
+        (Mapping.target_schema m)
+        (List.filter_map
+           (fun e ->
+             if e.Example.positive then Some e.Example.target_tuple else None)
+           exs))
 
 let target_view = eval

@@ -29,6 +29,11 @@ let occurrences ?index db (m : Mapping.t) v =
   |> List.filter (fun o -> not (List.mem o.rel bases))
 
 let chase ?illustration ?index db (m : Mapping.t) ~attr ~value =
+  Obs.with_span Obs.Names.sp_chase @@ fun () ->
+  if Obs.enabled () then begin
+    Obs.set_attr "attr" (Attr.to_string attr);
+    Obs.set_attr "value" (Value.to_string value)
+  end;
   let q = attr.Attr.rel in
   if not (Qgraph.mem_node m.Mapping.graph q) then
     invalid_arg ("Op_chase.chase: node " ^ q ^ " not in mapping graph");
@@ -47,7 +52,15 @@ let chase ?illustration ?index db (m : Mapping.t) ~attr ~value =
         invalid_arg
           (Printf.sprintf "Op_chase.chase: value %s not visible in %s of the illustration"
              (Value.to_string value) (Attr.to_string attr)));
-  occurrences ?index db m value
+  let occs = occurrences ?index db m value in
+  if Obs.enabled () then begin
+    (* occurrences = tuples carrying the value; alternatives = extension
+       sites offered to the user (one per relation.column). *)
+    Obs.add Obs.Names.chase_occurrences
+      (List.fold_left (fun acc o -> acc + o.count) 0 occs);
+    Obs.add Obs.Names.chase_alternatives (List.length occs)
+  end;
+  occs
   |> List.map (fun o ->
          let alias = Qgraph.fresh_alias m.Mapping.graph o.rel in
          let pred = Predicate.eq_cols attr (Attr.make alias o.column) in

@@ -106,25 +106,36 @@ let path_end path start =
   | [] -> start
 
 let data_walk ~kb (m : Mapping.t) ~start ~goal ?max_len () =
-  let paths = walks ~kb ~graph:m.Mapping.graph ~start ~goal ?max_len () in
-  let candidates =
-    List.map (fun p -> (p, Qgraph.union m.Mapping.graph p)) paths
-  in
-  let ranked =
-    Rank.order ~kb ~old:m.Mapping.graph (List.map snd candidates)
-  in
-  List.map
-    (fun g ->
-      let path, _ =
-        List.find (fun (_, g') -> Qgraph.equal g g') candidates
+  Obs.with_span
+    ~attrs:[ ("start", start); ("goal", goal) ]
+    Obs.Names.sp_walk
+    (fun () ->
+      let paths = walks ~kb ~graph:m.Mapping.graph ~start ~goal ?max_len () in
+      if Obs.enabled () then
+        Obs.add Obs.Names.walk_paths (List.length paths);
+      let candidates =
+        List.map (fun p -> (p, Qgraph.union m.Mapping.graph p)) paths
       in
-      {
-        mapping = Mapping.with_graph m g;
-        extension = path;
-        new_alias = path_end path start;
-        description = describe_path path start;
-      })
-    ranked
+      let ranked =
+        Rank.order ~kb ~old:m.Mapping.graph (List.map snd candidates)
+      in
+      let alternatives =
+        List.map
+          (fun g ->
+            let path, _ =
+              List.find (fun (_, g') -> Qgraph.equal g g') candidates
+            in
+            {
+              mapping = Mapping.with_graph m g;
+              extension = path;
+              new_alias = path_end path start;
+              description = describe_path path start;
+            })
+          ranked
+      in
+      if Obs.enabled () then
+        Obs.add Obs.Names.walk_alternatives (List.length alternatives);
+      alternatives)
 
 let data_walk_any_start ~kb (m : Mapping.t) ~goal ?max_len () =
   let all =

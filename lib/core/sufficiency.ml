@@ -94,6 +94,7 @@ let is_sufficient ~universe ~target_cols illustration =
   check (requirements ~universe ~target_cols) ~target_cols illustration
 
 let select_greedy ~seed ~universe ~target_cols =
+  Obs.with_span Obs.Names.sp_illustration_select @@ fun () ->
   let reqs = requirements ~universe ~target_cols in
   let unmet =
     List.filter
@@ -104,7 +105,10 @@ let select_greedy ~seed ~universe ~target_cols =
      still-unmet requirements. *)
   let rec cover chosen unmet =
     if unmet = [] then List.rev chosen
-    else
+    else begin
+      if Obs.enabled () then
+        (* Each greedy round scores every example in the universe. *)
+        Obs.add Obs.Names.illustration_candidates (List.length universe);
       let gain e = List.length (List.filter (satisfies ~target_cols e) unmet) in
       let best =
         List.fold_left
@@ -124,8 +128,12 @@ let select_greedy ~seed ~universe ~target_cols =
       | Some (e, _) ->
           cover (e :: chosen)
             (List.filter (fun req -> not (satisfies ~target_cols e req)) unmet)
+    end
   in
-  seed @ cover [] unmet
+  let chosen = seed @ cover [] unmet in
+  if Obs.enabled () then
+    Obs.add Obs.Names.illustration_selected (List.length chosen);
+  chosen
 
 let select ?(seed = []) ~universe ~target_cols () =
   select_greedy ~seed ~universe ~target_cols

@@ -13,18 +13,20 @@ let node_positions_of scheme g =
 
 (* Every F(J) padded to the full scheme and tagged with coverage J. *)
 let padded_categories ~lookup g =
-  let scheme = Qgraph.scheme ~lookup g in
-  let subsets = Subgraphs.connected_node_sets g in
-  let per_category =
-    List.map
-      (fun aliases ->
-        let j = Qgraph.induced g aliases in
-        let fj = Join_eval.full_associations ~lookup j in
-        let padded = Algebra.pad fj scheme in
-        (Coverage.of_list aliases, Relation.tuples padded))
-      subsets
-  in
-  (scheme, per_category)
+  Obs.with_span Obs.Names.sp_categories (fun () ->
+      let scheme = Qgraph.scheme ~lookup g in
+      let subsets = Subgraphs.connected_node_sets g in
+      Obs.add Obs.Names.categories (List.length subsets);
+      let per_category =
+        List.map
+          (fun aliases ->
+            let j = Qgraph.induced g aliases in
+            let fj = Join_eval.full_associations ~lookup j in
+            let padded = Algebra.pad fj scheme in
+            (Coverage.of_list aliases, Relation.tuples padded))
+          subsets
+      in
+      (scheme, per_category))
 
 let possible_associations ~lookup g =
   let scheme, per_category = padded_categories ~lookup g in
@@ -62,20 +64,34 @@ let dedup_assocs assocs =
   Hashtbl.fold (fun _ a acc -> a :: acc) table []
 
 let naive ~lookup g =
-  let { scheme; node_positions; associations } = possible_associations ~lookup g in
-  let deduped = dedup_assocs associations in
-  let tuples = List.map (fun (a : Assoc.t) -> a.tuple) deduped in
-  let kept = Min_union.remove_subsumed_naive tuples in
-  let keep_set = Hashtbl.create (List.length kept) in
-  List.iter (fun t -> Hashtbl.replace keep_set (Tuple.hash t) t) kept;
-  let associations =
-    List.filter
-      (fun (a : Assoc.t) ->
-        Hashtbl.find_all keep_set (Tuple.hash a.tuple)
-        |> List.exists (Tuple.equal a.tuple))
-      deduped
-  in
-  { scheme; node_positions; associations }
+  Obs.with_span ~attrs:[ ("algorithm", "naive") ] Obs.Names.sp_fulldisj
+    (fun () ->
+      let { scheme; node_positions; associations } =
+        possible_associations ~lookup g
+      in
+      let deduped =
+        Obs.with_span Obs.Names.sp_dedup (fun () -> dedup_assocs associations)
+      in
+      let associations =
+        Obs.with_span Obs.Names.sp_min_union (fun () ->
+            let tuples = List.map (fun (a : Assoc.t) -> a.tuple) deduped in
+            let kept = Min_union.remove_subsumed_naive tuples in
+            let keep_set = Hashtbl.create (List.length kept) in
+            List.iter (fun t -> Hashtbl.replace keep_set (Tuple.hash t) t) kept;
+            let kept_assocs =
+              List.filter
+                (fun (a : Assoc.t) ->
+                  Hashtbl.find_all keep_set (Tuple.hash a.tuple)
+                  |> List.exists (Tuple.equal a.tuple))
+                deduped
+            in
+            if Obs.enabled () then begin
+              Obs.add Obs.Names.assoc_considered (List.length deduped);
+              Obs.add Obs.Names.assoc_kept (List.length kept_assocs)
+            end;
+            kept_assocs)
+      in
+      { scheme; node_positions; associations })
 
 (* Indexed subsumption removal: a subsumer of [t] must agree with [t] on
    every non-null column of [t], so probing the per-column value index at
@@ -84,47 +100,64 @@ let naive ~lookup g =
    associations (not just kept ones) is equivalent to checking against the
    maximal ones. *)
 let compute ~lookup g =
-  let scheme, per_category = padded_categories ~lookup g in
-  let node_positions = node_positions_of scheme g in
-  let assocs =
-    List.concat_map
-      (fun (cov, tuples) -> List.map (fun t -> Assoc.make t cov) tuples)
-      per_category
-  in
-  let deduped = dedup_assocs assocs in
-  (* Global indexed removal: correctness does not depend on ordering; the
-     index makes candidate sets small. *)
-  let arr = Array.of_list deduped in
-  let arity = Schema.arity scheme in
-  let index = Array.init arity (fun _ -> Hashtbl.create 64) in
-  Array.iteri
-    (fun id (a : Assoc.t) ->
-      for p = 0 to arity - 1 do
-        if not (Value.is_null a.tuple.(p)) then Hashtbl.add index.(p) a.tuple.(p) id
-      done)
-    arr;
-  let subsumed id (a : Assoc.t) =
-    let t = a.tuple in
-    let best = ref (-1) and best_count = ref max_int in
-    for p = 0 to arity - 1 do
-      if not (Value.is_null t.(p)) then begin
-        let c = List.length (Hashtbl.find_all index.(p) t.(p)) in
-        if c < !best_count then begin
-          best := p;
-          best_count := c
-        end
-      end
-    done;
-    if !best < 0 then Array.length arr > 1
-    else
-      Hashtbl.find_all index.(!best) t.(!best)
-      |> List.exists (fun oid ->
-             oid <> id && Tuple.strictly_subsumes arr.(oid).Assoc.tuple t)
-  in
-  let associations =
-    Array.to_list arr |> List.filteri (fun id a -> not (subsumed id a))
-  in
-  { scheme; node_positions; associations }
+  Obs.with_span ~attrs:[ ("algorithm", "indexed") ] Obs.Names.sp_fulldisj
+    (fun () ->
+      let scheme, per_category = padded_categories ~lookup g in
+      let node_positions = node_positions_of scheme g in
+      let assocs =
+        List.concat_map
+          (fun (cov, tuples) -> List.map (fun t -> Assoc.make t cov) tuples)
+          per_category
+      in
+      let deduped =
+        Obs.with_span Obs.Names.sp_dedup (fun () -> dedup_assocs assocs)
+      in
+      (* Global indexed removal: correctness does not depend on ordering; the
+         index makes candidate sets small. *)
+      Obs.with_span Obs.Names.sp_min_union (fun () ->
+          let counting = Obs.enabled () in
+          let arr = Array.of_list deduped in
+          let arity = Schema.arity scheme in
+          let index = Array.init arity (fun _ -> Hashtbl.create 64) in
+          Array.iteri
+            (fun id (a : Assoc.t) ->
+              for p = 0 to arity - 1 do
+                if not (Value.is_null a.tuple.(p)) then
+                  Hashtbl.add index.(p) a.tuple.(p) id
+              done)
+            arr;
+          let subsumed id (a : Assoc.t) =
+            let t = a.tuple in
+            let best = ref (-1) and best_count = ref max_int in
+            for p = 0 to arity - 1 do
+              if not (Value.is_null t.(p)) then begin
+                let c = List.length (Hashtbl.find_all index.(p) t.(p)) in
+                if c < !best_count then begin
+                  best := p;
+                  best_count := c
+                end
+              end
+            done;
+            if !best < 0 then Array.length arr > 1
+            else begin
+              if counting then Obs.Counter.bump Obs.Names.index_probes;
+              Hashtbl.find_all index.(!best) t.(!best)
+              |> List.exists (fun oid ->
+                     oid <> id
+                     &&
+                     (if counting then
+                        Obs.Counter.bump Obs.Names.subsumption_checks;
+                      Tuple.strictly_subsumes arr.(oid).Assoc.tuple t))
+            end
+          in
+          let associations =
+            Array.to_list arr |> List.filteri (fun id a -> not (subsumed id a))
+          in
+          if counting then begin
+            Obs.add Obs.Names.assoc_considered (Array.length arr);
+            Obs.add Obs.Names.assoc_kept (List.length associations)
+          end;
+          { scheme; node_positions; associations }))
 
 let naive_db db g = naive ~lookup:(Database.find db) g
 let compute_db db g = compute ~lookup:(Database.find db) g

@@ -31,7 +31,7 @@ let join_order g =
       in
       bfs [] [ start ] []
 
-let full_associations ~lookup g =
+let full_associations_unobserved ~lookup g =
   if Qgraph.node_count g = 0 then invalid_arg "Join_eval.full_associations: empty graph";
   if not (Qgraph.is_connected g) then
     invalid_arg "Join_eval.full_associations: graph not connected";
@@ -52,3 +52,11 @@ let full_associations ~lookup g =
           present := alias :: !present)
         rest;
       reorder !acc (Qgraph.scheme ~lookup g)
+
+let full_associations ~lookup g =
+  if not (Obs.enabled ()) then full_associations_unobserved ~lookup g
+  else
+    Obs.with_span
+      ~attrs:[ ("nodes", string_of_int (Qgraph.node_count g)) ]
+      Obs.Names.sp_full_associations
+      (fun () -> full_associations_unobserved ~lookup g)

@@ -1,12 +1,19 @@
 open Relational
 
 let remove_subsumed_naive tuples =
+  (* [counting] is hoisted so the disabled path costs one predictable branch
+     per candidate pair, keeping bench B1 honest. *)
+  let counting = Obs.enabled () in
   let arr = Array.of_list tuples in
   Array.to_list arr
   |> List.filteri (fun i t ->
          not
            (Array.exists
-              (fun other -> (not (other == arr.(i))) && Tuple.strictly_subsumes other t)
+              (fun other ->
+                (not (other == arr.(i)))
+                &&
+                (if counting then Obs.Counter.bump Obs.Names.subsumption_checks;
+                 Tuple.strictly_subsumes other t))
               arr))
 
 (* Per-column index: column position -> value -> tuple indices having that
@@ -18,6 +25,7 @@ let remove_subsumed_indexed ~selective tuples =
   match tuples with
   | [] -> []
   | first :: _ ->
+      let counting = Obs.enabled () in
       let arity = Tuple.arity first in
       let arr = Array.of_list tuples in
       let index = Array.init arity (fun _ -> Hashtbl.create 64) in
@@ -62,31 +70,36 @@ let remove_subsumed_indexed ~selective tuples =
             (* All-null tuple: strictly subsumed by any other tuple. *)
             Array.length arr > 1
         | p ->
+            if counting then Obs.Counter.bump Obs.Names.index_probes;
             Hashtbl.find_all index.(p) t.(p)
-            |> List.exists (fun oid -> oid <> id && Tuple.strictly_subsumes arr.(oid) t)
+            |> List.exists (fun oid ->
+                   oid <> id
+                   &&
+                   (if counting then
+                      Obs.Counter.bump Obs.Names.subsumption_checks;
+                    Tuple.strictly_subsumes arr.(oid) t))
       in
       Array.to_list arr |> List.filteri (fun id t -> not (subsumed id t))
 
 let remove_subsumed tuples = remove_subsumed_indexed ~selective:true tuples
 let remove_subsumed_first_probe tuples = remove_subsumed_indexed ~selective:false tuples
 
-let min_union r1 r2 =
-  let ou = Algebra.outer_union r1 r2 in
-  Relation.make ~allow_all_null:true (Relation.name ou) (Relation.schema ou)
-    (remove_subsumed (Relation.tuples ou))
+let minimize rel =
+  Obs.with_span Obs.Names.sp_min_union (fun () ->
+      let kept = remove_subsumed (Relation.tuples rel) in
+      if Obs.enabled () then begin
+        Obs.add Obs.Names.assoc_considered (Relation.cardinality rel);
+        Obs.add Obs.Names.assoc_kept (List.length kept)
+      end;
+      Relation.make ~allow_all_null:true (Relation.name rel)
+        (Relation.schema rel) kept)
+
+let min_union r1 r2 = minimize (Algebra.outer_union r1 r2)
 
 let min_union_all = function
   | [] -> None
-  | [ r ] ->
-      Some
-        (Relation.make ~allow_all_null:true (Relation.name r) (Relation.schema r)
-           (remove_subsumed (Relation.tuples r)))
-  | r :: rest ->
-      let merged = List.fold_left Algebra.outer_union r rest in
-      Some
-        (Relation.make ~allow_all_null:true (Relation.name merged)
-           (Relation.schema merged)
-           (remove_subsumed (Relation.tuples merged)))
+  | [ r ] -> Some (minimize r)
+  | r :: rest -> Some (minimize (List.fold_left Algebra.outer_union r rest))
 
 let is_minimal tuples =
   let arr = Array.of_list tuples in

@@ -37,7 +37,12 @@ let cascade ~lookup ~join g root =
               (fun p -> Qgraph.find_edge g alias p |> Option.map (fun e -> e.Qgraph.pred))
               !present
           in
-          acc := join (Predicate.conj preds) !acc next_rel;
+          (if Obs.enabled () then
+             Obs.with_span
+               ~attrs:[ ("alias", alias) ]
+               Obs.Names.sp_oj_join
+               (fun () -> acc := join (Predicate.conj preds) !acc next_rel)
+           else acc := join (Predicate.conj preds) !acc next_rel);
           present := alias :: !present)
         rest;
       Join_eval.reorder !acc (Qgraph.scheme ~lookup g)
@@ -55,14 +60,17 @@ let tag_result ~lookup g rel =
 
 let full_disjunction ~lookup g =
   if not (is_tree g) then invalid_arg "Outerjoin_plan.full_disjunction: not a tree";
-  let root = List.hd (Qgraph.aliases g) in
-  let fused = cascade ~lookup ~join:Algebra.full_outer_join g root in
-  (* Safety net: the cascade can only miss subsumption across branches. *)
-  let minimal =
-    Relation.make ~allow_all_null:true "D(G)" (Relation.schema fused)
-      (Min_union.remove_subsumed (Relation.tuples fused))
-  in
-  tag_result ~lookup g minimal
+  Obs.with_span ~attrs:[ ("algorithm", "outerjoin") ] Obs.Names.sp_oj_plan
+    (fun () ->
+      let root = List.hd (Qgraph.aliases g) in
+      let fused = cascade ~lookup ~join:Algebra.full_outer_join g root in
+      (* Safety net: the cascade can only miss subsumption across branches. *)
+      let minimal =
+        Obs.with_span Obs.Names.sp_oj_sweep (fun () ->
+            Relation.make ~allow_all_null:true "D(G)" (Relation.schema fused)
+              (Min_union.remove_subsumed (Relation.tuples fused)))
+      in
+      tag_result ~lookup g minimal)
 
 let full_disjunction_no_sweep ~lookup g =
   if not (is_tree g) then

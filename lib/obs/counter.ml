@@ -1,0 +1,25 @@
+type t = { name : string; mutable value : int }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+let rev_order : t list ref = ref []
+
+let make name =
+  match Hashtbl.find_opt registry name with
+  | Some c -> c
+  | None ->
+      let c = { name; value = 0 } in
+      Hashtbl.replace registry name c;
+      rev_order := c :: !rev_order;
+      c
+
+let name c = c.name
+let value c = c.value
+
+let bump c = c.value <- c.value + 1
+let bump_by c n = c.value <- c.value + n
+let incr c = if !Switch.on then c.value <- c.value + 1
+let add c n = if !Switch.on then c.value <- c.value + n
+
+let find = Hashtbl.find_opt registry
+let all () = List.rev !rev_order
+let reset_all () = List.iter (fun c -> c.value <- 0) !rev_order

@@ -1,0 +1,38 @@
+(** Named monotonic counters with a process-global registry.
+
+    Counters are created once (typically at module-initialisation time, see
+    {!Obs.Names}) and incremented through a handle, so the hot path is a
+    single switch load, branch and unboxed integer bump — no string hashing
+    per increment.  When observability is disabled ({!Obs.disable}, the
+    default), {!incr} and {!add} are no-ops. *)
+
+type t
+
+(** [make name] returns the registered counter called [name], creating it
+    (at zero) on first use.  The same name always yields the same handle. *)
+val make : string -> t
+
+val name : t -> string
+val value : t -> int
+
+(** Increment by one iff observability is enabled. *)
+val incr : t -> unit
+
+(** Increment by [n] iff observability is enabled. *)
+val add : t -> int -> unit
+
+(** Unconditional increment, for call sites that hoisted the enabled check
+    out of a hot loop themselves ([let counting = Obs.enabled () in ...]). *)
+val bump : t -> unit
+
+(** Unconditional [add]. *)
+val bump_by : t -> int -> unit
+
+(** Look up a counter by name, if registered. *)
+val find : string -> t option
+
+(** All registered counters in registration order. *)
+val all : unit -> t list
+
+(** Zero every registered counter (registrations are kept). *)
+val reset_all : unit -> unit

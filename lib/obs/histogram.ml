@@ -1,0 +1,52 @@
+type stats = { n : int; sum : float; mean : float; min : float; max : float }
+
+type t = {
+  name : string;
+  mutable n : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+let rev_order : t list ref = ref []
+
+let make name =
+  match Hashtbl.find_opt registry name with
+  | Some h -> h
+  | None ->
+      let h = { name; n = 0; sum = 0.; min_v = infinity; max_v = neg_infinity } in
+      Hashtbl.replace registry name h;
+      rev_order := h :: !rev_order;
+      h
+
+let name h = h.name
+
+let observe h v =
+  if !Switch.on then begin
+    h.n <- h.n + 1;
+    h.sum <- h.sum +. v;
+    if v < h.min_v then h.min_v <- v;
+    if v > h.max_v then h.max_v <- v
+  end
+
+let stats h : stats =
+  {
+    n = h.n;
+    sum = h.sum;
+    mean = (if h.n = 0 then 0. else h.sum /. float_of_int h.n);
+    min = (if h.n = 0 then 0. else h.min_v);
+    max = (if h.n = 0 then 0. else h.max_v);
+  }
+
+let find = Hashtbl.find_opt registry
+let all () = List.rev !rev_order
+
+let reset_all () =
+  List.iter
+    (fun h ->
+      h.n <- 0;
+      h.sum <- 0.;
+      h.min_v <- infinity;
+      h.max_v <- neg_infinity)
+    !rev_order

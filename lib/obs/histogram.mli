@@ -1,0 +1,25 @@
+(** Named summary histograms (count / sum / mean / min / max) with the same
+    process-global registry discipline as {!Counter}.  Span durations are
+    recorded here automatically under ["span.<span name>"], giving a cheap
+    per-operation latency rollup even when no trace file is written. *)
+
+type t
+
+type stats = { n : int; sum : float; mean : float; min : float; max : float }
+
+(** [make name] returns the registered histogram called [name], creating it
+    empty on first use. *)
+val make : string -> t
+
+val name : t -> string
+
+(** Record one observation iff observability is enabled. *)
+val observe : t -> float -> unit
+
+val stats : t -> stats
+val find : string -> t option
+
+(** All registered histograms in registration order. *)
+val all : unit -> t list
+
+val reset_all : unit -> unit

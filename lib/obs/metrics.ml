@@ -1,0 +1,65 @@
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * Histogram.stats) list;
+}
+
+let snapshot () =
+  {
+    counters =
+      Counter.all ()
+      |> List.filter_map (fun c ->
+             let v = Counter.value c in
+             if v = 0 then None else Some (Counter.name c, v));
+    histograms =
+      Histogram.all ()
+      |> List.filter_map (fun h ->
+             let s = Histogram.stats h in
+             if s.Histogram.n = 0 then None else Some (Histogram.name h, s));
+  }
+
+let value name =
+  match Counter.find name with Some c -> Counter.value c | None -> 0
+
+let counter_lines counters =
+  match counters with
+  | [] -> [ "(no counters recorded)" ]
+  | _ ->
+      let width =
+        List.fold_left (fun w (n, _) -> max w (String.length n)) 7 counters
+      in
+      Printf.sprintf "%-*s %12s" width "counter" "value"
+      :: String.make (width + 13) '-'
+      :: List.map
+           (fun (n, v) -> Printf.sprintf "%-*s %12d" width n v)
+           counters
+
+let histogram_lines histograms =
+  match histograms with
+  | [] -> []
+  | _ ->
+      let width =
+        List.fold_left (fun w (n, _) -> max w (String.length n)) 9 histograms
+      in
+      Printf.sprintf "%-*s %6s %10s %10s %10s %10s" width "histogram" "n"
+        "total" "mean" "min" "max"
+      :: String.make (width + 57) '-'
+      :: List.map
+           (fun (n, s) ->
+             Printf.sprintf "%-*s %6d %10.3f %10.3f %10.3f %10.3f" width n
+               s.Histogram.n s.Histogram.sum s.Histogram.mean s.Histogram.min
+               s.Histogram.max)
+           histograms
+
+let render_counters () = String.concat "\n" (counter_lines (snapshot ()).counters)
+
+let render () =
+  let snap = snapshot () in
+  let sections =
+    [ counter_lines snap.counters ]
+    @ match histogram_lines snap.histograms with [] -> [] | ls -> [ ls ]
+  in
+  String.concat "\n\n" (List.map (String.concat "\n") sections)
+
+let reset () =
+  Counter.reset_all ();
+  Histogram.reset_all ()

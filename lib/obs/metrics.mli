@@ -1,0 +1,23 @@
+(** Snapshots and text rendering of the process-global metric registries. *)
+
+type snapshot = {
+  counters : (string * int) list;
+      (** Non-zero counters, in registration order. *)
+  histograms : (string * Histogram.stats) list;
+      (** Non-empty histograms (span durations are in milliseconds), in
+          registration order. *)
+}
+
+val snapshot : unit -> snapshot
+
+(** Current value of the counter registered under [name] (0 if absent). *)
+val value : string -> int
+
+(** Aligned table of the non-zero counters. *)
+val render_counters : unit -> string
+
+(** Counters table plus, when non-empty, the histogram table. *)
+val render : unit -> string
+
+(** Zero all counters and histograms. *)
+val reset : unit -> unit

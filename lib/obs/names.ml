@@ -1,0 +1,58 @@
+(* The single authoritative list of counter handles and span names used by
+   the instrumented pipeline.  Bench tables, the CLI and the tests all go
+   through these values, so a string key cannot silently drift between
+   producers and consumers.
+
+   Naming convention (see docs/observability.md):
+     <layer>.<operation>[.<measure>]
+   all lowercase, dot-separated; counters name the thing counted in plural
+   ("rows", "checks", "probes"). *)
+
+(* --- counters: relational algebra operators --- *)
+
+let select_rows_in = Counter.make "algebra.select.rows_in"
+let select_rows_out = Counter.make "algebra.select.rows_out"
+let project_rows = Counter.make "algebra.project.rows"
+let product_rows_out = Counter.make "algebra.product.rows_out"
+let join_hash_probes = Counter.make "algebra.join.hash_probes"
+let join_loop_comparisons = Counter.make "algebra.join.loop_comparisons"
+let join_rows_out = Counter.make "algebra.join.rows_out"
+let outer_join_dangling = Counter.make "algebra.outer_join.dangling"
+let outer_union_rows = Counter.make "algebra.outer_union.rows"
+
+(* --- counters: full disjunction / minimum union --- *)
+
+let subsumption_checks = Counter.make "fulldisj.subsumption_checks"
+let index_probes = Counter.make "fulldisj.index_probes"
+let assoc_considered = Counter.make "fulldisj.assoc_considered"
+let assoc_kept = Counter.make "fulldisj.assoc_kept"
+let categories = Counter.make "fulldisj.categories"
+
+(* --- counters: mapping evaluation and operators --- *)
+
+let eval_examples = Counter.make "mapping_eval.examples"
+let eval_positive = Counter.make "mapping_eval.positive_examples"
+let chase_occurrences = Counter.make "chase.occurrences"
+let chase_alternatives = Counter.make "chase.alternatives"
+let walk_paths = Counter.make "walk.paths_enumerated"
+let walk_alternatives = Counter.make "walk.alternatives"
+let illustration_candidates = Counter.make "illustration.candidates_considered"
+let illustration_selected = Counter.make "illustration.examples_selected"
+
+(* --- span names --- *)
+
+let sp_illustrate = "clio.illustrate"
+let sp_data_associations = "mapping_eval.data_associations"
+let sp_examples = "mapping_eval.examples"
+let sp_eval = "mapping_eval.eval"
+let sp_fulldisj = "fulldisj.compute"
+let sp_categories = "fulldisj.categories"
+let sp_dedup = "fulldisj.dedup"
+let sp_min_union = "fulldisj.min_union"
+let sp_full_associations = "fulldisj.full_associations"
+let sp_oj_plan = "outerjoin.plan"
+let sp_oj_join = "outerjoin.join"
+let sp_oj_sweep = "outerjoin.sweep"
+let sp_illustration_select = "illustration.select"
+let sp_chase = "op_chase.chase"
+let sp_walk = "op_walk.data_walk"

@@ -1,0 +1,28 @@
+module Counter = Counter
+module Histogram = Histogram
+module Span = Span
+module Trace_export = Trace_export
+module Metrics = Metrics
+module Names = Names
+
+let enable () = Switch.on := true
+let disable () = Switch.on := false
+let enabled () = !Switch.on
+
+let with_span = Span.with_span
+let set_attr = Span.set_attr
+let count = Counter.incr
+let add = Counter.add
+let observe = Histogram.observe
+
+let reset () =
+  Metrics.reset ();
+  Span.reset ()
+
+let finished_spans = Span.finished
+let report = Metrics.render
+
+let write_trace file =
+  let oc = open_out file in
+  output_string oc (Trace_export.to_chrome (Span.finished ()));
+  close_out oc

@@ -1,0 +1,66 @@
+type t = {
+  name : string;
+  mutable attrs : (string * string) list;
+  start : float;
+  mutable stop : float;
+  mutable rev_children : t list;
+}
+
+let now = Unix.gettimeofday
+
+(* The thread-of-execution stack of open spans (innermost first) and the
+   finished roots, both newest-first. *)
+let stack : t list ref = ref []
+let rev_roots : t list ref = ref []
+
+let name s = s.name
+let attrs s = List.rev s.attrs
+let start_s s = s.start
+let stop_s s = s.stop
+let duration_s s = s.stop -. s.start
+let duration_ms s = 1000. *. duration_s s
+let children s = List.rev s.rev_children
+
+let enter ?(attrs = []) name =
+  let s =
+    { name; attrs = List.rev attrs; start = now (); stop = 0.; rev_children = [] }
+  in
+  stack := s :: !stack;
+  s
+
+let exit_ s =
+  s.stop <- now ();
+  (match !stack with
+  | top :: rest when top == s -> stack := rest
+  | _ ->
+      (* Unbalanced exit (an exception unwound past intermediate spans, or a
+         caller misuse): drop [s] from wherever it sits. *)
+      stack := List.filter (fun x -> not (x == s)) !stack);
+  (match !stack with
+  | parent :: _ -> parent.rev_children <- s :: parent.rev_children
+  | [] -> rev_roots := s :: !rev_roots);
+  Histogram.observe (Histogram.make ("span." ^ s.name)) (duration_ms s)
+
+let with_span ?attrs name f =
+  if not !Switch.on then f ()
+  else begin
+    let s = enter ?attrs name in
+    Fun.protect ~finally:(fun () -> exit_ s) f
+  end
+
+let set_attr k v =
+  match !stack with [] -> () | s :: _ -> s.attrs <- (k, v) :: s.attrs
+
+let current () = match !stack with [] -> None | s :: _ -> Some s
+let finished () = List.rev !rev_roots
+
+let reset () =
+  stack := [];
+  rev_roots := []
+
+(* Depth-first preorder flattening, with depth. *)
+let flatten spans =
+  let rec go depth acc s =
+    List.fold_left (go (depth + 1)) ((depth, s) :: acc) (children s)
+  in
+  List.rev (List.fold_left (go 0) [] spans)

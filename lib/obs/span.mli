@@ -1,0 +1,47 @@
+(** Nestable timed spans.
+
+    A span records a named region of execution: wall-clock start/stop, free
+    attributes, and the spans opened (and closed) while it was the innermost
+    open span — its children.  Spans form a thread-of-execution stack;
+    finished top-level spans accumulate as trace {e roots} until {!reset}.
+
+    Use {!with_span} (or the {!Obs.with_span} front-end).  When
+    observability is disabled it runs the thunk directly, recording
+    nothing.  Closing a span also records its duration (milliseconds) into
+    the histogram ["span.<name>"]. *)
+
+type t
+
+val name : t -> string
+
+(** Attributes in the order they were attached. *)
+val attrs : t -> (string * string) list
+
+(** Start / stop, in seconds since the epoch ([Unix.gettimeofday]). *)
+val start_s : t -> float
+
+val stop_s : t -> float
+val duration_s : t -> float
+val duration_ms : t -> float
+
+(** Child spans in execution order. *)
+val children : t -> t list
+
+(** [with_span ?attrs name f] times [f ()] under a new span nested in the
+    current one.  Exception-safe: the span closes even if [f] raises. *)
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Attach an attribute to the innermost open span (no-op if none). *)
+val set_attr : string -> string -> unit
+
+(** The innermost open span, if any. *)
+val current : unit -> t option
+
+(** Finished root spans in completion order. *)
+val finished : unit -> t list
+
+(** Drop all finished roots and abandon any open spans. *)
+val reset : unit -> unit
+
+(** Preorder flattening of a span forest as [(depth, span)] rows. *)
+val flatten : t list -> (int * t) list

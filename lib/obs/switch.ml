@@ -1,0 +1,6 @@
+(* The process-global observability switch.  Internal to the library: users
+   flip it through {!Obs.enable} / {!Obs.disable}.  Every recording path
+   loads this single ref and branches, so instrumented code costs one
+   predictable branch when observability is off. *)
+
+let on = ref false

@@ -1,0 +1,96 @@
+(* Render finished span forests.  Three formats:
+   - indented text for terminals,
+   - JSON lines (one object per span, preorder) for ad-hoc tooling,
+   - Chrome trace_event JSON (an array of "X" complete events) loadable in
+     chrome://tracing and https://ui.perfetto.dev. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ escape s ^ "\""
+
+let json_attrs attrs =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> json_string k ^ ":" ^ json_string v) attrs)
+  ^ "}"
+
+let to_text spans =
+  let buf = Buffer.create 1024 in
+  let rec one depth s =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    Buffer.add_string buf (Span.name s);
+    Buffer.add_string buf (Printf.sprintf " %.3f ms" (Span.duration_ms s));
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s=%s" k v))
+      (Span.attrs s);
+    Buffer.add_char buf '\n';
+    List.iter (one (depth + 1)) (Span.children s)
+  in
+  List.iter (one 0) spans;
+  Buffer.contents buf
+
+let span_object ?depth s =
+  let fields =
+    [
+      ("name", json_string (Span.name s));
+      ("start_s", Printf.sprintf "%.6f" (Span.start_s s));
+      ("dur_ms", Printf.sprintf "%.6f" (Span.duration_ms s));
+    ]
+    @ (match depth with
+      | Some d -> [ ("depth", string_of_int d) ]
+      | None -> [])
+    @
+    match Span.attrs s with
+    | [] -> []
+    | attrs -> [ ("attrs", json_attrs attrs) ]
+  in
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields)
+  ^ "}"
+
+let to_json_lines spans =
+  Span.flatten spans
+  |> List.map (fun (depth, s) -> span_object ~depth s)
+  |> fun lines -> String.concat "\n" lines ^ (if lines = [] then "" else "\n")
+
+(* Chrome trace_event "X" (complete) events: one per span, with timestamps
+   and durations in microseconds.  "X" events carry their own duration, so
+   no "B"/"E" pairing is needed and the file stays valid even if a span was
+   abandoned open. *)
+let chrome_event s =
+  let fields =
+    [
+      ("name", json_string (Span.name s));
+      ("cat", json_string "clio");
+      ("ph", json_string "X");
+      ("ts", Printf.sprintf "%.0f" (Span.start_s s *. 1e6));
+      ("dur", Printf.sprintf "%.0f" (Span.duration_s s *. 1e6));
+      ("pid", "1");
+      ("tid", "1");
+    ]
+    @
+    match Span.attrs s with
+    | [] -> []
+    | attrs -> [ ("args", json_attrs attrs) ]
+  in
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields)
+  ^ "}"
+
+let to_chrome spans =
+  let events = Span.flatten spans |> List.map (fun (_, s) -> chrome_event s) in
+  "[\n" ^ String.concat ",\n" events ^ "\n]\n"

@@ -1,0 +1,19 @@
+(** Export a finished trace (a forest of {!Span.t} roots).
+
+    Formats: indented text for terminals, JSON lines for ad-hoc tooling,
+    and Chrome [trace_event] JSON (an array of ["X"] complete events with
+    microsecond timestamps) loadable in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}. *)
+
+(** Indented tree, one line per span: name, duration in ms, attributes. *)
+val to_text : Span.t list -> string
+
+(** One JSON object per span in preorder, with [name], [start_s],
+    [dur_ms], [depth] and optional [attrs]. *)
+val to_json_lines : Span.t list -> string
+
+(** Chrome trace_event format: a JSON array of complete ("X") events. *)
+val to_chrome : Span.t list -> string
+
+(** JSON string quoting used by the exporters (exposed for tests). *)
+val json_string : string -> string

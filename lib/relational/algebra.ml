@@ -1,11 +1,15 @@
 let select p r =
   let keep = Predicate.compile (Relation.schema r) p in
-  Relation.filter keep r
+  let out = Relation.filter keep r in
+  Obs.add Obs.Names.select_rows_in (Relation.cardinality r);
+  Obs.add Obs.Names.select_rows_out (Relation.cardinality out);
+  out
 
 let project attrs r =
   let schema = Relation.schema r in
   let positions = List.map (Schema.index schema) attrs in
   let out_schema = Schema.project schema attrs in
+  Obs.add Obs.Names.project_rows (Relation.cardinality r);
   Relation.make ~allow_all_null:true (Relation.name r) out_schema
     (List.map (fun t -> Tuple.project t positions) (Relation.tuples r))
 
@@ -15,6 +19,8 @@ let product l r =
   Relation.iter
     (fun tl -> Relation.iter (fun tr -> out := Tuple.concat tl tr :: !out) r)
     l;
+  Obs.add Obs.Names.product_rows_out
+    (Relation.cardinality l * Relation.cardinality r);
   Relation.make ~allow_all_null:true
     (Relation.name l ^ "x" ^ Relation.name r)
     schema (List.rev !out)
@@ -74,6 +80,7 @@ let join_with_flags p l r =
         (fun li tl ->
           match key_of l_pos tl with
           | Some k ->
+              Obs.count Obs.Names.join_hash_probes;
               List.iter
                 (fun ri -> emit li ri tl r_tuples.(ri))
                 (Hashtbl.find_all table k)
@@ -81,6 +88,8 @@ let join_with_flags p l r =
         l_tuples
   | Some [] | None ->
       let keep = Predicate.compile schema p in
+      Obs.add Obs.Names.join_loop_comparisons
+        (Array.length l_tuples * Array.length r_tuples);
       Array.iteri
         (fun li tl ->
           Array.iteri
@@ -89,6 +98,7 @@ let join_with_flags p l r =
               if keep t then emit li ri tl tr)
             r_tuples)
         l_tuples);
+  if Obs.enabled () then Obs.add Obs.Names.join_rows_out (List.length !out);
   (schema, List.rev !out, l_tuples, r_tuples, l_matched, r_matched)
 
 let join p l r =
@@ -109,6 +119,9 @@ let join_nested_loop p l r =
           if keep t then out := t :: !out)
         r)
     l;
+  Obs.add Obs.Names.join_loop_comparisons
+    (Relation.cardinality l * Relation.cardinality r);
+  if Obs.enabled () then Obs.add Obs.Names.join_rows_out (List.length !out);
   Relation.make ~allow_all_null:true
     (Relation.name l ^ "*" ^ Relation.name r)
     schema (List.rev !out)
@@ -165,6 +178,7 @@ let join_sort_merge p l r =
             end
       in
       merge ls rs;
+      if Obs.enabled () then Obs.add Obs.Names.join_rows_out (List.length !out);
       Relation.make ~allow_all_null:true
         (Relation.name l ^ "*" ^ Relation.name r)
         schema (List.rev !out)
@@ -177,6 +191,8 @@ let left_outer_join p l r =
     |> List.filteri (fun i _ -> not l_matched.(i))
     |> List.map (fun tl -> Tuple.concat tl r_nulls)
   in
+  if Obs.enabled () then
+    Obs.add Obs.Names.outer_join_dangling (List.length dangling);
   Relation.make ~allow_all_null:true
     (Relation.name l ^ "=*" ^ Relation.name r)
     schema (matched @ dangling)
@@ -197,6 +213,9 @@ let full_outer_join p l r =
     |> List.filteri (fun i _ -> not r_matched.(i))
     |> List.map (fun tr -> Tuple.concat l_nulls tr)
   in
+  if Obs.enabled () then
+    Obs.add Obs.Names.outer_join_dangling
+      (List.length l_dangling + List.length r_dangling);
   Relation.make ~allow_all_null:true
     (Relation.name l ^ "=*=" ^ Relation.name r)
     schema
@@ -234,6 +253,8 @@ let pad r schema =
     (List.map widen (Relation.tuples r))
 
 let outer_union a b =
+  Obs.add Obs.Names.outer_union_rows
+    (Relation.cardinality a + Relation.cardinality b);
   let sa = Relation.schema a and sb = Relation.schema b in
   let extra =
     Array.to_list (Schema.attrs sb) |> List.filter (fun at -> not (Schema.mem sa at))

@@ -1,0 +1,447 @@
+(* Tests for lib/obs: span nesting and ordering, counter behaviour under
+   enable/disable, trace export (including a real JSON parse of the Chrome
+   trace_event output), and an integration check that the instrumented
+   pipeline actually emits counters on the paper database. *)
+
+let setup () =
+  Obs.enable ();
+  Obs.reset ()
+
+let teardown () =
+  Obs.disable ();
+  Obs.reset ()
+
+let with_obs f () =
+  setup ();
+  Fun.protect ~finally:teardown f
+
+(* --- a minimal JSON parser, enough to validate exporter output --- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/') ->
+              Buffer.add_char buf (Option.get (peek ()));
+              advance ();
+              go ()
+          | Some (('n' | 't' | 'r' | 'b' | 'f') as c) ->
+              Buffer.add_char buf
+                (match c with
+                | 'n' -> '\n'
+                | 't' -> '\t'
+                | 'r' -> '\r'
+                | 'b' -> '\b'
+                | _ -> '\012');
+              advance ();
+              go ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elements []
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+(* --- spans --- *)
+
+let test_span_nesting =
+  with_obs @@ fun () ->
+  let r =
+    Obs.with_span "outer" (fun () ->
+        Obs.with_span "first" (fun () -> ());
+        Obs.with_span "second" (fun () -> 41 + 1))
+  in
+  Alcotest.(check int) "with_span returns the thunk's value" 42 r;
+  match Obs.finished_spans () with
+  | [ outer ] ->
+      Alcotest.(check string) "root name" "outer" (Obs.Span.name outer);
+      Alcotest.(check (list string))
+        "children in execution order" [ "first"; "second" ]
+        (List.map Obs.Span.name (Obs.Span.children outer));
+      List.iter
+        (fun child ->
+          Alcotest.(check bool) "child within parent interval" true
+            (Obs.Span.start_s child >= Obs.Span.start_s outer
+            && Obs.Span.stop_s child <= Obs.Span.stop_s outer))
+        (Obs.Span.children outer);
+      Alcotest.(check bool) "duration non-negative" true
+        (Obs.Span.duration_s outer >= 0.)
+  | roots ->
+      Alcotest.failf "expected exactly one root, got %d" (List.length roots)
+
+let test_span_sequencing =
+  with_obs @@ fun () ->
+  Obs.with_span "a" (fun () -> ());
+  Obs.with_span "b" (fun () -> ());
+  Alcotest.(check (list string))
+    "roots in completion order" [ "a"; "b" ]
+    (List.map Obs.Span.name (Obs.finished_spans ()))
+
+let test_span_exception_safety =
+  with_obs @@ fun () ->
+  (try Obs.with_span "boom" (fun () -> failwith "inner") with Failure _ -> ());
+  Obs.with_span "after" (fun () -> ());
+  Alcotest.(check (list string))
+    "span closed by the exception, stack not corrupted" [ "boom"; "after" ]
+    (List.map Obs.Span.name (Obs.finished_spans ()))
+
+let test_span_attrs =
+  with_obs @@ fun () ->
+  Obs.with_span ~attrs:[ ("k", "v") ] "s" (fun () -> Obs.set_attr "late" "x");
+  match Obs.finished_spans () with
+  | [ s ] ->
+      Alcotest.(check (list (pair string string)))
+        "attrs in attachment order"
+        [ ("k", "v"); ("late", "x") ]
+        (Obs.Span.attrs s)
+  | _ -> Alcotest.fail "expected one root"
+
+let test_span_disabled () =
+  Obs.disable ();
+  Obs.reset ();
+  let r = Obs.with_span "ghost" (fun () -> 7) in
+  Alcotest.(check int) "thunk still runs" 7 r;
+  Alcotest.(check int) "nothing recorded" 0
+    (List.length (Obs.finished_spans ()))
+
+(* --- counters --- *)
+
+let test_counter_enable_disable () =
+  Obs.disable ();
+  Obs.reset ();
+  let c = Obs.Counter.make "test.counter" in
+  Obs.count c;
+  Obs.add c 10;
+  Alcotest.(check int) "disabled increments are dropped" 0 (Obs.Counter.value c);
+  Obs.enable ();
+  Obs.count c;
+  Obs.add c 10;
+  Alcotest.(check int) "enabled increments accumulate" 11 (Obs.Counter.value c);
+  Obs.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Obs.Counter.value c);
+  Obs.disable ()
+
+let test_counter_registry () =
+  let a = Obs.Counter.make "test.same" in
+  let b = Obs.Counter.make "test.same" in
+  Alcotest.(check bool) "same name, same handle" true (a == b);
+  Alcotest.(check int)
+    "Metrics.value reads by name (0 after reset)"
+    (Obs.Counter.value a)
+    (Obs.Metrics.value "test.same")
+
+let test_histogram =
+  with_obs @@ fun () ->
+  let h = Obs.Histogram.make "test.hist" in
+  List.iter (Obs.observe h) [ 2.0; 4.0; 6.0 ];
+  let s = Obs.Histogram.stats h in
+  Alcotest.(check int) "n" 3 s.Obs.Histogram.n;
+  Alcotest.(check (float 1e-9)) "mean" 4.0 s.Obs.Histogram.mean;
+  Alcotest.(check (float 1e-9)) "min" 2.0 s.Obs.Histogram.min;
+  Alcotest.(check (float 1e-9)) "max" 6.0 s.Obs.Histogram.max
+
+(* --- trace export --- *)
+
+let sample_trace () =
+  Obs.with_span "root" (fun () ->
+      Obs.with_span ~attrs:[ ("key", "va\"lue\n") ] "child" (fun () -> ()));
+  Obs.with_span "tail" (fun () -> ());
+  Obs.finished_spans ()
+
+let test_chrome_trace_valid_json =
+  with_obs @@ fun () ->
+  let spans = sample_trace () in
+  let text = Obs.Trace_export.to_chrome spans in
+  match parse_json text with
+  | Arr events ->
+      Alcotest.(check int) "one X event per span" 3 (List.length events);
+      List.iter
+        (fun e ->
+          (match member "ph" e with
+          | Some (Str "X") -> ()
+          | _ -> Alcotest.fail "every event is a complete (X) event");
+          (match member "dur" e with
+          | Some (Num d) ->
+              Alcotest.(check bool) "dur >= 0" true (d >= 0.)
+          | _ -> Alcotest.fail "event lacks dur");
+          match member "ts" e with
+          | Some (Num _) -> ()
+          | _ -> Alcotest.fail "event lacks ts")
+        events;
+      let names =
+        List.filter_map
+          (fun e ->
+            match member "name" e with Some (Str s) -> Some s | _ -> None)
+          events
+      in
+      Alcotest.(check (list string))
+        "preorder: parent before child" [ "root"; "child"; "tail" ] names;
+      (* Nesting is encoded by interval containment for X events. *)
+      let find name =
+        List.find
+          (fun e -> member "name" e = Some (Str name))
+          events
+      in
+      let num k e = match member k e with Some (Num f) -> f | _ -> nan in
+      let root = find "root" and child = find "child" in
+      Alcotest.(check bool) "child interval inside root interval" true
+        (num "ts" child >= num "ts" root
+        && num "ts" child +. num "dur" child
+           <= num "ts" root +. num "dur" root +. 1.0 (* μs rounding *));
+      (* Attribute escaping survives a JSON round-trip. *)
+      (match member "args" child with
+      | Some (Obj [ ("key", Str v) ]) ->
+          Alcotest.(check string) "escaped attr value" "va\"lue\n" v
+      | _ -> Alcotest.fail "child lacks args")
+  | _ -> Alcotest.fail "chrome trace is not a JSON array
+
+"
+
+let test_json_lines_valid =
+  with_obs @@ fun () ->
+  let spans = sample_trace () in
+  let lines =
+    Obs.Trace_export.to_json_lines spans
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  Alcotest.(check int) "one line per span" 3 (List.length lines);
+  let depths =
+    List.map
+      (fun l ->
+        match member "depth" (parse_json l) with
+        | Some (Num d) -> int_of_float d
+        | _ -> Alcotest.fail "line lacks depth")
+      lines
+  in
+  Alcotest.(check (list int)) "depths" [ 0; 1; 0 ] depths
+
+let test_text_export =
+  with_obs @@ fun () ->
+  let spans = sample_trace () in
+  let text = Obs.Trace_export.to_text spans in
+  Alcotest.(check bool) "mentions root" true
+    (String.length text > 0
+    && String.split_on_char '\n' text
+       |> List.exists (fun l -> String.length l > 0 && l.[0] <> ' '))
+
+(* --- integration with the pipeline --- *)
+
+let test_pipeline_counters =
+  with_obs @@ fun () ->
+  let db = Paperdata.Figure1.database in
+  let m = Paperdata.Running.mapping in
+  let exs = Clio.Mapping_eval.examples db m in
+  Alcotest.(check bool) "examples computed" true (List.length exs > 0);
+  Alcotest.(check bool) "nonzero fulldisj.subsumption_checks" true
+    (Obs.Metrics.value "fulldisj.subsumption_checks" > 0);
+  Alcotest.(check int) "examples counter matches result"
+    (List.length exs)
+    (Obs.Metrics.value "mapping_eval.examples");
+  (* Spans of the whole evaluation pipeline are present and nested. *)
+  match Obs.finished_spans () with
+  | [ root ] ->
+      Alcotest.(check string) "root span" "mapping_eval.examples"
+        (Obs.Span.name root);
+      let rec names s =
+        Obs.Span.name s :: List.concat_map names (Obs.Span.children s)
+      in
+      let all = names root in
+      List.iter
+        (fun expected ->
+          Alcotest.(check bool) (expected ^ " span present") true
+            (List.mem expected all))
+        [
+          "mapping_eval.data_associations";
+          "fulldisj.compute";
+          "fulldisj.min_union";
+        ]
+  | roots ->
+      Alcotest.failf "expected one root span, got %d" (List.length roots)
+
+let test_pipeline_disabled_is_silent () =
+  Obs.disable ();
+  Obs.reset ();
+  let db = Paperdata.Figure1.database in
+  let m = Paperdata.Running.mapping in
+  ignore (Clio.Mapping_eval.examples db m);
+  Alcotest.(check int) "no counters when disabled" 0
+    (List.length (Obs.Metrics.snapshot ()).Obs.Metrics.counters);
+  Alcotest.(check int) "no spans when disabled" 0
+    (List.length (Obs.finished_spans ()))
+
+let test_names_are_authoritative () =
+  (* Every counter the bench/CLI read by name is registered by Obs.Names. *)
+  List.iter
+    (fun c ->
+      match Obs.Counter.find (Obs.Counter.name c) with
+      | Some c' -> Alcotest.(check bool) "registered" true (c == c')
+      | None -> Alcotest.failf "%s not registered" (Obs.Counter.name c))
+    [
+      Obs.Names.subsumption_checks;
+      Obs.Names.index_probes;
+      Obs.Names.eval_examples;
+      Obs.Names.chase_occurrences;
+      Obs.Names.illustration_selected;
+    ]
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "obs"
+    [
+      ( "span",
+        [
+          tc "nesting and ordering" `Quick test_span_nesting;
+          tc "sequential roots" `Quick test_span_sequencing;
+          tc "exception safety" `Quick test_span_exception_safety;
+          tc "attributes" `Quick test_span_attrs;
+          tc "disabled records nothing" `Quick test_span_disabled;
+        ] );
+      ( "counter",
+        [
+          tc "enable/disable totals" `Quick test_counter_enable_disable;
+          tc "registry dedups handles" `Quick test_counter_registry;
+          tc "histogram stats" `Quick test_histogram;
+          tc "names are authoritative" `Quick test_names_are_authoritative;
+        ] );
+      ( "export",
+        [
+          tc "chrome trace is valid JSON of X events" `Quick
+            test_chrome_trace_valid_json;
+          tc "json lines parse with depths" `Quick test_json_lines_valid;
+          tc "text export" `Quick test_text_export;
+        ] );
+      ( "pipeline",
+        [
+          tc "paper-db examples emit counters and spans" `Quick
+            test_pipeline_counters;
+          tc "disabled pipeline is silent" `Quick
+            test_pipeline_disabled_is_silent;
+        ] );
+    ]
