@@ -1,0 +1,83 @@
+(* Diff two bench JSON documents and fail on regression.
+
+   Usage:  compare BASELINE.json CURRENT.json
+             [--time-tol R] [--counter-tol R] [--alloc-tol R]
+             [--report-only]
+
+   Prints the per-metric diff tables (time, counters, allocation) and
+   exits 0 when no tracked metric regressed beyond tolerance (or with
+   --report-only, always), 1 on regression, 2 on unusable input.  The
+   diff itself lives in Obs.Bench_compare; this is only the CLI. *)
+
+let usage () =
+  prerr_endline
+    "usage: compare BASELINE.json CURRENT.json [--time-tol R] [--counter-tol \
+     R] [--alloc-tol R] [--report-only]";
+  exit 2
+
+let () =
+  let argv = Array.to_list Sys.argv |> List.tl in
+  let report_only = List.mem "--report-only" argv in
+  let tol_value name default =
+    let rec go = function
+      | a :: v :: _ when a = name -> (
+          match float_of_string_opt v with
+          | Some f when f > 0. -> f
+          | _ ->
+              Printf.eprintf "compare: %s needs a positive number, got %S\n"
+                name v;
+              exit 2)
+      | _ :: rest -> go rest
+      | [] -> default
+    in
+    go argv
+  in
+  let tolerance =
+    let d = Obs.Bench_compare.default_tolerance in
+    {
+      Obs.Bench_compare.time = tol_value "--time-tol" d.Obs.Bench_compare.time;
+      counter = tol_value "--counter-tol" d.Obs.Bench_compare.counter;
+      alloc = tol_value "--alloc-tol" d.Obs.Bench_compare.alloc;
+    }
+  in
+  let takes_value a =
+    List.mem a [ "--time-tol"; "--counter-tol"; "--alloc-tol" ]
+  in
+  let rec positional = function
+    | [] -> []
+    | a :: _ :: rest when takes_value a -> positional rest
+    | a :: rest when String.length a >= 2 && String.sub a 0 2 = "--" ->
+        positional rest
+    | a :: rest -> a :: positional rest
+  in
+  let files = positional argv in
+  match files with
+  | [ baseline_file; current_file ] ->
+      let load file =
+        let contents =
+          try
+            let ic = open_in_bin file in
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            close_in ic;
+            s
+          with Sys_error msg ->
+            Printf.eprintf "compare: %s\n" msg;
+            exit 2
+        in
+        match Obs.Json.parse contents with
+        | Ok j -> j
+        | Error msg ->
+            Printf.eprintf "compare: %s: %s\n" file msg;
+            exit 2
+      in
+      let baseline = load baseline_file in
+      let current = load current_file in
+      (match Obs.Bench_compare.diff ~tolerance ~baseline ~current () with
+      | Error msg ->
+          Printf.eprintf "compare: %s\n" msg;
+          exit 2
+      | Ok outcome ->
+          print_string outcome.Obs.Bench_compare.report;
+          exit (Obs.Bench_compare.exit_code ~report_only outcome))
+  | _ -> usage ()

@@ -16,16 +16,45 @@
       illustration selection, walk enumeration, chase scans, end-to-end
       mapping evaluation, FK mining, and illustration evolution.
 
-   3. Operator-counter tables (lib/obs): the same workloads run once with
-      observability enabled, reporting subsumption checks, index probes and
-      rows scanned per algorithm — the algorithmic explanation of the
-      timings in part 2.
+   3. Operator-counter and allocation tables (lib/obs): the same workloads
+      run once with observability enabled, reporting subsumption checks,
+      index probes, rows scanned and GC words allocated per algorithm —
+      the algorithmic explanation of the timings in part 2.
 
-   Pass --no-figures, --no-bench or --no-stats to skip a part. *)
+   Pass --no-figures, --no-bench or --no-stats to skip a part.
+
+   Machine-readable output: --label NAME and/or --out FILE additionally
+   write a bench JSON document (BENCH_<label>.json by default) combining
+   the part-2 Bechamel timings with the part-3 operator counters,
+   histogram percentiles and allocation stats, in the schema consumed by
+   bench/compare.exe.  --quick shrinks workload sizes and measurement
+   quotas for CI smoke runs (bench/baseline.json is a --quick capture). *)
 
 open Bechamel
 open Relational
 module Qgraph = Querygraph.Qgraph
+
+let argv = Array.to_list Sys.argv
+
+(* "--name VALUE" or "--name=VALUE". *)
+let flag_value name =
+  let prefix = name ^ "=" in
+  let starts_with p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  let rec go = function
+    | [] -> None
+    | a :: v :: _ when a = name -> Some v
+    | a :: rest ->
+        if starts_with prefix a then
+          Some (String.sub a (String.length prefix) (String.length a - String.length prefix))
+        else go rest
+  in
+  go argv
+
+let quick = List.mem "--quick" argv
+let label = flag_value "--label"
+let out_file = flag_value "--out"
 
 let seeded seed = Random.State.make [| seed |]
 
@@ -36,7 +65,7 @@ let minunion_input size =
   Synth.Gen_db.sparse_tuples (seeded 42) ~rows:size ~arity:6 ~null_prob:0.45 ~domain:8
   |> List.filteri (fun _ t -> not (Tuple.all_null t))
 
-let minunion_sizes = [ 100; 400; 1600 ]
+let minunion_sizes = if quick then [ 100; 400 ] else [ 100; 400; 1600 ]
 
 let minunion_tests =
   let input = minunion_input in
@@ -85,7 +114,8 @@ let minunion_tests =
 
 (* --- B2: full disjunction — naive vs indexed vs outer-join plan --- *)
 
-let fulldisj_configs = [ (3, 150); (4, 150); (5, 100) ]
+let fulldisj_configs =
+  if quick then [ (3, 60); (4, 60) ] else [ (3, 150); (4, 150); (5, 100) ]
 
 let fulldisj_tests =
   let configs = fulldisj_configs in
@@ -162,6 +192,8 @@ let walk_tests =
 
 (* --- B5: chase scans (full scan vs prebuilt inverted index) --- *)
 
+let chase_sizes = if quick then [ 500; 2000 ] else [ 500; 2000; 8000 ]
+
 let chase_tests =
   List.concat_map
     (fun rows ->
@@ -190,7 +222,7 @@ let chase_tests =
           ~name:(Printf.sprintf "chase/index-build/rows%d" rows)
           (Staged.stage (fun () -> ignore (Value_index.build db)));
       ])
-    [ 500; 2000; 8000 ]
+    chase_sizes
 
 (* --- B6: end-to-end mapping evaluation (paper database) --- *)
 
@@ -212,6 +244,8 @@ let mapping_tests =
 
 (* --- B7: inclusion-dependency mining --- *)
 
+let mine_sizes = if quick then [ 200 ] else [ 200; 800 ]
+
 let mine_tests =
   List.map
     (fun rows ->
@@ -220,7 +254,7 @@ let mine_tests =
         ~name:(Printf.sprintf "mine/rows%d" rows)
         (Staged.stage (fun () ->
              ignore (Schemakb.Mine.inclusion_dependencies inst.Synth.Gen_graph.db))))
-    [ 200; 800 ]
+    mine_sizes
 
 (* --- B8: illustration evolution after a walk --- *)
 
@@ -341,7 +375,9 @@ let run_benchmarks () =
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if quick then 0.1 else 0.5))
+      ~stabilize:false ()
   in
   let results = ref [] in
   List.iter
@@ -368,80 +404,219 @@ let run_benchmarks () =
   in
   Printf.printf "%-32s %12s\n" "benchmark" "time/run";
   Printf.printf "%s\n" (String.make 46 '-');
-  List.iter (fun (name, ns) -> Printf.printf "%-32s %12s\n" name (pretty ns)) sorted
+  List.iter (fun (name, ns) -> Printf.printf "%-32s %12s\n" name (pretty ns)) sorted;
+  sorted
 
-(* --- operator-counter tables (part 3) ---
+(* --- measured workloads (part 3) ---
 
-   Each workload runs once with observability on; the reported counters are
-   exact operation counts, independent of machine noise.  Counter keys come
-   from Obs.Names, the same authoritative list the pipeline increments. *)
+   Each workload runs exactly once with observability on, under a root
+   span, capturing (a) the operator counters — exact operation counts,
+   independent of machine noise, (b) the GC allocation delta of the whole
+   workload, and (c) the span-duration histograms with percentiles.  The
+   printed tables and the bench JSON document both read from this one
+   registry, so a workload never runs twice.  Counter keys come from
+   Obs.Names, the same authoritative list the pipeline increments. *)
 
-let counters_of f =
+type measurement = {
+  counters : (string * int) list;
+  hists : (string * Obs.Histogram.stats) list;
+  alloc : Obs.Span.alloc;
+}
+
+let measured : (string * measurement) list ref = ref []
+
+let measure name f =
   Obs.enable ();
   Obs.reset ();
-  ignore (f ());
-  let snap = (Obs.Metrics.snapshot ()).Obs.Metrics.counters in
+  Obs.Span.with_span "workload" (fun () -> ignore (f ()));
+  let snap = Obs.Metrics.snapshot () in
+  let alloc =
+    match Obs.finished_spans () with
+    | [ root ] -> Obs.Span.alloc root
+    | _ ->
+        { Obs.Span.minor_words = 0.; major_words = 0.; promoted_words = 0. }
+  in
   Obs.disable ();
   Obs.reset ();
-  snap
+  measured :=
+    ( name,
+      {
+        counters = snap.Obs.Metrics.counters;
+        hists =
+          (* The synthetic root would otherwise pollute the per-span data. *)
+          List.filter
+            (fun (n, _) -> n <> "span.workload")
+            snap.Obs.Metrics.histograms;
+        alloc;
+      } )
+    :: !measured
 
-let counter snap c =
-  match List.assoc_opt (Obs.Counter.name c) snap with Some v -> v | None -> 0
+let measurement_of name =
+  match List.assoc_opt name !measured with
+  | Some m -> m
+  | None ->
+      {
+        counters = [];
+        hists = [];
+        alloc = { Obs.Span.minor_words = 0.; major_words = 0.; promoted_words = 0. };
+      }
+
+let counter name c =
+  match
+    List.assoc_opt (Obs.Counter.name c) (measurement_of name).counters
+  with
+  | Some v -> v
+  | None -> 0
+
+(* The instrumented workload list, covering B1–B8.  Names are stable: they
+   key the printed tables, the "workloads" section of the bench JSON, and
+   therefore the baseline comparisons across commits. *)
+let workloads : (string * (unit -> unit)) list =
+  (* B1: subsumption removal, per algorithm and size. *)
+  List.concat_map
+    (fun size ->
+      let tuples = minunion_input size in
+      List.map
+        (fun (name, f) ->
+          (Printf.sprintf "minunion/%s/%d" name size, fun () -> ignore (f tuples)))
+        [
+          ("naive", Fulldisj.Min_union.remove_subsumed_naive);
+          ("indexed", Fulldisj.Min_union.remove_subsumed);
+          ("first-probe", Fulldisj.Min_union.remove_subsumed_first_probe);
+        ])
+    minunion_sizes
+  (* B2: full disjunction, per algorithm and chain shape. *)
+  @ List.concat_map
+      (fun (n, rows) ->
+        let inst =
+          Synth.Gen_graph.chain (seeded 7) ~n ~rows ~null_prob:0.25
+            ~orphan_prob:0.2 ()
+        in
+        let lookup = Database.find inst.Synth.Gen_graph.db in
+        let g = inst.Synth.Gen_graph.graph in
+        List.map
+          (fun (name, f) ->
+            (Printf.sprintf "fulldisj/%s/n%d-r%d" name n rows, fun () -> f ~lookup g))
+          [
+            ( "naive",
+              fun ~lookup g -> ignore (Fulldisj.Full_disjunction.naive ~lookup g) );
+            ( "indexed",
+              fun ~lookup g -> ignore (Fulldisj.Full_disjunction.compute ~lookup g)
+            );
+            ( "outerjoin",
+              fun ~lookup g ->
+                ignore (Fulldisj.Outerjoin_plan.full_disjunction ~lookup g) );
+          ])
+      fulldisj_configs
+  (* B3/B6: end-to-end illustration on the paper mapping. *)
+  @ [
+      ( "illustrate/paper",
+        fun () ->
+          ignore (Clio.illustrate Paperdata.Figure1.database Paperdata.Running.mapping)
+      );
+    ]
+  (* B4: walk enumeration on the widest star. *)
+  @ [
+      ( "walk/leaves8-len3",
+        let inst = Synth.Gen_graph.star (seeded 11) ~leaves:8 ~rows:10 () in
+        let m =
+          Clio.Mapping.make
+            ~graph:(Qgraph.singleton ~alias:"Fact" ~base:"Fact")
+            ~target:"T" ~target_cols:[ "x" ] ()
+        in
+        fun () ->
+          ignore
+            (Clio.Op_walk.data_walk ~kb:inst.Synth.Gen_graph.kb m ~start:"Fact"
+               ~goal:"D8" ~max_len:3 ()) );
+    ]
+  (* B5: chase scans, per size. *)
+  @ List.map
+      (fun rows ->
+        let inst = Synth.Gen_graph.chain (seeded 13) ~n:4 ~rows () in
+        let db = inst.Synth.Gen_graph.db in
+        let m =
+          Clio.Mapping.make
+            ~graph:(Qgraph.singleton ~alias:"R1" ~base:"R1")
+            ~target:"T" ~target_cols:[ "x" ] ()
+        in
+        ( Printf.sprintf "chase/rows%d" rows,
+          fun () ->
+            ignore
+              (Clio.Op_chase.chase db m ~attr:(Attr.make "R1" "id")
+                 ~value:(Value.Int (rows / 2))) ))
+      chase_sizes
+  (* B6: end-to-end mapping evaluation on the paper database. *)
+  @ [
+      ( "mapping/eval-section2",
+        fun () ->
+          ignore
+            (Clio.Mapping_eval.eval Paperdata.Figure1.database
+               Paperdata.Running.section2_mapping) );
+    ]
+  (* B7: inclusion-dependency mining, per size. *)
+  @ List.map
+      (fun rows ->
+        let inst = Synth.Gen_graph.star (seeded 17) ~leaves:5 ~rows () in
+        ( Printf.sprintf "mine/rows%d" rows,
+          fun () ->
+            ignore (Schemakb.Mine.inclusion_dependencies inst.Synth.Gen_graph.db)
+        ))
+      mine_sizes
+  (* B8: illustration evolution after a walk. *)
+  @ [
+      ( "evolve/walk-extension",
+        let db = Paperdata.Figure1.database in
+        let kb = Paperdata.Figure1.kb in
+        let old_m = Paperdata.Running.mapping_g1 in
+        fun () ->
+          let old_ill = Clio.illustrate db old_m in
+          let new_m =
+            (List.hd
+               (Clio.Op_walk.data_walk ~kb old_m ~start:"Children"
+                  ~goal:"PhoneDir" ~max_len:2 ()))
+              .Clio.Op_walk.mapping
+          in
+          ignore
+            (Clio.Evolution.evolve db ~old_mapping:old_m
+               ~old_illustration:old_ill new_m) );
+    ]
+
+let run_measurements () = List.iter (fun (name, f) -> measure name f) workloads
 
 let counter_table ~title ~columns rows =
   print_endline title;
   print_newline ();
   let width =
-    List.fold_left (fun w (label, _) -> max w (String.length label)) 8 rows
+    List.fold_left (fun w label -> max w (String.length label)) 8 rows
   in
   Printf.printf "%-*s" width "workload";
   List.iter (fun (h, _) -> Printf.printf " %16s" h) columns;
   print_newline ();
   Printf.printf "%s\n" (String.make (width + (17 * List.length columns)) '-');
   List.iter
-    (fun (label, snap) ->
+    (fun label ->
       Printf.printf "%-*s" width label;
-      List.iter (fun (_, c) -> Printf.printf " %16d" (counter snap c)) columns;
+      List.iter (fun (_, c) -> Printf.printf " %16d" (counter label c)) columns;
       print_newline ())
     rows;
   print_newline ()
 
-let minunion_counter_tables () =
-  let variants =
-    [
-      ("naive", Fulldisj.Min_union.remove_subsumed_naive);
-      ("indexed", Fulldisj.Min_union.remove_subsumed);
-      ("first-probe", Fulldisj.Min_union.remove_subsumed_first_probe);
-    ]
-  in
-  counter_table
-    ~title:"B1 — subsumption removal: exact work per algorithm"
+let workload_names prefix =
+  List.filter
+    (fun (name, _) ->
+      String.length name >= String.length prefix
+      && String.sub name 0 (String.length prefix) = prefix)
+    workloads
+  |> List.map fst
+
+let run_counter_tables () =
+  counter_table ~title:"B1 — subsumption removal: exact work per algorithm"
     ~columns:
       [
         ("subs.checks", Obs.Names.subsumption_checks);
         ("index.probes", Obs.Names.index_probes);
       ]
-    (List.concat_map
-       (fun size ->
-         let tuples = minunion_input size in
-         List.map
-           (fun (name, f) ->
-             ( Printf.sprintf "minunion/%s/%d" name size,
-               counters_of (fun () -> f tuples) ))
-           variants)
-       minunion_sizes)
-
-let fulldisj_counter_tables () =
-  let algos =
-    [
-      ("naive", fun ~lookup g -> ignore (Fulldisj.Full_disjunction.naive ~lookup g));
-      ( "indexed",
-        fun ~lookup g -> ignore (Fulldisj.Full_disjunction.compute ~lookup g) );
-      ( "outerjoin",
-        fun ~lookup g ->
-          ignore (Fulldisj.Outerjoin_plan.full_disjunction ~lookup g) );
-    ]
-  in
+    (workload_names "minunion/");
   counter_table
     ~title:
       "B2/B3 — full disjunction D(G): exact work per algorithm (chain graphs)"
@@ -452,22 +627,7 @@ let fulldisj_counter_tables () =
         ("assoc.considered", Obs.Names.assoc_considered);
         ("join.rows_out", Obs.Names.join_rows_out);
       ]
-    (List.concat_map
-       (fun (n, rows) ->
-         let inst =
-           Synth.Gen_graph.chain (seeded 7) ~n ~rows ~null_prob:0.25
-             ~orphan_prob:0.2 ()
-         in
-         let lookup = Database.find inst.Synth.Gen_graph.db in
-         let g = inst.Synth.Gen_graph.graph in
-         List.map
-           (fun (name, f) ->
-             ( Printf.sprintf "fulldisj/%s/n%d-r%d" name n rows,
-               counters_of (fun () -> f ~lookup g) ))
-           algos)
-       fulldisj_configs)
-
-let chase_counter_tables () =
+    (workload_names "fulldisj/");
   counter_table
     ~title:"B5 — chase: occurrences scanned up vs alternatives offered"
     ~columns:
@@ -475,45 +635,96 @@ let chase_counter_tables () =
         ("occurrences", Obs.Names.chase_occurrences);
         ("alternatives", Obs.Names.chase_alternatives);
       ]
-    (List.map
-       (fun rows ->
-         let inst = Synth.Gen_graph.chain (seeded 13) ~n:4 ~rows () in
-         let db = inst.Synth.Gen_graph.db in
-         let m =
-           Clio.Mapping.make
-             ~graph:(Qgraph.singleton ~alias:"R1" ~base:"R1")
-             ~target:"T" ~target_cols:[ "x" ] ()
-         in
-         ( Printf.sprintf "chase/rows%d" rows,
-           counters_of (fun () ->
-               Clio.Op_chase.chase db m ~attr:(Attr.make "R1" "id")
-                 ~value:(Value.Int (rows / 2))) ))
-       [ 500; 2000; 8000 ])
-
-let illustration_counter_tables () =
-  let db = Paperdata.Figure1.database in
-  let m = Paperdata.Running.mapping in
-  counter_table
-    ~title:"B3/B6 — end-to-end illustration on the paper mapping"
+    (workload_names "chase/");
+  counter_table ~title:"B3/B6 — end-to-end illustration on the paper mapping"
     ~columns:
       [
         ("examples", Obs.Names.eval_examples);
         ("ill.candidates", Obs.Names.illustration_candidates);
         ("ill.selected", Obs.Names.illustration_selected);
       ]
-    [ ("illustrate/paper", counters_of (fun () -> Clio.illustrate db m)) ]
+    [ "illustrate/paper" ];
+  (* Allocation per workload: the memory-side counterpart of part 2. *)
+  let names = List.map fst workloads in
+  let width =
+    List.fold_left (fun w n -> max w (String.length n)) 8 names
+  in
+  print_endline "B1–B8 — GC allocation per workload (words)";
+  print_newline ();
+  Printf.printf "%-*s %14s %14s %14s\n" width "workload" "minor" "major"
+    "promoted";
+  Printf.printf "%s\n" (String.make (width + 45) '-');
+  List.iter
+    (fun name ->
+      let a = (measurement_of name).alloc in
+      Printf.printf "%-*s %14.0f %14.0f %14.0f\n" width name
+        a.Obs.Span.minor_words a.Obs.Span.major_words a.Obs.Span.promoted_words)
+    names;
+  print_newline ()
 
-let run_counter_tables () =
-  minunion_counter_tables ();
-  fulldisj_counter_tables ();
-  chase_counter_tables ();
-  illustration_counter_tables ()
+(* --- bench JSON (consumed by bench/compare.exe) ---
+
+   {
+     "schema_version": 1, "kind": "bench", "label": ...,
+     "environment": { ... as Metrics_export ... },
+     "benchmarks": { "<bechamel test>": { "time_ns": ... }, ... },
+     "workloads":  { "<workload>": { "counters": {...}, "alloc": {...},
+                                     "histograms": {...} }, ... }
+   } *)
+
+let bench_json ~label ~times =
+  let open Obs.Json in
+  let workload_json (m : measurement) =
+    Obj
+      [
+        ( "counters",
+          Obj (List.map (fun (k, v) -> (k, Num (float_of_int v))) m.counters) );
+        ( "alloc",
+          Obj
+            [
+              ("minor_words", Num m.alloc.Obs.Span.minor_words);
+              ("major_words", Num m.alloc.Obs.Span.major_words);
+              ("promoted_words", Num m.alloc.Obs.Span.promoted_words);
+            ] );
+        ( "histograms",
+          Obj
+            (List.map
+               (fun (k, s) -> (k, Obs.Metrics_export.histogram_json s))
+               m.hists) );
+      ]
+  in
+  Obj
+    [
+      ("schema_version", Num 1.);
+      ("kind", Str "bench");
+      ("label", Str label);
+      ("quick", Bool quick);
+      ( "environment",
+        Obj
+          (List.map
+             (fun (k, v) -> (k, Str v))
+             (Obs.Metrics_export.environment ())) );
+      ( "benchmarks",
+        Obj
+          (List.map (fun (name, ns) -> (name, Obj [ ("time_ns", Num ns) ])) times)
+      );
+      ( "workloads",
+        Obj
+          (List.rev_map (fun (name, m) -> (name, workload_json m)) !measured) );
+    ]
+
+let write_bench_json ~label ~file ~times =
+  let oc = open_out file in
+  output_string oc (Obs.Json.to_string_pretty (bench_json ~label ~times));
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "bench json written to %s\n" file
 
 let () =
-  let args = Array.to_list Sys.argv in
-  let figures = not (List.mem "--no-figures" args) in
-  let bench = not (List.mem "--no-bench" args) in
-  let stats = not (List.mem "--no-stats" args) in
+  let figures = not (List.mem "--no-figures" argv) in
+  let bench = not (List.mem "--no-bench" argv) in
+  let stats = not (List.mem "--no-stats" argv) in
+  let json = label <> None || out_file <> None in
   if figures then begin
     print_endline "######################################################";
     print_endline "# Part 1: paper evaluation — figures and examples   #";
@@ -523,15 +734,30 @@ let () =
         Printf.printf "==== %s — %s ====\n%s\n\n" id descr (render ()))
       Paperdata.Report.all
   end;
-  if bench then begin
-    print_endline "######################################################";
-    print_endline "# Part 2: performance benchmarks (B1-B8)            #";
-    print_endline "######################################################\n";
-    run_benchmarks ()
+  let times =
+    if bench || json then begin
+      print_endline "######################################################";
+      print_endline "# Part 2: performance benchmarks (B1-B8)            #";
+      print_endline "######################################################\n";
+      run_benchmarks ()
+    end
+    else []
+  in
+  if stats || json then begin
+    run_measurements ();
+    if stats then begin
+      print_endline "######################################################";
+      print_endline "# Part 3: operator counters & allocation (lib/obs)  #";
+      print_endline "######################################################\n";
+      run_counter_tables ()
+    end
   end;
-  if stats then begin
-    print_endline "######################################################";
-    print_endline "# Part 3: operator counters (lib/obs)               #";
-    print_endline "######################################################\n";
-    run_counter_tables ()
+  if json then begin
+    let label = Option.value label ~default:"run" in
+    let file =
+      match out_file with
+      | Some f -> f
+      | None -> Printf.sprintf "BENCH_%s.json" label
+    in
+    write_bench_json ~label ~file ~times
   end

@@ -19,8 +19,10 @@
 
    Every subcommand additionally accepts the observability flags
    --trace[=FILE] (record spans, write Chrome trace-event JSON; default
-   file trace.json) and --stats (print the operator counters and span
-   duration histograms afterwards). *)
+   file trace.json), --stats (print the operator counters and span
+   duration histograms afterwards) and --metrics[=FILE] (write the full
+   metrics state — counters, histogram percentiles, span durations and
+   GC allocation, environment — as JSON; default file metrics.json). *)
 
 open Relational
 open Cmdliner
@@ -32,13 +34,18 @@ open Cmdliner
    [clio_cli --trace=/tmp/t.json illustrate] and
    [clio_cli illustrate --stats] work. *)
 
-type obs_opts = { trace : string option; stats : bool }
+type obs_opts = { trace : string option; stats : bool; metrics : string option }
 
 let extract_obs_flags argv =
-  let trace = ref None and stats = ref false in
+  let trace = ref None and stats = ref false and metrics = ref None in
   let starts_with prefix s =
     String.length s >= String.length prefix
     && String.equal (String.sub s 0 (String.length prefix)) prefix
+  in
+  let value_of arg =
+    (* "--flag=VALUE" -> VALUE *)
+    let eq = String.index arg '=' in
+    String.sub arg (eq + 1) (String.length arg - eq - 1)
   in
   let keep =
     Array.to_list argv
@@ -52,13 +59,20 @@ let extract_obs_flags argv =
              false
            end
            else if starts_with "--trace=" arg then begin
-             trace :=
-               Some (String.sub arg 8 (String.length arg - 8));
+             trace := Some (value_of arg);
+             false
+           end
+           else if String.equal arg "--metrics" then begin
+             metrics := Some "metrics.json";
+             false
+           end
+           else if starts_with "--metrics=" arg then begin
+             metrics := Some (value_of arg);
              false
            end
            else true)
   in
-  (Array.of_list keep, { trace = !trace; stats = !stats })
+  (Array.of_list keep, { trace = !trace; stats = !stats; metrics = !metrics })
 
 let database data_dir =
   match data_dir with
@@ -303,6 +317,35 @@ let stats_cmd =
     print_endline "End-to-end `illustrate` rollup (indexed algorithm):";
     print_newline ();
     print_endline (Obs.report ());
+    (* Lineage rollup: provenance + why-null of a real target row, so the
+       explain.* counters (derivations enumerated, tuples matched) are
+       visible next to the evaluation counters. *)
+    Obs.reset ();
+    let exs = Clio.Mapping_eval.examples db m in
+    (match
+       List.find_opt (fun e -> e.Clio.Example.positive) exs
+     with
+    | None -> ()
+    | Some e ->
+        let t = e.Clio.Example.target_tuple in
+        let null_col =
+          (* Prefer a column that is actually null in the row. *)
+          let cols = m.Clio.Mapping.target_cols in
+          let rec pick i = function
+            | [] -> List.nth_opt cols 0
+            | c :: rest ->
+                if Value.is_null (Tuple.get t i) then Some c
+                else pick (i + 1) rest
+          in
+          pick 0 cols
+        in
+        ignore (Clio.Explain.of_target_tuple db m t);
+        Option.iter (fun col -> ignore (Clio.Explain.why_null db m t col)) null_col;
+        print_newline ();
+        Printf.printf "Lineage rollup (`explain` on target row %s):\n"
+          (Tuple.to_string t);
+        print_newline ();
+        print_endline (Obs.Metrics.render_counters ()));
     Obs.disable ();
     Obs.reset ()
   in
@@ -378,7 +421,7 @@ let repl_cmd =
 
 let () =
   let argv, obs = extract_obs_flags Sys.argv in
-  if obs.trace <> None || obs.stats then Obs.enable ();
+  if obs.trace <> None || obs.stats || obs.metrics <> None then Obs.enable ();
   let man =
     [
       `S Manpage.s_common_options;
@@ -389,6 +432,11 @@ let () =
       `P
         "$(b,--stats) prints the operator counters and span-duration \
          histograms after any subcommand.";
+      `P
+        "$(b,--metrics)[$(b,=)$(i,FILE)] writes the full metrics state \
+         (counters, histogram percentiles, per-span durations and GC \
+         allocation, environment) as JSON (default $(i,metrics.json)) \
+         after any subcommand.";
     ]
   in
   let info =
@@ -425,6 +473,18 @@ let () =
           code
         with Sys_error msg ->
           Printf.eprintf "clio_cli: cannot write trace: %s\n" msg;
+          max code 1)
+    | None -> code
+  in
+  let code =
+    match obs.metrics with
+    | Some file -> (
+        try
+          Obs.write_metrics file;
+          Printf.eprintf "metrics written to %s\n" file;
+          code
+        with Sys_error msg ->
+          Printf.eprintf "clio_cli: cannot write metrics: %s\n" msg;
           max code 1)
     | None -> code
   in

@@ -2,7 +2,10 @@
 
    Usage:  figures            — print everything
            figures fig8 sql   — print selected experiments
-           figures --list     — list available experiment ids *)
+           figures --list     — list available experiment ids
+           figures --stats    — additionally print the Obs counter/histogram
+                                rollup of the run (CI watches this for
+                                operator-count drift) *)
 
 let print_one (id, descr, render) =
   Printf.printf "=============================================================\n";
@@ -12,13 +15,17 @@ let print_one (id, descr, render) =
   print_newline ()
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [ "--list" ] ->
+  let args = Array.to_list Sys.argv |> List.tl in
+  let stats = List.mem "--stats" args in
+  let args = List.filter (fun a -> a <> "--stats") args in
+  if stats then Obs.enable ();
+  (match args with
+  | [ "--list" ] ->
       List.iter
         (fun (id, descr, _) -> Printf.printf "%-6s %s\n" id descr)
         Paperdata.Report.all
-  | [] | [ _ ] -> List.iter print_one Paperdata.Report.all
-  | _ :: ids ->
+  | [] -> List.iter print_one Paperdata.Report.all
+  | ids ->
       List.iter
         (fun id ->
           match
@@ -28,4 +35,10 @@ let () =
           | None ->
               Printf.eprintf "unknown experiment %s (try --list)\n" id;
               exit 1)
-        ids
+        ids);
+  if stats then begin
+    print_endline "=============================================================";
+    print_endline "Obs rollup of the figures run (--stats)";
+    print_endline "=============================================================";
+    print_endline (Obs.report ())
+  end

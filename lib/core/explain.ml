@@ -28,13 +28,23 @@ let provenance_of_example sch (e : Example.t) =
   { example = e; contributions }
 
 let of_target_tuple db (m : Mapping.t) target_tuple =
+  Obs.with_span Obs.Names.sp_explain @@ fun () ->
   let sch = scheme db m in
-  Mapping_eval.examples db m
-  |> List.filter (fun e ->
-         e.Example.positive && Tuple.equal e.Example.target_tuple target_tuple)
-  |> List.map (provenance_of_example sch)
+  let derivations =
+    Mapping_eval.examples db m
+    |> List.filter (fun e ->
+           Obs.count Obs.Names.explain_tuples_matched;
+           e.Example.positive && Tuple.equal e.Example.target_tuple target_tuple)
+    |> List.map (provenance_of_example sch)
+  in
+  if Obs.enabled () then begin
+    Obs.Counter.bump_by Obs.Names.explain_derivations (List.length derivations);
+    Obs.set_attr "derivations" (string_of_int (List.length derivations))
+  end;
+  derivations
 
 let why_null db (m : Mapping.t) target_tuple col =
+  Obs.with_span ~attrs:[ ("column", col) ] Obs.Names.sp_why_null @@ fun () ->
   let provs = of_target_tuple db m target_tuple in
   match Mapping.correspondence_for m col with
   | None -> List.map (fun p -> (p, Not_mapped)) provs

@@ -1,0 +1,207 @@
+(* Diff two bench JSON files (the BENCH_<label>.json documents written by
+   bench/main.exe) and decide whether any tracked metric regressed.
+
+   Tracked metrics, per benchmark/workload name present in BOTH files:
+   - "time"   — Bechamel time/run (ns) from the "benchmarks" section;
+   - "ctr:<counter>" — exact operator counts from "workloads.counters";
+   - "alloc"  — minor words allocated from "workloads.alloc".
+
+   A metric regresses when current/baseline exceeds its tolerance.
+   Counters are deterministic operation counts, so their tolerance is
+   tight by default; wall-clock and allocation get more slack.  Names
+   present in only one file are reported but never flagged — adding or
+   removing a benchmark is not a regression. *)
+
+type tolerance = { time : float; counter : float; alloc : float }
+
+let default_tolerance = { time = 1.50; counter = 1.02; alloc = 1.25 }
+
+type regression = {
+  name : string;  (** benchmark/workload name *)
+  metric : string;  (** ["time"], ["ctr:<counter>"] or ["alloc"] *)
+  baseline : float;
+  current : float;
+  ratio : float;
+  allowed : float;
+}
+
+type outcome = {
+  report : string;
+  regressions : regression list;
+  compared : int;  (** metrics compared (present in both files) *)
+  only_baseline : string list;  (** names missing from the current file *)
+  only_current : string list;  (** names new in the current file *)
+}
+
+let ( let* ) = Result.bind
+
+(* --- pulling sections out of a bench document --- *)
+
+let section doc k =
+  match Json.member k doc with Some o -> Json.obj_fields o | None -> []
+
+let times doc =
+  section doc "benchmarks"
+  |> List.filter_map (fun (name, o) ->
+         match Json.member "time_ns" o with
+         | Some (Json.Num f) -> Some (name, f)
+         | _ -> None)
+
+let workload_counters wl =
+  (match Json.member "counters" wl with Some o -> Json.obj_fields o | None -> [])
+  |> List.filter_map (fun (k, v) ->
+         match v with Json.Num f -> Some (k, f) | _ -> None)
+
+let workload_minor_words wl =
+  match Json.member "alloc" wl with
+  | Some a -> (
+      match Json.member "minor_words" a with
+      | Some (Json.Num f) -> Some f
+      | _ -> None)
+  | None -> None
+
+let check_kind doc file =
+  match Json.member "kind" doc with
+  | Some (Json.Str "bench") -> Ok ()
+  | Some (Json.Str k) ->
+      Error (Printf.sprintf "%s: expected a bench file, got kind %S" file k)
+  | _ -> Error (Printf.sprintf "%s: missing \"kind\": \"bench\"" file)
+
+let ratio ~baseline ~current =
+  if baseline > 0. then current /. baseline
+  else if current = 0. then 1.
+  else infinity
+
+(* --- the diff --- *)
+
+let pretty_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let diff ?(tolerance = default_tolerance) ~baseline ~current () =
+  let* () = check_kind baseline "baseline" in
+  let* () = check_kind current "current" in
+  let buf = Buffer.create 4096 in
+  let regressions = ref [] and compared = ref 0 in
+  let track ~name ~metric ~allowed ~base ~cur =
+    incr compared;
+    let r = ratio ~baseline:base ~current:cur in
+    if r > allowed then
+      regressions :=
+        { name; metric; baseline = base; current = cur; ratio = r; allowed }
+        :: !regressions;
+    r
+  in
+  let flag r allowed = if r > allowed then "  REGRESSED" else "" in
+
+  (* Time table. *)
+  let base_times = times baseline and cur_times = times current in
+  let shared_times =
+    List.filter_map
+      (fun (name, b) ->
+        Option.map (fun c -> (name, b, c)) (List.assoc_opt name cur_times))
+      base_times
+  in
+  if shared_times <> [] then begin
+    let width =
+      List.fold_left
+        (fun w (n, _, _) -> max w (String.length n))
+        9 shared_times
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%-*s %12s %12s %7s\n" width "benchmark" "baseline"
+         "current" "ratio");
+    Buffer.add_string buf (String.make (width + 34) '-');
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun (name, b, c) ->
+        let r = track ~name ~metric:"time" ~allowed:tolerance.time ~base:b ~cur:c in
+        Buffer.add_string buf
+          (Printf.sprintf "%-*s %12s %12s %7.2f%s\n" width name (pretty_ns b)
+             (pretty_ns c) r
+             (flag r tolerance.time)))
+      shared_times;
+    Buffer.add_char buf '\n'
+  end;
+
+  (* Counter and allocation tables, per workload. *)
+  let base_wl = section baseline "workloads"
+  and cur_wl = section current "workloads" in
+  let shared_wl =
+    List.filter_map
+      (fun (name, b) ->
+        Option.map (fun c -> (name, b, c)) (List.assoc_opt name cur_wl))
+      base_wl
+  in
+  if shared_wl <> [] then begin
+    let width =
+      List.fold_left (fun w (n, _, _) -> max w (String.length n)) 8 shared_wl
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%-*s %-28s %14s %14s %7s\n" width "workload" "metric"
+         "baseline" "current" "ratio");
+    Buffer.add_string buf (String.make (width + 67) '-');
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun (name, b, c) ->
+        let row metric allowed base cur =
+          let r = track ~name ~metric ~allowed ~base ~cur in
+          Buffer.add_string buf
+            (Printf.sprintf "%-*s %-28s %14.0f %14.0f %7.2f%s\n" width name
+               metric base cur r (flag r allowed))
+        in
+        let cur_counters = workload_counters c in
+        List.iter
+          (fun (cname, base) ->
+            match List.assoc_opt cname cur_counters with
+            | Some cur -> row ("ctr:" ^ cname) tolerance.counter base cur
+            | None -> ())
+          (workload_counters b);
+        match (workload_minor_words b, workload_minor_words c) with
+        | Some base, Some cur -> row "alloc" tolerance.alloc base cur
+        | _ -> ())
+      shared_wl;
+    Buffer.add_char buf '\n'
+  end;
+
+  let names assoc = List.map fst assoc in
+  let missing_in other = List.filter (fun n -> not (List.mem_assoc n other)) in
+  let only_baseline =
+    missing_in cur_times (names base_times)
+    @ missing_in cur_wl (names base_wl)
+  and only_current =
+    missing_in base_times (names cur_times)
+    @ missing_in base_wl (names cur_wl)
+  in
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "only in baseline (skipped): %s\n" n))
+    only_baseline;
+  List.iter
+    (fun n ->
+      Buffer.add_string buf (Printf.sprintf "only in current (skipped): %s\n" n))
+    only_current;
+
+  let regressions = List.rev !regressions in
+  Buffer.add_string buf
+    (match regressions with
+    | [] -> Printf.sprintf "OK: %d metrics compared, no regression\n" !compared
+    | rs ->
+        Printf.sprintf "FAIL: %d of %d metrics regressed beyond tolerance\n"
+          (List.length rs) !compared);
+  Ok
+    {
+      report = Buffer.contents buf;
+      regressions;
+      compared = !compared;
+      only_baseline;
+      only_current;
+    }
+
+(* Exit-code contract of bench/compare.exe: 0 = clean (or report-only),
+   1 = regression, 2 = unusable input (decided by the caller). *)
+let exit_code ~report_only outcome =
+  if report_only || outcome.regressions = [] then 0 else 1

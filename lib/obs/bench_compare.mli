@@ -1,0 +1,49 @@
+(** Diff two bench JSON documents (as written by [bench/main.exe]) and
+    decide whether any tracked metric regressed beyond tolerance.
+
+    Tracked metrics, per benchmark/workload present in both files: wall
+    time per run ([time]), exact operator counters ([ctr:<name>]) and
+    minor-heap allocation ([alloc]).  Names present in only one file are
+    reported but never flagged.  This module is pure (JSON in, outcome
+    out); [bench/compare.exe] is a thin CLI over it, which keeps the
+    regression/no-regression decision unit-testable. *)
+
+type tolerance = {
+  time : float;  (** max current/baseline wall-time ratio (default 1.50) *)
+  counter : float;
+      (** max counter ratio — counters are deterministic, so tight
+          (default 1.02) *)
+  alloc : float;  (** max minor-words ratio (default 1.25) *)
+}
+
+val default_tolerance : tolerance
+
+type regression = {
+  name : string;
+  metric : string;  (** ["time"], ["ctr:<counter>"] or ["alloc"] *)
+  baseline : float;
+  current : float;
+  ratio : float;
+  allowed : float;
+}
+
+type outcome = {
+  report : string;  (** the printable diff tables plus an OK/FAIL line *)
+  regressions : regression list;
+  compared : int;
+  only_baseline : string list;
+  only_current : string list;
+}
+
+(** [Error _] means one of the inputs is not a bench document. *)
+val diff :
+  ?tolerance:tolerance ->
+  baseline:Json.t ->
+  current:Json.t ->
+  unit ->
+  (outcome, string) result
+
+(** The exit-code contract of [bench/compare.exe]: 0 when clean or
+    [report_only], 1 when a regression was flagged.  (Unusable input is
+    exit 2, decided by the executable.) *)
+val exit_code : report_only:bool -> outcome -> int

@@ -1,4 +1,13 @@
-type stats = { n : int; sum : float; mean : float; min : float; max : float }
+type stats = {
+  n : int;
+  sum : float;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
 
 type t = {
   name : string;
@@ -6,6 +15,11 @@ type t = {
   mutable sum : float;
   mutable min_v : float;
   mutable max_v : float;
+  (* Raw observations, for exact percentiles.  Grows by doubling; only
+     written when observability is enabled, so disabled-mode cost is
+     unchanged.  8 bytes per observation — observations are span
+     durations and similar once-per-operation events, not per-tuple. *)
+  mutable samples : float array;
 }
 
 let registry : (string, t) Hashtbl.t = Hashtbl.create 64
@@ -15,7 +29,16 @@ let make name =
   match Hashtbl.find_opt registry name with
   | Some h -> h
   | None ->
-      let h = { name; n = 0; sum = 0.; min_v = infinity; max_v = neg_infinity } in
+      let h =
+        {
+          name;
+          n = 0;
+          sum = 0.;
+          min_v = infinity;
+          max_v = neg_infinity;
+          samples = [||];
+        }
+      in
       Hashtbl.replace registry name h;
       rev_order := h :: !rev_order;
       h
@@ -24,19 +47,45 @@ let name h = h.name
 
 let observe h v =
   if !Switch.on then begin
+    if h.n >= Array.length h.samples then begin
+      let cap = max 16 (2 * Array.length h.samples) in
+      let grown = Array.make cap 0. in
+      Array.blit h.samples 0 grown 0 h.n;
+      h.samples <- grown
+    end;
+    h.samples.(h.n) <- v;
     h.n <- h.n + 1;
     h.sum <- h.sum +. v;
     if v < h.min_v then h.min_v <- v;
     if v > h.max_v then h.max_v <- v
   end
 
+(* Nearest-rank percentile on the sorted samples: the smallest value with
+   at least q% of the observations at or below it. *)
+let percentile_of_sorted sorted n q =
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (Float.ceil (q /. 100. *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let percentile h q =
+  let sorted = Array.sub h.samples 0 h.n in
+  Array.sort compare sorted;
+  percentile_of_sorted sorted h.n q
+
 let stats h : stats =
+  let sorted = Array.sub h.samples 0 h.n in
+  Array.sort compare sorted;
+  let p = percentile_of_sorted sorted h.n in
   {
     n = h.n;
     sum = h.sum;
     mean = (if h.n = 0 then 0. else h.sum /. float_of_int h.n);
     min = (if h.n = 0 then 0. else h.min_v);
     max = (if h.n = 0 then 0. else h.max_v);
+    p50 = p 50.;
+    p90 = p 90.;
+    p99 = p 99.;
   }
 
 let find = Hashtbl.find_opt registry
@@ -48,5 +97,6 @@ let reset_all () =
       h.n <- 0;
       h.sum <- 0.;
       h.min_v <- infinity;
-      h.max_v <- neg_infinity)
+      h.max_v <- neg_infinity;
+      h.samples <- [||])
     !rev_order

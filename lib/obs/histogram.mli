@@ -1,11 +1,25 @@
-(** Named summary histograms (count / sum / mean / min / max) with the same
-    process-global registry discipline as {!Counter}.  Span durations are
-    recorded here automatically under ["span.<span name>"], giving a cheap
-    per-operation latency rollup even when no trace file is written. *)
+(** Named summary histograms with the same process-global registry
+    discipline as {!Counter}.  Span durations are recorded here
+    automatically under ["span.<span name>"], giving a cheap per-operation
+    latency rollup even when no trace file is written.
+
+    Raw observations are retained (only while observability is enabled),
+    so {!stats} reports exact nearest-rank percentiles alongside
+    count/mean/min/max.  Observations are once-per-operation events (span
+    durations), not per-tuple counts, so retention is cheap. *)
 
 type t
 
-type stats = { n : int; sum : float; mean : float; min : float; max : float }
+type stats = {
+  n : int;
+  sum : float;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;  (** median, nearest-rank *)
+  p90 : float;
+  p99 : float;
+}
 
 (** [make name] returns the registered histogram called [name], creating it
     empty on first use. *)
@@ -16,7 +30,13 @@ val name : t -> string
 (** Record one observation iff observability is enabled. *)
 val observe : t -> float -> unit
 
+(** Summary including exact nearest-rank percentiles (0 everywhere when
+    empty). *)
 val stats : t -> stats
+
+(** Exact nearest-rank percentile, [q] in percent (e.g. [percentile h 99.]). *)
+val percentile : t -> float -> float
+
 val find : string -> t option
 
 (** All registered histograms in registration order. *)

@@ -1,0 +1,48 @@
+(** Minimal JSON: one value type, a compact and a pretty emitter, and a
+    strict parser.  The single authoritative JSON implementation of the
+    observability layer — {!Trace_export}, {!Metrics_export},
+    {!Bench_compare}, the bench harness and the tests all share it, so
+    escaping rules cannot drift between producers and consumers.
+
+    The parser accepts exactly what the emitters produce plus standard
+    JSON (including [\uXXXX] escapes and surrogate pairs, decoded to
+    UTF-8).  Numbers are floats; NaN and infinities are emitted as
+    [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Backslash-escape a string for embedding between double quotes. *)
+val escape : string -> string
+
+(** [escape] wrapped in double quotes. *)
+val quote : string -> string
+
+val to_string : t -> string
+
+(** Two-space-indented rendering, for committed/diffed files. *)
+val to_string_pretty : t -> string
+
+exception Bad of string
+
+(** @raise Bad on malformed input. *)
+val parse_exn : string -> t
+
+val parse : string -> (t, string) result
+
+(** Field of an object ([None] on missing field or non-object). *)
+val member : string -> t -> t option
+
+val to_float : t -> float option
+val to_str : t -> string option
+
+(** Fields of an object, [[]] for non-objects. *)
+val obj_fields : t -> (string * t) list
+
+(** Items of an array, [[]] for non-arrays. *)
+val arr_items : t -> t list

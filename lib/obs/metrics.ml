@@ -1,6 +1,7 @@
 type snapshot = {
   counters : (string * int) list;
   histograms : (string * Histogram.stats) list;
+  spans : (string * Span.agg) list;
 }
 
 let snapshot () =
@@ -15,6 +16,7 @@ let snapshot () =
       |> List.filter_map (fun h ->
              let s = Histogram.stats h in
              if s.Histogram.n = 0 then None else Some (Histogram.name h, s));
+    spans = Span.aggregate (Span.finished ());
   }
 
 let value name =
@@ -40,15 +42,42 @@ let histogram_lines histograms =
       let width =
         List.fold_left (fun w (n, _) -> max w (String.length n)) 9 histograms
       in
-      Printf.sprintf "%-*s %6s %10s %10s %10s %10s" width "histogram" "n"
-        "total" "mean" "min" "max"
-      :: String.make (width + 57) '-'
+      Printf.sprintf "%-*s %6s %10s %10s %10s %10s %10s" width "histogram" "n"
+        "mean" "p50" "p90" "p99" "max"
+      :: String.make (width + 67) '-'
       :: List.map
            (fun (n, s) ->
-             Printf.sprintf "%-*s %6d %10.3f %10.3f %10.3f %10.3f" width n
-               s.Histogram.n s.Histogram.sum s.Histogram.mean s.Histogram.min
-               s.Histogram.max)
+             Printf.sprintf "%-*s %6d %10.3f %10.3f %10.3f %10.3f %10.3f"
+               width n s.Histogram.n s.Histogram.mean s.Histogram.p50
+               s.Histogram.p90 s.Histogram.p99 s.Histogram.max)
            histograms
+
+(* Allocation per span name ("per algorithm"): how many words each spanned
+   operation allocated, across every execution of that span. *)
+let alloc_lines spans =
+  let spans =
+    List.filter
+      (fun ((_ : string), (a : Span.agg)) ->
+        a.Span.agg_minor_words <> 0.
+        || a.Span.agg_major_words <> 0.
+        || a.Span.agg_promoted_words <> 0.)
+      spans
+  in
+  match spans with
+  | [] -> []
+  | _ ->
+      let width =
+        List.fold_left (fun w (n, _) -> max w (String.length n)) 4 spans
+      in
+      Printf.sprintf "%-*s %6s %10s %14s %14s %14s" width "span" "n"
+        "total ms" "minor words" "major words" "promoted"
+      :: String.make (width + 63) '-'
+      :: List.map
+           (fun (n, (a : Span.agg)) ->
+             Printf.sprintf "%-*s %6d %10.3f %14.0f %14.0f %14.0f" width n
+               a.Span.spans a.Span.total_ms a.Span.agg_minor_words
+               a.Span.agg_major_words a.Span.agg_promoted_words)
+           spans
 
 let render_counters () = String.concat "\n" (counter_lines (snapshot ()).counters)
 
@@ -56,7 +85,8 @@ let render () =
   let snap = snapshot () in
   let sections =
     [ counter_lines snap.counters ]
-    @ match histogram_lines snap.histograms with [] -> [] | ls -> [ ls ]
+    @ (match histogram_lines snap.histograms with [] -> [] | ls -> [ ls ])
+    @ match alloc_lines snap.spans with [] -> [] | ls -> [ ls ]
   in
   String.concat "\n\n" (List.map (String.concat "\n") sections)
 

@@ -6,6 +6,9 @@ type snapshot = {
   histograms : (string * Histogram.stats) list;
       (** Non-empty histograms (span durations are in milliseconds), in
           registration order. *)
+  spans : (string * Span.agg) list;
+      (** Per-span-name duration/allocation rollup of the finished trace,
+          in first-appearance order. *)
 }
 
 val snapshot : unit -> snapshot
@@ -16,8 +19,10 @@ val value : string -> int
 (** Aligned table of the non-zero counters. *)
 val render_counters : unit -> string
 
-(** Counters table plus, when non-empty, the histogram table. *)
+(** Counters table, histogram table (with percentiles) and the
+    allocations-per-span table, each included when non-empty. *)
 val render : unit -> string
 
-(** Zero all counters and histograms. *)
+(** Zero all counters and histograms (finished spans are dropped by
+    {!Obs.reset}, which also calls {!Span.reset}). *)
 val reset : unit -> unit

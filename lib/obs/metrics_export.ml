@@ -1,0 +1,215 @@
+(* Machine-readable export of the full metrics state.
+
+   The JSON schema (version 1) is the stable contract between a run that
+   records metrics and the tooling that consumes them later — the bench
+   baseline/compare harness, CI artifact diffing, ad-hoc jq.  See
+   docs/observability.md for the field-by-field description.
+
+   {
+     "schema_version": 1,
+     "environment":   { "hostname": ..., "ocaml_version": ..., "git_rev": ...,
+                        "timestamp": ..., "word_size": ... },
+     "counters":      { "<counter name>": <int>, ... },
+     "histograms":    { "<name>": { "count", "sum", "mean", "min",
+                                    "p50", "p90", "p99", "max" }, ... },
+     "spans":         { "<span name>": { "count", "total_ms", "minor_words",
+                                         "major_words", "promoted_words" }, ... }
+   } *)
+
+type t = {
+  environment : (string * string) list;
+  counters : (string * int) list;
+  histograms : (string * Histogram.stats) list;
+  spans : (string * Span.agg) list;
+}
+
+let schema_version = 1
+
+(* --- environment --- *)
+
+let iso8601 t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+(* Best effort: metrics must export identically from a tarball, a detached
+   worktree or a git checkout, so any failure degrades to "unknown". *)
+let git_rev () =
+  try
+    let ic =
+      Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
+    in
+    let line = try input_line ic with End_of_file -> "" in
+    let status = Unix.close_process_in ic in
+    match (status, String.trim line) with
+    | Unix.WEXITED 0, rev when rev <> "" -> rev
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let environment () =
+  [
+    ("hostname", (try Unix.gethostname () with _ -> "unknown"));
+    ("ocaml_version", Sys.ocaml_version);
+    ("git_rev", git_rev ());
+    ("timestamp", iso8601 (Unix.gettimeofday ()));
+    ("word_size", string_of_int Sys.word_size);
+  ]
+
+(* --- capture --- *)
+
+let current () =
+  let snap = Metrics.snapshot () in
+  {
+    environment = environment ();
+    counters = snap.Metrics.counters;
+    histograms = snap.Metrics.histograms;
+    spans = snap.Metrics.spans;
+  }
+
+(* --- to JSON --- *)
+
+let histogram_json (s : Histogram.stats) =
+  Json.Obj
+    [
+      ("count", Json.Num (float_of_int s.Histogram.n));
+      ("sum", Json.Num s.Histogram.sum);
+      ("mean", Json.Num s.Histogram.mean);
+      ("min", Json.Num s.Histogram.min);
+      ("p50", Json.Num s.Histogram.p50);
+      ("p90", Json.Num s.Histogram.p90);
+      ("p99", Json.Num s.Histogram.p99);
+      ("max", Json.Num s.Histogram.max);
+    ]
+
+let span_json (a : Span.agg) =
+  Json.Obj
+    [
+      ("count", Json.Num (float_of_int a.Span.spans));
+      ("total_ms", Json.Num a.Span.total_ms);
+      ("minor_words", Json.Num a.Span.agg_minor_words);
+      ("major_words", Json.Num a.Span.agg_major_words);
+      ("promoted_words", Json.Num a.Span.agg_promoted_words);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema_version", Json.Num (float_of_int schema_version));
+      ( "environment",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) t.environment) );
+      ( "counters",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) t.counters)
+      );
+      ( "histograms",
+        Json.Obj (List.map (fun (k, s) -> (k, histogram_json s)) t.histograms)
+      );
+      ("spans", Json.Obj (List.map (fun (k, a) -> (k, span_json a)) t.spans));
+    ]
+
+let to_string t = Json.to_string_pretty (to_json t) ^ "\n"
+
+(* --- from JSON --- *)
+
+let num_field ~what j k =
+  match Json.member k j with
+  | Some (Json.Num f) -> Ok f
+  | _ -> Error (Printf.sprintf "%s: missing numeric field %S" what k)
+
+let ( let* ) = Result.bind
+
+let histogram_of_json name j =
+  let f = num_field ~what:("histogram " ^ name) j in
+  let* n = f "count" in
+  let* sum = f "sum" in
+  let* mean = f "mean" in
+  let* min = f "min" in
+  let* p50 = f "p50" in
+  let* p90 = f "p90" in
+  let* p99 = f "p99" in
+  let* max = f "max" in
+  Ok
+    {
+      Histogram.n = int_of_float n;
+      sum;
+      mean;
+      min;
+      p50;
+      p90;
+      p99;
+      max;
+    }
+
+let span_of_json name j =
+  let f = num_field ~what:("span " ^ name) j in
+  let* count = f "count" in
+  let* total_ms = f "total_ms" in
+  let* minor = f "minor_words" in
+  let* major = f "major_words" in
+  let* promoted = f "promoted_words" in
+  Ok
+    {
+      Span.spans = int_of_float count;
+      total_ms;
+      agg_minor_words = minor;
+      agg_major_words = major;
+      agg_promoted_words = promoted;
+    }
+
+let all_fields of_json j =
+  List.fold_left
+    (fun acc (k, v) ->
+      let* acc = acc in
+      let* parsed = of_json k v in
+      Ok ((k, parsed) :: acc))
+    (Ok []) (Json.obj_fields j)
+  |> Result.map List.rev
+
+let of_json j =
+  let* version =
+    num_field ~what:"metrics" j "schema_version"
+  in
+  if int_of_float version <> schema_version then
+    Error
+      (Printf.sprintf "unsupported schema_version %d (expected %d)"
+         (int_of_float version) schema_version)
+  else
+    let section k =
+      match Json.member k j with
+      | Some (Json.Obj _ as o) -> Ok o
+      | Some _ -> Error (Printf.sprintf "metrics: %S is not an object" k)
+      | None -> Error (Printf.sprintf "metrics: missing section %S" k)
+    in
+    let* env = section "environment" in
+    let* counters = section "counters" in
+    let* histograms = section "histograms" in
+    let* spans = section "spans" in
+    let* environment =
+      all_fields
+        (fun k v ->
+          match v with
+          | Json.Str s -> Ok s
+          | _ -> Error (Printf.sprintf "environment.%s is not a string" k))
+        env
+    in
+    let* counters =
+      all_fields
+        (fun k v ->
+          match v with
+          | Json.Num f -> Ok (int_of_float f)
+          | _ -> Error (Printf.sprintf "counters.%s is not a number" k))
+        counters
+    in
+    let* histograms = all_fields histogram_of_json histograms in
+    let* spans = all_fields span_of_json spans in
+    Ok { environment; counters; histograms; spans }
+
+let of_string s =
+  let* j = Json.parse s in
+  of_json j
+
+let write file =
+  let oc = open_out file in
+  output_string oc (to_string (current ()));
+  close_out oc

@@ -1,0 +1,46 @@
+(** Machine-readable export of the full metrics state — counters,
+    histogram summaries (with percentiles), per-span duration/allocation
+    rollups, and the recording environment — to a stable, versioned JSON
+    schema, plus the inverse parser.
+
+    Schema version {!schema_version}; see docs/observability.md for the
+    field-by-field description.  A file written by {!write} (or any
+    [to_string] output) parses back with {!of_string} into an equal
+    value modulo the [environment] of the reading process. *)
+
+type t = {
+  environment : (string * string) list;
+      (** hostname, ocaml_version, git_rev, timestamp (ISO-8601 UTC),
+          word_size — all as strings; unknown values degrade to
+          ["unknown"], never to an exception. *)
+  counters : (string * int) list;
+  histograms : (string * Histogram.stats) list;
+  spans : (string * Span.agg) list;
+}
+
+val schema_version : int
+
+(** The recording environment of this process. *)
+val environment : unit -> (string * string) list
+
+(** Capture the current registries ({!Metrics.snapshot}) plus
+    {!environment}. *)
+val current : unit -> t
+
+val to_json : t -> Json.t
+
+(** The JSON encoding of one histogram summary / span rollup — the same
+    objects that appear in the ["histograms"] / ["spans"] sections.
+    Exposed for the bench harness, which embeds them per workload. *)
+val histogram_json : Histogram.stats -> Json.t
+
+val span_json : Span.agg -> Json.t
+
+(** Pretty-printed JSON document, trailing newline included. *)
+val to_string : t -> string
+
+val of_json : Json.t -> (t, string) result
+val of_string : string -> (t, string) result
+
+(** [write file] = [current] rendered to [file]. *)
+val write : string -> unit

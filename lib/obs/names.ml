@@ -39,6 +39,11 @@ let walk_alternatives = Counter.make "walk.alternatives"
 let illustration_candidates = Counter.make "illustration.candidates_considered"
 let illustration_selected = Counter.make "illustration.examples_selected"
 
+(* --- counters: lineage / explanation --- *)
+
+let explain_derivations = Counter.make "explain.derivations"
+let explain_tuples_matched = Counter.make "explain.tuples_matched"
+
 (* --- span names --- *)
 
 let sp_illustrate = "clio.illustrate"
@@ -56,3 +61,5 @@ let sp_oj_sweep = "outerjoin.sweep"
 let sp_illustration_select = "illustration.select"
 let sp_chase = "op_chase.chase"
 let sp_walk = "op_walk.data_walk"
+let sp_explain = "explain.of_target_tuple"
+let sp_why_null = "explain.why_null"

@@ -3,6 +3,9 @@ module Histogram = Histogram
 module Span = Span
 module Trace_export = Trace_export
 module Metrics = Metrics
+module Metrics_export = Metrics_export
+module Bench_compare = Bench_compare
+module Json = Json
 module Names = Names
 
 let enable () = Switch.on := true
@@ -26,3 +29,5 @@ let write_trace file =
   let oc = open_out file in
   output_string oc (Trace_export.to_chrome (Span.finished ()));
   close_out oc
+
+let write_metrics = Metrics_export.write

@@ -22,6 +22,9 @@ module Histogram = Histogram
 module Span = Span
 module Trace_export = Trace_export
 module Metrics = Metrics
+module Metrics_export = Metrics_export
+module Bench_compare = Bench_compare
+module Json = Json
 module Names = Names
 
 val enable : unit -> unit
@@ -50,8 +53,14 @@ val reset : unit -> unit
 (** Finished root spans in completion order. *)
 val finished_spans : unit -> Span.t list
 
-(** Counter table plus histogram table, as text. *)
+(** Counter table, histogram table (with percentiles) and the
+    allocations-per-span table, as text. *)
 val report : unit -> string
 
 (** Write the recorded trace to [file] in Chrome trace_event format. *)
 val write_trace : string -> unit
+
+(** Write the full metrics state (counters, histogram summaries, span
+    duration/allocation rollups, environment) to [file] as JSON — the
+    {!Metrics_export} schema. *)
+val write_metrics : string -> unit

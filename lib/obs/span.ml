@@ -1,12 +1,45 @@
+type alloc = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+}
+
 type t = {
   name : string;
   mutable attrs : (string * string) list;
   start : float;
   mutable stop : float;
+  start_alloc : alloc;
+  mutable alloc : alloc;
   mutable rev_children : t list;
 }
 
 let now = Unix.gettimeofday
+
+let zero_alloc = { minor_words = 0.; major_words = 0.; promoted_words = 0. }
+
+(* GC counter reading.  [Gc.minor_words ()] reads the live minor
+   allocation pointer — [Gc.quick_stat]'s [minor_words] only advances at
+   minor collections (OCaml 5), which would report 0 for any span that
+   does not happen to cross one.  [quick_stat] (no heap walk, cheap) still
+   supplies the major/promoted counters, which by nature only move at
+   collections.  All three are monotonic, which is what makes per-span
+   deltas nest consistently: a child's delta can never exceed its
+   parent's. *)
+let gc_now () =
+  let s = Gc.quick_stat () in
+  {
+    minor_words = Gc.minor_words ();
+    major_words = s.Gc.major_words;
+    promoted_words = s.Gc.promoted_words;
+  }
+
+let alloc_delta ~at ~since =
+  {
+    minor_words = at.minor_words -. since.minor_words;
+    major_words = at.major_words -. since.major_words;
+    promoted_words = at.promoted_words -. since.promoted_words;
+  }
 
 (* The thread-of-execution stack of open spans (innermost first) and the
    finished roots, both newest-first. *)
@@ -20,16 +53,34 @@ let stop_s s = s.stop
 let duration_s s = s.stop -. s.start
 let duration_ms s = 1000. *. duration_s s
 let children s = List.rev s.rev_children
+let alloc s = s.alloc
+let minor_words s = s.alloc.minor_words
+let major_words s = s.alloc.major_words
+let promoted_words s = s.alloc.promoted_words
+
+(* Words newly allocated during the span: minor + directly-major, minus the
+   promoted words that would otherwise be counted in both generations. *)
+let allocated_words s =
+  s.alloc.minor_words +. s.alloc.major_words -. s.alloc.promoted_words
 
 let enter ?(attrs = []) name =
   let s =
-    { name; attrs = List.rev attrs; start = now (); stop = 0.; rev_children = [] }
+    {
+      name;
+      attrs = List.rev attrs;
+      start = now ();
+      stop = 0.;
+      start_alloc = gc_now ();
+      alloc = zero_alloc;
+      rev_children = [];
+    }
   in
   stack := s :: !stack;
   s
 
 let exit_ s =
   s.stop <- now ();
+  s.alloc <- alloc_delta ~at:(gc_now ()) ~since:s.start_alloc;
   (match !stack with
   | top :: rest when top == s -> stack := rest
   | _ ->
@@ -64,3 +115,42 @@ let flatten spans =
     List.fold_left (go (depth + 1)) ((depth, s) :: acc) (children s)
   in
   List.rev (List.fold_left (go 0) [] spans)
+
+(* --- per-name aggregation (the "per algorithm" rollup) --- *)
+
+type agg = {
+  spans : int;
+  total_ms : float;
+  agg_minor_words : float;
+  agg_major_words : float;
+  agg_promoted_words : float;
+}
+
+let aggregate forest =
+  let order : string list ref = ref [] in
+  let table : (string, agg) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (_, s) ->
+      let prev =
+        match Hashtbl.find_opt table s.name with
+        | Some a -> a
+        | None ->
+            order := s.name :: !order;
+            {
+              spans = 0;
+              total_ms = 0.;
+              agg_minor_words = 0.;
+              agg_major_words = 0.;
+              agg_promoted_words = 0.;
+            }
+      in
+      Hashtbl.replace table s.name
+        {
+          spans = prev.spans + 1;
+          total_ms = prev.total_ms +. duration_ms s;
+          agg_minor_words = prev.agg_minor_words +. s.alloc.minor_words;
+          agg_major_words = prev.agg_major_words +. s.alloc.major_words;
+          agg_promoted_words = prev.agg_promoted_words +. s.alloc.promoted_words;
+        })
+    (flatten forest);
+  List.rev_map (fun n -> (n, Hashtbl.find table n)) !order

@@ -1,16 +1,28 @@
-(** Nestable timed spans.
+(** Nestable timed, allocation-aware spans.
 
-    A span records a named region of execution: wall-clock start/stop, free
-    attributes, and the spans opened (and closed) while it was the innermost
-    open span — its children.  Spans form a thread-of-execution stack;
-    finished top-level spans accumulate as trace {e roots} until {!reset}.
+    A span records a named region of execution: wall-clock start/stop, GC
+    allocation deltas ({!Gc.quick_stat} words, measured enter-to-exit),
+    free attributes, and the spans opened (and closed) while it was the
+    innermost open span — its children.  Spans form a thread-of-execution
+    stack; finished top-level spans accumulate as trace {e roots} until
+    {!reset}.
 
     Use {!with_span} (or the {!Obs.with_span} front-end).  When
     observability is disabled it runs the thunk directly, recording
     nothing.  Closing a span also records its duration (milliseconds) into
-    the histogram ["span.<name>"]. *)
+    the histogram ["span.<name>"].
+
+    The GC counters are process-global and monotonic, so a child span's
+    allocation delta never exceeds its parent's. *)
 
 type t
+
+(** GC-word deltas over a span (floats, as reported by [Gc.quick_stat]). *)
+type alloc = {
+  minor_words : float;
+  major_words : float;  (** words allocated directly in the major heap *)
+  promoted_words : float;
+}
 
 val name : t -> string
 
@@ -23,6 +35,18 @@ val start_s : t -> float
 val stop_s : t -> float
 val duration_s : t -> float
 val duration_ms : t -> float
+
+(** Allocation during the span (zero until the span closes). *)
+val alloc : t -> alloc
+
+val minor_words : t -> float
+val major_words : t -> float
+val promoted_words : t -> float
+
+(** Total words newly allocated during the span:
+    [minor + major - promoted] (promoted words appear in both generation
+    counters). *)
+val allocated_words : t -> float
 
 (** Child spans in execution order. *)
 val children : t -> t list
@@ -45,3 +69,16 @@ val reset : unit -> unit
 
 (** Preorder flattening of a span forest as [(depth, span)] rows. *)
 val flatten : t list -> (int * t) list
+
+(** Per-span-name rollup over a whole forest (all depths): span count,
+    total duration and summed allocation deltas, in first-appearance
+    order. *)
+type agg = {
+  spans : int;
+  total_ms : float;
+  agg_minor_words : float;
+  agg_major_words : float;
+  agg_promoted_words : float;
+}
+
+val aggregate : t list -> (string * agg) list

@@ -2,31 +2,45 @@
    - indented text for terminals,
    - JSON lines (one object per span, preorder) for ad-hoc tooling,
    - Chrome trace_event JSON (an array of "X" complete events) loadable in
-     chrome://tracing and https://ui.perfetto.dev. *)
+     chrome://tracing and https://ui.perfetto.dev.
 
-let escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+   All string escaping goes through {!Json} — the one escaper shared with
+   the metrics exporter — so hostile span names and attribute values
+   (quotes, backslashes, newlines, control characters) always produce
+   parseable output. *)
 
-let json_string s = "\"" ^ escape s ^ "\""
+let json_string = Json.quote
 
-let json_attrs attrs =
-  "{"
-  ^ String.concat ","
-      (List.map (fun (k, v) -> json_string k ^ ":" ^ json_string v) attrs)
-  ^ "}"
+(* The args/attrs payload: user attributes as strings, plus the span's
+   allocation delta as numbers (omitted if the span allocated nothing, to
+   keep traces of allocation-free spans unchanged). *)
+let args_fields s =
+  let attrs = List.map (fun (k, v) -> (k, json_string v)) (Span.attrs s) in
+  let alloc = Span.alloc s in
+  let num f = Printf.sprintf "%.0f" f in
+  let alloc_fields =
+    if
+      alloc.Span.minor_words = 0. && alloc.Span.major_words = 0.
+      && alloc.Span.promoted_words = 0.
+    then []
+    else
+      [
+        ("minor_words", num alloc.Span.minor_words);
+        ("major_words", num alloc.Span.major_words);
+        ("promoted_words", num alloc.Span.promoted_words);
+      ]
+  in
+  attrs @ alloc_fields
+
+let args_object s =
+  match args_fields s with
+  | [] -> None
+  | fields ->
+      Some
+        ("{"
+        ^ String.concat ","
+            (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields)
+        ^ "}")
 
 let to_text spans =
   let buf = Buffer.create 1024 in
@@ -34,6 +48,9 @@ let to_text spans =
     Buffer.add_string buf (String.make (2 * depth) ' ');
     Buffer.add_string buf (Span.name s);
     Buffer.add_string buf (Printf.sprintf " %.3f ms" (Span.duration_ms s));
+    if Span.allocated_words s <> 0. then
+      Buffer.add_string buf
+        (Printf.sprintf " %.0fw" (Span.allocated_words s));
     List.iter
       (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s=%s" k v))
       (Span.attrs s);
@@ -54,9 +71,9 @@ let span_object ?depth s =
       | Some d -> [ ("depth", string_of_int d) ]
       | None -> [])
     @
-    match Span.attrs s with
-    | [] -> []
-    | attrs -> [ ("attrs", json_attrs attrs) ]
+    match args_object s with
+    | None -> []
+    | Some o -> [ ("attrs", o) ]
   in
   "{"
   ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields)
@@ -83,9 +100,9 @@ let chrome_event s =
       ("tid", "1");
     ]
     @
-    match Span.attrs s with
-    | [] -> []
-    | attrs -> [ ("args", json_attrs attrs) ]
+    match args_object s with
+    | None -> []
+    | Some o -> [ ("args", o) ]
   in
   "{"
   ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields)

@@ -1,7 +1,9 @@
-(* Tests for lib/obs: span nesting and ordering, counter behaviour under
-   enable/disable, trace export (including a real JSON parse of the Chrome
-   trace_event output), and an integration check that the instrumented
-   pipeline actually emits counters on the paper database. *)
+(* Tests for lib/obs: span nesting and ordering, GC-allocation deltas,
+   counter behaviour under enable/disable, histogram percentiles, trace
+   export (including a real JSON parse of the Chrome trace_event output
+   with hostile attribute values), the Metrics_export round-trip, the
+   Bench_compare regression decision, and an integration check that the
+   instrumented pipeline actually emits counters on the paper database. *)
 
 let setup () =
   Obs.enable ();
@@ -15,158 +17,11 @@ let with_obs f () =
   setup ();
   Fun.protect ~finally:teardown f
 
-(* --- a minimal JSON parser, enough to validate exporter output --- *)
+(* Exporter output is validated by actually parsing it. *)
+open Obs.Json
 
-type json =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | Arr of json list
-  | Obj of (string * json) list
-
-exception Bad_json of string
-
-let parse_json (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected %c" c)
-  in
-  let literal word v =
-    String.iter expect word;
-    v
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-          advance ();
-          match peek () with
-          | Some ('"' | '\\' | '/') ->
-              Buffer.add_char buf (Option.get (peek ()));
-              advance ();
-              go ()
-          | Some (('n' | 't' | 'r' | 'b' | 'f') as c) ->
-              Buffer.add_char buf
-                (match c with
-                | 'n' -> '\n'
-                | 't' -> '\t'
-                | 'r' -> '\r'
-                | 'b' -> '\b'
-                | _ -> '\012');
-              advance ();
-              go ()
-          | Some 'u' ->
-              advance ();
-              for _ = 1 to 4 do
-                match peek () with
-                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
-                | _ -> fail "bad \\u escape"
-              done;
-              go ()
-          | _ -> fail "bad escape")
-      | Some c ->
-          Buffer.add_char buf c;
-          advance ();
-          go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    let num_char = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c -> num_char c | None -> false) do
-      advance ()
-    done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          Obj []
-        end
-        else
-          let rec members acc =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                members ((k, v) :: acc)
-            | Some '}' ->
-                advance ();
-                Obj (List.rev ((k, v) :: acc))
-            | _ -> fail "expected , or }"
-          in
-          members []
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          Arr []
-        end
-        else
-          let rec elements acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                elements (v :: acc)
-            | Some ']' ->
-                advance ();
-                Arr (List.rev (v :: acc))
-            | _ -> fail "expected , or ]"
-          in
-          elements []
-    | Some '"' -> Str (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some _ -> Num (parse_number ())
-    | None -> fail "unexpected end"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
-let member k = function
-  | Obj fields -> List.assoc_opt k fields
-  | _ -> None
+let parse_json = Obs.Json.parse_exn
+let member = Obs.Json.member
 
 (* --- spans --- *)
 
@@ -314,14 +169,16 @@ let test_chrome_trace_valid_json =
         (num "ts" child >= num "ts" root
         && num "ts" child +. num "dur" child
            <= num "ts" root +. num "dur" root +. 1.0 (* μs rounding *));
-      (* Attribute escaping survives a JSON round-trip. *)
+      (* Attribute escaping survives a JSON round-trip.  (args also carries
+         the span's GC-allocation fields, so look the key up.) *)
       (match member "args" child with
-      | Some (Obj [ ("key", Str v) ]) ->
-          Alcotest.(check string) "escaped attr value" "va\"lue\n" v
-      | _ -> Alcotest.fail "child lacks args")
-  | _ -> Alcotest.fail "chrome trace is not a JSON array
-
-"
+      | Some args -> (
+          match member "key" args with
+          | Some (Str v) ->
+              Alcotest.(check string) "escaped attr value" "va\"lue\n" v
+          | _ -> Alcotest.fail "child args lack the attribute")
+      | None -> Alcotest.fail "child lacks args")
+  | _ -> Alcotest.fail "chrome trace is not a JSON array"
 
 let test_json_lines_valid =
   with_obs @@ fun () ->
@@ -350,6 +207,331 @@ let test_text_export =
     (String.length text > 0
     && String.split_on_char '\n' text
        |> List.exists (fun l -> String.length l > 0 && l.[0] <> ' '))
+
+(* Every attribute value a hostile caller could pick must survive the
+   emit→parse round-trip byte for byte: quotes, backslashes, the C0
+   controls (emitted as \uXXXX), DEL, multi-byte UTF-8, and a lone quote
+   at either end. *)
+let hostile_values =
+  [
+    "plain";
+    "va\"lue";
+    "back\\slash";
+    "new\nline and \ttab and \rcr";
+    "nul\000byte";
+    "bell\007 esc\027 unit\031sep";
+    "\127del";
+    "utf8: é ≤ λ 🙂";
+    "\"";
+    "\\u0041 is not an escape in the source";
+    "trailing backslash \\";
+  ]
+
+let test_chrome_trace_hostile_attrs =
+  with_obs @@ fun () ->
+  Obs.with_span
+    ~attrs:(List.mapi (fun i v -> (Printf.sprintf "k%d" i, v)) hostile_values)
+    "hostile"
+    (fun () -> ());
+  let text = Obs.Trace_export.to_chrome (Obs.finished_spans ()) in
+  match parse_json text with
+  | Arr [ e ] ->
+      let args =
+        match member "args" e with
+        | Some a -> a
+        | None -> Alcotest.fail "event lacks args"
+      in
+      List.iteri
+        (fun i v ->
+          match member (Printf.sprintf "k%d" i) args with
+          | Some (Str v') ->
+              Alcotest.(check string)
+                (Printf.sprintf "hostile value %d round-trips" i)
+                v v'
+          | _ -> Alcotest.failf "attribute k%d missing" i)
+        hostile_values
+  | _ -> Alcotest.fail "expected a one-event trace"
+
+let test_json_escape_controls () =
+  Alcotest.(check string)
+    "C0 controls use \\uXXXX (DEL needs no escape)"
+    "\"a\\u0000b\\u001fc\127d\""
+    (Obs.Json.quote "a\000b\031c\127d");
+  Alcotest.(check string)
+    "named escapes preferred" {|"\n\r\t\\\""|}
+    (Obs.Json.quote "\n\r\t\\\"")
+
+(* --- histogram percentiles --- *)
+
+let test_histogram_percentiles =
+  with_obs @@ fun () ->
+  let h = Obs.Histogram.make "test.percentiles" in
+  (* 1..100, shuffled deterministically: nearest-rank pN of 1..100 is
+     exactly N. *)
+  let values = List.init 100 (fun i -> float_of_int (((i * 37) mod 100) + 1)) in
+  List.iter (Obs.observe h) values;
+  let s = Obs.Histogram.stats h in
+  Alcotest.(check int) "n" 100 s.Obs.Histogram.n;
+  Alcotest.(check (float 1e-9)) "p50" 50. s.Obs.Histogram.p50;
+  Alcotest.(check (float 1e-9)) "p90" 90. s.Obs.Histogram.p90;
+  Alcotest.(check (float 1e-9)) "p99" 99. s.Obs.Histogram.p99;
+  Alcotest.(check (float 1e-9)) "max" 100. s.Obs.Histogram.max;
+  Alcotest.(check (float 1e-9)) "mean" 50.5 s.Obs.Histogram.mean;
+  Alcotest.(check (float 1e-9)) "direct percentile query" 25.
+    (Obs.Histogram.percentile h 25.)
+
+let test_histogram_percentiles_small =
+  with_obs @@ fun () ->
+  let h = Obs.Histogram.make "test.single" in
+  Obs.observe h 42.;
+  let s = Obs.Histogram.stats h in
+  List.iter
+    (fun (name, v) -> Alcotest.(check (float 1e-9)) name 42. v)
+    [
+      ("p50 of singleton", s.Obs.Histogram.p50);
+      ("p90 of singleton", s.Obs.Histogram.p90);
+      ("p99 of singleton", s.Obs.Histogram.p99);
+      ("min of singleton", s.Obs.Histogram.min);
+      ("max of singleton", s.Obs.Histogram.max);
+    ];
+  let h2 = Obs.Histogram.make "test.pair" in
+  Obs.observe h2 1.;
+  Obs.observe h2 3.;
+  (* nearest-rank: rank ceil(0.5*2)=1 -> 1.0; ceil(0.9*2)=2 -> 3.0 *)
+  Alcotest.(check (float 1e-9)) "p50 of pair" 1. (Obs.Histogram.percentile h2 50.);
+  Alcotest.(check (float 1e-9)) "p90 of pair" 3. (Obs.Histogram.percentile h2 90.)
+
+(* --- allocation-aware spans --- *)
+
+(* Keep the allocation out of the minor heap's noise floor. *)
+let churn words =
+  let rec go acc i = if i = 0 then acc else go (i :: acc) (i - 1) in
+  ignore (Sys.opaque_identity (go [] (words / 3)))
+
+let test_span_alloc_positive =
+  with_obs @@ fun () ->
+  Obs.with_span "alloc" (fun () -> churn 90_000);
+  match Obs.finished_spans () with
+  | [ s ] ->
+      Alcotest.(check bool) "minor words counted" true
+        (Obs.Span.minor_words s >= 30_000.);
+      Alcotest.(check bool) "allocated_words positive" true
+        (Obs.Span.allocated_words s > 0.)
+  | _ -> Alcotest.fail "expected one root"
+
+let test_span_alloc_nesting_monotonic =
+  with_obs @@ fun () ->
+  (* GC counters are monotonic, so a child's delta can never exceed its
+     enclosing parent's — whatever the collector does meanwhile. *)
+  Obs.with_span "parent" (fun () ->
+      Obs.with_span "child1" (fun () -> churn 60_000);
+      churn 30_000;
+      Obs.with_span "child2" (fun () -> churn 60_000));
+  match Obs.finished_spans () with
+  | [ parent ] ->
+      let pa = Obs.Span.alloc parent in
+      let children = Obs.Span.children parent in
+      Alcotest.(check int) "two children" 2 (List.length children);
+      let sum =
+        List.fold_left
+          (fun acc c -> acc +. Obs.Span.minor_words c)
+          0. children
+      in
+      List.iter
+        (fun c ->
+          let ca = Obs.Span.alloc c in
+          Alcotest.(check bool) "child minor <= parent minor" true
+            (ca.Obs.Span.minor_words <= pa.Obs.Span.minor_words);
+          Alcotest.(check bool) "child major <= parent major" true
+            (ca.Obs.Span.major_words <= pa.Obs.Span.major_words);
+          Alcotest.(check bool) "child promoted <= parent promoted" true
+            (ca.Obs.Span.promoted_words <= pa.Obs.Span.promoted_words);
+          Alcotest.(check bool) "deltas non-negative" true
+            (ca.Obs.Span.minor_words >= 0.
+            && ca.Obs.Span.major_words >= 0.
+            && ca.Obs.Span.promoted_words >= 0.))
+        children;
+      Alcotest.(check bool) "children's minor sum <= parent's" true
+        (sum <= pa.Obs.Span.minor_words);
+      Alcotest.(check bool) "parent saw its own churn too" true
+        (pa.Obs.Span.minor_words >= sum +. 10_000.)
+  | _ -> Alcotest.fail "expected one root"
+
+let test_span_agg_alloc =
+  with_obs @@ fun () ->
+  Obs.with_span "work" (fun () -> churn 30_000);
+  Obs.with_span "work" (fun () -> churn 30_000);
+  match Obs.Span.aggregate (Obs.finished_spans ()) with
+  | [ ("work", agg) ] ->
+      Alcotest.(check int) "two spans aggregated" 2 agg.Obs.Span.spans;
+      Alcotest.(check bool) "aggregate minor words accumulate" true
+        (agg.Obs.Span.agg_minor_words >= 20_000.)
+  | aggs -> Alcotest.failf "expected one aggregate, got %d" (List.length aggs)
+
+(* --- Metrics_export round-trip --- *)
+
+let test_metrics_export_roundtrip =
+  with_obs @@ fun () ->
+  Obs.count Obs.Names.subsumption_checks;
+  Obs.add Obs.Names.index_probes 41;
+  let h = Obs.Histogram.make "test.rt" in
+  List.iter (Obs.observe h) [ 1.; 2.; 3.; 10. ];
+  Obs.with_span "rt.outer" (fun () ->
+      Obs.with_span "rt.inner" (fun () -> churn 30_000));
+  let m = Obs.Metrics_export.current () in
+  let text = Obs.Metrics_export.to_string m in
+  match Obs.Metrics_export.of_string text with
+  | Error msg -> Alcotest.failf "round-trip parse failed: %s" msg
+  | Ok m' ->
+      Alcotest.(check (list (pair string int)))
+        "counters survive" m.Obs.Metrics_export.counters
+        m'.Obs.Metrics_export.counters;
+      Alcotest.(check (list string))
+        "histogram names survive"
+        (List.map fst m.Obs.Metrics_export.histograms)
+        (List.map fst m'.Obs.Metrics_export.histograms);
+      let s = List.assoc "test.rt" m'.Obs.Metrics_export.histograms in
+      Alcotest.(check int) "histogram n survives" 4 s.Obs.Histogram.n;
+      Alcotest.(check (float 1e-6)) "histogram p99 survives" 10.
+        s.Obs.Histogram.p99;
+      Alcotest.(check (list string))
+        "span rollups survive"
+        (List.map fst m.Obs.Metrics_export.spans)
+        (List.map fst m'.Obs.Metrics_export.spans);
+      let a = List.assoc "rt.inner" m'.Obs.Metrics_export.spans in
+      let a0 = List.assoc "rt.inner" m.Obs.Metrics_export.spans in
+      Alcotest.(check int) "span count survives" a0.Obs.Span.spans
+        a.Obs.Span.spans;
+      Alcotest.(check bool) "span alloc survives (to 9 digits)" true
+        (Float.abs
+           (a.Obs.Span.agg_minor_words -. a0.Obs.Span.agg_minor_words)
+        <= 1e-6 *. Float.max 1. a0.Obs.Span.agg_minor_words);
+      Alcotest.(check (list (pair string string)))
+        "environment of the writer is preserved verbatim"
+        m.Obs.Metrics_export.environment m'.Obs.Metrics_export.environment
+
+let test_metrics_export_rejects_garbage () =
+  List.iter
+    (fun (label, text) ->
+      match Obs.Metrics_export.of_string text with
+      | Ok _ -> Alcotest.failf "%s unexpectedly parsed" label
+      | Error _ -> ())
+    [
+      ("not json", "][");
+      ("wrong version", {|{"schema_version": 999}|});
+      ("counters not an object", {|{"schema_version": 1, "counters": []}|});
+    ]
+
+(* --- Bench_compare --- *)
+
+let bench_doc ~time_ns ~checks ~minor =
+  Obj
+    [
+      ("schema_version", Num 1.);
+      ("kind", Str "bench");
+      ("label", Str "test");
+      ( "benchmarks",
+        Obj
+          [
+            ("b/one", Obj [ ("time_ns", Num time_ns) ]);
+            ("b/only-here", Obj [ ("time_ns", Num 1.) ]);
+          ] );
+      ( "workloads",
+        Obj
+          [
+            ( "w/one",
+              Obj
+                [
+                  ("counters", Obj [ ("subs.checks", Num checks) ]);
+                  ( "alloc",
+                    Obj
+                      [
+                        ("minor_words", Num minor);
+                        ("major_words", Num 0.);
+                        ("promoted_words", Num 0.);
+                      ] );
+                  ("histograms", Obj []);
+                ] );
+          ] );
+    ]
+
+let diff_exn ?tolerance ~baseline ~current () =
+  match Obs.Bench_compare.diff ?tolerance ~baseline ~current () with
+  | Ok o -> o
+  | Error msg -> Alcotest.failf "diff failed: %s" msg
+
+let test_compare_no_regression () =
+  let baseline = bench_doc ~time_ns:1000. ~checks:500. ~minor:10_000. in
+  (* Within every default tolerance: time +20% (<50%), counters equal,
+     alloc +10% (<25%). *)
+  let current = bench_doc ~time_ns:1200. ~checks:500. ~minor:11_000. in
+  let o = diff_exn ~baseline ~current () in
+  Alcotest.(check int) "no regressions" 0
+    (List.length o.Obs.Bench_compare.regressions);
+  Alcotest.(check int) "exit 0" 0
+    (Obs.Bench_compare.exit_code ~report_only:false o);
+  Alcotest.(check bool) "report says OK" true
+    (let r = o.Obs.Bench_compare.report in
+     String.length r >= 2
+     &&
+     let rec contains i =
+       i + 2 <= String.length r
+       && (String.sub r i 2 = "OK" || contains (i + 1))
+     in
+     contains 0)
+
+let test_compare_regression () =
+  let baseline = bench_doc ~time_ns:1000. ~checks:500. ~minor:10_000. in
+  (* Time x2 (>1.5), counter +10% (>1.02), alloc x2 (>1.25): all three
+     metrics must be flagged. *)
+  let current = bench_doc ~time_ns:2000. ~checks:550. ~minor:20_000. in
+  let o = diff_exn ~baseline ~current () in
+  Alcotest.(check (list string))
+    "all three metrics flagged"
+    [ "time"; "ctr:subs.checks"; "alloc" ]
+    (List.map (fun r -> r.Obs.Bench_compare.metric)
+       o.Obs.Bench_compare.regressions);
+  Alcotest.(check int) "exit 1" 1
+    (Obs.Bench_compare.exit_code ~report_only:false o);
+  Alcotest.(check int) "report-only still exits 0" 0
+    (Obs.Bench_compare.exit_code ~report_only:true o);
+  (* A looser tolerance waves the same diff through. *)
+  let o' =
+    diff_exn
+      ~tolerance:{ Obs.Bench_compare.time = 3.; counter = 2.; alloc = 3. }
+      ~baseline ~current ()
+  in
+  Alcotest.(check int) "custom tolerance clears it" 0
+    (List.length o'.Obs.Bench_compare.regressions)
+
+let test_compare_disjoint_names () =
+  let baseline = bench_doc ~time_ns:1000. ~checks:500. ~minor:10_000. in
+  let current =
+    Obj
+      [
+        ("schema_version", Num 1.);
+        ("kind", Str "bench");
+        ("benchmarks", Obj [ ("b/new", Obj [ ("time_ns", Num 5. ) ]) ]);
+        ("workloads", Obj []);
+      ]
+  in
+  let o = diff_exn ~baseline ~current () in
+  Alcotest.(check int) "nothing compared regresses" 0
+    (List.length o.Obs.Bench_compare.regressions);
+  Alcotest.(check bool) "baseline-only names reported" true
+    (List.mem "b/one" o.Obs.Bench_compare.only_baseline);
+  Alcotest.(check bool) "current-only names reported" true
+    (List.mem "b/new" o.Obs.Bench_compare.only_current)
+
+let test_compare_rejects_non_bench () =
+  match
+    Obs.Bench_compare.diff
+      ~baseline:(Obj [ ("kind", Str "bench"); ("schema_version", Num 1.) ])
+      ~current:(Obj [ ("kind", Str "metrics") ])
+      ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-bench input accepted"
 
 (* --- integration with the pipeline --- *)
 
@@ -411,6 +593,28 @@ let test_names_are_authoritative () =
       Obs.Names.illustration_selected;
     ]
 
+let test_explain_counters =
+  with_obs @@ fun () ->
+  let db = Paperdata.Figure1.database in
+  let m = Paperdata.Running.mapping in
+  let ex =
+    List.find (fun e -> e.Clio.Example.positive)
+      (Clio.Mapping_eval.examples db m)
+  in
+  Obs.reset ();
+  let ds = Clio.Explain.of_target_tuple db m ex.Clio.Example.target_tuple in
+  Alcotest.(check bool) "found a derivation" true (List.length ds > 0);
+  Alcotest.(check int) "explain.derivations counts them"
+    (List.length ds)
+    (Obs.Metrics.value "explain.derivations");
+  Alcotest.(check bool) "explain.tuples_matched covers the scan" true
+    (Obs.Metrics.value "explain.tuples_matched" >= List.length ds);
+  match Obs.finished_spans () with
+  | [ s ] ->
+      Alcotest.(check string) "explain runs under its span"
+        Obs.Names.sp_explain (Obs.Span.name s)
+  | roots -> Alcotest.failf "expected one root span, got %d" (List.length roots)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "obs"
@@ -423,19 +627,49 @@ let () =
           tc "attributes" `Quick test_span_attrs;
           tc "disabled records nothing" `Quick test_span_disabled;
         ] );
+      ( "alloc",
+        [
+          tc "span counts its allocation" `Quick test_span_alloc_positive;
+          tc "nested deltas are monotonic" `Quick
+            test_span_alloc_nesting_monotonic;
+          tc "per-name aggregation sums alloc" `Quick test_span_agg_alloc;
+        ] );
       ( "counter",
         [
           tc "enable/disable totals" `Quick test_counter_enable_disable;
           tc "registry dedups handles" `Quick test_counter_registry;
           tc "histogram stats" `Quick test_histogram;
+          tc "percentiles on a known distribution" `Quick
+            test_histogram_percentiles;
+          tc "percentiles on tiny samples" `Quick
+            test_histogram_percentiles_small;
           tc "names are authoritative" `Quick test_names_are_authoritative;
         ] );
       ( "export",
         [
           tc "chrome trace is valid JSON of X events" `Quick
             test_chrome_trace_valid_json;
+          tc "hostile attr values survive the round-trip" `Quick
+            test_chrome_trace_hostile_attrs;
+          tc "control characters escape as \\uXXXX" `Quick
+            test_json_escape_controls;
           tc "json lines parse with depths" `Quick test_json_lines_valid;
           tc "text export" `Quick test_text_export;
+        ] );
+      ( "metrics-export",
+        [
+          tc "full state round-trips through JSON" `Quick
+            test_metrics_export_roundtrip;
+          tc "garbage is rejected" `Quick test_metrics_export_rejects_garbage;
+        ] );
+      ( "bench-compare",
+        [
+          tc "within tolerance passes" `Quick test_compare_no_regression;
+          tc "beyond tolerance fails with exit 1" `Quick
+            test_compare_regression;
+          tc "disjoint names are reported, not flagged" `Quick
+            test_compare_disjoint_names;
+          tc "non-bench input is an error" `Quick test_compare_rejects_non_bench;
         ] );
       ( "pipeline",
         [
@@ -443,5 +677,6 @@ let () =
             test_pipeline_counters;
           tc "disabled pipeline is silent" `Quick
             test_pipeline_disabled_is_silent;
+          tc "explain emits derivation counters" `Quick test_explain_counters;
         ] );
     ]
