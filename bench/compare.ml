@@ -2,17 +2,23 @@
 
    Usage:  compare BASELINE.json CURRENT.json
              [--time-tol R] [--counter-tol R] [--alloc-tol R]
-             [--report-only]
+             [--report-only] [--require-faster A B]...
 
    Prints the per-metric diff tables (time, counters, allocation) and
    exits 0 when no tracked metric regressed beyond tolerance (or with
    --report-only, always), 1 on regression, 2 on unusable input.  The
-   diff itself lives in Obs.Bench_compare; this is only the CLI. *)
+   diff itself lives in Obs.Bench_compare; this is only the CLI.
+
+   --require-faster A B (repeatable) additionally asserts that in the
+   CURRENT document benchmark A's time_ns is strictly below benchmark
+   B's — an absolute ordering gate (e.g. cache-on must beat cache-off)
+   that no baseline drift can erode.  Unlike the tolerance diff it is
+   not silenced by --report-only. *)
 
 let usage () =
   prerr_endline
     "usage: compare BASELINE.json CURRENT.json [--time-tol R] [--counter-tol \
-     R] [--alloc-tol R] [--report-only]";
+     R] [--alloc-tol R] [--report-only] [--require-faster A B]...";
   exit 2
 
 let () =
@@ -40,11 +46,23 @@ let () =
       alloc = tol_value "--alloc-tol" d.Obs.Bench_compare.alloc;
     }
   in
+  let require_faster =
+    let rec go = function
+      | "--require-faster" :: a :: b :: rest -> (a, b) :: go rest
+      | "--require-faster" :: _ ->
+          prerr_endline "compare: --require-faster needs two benchmark names";
+          exit 2
+      | _ :: rest -> go rest
+      | [] -> []
+    in
+    go argv
+  in
   let takes_value a =
     List.mem a [ "--time-tol"; "--counter-tol"; "--alloc-tol" ]
   in
   let rec positional = function
     | [] -> []
+    | "--require-faster" :: _ :: _ :: rest -> positional rest
     | a :: _ :: rest when takes_value a -> positional rest
     | a :: rest when String.length a >= 2 && String.sub a 0 2 = "--" ->
         positional rest
@@ -73,11 +91,46 @@ let () =
       in
       let baseline = load baseline_file in
       let current = load current_file in
+      let time_of doc name =
+        match doc with
+        | Obs.Json.Obj fields -> (
+            match List.assoc_opt "benchmarks" fields with
+            | Some (Obs.Json.Obj bs) -> (
+                match List.assoc_opt name bs with
+                | Some (Obs.Json.Obj m) -> (
+                    match List.assoc_opt "time_ns" m with
+                    | Some (Obs.Json.Num ns) -> Some ns
+                    | _ -> None)
+                | _ -> None)
+            | _ -> None)
+        | _ -> None
+      in
+      let ordering_failures =
+        List.filter_map
+          (fun (a, b) ->
+            match (time_of current a, time_of current b) with
+            | Some ta, Some tb when ta < tb -> None
+            | Some ta, Some tb ->
+                Some
+                  (Printf.sprintf
+                     "require-faster: %s (%.0f ns) is not faster than %s \
+                      (%.0f ns)"
+                     a ta b tb)
+            | None, _ ->
+                Some (Printf.sprintf "require-faster: no benchmark %S in %s" a
+                        current_file)
+            | _, None ->
+                Some (Printf.sprintf "require-faster: no benchmark %S in %s" b
+                        current_file))
+          require_faster
+      in
       (match Obs.Bench_compare.diff ~tolerance ~baseline ~current () with
       | Error msg ->
           Printf.eprintf "compare: %s\n" msg;
           exit 2
       | Ok outcome ->
           print_string outcome.Obs.Bench_compare.report;
-          exit (Obs.Bench_compare.exit_code ~report_only outcome))
+          List.iter prerr_endline ordering_failures;
+          let code = Obs.Bench_compare.exit_code ~report_only outcome in
+          exit (if ordering_failures <> [] then max code 1 else code))
   | _ -> usage ()

@@ -8,13 +8,15 @@
       exactly as bin/figures.exe does, so `dune exec bench/main.exe`
       reproduces the complete evaluation in one run.
 
-   2. Performance benchmarks (experiments B1-B8) for the algorithms whose
+   2. Performance benchmarks (experiments B1-B13) for the algorithms whose
       cost the paper alludes to ("we make use of evaluation and
       optimization techniques for the minimal union operator to
       efficiently compute D(G)"): minimum union naive vs indexed, full
       disjunction naive vs indexed vs outer-join plan, sufficient
       illustration selection, walk enumeration, chase scans, end-to-end
-      mapping evaluation, FK mining, and illustration evolution.
+      mapping evaluation, FK mining, illustration evolution, and the
+      engine's memo cache (B9 walk-alternative reuse, B10 session replay
+      — each cached vs no-cache, the ablation of lib/engine).
 
    3. Operator-counter and allocation tables (lib/obs): the same workloads
       run once with observability enabled, reporting subsumption checks,
@@ -129,17 +131,17 @@ let fulldisj_tests =
       let tag algo = Printf.sprintf "fulldisj/%s/n%d-r%d" algo n rows in
       [
         Test.make ~name:(tag "naive")
-          (Staged.stage (fun () -> ignore (Fulldisj.Full_disjunction.naive ~lookup g)));
+          (Staged.stage (fun () -> ignore (Fulldisj.Full_disjunction.naive_fn ~lookup g)));
         Test.make ~name:(tag "indexed")
-          (Staged.stage (fun () -> ignore (Fulldisj.Full_disjunction.compute ~lookup g)));
+          (Staged.stage (fun () -> ignore (Fulldisj.Full_disjunction.compute_fn ~lookup g)));
         Test.make ~name:(tag "outerjoin")
           (Staged.stage (fun () ->
-               ignore (Fulldisj.Outerjoin_plan.full_disjunction ~lookup g)));
+               ignore (Fulldisj.Outerjoin_plan.full_disjunction_fn ~lookup g)));
         (* Ablation: the cascade without the final subsumption sweep,
            isolating the sweep's cost. *)
         Test.make ~name:(tag "oj-no-sweep")
           (Staged.stage (fun () ->
-               ignore (Fulldisj.Outerjoin_plan.full_disjunction_no_sweep ~lookup g)));
+               ignore (Fulldisj.Outerjoin_plan.full_disjunction_no_sweep_fn ~lookup g)));
       ])
     configs
 
@@ -160,14 +162,14 @@ let illustration_tests =
            aliases)
       ()
   in
-  let universe = Clio.Mapping_eval.examples db m in
+  let universe = Clio.Mapping_eval.examples_db db m in
   [
     Test.make ~name:"illustration/select"
       (Staged.stage (fun () ->
            ignore
              (Clio.Sufficiency.select ~universe ~target_cols:m.Clio.Mapping.target_cols ())));
     Test.make ~name:"illustration/universe"
-      (Staged.stage (fun () -> ignore (Clio.Mapping_eval.examples db m)));
+      (Staged.stage (fun () -> ignore (Clio.Mapping_eval.examples_db db m)));
   ]
 
 (* --- B4: walk enumeration --- *)
@@ -186,7 +188,7 @@ let walk_tests =
         ~name:(Printf.sprintf "walk/leaves%d-len%d" leaves max_len)
         (Staged.stage (fun () ->
              ignore
-               (Clio.Op_walk.data_walk ~kb:inst.Synth.Gen_graph.kb m ~start:"Fact"
+               (Clio.Op_walk.data_walk_kb ~kb:inst.Synth.Gen_graph.kb m ~start:"Fact"
                   ~goal ~max_len ()))))
     [ (4, 2); (8, 2); (8, 3) ]
 
@@ -210,13 +212,13 @@ let chase_tests =
           ~name:(Printf.sprintf "chase/scan/rows%d" rows)
           (Staged.stage (fun () ->
                ignore
-                 (Clio.Op_chase.chase db m ~attr:(Attr.make "R1" "id")
+                 (Clio.Op_chase.chase_db db m ~attr:(Attr.make "R1" "id")
                     ~value:(Value.Int (rows / 2)))));
         Test.make
           ~name:(Printf.sprintf "chase/indexed/rows%d" rows)
           (Staged.stage (fun () ->
                ignore
-                 (Clio.Op_chase.chase ~index db m ~attr:(Attr.make "R1" "id")
+                 (Clio.Op_chase.chase_db ~index db m ~attr:(Attr.make "R1" "id")
                     ~value:(Value.Int (rows / 2)))));
         Test.make
           ~name:(Printf.sprintf "chase/index-build/rows%d" rows)
@@ -231,10 +233,10 @@ let mapping_tests =
   [
     Test.make ~name:"mapping/eval-section2"
       (Staged.stage (fun () ->
-           ignore (Clio.Mapping_eval.eval db Paperdata.Running.section2_mapping)));
+           ignore (Clio.Mapping_eval.eval_db db Paperdata.Running.section2_mapping)));
     Test.make ~name:"mapping/examples-fig9"
       (Staged.stage (fun () ->
-           ignore (Clio.Mapping_eval.examples db Paperdata.Running.mapping)));
+           ignore (Clio.Mapping_eval.examples_db db Paperdata.Running.mapping)));
     Test.make ~name:"mapping/sql-outer-join"
       (Staged.stage (fun () ->
            ignore
@@ -262,19 +264,102 @@ let evolve_tests =
   let db = Paperdata.Figure1.database in
   let kb = Paperdata.Figure1.kb in
   let old_m = Paperdata.Running.mapping_g1 in
-  let old_ill = Clio.illustrate db old_m in
+  let old_ill = Clio.illustrate_db db old_m in
   let new_m =
-    (List.hd (Clio.Op_walk.data_walk ~kb old_m ~start:"Children" ~goal:"PhoneDir"
+    (List.hd (Clio.Op_walk.data_walk_kb ~kb old_m ~start:"Children" ~goal:"PhoneDir"
                 ~max_len:2 ()))
       .Clio.Op_walk.mapping
   in
   [
     Test.make ~name:"evolve/walk-extension"
       (Staged.stage (fun () ->
-           ignore (Clio.Evolution.evolve db ~old_mapping:old_m ~old_illustration:old_ill new_m)));
+           ignore (Clio.Evolution.evolve_db db ~old_mapping:old_m ~old_illustration:old_ill new_m)));
   ]
 
-(* --- B9: illustration at scale — full universe vs sampled slice --- *)
+(* --- B9: walk alternatives — shared-subgraph reuse in the engine cache ---
+
+   The interactive loop evaluates many near-identical graphs: a walk's
+   alternatives share the base graph's subgraphs (FJ tier), and rotating
+   back to an alternative re-runs the exact same D(G) (DG tier).  Each
+   run replays that loop inside one fresh context, cached vs no-cache —
+   the ablation of lib/engine. *)
+
+let engine_walk_instance =
+  Synth.Gen_graph.chain (seeded 37) ~n:3 ~rows:(if quick then 150 else 400)
+    ~null_prob:0.25 ~orphan_prob:0.2 ()
+
+let engine_walk_mappings =
+  let inst = engine_walk_instance in
+  let m0 =
+    Clio.Mapping.make
+      ~graph:(Qgraph.singleton ~alias:"R1" ~base:"R1")
+      ~target:"T" ~target_cols:[ "c" ]
+      ~correspondences:[ Clio.Correspondence.identity "c" (Attr.make "R1" "id") ]
+      ()
+  in
+  let alts goal =
+    Clio.Op_walk.data_walk_kb ~kb:inst.Synth.Gen_graph.kb m0 ~start:"R1" ~goal
+      ~max_len:2 ()
+    |> List.map (fun (a : Clio.Op_walk.alternative) -> a.Clio.Op_walk.mapping)
+  in
+  (* R1, R1-R2, R1-R2-R3: the alternatives overlap pairwise, so the FJ
+     tier shares their common induced subgraphs across mappings. *)
+  m0 :: (alts "R2" @ alts "R3")
+
+let engine_walk_replay ~no_cache () =
+  let inst = engine_walk_instance in
+  let ctx =
+    Clio.Eval_ctx.create ~no_cache ~kb:inst.Synth.Gen_graph.kb
+      inst.Synth.Gen_graph.db
+  in
+  (* Offer: every alternative's example universe. *)
+  List.iter
+    (fun m -> ignore (Clio.Mapping_eval.examples ctx m))
+    engine_walk_mappings;
+  (* Rotate twice through the alternatives, re-rendering each target view. *)
+  for _ = 1 to 2 do
+    List.iter
+      (fun m -> ignore (Clio.Mapping_eval.target_view ctx m))
+      engine_walk_mappings
+  done
+
+let engine_walk_tests =
+  [
+    Test.make ~name:"engine/walk-reuse/cached"
+      (Staged.stage (engine_walk_replay ~no_cache:false));
+    Test.make ~name:"engine/walk-reuse/no-cache"
+      (Staged.stage (engine_walk_replay ~no_cache:true));
+  ]
+
+(* --- B10: session replay — offer/rotate/confirm through Workspace --- *)
+
+let engine_session_alternatives =
+  Clio.Op_walk.data_walk_kb ~kb:Paperdata.Figure1.kb Paperdata.Running.mapping_g1
+    ~start:"Children" ~goal:"PhoneDir" ~max_len:2 ()
+  |> List.map (fun (a : Clio.Op_walk.alternative) -> a.Clio.Op_walk.mapping)
+
+let engine_session_replay ~no_cache () =
+  let ctx =
+    Clio.Eval_ctx.create ~no_cache ~kb:Paperdata.Figure1.kb
+      Paperdata.Figure1.database
+  in
+  let ws = Clio.Workspace.create ctx Paperdata.Running.mapping_g1 in
+  let ws = ref (Clio.Workspace.offer ws engine_session_alternatives) in
+  for _ = 1 to 2 * List.length engine_session_alternatives do
+    ws := Clio.Workspace.rotate !ws;
+    ignore (Clio.Workspace.target_view !ws)
+  done;
+  ignore (Clio.Workspace.render (Clio.Workspace.confirm !ws))
+
+let engine_session_tests =
+  [
+    Test.make ~name:"engine/session-replay/cached"
+      (Staged.stage (engine_session_replay ~no_cache:false));
+    Test.make ~name:"engine/session-replay/no-cache"
+      (Staged.stage (engine_session_replay ~no_cache:true));
+  ]
+
+(* --- B11: illustration at scale — full universe vs sampled slice --- *)
 
 let sampling_tests =
   let inst =
@@ -294,16 +379,16 @@ let sampling_tests =
   [
     Test.make ~name:"sampling/full-illustrate"
       (Staged.stage (fun () ->
-           let universe = Clio.Mapping_eval.examples db m in
+           let universe = Clio.Mapping_eval.examples_db db m in
            ignore
              (Clio.Sufficiency.select ~universe
                 ~target_cols:m.Clio.Mapping.target_cols ())));
     Test.make ~name:"sampling/sliced-illustrate"
       (Staged.stage (fun () ->
-           ignore (Clio.Sampling.illustrate_sampled ~seed:3 ~per_relation:12 db m)));
+           ignore (Clio.Sampling.illustrate_sampled_db ~seed:3 ~per_relation:12 db m)));
   ]
 
-(* --- B10: join implementations and attribute matching --- *)
+(* --- B12: join implementations and attribute matching --- *)
 
 let join_impl_tests =
   let st = seeded 29 in
@@ -336,7 +421,7 @@ let match_tests =
                 ~target_cols:[ "ID"; "name"; "affiliation"; "contactPh"; "BusSchedule" ])));
   ]
 
-(* --- B11: static category pruning (required aliases) --- *)
+(* --- B13: static category pruning (required aliases) --- *)
 
 let pruning_tests =
   let inst =
@@ -357,15 +442,16 @@ let pruning_tests =
   in
   [
     Test.make ~name:"pruning/full-eval"
-      (Staged.stage (fun () -> ignore (Clio.Mapping_eval.eval db m)));
+      (Staged.stage (fun () -> ignore (Clio.Mapping_eval.eval_db db m)));
     Test.make ~name:"pruning/pruned-eval"
-      (Staged.stage (fun () -> ignore (Clio.Mapping_analysis.eval_pruned db m)));
+      (Staged.stage (fun () -> ignore (Clio.Mapping_analysis.eval_pruned_db db m)));
   ]
 
 let all_tests =
   minunion_tests @ fulldisj_tests @ illustration_tests @ walk_tests @ chase_tests
-  @ mapping_tests @ mine_tests @ evolve_tests @ sampling_tests @ join_impl_tests
-  @ match_tests @ pruning_tests
+  @ mapping_tests @ mine_tests @ evolve_tests @ engine_walk_tests
+  @ engine_session_tests @ sampling_tests @ join_impl_tests @ match_tests
+  @ pruning_tests
 
 (* --- running and reporting --- *)
 
@@ -468,7 +554,7 @@ let counter name c =
   | Some v -> v
   | None -> 0
 
-(* The instrumented workload list, covering B1–B8.  Names are stable: they
+(* The instrumented workload list, covering B1–B10.  Names are stable: they
    key the printed tables, the "workloads" section of the bench JSON, and
    therefore the baseline comparisons across commits. *)
 let workloads : (string * (unit -> unit)) list =
@@ -499,20 +585,20 @@ let workloads : (string * (unit -> unit)) list =
             (Printf.sprintf "fulldisj/%s/n%d-r%d" name n rows, fun () -> f ~lookup g))
           [
             ( "naive",
-              fun ~lookup g -> ignore (Fulldisj.Full_disjunction.naive ~lookup g) );
+              fun ~lookup g -> ignore (Fulldisj.Full_disjunction.naive_fn ~lookup g) );
             ( "indexed",
-              fun ~lookup g -> ignore (Fulldisj.Full_disjunction.compute ~lookup g)
+              fun ~lookup g -> ignore (Fulldisj.Full_disjunction.compute_fn ~lookup g)
             );
             ( "outerjoin",
               fun ~lookup g ->
-                ignore (Fulldisj.Outerjoin_plan.full_disjunction ~lookup g) );
+                ignore (Fulldisj.Outerjoin_plan.full_disjunction_fn ~lookup g) );
           ])
       fulldisj_configs
   (* B3/B6: end-to-end illustration on the paper mapping. *)
   @ [
       ( "illustrate/paper",
         fun () ->
-          ignore (Clio.illustrate Paperdata.Figure1.database Paperdata.Running.mapping)
+          ignore (Clio.illustrate_db Paperdata.Figure1.database Paperdata.Running.mapping)
       );
     ]
   (* B4: walk enumeration on the widest star. *)
@@ -526,7 +612,7 @@ let workloads : (string * (unit -> unit)) list =
         in
         fun () ->
           ignore
-            (Clio.Op_walk.data_walk ~kb:inst.Synth.Gen_graph.kb m ~start:"Fact"
+            (Clio.Op_walk.data_walk_kb ~kb:inst.Synth.Gen_graph.kb m ~start:"Fact"
                ~goal:"D8" ~max_len:3 ()) );
     ]
   (* B5: chase scans, per size. *)
@@ -542,7 +628,7 @@ let workloads : (string * (unit -> unit)) list =
         ( Printf.sprintf "chase/rows%d" rows,
           fun () ->
             ignore
-              (Clio.Op_chase.chase db m ~attr:(Attr.make "R1" "id")
+              (Clio.Op_chase.chase_db db m ~attr:(Attr.make "R1" "id")
                  ~value:(Value.Int (rows / 2))) ))
       chase_sizes
   (* B6: end-to-end mapping evaluation on the paper database. *)
@@ -550,7 +636,7 @@ let workloads : (string * (unit -> unit)) list =
       ( "mapping/eval-section2",
         fun () ->
           ignore
-            (Clio.Mapping_eval.eval Paperdata.Figure1.database
+            (Clio.Mapping_eval.eval_db Paperdata.Figure1.database
                Paperdata.Running.section2_mapping) );
     ]
   (* B7: inclusion-dependency mining, per size. *)
@@ -569,16 +655,24 @@ let workloads : (string * (unit -> unit)) list =
         let kb = Paperdata.Figure1.kb in
         let old_m = Paperdata.Running.mapping_g1 in
         fun () ->
-          let old_ill = Clio.illustrate db old_m in
+          let old_ill = Clio.illustrate_db db old_m in
           let new_m =
             (List.hd
-               (Clio.Op_walk.data_walk ~kb old_m ~start:"Children"
+               (Clio.Op_walk.data_walk_kb ~kb old_m ~start:"Children"
                   ~goal:"PhoneDir" ~max_len:2 ()))
               .Clio.Op_walk.mapping
           in
           ignore
-            (Clio.Evolution.evolve db ~old_mapping:old_m
+            (Clio.Evolution.evolve_db db ~old_mapping:old_m
                ~old_illustration:old_ill new_m) );
+    ]
+  (* B9/B10: engine cache ablation — the cache.* counters recorded here are
+     the hit/miss/eviction story behind the part-2 timing difference. *)
+  @ [
+      ("engine/walk-reuse/cached", engine_walk_replay ~no_cache:false);
+      ("engine/walk-reuse/no-cache", engine_walk_replay ~no_cache:true);
+      ("engine/session-replay/cached", engine_session_replay ~no_cache:false);
+      ("engine/session-replay/no-cache", engine_session_replay ~no_cache:true);
     ]
 
 let run_measurements () = List.iter (fun (name, f) -> measure name f) workloads
@@ -644,12 +738,23 @@ let run_counter_tables () =
         ("ill.selected", Obs.Names.illustration_selected);
       ]
     [ "illustrate/paper" ];
+  counter_table
+    ~title:"B9/B10 — engine cache: memo traffic per tier (cached vs no-cache)"
+    ~columns:
+      [
+        ("fj.hits", Obs.Names.cache_fj_hits);
+        ("fj.misses", Obs.Names.cache_fj_misses);
+        ("dg.hits", Obs.Names.cache_dg_hits);
+        ("dg.misses", Obs.Names.cache_dg_misses);
+        ("bytes", Obs.Names.cache_bytes_resident);
+      ]
+    (workload_names "engine/");
   (* Allocation per workload: the memory-side counterpart of part 2. *)
   let names = List.map fst workloads in
   let width =
     List.fold_left (fun w n -> max w (String.length n)) 8 names
   in
-  print_endline "B1–B8 — GC allocation per workload (words)";
+  print_endline "B1–B13 — GC allocation per workload (words)";
   print_newline ();
   Printf.printf "%-*s %14s %14s %14s\n" width "workload" "minor" "major"
     "promoted";
@@ -737,7 +842,7 @@ let () =
   let times =
     if bench || json then begin
       print_endline "######################################################";
-      print_endline "# Part 2: performance benchmarks (B1-B8)            #";
+      print_endline "# Part 2: performance benchmarks (B1-B13)           #";
       print_endline "######################################################\n";
       run_benchmarks ()
     end

@@ -22,7 +22,10 @@
    file trace.json), --stats (print the operator counters and span
    duration histograms afterwards) and --metrics[=FILE] (write the full
    metrics state — counters, histogram percentiles, span durations and
-   GC allocation, environment — as JSON; default file metrics.json). *)
+   GC allocation, environment — as JSON; default file metrics.json), and
+   --no-cache (disable the engine's F(J)/D(G) memo cache — every context
+   built downstream evaluates from scratch; the ablation switch used by
+   the benchmarks). *)
 
 open Relational
 open Cmdliner
@@ -34,18 +37,32 @@ open Cmdliner
    [clio_cli --trace=/tmp/t.json illustrate] and
    [clio_cli illustrate --stats] work. *)
 
-type obs_opts = { trace : string option; stats : bool; metrics : string option }
+type obs_opts = {
+  trace : string option;
+  stats : bool;
+  metrics : string option;
+  no_cache : bool;
+}
 
 let extract_obs_flags argv =
-  let trace = ref None and stats = ref false and metrics = ref None in
+  let trace = ref None
+  and stats = ref false
+  and metrics = ref None
+  and no_cache = ref false in
   let starts_with prefix s =
     String.length s >= String.length prefix
     && String.equal (String.sub s 0 (String.length prefix)) prefix
   in
-  let value_of arg =
-    (* "--flag=VALUE" -> VALUE *)
+  let value_of flag arg =
+    (* "--flag=VALUE" -> VALUE; an empty VALUE would silently create a file
+       named "" — reject it like cmdliner rejects a missing argument. *)
     let eq = String.index arg '=' in
-    String.sub arg (eq + 1) (String.length arg - eq - 1)
+    let v = String.sub arg (eq + 1) (String.length arg - eq - 1) in
+    if String.equal v "" then begin
+      Printf.eprintf "clio_cli: option '%s': FILE must not be empty\n" flag;
+      exit 124
+    end;
+    v
   in
   let keep =
     Array.to_list argv
@@ -54,12 +71,16 @@ let extract_obs_flags argv =
              stats := true;
              false
            end
+           else if String.equal arg "--no-cache" then begin
+             no_cache := true;
+             false
+           end
            else if String.equal arg "--trace" then begin
              trace := Some "trace.json";
              false
            end
            else if starts_with "--trace=" arg then begin
-             trace := Some (value_of arg);
+             trace := Some (value_of "--trace" arg);
              false
            end
            else if String.equal arg "--metrics" then begin
@@ -67,12 +88,13 @@ let extract_obs_flags argv =
              false
            end
            else if starts_with "--metrics=" arg then begin
-             metrics := Some (value_of arg);
+             metrics := Some (value_of "--metrics" arg);
              false
            end
            else true)
   in
-  (Array.of_list keep, { trace = !trace; stats = !stats; metrics = !metrics })
+  ( Array.of_list keep,
+    { trace = !trace; stats = !stats; metrics = !metrics; no_cache = !no_cache } )
 
 let database data_dir =
   match data_dir with
@@ -165,7 +187,7 @@ let walk_cmd =
         ~graph:(Querygraph.Qgraph.singleton ~alias:start ~base:start)
         ~target:"Out" ~target_cols:[] ()
     in
-    match Clio.Op_walk.data_walk ~kb m ~start ~goal ~max_len () with
+    match Clio.Op_walk.data_walk_kb ~kb m ~start ~goal ~max_len () with
     | [] -> Printf.printf "no walks from %s to %s within %d steps\n" start goal max_len
     | alts ->
         List.iteri
@@ -247,8 +269,9 @@ let illustrate_cmd =
   let run () =
     let db = Paperdata.Figure1.database in
     let m = Paperdata.Running.mapping in
-    let ill = Clio.illustrate db m in
-    let fd = Clio.Mapping_eval.data_associations db m in
+    let ctx = Clio.Eval_ctx.create ~kb:Paperdata.Figure1.kb db in
+    let ill = Clio.illustrate ctx m in
+    let fd = Clio.Mapping_eval.data_associations ctx m in
     print_endline
       (Clio.Illustration.render ~short:Paperdata.Figure1.short
          ~scheme:fd.Fulldisj.Full_disjunction.scheme ill)
@@ -282,7 +305,7 @@ let stats_cmd =
       List.map
         (fun (label, algorithm) ->
           Obs.reset ();
-          ignore (Clio.Mapping_eval.examples ~algorithm db m);
+          ignore (Clio.Mapping_eval.examples_db ~algorithm db m);
           (label, (Obs.Metrics.snapshot ()).Obs.Metrics.counters))
         algorithms
     in
@@ -293,7 +316,7 @@ let stats_cmd =
            []
     in
     print_endline
-      "Mapping_eval.examples on the paper mapping — operator counters per D(G) algorithm:";
+      "Mapping_eval.examples_db on the paper mapping — operator counters per D(G) algorithm:";
     print_newline ();
     let width = List.fold_left (fun w n -> max w (String.length n)) 7 names in
     Printf.printf "%-*s" width "counter";
@@ -312,7 +335,7 @@ let stats_cmd =
       names;
     (* End-to-end rollup of the default workflow, histograms included. *)
     Obs.reset ();
-    ignore (Clio.illustrate db m);
+    ignore (Clio.illustrate_db db m);
     print_newline ();
     print_endline "End-to-end `illustrate` rollup (indexed algorithm):";
     print_newline ();
@@ -321,7 +344,7 @@ let stats_cmd =
        explain.* counters (derivations enumerated, tuples matched) are
        visible next to the evaluation counters. *)
     Obs.reset ();
-    let exs = Clio.Mapping_eval.examples db m in
+    let exs = Clio.Mapping_eval.examples_db db m in
     (match
        List.find_opt (fun e -> e.Clio.Example.positive) exs
      with
@@ -339,13 +362,49 @@ let stats_cmd =
           in
           pick 0 cols
         in
-        ignore (Clio.Explain.of_target_tuple db m t);
-        Option.iter (fun col -> ignore (Clio.Explain.why_null db m t col)) null_col;
+        ignore (Clio.Explain.of_target_tuple_db db m t);
+        Option.iter (fun col -> ignore (Clio.Explain.why_null_db db m t col)) null_col;
         print_newline ();
         Printf.printf "Lineage rollup (`explain` on target row %s):\n"
           (Tuple.to_string t);
         print_newline ();
         print_endline (Obs.Metrics.render_counters ()));
+    (* Cache rollup: replay the interactive loop — offer alternatives,
+       rotate through them, confirm — inside one caching context, then show
+       the engine's cache counters (hits/misses/evictions per tier and
+       resident bytes).  This is the memoization the workspace UX rides on. *)
+    Obs.reset ();
+    let ctx = Clio.Eval_ctx.create ~kb:Paperdata.Figure1.kb db in
+    let g1 = Paperdata.Running.mapping_g1 in
+    let ws = Clio.Workspace.create ctx g1 in
+    let alts =
+      match
+        Clio.Op_walk.data_walk ctx g1 ~start:"Children" ~goal:"PhoneDir"
+          ~max_len:2 ()
+      with
+      | [] -> [ g1 ]
+      | walks -> List.map (fun (a : Clio.Op_walk.alternative) -> a.Clio.Op_walk.mapping) walks
+    in
+    let ws = Clio.Workspace.offer ws alts in
+    let ws = ref ws in
+    for _ = 1 to 2 * List.length alts do
+      ws := Clio.Workspace.rotate !ws;
+      ignore (Clio.Workspace.target_view !ws)
+    done;
+    ignore (Clio.Workspace.render (Clio.Workspace.confirm !ws));
+    print_newline ();
+    print_endline
+      "Cache rollup (workspace offer/rotate/confirm in one caching context):";
+    print_newline ();
+    let counters = (Obs.Metrics.snapshot ()).Obs.Metrics.counters in
+    let cache_counters =
+      List.filter
+        (fun (n, _) -> String.length n >= 6 && String.equal (String.sub n 0 6) "cache.")
+        counters
+    in
+    if cache_counters = [] then print_endline "  (no cache activity recorded)"
+    else
+      List.iter (fun (n, v) -> Printf.printf "  %-22s %10d\n" n v) cache_counters;
     Obs.disable ();
     Obs.reset ()
   in
@@ -372,10 +431,11 @@ let run_cmd =
   let run data file save html =
     let db = database data in
     let kb = kb_of db data in
+    let ctx = Clio.Eval_ctx.create ~kb db in
     let ic = open_in_bin file in
     let text = really_input_string ic (in_channel_length ic) in
     close_in ic;
-    match Clio.Script.run_result ~db ~kb text with
+    match Clio.Script.run_result_ctx ctx text with
     | Ok outcome ->
         List.iter print_endline outcome.Clio.Script.log;
         let emit what out render =
@@ -388,7 +448,7 @@ let run_cmd =
           | None -> Printf.eprintf "warning: no mapping for --%s\n" what
         in
         Option.iter (fun out -> emit "save" out Clio.Mapping_io.save) save;
-        Option.iter (fun out -> emit "html" out (Clio.Report_html.page db)) html
+        Option.iter (fun out -> emit "html" out (Clio.Report_html.page ctx)) html
     | Error e ->
         Printf.eprintf "error: %s\n" e;
         exit 1
@@ -401,7 +461,7 @@ let repl_cmd =
     let db = database data in
     let kb = kb_of db data in
     print_endline "clio repl — type commands (see Clio.Script); ctrl-d to quit";
-    let state = ref (Clio.Script.Interactive.start ~db ~kb) in
+    let state = ref (Clio.Script.Interactive.start_ctx (Clio.Eval_ctx.create ~kb db)) in
     (try
        while true do
          print_string "clio> ";
@@ -421,6 +481,7 @@ let repl_cmd =
 
 let () =
   let argv, obs = extract_obs_flags Sys.argv in
+  if obs.no_cache then Clio.Eval_ctx.set_caching_default false;
   if obs.trace <> None || obs.stats || obs.metrics <> None then Obs.enable ();
   let man =
     [
@@ -437,6 +498,11 @@ let () =
          (counters, histogram percentiles, per-span durations and GC \
          allocation, environment) as JSON (default $(i,metrics.json)) \
          after any subcommand.";
+      `P
+        "$(b,--no-cache) disables the engine's memoized evaluation cache \
+         (F(J) and D(G) tiers): every evaluation context built during the \
+         subcommand recomputes from scratch.  Useful for ablation and for \
+         reproducing pre-cache timings.";
     ]
   in
   let info =

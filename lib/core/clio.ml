@@ -1,5 +1,8 @@
 open Relational
 
+module Eval_ctx = Engine.Eval_ctx
+module Eval_cache = Engine.Eval_cache
+module Graph_key = Engine.Graph_key
 module Correspondence = Correspondence
 module Mapping = Mapping
 module Mapping_eval = Mapping_eval
@@ -41,10 +44,15 @@ let initial_mapping ~source ~target ~target_cols =
     ~graph:(Querygraph.Qgraph.singleton ~alias:source ~base:source)
     ~target ~target_cols ()
 
-let illustrate db (m : Mapping.t) =
+let context ?mine ?algorithm ?no_cache db =
+  Engine.Eval_ctx.create ?algorithm ?no_cache ~kb:(knowledge_base ?mine db) db
+
+let illustrate ctx (m : Mapping.t) =
   Obs.with_span Obs.Names.sp_illustrate (fun () ->
-      let universe = Mapping_eval.examples db m in
+      let universe = Mapping_eval.examples ctx m in
       Sufficiency.select ~universe ~target_cols:m.Mapping.target_cols ())
+
+let illustrate_db db m = illustrate (Engine.Eval_ctx.transient db) m
 
 let corr_identity target_col src_rel src_col =
   Correspondence.identity target_col (Attr.make src_rel src_col)

@@ -16,6 +16,13 @@
 
 open Relational
 
+(** The memoized evaluation engine (re-exported from [lib/engine]): every
+    operator evaluates through an {!Eval_ctx.t}, whose versioned cache
+    memoizes F(J) and D(G) across the interactive loop. *)
+module Eval_ctx = Engine.Eval_ctx
+
+module Eval_cache = Engine.Eval_cache
+module Graph_key = Engine.Graph_key
 module Correspondence = Correspondence
 module Mapping = Mapping
 module Mapping_eval = Mapping_eval
@@ -55,8 +62,20 @@ val knowledge_base : ?mine:bool -> Database.t -> Schemakb.Kb.t
 val initial_mapping :
   source:string -> target:string -> target_cols:string list -> Mapping.t
 
+(** One-call context setup: [context db] = a caching {!Eval_ctx.t} over
+    [db] with {!knowledge_base}[ ?mine db] attached. *)
+val context :
+  ?mine:bool ->
+  ?algorithm:Eval_ctx.algorithm ->
+  ?no_cache:bool ->
+  Database.t ->
+  Eval_ctx.t
+
 (** The mapping's universe of examples and a fresh sufficient illustration. *)
-val illustrate : Database.t -> Mapping.t -> Illustration.t
+val illustrate : Eval_ctx.t -> Mapping.t -> Illustration.t
+
+(** Deprecated shim: transient, cache-less context. *)
+val illustrate_db : Database.t -> Mapping.t -> Illustration.t
 
 (** Shorthands for common correspondences. *)
 val corr_identity : string -> string -> string -> Correspondence.t

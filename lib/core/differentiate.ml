@@ -5,8 +5,8 @@ module Qgraph = Querygraph.Qgraph
 type side = Only_left | Only_right
 type target_diff = { tuple : Tuple.t; side : side }
 
-let target_diff db (m1 : Mapping.t) (m2 : Mapping.t) =
-  let r1 = Mapping_eval.eval db m1 and r2 = Mapping_eval.eval db m2 in
+let target_diff ctx (m1 : Mapping.t) (m2 : Mapping.t) =
+  let r1 = Mapping_eval.eval ctx m1 and r2 = Mapping_eval.eval ctx m2 in
   if not (Schema.equal (Relation.schema r1) (Relation.schema r2)) then
     invalid_arg "Differentiate.target_diff: target schemas differ";
   let only_left =
@@ -21,7 +21,7 @@ let target_diff db (m1 : Mapping.t) (m2 : Mapping.t) =
   in
   only_left @ only_right
 
-let equivalent_on db m1 m2 = target_diff db m1 m2 = []
+let equivalent_on ctx m1 m2 = target_diff ctx m1 m2 = []
 
 type contrast = {
   focus_tuple : Tuple.t;
@@ -31,8 +31,8 @@ type contrast = {
 
 (* Positive target tuples of [m] grouped by the projection of their
    association onto [rel]. *)
-let targets_by_focus db (m : Mapping.t) rel =
-  let fd = Mapping_eval.data_associations db m in
+let targets_by_focus ctx (m : Mapping.t) rel =
+  let fd = Mapping_eval.data_associations ctx m in
   let scheme = fd.Full_disjunction.scheme in
   let positions = Schema.positions_of_rel scheme rel in
   if positions = [] then
@@ -46,11 +46,11 @@ let targets_by_focus db (m : Mapping.t) rel =
         if not (List.exists (Tuple.equal e.Example.target_tuple) existing) then
           Hashtbl.replace groups key (existing @ [ e.Example.target_tuple ])
       end)
-    (Mapping_eval.examples db m);
+    (Mapping_eval.examples ctx m);
   groups
 
-let distinguishing db ~rel (m1 : Mapping.t) (m2 : Mapping.t) =
-  let g1 = targets_by_focus db m1 rel and g2 = targets_by_focus db m2 rel in
+let distinguishing ctx ~rel (m1 : Mapping.t) (m2 : Mapping.t) =
+  let g1 = targets_by_focus ctx m1 rel and g2 = targets_by_focus ctx m2 rel in
   let keys = Hashtbl.create 32 in
   Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) g1;
   Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) g2;
@@ -76,3 +76,10 @@ let render ~target_schema contrasts =
       contrasts
   in
   Render.annotated ~qualified:false ~annot_header:"focus/alt" rows target_schema
+
+(* Deprecated [Database.t] shims. *)
+let target_diff_db db m1 m2 = target_diff (Engine.Eval_ctx.transient db) m1 m2
+let equivalent_on_db db m1 m2 = equivalent_on (Engine.Eval_ctx.transient db) m1 m2
+
+let distinguishing_db db ~rel m1 m2 =
+  distinguishing (Engine.Eval_ctx.transient db) ~rel m1 m2

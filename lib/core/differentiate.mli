@@ -23,12 +23,12 @@ type target_diff = { tuple : Tuple.t; side : side }
 
 (** Symmetric difference of the two mappings' (positive) results.  Raises
     [Invalid_argument] when the target schemas differ. *)
-val target_diff : Database.t -> Mapping.t -> Mapping.t -> target_diff list
+val target_diff : Engine.Eval_ctx.t -> Mapping.t -> Mapping.t -> target_diff list
 
 (** Two mappings are indistinguishable on this database when their results
     coincide — the paper notes a join/outer-join change "may have no effect
     due to constraints that hold on the source". *)
-val equivalent_on : Database.t -> Mapping.t -> Mapping.t -> bool
+val equivalent_on : Engine.Eval_ctx.t -> Mapping.t -> Mapping.t -> bool
 
 type contrast = {
   focus_tuple : Tuple.t;
@@ -40,7 +40,15 @@ type contrast = {
     whose induced target tuples differ between the mappings, the contrast.
     [rel] must be a node of both graphs with the same base. *)
 val distinguishing :
-  Database.t -> rel:string -> Mapping.t -> Mapping.t -> contrast list
+  Engine.Eval_ctx.t -> rel:string -> Mapping.t -> Mapping.t -> contrast list
 
 (** Render contrasts side by side. *)
 val render : target_schema:Schema.t -> contrast list -> string
+
+(** Deprecated [Database.t] shims, kept for one release. *)
+
+val target_diff_db : Database.t -> Mapping.t -> Mapping.t -> target_diff list
+val equivalent_on_db : Database.t -> Mapping.t -> Mapping.t -> bool
+
+val distinguishing_db :
+  Database.t -> rel:string -> Mapping.t -> Mapping.t -> contrast list

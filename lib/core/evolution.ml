@@ -11,14 +11,14 @@ let continues ~old_scheme ~new_scheme old_e new_e =
 let continuations ~old_scheme ~new_scheme old_e candidates =
   List.filter (continues ~old_scheme ~new_scheme old_e) candidates
 
-let schemes db (old_m : Mapping.t) (new_m : Mapping.t) =
-  let lookup = Database.find db in
+let schemes ctx (old_m : Mapping.t) (new_m : Mapping.t) =
+  let lookup = Engine.Eval_ctx.lookup ctx in
   ( Querygraph.Qgraph.scheme ~lookup old_m.Mapping.graph,
     Querygraph.Qgraph.scheme ~lookup new_m.Mapping.graph )
 
-let evolve db ~old_mapping ~old_illustration (new_m : Mapping.t) =
-  let old_scheme, new_scheme = schemes db old_mapping new_m in
-  let universe = Mapping_eval.examples db new_m in
+let evolve ctx ~old_mapping ~old_illustration (new_m : Mapping.t) =
+  let old_scheme, new_scheme = schemes ctx old_mapping new_m in
+  let universe = Mapping_eval.examples ctx new_m in
   let seed =
     List.filter_map
       (fun old_e ->
@@ -35,9 +35,9 @@ let evolve db ~old_mapping ~old_illustration (new_m : Mapping.t) =
   in
   Sufficiency.select ~seed ~universe ~target_cols:new_m.Mapping.target_cols ()
 
-let is_continuous db ~old_mapping ~old_illustration ~new_mapping illustration =
-  let old_scheme, new_scheme = schemes db old_mapping new_mapping in
-  let universe = Mapping_eval.examples db new_mapping in
+let is_continuous ctx ~old_mapping ~old_illustration ~new_mapping illustration =
+  let old_scheme, new_scheme = schemes ctx old_mapping new_mapping in
+  let universe = Mapping_eval.examples ctx new_mapping in
   List.for_all
     (fun old_e ->
       match continuations ~old_scheme ~new_scheme old_e universe with
@@ -49,3 +49,11 @@ let is_continuous db ~old_mapping ~old_illustration ~new_mapping illustration =
               && continues ~old_scheme ~new_scheme old_e e)
             universe)
     old_illustration
+
+(* Deprecated [Database.t] shims. *)
+let evolve_db db ~old_mapping ~old_illustration new_m =
+  evolve (Engine.Eval_ctx.transient db) ~old_mapping ~old_illustration new_m
+
+let is_continuous_db db ~old_mapping ~old_illustration ~new_mapping ill =
+  is_continuous (Engine.Eval_ctx.transient db) ~old_mapping ~old_illustration
+    ~new_mapping ill

@@ -27,7 +27,7 @@ val continuations :
 (** Evolve an illustration onto a new mapping: one continuation per old
     example (when one exists), then greedy top-up to sufficiency. *)
 val evolve :
-  Database.t ->
+  Engine.Eval_ctx.t ->
   old_mapping:Mapping.t ->
   old_illustration:Example.t list ->
   Mapping.t ->
@@ -36,6 +36,23 @@ val evolve :
 (** The continuity requirement: every old example that has a continuation
     among the new mapping's examples has one in the new illustration. *)
 val is_continuous :
+  Engine.Eval_ctx.t ->
+  old_mapping:Mapping.t ->
+  old_illustration:Example.t list ->
+  new_mapping:Mapping.t ->
+  Example.t list ->
+  bool
+
+(** Deprecated [Database.t] shims, kept for one release. *)
+
+val evolve_db :
+  Database.t ->
+  old_mapping:Mapping.t ->
+  old_illustration:Example.t list ->
+  Mapping.t ->
+  Example.t list
+
+val is_continuous_db :
   Database.t ->
   old_mapping:Mapping.t ->
   old_illustration:Example.t list ->

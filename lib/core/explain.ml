@@ -12,8 +12,8 @@ type null_reason =
   | Source_relation_absent of string list
   | Computed_null
 
-let scheme db (m : Mapping.t) =
-  (Mapping_eval.data_associations db m).Full_disjunction.scheme
+let scheme ctx (m : Mapping.t) =
+  (Mapping_eval.data_associations ctx m).Full_disjunction.scheme
 
 let provenance_of_example sch (e : Example.t) =
   let aliases = Schema.rels sch in
@@ -27,11 +27,11 @@ let provenance_of_example sch (e : Example.t) =
   in
   { example = e; contributions }
 
-let of_target_tuple db (m : Mapping.t) target_tuple =
+let of_target_tuple ctx (m : Mapping.t) target_tuple =
   Obs.with_span Obs.Names.sp_explain @@ fun () ->
-  let sch = scheme db m in
+  let sch = scheme ctx m in
   let derivations =
-    Mapping_eval.examples db m
+    Mapping_eval.examples ctx m
     |> List.filter (fun e ->
            Obs.count Obs.Names.explain_tuples_matched;
            e.Example.positive && Tuple.equal e.Example.target_tuple target_tuple)
@@ -43,9 +43,9 @@ let of_target_tuple db (m : Mapping.t) target_tuple =
   end;
   derivations
 
-let why_null db (m : Mapping.t) target_tuple col =
+let why_null ctx (m : Mapping.t) target_tuple col =
   Obs.with_span ~attrs:[ ("column", col) ] Obs.Names.sp_why_null @@ fun () ->
-  let provs = of_target_tuple db m target_tuple in
+  let provs = of_target_tuple ctx m target_tuple in
   match Mapping.correspondence_for m col with
   | None -> List.map (fun p -> (p, Not_mapped)) provs
   | Some corr ->
@@ -76,3 +76,12 @@ let render sch p =
         (Tuple.to_string p.example.Example.target_tuple)
         (Example.tag p.example))
     :: lines)
+
+(* Deprecated [Database.t] shims. *)
+let scheme_db db m = scheme (Engine.Eval_ctx.transient db) m
+
+let of_target_tuple_db db m target_tuple =
+  of_target_tuple (Engine.Eval_ctx.transient db) m target_tuple
+
+let why_null_db db m target_tuple col =
+  why_null (Engine.Eval_ctx.transient db) m target_tuple col

@@ -17,7 +17,7 @@ type provenance = {
 (** All derivations of a target tuple under a mapping (several data
     associations can induce the same target row). *)
 val of_target_tuple :
-  Database.t -> Mapping.t -> Tuple.t -> provenance list
+  Engine.Eval_ctx.t -> Mapping.t -> Tuple.t -> provenance list
 
 (** Why is this column null in this row?  Either no correspondence exists,
     the correspondence computed null from the sources, or the covering
@@ -28,9 +28,22 @@ type null_reason =
   | Computed_null  (** correspondence evaluated to null on present sources *)
 
 val why_null :
-  Database.t -> Mapping.t -> Tuple.t -> string -> (provenance * null_reason) list
+  Engine.Eval_ctx.t ->
+  Mapping.t ->
+  Tuple.t ->
+  string ->
+  (provenance * null_reason) list
 
 val render : Schema.t -> provenance -> string
 
 (** D(G)'s scheme for the mapping (needed to render provenances). *)
-val scheme : Database.t -> Mapping.t -> Schema.t
+val scheme : Engine.Eval_ctx.t -> Mapping.t -> Schema.t
+
+(** Deprecated [Database.t] shims, kept for one release. *)
+
+val of_target_tuple_db : Database.t -> Mapping.t -> Tuple.t -> provenance list
+
+val why_null_db :
+  Database.t -> Mapping.t -> Tuple.t -> string -> (provenance * null_reason) list
+
+val scheme_db : Database.t -> Mapping.t -> Schema.t

@@ -11,12 +11,12 @@ let pp ppf = function
       Format.fprintf ppf "associations covering {%s}" (String.concat ", " rs)
   | Full_disjunction -> Format.pp_print_string ppf "full disjunction"
 
-let associations db (m : Mapping.t) = function
-  | Full_disjunction -> Mapping_eval.data_associations db m
+let associations ctx (m : Mapping.t) = function
+  | Full_disjunction -> Mapping_eval.data_associations ctx m
   | Inner_join ->
-      let lookup = Database.find db in
+      (* F(G) through the context so the memoized join is shared. *)
       let g = m.Mapping.graph in
-      let f = Join_eval.full_associations ~lookup g in
+      let f = Engine.Eval_ctx.full_associations ctx g in
       let scheme = Relation.schema f in
       let cov = Coverage.of_list (Qgraph.aliases g) in
       {
@@ -27,7 +27,7 @@ let associations db (m : Mapping.t) = function
           List.map (fun t -> Assoc.make t cov) (Relation.tuples f);
       }
   | Rooted root ->
-      let fd = Mapping_eval.data_associations db m in
+      let fd = Mapping_eval.data_associations ctx m in
       {
         fd with
         Full_disjunction.associations =
@@ -36,7 +36,7 @@ let associations db (m : Mapping.t) = function
             fd.Full_disjunction.associations;
       }
   | Covering required ->
-      let fd = Mapping_eval.data_associations db m in
+      let fd = Mapping_eval.data_associations ctx m in
       {
         fd with
         Full_disjunction.associations =
@@ -46,8 +46,8 @@ let associations db (m : Mapping.t) = function
             fd.Full_disjunction.associations;
       }
 
-let eval db (m : Mapping.t) interp =
-  let fd = associations db m interp in
+let eval ctx (m : Mapping.t) interp =
+  let fd = associations ctx m interp in
   let tr = Mapping_eval.transform fd m in
   let src_ok =
     let fs =
@@ -76,8 +76,8 @@ type comparison = {
   only_b : Tuple.t list;
 }
 
-let compare_under db m a b =
-  let ra = eval db m a and rb = eval db m b in
+let compare_under ctx m a b =
+  let ra = eval ctx m a and rb = eval ctx m b in
   {
     interpretation_a = a;
     interpretation_b = b;
@@ -85,8 +85,8 @@ let compare_under db m a b =
     only_b = Relation.tuples rb |> List.filter (fun t -> not (Relation.mem ra t));
   }
 
-let no_effect db m a b =
-  let c = compare_under db m a b in
+let no_effect ctx m a b =
+  let c = compare_under ctx m a b in
   c.only_a = [] && c.only_b = []
 
 let render_comparison ~target_schema c =
@@ -98,3 +98,8 @@ let render_comparison ~target_schema c =
   in
   if rows = [] then "(no difference on this database)"
   else Render.annotated ~qualified:false ~annot_header:"difference" rows target_schema
+
+(* Deprecated [Database.t] shims. *)
+let eval_db db m interp = eval (Engine.Eval_ctx.transient db) m interp
+let compare_under_db db m a b = compare_under (Engine.Eval_ctx.transient db) m a b
+let no_effect_db db m a b = no_effect (Engine.Eval_ctx.transient db) m a b

@@ -24,7 +24,7 @@ val pp : Format.formatter -> t -> unit
 
 (** Evaluate the mapping's query under an interpretation (its own filters
     still apply). *)
-val eval : Database.t -> Mapping.t -> t -> Relation.t
+val eval : Engine.Eval_ctx.t -> Mapping.t -> t -> Relation.t
 
 type comparison = {
   interpretation_a : t;
@@ -34,10 +34,16 @@ type comparison = {
 }
 
 (** Compare two interpretations of the same mapping. *)
-val compare_under : Database.t -> Mapping.t -> t -> t -> comparison
+val compare_under : Engine.Eval_ctx.t -> Mapping.t -> t -> t -> comparison
 
 (** No difference on this database — e.g. turning the Children–Parents join
     inner is invisible when every child has a parent. *)
-val no_effect : Database.t -> Mapping.t -> t -> t -> bool
+val no_effect : Engine.Eval_ctx.t -> Mapping.t -> t -> t -> bool
 
 val render_comparison : target_schema:Schema.t -> comparison -> string
+
+(** Deprecated [Database.t] shims, kept for one release. *)
+
+val eval_db : Database.t -> Mapping.t -> t -> Relation.t
+val compare_under_db : Database.t -> Mapping.t -> t -> t -> comparison
+val no_effect_db : Database.t -> Mapping.t -> t -> t -> bool

@@ -32,8 +32,8 @@ let possibly_positive_categories (m : Mapping.t) =
    surviving category, then indexed subsumption removal among them.  This
    is exactly the restriction of D(G) (subsumers live in superset
    categories, and required aliases are inherited by supersets). *)
-let eval_pruned db (m : Mapping.t) =
-  let lookup = Database.find db in
+let eval_pruned ctx (m : Mapping.t) =
+  let lookup = Engine.Eval_ctx.lookup ctx in
   let g = m.Mapping.graph in
   let scheme = Qgraph.scheme ~lookup g in
   let survivors = possibly_positive_categories m in
@@ -41,7 +41,8 @@ let eval_pruned db (m : Mapping.t) =
     List.concat_map
       (fun aliases ->
         let j = Qgraph.induced g aliases in
-        let fj = Join_eval.full_associations ~lookup j in
+        (* per-category F(J) through the context's memo cache *)
+        let fj = Engine.Eval_ctx.full_associations ctx j in
         Relation.tuples (Algebra.pad fj scheme))
       survivors
   in
@@ -81,3 +82,6 @@ let eval_pruned db (m : Mapping.t) =
            if tgt_ok t then Some t else None
          else None)
        fd.Full_disjunction.associations)
+
+(* Deprecated [Database.t] shim. *)
+let eval_pruned_db db m = eval_pruned (Engine.Eval_ctx.transient db) m

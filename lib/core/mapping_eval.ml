@@ -1,27 +1,19 @@
 open Relational
 open Fulldisj
-module Qgraph = Querygraph.Qgraph
+module Eval_ctx = Engine.Eval_ctx
 
-type algorithm = Naive | Indexed | Outerjoin_if_tree
+type algorithm = Engine.Eval_ctx.algorithm = Naive | Indexed | Outerjoin_if_tree
 
-let algorithm_name = function
-  | Naive -> "naive"
-  | Indexed -> "indexed"
-  | Outerjoin_if_tree -> "outerjoin-if-tree"
+let algorithm_name = Engine.Eval_ctx.algorithm_name
 
-let data_associations ?(algorithm = Indexed) db (m : Mapping.t) =
-  let lookup = Database.find db in
+let data_associations ?algorithm ctx (m : Mapping.t) =
+  let alg =
+    match algorithm with Some a -> a | None -> Eval_ctx.algorithm ctx
+  in
   Obs.with_span
-    ~attrs:[ ("algorithm", algorithm_name algorithm) ]
+    ~attrs:[ ("algorithm", algorithm_name alg) ]
     Obs.Names.sp_data_associations
-    (fun () ->
-      match algorithm with
-      | Naive -> Full_disjunction.naive ~lookup m.Mapping.graph
-      | Indexed -> Full_disjunction.compute ~lookup m.Mapping.graph
-      | Outerjoin_if_tree ->
-          if Outerjoin_plan.is_tree m.Mapping.graph then
-            Outerjoin_plan.full_disjunction ~lookup m.Mapping.graph
-          else Full_disjunction.compute ~lookup m.Mapping.graph)
+    (fun () -> Eval_ctx.data_associations ~algorithm:alg ctx m.Mapping.graph)
 
 let transform (fd : Full_disjunction.result) (m : Mapping.t) =
   let compiled =
@@ -45,9 +37,9 @@ let compile_target_filters (m : Mapping.t) =
   let fs = List.map (Predicate.compile schema) m.Mapping.target_filters in
   fun tuple -> List.for_all (fun f -> f tuple) fs
 
-let examples ?algorithm db (m : Mapping.t) =
+let examples ?algorithm ctx (m : Mapping.t) =
   Obs.with_span Obs.Names.sp_examples (fun () ->
-      let fd = data_associations ?algorithm db m in
+      let fd = data_associations ?algorithm ctx m in
       let tr = transform fd m in
       let src_ok = compile_source_filters fd m in
       let tgt_ok = compile_target_filters m in
@@ -78,9 +70,9 @@ let apply_one (fd : Full_disjunction.result) (m : Mapping.t) (a : Assoc.t) =
     if tgt_ok t then Some t else None
   else None
 
-let eval ?algorithm db (m : Mapping.t) =
+let eval ?algorithm ctx (m : Mapping.t) =
   Obs.with_span Obs.Names.sp_eval (fun () ->
-      let exs = examples ?algorithm db m in
+      let exs = examples ?algorithm ctx m in
       Relation.make ~allow_all_null:true m.Mapping.target
         (Mapping.target_schema m)
         (List.filter_map
@@ -89,3 +81,11 @@ let eval ?algorithm db (m : Mapping.t) =
            exs))
 
 let target_view = eval
+
+(* Deprecated [Database.t] shims (transient, cache-less context). *)
+let data_associations_db ?algorithm db m =
+  data_associations ?algorithm (Eval_ctx.transient db) m
+
+let examples_db ?algorithm db m = examples ?algorithm (Eval_ctx.transient db) m
+let eval_db ?algorithm db m = eval ?algorithm (Eval_ctx.transient db) m
+let target_view_db = eval_db

@@ -3,17 +3,26 @@
 
     The pipeline is: D(G) → apply C_S per association → transform through V
     → apply C_T.  {!examples} runs the same pipeline without dropping
-    anything, recording each association's polarity instead. *)
+    anything, recording each association's polarity instead.
+
+    All entry points evaluate through an {!Engine.Eval_ctx}: D(G) and every
+    per-subgraph F(J) go through the context's memo cache (when enabled),
+    which is what makes the interactive offer/rotate/refine loop cheap.
+    The [_db] variants are deprecated shims that build a transient,
+    cache-less context. *)
 
 open Relational
 open Fulldisj
 
-(** Choice of D(G) algorithm (see {!Fulldisj.Full_disjunction}). *)
-type algorithm = Naive | Indexed | Outerjoin_if_tree
+(** Choice of D(G) algorithm — re-exported {!Engine.Eval_ctx.algorithm}.
+    [None] at a call site means the context's own algorithm. *)
+type algorithm = Engine.Eval_ctx.algorithm = Naive | Indexed | Outerjoin_if_tree
+
+val algorithm_name : algorithm -> string
 
 (** D(G) for the mapping's query graph. *)
 val data_associations :
-  ?algorithm:algorithm -> Database.t -> Mapping.t -> Full_disjunction.result
+  ?algorithm:algorithm -> Engine.Eval_ctx.t -> Mapping.t -> Full_disjunction.result
 
 (** Compiled transform Q_{φ(M)}: maps an association tuple (over
     [fd.scheme]) to a target tuple.  Target columns without a
@@ -23,7 +32,8 @@ val transform :
 
 (** All examples of the mapping: one per data association, tagged positive
     or negative (Definition 4.1). *)
-val examples : ?algorithm:algorithm -> Database.t -> Mapping.t -> Example.t list
+val examples :
+  ?algorithm:algorithm -> Engine.Eval_ctx.t -> Mapping.t -> Example.t list
 
 (** Q_M(d) for a single association: [Some t] if [d] passes C_S and [t]
     passes C_T, else [None]. *)
@@ -31,8 +41,18 @@ val apply_one :
   Full_disjunction.result -> Mapping.t -> Assoc.t -> Tuple.t option
 
 (** The mapping query result: a subset of the target relation (distinct). *)
-val eval : ?algorithm:algorithm -> Database.t -> Mapping.t -> Relation.t
+val eval : ?algorithm:algorithm -> Engine.Eval_ctx.t -> Mapping.t -> Relation.t
 
 (** Positive examples only, as a relation over the target schema — the
     "target viewer" contents for this mapping. *)
-val target_view : ?algorithm:algorithm -> Database.t -> Mapping.t -> Relation.t
+val target_view :
+  ?algorithm:algorithm -> Engine.Eval_ctx.t -> Mapping.t -> Relation.t
+
+(** Deprecated [Database.t] shims, kept for one release. *)
+
+val data_associations_db :
+  ?algorithm:algorithm -> Database.t -> Mapping.t -> Full_disjunction.result
+
+val examples_db : ?algorithm:algorithm -> Database.t -> Mapping.t -> Example.t list
+val eval_db : ?algorithm:algorithm -> Database.t -> Mapping.t -> Relation.t
+val target_view_db : ?algorithm:algorithm -> Database.t -> Mapping.t -> Relation.t

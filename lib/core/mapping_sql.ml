@@ -141,9 +141,11 @@ let outer_join ~root (m : Mapping.t) =
     (String.concat "\n  " joins)
     (where_clause filters)
 
-let rooted_equivalent db ~root (m : Mapping.t) =
-  let reference = Mapping_eval.eval db m in
-  let fd = Outerjoin_plan.rooted ~lookup:(Database.find db) ~root m.Mapping.graph in
+let rooted_equivalent ctx ~root (m : Mapping.t) =
+  let reference = Mapping_eval.eval ctx m in
+  let fd =
+    Outerjoin_plan.rooted (Engine.Eval_ctx.source ctx) ~root m.Mapping.graph
+  in
   let tr = Mapping_eval.transform fd m in
   let src_ok =
     let fs =
@@ -169,3 +171,7 @@ let rooted_equivalent db ~root (m : Mapping.t) =
          fd.Full_disjunction.associations)
   in
   Relation.equal_contents reference rooted_result
+
+(* Deprecated [Database.t] shim. *)
+let rooted_equivalent_db db ~root m =
+  rooted_equivalent (Engine.Eval_ctx.transient db) ~root m

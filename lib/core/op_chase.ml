@@ -11,7 +11,8 @@ type alternative = {
   description : string;
 }
 
-let occurrences_anywhere ?index db v =
+let occurrences_anywhere ?index ctx v =
+  let db = Engine.Eval_ctx.db ctx in
   match index with
   | Some idx ->
       Value_index.find idx v
@@ -21,14 +22,14 @@ let occurrences_anywhere ?index db v =
       Database.find_value db v
       |> List.map (fun (rel, column, count) -> { rel; column; count })
 
-let occurrences ?index db (m : Mapping.t) v =
+let occurrences ?index ctx (m : Mapping.t) v =
   let bases =
     Qgraph.nodes m.Mapping.graph |> List.map (fun n -> n.Qgraph.base)
   in
-  occurrences_anywhere ?index db v
+  occurrences_anywhere ?index ctx v
   |> List.filter (fun o -> not (List.mem o.rel bases))
 
-let chase ?illustration ?index db (m : Mapping.t) ~attr ~value =
+let chase ?illustration ?index ctx (m : Mapping.t) ~attr ~value =
   Obs.with_span Obs.Names.sp_chase @@ fun () ->
   if Obs.enabled () then begin
     Obs.set_attr "attr" (Attr.to_string attr);
@@ -40,7 +41,7 @@ let chase ?illustration ?index db (m : Mapping.t) ~attr ~value =
   (match illustration with
   | None -> ()
   | Some exs ->
-      let fd = Mapping_eval.data_associations db m in
+      let fd = Mapping_eval.data_associations ctx m in
       let scheme = fd.Full_disjunction.scheme in
       let pos = Schema.index scheme attr in
       let shown =
@@ -52,7 +53,7 @@ let chase ?illustration ?index db (m : Mapping.t) ~attr ~value =
         invalid_arg
           (Printf.sprintf "Op_chase.chase: value %s not visible in %s of the illustration"
              (Value.to_string value) (Attr.to_string attr)));
-  let occs = occurrences ?index db m value in
+  let occs = occurrences ?index ctx m value in
   if Obs.enabled () then begin
     (* occurrences = tuples carrying the value; alternatives = extension
        sites offered to the user (one per relation.column). *)
@@ -79,3 +80,13 @@ let chase ?illustration ?index db (m : Mapping.t) ~attr ~value =
                (if o.count = 1 then "" else "s")
                alias (Predicate.to_sql pred);
          })
+
+(* Deprecated [Database.t] shims. *)
+let occurrences_anywhere_db ?index db v =
+  occurrences_anywhere ?index (Engine.Eval_ctx.transient db) v
+
+let occurrences_db ?index db m v =
+  occurrences ?index (Engine.Eval_ctx.transient db) m v
+
+let chase_db ?illustration ?index db m ~attr ~value =
+  chase ?illustration ?index (Engine.Eval_ctx.transient db) m ~attr ~value

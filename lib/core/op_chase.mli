@@ -23,19 +23,40 @@ type alternative = {
     [index] ({!Relational.Value_index}) to avoid the full scan — bench B5
     compares both paths. *)
 val occurrences :
-  ?index:Value_index.t -> Database.t -> Mapping.t -> Value.t -> occurrence list
+  ?index:Value_index.t ->
+  Engine.Eval_ctx.t ->
+  Mapping.t ->
+  Value.t ->
+  occurrence list
 
 (** All chase occurrences of a value anywhere in the database, including
     mapped relations — the Figure 5 display ("002 appears in one attribute
     of SBPS and in two attributes of XmasBar"). *)
 val occurrences_anywhere :
-  ?index:Value_index.t -> Database.t -> Value.t -> occurrence list
+  ?index:Value_index.t -> Engine.Eval_ctx.t -> Value.t -> occurrence list
 
 (** The operator.  [attr] is Q[A] (Q an alias of the mapping's graph);
     raises [Invalid_argument] if Q is not in the graph.  The optional
     [illustration] is validated to actually exhibit [value] in Q[A] —
     chases start from data the user can see. *)
 val chase :
+  ?illustration:Example.t list ->
+  ?index:Value_index.t ->
+  Engine.Eval_ctx.t ->
+  Mapping.t ->
+  attr:Attr.t ->
+  value:Value.t ->
+  alternative list
+
+(** Deprecated [Database.t] shims, kept for one release. *)
+
+val occurrences_db :
+  ?index:Value_index.t -> Database.t -> Mapping.t -> Value.t -> occurrence list
+
+val occurrences_anywhere_db :
+  ?index:Value_index.t -> Database.t -> Value.t -> occurrence list
+
+val chase_db :
   ?illustration:Example.t list ->
   ?index:Value_index.t ->
   Database.t ->

@@ -8,9 +8,9 @@ type change = {
 
 (* Examples pair up across the two mappings by association (the graph is
    unchanged, so D(G) is identical). *)
-let diff db old_m new_m =
-  let old_exs = Mapping_eval.examples db old_m in
-  let new_exs = Mapping_eval.examples db new_m in
+let diff ctx old_m new_m =
+  let old_exs = Mapping_eval.examples ctx old_m in
+  let new_exs = Mapping_eval.examples ctx new_m in
   let old_polarity a =
     List.find_opt (fun e -> Fulldisj.Assoc.equal e.Example.assoc a) old_exs
     |> Option.map Example.is_positive
@@ -29,10 +29,18 @@ let diff db old_m new_m =
   in
   { mapping = new_m; became_negative; became_positive }
 
-let add_source_filter db m p = diff db m (Mapping.add_source_filter m p)
-let add_target_filter db m p = diff db m (Mapping.add_target_filter m p)
-let remove_source_filter db m p = diff db m (Mapping.remove_source_filter m p)
-let remove_target_filter db m p = diff db m (Mapping.remove_target_filter m p)
+let add_source_filter ctx m p = diff ctx m (Mapping.add_source_filter m p)
+let add_target_filter ctx m p = diff ctx m (Mapping.add_target_filter m p)
+let remove_source_filter ctx m p = diff ctx m (Mapping.remove_source_filter m p)
+let remove_target_filter ctx m p = diff ctx m (Mapping.remove_target_filter m p)
 
-let require_target_column db m col =
-  add_target_filter db m (Predicate.Is_not_null (Expr.col m.Mapping.target col))
+let require_target_column ctx m col =
+  add_target_filter ctx m (Predicate.Is_not_null (Expr.col m.Mapping.target col))
+
+(* Deprecated [Database.t] shims. *)
+let tr = Engine.Eval_ctx.transient
+let add_source_filter_db db m p = add_source_filter (tr db) m p
+let add_target_filter_db db m p = add_target_filter (tr db) m p
+let remove_source_filter_db db m p = remove_source_filter (tr db) m p
+let remove_target_filter_db db m p = remove_target_filter (tr db) m p
+let require_target_column_db db m col = require_target_column (tr db) m col

@@ -10,12 +10,24 @@ type change = {
   became_positive : Example.t list;
 }
 
-val add_source_filter : Database.t -> Mapping.t -> Predicate.t -> change
-val add_target_filter : Database.t -> Mapping.t -> Predicate.t -> change
-val remove_source_filter : Database.t -> Mapping.t -> Predicate.t -> change
-val remove_target_filter : Database.t -> Mapping.t -> Predicate.t -> change
+val add_source_filter : Engine.Eval_ctx.t -> Mapping.t -> Predicate.t -> change
+val add_target_filter : Engine.Eval_ctx.t -> Mapping.t -> Predicate.t -> change
+
+val remove_source_filter :
+  Engine.Eval_ctx.t -> Mapping.t -> Predicate.t -> change
+
+val remove_target_filter :
+  Engine.Eval_ctx.t -> Mapping.t -> Predicate.t -> change
 
 (** "Indicate that [col] is really a required field" (Section 2): adds the
     target filter [col is not null].  The outer-join SQL generator renders
     the corresponding join as inner. *)
-val require_target_column : Database.t -> Mapping.t -> string -> change
+val require_target_column : Engine.Eval_ctx.t -> Mapping.t -> string -> change
+
+(** Deprecated [Database.t] shims, kept for one release. *)
+
+val add_source_filter_db : Database.t -> Mapping.t -> Predicate.t -> change
+val add_target_filter_db : Database.t -> Mapping.t -> Predicate.t -> change
+val remove_source_filter_db : Database.t -> Mapping.t -> Predicate.t -> change
+val remove_target_filter_db : Database.t -> Mapping.t -> Predicate.t -> change
+val require_target_column_db : Database.t -> Mapping.t -> string -> change

@@ -105,7 +105,7 @@ let path_end path start =
   | _ :: _ as ends -> List.hd ends
   | [] -> start
 
-let data_walk ~kb (m : Mapping.t) ~start ~goal ?max_len () =
+let data_walk_kb ~kb (m : Mapping.t) ~start ~goal ?max_len () =
   Obs.with_span
     ~attrs:[ ("start", start); ("goal", goal) ]
     Obs.Names.sp_walk
@@ -137,10 +137,10 @@ let data_walk ~kb (m : Mapping.t) ~start ~goal ?max_len () =
         Obs.add Obs.Names.walk_alternatives (List.length alternatives);
       alternatives)
 
-let data_walk_any_start ~kb (m : Mapping.t) ~goal ?max_len () =
+let data_walk_any_start_kb ~kb (m : Mapping.t) ~goal ?max_len () =
   let all =
     List.concat_map
-      (fun start -> data_walk ~kb m ~start ~goal ?max_len ())
+      (fun start -> data_walk_kb ~kb m ~start ~goal ?max_len ())
       (Qgraph.aliases m.Mapping.graph)
   in
   (* Different starts can induce the same final graph; keep the first. *)
@@ -163,3 +163,12 @@ let data_walk_any_start ~kb (m : Mapping.t) ~goal ?max_len () =
     (fun g ->
       List.find (fun a -> Qgraph.equal a.mapping.Mapping.graph g) deduped)
     ranked
+
+(* Context-first entry points: the walk reads only the knowledge base, but
+   taking the context keeps one calling convention across operators (and
+   alternatives are then evaluated through the same context's cache). *)
+let data_walk ctx m ~start ~goal ?max_len () =
+  data_walk_kb ~kb:(Engine.Eval_ctx.kb ctx) m ~start ~goal ?max_len ()
+
+let data_walk_any_start ctx m ~goal ?max_len () =
+  data_walk_any_start_kb ~kb:(Engine.Eval_ctx.kb ctx) m ~goal ?max_len ()

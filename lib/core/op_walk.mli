@@ -32,9 +32,10 @@ val walks :
   unit ->
   Qgraph.t list
 
-(** The operator: alternatives ranked by {!Schemakb.Rank}. *)
+(** The operator: alternatives ranked by {!Schemakb.Rank}.  Uses the
+    context's knowledge base. *)
 val data_walk :
-  kb:Schemakb.Kb.t ->
+  Engine.Eval_ctx.t ->
   Mapping.t ->
   start:string ->
   goal:string ->
@@ -44,4 +45,28 @@ val data_walk :
 
 (** Walk trying every node of the mapping's graph as the start. *)
 val data_walk_any_start :
-  kb:Schemakb.Kb.t -> Mapping.t -> goal:string -> ?max_len:int -> unit -> alternative list
+  Engine.Eval_ctx.t ->
+  Mapping.t ->
+  goal:string ->
+  ?max_len:int ->
+  unit ->
+  alternative list
+
+(** Deprecated [kb:]-labelled shims, kept for one release. *)
+
+val data_walk_kb :
+  kb:Schemakb.Kb.t ->
+  Mapping.t ->
+  start:string ->
+  goal:string ->
+  ?max_len:int ->
+  unit ->
+  alternative list
+
+val data_walk_any_start_kb :
+  kb:Schemakb.Kb.t ->
+  Mapping.t ->
+  goal:string ->
+  ?max_len:int ->
+  unit ->
+  alternative list

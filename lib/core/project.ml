@@ -17,13 +17,16 @@ let retract t i =
 
 let mappings t = t.mappings
 
-let materialize ?(minimal = false) db t =
+let materialize ?(minimal = false) ctx t =
   match t.mappings with
   | [] ->
       Relation.make ~allow_all_null:true t.target
         (Schema.make t.target t.target_cols)
         []
-  | ms -> if minimal then Target.assemble_min db ms else Target.assemble db ms
+  | ms -> if minimal then Target.assemble_min ctx ms else Target.assemble ctx ms
+
+let materialize_db ?minimal db t =
+  materialize ?minimal (Engine.Eval_ctx.transient db) t
 
 type column_report = {
   column : string;
@@ -32,8 +35,8 @@ type column_report = {
   total_rows : int;
 }
 
-let completeness ?minimal db t =
-  let result = materialize ?minimal db t in
+let completeness ?minimal ctx t =
+  let result = materialize ?minimal ctx t in
   let schema = Relation.schema result in
   let total_rows = Relation.cardinality result in
   List.map
@@ -52,6 +55,9 @@ let completeness ?minimal db t =
       in
       { column = col; mapped_by; non_null_rows; total_rows })
     t.target_cols
+
+let completeness_db ?minimal db t =
+  completeness ?minimal (Engine.Eval_ctx.transient db) t
 
 let render_completeness reports =
   let header = [ "column"; "mapped by"; "non-null"; "rows"; "coverage" ] in

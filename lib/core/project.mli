@@ -26,7 +26,7 @@ val mappings : t -> Mapping.t list
 
 (** The assembled target: distinct union of all accepted mappings'
     results; with [minimal:true], strictly subsumed rows are removed. *)
-val materialize : ?minimal:bool -> Database.t -> t -> Relation.t
+val materialize : ?minimal:bool -> Engine.Eval_ctx.t -> t -> Relation.t
 
 type column_report = {
   column : string;
@@ -36,6 +36,11 @@ type column_report = {
 }
 
 (** Per-column completeness of the materialized target. *)
-val completeness : ?minimal:bool -> Database.t -> t -> column_report list
+val completeness : ?minimal:bool -> Engine.Eval_ctx.t -> t -> column_report list
+
+(** Deprecated [Database.t] shims (transient, cache-less context). *)
+
+val materialize_db : ?minimal:bool -> Database.t -> t -> Relation.t
+val completeness_db : ?minimal:bool -> Database.t -> t -> column_report list
 
 val render_completeness : column_report list -> string

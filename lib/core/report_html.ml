@@ -61,10 +61,10 @@ let relation_table r =
       |> List.map (fun a -> a.Attr.name))
     (Relation.tuples r)
 
-let page ?title ?short ?root db (m : Mapping.t) =
+let page ?title ?short ?root ctx (m : Mapping.t) =
   let title = Option.value title ~default:("Mapping into " ^ m.Mapping.target) in
-  let fd = Mapping_eval.data_associations db m in
-  let universe = Mapping_eval.examples db m in
+  let fd = Mapping_eval.data_associations ctx m in
+  let universe = Mapping_eval.examples ctx m in
   let ill = Sufficiency.select ~universe ~target_cols:m.Mapping.target_cols () in
   let scheme = fd.Full_disjunction.scheme in
   let b = Buffer.create 8192 in
@@ -106,7 +106,7 @@ let page ?title ?short ?root db (m : Mapping.t) =
        (List.map (fun e -> e.Example.target_tuple) ill));
 
   add "<h2>Target view (WYSIWYG)</h2>%s"
-    (relation_table (Mapping_eval.target_view db m));
+    (relation_table (Mapping_eval.target_view ctx m));
 
   add "<h2>Generated SQL</h2><pre>%s</pre>"
     (escape
@@ -118,3 +118,7 @@ let page ?title ?short ?root db (m : Mapping.t) =
         else Mapping_sql.canonical m));
   add "</body></html>";
   Buffer.contents b
+
+(* Deprecated [Database.t] shim. *)
+let page_db ?title ?short ?root db m =
+  page ?title ?short ?root (Engine.Eval_ctx.transient db) m

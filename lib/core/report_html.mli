@@ -5,11 +5,20 @@
 
 open Relational
 
-(** [page db m] — a complete HTML document.  [title] defaults to the
+(** [page ctx m] — a complete HTML document.  [title] defaults to the
     target relation's name; [short] abbreviates coverage tags; [root]
     (default: first alias) selects the outer-join SQL root when the graph
     is a tree — for non-tree graphs the canonical form is shown instead. *)
 val page :
+  ?title:string ->
+  ?short:(string -> string option) ->
+  ?root:string ->
+  Engine.Eval_ctx.t ->
+  Mapping.t ->
+  string
+
+(** Deprecated [Database.t] shim, kept for one release. *)
+val page_db :
   ?title:string ->
   ?short:(string -> string option) ->
   ?root:string ->

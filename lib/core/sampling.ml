@@ -173,18 +173,29 @@ let slice ?(seed = 1) ?(per_relation = 20) db graph =
   in
   Database.of_relations ~constraints:(Database.constraints db) rels
 
-let illustrate_sampled ?seed ?per_relation db (m : Mapping.t) =
-  let sliced = slice ?seed ?per_relation db m.Mapping.graph in
-  let universe = Mapping_eval.examples sliced m in
+let illustrate_sampled ?seed ?per_relation ctx (m : Mapping.t) =
+  let sliced =
+    slice ?seed ?per_relation (Engine.Eval_ctx.db ctx) m.Mapping.graph
+  in
+  (* The slice is a fresh database version, so reusing the context's cache
+     is sound — and repeated illustrations of the same slice hit it. *)
+  let universe = Mapping_eval.examples (Engine.Eval_ctx.with_db ctx sliced) m in
   let illustration =
     Sufficiency.select ~universe ~target_cols:m.Mapping.target_cols ()
   in
   (universe, illustration)
 
-let sound db (m : Mapping.t) ~slice_universe =
-  let full = Mapping_eval.data_associations db m in
+let sound ctx (m : Mapping.t) ~slice_universe =
+  let full = Mapping_eval.data_associations ctx m in
   slice_universe
   |> List.for_all (fun (e : Example.t) ->
          List.exists
            (fun (a : Assoc.t) -> Tuple.equal a.Assoc.tuple e.Example.assoc.Assoc.tuple)
            full.Full_disjunction.associations)
+
+(* Deprecated [Database.t] shims. *)
+let illustrate_sampled_db ?seed ?per_relation db m =
+  illustrate_sampled ?seed ?per_relation (Engine.Eval_ctx.transient db) m
+
+let sound_db db m ~slice_universe =
+  sound (Engine.Eval_ctx.transient db) m ~slice_universe

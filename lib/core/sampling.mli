@@ -27,11 +27,23 @@ val slice :
 val illustrate_sampled :
   ?seed:int ->
   ?per_relation:int ->
-  Database.t ->
+  Engine.Eval_ctx.t ->
   Mapping.t ->
   Example.t list * Example.t list
 (** (universe over the slice, sufficient illustration of it) *)
 
 (** Every association computed over the slice also holds over the full
     database (soundness oracle used by tests). *)
-val sound : Database.t -> Mapping.t -> slice_universe:Example.t list -> bool
+val sound :
+  Engine.Eval_ctx.t -> Mapping.t -> slice_universe:Example.t list -> bool
+
+(** Deprecated [Database.t] shims, kept for one release. *)
+
+val illustrate_sampled_db :
+  ?seed:int ->
+  ?per_relation:int ->
+  Database.t ->
+  Mapping.t ->
+  Example.t list * Example.t list
+
+val sound_db : Database.t -> Mapping.t -> slice_universe:Example.t list -> bool

@@ -23,17 +23,24 @@ let accept t (m : Mapping.t) =
         t.projects;
   }
 
-let materialize ?minimal db t =
+let materialize ?minimal ctx t =
   Database.of_relations ~constraints:t.constraints
-    (List.map (fun (_, p) -> Project.materialize ?minimal db p) t.projects)
+    (List.map (fun (_, p) -> Project.materialize ?minimal ctx p) t.projects)
 
-let check ?minimal db t = Database.check (materialize ?minimal db t)
+let check ?minimal ctx t = Database.check (materialize ?minimal ctx t)
 
-let report ?minimal db t =
+let report ?minimal ctx t =
   t.projects
   |> List.map (fun (name, p) ->
          Printf.sprintf "%s (%d mapping%s):\n%s" name
            (List.length (Project.mappings p))
            (if List.length (Project.mappings p) = 1 then "" else "s")
-           (Project.render_completeness (Project.completeness ?minimal db p)))
+           (Project.render_completeness (Project.completeness ?minimal ctx p)))
   |> String.concat "\n\n"
+
+(* Deprecated [Database.t] shims (transient, cache-less context). *)
+let materialize_db ?minimal db t =
+  materialize ?minimal (Engine.Eval_ctx.transient db) t
+
+let check_db ?minimal db t = check ?minimal (Engine.Eval_ctx.transient db) t
+let report_db ?minimal db t = report ?minimal (Engine.Eval_ctx.transient db) t

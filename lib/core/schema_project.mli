@@ -30,11 +30,17 @@ val accept : t -> Mapping.t -> t
 (** Materialize every target relation (distinct union of accepted
     mappings; [minimal] removes subsumed rows) into a target database
     carrying the declared constraints. *)
-val materialize : ?minimal:bool -> Database.t -> t -> Database.t
+val materialize : ?minimal:bool -> Engine.Eval_ctx.t -> t -> Database.t
 
 (** Constraint violations of the materialized instance — including
     cross-relation target FKs. *)
-val check : ?minimal:bool -> Database.t -> t -> Integrity.violation list
+val check : ?minimal:bool -> Engine.Eval_ctx.t -> t -> Integrity.violation list
 
 (** Completeness of every target relation (see {!Project.completeness}). *)
-val report : ?minimal:bool -> Database.t -> t -> string
+val report : ?minimal:bool -> Engine.Eval_ctx.t -> t -> string
+
+(** Deprecated [Database.t] shims (transient, cache-less context). *)
+
+val materialize_db : ?minimal:bool -> Database.t -> t -> Database.t
+val check_db : ?minimal:bool -> Database.t -> t -> Integrity.violation list
+val report_db : ?minimal:bool -> Database.t -> t -> string

@@ -1,5 +1,6 @@
 open Relational
 module Qgraph = Querygraph.Qgraph
+module Eval_ctx = Engine.Eval_ctx
 
 type outcome = { log : string list; mapping : Mapping.t option }
 
@@ -8,8 +9,7 @@ exception Script_error of { line : int; message : string }
 type pending = { alternatives : (Mapping.t * string) list; what : string }
 
 type state = {
-  db : Database.t;
-  kb : Schemakb.Kb.t;
+  ctx : Eval_ctx.t;  (** one caching context for the whole session *)
   target : (string * string list) option;
   mapping : Mapping.t option;
   draft : Querygraph.Qgraph.t option;
@@ -92,10 +92,10 @@ let show st text = { st with log = st.log @ [ text ] }
 let exec_show ln st args =
   let st, m = need_mapping ln st in
   match args with
-  | [ "target" ] -> show st (Render.relation (Mapping_eval.target_view st.db m))
+  | [ "target" ] -> show st (Render.relation (Mapping_eval.target_view st.ctx m))
   | [ "illustration" ] ->
-      let fd = Mapping_eval.data_associations st.db m in
-      let universe = Mapping_eval.examples st.db m in
+      let fd = Mapping_eval.data_associations st.ctx m in
+      let universe = Mapping_eval.examples st.ctx m in
       let ill =
         Sufficiency.select ~universe ~target_cols:m.Mapping.target_cols ()
       in
@@ -113,7 +113,7 @@ let exec_show ln st args =
                   p.alternatives)))
   | [ "sql"; root ] -> show st (Mapping_sql.outer_join ~root m)
   | [ "plan" ] ->
-      let lookup = Database.find st.db in
+      let lookup = Eval_ctx.lookup st.ctx in
       let plan = Fulldisj.Plan.analyze ~lookup m.Mapping.graph in
       let required = Mapping_analysis.required_aliases m in
       let surviving = Mapping_analysis.possibly_positive_categories m in
@@ -139,7 +139,7 @@ let exec_line st ln raw =
         let name, cols = parse_target_decl ln (String.concat " " rest) in
         { st with target = Some (name, cols) }
     | [ "source"; rel ] -> (
-        if not (Database.mem st.db rel) then fail ln "unknown relation %s" rel;
+        if not (Database.mem (Eval_ctx.db st.ctx) rel) then fail ln "unknown relation %s" rel;
         match st.target with
         | None -> fail ln "declare the target before source"
         | Some (target, target_cols) ->
@@ -152,7 +152,7 @@ let exec_line st ln raw =
        validated (connectivity) at the next mapping-using command. *)
     | [ "node"; alias; base ] -> (
         no_pending ln st;
-        if not (Database.mem st.db base) then fail ln "unknown relation %s" base;
+        if not (Database.mem (Eval_ctx.db st.ctx) base) then fail ln "unknown relation %s" base;
         let g =
           match (st.draft, st.mapping) with
           | Some g, _ -> g
@@ -190,7 +190,7 @@ let exec_line st ln raw =
               with Parse.Parse_error e -> fail ln "corr: %s" e
             in
             let corr = Correspondence.of_expr col expr in
-            (match Op_correspondence.add ~kb:st.kb m corr with
+            (match Op_correspondence.add ~kb:(Eval_ctx.kb st.ctx) m corr with
             | Op_correspondence.Updated m' -> set_mapping st m'
             | Op_correspondence.Alternatives alts ->
                 settle ln st "corr"
@@ -215,7 +215,7 @@ let exec_line st ln raw =
               | _ -> fail ln "walk: bad max length %s" n)
           | _ -> fail ln "walk: expected START GOAL [N]"
         in
-        match Op_walk.data_walk ~kb:st.kb m ~start ~goal ~max_len () with
+        match Op_walk.data_walk st.ctx m ~start ~goal ~max_len () with
         | exception Invalid_argument e -> fail ln "walk: %s" e
         | alts ->
             settle ln st "walk"
@@ -234,10 +234,10 @@ let exec_line st ln raw =
            key despite looking numeric), falling back to the parsed one. *)
         let value =
           let as_string = Value.String value_text in
-          if Database.find_value st.db as_string <> [] then as_string
+          if Database.find_value (Eval_ctx.db st.ctx) as_string <> [] then as_string
           else Value.of_csv_cell value_text
         in
-        match Op_chase.chase st.db m ~attr ~value with
+        match Op_chase.chase st.ctx m ~attr ~value with
         | exception Invalid_argument e -> fail ln "chase: %s" e
         | alts ->
             settle ln st "chase"
@@ -271,7 +271,7 @@ let exec_line st ln raw =
         let st, m = need_mapping ln st in
         if not (List.mem col m.Mapping.target_cols) then
           fail ln "require: unknown target column %s" col;
-        set_mapping st (Op_trim.require_target_column st.db m col).Op_trim.mapping
+        set_mapping st (Op_trim.require_target_column st.ctx m col).Op_trim.mapping
     | [ "undo" ] -> (
         match st.history with
         | [] -> fail ln "undo: nothing to undo"
@@ -280,18 +280,25 @@ let exec_line st ln raw =
     | cmd :: _ -> fail ln "unknown command %s" cmd
     | [] -> st
 
-let run ~db ~kb text =
+let run_ctx ctx text =
   let lines = String.split_on_char '\n' text in
   let st =
     List.fold_left
       (fun (st, ln) raw -> (exec_line st ln raw, ln + 1))
-      ( { db; kb; target = None; mapping = None; draft = None; history = []; pending = None; log = [] },
+      ( { ctx; target = None; mapping = None; draft = None; history = []; pending = None; log = [] },
         1 )
       lines
     |> fst
   in
   let st = materialize 0 st in
   { log = st.log; mapping = st.mapping }
+
+let run ~db ~kb text = run_ctx (Eval_ctx.create ~kb db) text
+
+let run_result_ctx ctx text =
+  try Ok (run_ctx ctx text) with
+  | Script_error { line; message } -> Error (Printf.sprintf "line %d: %s" line message)
+  | Parse.Parse_error e -> Error e
 
 let run_result ~db ~kb text =
   try Ok (run ~db ~kb text) with
@@ -301,8 +308,10 @@ let run_result ~db ~kb text =
 module Interactive = struct
   type nonrec t = state
 
-  let start ~db ~kb =
-    { db; kb; target = None; mapping = None; draft = None; history = []; pending = None; log = [] }
+  let start_ctx ctx =
+    { ctx; target = None; mapping = None; draft = None; history = []; pending = None; log = [] }
+
+  let start ~db ~kb = start_ctx (Eval_ctx.create ~kb db)
 
   let feed st line =
     (* Reuse the batch executor with a cleared log so the new output is

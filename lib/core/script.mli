@@ -37,17 +37,25 @@ type outcome = {
 
 exception Script_error of { line : int; message : string }
 
-(** Run a script against a database and knowledge base.  Raises
-    {!Script_error} with a 1-based line number on any failure. *)
+(** Run a script in an evaluation context.  The whole session shares the
+    context's memo cache, so repeated [show]s and operator previews reuse
+    earlier evaluations.  Raises {!Script_error} with a 1-based line number
+    on any failure. *)
+val run_ctx : Engine.Eval_ctx.t -> string -> outcome
+
+(** [run ~db ~kb text] = [run_ctx (Eval_ctx.create ~kb db) text]. *)
 val run : db:Database.t -> kb:Schemakb.Kb.t -> string -> outcome
 
-(** Like {!run} but captures the error instead of raising. *)
+(** Like {!run_ctx}/{!run} but capturing the error instead of raising. *)
+val run_result_ctx : Engine.Eval_ctx.t -> string -> (outcome, string) result
+
 val run_result : db:Database.t -> kb:Schemakb.Kb.t -> string -> (outcome, string) result
 
 (** Incremental execution — the engine behind [clio_cli repl]. *)
 module Interactive : sig
   type t
 
+  val start_ctx : Engine.Eval_ctx.t -> t
   val start : db:Database.t -> kb:Schemakb.Kb.t -> t
 
   (** Execute one command line.  On success, the new state and the lines it

@@ -7,9 +7,14 @@ open Relational
 
 (** Distinct union of the mappings' results.  All mappings must target the
     same relation with the same columns. *)
-val assemble : Database.t -> Mapping.t list -> Relation.t
+val assemble : Engine.Eval_ctx.t -> Mapping.t list -> Relation.t
 
 (** Variant that additionally removes strictly subsumed target tuples —
     useful when complementary mappings (Example 6.1) can produce a padded
     and an extended version of the same kid. *)
-val assemble_min : Database.t -> Mapping.t list -> Relation.t
+val assemble_min : Engine.Eval_ctx.t -> Mapping.t list -> Relation.t
+
+(** Deprecated [Database.t] shims, kept for one release. *)
+
+val assemble_db : Database.t -> Mapping.t list -> Relation.t
+val assemble_min_db : Database.t -> Mapping.t list -> Relation.t

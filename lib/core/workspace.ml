@@ -1,4 +1,5 @@
 open Relational
+module Eval_ctx = Engine.Eval_ctx
 
 type entry = {
   id : int;
@@ -8,26 +9,33 @@ type entry = {
 }
 
 type t = {
-  db : Database.t;
-  kb : Schemakb.Kb.t;
+  ctx : Eval_ctx.t;
   entries : entry list;
   active_id : int;
   next_id : int;
 }
 
-let fresh_illustration db (m : Mapping.t) =
-  let universe = Mapping_eval.examples db m in
+let fresh_illustration ctx (m : Mapping.t) =
+  let universe = Mapping_eval.examples ctx m in
   Sufficiency.select ~universe ~target_cols:m.Mapping.target_cols ()
 
-let create ~db ~kb ?(label = "initial") m =
-  let entry = { id = 0; mapping = m; illustration = fresh_illustration db m; label } in
-  { db; kb; entries = [ entry ]; active_id = 0; next_id = 1 }
+let create ctx ?(label = "initial") m =
+  let entry =
+    { id = 0; mapping = m; illustration = fresh_illustration ctx m; label }
+  in
+  { ctx; entries = [ entry ]; active_id = 0; next_id = 1 }
 
-let db t = t.db
-let kb t = t.kb
+(* Deprecated shim.  Note it still builds a persistent *caching* context:
+   a workspace is exactly the interactive session the memo cache exists
+   for (offer/rotate/confirm re-evaluate overlapping graphs constantly). *)
+let create_db ~db ~kb ?label m = create (Eval_ctx.create ~kb db) ?label m
+
+let ctx t = t.ctx
+let db t = Eval_ctx.db t.ctx
+let kb t = Eval_ctx.kb t.ctx
 let entries t = t.entries
 let active t = List.find (fun e -> e.id = t.active_id) t.entries
-let target_view t = Mapping_eval.target_view t.db (active t).mapping
+let target_view t = Mapping_eval.target_view t.ctx (active t).mapping
 
 let offer t ?labels mappings =
   if mappings = [] then invalid_arg "Workspace.offer: no alternatives";
@@ -41,7 +49,7 @@ let offer t ?labels mappings =
     List.mapi
       (fun i m ->
         let illustration =
-          Evolution.evolve t.db ~old_mapping:old.mapping
+          Evolution.evolve t.ctx ~old_mapping:old.mapping
             ~old_illustration:old.illustration m
         in
         { id = t.next_id + i; mapping = m; illustration; label = label i })
@@ -90,7 +98,7 @@ let render ?short t =
            (Querygraph.Qgraph.to_string e.mapping.Mapping.graph)))
     t.entries;
   Buffer.add_string b "\nActive illustration:\n";
-  let fd = Mapping_eval.data_associations t.db act.mapping in
+  let fd = Mapping_eval.data_associations t.ctx act.mapping in
   Buffer.add_string b
     (Illustration.render ?short ~scheme:fd.Fulldisj.Full_disjunction.scheme
        act.illustration);
@@ -101,12 +109,12 @@ let render ?short t =
 let compare_entries t ~rel id1 id2 =
   let entry id = List.find (fun e -> e.id = id) t.entries in
   let e1 = entry id1 and e2 = entry id2 in
-  Differentiate.distinguishing t.db ~rel e1.mapping e2.mapping
+  Differentiate.distinguishing t.ctx ~rel e1.mapping e2.mapping
 
 let update_active t ?label m =
   let old = active t in
   let illustration =
-    Evolution.evolve t.db ~old_mapping:old.mapping ~old_illustration:old.illustration m
+    Evolution.evolve t.ctx ~old_mapping:old.mapping ~old_illustration:old.illustration m
   in
   let entry =
     { old with mapping = m; illustration; label = Option.value label ~default:old.label }

@@ -20,7 +20,18 @@ type entry = {
 
 type t
 
-val create : db:Database.t -> kb:Schemakb.Kb.t -> ?label:string -> Mapping.t -> t
+(** A workspace owns (a reference to) an evaluation context; every
+    evaluation in the session — fresh illustrations, evolved illustrations
+    on {!offer}, the target view on each {!rotate}/{!render} — goes through
+    its memo cache, which is what makes the interactive loop cheap. *)
+val create : Engine.Eval_ctx.t -> ?label:string -> Mapping.t -> t
+
+(** Deprecated shim: builds a caching context from [db]/[kb] (the
+    pre-engine calling convention). *)
+val create_db :
+  db:Database.t -> kb:Schemakb.Kb.t -> ?label:string -> Mapping.t -> t
+
+val ctx : t -> Engine.Eval_ctx.t
 val db : t -> Database.t
 val kb : t -> Schemakb.Kb.t
 val entries : t -> entry list

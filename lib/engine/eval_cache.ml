@@ -1,0 +1,131 @@
+open Relational
+open Fulldisj
+
+(* --- approximate byte accounting --------------------------------------- *)
+
+let value_bytes = function
+  | Value.String s -> 24 + String.length s
+  | Value.Null | Value.Int _ | Value.Float _ | Value.Bool _ -> 16
+
+let tuple_bytes t =
+  Array.fold_left (fun acc v -> acc + value_bytes v) (16 + (8 * Array.length t)) t
+
+let relation_bytes r = Relation.fold (fun acc t -> acc + tuple_bytes t) 256 r
+
+let result_bytes (r : Full_disjunction.result) =
+  List.fold_left
+    (fun acc (a : Assoc.t) -> acc + tuple_bytes a.Assoc.tuple + 48)
+    512 r.Full_disjunction.associations
+
+(* --- the store ---------------------------------------------------------- *)
+
+type payload = Fj of Relation.t | Dg of Full_disjunction.result
+
+type entry = { payload : payload; bytes : int; mutable tick : int }
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  budget : int;
+  mutable bytes : int;
+  mutable clock : int;
+}
+
+let default_byte_budget = 64 * 1024 * 1024
+
+let create ?(byte_budget = default_byte_budget) () =
+  if byte_budget <= 0 then invalid_arg "Eval_cache.create: byte_budget must be > 0";
+  { table = Hashtbl.create 256; budget = byte_budget; bytes = 0; clock = 0 }
+
+let entry_count t = Hashtbl.length t.table
+let bytes_resident t = t.bytes
+let byte_budget t = t.budget
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.bytes <- 0;
+  Obs.Counter.set Obs.Names.cache_bytes_resident 0
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+(* Keys carry the database version, the canonical graph key and a tier /
+   algorithm tag, so entries for stale database states are simply never
+   requested again and age out through the LRU. *)
+let fj_key ~version key = Printf.sprintf "fj|%d|%s" version (Graph_key.to_string key)
+
+let dg_key ~version ~variant key =
+  Printf.sprintf "dg:%s|%d|%s" variant version (Graph_key.to_string key)
+
+let eviction_counter = function
+  | Fj _ -> Obs.Names.cache_fj_evictions
+  | Dg _ -> Obs.Names.cache_dg_evictions
+
+(* Evict least-recently-used entries until within budget.  O(n) scan per
+   eviction; the table is bounded by the byte budget so n stays small. *)
+let rec enforce_budget t =
+  if t.bytes > t.budget && Hashtbl.length t.table > 0 then begin
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, oldest) when oldest.tick <= e.tick -> acc
+          | _ -> Some (k, e))
+        t.table None
+    in
+    match victim with
+    | None -> ()
+    | Some (k, e) ->
+        Hashtbl.remove t.table k;
+        t.bytes <- t.bytes - e.bytes;
+        Obs.Counter.bump (eviction_counter e.payload);
+        enforce_budget t
+  end
+
+let insert t key payload bytes =
+  (match Hashtbl.find_opt t.table key with
+  | Some old ->
+      Hashtbl.remove t.table key;
+      t.bytes <- t.bytes - old.bytes
+  | None -> ());
+  Hashtbl.replace t.table key { payload; bytes; tick = tick t };
+  t.bytes <- t.bytes + bytes;
+  enforce_budget t;
+  Obs.Counter.set Obs.Names.cache_bytes_resident t.bytes
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      e.tick <- tick t;
+      Some e.payload
+  | None -> None
+
+(* --- tier views --------------------------------------------------------- *)
+
+let find_fj t ~version key =
+  match find t (fj_key ~version key) with
+  | Some (Fj r) ->
+      Obs.Counter.bump Obs.Names.cache_fj_hits;
+      Some r
+  | Some (Dg _) | None ->
+      Obs.Counter.bump Obs.Names.cache_fj_misses;
+      None
+
+let add_fj t ~version key r = insert t (fj_key ~version key) (Fj r) (relation_bytes r)
+
+let find_dg t ~version ~variant key =
+  match find t (dg_key ~version ~variant key) with
+  | Some (Dg r) ->
+      Obs.Counter.bump Obs.Names.cache_dg_hits;
+      Some r
+  | Some (Fj _) | None ->
+      Obs.Counter.bump Obs.Names.cache_dg_misses;
+      None
+
+let add_dg t ~version ~variant key r =
+  insert t (dg_key ~version ~variant key) (Dg r) (result_bytes r)
+
+let mem_fj t ~version key = Hashtbl.mem t.table (fj_key ~version key)
+
+let mem_dg t ~version ~variant key =
+  Hashtbl.mem t.table (dg_key ~version ~variant key)

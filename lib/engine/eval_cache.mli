@@ -1,0 +1,47 @@
+(** The memo store behind {!Eval_ctx}: a single LRU bounded by an
+    approximate byte budget, holding two tiers of evaluation results.
+
+    - {e F(J) tier} — the materialized join of one induced connected
+      subgraph.  Shared across different query graphs (walk/chase
+      alternatives contain mostly the same subgraphs).
+    - {e D(G) tier} — a whole {!Fulldisj.Full_disjunction.result} per
+      (graph, algorithm) pair.
+
+    Keys combine the database {e version} ({!Relational.Database.version})
+    with the canonical {!Graph_key}, so a mutated database simply stops
+    hitting old entries and the stale ones age out of the LRU; nothing is
+    ever served across versions.
+
+    Lookups bump the [cache.fj.*] / [cache.dg.*] counters and the
+    [cache.bytes_resident] gauge in {!Obs.Names} unconditionally (they are
+    [Counter.bump]-style; reading them still requires [--stats] /
+    [--metrics] surfaces). *)
+
+open Relational
+open Fulldisj
+
+type t
+
+val default_byte_budget : int
+
+(** Raises [Invalid_argument] when [byte_budget <= 0]. *)
+val create : ?byte_budget:int -> unit -> t
+
+val find_fj : t -> version:int -> Graph_key.t -> Relation.t option
+val add_fj : t -> version:int -> Graph_key.t -> Relation.t -> unit
+
+val find_dg :
+  t -> version:int -> variant:string -> Graph_key.t -> Full_disjunction.result option
+
+val add_dg :
+  t -> version:int -> variant:string -> Graph_key.t -> Full_disjunction.result -> unit
+
+(** Introspection (tests, [clio_cli stats]).  [mem_*] do not touch LRU
+    recency and count no hit/miss. *)
+
+val mem_fj : t -> version:int -> Graph_key.t -> bool
+val mem_dg : t -> version:int -> variant:string -> Graph_key.t -> bool
+val entry_count : t -> int
+val bytes_resident : t -> int
+val byte_budget : t -> int
+val clear : t -> unit

@@ -1,0 +1,100 @@
+open Relational
+open Fulldisj
+
+type algorithm = Naive | Indexed | Outerjoin_if_tree
+
+let algorithm_name = function
+  | Naive -> "naive"
+  | Indexed -> "indexed"
+  | Outerjoin_if_tree -> "outerjoin-if-tree"
+
+type t = {
+  db : Database.t;
+  kb : Schemakb.Kb.t;
+  cache : Eval_cache.t option;
+  algorithm : algorithm;
+}
+
+(* A process-wide default honoured by [create] — how `clio_cli --no-cache`
+   reaches every context built behind cmdliner's back. *)
+let caching_default = ref true
+let set_caching_default b = caching_default := b
+
+let create ?(algorithm = Indexed) ?(no_cache = false) ?cache ?kb db =
+  let kb = match kb with Some kb -> kb | None -> Schemakb.Kb.of_database db in
+  let cache =
+    if no_cache || not !caching_default then None
+    else
+      match cache with Some c -> Some c | None -> Some (Eval_cache.create ())
+  in
+  { db; kb; cache; algorithm }
+
+(* Single-shot contexts for the deprecated [Database.t]-taking wrappers:
+   no cache, so behaviour (and benchmarks) match the pre-engine code path
+   exactly. *)
+let transient ?(algorithm = Indexed) db =
+  { db; kb = Schemakb.Kb.empty; cache = None; algorithm }
+
+let db t = t.db
+let kb t = t.kb
+let algorithm t = t.algorithm
+let cache t = t.cache
+let cached t = Option.is_some t.cache
+let lookup t name = Database.find t.db name
+let version t = Database.version t.db
+
+let with_db ?kb t db =
+  { t with db; kb = (match kb with Some kb -> kb | None -> t.kb) }
+
+let with_kb t kb = { t with kb }
+let with_algorithm t algorithm = { t with algorithm }
+let without_cache t = { t with cache = None }
+
+let base_source t = Source.of_db t.db
+
+let full_associations t j =
+  match t.cache with
+  | None -> Join_eval.full_associations (base_source t) j
+  | Some cache -> (
+      let version = version t in
+      let key = Graph_key.of_graph j in
+      match Eval_cache.find_fj cache ~version key with
+      | Some r -> r
+      | None ->
+          let r = Join_eval.full_associations (base_source t) j in
+          Eval_cache.add_fj cache ~version key r;
+          r)
+
+let source t =
+  let base = base_source t in
+  match t.cache with
+  | None -> base
+  | Some _ -> Source.with_fj (full_associations t) base
+
+let run_algorithm t alg g =
+  (* The source carries the F(J) hook, so even a D(G)-tier miss reuses
+     per-subgraph materializations shared with other graphs. *)
+  let src = source t in
+  match alg with
+  | Naive -> Full_disjunction.naive src g
+  | Indexed -> Full_disjunction.compute src g
+  | Outerjoin_if_tree ->
+      if Outerjoin_plan.is_tree g then Outerjoin_plan.full_disjunction src g
+      else Full_disjunction.compute src g
+
+let data_associations ?algorithm t g =
+  let alg = match algorithm with Some a -> a | None -> t.algorithm in
+  match t.cache with
+  | None -> run_algorithm t alg g
+  | Some cache -> (
+      let version = version t in
+      let variant = algorithm_name alg in
+      let key = Graph_key.of_graph g in
+      match Eval_cache.find_dg cache ~version ~variant key with
+      | Some r -> r
+      | None ->
+          let r = run_algorithm t alg g in
+          Eval_cache.add_dg cache ~version ~variant key r;
+          r)
+
+let possible_associations t g = Full_disjunction.possible_associations (source t) g

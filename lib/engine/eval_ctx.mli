@@ -1,0 +1,82 @@
+(** The evaluation context: database + knowledge base + memo cache +
+    algorithm choice, bundled into the one value core operators take.
+
+    Before the engine existed every operator took [Database.t] (plus an ad
+    hoc [kb:] here and an [?algorithm] there) and recomputed each F(J) and
+    D(G) from scratch; the interactive loop (offer alternatives → rotate →
+    refine) re-evaluates near-identical graphs constantly, so almost all of
+    that work is shared.  A context memoizes both tiers in an
+    {!Eval_cache}, keyed by {!Relational.Database.version} and
+    {!Graph_key}, and hands the fulldisj layer a {!Fulldisj.Source} whose
+    F(J) hook points back at the cache.
+
+    Contexts are cheap immutable records; the cache inside is shared
+    mutable state.  [with_db] keeps the cache — version keys make stale
+    entries unreachable, so carrying the cache across a database edit is
+    both safe and the point (unchanged subgraphs keep hitting). *)
+
+open Relational
+open Fulldisj
+
+(** Which D(G) algorithm {!data_associations} runs (see
+    {!Fulldisj.Full_disjunction} and {!Fulldisj.Outerjoin_plan}). *)
+type algorithm = Naive | Indexed | Outerjoin_if_tree
+
+val algorithm_name : algorithm -> string
+
+type t
+
+(** [create db] — a caching context.  [kb] defaults to the database's
+    declared foreign keys ({!Schemakb.Kb.of_database}); [cache] defaults to
+    a fresh {!Eval_cache.create}; [no_cache:true] (or a prior
+    {!set_caching_default}[ false]) disables memoization entirely. *)
+val create :
+  ?algorithm:algorithm ->
+  ?no_cache:bool ->
+  ?cache:Eval_cache.t ->
+  ?kb:Schemakb.Kb.t ->
+  Database.t ->
+  t
+
+(** A cache-less, empty-kb context — what the deprecated [Database.t]
+    wrappers use so single-shot evaluation behaves exactly as before the
+    engine existed. *)
+val transient : ?algorithm:algorithm -> Database.t -> t
+
+(** Process-wide default for [create]'s caching (true initially).  The CLI
+    maps [--no-cache] onto this so every context built downstream complies. *)
+val set_caching_default : bool -> unit
+
+val db : t -> Database.t
+val kb : t -> Schemakb.Kb.t
+val algorithm : t -> algorithm
+val cache : t -> Eval_cache.t option
+val cached : t -> bool
+val lookup : t -> string -> Relation.t option
+val version : t -> int
+
+(** Swap the database, keeping cache and algorithm.  [kb] defaults to the
+    current one (a replaced relation keeps its constraints); pass a new one
+    when the schema changed. *)
+val with_db : ?kb:Schemakb.Kb.t -> t -> Database.t -> t
+
+val with_kb : t -> Schemakb.Kb.t -> t
+val with_algorithm : t -> algorithm -> t
+val without_cache : t -> t
+
+(** The {!Fulldisj.Source} this context evaluates through: the database's
+    lookup plus (when caching) the F(J) memo hook — the [of_ctx]
+    constructor promised in {!Fulldisj.Source}'s documentation. *)
+val source : t -> Source.t
+
+(** Memoized F(J) for a connected subgraph. *)
+val full_associations : t -> Querygraph.Qgraph.t -> Relation.t
+
+(** Memoized D(G) for a graph under the context's (or the overriding)
+    algorithm. *)
+val data_associations :
+  ?algorithm:algorithm -> t -> Querygraph.Qgraph.t -> Full_disjunction.result
+
+(** S(G) through the context's source (F(J) tier only — S(G) is a test
+    oracle, not worth a tier). *)
+val possible_associations : t -> Querygraph.Qgraph.t -> Full_disjunction.result

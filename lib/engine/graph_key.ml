@@ -1,0 +1,49 @@
+open Relational
+module Qgraph = Querygraph.Qgraph
+
+type t = string
+
+let to_string k = k
+let equal = String.equal
+let compare = String.compare
+
+(* [Qgraph.add_edge] conjoins predicates when an edge is added twice, so
+   the same logical edge can carry [And (p, q)] or [And (q, p)] depending
+   on construction order.  Flatten the top-level conjunction and sort the
+   conjuncts' SQL renderings to erase that history. *)
+let normalized_pred p =
+  let rec conjuncts p acc =
+    match p with
+    | Predicate.And (a, b) -> conjuncts a (conjuncts b acc)
+    | p -> p :: acc
+  in
+  match conjuncts p [] with
+  | [ p ] -> Predicate.to_sql p
+  | ps -> String.concat " AND " (List.sort String.compare (List.map Predicate.to_sql ps))
+
+let of_graph g =
+  let buf = Buffer.create 128 in
+  (* [Qgraph.nodes] is sorted by alias already. *)
+  List.iter
+    (fun (n : Qgraph.node) ->
+      Buffer.add_string buf n.alias;
+      Buffer.add_char buf ':';
+      Buffer.add_string buf n.base;
+      Buffer.add_char buf ';')
+    (Qgraph.nodes g);
+  Buffer.add_char buf '|';
+  let edges =
+    Qgraph.edges g
+    |> List.map (fun (e : Qgraph.edge) ->
+           let a, b =
+             if String.compare e.n1 e.n2 <= 0 then (e.n1, e.n2) else (e.n2, e.n1)
+           in
+           Printf.sprintf "%s--%s[%s]" a b (normalized_pred e.pred))
+    |> List.sort String.compare
+  in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf e;
+      Buffer.add_char buf ';')
+    edges;
+  Buffer.contents buf

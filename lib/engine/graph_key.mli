@@ -1,0 +1,19 @@
+(** Canonical cache keys for query (sub)graphs.
+
+    Two structurally equal graphs — same alias/base nodes, same undirected
+    edges, same edge predicates up to conjunct order — produce equal keys
+    no matter how they were built or in which order the subgraph enumerator
+    visited them.  This is what lets walk/chase alternatives that share an
+    induced connected subgraph share its materialized F(J).
+
+    The key is a rendered string: sorted [alias:base] node list, then the
+    edge list sorted on the (sorted) endpoint pair, each edge carrying its
+    predicate normalized by flattening top-level conjunctions and sorting
+    the conjuncts' SQL renderings. *)
+
+type t
+
+val of_graph : Querygraph.Qgraph.t -> t
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int

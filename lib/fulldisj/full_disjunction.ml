@@ -12,24 +12,24 @@ let node_positions_of scheme g =
   List.map (fun a -> (a, Schema.positions_of_rel scheme a)) (Qgraph.aliases g)
 
 (* Every F(J) padded to the full scheme and tagged with coverage J. *)
-let padded_categories ~lookup g =
+let padded_categories src g =
   Obs.with_span Obs.Names.sp_categories (fun () ->
-      let scheme = Qgraph.scheme ~lookup g in
+      let scheme = Source.scheme src g in
       let subsets = Subgraphs.connected_node_sets g in
       Obs.add Obs.Names.categories (List.length subsets);
       let per_category =
         List.map
           (fun aliases ->
             let j = Qgraph.induced g aliases in
-            let fj = Join_eval.full_associations ~lookup j in
+            let fj = Join_eval.full_associations src j in
             let padded = Algebra.pad fj scheme in
             (Coverage.of_list aliases, Relation.tuples padded))
           subsets
       in
       (scheme, per_category))
 
-let possible_associations ~lookup g =
-  let scheme, per_category = padded_categories ~lookup g in
+let possible_associations src g =
+  let scheme, per_category = padded_categories src g in
   let associations =
     List.concat_map
       (fun (cov, tuples) -> List.map (fun t -> Assoc.make t cov) tuples)
@@ -63,11 +63,11 @@ let dedup_assocs assocs =
     assocs;
   Hashtbl.fold (fun _ a acc -> a :: acc) table []
 
-let naive ~lookup g =
+let naive src g =
   Obs.with_span ~attrs:[ ("algorithm", "naive") ] Obs.Names.sp_fulldisj
     (fun () ->
       let { scheme; node_positions; associations } =
-        possible_associations ~lookup g
+        possible_associations src g
       in
       let deduped =
         Obs.with_span Obs.Names.sp_dedup (fun () -> dedup_assocs associations)
@@ -99,10 +99,10 @@ let naive ~lookup g =
    set.  Strict subsumption is transitive, so checking against all
    associations (not just kept ones) is equivalent to checking against the
    maximal ones. *)
-let compute ~lookup g =
+let compute src g =
   Obs.with_span ~attrs:[ ("algorithm", "indexed") ] Obs.Names.sp_fulldisj
     (fun () ->
-      let scheme, per_category = padded_categories ~lookup g in
+      let scheme, per_category = padded_categories src g in
       let node_positions = node_positions_of scheme g in
       let assocs =
         List.concat_map
@@ -159,8 +159,12 @@ let compute ~lookup g =
           end;
           { scheme; node_positions; associations }))
 
-let naive_db db g = naive ~lookup:(Database.find db) g
-let compute_db db g = compute ~lookup:(Database.find db) g
+(* Deprecated shims; prefer passing a Source. *)
+let naive_db db g = naive (Source.of_db db) g
+let compute_db db g = compute (Source.of_db db) g
+let naive_fn ~lookup g = naive (Source.of_fn lookup) g
+let compute_fn ~lookup g = compute (Source.of_fn lookup) g
+let possible_associations_fn ~lookup g = possible_associations (Source.of_fn lookup) g
 
 let to_relation ?(name = "D(G)") r =
   Relation.make ~allow_all_null:true name r.scheme

@@ -21,13 +21,16 @@ type result = {
   associations : Assoc.t list;
 }
 
-val naive : lookup:(string -> Relation.t option) -> Qgraph.t -> result
-val compute : lookup:(string -> Relation.t option) -> Qgraph.t -> result
+val naive : Source.t -> Qgraph.t -> result
+val compute : Source.t -> Qgraph.t -> result
 
-(** Convenience wrappers resolving relations in a database. *)
+(** Deprecated aliases for [naive (Source.of_db db)] etc., kept for one
+    release; prefer passing a {!Source.t}. *)
 val naive_db : Database.t -> Qgraph.t -> result
 
 val compute_db : Database.t -> Qgraph.t -> result
+val naive_fn : lookup:(string -> Relation.t option) -> Qgraph.t -> result
+val compute_fn : lookup:(string -> Relation.t option) -> Qgraph.t -> result
 
 (** D(G) as a relation (coverage dropped). *)
 val to_relation : ?name:string -> result -> Relation.t
@@ -38,4 +41,8 @@ val categories : result -> (Coverage.t * Assoc.t list) list
 
 (** The possible data associations S(G) (Definition 3.6): every F(J) padded,
     {e without} subsumption removal.  Exposed for tests/oracles. *)
-val possible_associations : lookup:(string -> Relation.t option) -> Qgraph.t -> result
+val possible_associations : Source.t -> Qgraph.t -> result
+
+(** Deprecated alias; prefer {!possible_associations} on a {!Source.t}. *)
+val possible_associations_fn :
+  lookup:(string -> Relation.t option) -> Qgraph.t -> result

@@ -31,7 +31,7 @@ let join_order g =
       in
       bfs [] [ start ] []
 
-let full_associations_unobserved ~lookup g =
+let join_base ~lookup g =
   if Qgraph.node_count g = 0 then invalid_arg "Join_eval.full_associations: empty graph";
   if not (Qgraph.is_connected g) then
     invalid_arg "Join_eval.full_associations: graph not connected";
@@ -53,10 +53,19 @@ let full_associations_unobserved ~lookup g =
         rest;
       reorder !acc (Qgraph.scheme ~lookup g)
 
-let full_associations ~lookup g =
-  if not (Obs.enabled ()) then full_associations_unobserved ~lookup g
-  else
-    Obs.with_span
-      ~attrs:[ ("nodes", string_of_int (Qgraph.node_count g)) ]
-      Obs.Names.sp_full_associations
-      (fun () -> full_associations_unobserved ~lookup g)
+(* The hook (a memo cache) is consulted before the span: cache hits are
+   near-free and would drown the trace, and on a miss the cache re-enters
+   through a hook-less source, which emits the span around the real join. *)
+let full_associations src g =
+  match Source.fj_hook src with
+  | Some hook -> hook g
+  | None ->
+      let lookup = Source.lookup src in
+      if not (Obs.enabled ()) then join_base ~lookup g
+      else
+        Obs.with_span
+          ~attrs:[ ("nodes", string_of_int (Qgraph.node_count g)) ]
+          Obs.Names.sp_full_associations
+          (fun () -> join_base ~lookup g)
+
+let full_associations_fn ~lookup g = full_associations (Source.of_fn lookup) g

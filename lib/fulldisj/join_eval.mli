@@ -7,11 +7,17 @@
 
 open Relational
 
-(** [full_associations ~lookup j] — F(J) for a connected query graph [j].
-    The result's schema is the graph's {!Qgraph.scheme} (sorted alias
-    order), independent of join order.  Raises [Invalid_argument] when [j]
-    is empty or not connected. *)
-val full_associations :
+(** [full_associations src j] — F(J) for a connected query graph [j].
+    When [src] carries an F(J) hook ({!Source.with_fj}) the whole request
+    is answered through it — this is how the memo cache intercepts
+    per-subgraph joins.  The result's schema is the graph's
+    {!Qgraph.scheme} (sorted alias order), independent of join order.
+    Raises [Invalid_argument] when [j] is empty or not connected. *)
+val full_associations : Source.t -> Querygraph.Qgraph.t -> Relation.t
+
+(** Deprecated alias for [full_associations (Source.of_fn lookup)]; prefer
+    passing a {!Source.t}. *)
+val full_associations_fn :
   lookup:(string -> Relation.t option) -> Querygraph.Qgraph.t -> Relation.t
 
 (** Reorder a relation's columns to match a target schema containing

@@ -58,7 +58,10 @@ let tag_result ~lookup g rel =
   in
   { Full_disjunction.scheme; node_positions; associations }
 
-let full_disjunction ~lookup g =
+(* The cascade joins base relations node by node — there is no per-subgraph
+   F(J) request to intercept, so only the source's lookup is used. *)
+let full_disjunction src g =
+  let lookup = Source.lookup src in
   if not (is_tree g) then invalid_arg "Outerjoin_plan.full_disjunction: not a tree";
   Obs.with_span ~attrs:[ ("algorithm", "outerjoin") ] Obs.Names.sp_oj_plan
     (fun () ->
@@ -72,14 +75,24 @@ let full_disjunction ~lookup g =
       in
       tag_result ~lookup g minimal)
 
-let full_disjunction_no_sweep ~lookup g =
+let full_disjunction_no_sweep src g =
+  let lookup = Source.lookup src in
   if not (is_tree g) then
     invalid_arg "Outerjoin_plan.full_disjunction_no_sweep: not a tree";
   let root = List.hd (Qgraph.aliases g) in
   tag_result ~lookup g (cascade ~lookup ~join:Algebra.full_outer_join g root)
 
-let rooted ~lookup ~root g =
+let rooted src ~root g =
+  let lookup = Source.lookup src in
   if not (is_tree g) then invalid_arg "Outerjoin_plan.rooted: not a tree";
   if not (Qgraph.mem_node g root) then invalid_arg ("Outerjoin_plan.rooted: " ^ root);
   let rel = cascade ~lookup ~join:Algebra.left_outer_join g root in
   tag_result ~lookup g rel
+
+(* Deprecated shims; prefer passing a Source. *)
+let full_disjunction_fn ~lookup g = full_disjunction (Source.of_fn lookup) g
+
+let full_disjunction_no_sweep_fn ~lookup g =
+  full_disjunction_no_sweep (Source.of_fn lookup) g
+
+let rooted_fn ~lookup ~root g = rooted (Source.of_fn lookup) ~root g

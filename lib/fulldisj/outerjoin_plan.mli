@@ -19,19 +19,26 @@ val is_tree : Qgraph.t -> bool
 
 (** D(G) by full-outer-join cascade. Raises [Invalid_argument] if [g] is
     not a tree. *)
-val full_disjunction :
-  lookup:(string -> Relation.t option) -> Qgraph.t -> Full_disjunction.result
+val full_disjunction : Source.t -> Qgraph.t -> Full_disjunction.result
 
 (** Ablation: the raw cascade without the final subsumption sweep — bench
     B2 measures the sweep's cost.  On path graphs this equals
     {!full_disjunction}; on branching trees it may retain subsumed rows. *)
-val full_disjunction_no_sweep :
-  lookup:(string -> Relation.t option) -> Qgraph.t -> Full_disjunction.result
+val full_disjunction_no_sweep : Source.t -> Qgraph.t -> Full_disjunction.result
 
 (** Associations covering [root], by left-outer-join cascade from [root].
     Equals the subset of D(G) whose coverage contains [root] (tested).
     Raises [Invalid_argument] if [g] is not a tree. *)
-val rooted :
+val rooted : Source.t -> root:string -> Qgraph.t -> Full_disjunction.result
+
+(** Deprecated [~lookup] aliases, kept for one release. *)
+val full_disjunction_fn :
+  lookup:(string -> Relation.t option) -> Qgraph.t -> Full_disjunction.result
+
+val full_disjunction_no_sweep_fn :
+  lookup:(string -> Relation.t option) -> Qgraph.t -> Full_disjunction.result
+
+val rooted_fn :
   lookup:(string -> Relation.t option) ->
   root:string ->
   Qgraph.t ->

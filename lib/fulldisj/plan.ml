@@ -49,8 +49,9 @@ let analyze ~lookup g =
   }
 
 let execute ~lookup g =
-  if Outerjoin_plan.is_tree g then Outerjoin_plan.full_disjunction ~lookup g
-  else Full_disjunction.compute ~lookup g
+  let src = Source.of_fn lookup in
+  if Outerjoin_plan.is_tree g then Outerjoin_plan.full_disjunction src g
+  else Full_disjunction.compute src g
 
 let render p =
   let algo =

@@ -17,6 +17,7 @@ let value c = c.value
 
 let bump c = c.value <- c.value + 1
 let bump_by c n = c.value <- c.value + n
+let set c n = c.value <- n
 let incr c = if !Switch.on then c.value <- c.value + 1
 let add c n = if !Switch.on then c.value <- c.value + n
 

@@ -28,6 +28,11 @@ val bump : t -> unit
 (** Unconditional [add]. *)
 val bump_by : t -> int -> unit
 
+(** Unconditional overwrite — turns a counter into a gauge (e.g. the memo
+    cache's bytes-resident reading).  Like [bump], callers gate on
+    {!Obs.enabled} themselves when the value is expensive to compute. *)
+val set : t -> int -> unit
+
 (** Look up a counter by name, if registered. *)
 val find : string -> t option
 

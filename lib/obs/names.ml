@@ -39,6 +39,19 @@ let walk_alternatives = Counter.make "walk.alternatives"
 let illustration_candidates = Counter.make "illustration.candidates_considered"
 let illustration_selected = Counter.make "illustration.examples_selected"
 
+(* --- counters: memoized evaluation engine (lib/engine) --- *)
+
+let cache_fj_hits = Counter.make "cache.fj.hits"
+let cache_fj_misses = Counter.make "cache.fj.misses"
+let cache_fj_evictions = Counter.make "cache.fj.evictions"
+let cache_dg_hits = Counter.make "cache.dg.hits"
+let cache_dg_misses = Counter.make "cache.dg.misses"
+let cache_dg_evictions = Counter.make "cache.dg.evictions"
+
+(* A gauge, not a monotonic counter: the cache's approximate resident
+   footprint after the most recent insert/evict (set via [Counter.set]). *)
+let cache_bytes_resident = Counter.make "cache.bytes_resident"
+
 (* --- counters: lineage / explanation --- *)
 
 let explain_derivations = Counter.make "explain.derivations"

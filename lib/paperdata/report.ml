@@ -5,6 +5,11 @@ module Qgraph = Querygraph.Qgraph
 
 let db = Figure1.database
 let kb = Figure1.kb
+
+(* One caching context shared by all figures: the report re-evaluates the
+   same running-example graphs many times, exactly the reuse the engine's
+   memo cache targets. *)
+let ctx = Eval_ctx.create ~kb db
 let short = Figure1.short
 let lookup = Database.find db
 let buf_add = Buffer.add_string
@@ -12,7 +17,7 @@ let buf_add = Buffer.add_string
 let render_graph g = Qgraph.to_string g
 
 let render_illustration (m : Mapping.t) exs =
-  let fd = Mapping_eval.data_associations db m in
+  let fd = Mapping_eval.data_associations ctx m in
   Illustration.render ~short ~scheme:fd.Full_disjunction.scheme exs
 
 let fig1 () =
@@ -30,7 +35,7 @@ let fig2 () =
   buf_add b "\nSource sample (Children):\n";
   buf_add b (Render.relation (Database.get db "Children"));
   buf_add b "\n\nResult of the current mapping (Kids):\n";
-  buf_add b (Render.relation (Mapping_eval.target_view db m));
+  buf_add b (Render.relation (Mapping_eval.target_view ctx m));
   Buffer.contents b
 
 let maya_tuples () =
@@ -56,8 +61,8 @@ let fig3 () =
       List.iteri
         (fun i (a : Op_correspondence.alternative) ->
           let m = a.Op_correspondence.mapping in
-          let fd = Mapping_eval.data_associations db m in
-          let universe = Mapping_eval.examples db m in
+          let fd = Mapping_eval.data_associations ctx m in
+          let universe = Mapping_eval.examples ctx m in
           let maya =
             Focus.focus_set ~universe ~scheme:fd.Full_disjunction.scheme
               ~rel:"Children" ~tuples:(maya_tuples ())
@@ -74,7 +79,7 @@ let fig3 () =
 
 let fig4 () =
   let alts =
-    Op_walk.data_walk ~kb Running.mapping_g1 ~start:"Children" ~goal:"PhoneDir"
+    Op_walk.data_walk_kb ~kb Running.mapping_g1 ~start:"Children" ~goal:"PhoneDir"
       ~max_len:2 ()
   in
   let b = Buffer.create 2048 in
@@ -83,8 +88,8 @@ let fig4 () =
       let m = Mapping.set_correspondence a.Op_walk.mapping
           (Correspondence.identity "contactPh" (Attr.make a.Op_walk.new_alias "number"))
       in
-      let fd = Mapping_eval.data_associations db m in
-      let universe = Mapping_eval.examples db m in
+      let fd = Mapping_eval.data_associations ctx m in
+      let universe = Mapping_eval.examples ctx m in
       let maya =
         Focus.focus_set ~universe ~scheme:fd.Full_disjunction.scheme ~rel:"Children"
           ~tuples:(maya_tuples ())
@@ -99,7 +104,7 @@ let fig4 () =
   Buffer.contents b
 
 let fig5 () =
-  let occs = Op_chase.occurrences_anywhere db (Value.String "002") in
+  let occs = Op_chase.occurrences_anywhere ctx (Value.String "002") in
   let b = Buffer.create 1024 in
   buf_add b "Occurrences of value 002 in the source database:\n";
   List.iter
@@ -110,7 +115,7 @@ let fig5 () =
            (if o.Op_chase.count = 1 then "" else "s")))
     occs;
   let alts =
-    Op_chase.chase db Running.mapping_g1 ~attr:(Attr.make "Children" "ID")
+    Op_chase.chase ctx Running.mapping_g1 ~attr:(Attr.make "Children" "ID")
       ~value:(Value.String "002")
   in
   buf_add b "\nChase scenarios (extensions of the current mapping):\n";
@@ -132,8 +137,8 @@ let fig6 () =
     ]
 
 let fig7 () =
-  let f_g1 = Join_eval.full_associations ~lookup Running.graph_g1 in
-  let f_g2 = Join_eval.full_associations ~lookup Running.graph_g2 in
+  let f_g1 = Join_eval.full_associations_fn ~lookup Running.graph_g1 in
+  let f_g2 = Join_eval.full_associations_fn ~lookup Running.graph_g2 in
   let s2 = Relation.schema f_g2 in
   let padded = Algebra.pad f_g1 s2 in
   let find rel =
@@ -171,17 +176,17 @@ let render_fd fd =
   Render.annotated ~annot_header:"coverage" rows fd.Full_disjunction.scheme
 
 let fig8 () =
-  let fd = Full_disjunction.compute ~lookup Running.graph_g in
+  let fd = Full_disjunction.compute_fn ~lookup Running.graph_g in
   "D(G) — the data associations of query graph G, tagged with coverage:\n"
   ^ render_fd fd
 
 let fig9 () =
   let m = Running.mapping in
-  let universe = Mapping_eval.examples db m in
+  let universe = Mapping_eval.examples ctx m in
   let sufficient =
     Sufficiency.select ~universe ~target_cols:m.Mapping.target_cols ()
   in
-  let fd = Mapping_eval.data_associations db m in
+  let fd = Mapping_eval.data_associations ctx m in
   let focus =
     Focus.focus_set ~universe ~scheme:fd.Full_disjunction.scheme ~rel:"Children"
       ~tuples:(Relation.tuples (Database.get db "Children"))
@@ -203,7 +208,7 @@ let fig9 () =
 
 let fig11 () =
   let alts =
-    Op_walk.data_walk ~kb Running.mapping_g1 ~start:"Children" ~goal:"PhoneDir"
+    Op_walk.data_walk_kb ~kb Running.mapping_g1 ~start:"Children" ~goal:"PhoneDir"
       ~max_len:2 ()
   in
   let b = Buffer.create 1024 in
@@ -220,7 +225,7 @@ let fig11 () =
 
 let fig12 () =
   let alts =
-    Op_chase.chase db Running.mapping_g1 ~attr:(Attr.make "Children" "ID")
+    Op_chase.chase ctx Running.mapping_g1 ~attr:(Attr.make "Children" "ID")
       ~value:(Value.String "002")
   in
   let b = Buffer.create 1024 in
@@ -243,10 +248,10 @@ let sql () =
       Mapping_sql.outer_join ~root:"Children" m;
       "";
       Printf.sprintf "Rooted form equivalent to Q_M on this database: %b"
-        (Mapping_sql.rooted_equivalent db ~root:"Children" m);
+        (Mapping_sql.rooted_equivalent ctx ~root:"Children" m);
       "";
       "WYSIWYG target view:";
-      Render.relation (Mapping_eval.target_view db m);
+      Render.relation (Mapping_eval.target_view ctx m);
     ]
 
 let example_6_1 () =
@@ -280,13 +285,13 @@ let example_6_1 () =
   String.concat "\n"
     [
       "Mapping A (mother's phone, filter: mid not null):";
-      Render.relation (Mapping_eval.target_view db mothers);
+      Render.relation (Mapping_eval.target_view ctx mothers);
       "";
       "Mapping B (father's phone, filter: mid is null — the motherless kids):";
-      Render.relation (Mapping_eval.target_view db fathers);
+      Render.relation (Mapping_eval.target_view ctx fathers);
       "";
       "Assembled target (union of both accepted mappings):";
-      Render.relation (Target.assemble db [ mothers; fathers ]);
+      Render.relation (Target.assemble ctx [ mothers; fathers ]);
     ]
 
 let example_6_2 () =
@@ -316,16 +321,16 @@ let example_6_2 () =
       String.concat "\n"
         [
           "Existing mapping (ArrivalTime from the bus schedule):";
-          Render.relation (Mapping_eval.target_view db bus);
+          Render.relation (Mapping_eval.target_view ctx bus);
           "";
           "Adding a second correspondence for ArrivalTime (from ClassSched)";
           "spawns a new mapping by reuse; Clio links ClassSched via "
           ^ alt.Op_correspondence.description ^ ":";
-          Render.relation (Mapping_eval.target_view db alt.Op_correspondence.mapping);
+          Render.relation (Mapping_eval.target_view ctx alt.Op_correspondence.mapping);
           "";
           "Assembled ArrivalTime target:";
           Render.relation
-            (Target.assemble db [ bus; alt.Op_correspondence.mapping ]);
+            (Target.assemble ctx [ bus; alt.Op_correspondence.mapping ]);
         ]
   | _ -> "unexpected outcome for the ArrivalTime correspondence"
 

@@ -1,10 +1,21 @@
 type t = {
+  version : int;  (** monotonic identity stamp; distinct contents ⇒ distinct version *)
   rels : (string * Relation.t) list;  (** insertion order *)
   by_name : (string, Relation.t) Hashtbl.t;
   constraints : Integrity.t list;
 }
 
-let empty = { rels = []; by_name = Hashtbl.create 16; constraints = [] }
+(* Versions are drawn from a process-global counter so that any two
+   databases built by different construction paths never share a stamp.
+   [empty] is the sole exception: it is version 0 and safe to share. *)
+let next_version =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    !n
+
+let empty = { version = 0; rels = []; by_name = Hashtbl.create 16; constraints = [] }
+let version t = t.version
 
 let add t r =
   let name = Relation.name r in
@@ -12,9 +23,21 @@ let add t r =
     invalid_arg ("Database.add: duplicate relation " ^ name);
   let by_name = Hashtbl.copy t.by_name in
   Hashtbl.add by_name name r;
-  { t with rels = t.rels @ [ (name, r) ]; by_name }
+  { t with version = next_version (); rels = t.rels @ [ (name, r) ]; by_name }
 
-let add_constraint t c = { t with constraints = t.constraints @ [ c ] }
+let add_constraint t c =
+  { t with version = next_version (); constraints = t.constraints @ [ c ] }
+
+let replace t r =
+  let name = Relation.name r in
+  if not (Hashtbl.mem t.by_name name) then
+    invalid_arg ("Database.replace: unknown relation " ^ name);
+  let by_name = Hashtbl.copy t.by_name in
+  Hashtbl.replace by_name name r;
+  let rels =
+    List.map (fun (n, old) -> if n = name then (n, r) else (n, old)) t.rels
+  in
+  { t with version = next_version (); rels; by_name }
 
 let of_relations ?(constraints = []) rels =
   let t = List.fold_left add empty rels in

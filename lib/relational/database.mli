@@ -4,8 +4,22 @@
 type t
 
 val empty : t
+
+(** Monotonic identity stamp.  Every constructing operation ([add],
+    [replace], [add_constraint], [of_relations]) yields a database with a
+    fresh, strictly larger version than any database built before it, so a
+    version uniquely identifies one immutable catalog state — the key
+    memo caches use to invalidate entries when the instance changes.
+    [empty] is version 0. *)
+val version : t -> int
+
 val add : t -> Relation.t -> t
 val add_constraint : t -> Integrity.t -> t
+
+(** Replace an existing relation (matched by name) with a new instance.
+    Raises [Invalid_argument] when no relation of that name exists. *)
+val replace : t -> Relation.t -> t
+
 val of_relations : ?constraints:Integrity.t list -> Relation.t list -> t
 val find : t -> string -> Relation.t option
 

@@ -154,7 +154,7 @@ let small_graph =
 
 let test_full_associations () =
   let f =
-    Join_eval.full_associations ~lookup:(Database.find small_db) small_graph
+    Join_eval.full_associations_fn ~lookup:(Database.find small_db) small_graph
   in
   (* Only A1-B(1,7)-C7 fully joins. *)
   Alcotest.(check int) "one full association" 1 (Relation.cardinality f)
@@ -191,7 +191,7 @@ let test_naive_equals_indexed_small () =
 let test_outerjoin_plan_small () =
   let a = Full_disjunction.compute_db small_db small_graph in
   let b =
-    Outerjoin_plan.full_disjunction ~lookup:(Database.find small_db) small_graph
+    Outerjoin_plan.full_disjunction_fn ~lookup:(Database.find small_db) small_graph
   in
   Alcotest.(check bool) "oj = naive" true
     (Relation.equal_contents
@@ -210,12 +210,12 @@ let test_outerjoin_rejects_cycles () =
   in
   Alcotest.check_raises "not a tree"
     (Invalid_argument "Outerjoin_plan.full_disjunction: not a tree") (fun () ->
-      ignore (Outerjoin_plan.full_disjunction ~lookup:(Database.find small_db) tri))
+      ignore (Outerjoin_plan.full_disjunction_fn ~lookup:(Database.find small_db) tri))
 
 let test_rooted_is_root_covering_subset () =
   let fd = Full_disjunction.compute_db small_db small_graph in
   let rooted =
-    Outerjoin_plan.rooted ~lookup:(Database.find small_db) ~root:"A" small_graph
+    Outerjoin_plan.rooted_fn ~lookup:(Database.find small_db) ~root:"A" small_graph
   in
   let covers_a (a : Assoc.t) = Coverage.mem "A" a.Assoc.coverage in
   let expected =
@@ -233,7 +233,7 @@ let test_rooted_is_root_covering_subset () =
 
 let test_possible_associations_superset () =
   let poss =
-    Full_disjunction.possible_associations ~lookup:(Database.find small_db) small_graph
+    Full_disjunction.possible_associations_fn ~lookup:(Database.find small_db) small_graph
   in
   let fd = Full_disjunction.compute_db small_db small_graph in
   Alcotest.(check bool) "D(G) ⊆ S(G)" true
@@ -262,9 +262,9 @@ let prop_algorithms_agree =
       let lookup = Database.find inst.Synth.Gen_graph.db in
       let g = inst.Synth.Gen_graph.graph in
       let rel r = Full_disjunction.to_relation r in
-      let a = rel (Full_disjunction.naive ~lookup g) in
-      let b = rel (Full_disjunction.compute ~lookup g) in
-      let c = rel (Outerjoin_plan.full_disjunction ~lookup g) in
+      let a = rel (Full_disjunction.naive_fn ~lookup g) in
+      let b = rel (Full_disjunction.compute_fn ~lookup g) in
+      let c = rel (Outerjoin_plan.full_disjunction_fn ~lookup g) in
       Relation.equal_contents a b && Relation.equal_contents a c)
 
 let prop_fd_is_minimal =
@@ -275,7 +275,7 @@ let prop_fd_is_minimal =
         Synth.Gen_graph.random_tree st ~n ~rows ~null_prob:0.3 ~orphan_prob:0.2 ()
       in
       let fd =
-        Full_disjunction.compute ~lookup:(Database.find inst.Synth.Gen_graph.db)
+        Full_disjunction.compute_fn ~lookup:(Database.find inst.Synth.Gen_graph.db)
           inst.Synth.Gen_graph.graph
       in
       Min_union.is_minimal
@@ -290,7 +290,7 @@ let prop_coverage_matches_nullness =
         Synth.Gen_graph.random_tree st ~n ~rows ~null_prob:0.3 ~orphan_prob:0.2 ()
       in
       let fd =
-        Full_disjunction.compute ~lookup:(Database.find inst.Synth.Gen_graph.db)
+        Full_disjunction.compute_fn ~lookup:(Database.find inst.Synth.Gen_graph.db)
           inst.Synth.Gen_graph.graph
       in
       fd.Full_disjunction.associations
@@ -328,7 +328,7 @@ let test_plan_tree_vs_cyclic () =
 let test_plan_execute_matches_compute () =
   let lookup = Database.find small_db in
   let a = Full_disjunction.to_relation (Plan.execute ~lookup small_graph) in
-  let b = Full_disjunction.to_relation (Full_disjunction.compute ~lookup small_graph) in
+  let b = Full_disjunction.to_relation (Full_disjunction.compute_fn ~lookup small_graph) in
   Alcotest.(check bool) "same" true (Relation.equal_contents a b)
 
 let test_plan_render () =
