@@ -9,16 +9,19 @@
    --report-only, always), 1 on regression, 2 on unusable input.  The
    diff itself lives in Obs.Bench_compare; this is only the CLI.
 
-   --require-faster A B (repeatable) additionally asserts that in the
-   CURRENT document benchmark A's time_ns is strictly below benchmark
-   B's — an absolute ordering gate (e.g. cache-on must beat cache-off)
-   that no baseline drift can erode.  Unlike the tolerance diff it is
-   not silenced by --report-only. *)
+   --require-faster A B [RATIO] (repeatable) additionally asserts that
+   in the CURRENT document benchmark A's time_ns is strictly below
+   benchmark B's — an absolute ordering gate (e.g. cache-on must beat
+   cache-off) that no baseline drift can erode.  An optional trailing
+   RATIO (a float, e.g. 1.5) strengthens the gate to "A is at least
+   RATIO times faster than B" (time_A * RATIO < time_B) — the B14
+   parallel ablation uses this on multi-core runners.  Unlike the
+   tolerance diff it is not silenced by --report-only. *)
 
 let usage () =
   prerr_endline
     "usage: compare BASELINE.json CURRENT.json [--time-tol R] [--counter-tol \
-     R] [--alloc-tol R] [--report-only] [--require-faster A B]...";
+     R] [--alloc-tol R] [--report-only] [--require-faster A B [RATIO]]...";
   exit 2
 
 let () =
@@ -48,7 +51,19 @@ let () =
   in
   let require_faster =
     let rec go = function
-      | "--require-faster" :: a :: b :: rest -> (a, b) :: go rest
+      | "--require-faster" :: a :: b :: rest -> (
+          (* A trailing float is an optional speedup ratio; benchmark
+             names never parse as one. *)
+          match rest with
+          | r :: rest' when float_of_string_opt r <> None ->
+              let ratio = float_of_string r in
+              if ratio <= 0. then begin
+                Printf.eprintf
+                  "compare: --require-faster ratio must be positive, got %S\n" r;
+                exit 2
+              end;
+              (a, b, ratio) :: go rest'
+          | _ -> (a, b, 1.0) :: go rest)
       | "--require-faster" :: _ ->
           prerr_endline "compare: --require-faster needs two benchmark names";
           exit 2
@@ -62,6 +77,8 @@ let () =
   in
   let rec positional = function
     | [] -> []
+    | "--require-faster" :: _ :: _ :: r :: rest when float_of_string_opt r <> None ->
+        positional rest
     | "--require-faster" :: _ :: _ :: rest -> positional rest
     | a :: _ :: rest when takes_value a -> positional rest
     | a :: rest when String.length a >= 2 && String.sub a 0 2 = "--" ->
@@ -107,15 +124,21 @@ let () =
       in
       let ordering_failures =
         List.filter_map
-          (fun (a, b) ->
+          (fun (a, b, ratio) ->
             match (time_of current a, time_of current b) with
-            | Some ta, Some tb when ta < tb -> None
+            | Some ta, Some tb when ta *. ratio < tb -> None
             | Some ta, Some tb ->
                 Some
-                  (Printf.sprintf
-                     "require-faster: %s (%.0f ns) is not faster than %s \
-                      (%.0f ns)"
-                     a ta b tb)
+                  (if ratio > 1.0 then
+                     Printf.sprintf
+                       "require-faster: %s (%.0f ns) is not %.2fx faster than \
+                        %s (%.0f ns)"
+                       a ta ratio b tb
+                   else
+                     Printf.sprintf
+                       "require-faster: %s (%.0f ns) is not faster than %s \
+                        (%.0f ns)"
+                       a ta b tb)
             | None, _ ->
                 Some (Printf.sprintf "require-faster: no benchmark %S in %s" a
                         current_file)

@@ -8,7 +8,7 @@
       exactly as bin/figures.exe does, so `dune exec bench/main.exe`
       reproduces the complete evaluation in one run.
 
-   2. Performance benchmarks (experiments B1-B13) for the algorithms whose
+   2. Performance benchmarks (experiments B1-B14) for the algorithms whose
       cost the paper alludes to ("we make use of evaluation and
       optimization techniques for the minimal union operator to
       efficiently compute D(G)"): minimum union naive vs indexed, full
@@ -16,7 +16,8 @@
       illustration selection, walk enumeration, chase scans, end-to-end
       mapping evaluation, FK mining, illustration evolution, and the
       engine's memo cache (B9 walk-alternative reuse, B10 session replay
-      — each cached vs no-cache, the ablation of lib/engine).
+      — each cached vs no-cache, the ablation of lib/engine), and the
+      B14 jobs=1 vs jobs=4 ablation of the lib/par domain pool.
 
    3. Operator-counter and allocation tables (lib/obs): the same workloads
       run once with observability enabled, reporting subsumption checks,
@@ -447,11 +448,40 @@ let pruning_tests =
       (Staged.stage (fun () -> ignore (Clio.Mapping_analysis.eval_pruned_db db m)));
   ]
 
+(* --- B14: parallel evaluation — domain-pool ablation (jobs=1 vs jobs=4) ---
+
+   The same D(G) computed through a sequential context and through one
+   backed by a 4-domain Par pool, on the large synth star: the naive
+   algorithm materializes an F(J) per connected subgraph, which is exactly
+   the Par.map fan-out inside Full_disjunction.  Fresh no-cache contexts
+   so both arms do full work every run.  On a single-core host the two
+   arms time alike (parity, not speedup): CI only arms compare.exe's
+   `--require-faster par/jobs4 par/jobs1 1.5` gate when the runner
+   reports 2+ cores. *)
+
+let par_tests =
+  let inst =
+    Synth.Gen_graph.star (seeded 41) ~leaves:4 ~rows:(if quick then 100 else 250)
+      ~null_prob:0.25 ~orphan_prob:0.2 ()
+  in
+  let db = inst.Synth.Gen_graph.db in
+  let g = inst.Synth.Gen_graph.graph in
+  let eval jobs () =
+    let ctx =
+      Clio.Eval_ctx.create ~algorithm:Clio.Eval_ctx.Naive ~no_cache:true ~jobs db
+    in
+    ignore (Clio.Eval_ctx.data_associations ctx g)
+  in
+  [
+    Test.make ~name:"par/jobs1" (Staged.stage (eval 1));
+    Test.make ~name:"par/jobs4" (Staged.stage (eval 4));
+  ]
+
 let all_tests =
   minunion_tests @ fulldisj_tests @ illustration_tests @ walk_tests @ chase_tests
   @ mapping_tests @ mine_tests @ evolve_tests @ engine_walk_tests
   @ engine_session_tests @ sampling_tests @ join_impl_tests @ match_tests
-  @ pruning_tests
+  @ pruning_tests @ par_tests
 
 (* --- running and reporting --- *)
 
@@ -567,7 +597,7 @@ let workloads : (string * (unit -> unit)) list =
           (Printf.sprintf "minunion/%s/%d" name size, fun () -> ignore (f tuples)))
         [
           ("naive", Fulldisj.Min_union.remove_subsumed_naive);
-          ("indexed", Fulldisj.Min_union.remove_subsumed);
+          ("indexed", fun ts -> Fulldisj.Min_union.remove_subsumed ts);
           ("first-probe", Fulldisj.Min_union.remove_subsumed_first_probe);
         ])
     minunion_sizes
@@ -842,7 +872,7 @@ let () =
   let times =
     if bench || json then begin
       print_endline "######################################################";
-      print_endline "# Part 2: performance benchmarks (B1-B13)           #";
+      print_endline "# Part 2: performance benchmarks (B1-B14)           #";
       print_endline "######################################################\n";
       run_benchmarks ()
     end

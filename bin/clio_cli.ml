@@ -25,7 +25,8 @@
    GC allocation, environment — as JSON; default file metrics.json), and
    --no-cache (disable the engine's F(J)/D(G) memo cache — every context
    built downstream evaluates from scratch; the ablation switch used by
-   the benchmarks). *)
+   the benchmarks), and --jobs N (evaluate fan-out points on a pool of N
+   domains; default 1, also settable via CLIO_JOBS). *)
 
 open Relational
 open Cmdliner
@@ -42,13 +43,15 @@ type obs_opts = {
   stats : bool;
   metrics : string option;
   no_cache : bool;
+  jobs : int option;
 }
 
 let extract_obs_flags argv =
   let trace = ref None
   and stats = ref false
   and metrics = ref None
-  and no_cache = ref false in
+  and no_cache = ref false
+  and jobs = ref None in
   let starts_with prefix s =
     String.length s >= String.length prefix
     && String.equal (String.sub s 0 (String.length prefix)) prefix
@@ -64,8 +67,15 @@ let extract_obs_flags argv =
     end;
     v
   in
+  (* "--jobs N" (two tokens) is folded into "--jobs=N" so the filter below
+     stays one-pass. *)
+  let rec fuse_jobs = function
+    | "--jobs" :: v :: rest -> ("--jobs=" ^ v) :: fuse_jobs rest
+    | arg :: rest -> arg :: fuse_jobs rest
+    | [] -> []
+  in
   let keep =
-    Array.to_list argv
+    fuse_jobs (Array.to_list argv)
     |> List.filter (fun arg ->
            if String.equal arg "--stats" then begin
              stats := true;
@@ -91,10 +101,24 @@ let extract_obs_flags argv =
              metrics := Some (value_of "--metrics" arg);
              false
            end
+           else if starts_with "--jobs=" arg then begin
+             (match int_of_string_opt (value_of "--jobs" arg) with
+             | Some n when n >= 1 -> jobs := Some n
+             | Some _ | None ->
+                 Printf.eprintf "clio_cli: option '--jobs': N must be >= 1\n";
+                 exit 124);
+             false
+           end
            else true)
   in
   ( Array.of_list keep,
-    { trace = !trace; stats = !stats; metrics = !metrics; no_cache = !no_cache } )
+    {
+      trace = !trace;
+      stats = !stats;
+      metrics = !metrics;
+      no_cache = !no_cache;
+      jobs = !jobs;
+    } )
 
 let database data_dir =
   match data_dir with
@@ -482,6 +506,7 @@ let repl_cmd =
 let () =
   let argv, obs = extract_obs_flags Sys.argv in
   if obs.no_cache then Clio.Eval_ctx.set_caching_default false;
+  (match obs.jobs with Some j -> Clio.Eval_ctx.set_jobs_default j | None -> ());
   if obs.trace <> None || obs.stats || obs.metrics <> None then Obs.enable ();
   let man =
     [
@@ -503,6 +528,12 @@ let () =
          (F(J) and D(G) tiers): every evaluation context built during the \
          subcommand recomputes from scratch.  Useful for ablation and for \
          reproducing pre-cache timings.";
+      `P
+        "$(b,--jobs=)$(i,N) evaluates fan-out points (per-subgraph joins, \
+         walk/chase alternatives, subsumption sweeps, illustration \
+         scoring) on a pool of $(i,N) domains (default 1 = sequential; \
+         the $(b,CLIO_JOBS) environment variable sets the default).  \
+         Results are identical to sequential evaluation.";
     ]
   in
   let info =

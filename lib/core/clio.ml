@@ -50,7 +50,9 @@ let context ?mine ?algorithm ?no_cache db =
 let illustrate ctx (m : Mapping.t) =
   Obs.with_span Obs.Names.sp_illustrate (fun () ->
       let universe = Mapping_eval.examples ctx m in
-      Sufficiency.select ~universe ~target_cols:m.Mapping.target_cols ())
+      Sufficiency.select
+        ?pool:(Engine.Eval_ctx.pool ctx)
+        ~universe ~target_cols:m.Mapping.target_cols ())
 
 let illustrate_db db m = illustrate (Engine.Eval_ctx.transient db) m
 

@@ -33,7 +33,9 @@ let evolve ctx ~old_mapping ~old_illustration (new_m : Mapping.t) =
       (fun acc e -> if Illustration.mem e acc then acc else acc @ [ e ])
       [] seed
   in
-  Sufficiency.select ~seed ~universe ~target_cols:new_m.Mapping.target_cols ()
+  Sufficiency.select
+    ?pool:(Engine.Eval_ctx.pool ctx)
+    ~seed ~universe ~target_cols:new_m.Mapping.target_cols ()
 
 let is_continuous ctx ~old_mapping ~old_illustration ~new_mapping illustration =
   let old_scheme, new_scheme = schemes ctx old_mapping new_mapping in

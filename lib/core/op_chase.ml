@@ -19,7 +19,15 @@ let occurrences_anywhere ?index ctx v =
       |> List.map (fun (o : Value_index.occurrence) ->
              { rel = o.Value_index.rel; column = o.Value_index.column; count = o.Value_index.count })
   | None ->
-      Database.find_value db v
+      (* Index-less chase = a full scan of every relation; the per-relation
+         scans are independent, so they fan out over the context's pool.
+         Relation order is preserved, so the result equals
+         [Database.find_value db v] exactly. *)
+      Par.map
+        ?pool:(Engine.Eval_ctx.pool ctx)
+        (fun r -> Database.find_value_in r v)
+        (Database.relations db)
+      |> List.concat
       |> List.map (fun (rel, column, count) -> { rel; column; count })
 
 let occurrences ?index ctx (m : Mapping.t) v =

@@ -137,11 +137,15 @@ let data_walk_kb ~kb (m : Mapping.t) ~start ~goal ?max_len () =
         Obs.add Obs.Names.walk_alternatives (List.length alternatives);
       alternatives)
 
-let data_walk_any_start_kb ~kb (m : Mapping.t) ~goal ?max_len () =
+let data_walk_any_start_kb ?pool ~kb (m : Mapping.t) ~goal ?max_len () =
+  (* Walk enumeration from each start node is independent; starts fan out
+     over the pool and results land in alias order, so the concatenation —
+     and the dedup/ranking below — match sequential evaluation exactly. *)
   let all =
-    List.concat_map
+    Par.map ?pool
       (fun start -> data_walk_kb ~kb m ~start ~goal ?max_len ())
       (Qgraph.aliases m.Mapping.graph)
+    |> List.concat
   in
   (* Different starts can induce the same final graph; keep the first. *)
   let deduped =
@@ -171,4 +175,6 @@ let data_walk ctx m ~start ~goal ?max_len () =
   data_walk_kb ~kb:(Engine.Eval_ctx.kb ctx) m ~start ~goal ?max_len ()
 
 let data_walk_any_start ctx m ~goal ?max_len () =
-  data_walk_any_start_kb ~kb:(Engine.Eval_ctx.kb ctx) m ~goal ?max_len ()
+  data_walk_any_start_kb
+    ?pool:(Engine.Eval_ctx.pool ctx)
+    ~kb:(Engine.Eval_ctx.kb ctx) m ~goal ?max_len ()

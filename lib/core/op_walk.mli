@@ -64,6 +64,7 @@ val data_walk_kb :
   alternative list
 
 val data_walk_any_start_kb :
+  ?pool:Par.Pool.t ->
   kb:Schemakb.Kb.t ->
   Mapping.t ->
   goal:string ->

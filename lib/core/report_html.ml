@@ -41,12 +41,16 @@ let table ?badges ~headers rows =
     (fun i row ->
       Buffer.add_string b "<tr>";
       (match badges with
-      | Some bs ->
-          let tag, positive = List.nth bs i in
-          Buffer.add_string b
-            (Printf.sprintf "<td><span class=\"badge %s\">%s</span></td>"
-               (if positive then "pos" else "neg")
-               (escape tag))
+      | Some bs -> (
+          (* A badge list shorter than the rows must not abort rendering:
+             rows past its end get an unbadged cell. *)
+          match List.nth_opt bs i with
+          | Some (tag, positive) ->
+              Buffer.add_string b
+                (Printf.sprintf "<td><span class=\"badge %s\">%s</span></td>"
+                   (if positive then "pos" else "neg")
+                   (escape tag))
+          | None -> Buffer.add_string b "<td></td>")
       | None -> ());
       Array.iter (fun v -> Buffer.add_string b (cell v)) row;
       Buffer.add_string b "</tr>")
@@ -65,7 +69,11 @@ let page ?title ?short ?root ctx (m : Mapping.t) =
   let title = Option.value title ~default:("Mapping into " ^ m.Mapping.target) in
   let fd = Mapping_eval.data_associations ctx m in
   let universe = Mapping_eval.examples ctx m in
-  let ill = Sufficiency.select ~universe ~target_cols:m.Mapping.target_cols () in
+  let ill =
+    Sufficiency.select
+      ?pool:(Engine.Eval_ctx.pool ctx)
+      ~universe ~target_cols:m.Mapping.target_cols ()
+  in
   let scheme = fd.Full_disjunction.scheme in
   let b = Buffer.create 8192 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in

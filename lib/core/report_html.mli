@@ -5,6 +5,15 @@
 
 open Relational
 
+(** [table ?badges ~headers rows] — one HTML table.  When [badges] is
+    shorter than [rows], trailing rows render with an empty badge cell
+    rather than failing. *)
+val table :
+  ?badges:(string * bool) list ->
+  headers:string list ->
+  Tuple.t list ->
+  string
+
 (** [page ctx m] — a complete HTML document.  [title] defaults to the
     target relation's name; [short] abbreviates coverage tags; [root]
     (default: first alias) selects the outer-join SQL root when the graph

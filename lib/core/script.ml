@@ -6,7 +6,9 @@ type outcome = { log : string list; mapping : Mapping.t option }
 
 exception Script_error of { line : int; message : string }
 
-type pending = { alternatives : (Mapping.t * string) list; what : string }
+(* Alternatives live in an array: [pick N] and the numbered listing are
+   direct index accesses, not repeated [List.nth] walks. *)
+type pending = { alternatives : (Mapping.t * string) array; what : string }
 
 type state = {
   ctx : Eval_ctx.t;  (** one caching context for the whole session *)
@@ -85,7 +87,8 @@ let set_mapping st m =
    reader sees every decision point. *)
 let settle ln st what = function
   | [] -> fail ln "%s produced no alternatives" what
-  | alternatives -> { st with pending = Some { alternatives; what } }
+  | alternatives ->
+      { st with pending = Some { alternatives = Array.of_list alternatives; what } }
 
 let show st text = { st with log = st.log @ [ text ] }
 
@@ -97,7 +100,9 @@ let exec_show ln st args =
       let fd = Mapping_eval.data_associations st.ctx m in
       let universe = Mapping_eval.examples st.ctx m in
       let ill =
-        Sufficiency.select ~universe ~target_cols:m.Mapping.target_cols ()
+        Sufficiency.select
+          ?pool:(Engine.Eval_ctx.pool st.ctx)
+          ~universe ~target_cols:m.Mapping.target_cols ()
       in
       show st
         (Illustration.render ~scheme:fd.Fulldisj.Full_disjunction.scheme ill)
@@ -108,9 +113,10 @@ let exec_show ln st args =
       | Some p ->
           show st
             (String.concat "\n"
-               (List.mapi
-                  (fun i (_, d) -> Printf.sprintf "%d. %s" (i + 1) d)
-                  p.alternatives)))
+               (Array.to_list
+                  (Array.mapi
+                     (fun i (_, d) -> Printf.sprintf "%d. %s" (i + 1) d)
+                     p.alternatives))))
   | [ "sql"; root ] -> show st (Mapping_sql.outer_join ~root m)
   | [ "plan" ] ->
       let lookup = Eval_ctx.lookup st.ctx in
@@ -250,10 +256,10 @@ let exec_line st ln raw =
         | None -> fail ln "pick: nothing pending"
         | Some p -> (
             match int_of_string_opt n with
-            | Some i when i >= 1 && i <= List.length p.alternatives ->
-                set_mapping st (fst (List.nth p.alternatives (i - 1)))
+            | Some i when i >= 1 && i <= Array.length p.alternatives ->
+                set_mapping st (fst p.alternatives.(i - 1))
             | _ ->
-                fail ln "pick: expected 1..%d" (List.length p.alternatives)))
+                fail ln "pick: expected 1..%d" (Array.length p.alternatives)))
     | "sfilter" :: rest -> (
         no_pending ln st;
         let st, m = need_mapping ln st in

@@ -93,7 +93,7 @@ let is_sufficient_correspondences ~universe ~target_cols illustration =
 let is_sufficient ~universe ~target_cols illustration =
   check (requirements ~universe ~target_cols) ~target_cols illustration
 
-let select_greedy ~seed ~universe ~target_cols =
+let select_greedy ?pool ~seed ~universe ~target_cols () =
   Obs.with_span Obs.Names.sp_illustration_select @@ fun () ->
   let reqs = requirements ~universe ~target_cols in
   let unmet =
@@ -110,15 +110,18 @@ let select_greedy ~seed ~universe ~target_cols =
         (* Each greedy round scores every example in the universe. *)
         Obs.add Obs.Names.illustration_candidates (List.length universe);
       let gain e = List.length (List.filter (satisfies ~target_cols e) unmet) in
+      (* Candidate scoring fans out; the argmax stays a sequential fold over
+         the scored list, so ties break on the same (first) example as the
+         sequential path. *)
+      let scored = Par.map ?pool (fun e -> (e, gain e)) universe in
       let best =
         List.fold_left
-          (fun acc e ->
-            let g = gain e in
+          (fun acc (e, g) ->
             match acc with
             | Some (_, bg) when bg >= g -> acc
             | _ when g = 0 -> acc
             | _ -> Some (e, g))
-          None universe
+          None scored
       in
       match best with
       | None ->
@@ -135,14 +138,14 @@ let select_greedy ~seed ~universe ~target_cols =
     Obs.add Obs.Names.illustration_selected (List.length chosen);
   chosen
 
-let select ?(seed = []) ~universe ~target_cols () =
-  select_greedy ~seed ~universe ~target_cols
+let select ?pool ?(seed = []) ~universe ~target_cols () =
+  select_greedy ?pool ~seed ~universe ~target_cols ()
 
 (* Branch and bound over examples ordered by decreasing requirement gain.
    At each node: if every requirement is met, record; else pick the first
    unmet requirement and branch on each example satisfying it. *)
 let select_exact ?(max_universe = 64) ~universe ~target_cols () =
-  let greedy = select_greedy ~seed:[] ~universe ~target_cols in
+  let greedy = select_greedy ~seed:[] ~universe ~target_cols () in
   if List.length universe > max_universe then greedy
   else begin
     let reqs = Array.of_list (requirements ~universe ~target_cols) in

@@ -63,8 +63,11 @@ val is_sufficient :
   universe:Example.t list -> target_cols:string list -> Example.t list -> bool
 
 (** Greedy minimal sufficient illustration drawn from the universe.
-    [seed] examples are always included (used by continuous evolution). *)
+    [seed] examples are always included (used by continuous evolution).
+    [?pool] fans the per-round candidate scoring across a [Par] pool; the
+    selection is identical either way (the argmax fold is sequential). *)
 val select :
+  ?pool:Par.Pool.t ->
   ?seed:Example.t list ->
   universe:Example.t list ->
   target_cols:string list ->

@@ -17,7 +17,9 @@ type t = {
 
 let fresh_illustration ctx (m : Mapping.t) =
   let universe = Mapping_eval.examples ctx m in
-  Sufficiency.select ~universe ~target_cols:m.Mapping.target_cols ()
+  Sufficiency.select
+    ?pool:(Eval_ctx.pool ctx)
+    ~universe ~target_cols:m.Mapping.target_cols ()
 
 let create ctx ?(label = "initial") m =
   let entry =
@@ -40,13 +42,19 @@ let target_view t = Mapping_eval.target_view t.ctx (active t).mapping
 let offer t ?labels mappings =
   if mappings = [] then invalid_arg "Workspace.offer: no alternatives";
   let old = active t in
+  (* Labels as an array: [List.nth] per alternative is quadratic on wide
+     alternative sets. *)
+  let label_arr = match labels with Some ls -> Array.of_list ls | None -> [||] in
   let label i =
-    match labels with
-    | Some ls when i < List.length ls -> List.nth ls i
-    | _ -> Printf.sprintf "alternative %d" (i + 1)
+    if i < Array.length label_arr then label_arr.(i)
+    else Printf.sprintf "alternative %d" (i + 1)
   in
+  (* Evolving each alternative's illustration is independent of the others;
+     ids and labels key off the input index, so the entries are identical to
+     the sequential ones whatever the execution interleaving. *)
   let entries =
-    List.mapi
+    Par.mapi
+      ?pool:(Eval_ctx.pool t.ctx)
       (fun i m ->
         let illustration =
           Evolution.evolve t.ctx ~old_mapping:old.mapping

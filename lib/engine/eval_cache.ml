@@ -28,21 +28,39 @@ type t = {
   budget : int;
   mutable bytes : int;
   mutable clock : int;
+  (* One lock around every table/accounting touch.  A cache op is a string
+     hash plus an LRU tick — nanoseconds against the millisecond-scale
+     F(J)/D(G) computes it fronts — so a single uncontended mutex beats
+     per-domain shards here (shards also fracture the LRU and the byte
+     budget; see docs/parallelism.md for the measurement).  A concurrent
+     miss on the same key may compute the value twice; both computes are
+     equal by construction and the second insert simply replaces the
+     first. *)
+  lock : Mutex.t;
 }
+
+let locked t f = Mutex.protect t.lock f
 
 let default_byte_budget = 64 * 1024 * 1024
 
 let create ?(byte_budget = default_byte_budget) () =
   if byte_budget <= 0 then invalid_arg "Eval_cache.create: byte_budget must be > 0";
-  { table = Hashtbl.create 256; budget = byte_budget; bytes = 0; clock = 0 }
+  {
+    table = Hashtbl.create 256;
+    budget = byte_budget;
+    bytes = 0;
+    clock = 0;
+    lock = Mutex.create ();
+  }
 
-let entry_count t = Hashtbl.length t.table
-let bytes_resident t = t.bytes
+let entry_count t = locked t (fun () -> Hashtbl.length t.table)
+let bytes_resident t = locked t (fun () -> t.bytes)
 let byte_budget t = t.budget
 
 let clear t =
-  Hashtbl.reset t.table;
-  t.bytes <- 0;
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.bytes <- 0);
   Obs.Counter.set Obs.Names.cache_bytes_resident 0
 
 let tick t =
@@ -83,22 +101,27 @@ let rec enforce_budget t =
   end
 
 let insert t key payload bytes =
-  (match Hashtbl.find_opt t.table key with
-  | Some old ->
-      Hashtbl.remove t.table key;
-      t.bytes <- t.bytes - old.bytes
-  | None -> ());
-  Hashtbl.replace t.table key { payload; bytes; tick = tick t };
-  t.bytes <- t.bytes + bytes;
-  enforce_budget t;
-  Obs.Counter.set Obs.Names.cache_bytes_resident t.bytes
+  let resident =
+    locked t (fun () ->
+        (match Hashtbl.find_opt t.table key with
+        | Some old ->
+            Hashtbl.remove t.table key;
+            t.bytes <- t.bytes - old.bytes
+        | None -> ());
+        Hashtbl.replace t.table key { payload; bytes; tick = tick t };
+        t.bytes <- t.bytes + bytes;
+        enforce_budget t;
+        t.bytes)
+  in
+  Obs.Counter.set Obs.Names.cache_bytes_resident resident
 
 let find t key =
-  match Hashtbl.find_opt t.table key with
-  | Some e ->
-      e.tick <- tick t;
-      Some e.payload
-  | None -> None
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some e ->
+          e.tick <- tick t;
+          Some e.payload
+      | None -> None)
 
 (* --- tier views --------------------------------------------------------- *)
 
@@ -125,7 +148,8 @@ let find_dg t ~version ~variant key =
 let add_dg t ~version ~variant key r =
   insert t (dg_key ~version ~variant key) (Dg r) (result_bytes r)
 
-let mem_fj t ~version key = Hashtbl.mem t.table (fj_key ~version key)
+let mem_fj t ~version key =
+  locked t (fun () -> Hashtbl.mem t.table (fj_key ~version key))
 
 let mem_dg t ~version ~variant key =
-  Hashtbl.mem t.table (dg_key ~version ~variant key)
+  locked t (fun () -> Hashtbl.mem t.table (dg_key ~version ~variant key))

@@ -15,7 +15,14 @@
     Lookups bump the [cache.fj.*] / [cache.dg.*] counters and the
     [cache.bytes_resident] gauge in {!Obs.Names} unconditionally (they are
     [Counter.bump]-style; reading them still requires [--stats] /
-    [--metrics] surfaces). *)
+    [--metrics] surfaces).
+
+    The store is domain-safe: every operation takes an internal mutex, so
+    one cache may be shared by all domains of a [Par] pool.  Two domains
+    missing the same key concurrently may compute the value twice; the
+    results are equal by construction and the second insert replaces the
+    first — hit/miss counters stay consistent (every lookup is counted
+    exactly once). *)
 
 open Relational
 open Fulldisj

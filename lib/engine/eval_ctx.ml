@@ -13,6 +13,8 @@ type t = {
   kb : Schemakb.Kb.t;
   cache : Eval_cache.t option;
   algorithm : algorithm;
+  jobs : int;
+  pool : Par.Pool.t option;
 }
 
 (* A process-wide default honoured by [create] — how `clio_cli --no-cache`
@@ -20,26 +22,32 @@ type t = {
 let caching_default = ref true
 let set_caching_default b = caching_default := b
 
-let create ?(algorithm = Indexed) ?(no_cache = false) ?cache ?kb db =
+(* Same pattern for `--jobs`; [Par.default_jobs] also reads CLIO_JOBS. *)
+let set_jobs_default = Par.set_default_jobs
+
+let create ?(algorithm = Indexed) ?(no_cache = false) ?cache ?jobs ?kb db =
   let kb = match kb with Some kb -> kb | None -> Schemakb.Kb.of_database db in
   let cache =
     if no_cache || not !caching_default then None
     else
       match cache with Some c -> Some c | None -> Some (Eval_cache.create ())
   in
-  { db; kb; cache; algorithm }
+  let jobs = match jobs with Some j -> j | None -> Par.default_jobs () in
+  { db; kb; cache; algorithm; jobs; pool = Par.get_pool ~jobs }
 
 (* Single-shot contexts for the deprecated [Database.t]-taking wrappers:
    no cache, so behaviour (and benchmarks) match the pre-engine code path
    exactly. *)
 let transient ?(algorithm = Indexed) db =
-  { db; kb = Schemakb.Kb.empty; cache = None; algorithm }
+  { db; kb = Schemakb.Kb.empty; cache = None; algorithm; jobs = 1; pool = None }
 
 let db t = t.db
 let kb t = t.kb
 let algorithm t = t.algorithm
 let cache t = t.cache
 let cached t = Option.is_some t.cache
+let jobs t = t.jobs
+let pool t = t.pool
 let lookup t name = Database.find t.db name
 let version t = Database.version t.db
 
@@ -49,6 +57,7 @@ let with_db ?kb t db =
 let with_kb t kb = { t with kb }
 let with_algorithm t algorithm = { t with algorithm }
 let without_cache t = { t with cache = None }
+let with_jobs t jobs = { t with jobs; pool = Par.get_pool ~jobs }
 
 let base_source t = Source.of_db t.db
 
@@ -66,7 +75,7 @@ let full_associations t j =
           r)
 
 let source t =
-  let base = base_source t in
+  let base = Source.with_pool t.pool (base_source t) in
   match t.cache with
   | None -> base
   | Some _ -> Source.with_fj (full_associations t) base

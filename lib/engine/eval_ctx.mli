@@ -34,6 +34,7 @@ val create :
   ?algorithm:algorithm ->
   ?no_cache:bool ->
   ?cache:Eval_cache.t ->
+  ?jobs:int ->
   ?kb:Schemakb.Kb.t ->
   Database.t ->
   t
@@ -47,11 +48,25 @@ val transient : ?algorithm:algorithm -> Database.t -> t
     maps [--no-cache] onto this so every context built downstream complies. *)
 val set_caching_default : bool -> unit
 
+(** Process-wide default for [create]'s [?jobs] — how the CLI's [--jobs]
+    reaches every context built downstream.  Same as
+    {!Par.set_default_jobs}; the initial default also honours the
+    [CLIO_JOBS] environment variable. *)
+val set_jobs_default : int -> unit
+
 val db : t -> Database.t
 val kb : t -> Schemakb.Kb.t
 val algorithm : t -> algorithm
 val cache : t -> Eval_cache.t option
 val cached : t -> bool
+
+(** Parallelism this context evaluates with ([1] = sequential, the
+    default).  [jobs > 1] attaches the shared {!Par} pool of that size;
+    results are identical to sequential evaluation by construction
+    ({!Par.map} is order-preserving). *)
+val jobs : t -> int
+
+val pool : t -> Par.Pool.t option
 val lookup : t -> string -> Relation.t option
 val version : t -> int
 
@@ -63,6 +78,7 @@ val with_db : ?kb:Schemakb.Kb.t -> t -> Database.t -> t
 val with_kb : t -> Schemakb.Kb.t -> t
 val with_algorithm : t -> algorithm -> t
 val without_cache : t -> t
+val with_jobs : t -> int -> t
 
 (** The {!Fulldisj.Source} this context evaluates through: the database's
     lookup plus (when caching) the F(J) memo hook — the [of_ctx]

@@ -17,8 +17,12 @@ let padded_categories src g =
       let scheme = Source.scheme src g in
       let subsets = Subgraphs.connected_node_sets g in
       Obs.add Obs.Names.categories (List.length subsets);
+      (* The dominant fan-out: each connected subset's F(J) is independent
+         of the others, so they evaluate across the source's pool; results
+         land in subset order, keeping category order (and everything
+         downstream) identical to sequential evaluation. *)
       let per_category =
-        List.map
+        Par.map ?pool:(Source.pool src)
           (fun aliases ->
             let j = Qgraph.induced g aliases in
             let fj = Join_eval.full_associations src j in
@@ -118,12 +122,12 @@ let compute src g =
           let counting = Obs.enabled () in
           let arr = Array.of_list deduped in
           let arity = Schema.arity scheme in
-          let index = Array.init arity (fun _ -> Hashtbl.create 64) in
+          let index = Array.init arity (fun _ -> Value.Table.create 64) in
           Array.iteri
             (fun id (a : Assoc.t) ->
               for p = 0 to arity - 1 do
                 if not (Value.is_null a.tuple.(p)) then
-                  Hashtbl.add index.(p) a.tuple.(p) id
+                  Value.Table.add index.(p) a.tuple.(p) id
               done)
             arr;
           let subsumed id (a : Assoc.t) =
@@ -131,7 +135,7 @@ let compute src g =
             let best = ref (-1) and best_count = ref max_int in
             for p = 0 to arity - 1 do
               if not (Value.is_null t.(p)) then begin
-                let c = List.length (Hashtbl.find_all index.(p) t.(p)) in
+                let c = List.length (Value.Table.find_all index.(p) t.(p)) in
                 if c < !best_count then begin
                   best := p;
                   best_count := c
@@ -141,7 +145,7 @@ let compute src g =
             if !best < 0 then Array.length arr > 1
             else begin
               if counting then Obs.Counter.bump Obs.Names.index_probes;
-              Hashtbl.find_all index.(!best) t.(!best)
+              Value.Table.find_all index.(!best) t.(!best)
               |> List.exists (fun oid ->
                      oid <> id
                      &&
@@ -150,8 +154,14 @@ let compute src g =
                       Tuple.strictly_subsumes arr.(oid).Assoc.tuple t))
             end
           in
+          (* Keep-flag computation is read-only over [arr]/[index], so it
+             chunks across the pool; assembly stays sequential and ordered. *)
+          let keep =
+            Par.init ?pool:(Source.pool src) (Array.length arr) (fun id ->
+                not (subsumed id arr.(id)))
+          in
           let associations =
-            Array.to_list arr |> List.filteri (fun id a -> not (subsumed id a))
+            Array.to_list arr |> List.filteri (fun id _ -> keep.(id))
           in
           if counting then begin
             Obs.add Obs.Names.assoc_considered (Array.length arr);

@@ -21,24 +21,24 @@ let remove_subsumed_naive tuples =
    non-null position of [t], so probing one such column yields a complete
    candidate set; [selective] picks the smallest bucket instead of the first
    non-null column. *)
-let remove_subsumed_indexed ~selective tuples =
+let remove_subsumed_indexed ?pool ~selective tuples =
   match tuples with
   | [] -> []
   | first :: _ ->
       let counting = Obs.enabled () in
       let arity = Tuple.arity first in
       let arr = Array.of_list tuples in
-      let index = Array.init arity (fun _ -> Hashtbl.create 64) in
+      let index = Array.init arity (fun _ -> Value.Table.create 64) in
       (* Bucket sizes kept separately: probing selectivity must not pay to
          materialize the bucket it is sizing up. *)
-      let counts = Array.init arity (fun _ -> Hashtbl.create 64) in
+      let counts = Array.init arity (fun _ -> Value.Table.create 64) in
       Array.iteri
         (fun id t ->
           for p = 0 to arity - 1 do
             if not (Value.is_null t.(p)) then begin
-              Hashtbl.add index.(p) t.(p) id;
-              Hashtbl.replace counts.(p) t.(p)
-                (1 + Option.value (Hashtbl.find_opt counts.(p) t.(p)) ~default:0)
+              Value.Table.add index.(p) t.(p) id;
+              Value.Table.replace counts.(p) t.(p)
+                (1 + Option.value (Value.Table.find_opt counts.(p) t.(p)) ~default:0)
             end
           done)
         arr;
@@ -47,7 +47,7 @@ let remove_subsumed_indexed ~selective tuples =
           let best = ref (-1) and best_count = ref max_int in
           for p = 0 to arity - 1 do
             if not (Value.is_null t.(p)) then begin
-              let c = Option.value (Hashtbl.find_opt counts.(p) t.(p)) ~default:0 in
+              let c = Option.value (Value.Table.find_opt counts.(p) t.(p)) ~default:0 in
               if c < !best_count then begin
                 best := p;
                 best_count := c
@@ -71,7 +71,7 @@ let remove_subsumed_indexed ~selective tuples =
             Array.length arr > 1
         | p ->
             if counting then Obs.Counter.bump Obs.Names.index_probes;
-            Hashtbl.find_all index.(p) t.(p)
+            Value.Table.find_all index.(p) t.(p)
             |> List.exists (fun oid ->
                    oid <> id
                    &&
@@ -79,9 +79,14 @@ let remove_subsumed_indexed ~selective tuples =
                       Obs.Counter.bump Obs.Names.subsumption_checks;
                     Tuple.strictly_subsumes arr.(oid) t))
       in
-      Array.to_list arr |> List.filteri (fun id t -> not (subsumed id t))
+      (* The per-tuple checks only read [arr]/[index], so they chunk across
+         the pool; list assembly stays sequential and ordered. *)
+      let keep =
+        Par.init ?pool (Array.length arr) (fun id -> not (subsumed id arr.(id)))
+      in
+      Array.to_list arr |> List.filteri (fun id _ -> keep.(id))
 
-let remove_subsumed tuples = remove_subsumed_indexed ~selective:true tuples
+let remove_subsumed ?pool tuples = remove_subsumed_indexed ?pool ~selective:true tuples
 let remove_subsumed_first_probe tuples = remove_subsumed_indexed ~selective:false tuples
 
 let minimize rel =

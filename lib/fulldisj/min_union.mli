@@ -13,8 +13,10 @@ val remove_subsumed_naive : Tuple.t list -> Tuple.t list
 
 (** Indexed variant: candidates that could subsume [t] are found through a
     per-column value index (a subsumer must agree with [t] on each of [t]'s
-    non-null columns), probing [t]'s most selective non-null column. *)
-val remove_subsumed : Tuple.t list -> Tuple.t list
+    non-null columns), probing [t]'s most selective non-null column.
+    [?pool] chunks the (read-only) per-tuple checks across a [Par] pool;
+    the result is identical either way. *)
+val remove_subsumed : ?pool:Par.Pool.t -> Tuple.t list -> Tuple.t list
 
 (** Ablation of {!remove_subsumed}: probes the {e first} non-null column
     instead of the most selective one.  Same result, used by bench B1 to

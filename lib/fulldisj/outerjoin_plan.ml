@@ -71,7 +71,8 @@ let full_disjunction src g =
       let minimal =
         Obs.with_span Obs.Names.sp_oj_sweep (fun () ->
             Relation.make ~allow_all_null:true "D(G)" (Relation.schema fused)
-              (Min_union.remove_subsumed (Relation.tuples fused)))
+              (Min_union.remove_subsumed ?pool:(Source.pool src)
+                 (Relation.tuples fused)))
       in
       tag_result ~lookup g minimal)
 

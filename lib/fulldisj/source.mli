@@ -36,8 +36,14 @@ val with_fj : (Querygraph.Qgraph.t -> Relation.t) -> t -> t
     value without re-entering itself. *)
 val without_fj : t -> t
 
+(** [with_pool pool src] — carry a [Par] pool for the fan-out points of
+    this library (per-subgraph F(J) materialization, subsumption sweeps).
+    [None] (the default everywhere) means sequential evaluation. *)
+val with_pool : Par.Pool.t option -> t -> t
+
 val lookup : t -> string -> Relation.t option
 val fj_hook : t -> (Querygraph.Qgraph.t -> Relation.t) option
+val pool : t -> Par.Pool.t option
 
 (** The graph's combined scheme under this source's lookup. *)
 val scheme : t -> Querygraph.Qgraph.t -> Schema.t

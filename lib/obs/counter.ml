@@ -1,26 +1,90 @@
-type t = { name : string; mutable value : int }
+type t = {
+  name : string;
+  id : int;
+  mutable value : int;  (* main-domain increments, unlocked *)
+  mutable worker_value : int;  (* worker flushes, under [flush_mutex] *)
+}
 
 let registry : (string, t) Hashtbl.t = Hashtbl.create 64
 let rev_order : t list ref = ref []
+let next_id = ref 0
+
+(* Guards the registry (handles may be created from worker domains, e.g.
+   first use of a histogram-backed span name inside a pool task). *)
+let registry_mutex = Mutex.create ()
 
 let make name =
-  match Hashtbl.find_opt registry name with
-  | Some c -> c
-  | None ->
-      let c = { name; value = 0 } in
-      Hashtbl.replace registry name c;
-      rev_order := c :: !rev_order;
-      c
+  Mutex.protect registry_mutex (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some c -> c
+      | None ->
+          let c = { name; id = !next_id; value = 0; worker_value = 0 } in
+          incr next_id;
+          Hashtbl.replace registry name c;
+          rev_order := c :: !rev_order;
+          c)
 
 let name c = c.name
-let value c = c.value
 
-let bump c = c.value <- c.value + 1
-let bump_by c n = c.value <- c.value + n
+(* Reads see main-domain bumps immediately and worker bumps at the flush
+   points [Par] inserts between a task finishing and its batch completing,
+   so a count read after [Par.map] returns includes all of the batch's
+   increments. *)
+let value c = c.value + c.worker_value
+
+(* Worker-domain increments accumulate in a domain-local cell array indexed
+   by counter id — no locking on the bump path — and are folded into
+   [worker_value] by [flush_worker_cells] when a pool task completes. *)
+let cells_key : int array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [||])
+
+let cell_add c n =
+  let cells = Domain.DLS.get cells_key in
+  if c.id >= Array.length !cells then begin
+    let grown = Array.make (max 64 (2 * (c.id + 1))) 0 in
+    Array.blit !cells 0 grown 0 (Array.length !cells);
+    cells := grown
+  end;
+  !cells.(c.id) <- !cells.(c.id) + n
+
+let flush_mutex = Mutex.create ()
+
+let flush_worker_cells () =
+  let cells = !(Domain.DLS.get cells_key) in
+  if Array.exists (fun n -> n <> 0) cells then begin
+    let handles =
+      Mutex.protect registry_mutex (fun () -> List.rev !rev_order)
+    in
+    Mutex.protect flush_mutex (fun () ->
+        List.iter
+          (fun c ->
+            if c.id < Array.length cells && cells.(c.id) <> 0 then begin
+              c.worker_value <- c.worker_value + cells.(c.id);
+              cells.(c.id) <- 0
+            end)
+          handles)
+  end
+
+let add_n c n =
+  if Domain.is_main_domain () then c.value <- c.value + n else cell_add c n
+
+let bump c = add_n c 1
+let bump_by c n = add_n c n
+
+(* Gauges are set from whichever domain computed the reading; last writer
+   wins, which is the natural semantics for a gauge. *)
 let set c n = c.value <- n
-let incr c = if !Switch.on then c.value <- c.value + 1
-let add c n = if !Switch.on then c.value <- c.value + n
+let incr c = if !Switch.on then add_n c 1
+let add c n = if !Switch.on then add_n c n
 
-let find = Hashtbl.find_opt registry
-let all () = List.rev !rev_order
-let reset_all () = List.iter (fun c -> c.value <- 0) !rev_order
+let find name =
+  Mutex.protect registry_mutex (fun () -> Hashtbl.find_opt registry name)
+
+let all () = Mutex.protect registry_mutex (fun () -> List.rev !rev_order)
+
+let reset_all () =
+  List.iter
+    (fun c ->
+      c.value <- 0;
+      c.worker_value <- 0)
+    (all ())

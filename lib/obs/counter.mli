@@ -4,7 +4,13 @@
     {!Obs.Names}) and incremented through a handle, so the hot path is a
     single switch load, branch and unboxed integer bump — no string hashing
     per increment.  When observability is disabled ({!Obs.disable}, the
-    default), {!incr} and {!add} are no-ops. *)
+    default), {!incr} and {!add} are no-ops.
+
+    Counters are domain-safe without hot-path locking: increments from the
+    main domain go straight to the counter; increments from other domains
+    accumulate in domain-local cells and are folded in when the worker
+    calls {!flush_worker_cells} (the [Par] pool does this as each task
+    completes, before the batch is reported finished). *)
 
 type t
 
@@ -41,3 +47,8 @@ val all : unit -> t list
 
 (** Zero every registered counter (registrations are kept). *)
 val reset_all : unit -> unit
+
+(** Fold this domain's accumulated worker-side increments into the shared
+    counters and zero the domain-local cells.  Called by the [Par] worker
+    loop after each task; a no-op on a domain with no pending increments. *)
+val flush_worker_cells : unit -> unit

@@ -25,40 +25,79 @@ type t = {
 let registry : (string, t) Hashtbl.t = Hashtbl.create 64
 let rev_order : t list ref = ref []
 
+(* Handles are created from worker domains too (a span name's first use may
+   happen inside a pool task), so registration is locked.  Sample recording
+   stays unlocked: only the main domain writes into a histogram. *)
+let registry_mutex = Mutex.create ()
+
 let make name =
-  match Hashtbl.find_opt registry name with
-  | Some h -> h
-  | None ->
-      let h =
-        {
-          name;
-          n = 0;
-          sum = 0.;
-          min_v = infinity;
-          max_v = neg_infinity;
-          samples = [||];
-        }
-      in
-      Hashtbl.replace registry name h;
-      rev_order := h :: !rev_order;
-      h
+  Mutex.protect registry_mutex (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              name;
+              n = 0;
+              sum = 0.;
+              min_v = infinity;
+              max_v = neg_infinity;
+              samples = [||];
+            }
+          in
+          Hashtbl.replace registry name h;
+          rev_order := h :: !rev_order;
+          h)
 
 let name h = h.name
 
+let record h v =
+  if h.n >= Array.length h.samples then begin
+    let cap = max 16 (2 * Array.length h.samples) in
+    let grown = Array.make cap 0. in
+    Array.blit h.samples 0 grown 0 h.n;
+    h.samples <- grown
+  end;
+  h.samples.(h.n) <- v;
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v
+
+(* Worker-domain observations are buffered domain-locally (newest first),
+   parked in [pending] when the task completes, and replayed into the real
+   histograms by the main domain after the batch joins — so the sample
+   arrays are only ever mutated by one domain. *)
+let buffer_key : (t * float) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let pending_mutex = Mutex.create ()
+let pending : (t * float) list ref = ref []
+
 let observe h v =
-  if !Switch.on then begin
-    if h.n >= Array.length h.samples then begin
-      let cap = max 16 (2 * Array.length h.samples) in
-      let grown = Array.make cap 0. in
-      Array.blit h.samples 0 grown 0 h.n;
-      h.samples <- grown
-    end;
-    h.samples.(h.n) <- v;
-    h.n <- h.n + 1;
-    h.sum <- h.sum +. v;
-    if v < h.min_v then h.min_v <- v;
-    if v > h.max_v then h.max_v <- v
-  end
+  if !Switch.on then
+    if Domain.is_main_domain () then record h v
+    else begin
+      let b = Domain.DLS.get buffer_key in
+      b := (h, v) :: !b
+    end
+
+let flush_worker () =
+  let b = Domain.DLS.get buffer_key in
+  match !b with
+  | [] -> ()
+  | obs ->
+      b := [];
+      Mutex.protect pending_mutex (fun () -> pending := obs @ !pending)
+
+let adopt_pending () =
+  let obs =
+    Mutex.protect pending_mutex (fun () ->
+        let o = !pending in
+        pending := [];
+        o)
+  in
+  List.iter (fun (h, v) -> record h v) (List.rev obs)
 
 (* Nearest-rank percentile on the sorted samples: the smallest value with
    at least q% of the observations at or below it. *)
@@ -88,10 +127,13 @@ let stats h : stats =
     p99 = p 99.;
   }
 
-let find = Hashtbl.find_opt registry
-let all () = List.rev !rev_order
+let find name =
+  Mutex.protect registry_mutex (fun () -> Hashtbl.find_opt registry name)
+
+let all () = Mutex.protect registry_mutex (fun () -> List.rev !rev_order)
 
 let reset_all () =
+  Mutex.protect pending_mutex (fun () -> pending := []);
   List.iter
     (fun h ->
       h.n <- 0;
@@ -99,4 +141,4 @@ let reset_all () =
       h.min_v <- infinity;
       h.max_v <- neg_infinity;
       h.samples <- [||])
-    !rev_order
+    (all ())

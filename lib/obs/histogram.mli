@@ -43,3 +43,12 @@ val find : string -> t option
 val all : unit -> t list
 
 val reset_all : unit -> unit
+
+(** Worker domains buffer observations domain-locally; only the main domain
+    mutates a histogram's sample array.  [flush_worker] parks this domain's
+    buffered observations for adoption (pool calls it per completed task);
+    [adopt_pending] replays everything parked — main domain only, after the
+    batch has joined. *)
+val flush_worker : unit -> unit
+
+val adopt_pending : unit -> unit

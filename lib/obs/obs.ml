@@ -18,6 +18,17 @@ let count = Counter.incr
 let add = Counter.add
 let observe = Histogram.observe
 
+module Domains = struct
+  let flush_worker () =
+    Counter.flush_worker_cells ();
+    Span.flush_worker ();
+    Histogram.flush_worker ()
+
+  let adopt_pending () =
+    Span.adopt_pending ();
+    Histogram.adopt_pending ()
+end
+
 let reset () =
   Metrics.reset ();
   Span.reset ()

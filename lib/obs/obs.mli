@@ -47,6 +47,18 @@ val add : Counter.t -> int -> unit
 (** Record a histogram observation (no-op when disabled). *)
 val observe : Histogram.t -> float -> unit
 
+(** Hooks for multi-domain execution (used by the [Par] pool; most code
+    never calls these).  Recording is domain-safe without hot-path locking:
+    worker domains accumulate counters, span trees and histogram
+    observations domain-locally; {!Domains.flush_worker} parks them after
+    each pool task, and {!Domains.adopt_pending} — called by the pool on
+    the main domain once a batch has joined — merges everything into the
+    process-wide trace and counter state. *)
+module Domains : sig
+  val flush_worker : unit -> unit
+  val adopt_pending : unit -> unit
+end
+
 (** Zero all counters/histograms and drop the recorded trace. *)
 val reset : unit -> unit
 

@@ -42,9 +42,19 @@ let alloc_delta ~at ~since =
   }
 
 (* The thread-of-execution stack of open spans (innermost first) and the
-   finished roots, both newest-first. *)
-let stack : t list ref = ref []
-let rev_roots : t list ref = ref []
+   finished roots, both newest-first.  Both are domain-local: a pool worker
+   builds its own span trees, which are parked in [pending_rev_roots] when
+   its task completes ([flush_worker]) and grafted into the main domain's
+   trace after the batch joins ([adopt_pending]). *)
+let stack_key : t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let rev_roots_key : t list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
+let rev_roots () = Domain.DLS.get rev_roots_key
+let pending_mutex = Mutex.create ()
+let pending_rev_roots : t list ref = ref []
 
 let name s = s.name
 let attrs s = List.rev s.attrs
@@ -75,12 +85,14 @@ let enter ?(attrs = []) name =
       rev_children = [];
     }
   in
+  let stack = stack () in
   stack := s :: !stack;
   s
 
 let exit_ s =
   s.stop <- now ();
   s.alloc <- alloc_delta ~at:(gc_now ()) ~since:s.start_alloc;
+  let stack = stack () in
   (match !stack with
   | top :: rest when top == s -> stack := rest
   | _ ->
@@ -89,7 +101,9 @@ let exit_ s =
       stack := List.filter (fun x -> not (x == s)) !stack);
   (match !stack with
   | parent :: _ -> parent.rev_children <- s :: parent.rev_children
-  | [] -> rev_roots := s :: !rev_roots);
+  | [] ->
+      let roots = rev_roots () in
+      roots := s :: !roots);
   Histogram.observe (Histogram.make ("span." ^ s.name)) (duration_ms s)
 
 let with_span ?attrs name f =
@@ -100,14 +114,43 @@ let with_span ?attrs name f =
   end
 
 let set_attr k v =
-  match !stack with [] -> () | s :: _ -> s.attrs <- (k, v) :: s.attrs
+  match !(stack ()) with [] -> () | s :: _ -> s.attrs <- (k, v) :: s.attrs
 
-let current () = match !stack with [] -> None | s :: _ -> Some s
-let finished () = List.rev !rev_roots
+let current () = match !(stack ()) with [] -> None | s :: _ -> Some s
+let finished () = List.rev !(rev_roots ())
+
+let flush_worker () =
+  let roots = rev_roots () in
+  match !roots with
+  | [] -> ()
+  | rs ->
+      roots := [];
+      Mutex.protect pending_mutex (fun () ->
+          pending_rev_roots := rs @ !pending_rev_roots)
+
+let adopt_pending () =
+  let rs =
+    Mutex.protect pending_mutex (fun () ->
+        let r = !pending_rev_roots in
+        pending_rev_roots := [];
+        r)
+  in
+  match rs with
+  | [] -> ()
+  | _ -> (
+      (* Worker span trees become children of the caller's innermost open
+         span (typically the fan-out operator's own span), or top-level
+         roots when nothing is open. *)
+      match !(stack ()) with
+      | parent :: _ -> parent.rev_children <- rs @ parent.rev_children
+      | [] ->
+          let roots = rev_roots () in
+          roots := rs @ !roots)
 
 let reset () =
-  stack := [];
-  rev_roots := []
+  Mutex.protect pending_mutex (fun () -> pending_rev_roots := []);
+  stack () := [];
+  rev_roots () := []
 
 (* Depth-first preorder flattening, with depth. *)
 let flatten spans =

@@ -67,6 +67,15 @@ val finished : unit -> t list
 (** Drop all finished roots and abandon any open spans. *)
 val reset : unit -> unit
 
+(** The span stack and finished roots are domain-local.  [flush_worker]
+    parks this worker domain's finished roots for adoption (pool calls it
+    per completed task); [adopt_pending] — main domain, after the batch has
+    joined — grafts everything parked as children of the innermost open
+    span, or as top-level roots when none is open. *)
+val flush_worker : unit -> unit
+
+val adopt_pending : unit -> unit
+
 (** Preorder flattening of a span forest as [(depth, span)] rows. *)
 val flatten : t list -> (int * t) list
 

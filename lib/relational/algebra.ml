@@ -69,11 +69,14 @@ let join_with_flags p l r =
         if List.exists Value.is_null vs then None else Some vs
       in
       let l_pos = List.map fst pairs and r_pos = List.map snd pairs in
-      let table = Hashtbl.create (Array.length r_tuples) in
+      (* Keyed under Value.equal/Value.hash, so the hash path agrees with
+         the predicate semantics on mixed numerics (Int 1 matches
+         Float 1.0, as sql_eq says it must). *)
+      let table = Value.Key_table.create (Array.length r_tuples) in
       Array.iteri
         (fun ri tr ->
           match key_of r_pos tr with
-          | Some k -> Hashtbl.add table k ri
+          | Some k -> Value.Key_table.add table k ri
           | None -> ())
         r_tuples;
       Array.iteri
@@ -83,7 +86,7 @@ let join_with_flags p l r =
               Obs.count Obs.Names.join_hash_probes;
               List.iter
                 (fun ri -> emit li ri tl r_tuples.(ri))
-                (Hashtbl.find_all table k)
+                (Value.Key_table.find_all table k)
           | None -> ())
         l_tuples
   | Some [] | None ->

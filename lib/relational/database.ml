@@ -64,19 +64,19 @@ let cell_count t =
     (fun acc (_, r) -> acc + (Relation.cardinality r * Schema.arity (Relation.schema r)))
     0 t.rels
 
-let find_value t v =
+let find_value_in r v =
   if Value.is_null v then []
   else
-    List.concat_map
-      (fun (name, r) ->
-      let schema = Relation.schema r in
-      Array.to_list (Schema.attrs schema)
-      |> List.filter_map (fun a ->
-             let i = Schema.index schema a in
-             let count =
-               Relation.fold
-                 (fun acc tup -> if Value.equal tup.(i) v then acc + 1 else acc)
-                 0 r
-             in
-             if count > 0 then Some (name, a.Attr.name, count) else None))
-    t.rels
+    let name = Relation.name r in
+    let schema = Relation.schema r in
+    Array.to_list (Schema.attrs schema)
+    |> List.filter_map (fun a ->
+           let i = Schema.index schema a in
+           let count =
+             Relation.fold
+               (fun acc tup -> if Value.equal tup.(i) v then acc + 1 else acc)
+               0 r
+           in
+           if count > 0 then Some (name, a.Attr.name, count) else None)
+
+let find_value t v = List.concat_map (fun (_, r) -> find_value_in r v) t.rels

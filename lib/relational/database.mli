@@ -44,3 +44,9 @@ val cell_count : t -> int
     primitive behind the data chase (Section 5.2).  Nulls have no
     occurrences ([find_value db Null = []]). *)
 val find_value : t -> Value.t -> (string * string * int) list
+
+(** The per-relation unit of {!find_value} ([(rel, column, count)] rows for
+    one relation), exposed so callers can fan the whole-database scan out
+    across relations.  [find_value t v] is exactly
+    [List.concat_map (fun r -> find_value_in r v) (relations t)]. *)
+val find_value_in : Relation.t -> Value.t -> (string * string * int) list

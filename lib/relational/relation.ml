@@ -48,13 +48,13 @@ let rename_rel t ~from ~into =
 
 let column_values t a =
   let i = Schema.index t.schema a in
-  let seen = Hashtbl.create 16 in
+  let seen = Value.Table.create 16 in
   fold
     (fun acc tup ->
       let v = tup.(i) in
-      if Value.is_null v || Hashtbl.mem seen v then acc
+      if Value.is_null v || Value.Table.mem seen v then acc
       else begin
-        Hashtbl.add seen v ();
+        Value.Table.add seen v ();
         v :: acc
       end)
     [] t

@@ -12,15 +12,6 @@ let to_float = function
   | Float f -> Some f
   | Null | String _ | Bool _ -> None
 
-let equal a b =
-  match (a, b) with
-  | Null, Null -> true
-  | Int a, Int b -> a = b
-  | Float a, Float b -> a = b
-  | String a, String b -> String.equal a b
-  | Bool a, Bool b -> a = b
-  | (Null | Int _ | Float _ | String _ | Bool _), _ -> false
-
 let rank = function Null -> 0 | Bool _ -> 1 | Int _ -> 2 | Float _ -> 2 | String _ -> 3
 
 let compare a b =
@@ -33,6 +24,18 @@ let compare a b =
   | Float a, Int b -> Float.compare a (float_of_int b)
   | String a, String b -> String.compare a b
   | _ -> Int.compare (rank a) (rank b)
+
+(* [equal] is the kernel of [compare]'s total order, by definition, so the
+   two can never disagree about whether values coincide: [Int 1] equals
+   [Float 1.0], and NaN equals NaN ([Float.compare nan nan = 0]).  Sort-based
+   dedup and hash-based indexing therefore identify exactly the same pairs. *)
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Int a, Int b -> a = b
+  | String a, String b -> String.equal a b
+  | Bool a, Bool b -> a = b
+  | _ -> compare a b = 0
 
 let sql_eq a b =
   match (a, b) with
@@ -85,6 +88,8 @@ let concat a b =
 let to_sql = function
   | Null -> "NULL"
   | String s -> "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
+  (* SQL has no literal for nan or the infinities. *)
+  | Float f when not (Float.is_finite f) -> "NULL"
   | (Int _ | Float _ | Bool _) as v -> to_string v
 
 let of_csv_cell s =
@@ -103,9 +108,33 @@ let of_csv_cell s =
 
 let pp ppf v = Format.pp_print_string ppf (to_string v)
 
+(* Numerics hash through their float image so that any [Int]/[Float] pair
+   [equal] identifies lands in one bucket; [compare] also collapses every
+   NaN payload and the two signed zeros, so those normalize first. *)
+let hash_numeric f =
+  if Float.is_nan f then Hashtbl.hash (2, Float.nan)
+  else if f = 0. then Hashtbl.hash (2, 0.)
+  else Hashtbl.hash (2, f)
+
 let hash = function
   | Null -> 17
-  | Int i -> Hashtbl.hash (1, i)
-  | Float f -> Hashtbl.hash (2, f)
+  | Int i -> hash_numeric (float_of_int i)
+  | Float f -> hash_numeric f
   | String s -> Hashtbl.hash (3, s)
   | Bool b -> Hashtbl.hash (4, b)
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Table = Hashtbl.Make (Hashed)
+
+module Key_table = Hashtbl.Make (struct
+  type nonrec t = t list
+
+  let equal = List.equal equal
+  let hash l = List.fold_left (fun acc v -> (acc * 31) + hash v) 7 l
+end)

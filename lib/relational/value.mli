@@ -14,8 +14,10 @@ type t =
   | String of string
   | Bool of bool
 
-(** Structural equality; [Null] equals [Null].  Used for set semantics of
-    relations and for subsumption, where two null fields agree. *)
+(** Equality as the kernel of {!compare}: [equal a b] iff [compare a b = 0].
+    [Null] equals [Null], [Int]s and [Float]s coincide when numerically
+    equal, and NaN equals NaN.  Used for set semantics of relations and for
+    subsumption, where two null fields agree. *)
 val equal : t -> t -> bool
 
 (** Total order over values (constructor rank first, payload second;
@@ -51,7 +53,9 @@ val concat : t -> t -> t
     ["null"], strings unquoted). *)
 val to_string : t -> string
 
-(** SQL literal rendering (strings single-quoted, [Null] as [NULL]). *)
+(** SQL literal rendering (strings single-quoted, [Null] as [NULL]).
+    Non-finite floats (nan, infinities) have no SQL literal and render as
+    [NULL]. *)
 val to_sql : t -> string
 
 (** Parse a CSV cell: empty or ["null"] is [Null]; otherwise tries [Int],
@@ -59,4 +63,16 @@ val to_sql : t -> string
 val of_csv_cell : string -> t
 
 val pp : Format.formatter -> t -> unit
+
+(** Consistent with {!equal}: [equal a b] implies [hash a = hash b] (numeric
+    values hash through their float image, NaNs and signed zeros collapse). *)
 val hash : t -> int
+
+(** Hashtables keyed by values under {!equal}/{!hash} — every value-keyed
+    index must use these (or {!compare}-based sorting), never the polymorphic
+    [Hashtbl], which would disagree with {!equal} on mixed numerics and
+    NaN. *)
+module Table : Hashtbl.S with type key = t
+
+(** Hashtables keyed by composite value keys (e.g. multi-column join keys). *)
+module Key_table : Hashtbl.S with type key = t list

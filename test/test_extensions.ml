@@ -318,6 +318,19 @@ let test_html_report () =
   Alcotest.(check bool) "escaped" false (contains html2 "<script>alert");
   Alcotest.(check bool) "entity present" true (contains html2 "&lt;script&gt;")
 
+(* Regression: a badge list shorter than the row list used to raise
+   [Failure "nth"] from [List.nth] and abort the whole report; trailing rows
+   must instead render with an empty badge cell. *)
+let test_html_table_short_badges () =
+  let rows = [ [| Value.Int 1 |]; [| Value.Int 2 |]; [| Value.Int 3 |] ] in
+  let html =
+    Report_html.table ~badges:[ ("P", true) ] ~headers:[ "a" ] rows
+  in
+  Alcotest.(check bool) "first row badged" true (contains html "badge pos");
+  Alcotest.(check bool) "all rows rendered" true
+    (contains html "<td>3</td>");
+  Alcotest.(check bool) "unbadged cell" true (contains html "<td></td>")
+
 let test_html_cyclic_graph_uses_canonical_sql () =
   let eq r1 c1 r2 c2 = Predicate.eq_cols (Attr.make r1 c1) (Attr.make r2 c2) in
   let g =
@@ -411,6 +424,7 @@ let () =
       ( "html-report",
         [
           tc "report" `Quick test_html_report;
+          tc "short badges" `Quick test_html_table_short_badges;
           tc "cyclic canonical" `Quick test_html_cyclic_graph_uses_canonical_sql;
         ] );
       ( "ablations",

@@ -22,8 +22,46 @@ let test_value_equal () =
   Alcotest.(check bool) "1 = 1" true (Value.equal (v_int 1) (v_int 1));
   Alcotest.(check bool) "1 <> 2" false (Value.equal (v_int 1) (v_int 2));
   Alcotest.(check bool) "1 <> '1'" false (Value.equal (v_int 1) (v_str "1"));
-  Alcotest.(check bool) "int <> float ctor" false
-    (Value.equal (v_int 1) (Value.Float 1.0))
+  (* Regression: equal must be the kernel of compare — compare already said
+     Int 1 = Float 1.0 and nan = nan while equal disagreed, so sort-based
+     dedup and hash-based indexes could identify different tuple pairs. *)
+  Alcotest.(check bool) "int = numerically equal float" true
+    (Value.equal (v_int 1) (Value.Float 1.0));
+  Alcotest.(check bool) "int <> other float" false
+    (Value.equal (v_int 1) (Value.Float 1.5));
+  Alcotest.(check bool) "nan reflexive (as compare says)" true
+    (Value.equal (Value.Float Float.nan) (Value.Float Float.nan));
+  Alcotest.(check bool) "signed zeros equal" true
+    (Value.equal (Value.Float (-0.)) (Value.Float 0.))
+
+(* The laws the three primitives must satisfy pairwise, on a value domain
+   dense in the historical disagreement spots (mixed numerics, nan, signed
+   zeros). *)
+let value_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun i -> Value.Int i) (int_range (-4) 4);
+        map (fun f -> Value.Float f) (oneofl [ -1.5; -0.; 0.; 1.0; 2.0; 2.5; Float.nan; Float.infinity; Float.neg_infinity ]);
+        map (fun i -> Value.Float (float_of_int i)) (int_range (-4) 4);
+        map (fun s -> Value.String s) (oneofl [ ""; "a"; "1" ]);
+        map (fun b -> Value.Bool b) bool;
+      ])
+
+let law_equal_iff_compare =
+  QCheck2.Test.make ~name:"equal a b <=> compare a b = 0" ~count:2000
+    QCheck2.Gen.(pair value_gen value_gen)
+    (fun (a, b) -> Value.equal a b = (Value.compare a b = 0))
+
+let law_equal_implies_hash =
+  QCheck2.Test.make ~name:"equal a b ==> hash a = hash b" ~count:2000
+    QCheck2.Gen.(pair value_gen value_gen)
+    (fun (a, b) -> (not (Value.equal a b)) || Value.hash a = Value.hash b)
+
+let law_equal_reflexive =
+  QCheck2.Test.make ~name:"equal reflexive (incl. nan)" ~count:500 value_gen
+    (fun v -> Value.equal v v)
 
 let test_value_compare_numeric () =
   Alcotest.(check int) "1 < 1.5" (-1) (Value.compare (v_int 1) (Value.Float 1.5));
@@ -63,7 +101,13 @@ let test_value_csv_cell () =
 let test_value_to_sql () =
   Alcotest.(check string) "null" "NULL" (Value.to_sql Value.Null);
   Alcotest.(check string) "string quoted" "'a''b'" (Value.to_sql (v_str "a'b"));
-  Alcotest.(check string) "int" "7" (Value.to_sql (v_int 7))
+  Alcotest.(check string) "int" "7" (Value.to_sql (v_int 7));
+  (* Regression: non-finite floats have no SQL literal; emit NULL rather than
+     an unparsable "nan"/"inf" token. *)
+  Alcotest.(check string) "nan" "NULL" (Value.to_sql (Value.Float Float.nan));
+  Alcotest.(check string) "inf" "NULL" (Value.to_sql (Value.Float Float.infinity));
+  Alcotest.(check string) "-inf" "NULL"
+    (Value.to_sql (Value.Float Float.neg_infinity))
 
 (* --- Attr / Schema --- *)
 
@@ -453,6 +497,9 @@ let () =
           tc "concat" `Quick test_value_concat;
           tc "csv cell" `Quick test_value_csv_cell;
           tc "to_sql" `Quick test_value_to_sql;
+          QCheck_alcotest.to_alcotest ~long:false law_equal_iff_compare;
+          QCheck_alcotest.to_alcotest ~long:false law_equal_implies_hash;
+          QCheck_alcotest.to_alcotest ~long:false law_equal_reflexive;
         ] );
       ( "schema",
         [

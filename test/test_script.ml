@@ -75,6 +75,25 @@ show alternatives|}
   Alcotest.(check bool) "two options" true
     (contains listing "1." && contains listing "2.")
 
+(* Regression for the pending-alternative indexing: picking the *last*
+   alternative must select exactly that one (off-by-one or list/nth drift
+   here silently settles the wrong mapping). *)
+let test_pick_last_alternative () =
+  let outcome =
+    run
+      {|target Kids(ID, affiliation)
+source Children
+corr ID = Children.ID
+corr affiliation = Parents.affiliation
+pick 2|}
+  in
+  match outcome.Script.mapping with
+  | None -> Alcotest.fail "expected a settled mapping"
+  | Some m ->
+      (* Both alternatives reach Parents; the settled graph must include it. *)
+      Alcotest.(check bool) "Parents joined" true
+        (List.mem "Parents" (Querygraph.Qgraph.aliases m.Mapping.graph))
+
 let test_pick_out_of_range () =
   let e =
     run_err
@@ -248,6 +267,7 @@ let () =
         [
           tc "section 2 end-to-end" `Quick test_section2_script_runs;
           tc "alternatives listing" `Quick test_alternatives_listing;
+          tc "pick last" `Quick test_pick_last_alternative;
           tc "pick out of range" `Quick test_pick_out_of_range;
           tc "pending blocks" `Quick test_pending_blocks_commands;
           tc "filters and require" `Quick test_filters_and_require;

@@ -40,6 +40,19 @@ let test_offer_creates_workspaces () =
   Alcotest.(check int) "first active" (List.hd (Workspace.entries ws)).Workspace.id
     active.Workspace.id
 
+(* Regression for the label lookup: a labels list shorter than the
+   alternatives must fall back to the positional default, and explicit labels
+   must land on the alternative with the same index. *)
+let test_offer_partial_labels () =
+  let ws = Workspace.create_db ~db ~kb m_g1 in
+  let ws = Workspace.offer ws ~labels:[ "first" ] (walk_mappings ()) in
+  match Workspace.entries ws with
+  | [ e1; e2; e3 ] ->
+      Alcotest.(check string) "explicit" "first" e1.Workspace.label;
+      Alcotest.(check string) "default 2" "alternative 2" e2.Workspace.label;
+      Alcotest.(check string) "default 3" "alternative 3" e3.Workspace.label
+  | es -> Alcotest.failf "expected 3 entries, got %d" (List.length es)
+
 let test_offer_evolves_illustrations () =
   let ws = Workspace.create_db ~db ~kb m_g1 in
   let old = Workspace.active ws in
@@ -323,6 +336,7 @@ let () =
           tc "sufficient at creation" `Quick test_create_has_sufficient_illustration;
           tc "target view" `Quick test_target_view_wysiwyg;
           tc "offer" `Quick test_offer_creates_workspaces;
+          tc "offer partial labels" `Quick test_offer_partial_labels;
           tc "offer evolves" `Quick test_offer_evolves_illustrations;
           tc "rotate" `Quick test_rotate_cycles;
           tc "select/delete/confirm" `Quick test_select_delete_confirm;
