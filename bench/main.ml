@@ -8,7 +8,7 @@
       exactly as bin/figures.exe does, so `dune exec bench/main.exe`
       reproduces the complete evaluation in one run.
 
-   2. Performance benchmarks (experiments B1-B14) for the algorithms whose
+   2. Performance benchmarks (experiments B1-B15) for the algorithms whose
       cost the paper alludes to ("we make use of evaluation and
       optimization techniques for the minimal union operator to
       efficiently compute D(G)"): minimum union naive vs indexed, full
@@ -16,8 +16,10 @@
       illustration selection, walk enumeration, chase scans, end-to-end
       mapping evaluation, FK mining, illustration evolution, and the
       engine's memo cache (B9 walk-alternative reuse, B10 session replay
-      — each cached vs no-cache, the ablation of lib/engine), and the
-      B14 jobs=1 vs jobs=4 ablation of the lib/par domain pool.
+      — each cached vs no-cache, the ablation of lib/engine), the B14
+      jobs=1 vs jobs=4 ablation of the lib/par domain pool, and the B15
+      example-edit replay (incremental delta maintenance vs from-scratch
+      re-evaluation after each edit).
 
    3. Operator-counter and allocation tables (lib/obs): the same workloads
       run once with observability enabled, reporting subsumption checks,
@@ -360,6 +362,87 @@ let engine_session_tests =
       (Staged.stage (engine_session_replay ~no_cache:true));
   ]
 
+(* --- B15: example-edit replay — incremental maintenance ablation ---
+
+   The other hot mutation of the interactive loop: the user adds an example
+   tuple to a base relation (op_example, Workspace.add_tuples) and the
+   session refreshes against the updated instance — every alternative's
+   D(G) is maintained (Workspace evolves each entry's illustration) and
+   the active target view re-renders (WYSIWYG).  Each run warms one
+   caching context, then replays a burst of single-tuple inserts with a
+   refresh after each.  Both arms keep the memo cache on: every edit bumps
+   the database version, so with --no-incremental the whole cache strands
+   and each refresh re-evaluates from scratch, while the incremental arm
+   repairs the cached F(J)/D(G) entries through the recorded delta chain.
+   (Illustration selection, the other per-edit cost of the full Workspace
+   path, is version-independent and benchmarked separately — B8/B11.) *)
+
+let engine_edit_instance =
+  Synth.Gen_graph.chain (seeded 47) ~n:4 ~rows:(if quick then 150 else 400)
+    ~null_prob:0.25 ~orphan_prob:0.2 ()
+
+let engine_edit_mappings =
+  (* The session's walk alternatives R1, R1-R2, R1-R2-R3, R1-R2-R3-R4
+     overlap pairwise, so the FJ tier shares promoted subgraphs too. *)
+  let inst = engine_edit_instance in
+  let m0 =
+    Clio.Mapping.make
+      ~graph:(Qgraph.singleton ~alias:"R1" ~base:"R1")
+      ~target:"T" ~target_cols:[ "c" ]
+      ~correspondences:[ Clio.Correspondence.identity "c" (Attr.make "R1" "id") ]
+      ()
+  in
+  let alts goal =
+    Clio.Op_walk.data_walk_kb ~kb:inst.Synth.Gen_graph.kb m0 ~start:"R1" ~goal
+      ~max_len:3 ()
+    |> List.map (fun (a : Clio.Op_walk.alternative) -> a.Clio.Op_walk.mapping)
+  in
+  m0 :: (alts "R2" @ alts "R3" @ alts "R4")
+
+let engine_edit_count = if quick then 6 else 8
+
+let engine_edit_tuples =
+  (* Fresh ids far beyond the generator's key space (so every edit really
+     inserts); the FK points at an existing R2 id, so each edit extends the
+     join result, not just the base relation. *)
+  List.init engine_edit_count (fun i ->
+      [|
+        Value.Int (1_000_000 + i);
+        Value.String (Printf.sprintf "edit-%d" i);
+        Value.Int i;
+      |])
+
+let engine_edit_replay ~incremental () =
+  let inst = engine_edit_instance in
+  let ctx =
+    ref
+      (Clio.Eval_ctx.create ~incremental ~kb:inst.Synth.Gen_graph.kb
+         inst.Synth.Gen_graph.db)
+  in
+  let active = List.hd (List.rev engine_edit_mappings) in
+  let refresh () =
+    List.iter
+      (fun m -> ignore (Clio.Mapping_eval.data_associations !ctx m))
+      engine_edit_mappings;
+    ignore (Clio.Mapping_eval.target_view !ctx active)
+  in
+  refresh ();
+  List.iter
+    (fun t ->
+      ctx :=
+        Clio.Eval_ctx.with_db !ctx
+          (Database.insert_tuples (Clio.Eval_ctx.db !ctx) "R1" [ t ]);
+      refresh ())
+    engine_edit_tuples
+
+let engine_edit_tests =
+  [
+    Test.make ~name:"engine/example-edit/incremental"
+      (Staged.stage (engine_edit_replay ~incremental:true));
+    Test.make ~name:"engine/example-edit/no-incremental"
+      (Staged.stage (engine_edit_replay ~incremental:false));
+  ]
+
 (* --- B11: illustration at scale — full universe vs sampled slice --- *)
 
 let sampling_tests =
@@ -480,8 +563,8 @@ let par_tests =
 let all_tests =
   minunion_tests @ fulldisj_tests @ illustration_tests @ walk_tests @ chase_tests
   @ mapping_tests @ mine_tests @ evolve_tests @ engine_walk_tests
-  @ engine_session_tests @ sampling_tests @ join_impl_tests @ match_tests
-  @ pruning_tests @ par_tests
+  @ engine_session_tests @ engine_edit_tests @ sampling_tests
+  @ join_impl_tests @ match_tests @ pruning_tests @ par_tests
 
 (* --- running and reporting --- *)
 
@@ -584,7 +667,8 @@ let counter name c =
   | Some v -> v
   | None -> 0
 
-(* The instrumented workload list, covering B1–B10.  Names are stable: they
+(* The instrumented workload list, covering B1–B10 and B15.  Names are
+   stable: they
    key the printed tables, the "workloads" section of the bench JSON, and
    therefore the baseline comparisons across commits. *)
 let workloads : (string * (unit -> unit)) list =
@@ -704,6 +788,13 @@ let workloads : (string * (unit -> unit)) list =
       ("engine/session-replay/cached", engine_session_replay ~no_cache:false);
       ("engine/session-replay/no-cache", engine_session_replay ~no_cache:true);
     ]
+  (* B15: incremental maintenance ablation — the cache.promote.* / delta.*
+     counters are the promotion-vs-fallback story behind the timings. *)
+  @ [
+      ("engine/example-edit/incremental", engine_edit_replay ~incremental:true);
+      ( "engine/example-edit/no-incremental",
+        engine_edit_replay ~incremental:false );
+    ]
 
 let run_measurements () = List.iter (fun (name, f) -> measure name f) workloads
 
@@ -779,12 +870,25 @@ let run_counter_tables () =
         ("bytes", Obs.Names.cache_bytes_resident);
       ]
     (workload_names "engine/");
+  counter_table
+    ~title:
+      "B15 — incremental maintenance: promotions vs fallbacks (example edits)"
+    ~columns:
+      [
+        ("delta.records", Obs.Names.delta_records);
+        ("promote.fj.free", Obs.Names.cache_promote_fj_free);
+        ("promote.fj.rep", Obs.Names.cache_promote_fj_repaired);
+        ("promote.dg.free", Obs.Names.cache_promote_dg_free);
+        ("promote.dg.rep", Obs.Names.cache_promote_dg_repaired);
+        ("delta.fallbacks", Obs.Names.delta_fallbacks);
+      ]
+    (workload_names "engine/example-edit/");
   (* Allocation per workload: the memory-side counterpart of part 2. *)
   let names = List.map fst workloads in
   let width =
     List.fold_left (fun w n -> max w (String.length n)) 8 names
   in
-  print_endline "B1–B13 — GC allocation per workload (words)";
+  print_endline "B1–B15 — GC allocation per workload (words)";
   print_newline ();
   Printf.printf "%-*s %14s %14s %14s\n" width "workload" "minor" "major"
     "promoted";
@@ -872,7 +976,7 @@ let () =
   let times =
     if bench || json then begin
       print_endline "######################################################";
-      print_endline "# Part 2: performance benchmarks (B1-B14)           #";
+      print_endline "# Part 2: performance benchmarks (B1-B15)           #";
       print_endline "######################################################\n";
       run_benchmarks ()
     end

@@ -43,6 +43,7 @@ type obs_opts = {
   stats : bool;
   metrics : string option;
   no_cache : bool;
+  no_incremental : bool;
   jobs : int option;
 }
 
@@ -51,6 +52,7 @@ let extract_obs_flags argv =
   and stats = ref false
   and metrics = ref None
   and no_cache = ref false
+  and no_incremental = ref false
   and jobs = ref None in
   let starts_with prefix s =
     String.length s >= String.length prefix
@@ -85,6 +87,10 @@ let extract_obs_flags argv =
              no_cache := true;
              false
            end
+           else if String.equal arg "--no-incremental" then begin
+             no_incremental := true;
+             false
+           end
            else if String.equal arg "--trace" then begin
              trace := Some "trace.json";
              false
@@ -117,6 +123,7 @@ let extract_obs_flags argv =
       stats = !stats;
       metrics = !metrics;
       no_cache = !no_cache;
+      no_incremental = !no_incremental;
       jobs = !jobs;
     } )
 
@@ -415,20 +422,38 @@ let stats_cmd =
       ws := Clio.Workspace.rotate !ws;
       ignore (Clio.Workspace.target_view !ws)
     done;
-    ignore (Clio.Workspace.render (Clio.Workspace.confirm !ws));
+    (* An example edit mid-session: inserting a Children row bumps the
+       database version, and the re-evaluations after it exercise the
+       engine's incremental path — the cache.promote.* / delta.* counters
+       below come from here. *)
+    let ws =
+      Clio.Workspace.add_tuples (Clio.Workspace.confirm !ws) "Children"
+        [
+          [|
+            Value.String "012"; Value.String "Zoe"; Value.Int 7;
+            Value.String "103"; Value.String "104"; Value.String "d31";
+          |];
+        ]
+    in
+    ignore (Clio.Workspace.render ws);
     print_newline ();
     print_endline
-      "Cache rollup (workspace offer/rotate/confirm in one caching context):";
+      "Cache rollup (workspace offer/rotate/edit/confirm in one caching \
+       context):";
     print_newline ();
     let counters = (Obs.Metrics.snapshot ()).Obs.Metrics.counters in
+    let prefixed p n =
+      String.length n >= String.length p
+      && String.equal (String.sub n 0 (String.length p)) p
+    in
     let cache_counters =
       List.filter
-        (fun (n, _) -> String.length n >= 6 && String.equal (String.sub n 0 6) "cache.")
+        (fun (n, _) -> prefixed "cache." n || prefixed "delta." n)
         counters
     in
     if cache_counters = [] then print_endline "  (no cache activity recorded)"
     else
-      List.iter (fun (n, v) -> Printf.printf "  %-22s %10d\n" n v) cache_counters;
+      List.iter (fun (n, v) -> Printf.printf "  %-26s %10d\n" n v) cache_counters;
     Obs.disable ();
     Obs.reset ()
   in
@@ -506,6 +531,7 @@ let repl_cmd =
 let () =
   let argv, obs = extract_obs_flags Sys.argv in
   if obs.no_cache then Clio.Eval_ctx.set_caching_default false;
+  if obs.no_incremental then Clio.Eval_ctx.set_incremental_default false;
   (match obs.jobs with Some j -> Clio.Eval_ctx.set_jobs_default j | None -> ());
   if obs.trace <> None || obs.stats || obs.metrics <> None then Obs.enable ();
   let man =
@@ -528,6 +554,12 @@ let () =
          (F(J) and D(G) tiers): every evaluation context built during the \
          subcommand recomputes from scratch.  Useful for ablation and for \
          reproducing pre-cache timings.";
+      `P
+        "$(b,--no-incremental) disables incremental cache maintenance: \
+         after a database edit, cache entries from earlier versions are \
+         recomputed from scratch instead of being promoted or repaired \
+         through the recorded delta chain.  The ablation switch behind \
+         bench B15.";
       `P
         "$(b,--jobs=)$(i,N) evaluates fan-out points (per-subgraph joins, \
          walk/chase alternatives, subsumption sweeps, illustration \

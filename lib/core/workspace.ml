@@ -93,6 +93,31 @@ let delete t id =
 
 let confirm t = { t with entries = [ active t ] }
 
+(* A source-tuple edit: insert example tuples into one base relation and
+   refresh every workspace's illustration against the new instance.  The
+   context keeps its cache across [with_db], so with incremental
+   maintenance on, the re-evaluations promote or repair the session's
+   cached F(J)/D(G) entries instead of recomputing them — this is the hot
+   path the B15 bench replays. *)
+let add_tuples t name tuples =
+  let db = Database.insert_tuples (Eval_ctx.db t.ctx) name tuples in
+  if Database.version db = Eval_ctx.version t.ctx then t
+  else begin
+    let ctx = Eval_ctx.with_db t.ctx db in
+    let entries =
+      Par.map
+        ?pool:(Eval_ctx.pool ctx)
+        (fun e ->
+          let illustration =
+            Evolution.evolve ctx ~old_mapping:e.mapping
+              ~old_illustration:e.illustration e.mapping
+          in
+          { e with illustration })
+        t.entries
+    in
+    { t with ctx; entries }
+  end
+
 let render ?short t =
   let b = Buffer.create 1024 in
   let act = active t in

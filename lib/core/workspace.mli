@@ -56,6 +56,16 @@ val delete : t -> int -> t
 (** Keep only the active workspace. *)
 val confirm : t -> t
 
+(** [add_tuples t rel tuples] — the example-edit operation: insert tuples
+    into base relation [rel] ({!Relational.Database.insert_tuples}) and
+    evolve every workspace's illustration against the updated instance.
+    The evaluation context keeps its memo cache across the edit, so the
+    re-evaluations run through the engine's incremental promotion path
+    when it is enabled.  A no-op (same workspace value) when every tuple
+    already exists.  Raises [Invalid_argument] on an unknown relation or
+    malformed tuples. *)
+val add_tuples : t -> string -> Tuple.t list -> t
+
 (** Replace the active mapping in place (e.g. after a trim operator),
     evolving its illustration. *)
 val update_active : t -> ?label:string -> Mapping.t -> t

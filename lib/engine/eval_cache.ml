@@ -148,6 +148,18 @@ let find_dg t ~version ~variant key =
 let add_dg t ~version ~variant key r =
   insert t (dg_key ~version ~variant key) (Dg r) (result_bytes r)
 
+(* Promotion probes: no hit/miss counters (the miss at the current version
+   was already counted) and no recency touch — the ancestor entry's age is
+   genuine; the *promoted* entry gets fresh recency through [insert]. *)
+let peek t key =
+  locked t (fun () -> Option.map (fun e -> e.payload) (Hashtbl.find_opt t.table key))
+
+let peek_fj t ~version key =
+  match peek t (fj_key ~version key) with Some (Fj r) -> Some r | _ -> None
+
+let peek_dg t ~version ~variant key =
+  match peek t (dg_key ~version ~variant key) with Some (Dg r) -> Some r | _ -> None
+
 let mem_fj t ~version key =
   locked t (fun () -> Hashtbl.mem t.table (fj_key ~version key))
 

@@ -43,6 +43,16 @@ val find_dg :
 val add_dg :
   t -> version:int -> variant:string -> Graph_key.t -> Full_disjunction.result -> unit
 
+(** Promotion probes for the incremental path: like [find_*] but counting
+    no hit/miss and leaving LRU recency untouched — an ancestor-version
+    entry's age is genuine until its promoted copy is re-inserted at the
+    current version. *)
+
+val peek_fj : t -> version:int -> Graph_key.t -> Relation.t option
+
+val peek_dg :
+  t -> version:int -> variant:string -> Graph_key.t -> Full_disjunction.result option
+
 (** Introspection (tests, [clio_cli stats]).  [mem_*] do not touch LRU
     recency and count no hit/miss. *)
 

@@ -13,6 +13,7 @@ type t = {
   kb : Schemakb.Kb.t;
   cache : Eval_cache.t option;
   algorithm : algorithm;
+  incremental : bool;
   jobs : int;
   pool : Par.Pool.t option;
 }
@@ -22,30 +23,47 @@ type t = {
 let caching_default = ref true
 let set_caching_default b = caching_default := b
 
+(* Same pattern for `--no-incremental`. *)
+let incremental_default = ref true
+let set_incremental_default b = incremental_default := b
+
 (* Same pattern for `--jobs`; [Par.default_jobs] also reads CLIO_JOBS. *)
 let set_jobs_default = Par.set_default_jobs
 
-let create ?(algorithm = Indexed) ?(no_cache = false) ?cache ?jobs ?kb db =
+let create ?(algorithm = Indexed) ?(no_cache = false) ?cache ?incremental ?jobs
+    ?kb db =
   let kb = match kb with Some kb -> kb | None -> Schemakb.Kb.of_database db in
   let cache =
     if no_cache || not !caching_default then None
     else
       match cache with Some c -> Some c | None -> Some (Eval_cache.create ())
   in
+  let incremental =
+    match incremental with Some b -> b | None -> !incremental_default
+  in
   let jobs = match jobs with Some j -> j | None -> Par.default_jobs () in
-  { db; kb; cache; algorithm; jobs; pool = Par.get_pool ~jobs }
+  { db; kb; cache; algorithm; incremental; jobs; pool = Par.get_pool ~jobs }
 
 (* Single-shot contexts for the deprecated [Database.t]-taking wrappers:
    no cache, so behaviour (and benchmarks) match the pre-engine code path
    exactly. *)
 let transient ?(algorithm = Indexed) db =
-  { db; kb = Schemakb.Kb.empty; cache = None; algorithm; jobs = 1; pool = None }
+  {
+    db;
+    kb = Schemakb.Kb.empty;
+    cache = None;
+    algorithm;
+    incremental = false;
+    jobs = 1;
+    pool = None;
+  }
 
 let db t = t.db
 let kb t = t.kb
 let algorithm t = t.algorithm
 let cache t = t.cache
 let cached t = Option.is_some t.cache
+let incremental t = t.incremental
 let jobs t = t.jobs
 let pool t = t.pool
 let lookup t name = Database.find t.db name
@@ -61,6 +79,65 @@ let with_jobs t jobs = { t with jobs; pool = Par.get_pool ~jobs }
 
 let base_source t = Source.of_db t.db
 
+(* --- promotion through the delta chain --------------------------------- *)
+
+(* On a miss at the current version, walk the database's recorded history
+   newest-first looking for the same key at an ancestor version.  Along the
+   walk we fold the steps into (a) the cumulative inserted tuples per
+   relation and (b) the set of poisoned relations (rewritten non-insert-only).
+   A [New_relation] step is a no-op here: a graph mentioning the new
+   relation cannot have cache entries at versions before it existed, so
+   deeper peeks just miss.  Poisoning only grows as the walk deepens, so
+   the first ancestor whose entry exists decides the outcome:
+
+   - no graph base touched at all     → promote for free (same payload);
+   - touched bases all insert-only    → repair by delta join;
+   - any graph base poisoned          → no ancestor can help; recompute.
+
+   [peek] probes the cache at one ancestor version; [free]/[repair] build
+   the promoted payload (and bump their counters). *)
+let promote_via_chain t ~bases ~peek ~free ~repair =
+  let merge_changed pairs =
+    List.fold_left
+      (fun acc (rel, tups) ->
+        match List.assoc_opt rel acc with
+        | Some prev -> (rel, prev @ tups) :: List.remove_assoc rel acc
+        | None -> (rel, tups) :: acc)
+      [] pairs
+  in
+  let rec walk steps ~changed ~poisoned =
+    match steps with
+    | [] -> None
+    | step :: rest -> (
+        let changed, poisoned =
+          match step.Delta.kind with
+          | Delta.Insert { relation; tuples } ->
+              ((relation, tuples) :: changed, poisoned)
+          | Delta.Rewrite { relation } -> (changed, relation :: poisoned)
+          | Delta.New_relation _ | Delta.Constraints_only -> (changed, poisoned)
+        in
+        if List.exists (fun b -> List.mem b poisoned) bases then begin
+          Obs.count Obs.Names.delta_fallbacks;
+          None
+        end
+        else
+          match peek step.Delta.from_version with
+          | Some payload -> (
+              match
+                merge_changed
+                  (List.filter (fun (rel, _) -> List.mem rel bases) changed)
+              with
+              | [] -> Some (free payload)
+              | touched -> Some (repair payload ~changed:touched))
+          | None -> walk rest ~changed ~poisoned)
+  in
+  walk (Database.history t.db) ~changed:[] ~poisoned:[]
+
+let graph_bases g =
+  Querygraph.Qgraph.nodes g
+  |> List.map (fun n -> n.Querygraph.Qgraph.base)
+  |> List.sort_uniq String.compare
+
 let full_associations t j =
   match t.cache with
   | None -> Join_eval.full_associations (base_source t) j
@@ -70,7 +147,26 @@ let full_associations t j =
       match Eval_cache.find_fj cache ~version key with
       | Some r -> r
       | None ->
-          let r = Join_eval.full_associations (base_source t) j in
+          let promoted =
+            if not t.incremental then None
+            else
+              promote_via_chain t ~bases:(graph_bases j)
+                ~peek:(fun v -> Eval_cache.peek_fj cache ~version:v key)
+                ~free:(fun r ->
+                  Obs.count Obs.Names.cache_promote_fj_free;
+                  r)
+                ~repair:(fun r ~changed ->
+                  Obs.count Obs.Names.cache_promote_fj_repaired;
+                  let src = Source.with_pool t.pool (base_source t) in
+                  Join_eval.canonical
+                    (Algebra.union r
+                       (Join_eval.full_associations_delta src j ~changed)))
+          in
+          let r =
+            match promoted with
+            | Some r -> r
+            | None -> Join_eval.full_associations (base_source t) j
+          in
           Eval_cache.add_fj cache ~version key r;
           r)
 
@@ -102,7 +198,22 @@ let data_associations ?algorithm t g =
       match Eval_cache.find_dg cache ~version ~variant key with
       | Some r -> r
       | None ->
-          let r = run_algorithm t alg g in
+          let promoted =
+            if not t.incremental then None
+            else
+              promote_via_chain t ~bases:(graph_bases g)
+                ~peek:(fun v -> Eval_cache.peek_dg cache ~version:v ~variant key)
+                ~free:(fun r ->
+                  Obs.count Obs.Names.cache_promote_dg_free;
+                  r)
+                ~repair:(fun old ~changed ->
+                  Obs.count Obs.Names.cache_promote_dg_repaired;
+                  let src = Source.with_pool t.pool (base_source t) in
+                  Full_disjunction.delta src g ~old ~changed)
+          in
+          let r =
+            match promoted with Some r -> r | None -> run_algorithm t alg g
+          in
           Eval_cache.add_dg cache ~version ~variant key r;
           r)
 

@@ -34,6 +34,7 @@ val create :
   ?algorithm:algorithm ->
   ?no_cache:bool ->
   ?cache:Eval_cache.t ->
+  ?incremental:bool ->
   ?jobs:int ->
   ?kb:Schemakb.Kb.t ->
   Database.t ->
@@ -48,6 +49,19 @@ val transient : ?algorithm:algorithm -> Database.t -> t
     maps [--no-cache] onto this so every context built downstream complies. *)
 val set_caching_default : bool -> unit
 
+(** Process-wide default for [create]'s [?incremental] (true initially) —
+    the CLI maps [--no-incremental] onto this.  When incremental
+    maintenance is on, a cache miss at the current database version first
+    tries to *promote* an entry cached at a recorded ancestor version
+    through the delta chain ({!Relational.Database.deltas_from}): entries
+    whose graph touches none of the changed relations are reused as-is
+    ([cache.promote.*.free]); entries touched only by insert-only steps
+    are repaired by a delta join ([cache.promote.*.repaired],
+    {!Fulldisj.Full_disjunction.delta}); anything touched by a rewrite
+    falls back to recomputation ([delta.fallbacks]).  Results are
+    byte-identical to from-scratch evaluation either way. *)
+val set_incremental_default : bool -> unit
+
 (** Process-wide default for [create]'s [?jobs] — how the CLI's [--jobs]
     reaches every context built downstream.  Same as
     {!Par.set_default_jobs}; the initial default also honours the
@@ -59,6 +73,10 @@ val kb : t -> Schemakb.Kb.t
 val algorithm : t -> algorithm
 val cache : t -> Eval_cache.t option
 val cached : t -> bool
+
+(** Whether this context promotes ancestor-version cache entries (see
+    {!set_incremental_default}).  Only meaningful when [cached]. *)
+val incremental : t -> bool
 
 (** Parallelism this context evaluates with ([1] = sequential, the
     default).  [jobs > 1] attaches the shared {!Par} pool of that size;

@@ -67,6 +67,21 @@ let dedup_assocs assocs =
     assocs;
   Hashtbl.fold (fun _ a acc -> a :: acc) table []
 
+(* Canonical presentation order: by tuple, then coverage.  Every D(G)
+   algorithm — and the incremental repair path — emits this order, so equal
+   association *sets* render byte-identically no matter how they were
+   computed.  Downstream greedy tie-breaks (illustration selection walks
+   associations in order) depend on this for incremental/from-scratch
+   parity.  Equal tuples imply equal coverage (a padded tuple's null
+   pattern determines its category because source relations have no
+   all-null tuples), so the order is total on deduplicated results. *)
+let canonical_order assocs =
+  List.sort
+    (fun (a : Assoc.t) (b : Assoc.t) ->
+      let c = Tuple.compare a.Assoc.tuple b.Assoc.tuple in
+      if c <> 0 then c else Coverage.compare a.Assoc.coverage b.Assoc.coverage)
+    assocs
+
 let naive src g =
   Obs.with_span ~attrs:[ ("algorithm", "naive") ] Obs.Names.sp_fulldisj
     (fun () ->
@@ -95,7 +110,7 @@ let naive src g =
             end;
             kept_assocs)
       in
-      { scheme; node_positions; associations })
+      { scheme; node_positions; associations = canonical_order associations })
 
 (* Indexed subsumption removal: a subsumer of [t] must agree with [t] on
    every non-null column of [t], so probing the per-column value index at
@@ -167,7 +182,74 @@ let compute src g =
             Obs.add Obs.Names.assoc_considered (Array.length arr);
             Obs.add Obs.Names.assoc_kept (List.length associations)
           end;
-          { scheme; node_positions; associations }))
+          { scheme; node_positions; associations = canonical_order associations }))
+
+(* Incremental repair: after an insert-only database update, D(G)'s new
+   possible associations all come from categories containing an alias over
+   a touched base.  Each such category contributes its delta join (padded,
+   coverage-tagged); the batch is deduplicated against itself and against
+   the old result (equal tuples carry equal coverage, see
+   [canonical_order]), then min-union-merged into the old associations —
+   old-vs-old subsumption is never re-checked. *)
+let delta src g ~old ~changed =
+  Obs.with_span ~attrs:[ ("algorithm", "delta") ] Obs.Names.sp_fulldisj
+    (fun () ->
+      let scheme = old.scheme in
+      let node_positions = old.node_positions in
+      let touched_bases = List.map fst changed in
+      let touched_alias a =
+        List.mem (Qgraph.base_of g a) touched_bases
+      in
+      let subsets =
+        Subgraphs.connected_node_sets g
+        |> List.filter (List.exists touched_alias)
+      in
+      let per_category =
+        Par.map ?pool:(Source.pool src)
+          (fun aliases ->
+            let j = Qgraph.induced g aliases in
+            let dfj = Join_eval.full_associations_delta src j ~changed in
+            let padded = Algebra.pad dfj scheme in
+            (Coverage.of_list aliases, Relation.tuples padded))
+          subsets
+      in
+      let old_arr = Array.of_list old.associations in
+      let seen = Relation.Tuple_tbl.create (Array.length old_arr) in
+      Array.iter (fun (a : Assoc.t) -> Relation.Tuple_tbl.replace seen a.Assoc.tuple ()) old_arr;
+      let fresh =
+        List.concat_map
+          (fun (cov, tuples) ->
+            List.filter_map
+              (fun t ->
+                if Relation.Tuple_tbl.mem seen t then None
+                else begin
+                  Relation.Tuple_tbl.replace seen t ();
+                  Some (Assoc.make t cov)
+                end)
+              tuples)
+          per_category
+      in
+      let associations =
+        if fresh = [] then old.associations
+        else begin
+          let delta_arr = Array.of_list fresh in
+          let base = Array.map (fun (a : Assoc.t) -> a.Assoc.tuple) old_arr in
+          let dtuples = Array.map (fun (a : Assoc.t) -> a.Assoc.tuple) delta_arr in
+          let base_keep, delta_keep =
+            Min_union.merge_keep_flags ?pool:(Source.pool src) ~base dtuples
+          in
+          let out = ref [] in
+          Array.iteri (fun i a -> if base_keep.(i) then out := a :: !out) old_arr;
+          Array.iteri (fun j a -> if delta_keep.(j) then out := a :: !out) delta_arr;
+          if Obs.enabled () then begin
+            Obs.add Obs.Names.assoc_considered
+              (Array.length old_arr + Array.length delta_arr);
+            Obs.add Obs.Names.assoc_kept (List.length !out)
+          end;
+          canonical_order !out
+        end
+      in
+      { scheme; node_positions; associations })
 
 (* Deprecated shims; prefer passing a Source. *)
 let naive_db db g = naive (Source.of_db db) g

@@ -24,6 +24,27 @@ type result = {
 val naive : Source.t -> Qgraph.t -> result
 val compute : Source.t -> Qgraph.t -> result
 
+(** [delta src g ~old ~changed] — repair a previously computed D(G) after
+    an insert-only database update, without recomputing untouched
+    categories.  [old] is the result at the pre-update instance; [changed]
+    maps each touched base-relation name to its inserted tuples; [src]
+    must resolve to the post-update relations.  Only categories containing
+    an alias over a touched base are (delta-)joined; their new tuples are
+    merged into [old] with {!Min_union.merge_keep_flags}.  Equivalent to
+    running {!compute} from scratch at the new instance — byte-identical,
+    thanks to the canonical association order. *)
+val delta :
+  Source.t ->
+  Qgraph.t ->
+  old:result ->
+  changed:(string * Relational.Tuple.t list) list ->
+  result
+
+(** Sort associations by (tuple, coverage) — the canonical presentation
+    order every algorithm emits.  Idempotent on algorithm outputs; exposed
+    for the outer-join planner and for tests. *)
+val canonical_order : Assoc.t list -> Assoc.t list
+
 (** Deprecated aliases for [naive (Source.of_db db)] etc., kept for one
     release; prefer passing a {!Source.t}. *)
 val naive_db : Database.t -> Qgraph.t -> result

@@ -31,18 +31,28 @@ let join_order g =
       in
       bfs [] [ start ] []
 
-let join_base ~lookup g =
+(* Canonical tuple order for F(J) results.  A from-scratch join emits
+   tuples in join order; an incrementally repaired F(J) emits the old
+   tuples followed by the delta contributions.  Sorting both presentations
+   makes equal tuple *sets* structurally identical relations, which the
+   incremental/from-scratch parity guarantee is stated in terms of. *)
+let canonical r =
+  let arr = Array.copy (Relation.tuples_array r) in
+  Array.sort Tuple.compare arr;
+  Relation.of_array_unsafe (Relation.name r) (Relation.schema r) arr
+
+let join_base_with ~rel_of ~scheme g =
   if Qgraph.node_count g = 0 then invalid_arg "Join_eval.full_associations: empty graph";
   if not (Qgraph.is_connected g) then
     invalid_arg "Join_eval.full_associations: graph not connected";
   match join_order g with
   | [] -> assert false
   | first :: rest ->
-      let acc = ref (Qgraph.node_relation ~lookup g first) in
+      let acc = ref (rel_of first) in
       let present = ref [ first ] in
       List.iter
         (fun alias ->
-          let next_rel = Qgraph.node_relation ~lookup g alias in
+          let next_rel = rel_of alias in
           let preds =
             List.filter_map
               (fun p -> Qgraph.find_edge g alias p |> Option.map (fun e -> e.Qgraph.pred))
@@ -51,7 +61,54 @@ let join_base ~lookup g =
           acc := Algebra.join (Predicate.conj preds) !acc next_rel;
           present := alias :: !present)
         rest;
-      reorder !acc (Qgraph.scheme ~lookup g)
+      canonical (reorder !acc scheme)
+
+let join_base ~lookup g =
+  join_base_with
+    ~rel_of:(Qgraph.node_relation ~lookup g)
+    ~scheme:(Qgraph.scheme ~lookup g) g
+
+(* Delta join: after an insert-only update, every genuinely new F(J) tuple
+   must use at least one inserted base tuple at some alias.  So for each
+   alias over a touched base, run the join once more with that alias bound
+   to just the inserted tuples and every *other* alias bound to the
+   post-update relations; the union over touched aliases is exactly the set
+   of new F(J) tuples.  A tuple combining inserted rows at several aliases
+   shows up in several contributions — the set-semantic union absorbs the
+   overlap.  The source's [lookup] must already resolve to the post-update
+   relations; the fj_hook is deliberately ignored (this is the computation
+   the cache itself calls). *)
+let full_associations_delta src g ~changed =
+  let lookup = Source.lookup src in
+  let scheme = Qgraph.scheme ~lookup g in
+  let touched =
+    Qgraph.nodes g
+    |> List.filter_map (fun n ->
+           List.assoc_opt n.Qgraph.base changed
+           |> Option.map (fun tuples -> (n.Qgraph.alias, n.Qgraph.base, tuples)))
+  in
+  let contribution (alias0, base0, tuples) =
+    let rel_of alias =
+      if String.equal alias alias0 then
+        match lookup base0 with
+        | None ->
+            invalid_arg
+              ("Join_eval.full_associations_delta: unknown base relation " ^ base0)
+        | Some r ->
+            let d = Relation.make base0 (Relation.schema r) tuples in
+            let d = Relation.with_name alias d in
+            if String.equal base0 alias then d
+            else Relation.rename_rel d ~from:base0 ~into:alias
+      else Qgraph.node_relation ~lookup g alias
+    in
+    join_base_with ~rel_of ~scheme g
+  in
+  match List.map contribution touched with
+  | [] ->
+      Relation.make ~allow_all_null:true
+        (match Qgraph.aliases g with a :: _ -> a | [] -> "delta")
+        scheme []
+  | first :: rest -> List.fold_left Algebra.union first rest
 
 (* The hook (a memo cache) is consulted before the span: cache hits are
    near-free and would drown the trace, and on a miss the cache re-enters

@@ -15,6 +15,23 @@ open Relational
     Raises [Invalid_argument] when [j] is empty or not connected. *)
 val full_associations : Source.t -> Querygraph.Qgraph.t -> Relation.t
 
+(** [full_associations_delta src j ~changed] — the {e new} F(J) tuples
+    after an insert-only database update.  [changed] maps each touched
+    base-relation name to the tuples inserted into it; [src]'s lookup must
+    already resolve to the post-update relations.  For each alias over a
+    touched base, the graph is joined once with that alias restricted to
+    the inserted tuples and all other aliases at their full post-update
+    instances; the union over touched aliases is returned (the old F(J)
+    plus this result equals the post-update F(J), up to duplicates the
+    caller removes).  The F(J) hook is ignored: this is the repair step
+    the memo cache itself invokes.  Empty when no alias touches a changed
+    base. *)
+val full_associations_delta :
+  Source.t ->
+  Querygraph.Qgraph.t ->
+  changed:(string * Tuple.t list) list ->
+  Relation.t
+
 (** Deprecated alias for [full_associations (Source.of_fn lookup)]; prefer
     passing a {!Source.t}. *)
 val full_associations_fn :
@@ -23,3 +40,8 @@ val full_associations_fn :
 (** Reorder a relation's columns to match a target schema containing
     exactly the same attributes. *)
 val reorder : Relation.t -> Schema.t -> Relation.t
+
+(** Sort a relation's tuples into the canonical ({!Tuple.compare}) order
+    every F(J) result is presented in — what makes an incrementally
+    repaired F(J) structurally identical to its from-scratch twin. *)
+val canonical : Relation.t -> Relation.t

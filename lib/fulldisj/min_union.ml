@@ -86,6 +86,136 @@ let remove_subsumed_indexed ?pool ~selective tuples =
       in
       Array.to_list arr |> List.filteri (fun id _ -> keep.(id))
 
+(* Merge a small already-deduplicated batch into a mutually-minimal base
+   without re-minimizing everything.  Because the base is minimal, a base
+   tuple can only be newly subsumed by a *delta* tuple, so base tuples
+   probe an index over the delta side alone (|Δ| buckets); delta tuples
+   must survive both sides, so they probe the base index and the delta
+   index at their most selective non-null column.  Index construction is
+   one hashing pass per side; no base-vs-base subsumption check is ever
+   re-run. *)
+let merge_keep_flags ?pool ~base delta =
+  let nb = Array.length base and nd = Array.length delta in
+  if nd = 0 then (Array.make nb true, [||])
+  else begin
+    let counting = Obs.enabled () in
+    let arity =
+      Tuple.arity (if nb > 0 then base.(0) else delta.(0))
+    in
+    let build arr =
+      let index = Array.init arity (fun _ -> Value.Table.create 64) in
+      let counts = Array.init arity (fun _ -> Value.Table.create 64) in
+      Array.iteri
+        (fun id t ->
+          for p = 0 to arity - 1 do
+            if not (Value.is_null t.(p)) then begin
+              Value.Table.add index.(p) t.(p) id;
+              Value.Table.replace counts.(p) t.(p)
+                (1 + Option.value (Value.Table.find_opt counts.(p) t.(p)) ~default:0)
+            end
+          done)
+        arr;
+      (index, counts)
+    in
+    let base_index, base_counts = build base in
+    let delta_index, delta_counts = build delta in
+    let count_at counts p v =
+      Option.value (Value.Table.find_opt counts.(p) v) ~default:0
+    in
+    (* Most selective non-null column of [t] under the given sizing; -1 for
+       an all-null tuple (subsumed by any other tuple, as in the indexed
+       sweep). *)
+    let probe_position sizes t =
+      let best = ref (-1) and best_count = ref max_int in
+      for p = 0 to arity - 1 do
+        if not (Value.is_null t.(p)) then begin
+          let c = sizes p t.(p) in
+          if c < !best_count then begin
+            best := p;
+            best_count := c
+          end
+        end
+      done;
+      !best
+    in
+    let subsumer_in index arr ~skip p t =
+      if counting then Obs.Counter.bump Obs.Names.index_probes;
+      Value.Table.find_all index.(p) t.(p)
+      |> List.exists (fun oid ->
+             oid <> skip
+             &&
+             (if counting then Obs.Counter.bump Obs.Names.subsumption_checks;
+              Tuple.strictly_subsumes arr.(oid) t))
+    in
+    let base_kept i =
+      let t = base.(i) in
+      match probe_position (fun p v -> count_at delta_counts p v) t with
+      | -1 -> nd = 0
+      | p -> not (subsumer_in delta_index delta ~skip:(-1) p t)
+    in
+    let delta_kept j =
+      let t = delta.(j) in
+      match
+        probe_position
+          (fun p v -> count_at base_counts p v + count_at delta_counts p v)
+          t
+      with
+      | -1 -> nb + nd <= 1
+      | p ->
+          (not (subsumer_in base_index base ~skip:(-1) p t))
+          && not (subsumer_in delta_index delta ~skip:j p t)
+    in
+    (* One chunked pass over base ++ delta; the checks only read the
+       indexes, so they parallelize exactly like the full sweep. *)
+    let keep =
+      Par.init ?pool (nb + nd) (fun i ->
+          if i < nb then base_kept i else delta_kept (i - nb))
+    in
+    (Array.sub keep 0 nb, Array.sub keep nb nd)
+  end
+
+let merge_minimal ?pool rel delta_tuples =
+  let schema = Relation.schema rel in
+  let arity = Relational.Schema.arity schema in
+  List.iter
+    (fun t ->
+      if Tuple.arity t <> arity then
+        invalid_arg "Min_union.merge_minimal: delta tuple arity mismatch")
+    delta_tuples;
+  let base = Relation.tuples_array rel in
+  (* Set semantics first: drop delta tuples already present in the base or
+     duplicated within the batch.  Equal tuples carry equal information, so
+     this never loses a subsumption witness. *)
+  let seen = Relation.Tuple_tbl.create (Array.length base) in
+  Array.iter (fun t -> Relation.Tuple_tbl.replace seen t ()) base;
+  let fresh =
+    List.filter
+      (fun t ->
+        if Relation.Tuple_tbl.mem seen t then false
+        else begin
+          Relation.Tuple_tbl.replace seen t ();
+          true
+        end)
+      delta_tuples
+  in
+  if fresh = [] then rel
+  else begin
+    let delta = Array.of_list fresh in
+    let base_keep, delta_keep = merge_keep_flags ?pool ~base delta in
+    let out = ref [] in
+    for j = Array.length delta - 1 downto 0 do
+      if delta_keep.(j) then out := delta.(j) :: !out
+    done;
+    for i = Array.length base - 1 downto 0 do
+      if base_keep.(i) then out := base.(i) :: !out
+    done;
+    if Obs.enabled () then begin
+      Obs.add Obs.Names.assoc_considered (Array.length base + Array.length delta);
+      Obs.add Obs.Names.assoc_kept (List.length !out)
+    end;
+    Relation.make ~allow_all_null:true (Relation.name rel) schema !out
+  end
+
 let remove_subsumed ?pool tuples = remove_subsumed_indexed ?pool ~selective:true tuples
 let remove_subsumed_first_probe tuples = remove_subsumed_indexed ~selective:false tuples
 

@@ -23,6 +23,28 @@ val remove_subsumed : ?pool:Par.Pool.t -> Tuple.t list -> Tuple.t list
     measure the value of selectivity-aware probing. *)
 val remove_subsumed_first_probe : Tuple.t list -> Tuple.t list
 
+(** [merge_keep_flags ?pool ~base delta] — keep flags for merging a
+    deduplicated batch [delta] (disjoint from [base]) into a mutually
+    minimal [base]: a base tuple survives unless some delta tuple
+    strictly subsumes it; a delta tuple survives unless some base or
+    other delta tuple strictly subsumes it.  Base-vs-base checks are
+    never re-run, which is what makes incremental D(G) repair cheaper
+    than re-minimizing.  [?pool] chunks the checks as in
+    {!remove_subsumed}. *)
+val merge_keep_flags :
+  ?pool:Par.Pool.t ->
+  base:Tuple.t array ->
+  Tuple.t array ->
+  bool array * bool array
+
+(** [merge_minimal ?pool rel batch] — minimum union of an already minimal
+    relation with a batch of candidate tuples, via {!merge_keep_flags}.
+    Batch tuples equal to existing ones (or to each other) are dropped
+    first.  Equivalent to re-minimizing [rel]'s tuples together with the
+    batch, assuming [rel] was minimal.  Raises [Invalid_argument] on an
+    arity mismatch. *)
+val merge_minimal : ?pool:Par.Pool.t -> Relation.t -> Tuple.t list -> Relation.t
+
 (** Minimum union of two relations: outer union with strictly subsumed
     tuples removed. *)
 val min_union : Relation.t -> Relation.t -> Relation.t

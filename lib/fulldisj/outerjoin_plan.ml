@@ -55,6 +55,7 @@ let tag_result ~lookup g rel =
   let associations =
     Relation.tuples rel
     |> List.map (fun t -> Assoc.make t (Assoc.coverage_of_tuple node_positions t))
+    |> Full_disjunction.canonical_order
   in
   { Full_disjunction.scheme; node_positions; associations }
 

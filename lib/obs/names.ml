@@ -52,6 +52,15 @@ let cache_dg_evictions = Counter.make "cache.dg.evictions"
    footprint after the most recent insert/evict (set via [Counter.set]). *)
 let cache_bytes_resident = Counter.make "cache.bytes_resident"
 
+(* --- counters: incremental delta maintenance --- *)
+
+let delta_records = Counter.make "delta.records"
+let delta_fallbacks = Counter.make "delta.fallbacks"
+let cache_promote_fj_free = Counter.make "cache.promote.fj.free"
+let cache_promote_fj_repaired = Counter.make "cache.promote.fj.repaired"
+let cache_promote_dg_free = Counter.make "cache.promote.dg.free"
+let cache_promote_dg_repaired = Counter.make "cache.promote.dg.repaired"
+
 (* --- counters: lineage / explanation --- *)
 
 let explain_derivations = Counter.make "explain.derivations"

@@ -10,8 +10,8 @@ let project attrs r =
   let positions = List.map (Schema.index schema) attrs in
   let out_schema = Schema.project schema attrs in
   Obs.add Obs.Names.project_rows (Relation.cardinality r);
-  Relation.make ~allow_all_null:true (Relation.name r) out_schema
-    (List.map (fun t -> Tuple.project t positions) (Relation.tuples r))
+  Relation.make_of_array ~allow_all_null:true (Relation.name r) out_schema
+    (Array.map (fun t -> Tuple.project t positions) (Relation.tuples_array r))
 
 let product l r =
   let schema = Schema.append (Relation.schema l) (Relation.schema r) in
@@ -50,8 +50,8 @@ let hashable_atoms l_schema r_schema p =
 let join_with_flags p l r =
   let l_schema = Relation.schema l and r_schema = Relation.schema r in
   let schema = Schema.append l_schema r_schema in
-  let l_tuples = Array.of_list (Relation.tuples l) in
-  let r_tuples = Array.of_list (Relation.tuples r) in
+  let l_tuples = Relation.tuples_array l in
+  let r_tuples = Relation.tuples_array r in
   let l_matched = Array.make (Array.length l_tuples) false in
   let r_matched = Array.make (Array.length r_tuples) false in
   let out = ref [] in
@@ -235,7 +235,9 @@ let union a b =
 
 let difference a b =
   require_same_schema "Algebra.difference" a b;
-  Relation.filter (fun t -> not (Relation.mem b t)) a
+  let b_set = Relation.Tuple_tbl.create (Relation.cardinality b) in
+  Relation.iter (fun t -> Relation.Tuple_tbl.replace b_set t ()) b;
+  Relation.filter (fun t -> not (Relation.Tuple_tbl.mem b_set t)) a
 
 let pad r schema =
   let src = Relation.schema r in
@@ -252,8 +254,8 @@ let pad r schema =
   let widen t =
     Array.map (function Some i -> t.(i) | None -> Value.Null) mapping
   in
-  Relation.make ~allow_all_null:true (Relation.name r) schema
-    (List.map widen (Relation.tuples r))
+  Relation.make_of_array ~allow_all_null:true (Relation.name r) schema
+    (Array.map widen (Relation.tuples_array r))
 
 let outer_union a b =
   Obs.add Obs.Names.outer_union_rows

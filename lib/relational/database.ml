@@ -3,6 +3,7 @@ type t = {
   rels : (string * Relation.t) list;  (** insertion order *)
   by_name : (string, Relation.t) Hashtbl.t;
   constraints : Integrity.t list;
+  history : Delta.t list;  (** newest-first, bounded by {!history_limit} *)
 }
 
 (* Versions are drawn from a process-global counter so that any two
@@ -14,8 +15,33 @@ let next_version =
     incr n;
     !n
 
-let empty = { version = 0; rels = []; by_name = Hashtbl.create 16; constraints = [] }
+(* Deep edit histories stop paying for themselves: walking a long chain
+   costs about as much as recomputing, and cached entries that old have
+   usually been evicted anyway.  Beyond the bound the oldest steps are
+   dropped, which soundly degrades [deltas_from] to "unknown ancestry". *)
+let history_limit = 32
+
+let empty =
+  {
+    version = 0;
+    rels = [];
+    by_name = Hashtbl.create 16;
+    constraints = [];
+    history = [];
+  }
+
 let version t = t.version
+
+let record t kind =
+  let to_version = next_version () in
+  Obs.count Obs.Names.delta_records;
+  let step = { Delta.from_version = t.version; to_version; kind } in
+  let history =
+    if List.length t.history >= history_limit then
+      step :: List.filteri (fun i _ -> i < history_limit - 1) t.history
+    else step :: t.history
+  in
+  (to_version, history)
 
 let add t r =
   let name = Relation.name r in
@@ -23,21 +49,109 @@ let add t r =
     invalid_arg ("Database.add: duplicate relation " ^ name);
   let by_name = Hashtbl.copy t.by_name in
   Hashtbl.add by_name name r;
-  { t with version = next_version (); rels = t.rels @ [ (name, r) ]; by_name }
+  let version, history = record t (Delta.New_relation name) in
+  { t with version; rels = t.rels @ [ (name, r) ]; by_name; history }
 
 let add_constraint t c =
-  { t with version = next_version (); constraints = t.constraints @ [ c ] }
+  let version, history = record t Delta.Constraints_only in
+  { t with version; constraints = t.constraints @ [ c ]; history }
+
+(* A replace is repairable when the new instance is a pure superset of
+   the old one over the same scheme: cached joins only need the new
+   tuples folded in.  Anything else (removals, changed schema) is a
+   rewrite and poisons cached results that touch the relation. *)
+let diff_kind ~old_r ~new_r =
+  let name = Relation.name old_r in
+  if not (Schema.equal (Relation.schema old_r) (Relation.schema new_r)) then
+    Delta.Rewrite { relation = name }
+  else begin
+    let new_set = Relation.Tuple_tbl.create (Relation.cardinality new_r) in
+    Relation.iter (fun tup -> Relation.Tuple_tbl.replace new_set tup ()) new_r;
+    let removed =
+      Relation.fold
+        (fun acc tup -> acc || not (Relation.Tuple_tbl.mem new_set tup))
+        false old_r
+    in
+    if removed then Delta.Rewrite { relation = name }
+    else begin
+      let old_set = Relation.Tuple_tbl.create (Relation.cardinality old_r) in
+      Relation.iter (fun tup -> Relation.Tuple_tbl.replace old_set tup ()) old_r;
+      let added =
+        Relation.fold
+          (fun acc tup ->
+            if Relation.Tuple_tbl.mem old_set tup then acc else tup :: acc)
+          [] new_r
+        |> List.rev
+      in
+      Delta.Insert { relation = name; tuples = added }
+    end
+  end
 
 let replace t r =
   let name = Relation.name r in
-  if not (Hashtbl.mem t.by_name name) then
-    invalid_arg ("Database.replace: unknown relation " ^ name);
+  let old_r =
+    match Hashtbl.find_opt t.by_name name with
+    | Some old_r -> old_r
+    | None -> invalid_arg ("Database.replace: unknown relation " ^ name)
+  in
   let by_name = Hashtbl.copy t.by_name in
   Hashtbl.replace by_name name r;
   let rels =
     List.map (fun (n, old) -> if n = name then (n, r) else (n, old)) t.rels
   in
-  { t with version = next_version (); rels; by_name }
+  let version, history = record t (diff_kind ~old_r ~new_r:r) in
+  { t with version; rels; by_name; history }
+
+let insert_tuples t name tuples =
+  let old_r =
+    match Hashtbl.find_opt t.by_name name with
+    | Some r -> r
+    | None -> invalid_arg ("Database.insert_tuples: unknown relation " ^ name)
+  in
+  let old_set = Relation.Tuple_tbl.create (Relation.cardinality old_r) in
+  Relation.iter (fun tup -> Relation.Tuple_tbl.replace old_set tup ()) old_r;
+  let fresh =
+    List.filter
+      (fun tup ->
+        if Relation.Tuple_tbl.mem old_set tup then false
+        else begin
+          (* also dedup within the batch itself *)
+          Relation.Tuple_tbl.replace old_set tup ();
+          true
+        end)
+      tuples
+  in
+  if fresh = [] then t
+  else begin
+    let r =
+      Relation.make (Relation.name old_r) (Relation.schema old_r)
+        (Relation.tuples old_r @ fresh)
+    in
+    let by_name = Hashtbl.copy t.by_name in
+    Hashtbl.replace by_name name r;
+    let rels =
+      List.map (fun (n, old) -> if n = name then (n, r) else (n, old)) t.rels
+    in
+    let version, history =
+      record t (Delta.Insert { relation = name; tuples = fresh })
+    in
+    { t with version; rels; by_name; history }
+  end
+
+let history t = t.history
+
+let deltas_from t ancestor_version =
+  if ancestor_version = t.version then Some []
+  else
+    let rec take acc = function
+      | [] -> None (* fell off the recorded window: unknown ancestry *)
+      | step :: rest ->
+          if step.Delta.to_version < ancestor_version then None
+          else if step.Delta.from_version = ancestor_version then
+            Some (step :: acc)
+          else take (step :: acc) rest
+    in
+    take [] t.history
 
 let of_relations ?(constraints = []) rels =
   let t = List.fold_left add empty rels in

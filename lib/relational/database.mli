@@ -20,6 +20,31 @@ val add_constraint : t -> Integrity.t -> t
     Raises [Invalid_argument] when no relation of that name exists. *)
 val replace : t -> Relation.t -> t
 
+(** [insert_tuples t name tuples] adds a batch of tuples to relation
+    [name], recording an insert-only {!Delta.kind} for the genuinely new
+    tuples (duplicates of existing rows and within the batch are
+    dropped).  Returns [t] unchanged — same version — when nothing is
+    new.  Raises [Invalid_argument] on an unknown relation or malformed
+    tuples.  This is the repair-friendly way to express an example-tuple
+    edit; [replace] with a superset instance records the same delta. *)
+val insert_tuples : t -> string -> Tuple.t list -> t
+
+(** [deltas_from t v] is the chain of recorded changelog steps leading
+    from version [v] to [t]'s version, oldest first — [Some []] when
+    [v] is already [t]'s version, [None] when [v] is not a recorded
+    ancestor (different lineage, or the bounded history window has
+    dropped the steps).  The changelog keeps the most recent
+    {!history_limit} steps. *)
+val deltas_from : t -> int -> Delta.t list option
+
+(** The raw changelog window, newest step first — what {!deltas_from}
+    walks.  Exposed for the engine's promotion scan, which probes its
+    cache at each recorded ancestor version. *)
+val history : t -> Delta.t list
+
+(** Size of the bounded changelog window. *)
+val history_limit : int
+
 val of_relations : ?constraints:Integrity.t list -> Relation.t list -> t
 val find : t -> string -> Relation.t option
 

@@ -1,0 +1,33 @@
+(** One step of a database changelog: what changed between two adjacent
+    versions.
+
+    {!Database} records one [Delta.t] per constructing operation so the
+    evaluation engine can ask "what happened between version v and v'?"
+    instead of only "did anything change?".  The discrimination that
+    matters downstream is between {e insert-only} steps — cached results
+    can be repaired by joining the new tuples in — and everything else,
+    which forces the affected relation to be recomputed from scratch. *)
+
+type kind =
+  | Insert of { relation : string; tuples : Tuple.t list }
+      (** Tuples added to an existing relation; every tuple listed is
+          genuinely new (absent at [from_version]).  The repairable case. *)
+  | Rewrite of { relation : string }
+      (** The relation was replaced by something that is not a pure
+          superset (removals, changed schema, …): cached results touching
+          it cannot be repaired. *)
+  | New_relation of string
+      (** A relation appeared.  Query graphs always resolve every alias,
+          so results cached before the relation existed never mention it —
+          but the name is recorded for completeness. *)
+  | Constraints_only
+      (** Only integrity constraints changed; every cached instance-level
+          result is still exact. *)
+
+type t = { from_version : int; to_version : int; kind : kind }
+
+(** Does this step mention the given base relation at all? *)
+val touches_relation : t -> string -> bool
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp : Format.formatter -> t -> unit

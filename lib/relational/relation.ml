@@ -31,10 +31,53 @@ let make ?(allow_all_null = false) name schema tuples =
     tuples;
   { name; schema; tuples = Array.of_list (dedup tuples) }
 
+let make_of_array ?(allow_all_null = false) name schema tuples =
+  let n = Schema.arity schema in
+  Array.iter
+    (fun t ->
+      if Tuple.arity t <> n then
+        invalid_arg
+          (Printf.sprintf "Relation.make_of_array %s: tuple arity %d, schema arity %d"
+             name (Tuple.arity t) n);
+      if (not allow_all_null) && n > 0 && Tuple.all_null t then
+        invalid_arg (Printf.sprintf "Relation.make_of_array %s: all-null tuple" name))
+    tuples;
+  let len = Array.length tuples in
+  let seen = Tuple_tbl.create len in
+  let unique = ref 0 in
+  Array.iter
+    (fun t ->
+      if not (Tuple_tbl.mem seen t) then begin
+        Tuple_tbl.add seen t ();
+        incr unique
+      end)
+    tuples;
+  let tuples =
+    if !unique = len then tuples
+    else begin
+      (* Rare path: duplicates present.  Re-walk with a fresh table,
+         keeping first occurrences in order. *)
+      let out = Array.make !unique [||] in
+      let keep = Tuple_tbl.create !unique in
+      let j = ref 0 in
+      Array.iter
+        (fun t ->
+          if not (Tuple_tbl.mem keep t) then begin
+            Tuple_tbl.add keep t ();
+            out.(!j) <- t;
+            incr j
+          end)
+        tuples;
+      out
+    end
+  in
+  { name; schema; tuples }
+
 let of_array_unsafe name schema tuples = { name; schema; tuples }
 let name t = t.name
 let schema t = t.schema
 let tuples t = Array.to_list t.tuples
+let tuples_array t = t.tuples
 let cardinality t = Array.length t.tuples
 let is_empty t = Array.length t.tuples = 0
 let mem t tup = Array.exists (Tuple.equal tup) t.tuples
@@ -63,7 +106,10 @@ let column_values t a =
 let equal_contents a b =
   Schema.equal a.schema b.schema
   && cardinality a = cardinality b
-  && Array.for_all (fun t -> mem b t) a.tuples
+  &&
+  let set = Tuple_tbl.create (cardinality b) in
+  Array.iter (fun t -> Tuple_tbl.replace set t ()) b.tuples;
+  Array.for_all (fun t -> Tuple_tbl.mem set t) a.tuples
 
 let pp ppf t =
   Format.fprintf ppf "%s%a {@[<v>%a@]}" t.name Schema.pp t.schema

@@ -6,6 +6,10 @@
 
 type t = private { name : string; schema : Schema.t; tuples : Tuple.t array }
 
+(** Hash table keyed by whole tuples ({!Tuple.equal} / {!Tuple.hash});
+    the building block for one-pass set operations over relations. *)
+module Tuple_tbl : Hashtbl.S with type key = Tuple.t
+
 (** Build a relation, checking every tuple's arity and removing duplicates.
     Raises [Invalid_argument] on arity mismatch or if a source tuple is
     all-null (disallowed by the paper's preliminaries). Pass
@@ -13,12 +17,22 @@ type t = private { name : string; schema : Schema.t; tuples : Tuple.t array }
     associations) where all-null rows may legitimately appear. *)
 val make : ?allow_all_null:bool -> string -> Schema.t -> Tuple.t list -> t
 
+(** Array-native {!make}: same arity / all-null validation and
+    deduplication, but takes ownership of the array — when the input is
+    already duplicate-free (the common case on operator hot paths) the
+    array is used as-is with no copy, so the caller must not mutate it
+    afterwards. *)
+val make_of_array : ?allow_all_null:bool -> string -> Schema.t -> Tuple.t array -> t
+
 (** Like {!make} without the all-null check and from an array (no copy). *)
 val of_array_unsafe : string -> Schema.t -> Tuple.t array -> t
 
 val name : t -> string
 val schema : t -> Schema.t
 val tuples : t -> Tuple.t list
+
+(** The underlying tuple array itself, no copy — read-only by contract. *)
+val tuples_array : t -> Tuple.t array
 val cardinality : t -> int
 val is_empty : t -> bool
 val mem : t -> Tuple.t -> bool

@@ -126,6 +126,86 @@ let prop_every_dropped_is_subsumed =
              List.exists (Tuple.equal t) kept
              || List.exists (fun k -> Tuple.strictly_subsumes k t) kept))
 
+(* --- incremental merge: minimum union of a minimal base with a batch --- *)
+
+let test_merge_minimal_unit () =
+  let schema = Schema.make "B" [ "x"; "y"; "z" ] in
+  let t a b c = Tuple.make [ a; b; c ] in
+  let base =
+    Relation.make "B" schema
+      [
+        t (v_int 1) (v_int 2) Value.Null;
+        t (v_int 9) Value.Null Value.Null;
+      ]
+  in
+  let merged =
+    Min_union.merge_minimal base
+      [
+        (* Strictly subsumes the first base tuple: replaces it. *)
+        t (v_int 1) (v_int 2) (v_int 3);
+        (* Strictly subsumed by the tuple above: dropped. *)
+        t (v_int 1) Value.Null (v_int 3);
+        (* Duplicate of a base tuple: dropped before merging. *)
+        t (v_int 9) Value.Null Value.Null;
+        (* Incomparable: kept. *)
+        t (v_int 7) (v_int 8) Value.Null;
+      ]
+  in
+  let kept = Relation.tuples merged in
+  Alcotest.(check int) "kept count" 3 (List.length kept);
+  Alcotest.(check bool) "subsumed base tuple gone" false
+    (List.exists (Tuple.equal (t (v_int 1) (v_int 2) Value.Null)) kept);
+  Alcotest.(check bool) "result minimal" true (Min_union.is_minimal kept);
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Min_union.merge_minimal: delta tuple arity mismatch")
+    (fun () -> ignore (Min_union.merge_minimal base [ Tuple.make [ v_int 1; v_int 2 ] ]))
+
+let test_merge_minimal_noop () =
+  let schema = Schema.make "B" [ "x" ] in
+  let base = Relation.make "B" schema [ Tuple.make [ v_int 1 ] ] in
+  let same = Min_union.merge_minimal base [ Tuple.make [ v_int 1 ] ] in
+  Alcotest.(check bool) "all-duplicate batch returns the base" true (base == same)
+
+let merge_gen =
+  (* Base and batch must share one arity (merge_minimal validates it). *)
+  QCheck2.Gen.(
+    let* arity = int_range 1 4 in
+    let value_gen =
+      frequency [ (1, return Value.Null); (3, map (fun i -> Value.Int i) (int_range 0 3)) ]
+    in
+    let tuples_gen =
+      let* rows = int_range 0 40 in
+      list_repeat rows (map Array.of_list (list_repeat arity value_gen))
+    in
+    let* base = tuples_gen in
+    let* batch = tuples_gen in
+    return (arity, base, batch))
+
+let sorted_tuples ts = List.sort Tuple.compare ts
+
+let check_merge_equals_reminimize ?pool (arity, base_raw, batch) =
+  let schema = Schema.make "B" (List.init arity (Printf.sprintf "c%d")) in
+  let base_minimal = Min_union.remove_subsumed (dedup_tuples base_raw) in
+  let rel = Relation.make ~allow_all_null:true "B" schema base_minimal in
+  let merged = Min_union.merge_minimal ?pool rel batch in
+  let reference =
+    Min_union.remove_subsumed (dedup_tuples (base_minimal @ batch))
+  in
+  let a = sorted_tuples (Relation.tuples merged) in
+  let b = sorted_tuples reference in
+  List.length a = List.length b && List.for_all2 Tuple.equal a b
+
+let prop_merge_equals_reminimize =
+  QCheck2.Test.make
+    ~name:"merge_minimal base batch = re-minimize (base ∪ batch)" ~count:300
+    merge_gen check_merge_equals_reminimize
+
+let prop_merge_equals_reminimize_pooled =
+  QCheck2.Test.make
+    ~name:"merge_minimal with a Par pool gives the identical result" ~count:100
+    merge_gen
+    (check_merge_equals_reminimize ?pool:(Par.get_pool ~jobs:4))
+
 (* --- Full disjunction on a concrete instance --- *)
 
 let eq r1 c1 r2 c2 = Predicate.eq_cols (Attr.make r1 c1) (Attr.make r2 c2)
@@ -356,6 +436,8 @@ let () =
           tc "all-null tuple" `Quick test_remove_subsumed_all_null;
           tc "commutative contents" `Quick test_min_union_not_commutative_content;
           tc "is_minimal" `Quick test_is_minimal;
+          tc "merge_minimal" `Quick test_merge_minimal_unit;
+          tc "merge_minimal no-op" `Quick test_merge_minimal_noop;
         ] );
       ( "full_disjunction",
         [
@@ -379,6 +461,8 @@ let () =
           prop_result_minimal;
           prop_kept_subset;
           prop_every_dropped_is_subsumed;
+          prop_merge_equals_reminimize;
+          prop_merge_equals_reminimize_pooled;
         ];
       qsuite "properties:full_disjunction"
         [ prop_algorithms_agree; prop_fd_is_minimal; prop_coverage_matches_nullness ];

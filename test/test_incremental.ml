@@ -1,0 +1,328 @@
+(* Tests for incremental D(G)/F(J) maintenance (the delta-evaluation path).
+
+   Units: free vs repaired promotion through the recorded delta chain
+   (counter-visible), rewrite fallback, peek neutrality (a promotion probe
+   must not perturb LRU recency), and the fresh recency + bytes accounting
+   of promoted entries.
+
+   Properties: after random insert/replace sequences, evaluation through
+   an incremental caching context is byte-identical to from-scratch
+   evaluation — D(G) association lists under all three algorithms, F(J)
+   tuple arrays, and rendered illustrations — at jobs 1 and 4. *)
+
+open Relational
+module Qgraph = Querygraph.Qgraph
+module Eval_ctx = Engine.Eval_ctx
+module Eval_cache = Engine.Eval_cache
+module Graph_key = Engine.Graph_key
+
+let qtest t = QCheck_alcotest.to_alcotest ~long:false t
+let tc = Alcotest.test_case
+let v_int i = Value.Int i
+let mk name cols rows = Relation.make name (Schema.make name cols) rows
+
+let chain_instance ?(rows = 40) () =
+  Synth.Gen_graph.chain
+    (Random.State.make [| 97 |])
+    ~n:3 ~rows ~null_prob:0.2 ~orphan_prob:0.2 ()
+
+(* A genuinely fresh R1 tuple: id far beyond the generator's key space,
+   the FK landing on an existing R2 id. *)
+let fresh_r1_tuple i = [| v_int (1_000_000 + i); Value.String "x"; v_int 0 |]
+
+let counter name = Obs.Metrics.value name
+
+let with_counters f =
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+let subgraph g a b =
+  let e = Option.get (Qgraph.find_edge g a b) in
+  Qgraph.make [ (a, a); (b, b) ] [ (a, b, e.Qgraph.pred) ]
+
+let assocs_equal (x : Fulldisj.Full_disjunction.result)
+    (y : Fulldisj.Full_disjunction.result) =
+  Schema.attrs x.Fulldisj.Full_disjunction.scheme
+  = Schema.attrs y.Fulldisj.Full_disjunction.scheme
+  && List.equal Fulldisj.Assoc.equal x.Fulldisj.Full_disjunction.associations
+       y.Fulldisj.Full_disjunction.associations
+
+(* --- free promotion: the graph touches none of the changed relations --- *)
+
+let test_promotion_free () =
+  with_counters (fun () ->
+      let inst = chain_instance () in
+      let g23 = subgraph inst.Synth.Gen_graph.graph "R2" "R3" in
+      let ctx =
+        Eval_ctx.create ~kb:inst.Synth.Gen_graph.kb inst.Synth.Gen_graph.db
+      in
+      let before = Eval_ctx.data_associations ctx g23 in
+      let db' =
+        Database.insert_tuples (Eval_ctx.db ctx) "R1" [ fresh_r1_tuple 0 ]
+      in
+      let ctx' = Eval_ctx.with_db ctx db' in
+      let free0 = counter "cache.promote.dg.free" in
+      let after = Eval_ctx.data_associations ctx' g23 in
+      Alcotest.(check int)
+        "one free dg promotion" (free0 + 1)
+        (counter "cache.promote.dg.free");
+      Alcotest.(check bool) "promoted result unchanged" true
+        (assocs_equal before after);
+      (* The promoted entry is resident at the new version. *)
+      let cache = Option.get (Eval_ctx.cache ctx') in
+      Alcotest.(check bool) "entry resident at new version" true
+        (Eval_cache.mem_dg cache
+           ~version:(Eval_ctx.version ctx')
+           ~variant:(Eval_ctx.algorithm_name (Eval_ctx.algorithm ctx'))
+           (Graph_key.of_graph g23)))
+
+(* --- repaired promotion: insert-only delta into a touched base --- *)
+
+let test_promotion_repaired () =
+  with_counters (fun () ->
+      let inst = chain_instance () in
+      let g = inst.Synth.Gen_graph.graph in
+      let ctx =
+        Eval_ctx.create ~kb:inst.Synth.Gen_graph.kb inst.Synth.Gen_graph.db
+      in
+      ignore (Eval_ctx.data_associations ctx g);
+      let db' =
+        Database.insert_tuples (Eval_ctx.db ctx) "R1" [ fresh_r1_tuple 1 ]
+      in
+      let ctx' = Eval_ctx.with_db ctx db' in
+      let rep0 = counter "cache.promote.dg.repaired" in
+      let repaired = Eval_ctx.data_associations ctx' g in
+      Alcotest.(check int)
+        "one repaired dg promotion" (rep0 + 1)
+        (counter "cache.promote.dg.repaired");
+      let scratch = Eval_ctx.data_associations (Eval_ctx.transient db') g in
+      Alcotest.(check bool) "repair = from-scratch, byte-identical" true
+        (assocs_equal repaired scratch))
+
+let test_promotion_fj_repaired () =
+  with_counters (fun () ->
+      let inst = chain_instance () in
+      let g12 = subgraph inst.Synth.Gen_graph.graph "R1" "R2" in
+      let ctx =
+        Eval_ctx.create ~kb:inst.Synth.Gen_graph.kb inst.Synth.Gen_graph.db
+      in
+      ignore (Eval_ctx.full_associations ctx g12);
+      let db' =
+        Database.insert_tuples (Eval_ctx.db ctx) "R1" [ fresh_r1_tuple 2 ]
+      in
+      let ctx' = Eval_ctx.with_db ctx db' in
+      let rep0 = counter "cache.promote.fj.repaired" in
+      let repaired = Eval_ctx.full_associations ctx' g12 in
+      Alcotest.(check int)
+        "one repaired fj promotion" (rep0 + 1)
+        (counter "cache.promote.fj.repaired");
+      let scratch = Eval_ctx.full_associations (Eval_ctx.transient db') g12 in
+      Alcotest.(check bool) "F(J) repair = from-scratch, same order" true
+        (Relation.tuples repaired = Relation.tuples scratch))
+
+(* --- rewrite fallback: removals poison the chain --- *)
+
+let test_rewrite_fallback () =
+  with_counters (fun () ->
+      let inst = chain_instance () in
+      let g = inst.Synth.Gen_graph.graph in
+      let ctx =
+        Eval_ctx.create ~kb:inst.Synth.Gen_graph.kb inst.Synth.Gen_graph.db
+      in
+      ignore (Eval_ctx.data_associations ctx g);
+      let r2 = Database.get (Eval_ctx.db ctx) "R2" in
+      let r2' =
+        Relation.make "R2" (Relation.schema r2)
+          (match Relation.tuples r2 with [] -> [] | _ :: rest -> rest)
+      in
+      let ctx' = Eval_ctx.with_db ctx (Database.replace (Eval_ctx.db ctx) r2') in
+      let fb0 = counter "delta.fallbacks" in
+      let rep0 = counter "cache.promote.dg.repaired" in
+      let rep0_fj = counter "cache.promote.fj.repaired" in
+      let after = Eval_ctx.data_associations ctx' g in
+      (* One fallback at the DG tier plus one per poisoned subgraph the
+         recomputation walks at the FJ tier. *)
+      Alcotest.(check bool) "fallbacks counted" true
+        (counter "delta.fallbacks" > fb0);
+      Alcotest.(check int)
+        "no dg repair attempted" rep0
+        (counter "cache.promote.dg.repaired");
+      Alcotest.(check int)
+        "no fj repair attempted" rep0_fj
+        (counter "cache.promote.fj.repaired");
+      let scratch = Eval_ctx.data_associations (Eval_ctx.transient (Eval_ctx.db ctx')) g in
+      Alcotest.(check bool) "recomputed result correct" true
+        (assocs_equal after scratch))
+
+(* --- peek neutrality and promoted-entry recency --- *)
+
+let lru_rel i =
+  mk (Printf.sprintf "E%d" i) [ "a"; "b" ]
+    (List.init 8 (fun j -> Tuple.make [ v_int i; v_int j ]))
+
+let lru_key i =
+  Graph_key.of_graph
+    (Qgraph.singleton ~alias:(Printf.sprintf "E%d" i) ~base:"E")
+
+let test_peek_does_not_touch_recency () =
+  let probe = Eval_cache.create () in
+  Eval_cache.add_fj probe ~version:0 (lru_key 0) (lru_rel 0);
+  let per_entry = Eval_cache.bytes_resident probe in
+  let cache = Eval_cache.create ~byte_budget:(per_entry * 5 / 2) () in
+  Eval_cache.add_fj cache ~version:0 (lru_key 1) (lru_rel 1);
+  Eval_cache.add_fj cache ~version:0 (lru_key 2) (lru_rel 2);
+  (* Unlike find_fj (see the engine LRU test), peeking entry 1 must NOT
+     refresh its recency: it stays least recently used and is evicted. *)
+  Alcotest.(check bool) "peek hits" true
+    (Option.is_some (Eval_cache.peek_fj cache ~version:0 (lru_key 1)));
+  Eval_cache.add_fj cache ~version:0 (lru_key 3) (lru_rel 3);
+  Alcotest.(check bool) "peeked entry still evicted first" false
+    (Eval_cache.mem_fj cache ~version:0 (lru_key 1));
+  Alcotest.(check bool) "other entry survives" true
+    (Eval_cache.mem_fj cache ~version:0 (lru_key 2))
+
+let test_promoted_entry_recency_and_bytes () =
+  (* Replay the engine's promotion sequence by hand: peek at the ancestor
+     version, re-add at the new one.  The promoted entry must be counted
+     in bytes_resident and carry fresh recency (evicted last). *)
+  let probe = Eval_cache.create () in
+  Eval_cache.add_fj probe ~version:0 (lru_key 0) (lru_rel 0);
+  let per_entry = Eval_cache.bytes_resident probe in
+  let cache = Eval_cache.create ~byte_budget:(per_entry * 5 / 2) () in
+  Eval_cache.add_fj cache ~version:0 (lru_key 1) (lru_rel 1);
+  Eval_cache.add_fj cache ~version:0 (lru_key 2) (lru_rel 2);
+  let bytes_before = Eval_cache.bytes_resident cache in
+  let payload = Option.get (Eval_cache.peek_fj cache ~version:0 (lru_key 1)) in
+  Eval_cache.add_fj cache ~version:1 (lru_key 1) payload;
+  (* Three entries exceed the 2.5-entry budget: the oldest (key 1 at the
+     ancestor version — peek ticked nothing) is evicted, the promoted copy
+     is the most recent and survives, and the books balance. *)
+  Alcotest.(check bool) "ancestor copy evicted" false
+    (Eval_cache.mem_fj cache ~version:0 (lru_key 1));
+  Alcotest.(check bool) "promoted copy resident" true
+    (Eval_cache.mem_fj cache ~version:1 (lru_key 1));
+  Alcotest.(check int) "bytes accounted for promoted entry" bytes_before
+    (Eval_cache.bytes_resident cache);
+  Alcotest.(check bool) "budget respected" true
+    (Eval_cache.bytes_resident cache <= Eval_cache.byte_budget cache)
+
+(* --- property: incremental = from-scratch across mutation sequences --- *)
+
+let identity_mapping (inst : Synth.Gen_graph.instance) =
+  let aliases = Qgraph.aliases inst.Synth.Gen_graph.graph in
+  Clio.Mapping.make ~graph:inst.Synth.Gen_graph.graph ~target:"T"
+    ~target_cols:(List.map (fun a -> "c_" ^ a) aliases)
+    ~correspondences:
+      (List.map
+         (fun a -> Clio.Correspondence.identity ("c_" ^ a) (Attr.make a "id"))
+         aliases)
+    ()
+
+(* Mutations: mostly insert-only steps (the repairable case), sometimes a
+   duplicate insert (must be a version no-op) or a tuple removal (a
+   Rewrite, forcing the fallback path).  [salt] keeps generated ids
+   genuinely fresh across steps. *)
+let apply_op db (op, rel_idx, salt) =
+  let rels = Database.relations db in
+  let victim = List.nth rels (rel_idx mod List.length rels) in
+  let name = Relation.name victim in
+  match op mod 6 with
+  | 5 ->
+      let tuples =
+        match Relation.tuples victim with [] -> [] | _ :: rest -> rest
+      in
+      Database.replace db (Relation.make name (Relation.schema victim) tuples)
+  | 4 -> (
+      match Relation.tuples victim with
+      | [] -> db
+      | t :: _ -> Database.insert_tuples db name [ t ])
+  | _ ->
+      let arity = Schema.arity (Relation.schema victim) in
+      let fresh =
+        Array.init arity (fun c ->
+            if c = 0 then v_int (500_000 + salt) else v_int (salt mod 7))
+      in
+      Database.insert_tuples db name [ fresh ]
+
+let parity_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 0 100000 in
+    let* n = int_range 2 4 in
+    let* rows = int_range 1 12 in
+    let* jobs = oneofl [ 1; 4 ] in
+    let* ops = list_size (int_range 1 5) (pair (int_range 0 5) (int_range 0 3)) in
+    return (seed, n, rows, jobs, ops))
+
+let prop_incremental_equals_scratch =
+  QCheck2.Test.make ~name:"incremental = from-scratch after random mutations"
+    ~count:30 parity_gen (fun (seed, n, rows, jobs, ops) ->
+      let st = Random.State.make [| seed |] in
+      let inst =
+        Synth.Gen_graph.random_tree st ~n ~rows ~null_prob:0.25
+          ~orphan_prob:0.25 ()
+      in
+      let g = inst.Synth.Gen_graph.graph in
+      let m = identity_mapping inst in
+      let ctx0 =
+        Eval_ctx.create ~incremental:true ~jobs ~kb:inst.Synth.Gen_graph.kb
+          inst.Synth.Gen_graph.db
+      in
+      let check ctx =
+        let db = Eval_ctx.db ctx in
+        let scratch = Eval_ctx.transient db in
+        (* D(G) under every algorithm, through the ONE shared cache. *)
+        List.for_all
+          (fun alg ->
+            assocs_equal
+              (Eval_ctx.data_associations ~algorithm:alg ctx g)
+              (Eval_ctx.data_associations ~algorithm:alg scratch g))
+          [ Eval_ctx.Naive; Eval_ctx.Indexed; Eval_ctx.Outerjoin_if_tree ]
+        (* F(J) of the full graph, tuple-for-tuple. *)
+        && Relation.tuples (Eval_ctx.full_associations ctx g)
+           = Relation.tuples (Eval_ctx.full_associations scratch g)
+        (* Illustrations render byte-identically. *)
+        &&
+        let scheme r = r.Fulldisj.Full_disjunction.scheme in
+        Clio.Illustration.render
+          ~scheme:(scheme (Eval_ctx.data_associations ctx g))
+          (Clio.illustrate ctx m)
+        = Clio.Illustration.render
+            ~scheme:(scheme (Eval_ctx.data_associations scratch g))
+            (Clio.illustrate (Eval_ctx.create ~no_cache:true ~kb:(Eval_ctx.kb ctx) db) m)
+      in
+      (* Warm, mutate step by step, re-checking parity after every step. *)
+      check ctx0
+      && snd
+           (List.fold_left
+              (fun (ctx, ok) (op, rel_idx) ->
+                if not ok then (ctx, false)
+                else
+                  let salt = Database.version (Eval_ctx.db ctx) * 13 in
+                  let ctx =
+                    Eval_ctx.with_db ctx
+                      (apply_op (Eval_ctx.db ctx) (op, rel_idx, salt))
+                  in
+                  (ctx, check ctx))
+              (ctx0, true) ops))
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "promotion",
+        [
+          tc "free" `Quick test_promotion_free;
+          tc "repaired" `Quick test_promotion_repaired;
+          tc "fj repaired" `Quick test_promotion_fj_repaired;
+          tc "rewrite fallback" `Quick test_rewrite_fallback;
+        ] );
+      ( "cache",
+        [
+          tc "peek neutrality" `Quick test_peek_does_not_touch_recency;
+          tc "promoted recency+bytes" `Quick test_promoted_entry_recency_and_bytes;
+        ] );
+      ( "properties", [ qtest prop_incremental_equals_scratch ] );
+    ]

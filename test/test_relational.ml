@@ -433,6 +433,144 @@ let test_database_find_value () =
   (* id 1 in P.id and C.pid. *)
   Alcotest.(check int) "two occurrences" 2 (List.length occs)
 
+(* --- array-native construction and one-pass scans --- *)
+
+let test_make_of_array () =
+  let schema = Schema.make "A" [ "x"; "y" ] in
+  let dup =
+    [|
+      Tuple.make [ v_int 1; v_int 2 ];
+      Tuple.make [ v_int 3; Value.Null ];
+      Tuple.make [ v_int 1; v_int 2 ];
+    |]
+  in
+  let r = Relation.make_of_array "A" schema dup in
+  (* Dedup keeps the first occurrence, like Relation.make. *)
+  Alcotest.(check int) "deduped" 2 (Relation.cardinality r);
+  Alcotest.(check bool) "same contents as list constructor" true
+    (Relation.equal_contents r (Relation.make "A" schema (Array.to_list dup)));
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Relation.make_of_array A: tuple arity 1, schema arity 2")
+    (fun () ->
+      ignore (Relation.make_of_array "A" schema [| Tuple.make [ v_int 1 ] |]));
+  Alcotest.check_raises "all-null rejected"
+    (Invalid_argument "Relation.make_of_array A: all-null tuple") (fun () ->
+      ignore
+        (Relation.make_of_array "A" schema [| Tuple.make [ Value.Null; Value.Null ] |]));
+  Alcotest.(check int) "all-null allowed when asked" 1
+    (Relation.cardinality
+       (Relation.make_of_array ~allow_all_null:true "A" schema
+          [| Tuple.make [ Value.Null; Value.Null ] |]))
+
+let test_equal_contents_order_insensitive () =
+  let schema = Schema.make "A" [ "x" ] in
+  let r1 = Relation.make "A" schema [ Tuple.make [ v_int 1 ]; Tuple.make [ v_int 2 ] ] in
+  let r2 = Relation.make "A" schema [ Tuple.make [ v_int 2 ]; Tuple.make [ v_int 1 ] ] in
+  let r3 = Relation.make "A" schema [ Tuple.make [ v_int 1 ] ] in
+  Alcotest.(check bool) "order irrelevant" true (Relation.equal_contents r1 r2);
+  Alcotest.(check bool) "cardinality matters" false (Relation.equal_contents r1 r3);
+  Alcotest.(check bool) "subset is not equality" false (Relation.equal_contents r3 r1)
+
+(* --- changelog: insert_tuples, diff classification, deltas_from --- *)
+
+let delta_db =
+  Database.of_relations
+    [
+      Relation.make "R"
+        (Schema.make "R" [ "a"; "b" ])
+        [ Tuple.make [ v_int 1; v_int 10 ]; Tuple.make [ v_int 2; v_int 20 ] ];
+    ]
+
+let test_insert_tuples () =
+  let t3 = Tuple.make [ v_int 3; v_int 30 ] in
+  let db1 = Database.insert_tuples delta_db "R" [ t3 ] in
+  Alcotest.(check bool) "version bumped" true
+    (Database.version db1 > Database.version delta_db);
+  Alcotest.(check int) "tuple appended" 3 (Relation.cardinality (Database.get db1 "R"));
+  (* The recorded step carries exactly the fresh tuples. *)
+  (match Database.history db1 with
+  | { Delta.kind = Delta.Insert { relation = "R"; tuples = [ t ] }; _ } :: _ ->
+      Alcotest.(check bool) "recorded the fresh tuple" true (Tuple.equal t t3)
+  | _ -> Alcotest.fail "expected an Insert step for R");
+  (* Duplicates (vs existing and within the batch) are dropped; an
+     all-duplicate batch is a version no-op. *)
+  let db2 = Database.insert_tuples db1 "R" [ t3; Tuple.make [ v_int 1; v_int 10 ] ] in
+  Alcotest.(check int) "no-op keeps version" (Database.version db1) (Database.version db2);
+  let db3 = Database.insert_tuples db1 "R" [ t3; Tuple.make [ v_int 4; v_int 40 ]; Tuple.make [ v_int 4; v_int 40 ] ] in
+  Alcotest.(check int) "batch deduped" 4 (Relation.cardinality (Database.get db3 "R"));
+  Alcotest.check_raises "unknown relation"
+    (Invalid_argument "Database.insert_tuples: unknown relation S") (fun () ->
+      ignore (Database.insert_tuples delta_db "S" [ t3 ]))
+
+let test_replace_delta_classification () =
+  let r = Database.get delta_db "R" in
+  (* Pure superset: an Insert of exactly the added tuples. *)
+  let grown =
+    Relation.make "R" (Relation.schema r)
+      (Relation.tuples r @ [ Tuple.make [ v_int 5; v_int 50 ] ])
+  in
+  (match Database.history (Database.replace delta_db grown) with
+  | { Delta.kind = Delta.Insert { relation = "R"; tuples = [ _ ] }; _ } :: _ -> ()
+  | _ -> Alcotest.fail "superset replace should record Insert");
+  (* A removal is a Rewrite. *)
+  let shrunk =
+    Relation.make "R" (Relation.schema r) [ Tuple.make [ v_int 1; v_int 10 ] ]
+  in
+  (match Database.history (Database.replace delta_db shrunk) with
+  | { Delta.kind = Delta.Rewrite { relation = "R" }; _ } :: _ -> ()
+  | _ -> Alcotest.fail "shrinking replace should record Rewrite");
+  (* A schema change is a Rewrite even with no tuples removed. *)
+  let reshaped = Relation.make "R" (Schema.make "R" [ "a"; "c" ]) (Relation.tuples r) in
+  (match Database.history (Database.replace delta_db reshaped) with
+  | { Delta.kind = Delta.Rewrite { relation = "R" }; _ } :: _ -> ()
+  | _ -> Alcotest.fail "schema-changing replace should record Rewrite");
+  (* add and add_constraint record their own kinds. *)
+  let s = Relation.make "S" (Schema.make "S" [ "x" ]) [] in
+  (match Database.history (Database.add delta_db s) with
+  | { Delta.kind = Delta.New_relation "S"; _ } :: _ -> ()
+  | _ -> Alcotest.fail "add should record New_relation");
+  match
+    Database.history
+      (Database.add_constraint delta_db
+         (Integrity.Foreign_key
+            { rel = "R"; cols = [ "a" ]; ref_rel = "R"; ref_cols = [ "a" ] }))
+  with
+  | { Delta.kind = Delta.Constraints_only; _ } :: _ -> ()
+  | _ -> Alcotest.fail "add_constraint should record Constraints_only"
+
+let test_deltas_from () =
+  let v0 = Database.version delta_db in
+  let db1 = Database.insert_tuples delta_db "R" [ Tuple.make [ v_int 3; v_int 30 ] ] in
+  let db2 = Database.insert_tuples db1 "R" [ Tuple.make [ v_int 4; v_int 40 ] ] in
+  (* Same version: an empty chain. *)
+  (match Database.deltas_from db2 (Database.version db2) with
+  | Some [] -> ()
+  | _ -> Alcotest.fail "same version should give an empty chain");
+  (* Two steps back: oldest first. *)
+  (match Database.deltas_from db2 v0 with
+  | Some [ s1; s2 ] ->
+      Alcotest.(check int) "chain starts at the ancestor" v0 s1.Delta.from_version;
+      Alcotest.(check int) "chain is contiguous" s1.Delta.to_version s2.Delta.from_version;
+      Alcotest.(check int) "chain ends at the current version"
+        (Database.version db2) s2.Delta.to_version
+  | _ -> Alcotest.fail "expected a two-step chain");
+  (* A version from another lineage is not an ancestor. *)
+  Alcotest.(check bool) "unknown ancestor rejected" true
+    (Database.deltas_from db2 (Database.version db2 + 17) = None)
+
+let test_history_bounded () =
+  let db =
+    List.fold_left
+      (fun db i -> Database.insert_tuples db "R" [ Tuple.make [ v_int (100 + i); v_int i ] ])
+      delta_db
+      (List.init (Database.history_limit + 8) Fun.id)
+  in
+  Alcotest.(check int) "window bounded" Database.history_limit
+    (List.length (Database.history db));
+  (* Beyond the window the ancestor is unreachable. *)
+  Alcotest.(check bool) "pre-window ancestor unreachable" true
+    (Database.deltas_from db (Database.version delta_db) = None)
+
 (* --- CSV --- *)
 
 let test_csv_roundtrip () =
@@ -558,6 +696,18 @@ let () =
           tc "ops" `Quick test_database_ops;
           tc "duplicate rejected" `Quick test_database_duplicate_rejected;
           tc "find value" `Quick test_database_find_value;
+        ] );
+      ( "arrays",
+        [
+          tc "make_of_array" `Quick test_make_of_array;
+          tc "equal_contents" `Quick test_equal_contents_order_insensitive;
+        ] );
+      ( "changelog",
+        [
+          tc "insert_tuples" `Quick test_insert_tuples;
+          tc "replace classification" `Quick test_replace_delta_classification;
+          tc "deltas_from" `Quick test_deltas_from;
+          tc "history bounded" `Quick test_history_bounded;
         ] );
       ( "csv",
         [
