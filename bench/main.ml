@@ -8,7 +8,7 @@
       exactly as bin/figures.exe does, so `dune exec bench/main.exe`
       reproduces the complete evaluation in one run.
 
-   2. Performance benchmarks (experiments B1-B15) for the algorithms whose
+   2. Performance benchmarks (experiments B1-B16) for the algorithms whose
       cost the paper alludes to ("we make use of evaluation and
       optimization techniques for the minimal union operator to
       efficiently compute D(G)"): minimum union naive vs indexed, full
@@ -19,7 +19,9 @@
       — each cached vs no-cache, the ablation of lib/engine), the B14
       jobs=1 vs jobs=4 ablation of the lib/par domain pool, and the B15
       example-edit replay (incremental delta maintenance vs from-scratch
-      re-evaluation after each edit).
+      re-evaluation after each edit), and the B16 server load generator
+      (lib/server's multi-session service under scripted client traffic,
+      cold vs warm shared-cache substrate).
 
    3. Operator-counter and allocation tables (lib/obs): the same workloads
       run once with observability enabled, reporting subsumption checks,
@@ -443,6 +445,46 @@ let engine_edit_tests =
       (Staged.stage (engine_edit_replay ~incremental:false));
   ]
 
+(* --- B16: server loadgen — the multi-session service under scripted
+   load ---
+
+   Drives lib/server's Service directly (no socket) with the B16 client
+   script: N sessions opened from the paper scenario, each cycling
+   offer → evaluate D(G) → rotate → evaluate target → insert → confirm,
+   interleaved round-robin.  The ablation is substrate temperature: the
+   cold arm builds a fresh registry (empty shared Eval_cache) per run,
+   the warm arm reuses one persistent registry across runs, so every
+   session's pre-insert evaluations hit entries left by earlier runs at
+   the scenario's shared base version — the memo sharing a long-lived
+   server exists to provide. *)
+
+let b16_spec =
+  {
+    Server.Loadgen.scenario = Server.Protocol.Paper;
+    clients = 4;
+    ops = (if quick then 6 else 12);
+    limit = None;
+  }
+
+let server_loadgen_cold () =
+  let service = Server.Service.create (Server.Registry.create ~jobs:1 ()) in
+  ignore (Server.Loadgen.run_inprocess ~verify:false service b16_spec)
+
+let server_warm_service =
+  lazy (Server.Service.create (Server.Registry.create ~jobs:1 ()))
+
+let server_loadgen_warm () =
+  ignore
+    (Server.Loadgen.run_inprocess ~verify:false
+       (Lazy.force server_warm_service)
+       b16_spec)
+
+let server_tests =
+  [
+    Test.make ~name:"server/loadgen/cold" (Staged.stage server_loadgen_cold);
+    Test.make ~name:"server/loadgen/warm" (Staged.stage server_loadgen_warm);
+  ]
+
 (* --- B11: illustration at scale — full universe vs sampled slice --- *)
 
 let sampling_tests =
@@ -563,7 +605,7 @@ let par_tests =
 let all_tests =
   minunion_tests @ fulldisj_tests @ illustration_tests @ walk_tests @ chase_tests
   @ mapping_tests @ mine_tests @ evolve_tests @ engine_walk_tests
-  @ engine_session_tests @ engine_edit_tests @ sampling_tests
+  @ engine_session_tests @ engine_edit_tests @ server_tests @ sampling_tests
   @ join_impl_tests @ match_tests @ pruning_tests @ par_tests
 
 (* --- running and reporting --- *)
@@ -795,8 +837,19 @@ let workloads : (string * (unit -> unit)) list =
       ( "engine/example-edit/no-incremental",
         engine_edit_replay ~incremental:false );
     ]
+  (* B16: the multi-session server under scripted load — the cache.*
+     counters here show the warm substrate absorbing the cold arm's
+     misses. *)
+  @ [
+      ("server/loadgen/cold", server_loadgen_cold);
+      ("server/loadgen/warm", server_loadgen_warm);
+    ]
 
-let run_measurements () = List.iter (fun (name, f) -> measure name f) workloads
+let run_measurements () =
+  (* Prime B16's persistent substrate so the measured warm arm really runs
+     against a populated shared cache (counters are reset per workload). *)
+  server_loadgen_warm ();
+  List.iter (fun (name, f) -> measure name f) workloads
 
 let counter_table ~title ~columns rows =
   print_endline title;
@@ -883,12 +936,51 @@ let run_counter_tables () =
         ("delta.fallbacks", Obs.Names.delta_fallbacks);
       ]
     (workload_names "engine/example-edit/");
+  counter_table
+    ~title:"B16 — server loadgen: memo traffic, cold vs warm substrate"
+    ~columns:
+      [
+        ("fj.hits", Obs.Names.cache_fj_hits);
+        ("fj.misses", Obs.Names.cache_fj_misses);
+        ("dg.hits", Obs.Names.cache_dg_hits);
+        ("dg.misses", Obs.Names.cache_dg_misses);
+        ("bytes", Obs.Names.cache_bytes_resident);
+      ]
+    (workload_names "server/");
+  (* B16 headline: one verified run per arm, end-to-end numbers. *)
+  let b16_outcome ~warm =
+    let service =
+      if warm then Lazy.force server_warm_service
+      else Server.Service.create (Server.Registry.create ~jobs:1 ())
+    in
+    Server.Loadgen.run_inprocess ~verify:true service b16_spec
+  in
+  print_endline
+    (Printf.sprintf
+       "B16 — server loadgen headline (%d clients x %d ops, paper scenario)"
+       b16_spec.Server.Loadgen.clients b16_spec.Server.Loadgen.ops);
+  print_newline ();
+  Printf.printf "%-6s %10s %10s %10s %8s %10s\n" "arm" "ops/s" "p50(us)"
+    "p99(us)" "errors" "verified";
+  Printf.printf "%s\n" (String.make 60 '-');
+  List.iter
+    (fun (label, warm) ->
+      let o = b16_outcome ~warm in
+      Printf.printf "%-6s %10.0f %10.0f %10.0f %8d %10s\n" label
+        o.Server.Loadgen.throughput o.Server.Loadgen.p50_us
+        o.Server.Loadgen.p99_us o.Server.Loadgen.errors
+        (match o.Server.Loadgen.mismatches with
+        | Some 0 -> "yes"
+        | Some n -> Printf.sprintf "NO(%d)" n
+        | None -> "off"))
+    [ ("cold", false); ("warm", true) ];
+  print_newline ();
   (* Allocation per workload: the memory-side counterpart of part 2. *)
   let names = List.map fst workloads in
   let width =
     List.fold_left (fun w n -> max w (String.length n)) 8 names
   in
-  print_endline "B1–B15 — GC allocation per workload (words)";
+  print_endline "B1–B16 — GC allocation per workload (words)";
   print_newline ();
   Printf.printf "%-*s %14s %14s %14s\n" width "workload" "minor" "major"
     "promoted";
@@ -976,7 +1068,7 @@ let () =
   let times =
     if bench || json then begin
       print_endline "######################################################";
-      print_endline "# Part 2: performance benchmarks (B1-B15)           #";
+      print_endline "# Part 2: performance benchmarks (B1-B16)           #";
       print_endline "######################################################\n";
       run_benchmarks ()
     end

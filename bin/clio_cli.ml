@@ -25,8 +25,10 @@
    GC allocation, environment — as JSON; default file metrics.json), and
    --no-cache (disable the engine's F(J)/D(G) memo cache — every context
    built downstream evaluates from scratch; the ablation switch used by
-   the benchmarks), and --jobs N (evaluate fan-out points on a pool of N
-   domains; default 1, also settable via CLIO_JOBS). *)
+   the benchmarks), --jobs N (evaluate fan-out points on a pool of N
+   domains; default 1, also settable via CLIO_JOBS), and
+   --history-limit N (changelog window for incremental cache
+   maintenance; default 32). *)
 
 open Relational
 open Cmdliner
@@ -45,6 +47,7 @@ type obs_opts = {
   no_cache : bool;
   no_incremental : bool;
   jobs : int option;
+  history_limit : int option;
 }
 
 let extract_obs_flags argv =
@@ -53,7 +56,8 @@ let extract_obs_flags argv =
   and metrics = ref None
   and no_cache = ref false
   and no_incremental = ref false
-  and jobs = ref None in
+  and jobs = ref None
+  and history_limit = ref None in
   let starts_with prefix s =
     String.length s >= String.length prefix
     && String.equal (String.sub s 0 (String.length prefix)) prefix
@@ -73,6 +77,8 @@ let extract_obs_flags argv =
      stays one-pass. *)
   let rec fuse_jobs = function
     | "--jobs" :: v :: rest -> ("--jobs=" ^ v) :: fuse_jobs rest
+    | "--history-limit" :: v :: rest ->
+        ("--history-limit=" ^ v) :: fuse_jobs rest
     | arg :: rest -> arg :: fuse_jobs rest
     | [] -> []
   in
@@ -115,6 +121,15 @@ let extract_obs_flags argv =
                  exit 124);
              false
            end
+           else if starts_with "--history-limit=" arg then begin
+             (match int_of_string_opt (value_of "--history-limit" arg) with
+             | Some n when n >= 1 -> history_limit := Some n
+             | Some _ | None ->
+                 Printf.eprintf
+                   "clio_cli: option '--history-limit': N must be >= 1\n";
+                 exit 124);
+             false
+           end
            else true)
   in
   ( Array.of_list keep,
@@ -125,6 +140,7 @@ let extract_obs_flags argv =
       no_cache = !no_cache;
       no_incremental = !no_incremental;
       jobs = !jobs;
+      history_limit = !history_limit;
     } )
 
 let database data_dir =
@@ -528,11 +544,20 @@ let repl_cmd =
   in
   Cmd.v (Cmd.info "repl" ~doc:"Interactive mapping session") Term.(const run $ data_arg)
 
+(* Raised from the signal handlers so that Ctrl-C (or a TERM) during a
+   long evaluation unwinds to the epilogue below — the --trace/--metrics
+   files still get written — and exits with the conventional 128+signo
+   code instead of the process dying mid-write. *)
+exception Interrupted of int
+
 let () =
   let argv, obs = extract_obs_flags Sys.argv in
   if obs.no_cache then Clio.Eval_ctx.set_caching_default false;
   if obs.no_incremental then Clio.Eval_ctx.set_incremental_default false;
   (match obs.jobs with Some j -> Clio.Eval_ctx.set_jobs_default j | None -> ());
+  (match obs.history_limit with
+  | Some n -> Database.set_history_limit n
+  | None -> ());
   if obs.trace <> None || obs.stats || obs.metrics <> None then Obs.enable ();
   let man =
     [
@@ -566,6 +591,12 @@ let () =
          scoring) on a pool of $(i,N) domains (default 1 = sequential; \
          the $(b,CLIO_JOBS) environment variable sets the default).  \
          Results are identical to sequential evaluation.";
+      `P
+        "$(b,--history-limit=)$(i,N) keeps the last $(i,N) database \
+         versions of changelog history (default 32).  Edits older than \
+         the window force affected cache entries to recompute from \
+         scratch instead of replaying deltas; raise it for long replayed \
+         sessions, lower it to bound changelog memory.";
     ]
   in
   let info =
@@ -573,23 +604,41 @@ let () =
       ~doc:"Data-driven understanding and refinement of schema mappings"
       ~man
   in
+  Sys.set_signal Sys.sigint
+    (Sys.Signal_handle (fun _ -> raise (Interrupted 130)));
+  Sys.set_signal Sys.sigterm
+    (Sys.Signal_handle (fun _ -> raise (Interrupted 143)));
+  let group =
+    Cmd.group info
+      [
+        show_cmd;
+        mine_cmd;
+        occurrences_cmd;
+        walk_cmd;
+        illustrate_cmd;
+        sql_cmd;
+        stats_cmd;
+        profile_cmd;
+        suggest_cmd;
+        select_cmd;
+        run_cmd;
+        repl_cmd;
+      ]
+  in
+  (* [~catch:false] so [Interrupted] reaches us; anything else gets
+     cmdliner's usual internal-error treatment, reproduced here. *)
   let code =
-    Cmd.eval ~argv
-      (Cmd.group info
-         [
-           show_cmd;
-           mine_cmd;
-           occurrences_cmd;
-           walk_cmd;
-           illustrate_cmd;
-           sql_cmd;
-           stats_cmd;
-           profile_cmd;
-           suggest_cmd;
-           select_cmd;
-           run_cmd;
-           repl_cmd;
-         ])
+    match Cmd.eval ~catch:false ~argv group with
+    | code -> code
+    | exception Interrupted code ->
+        prerr_newline ();
+        Printf.eprintf "clio_cli: interrupted\n";
+        code
+    | exception exn ->
+        let bt = Printexc.get_backtrace () in
+        Printf.eprintf "clio_cli: internal error, uncaught exception:\n%s\n%s"
+          (Printexc.to_string exn) bt;
+        Cmd.Exit.internal_error
   in
   let code =
     match obs.trace with

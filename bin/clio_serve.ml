@@ -1,0 +1,216 @@
+(* clio-serve — the long-lived mapping-refinement service and its load
+   generator.
+
+     clio_serve serve --socket /tmp/clio.sock     Unix-domain socket
+     clio_serve serve --tcp 7411                  loopback TCP
+     clio_serve loadgen --socket /tmp/clio.sock --clients 4 --ops 12
+     clio_serve loadgen --clients 4 --ops 12      in-process (no server)
+
+   The server holds one shared evaluation substrate (Eval_cache + domain
+   pool) and any number of concurrent sessions; the protocol is
+   newline-delimited JSON — see docs/server.md. *)
+
+open Cmdliner
+
+let scenario_of ~scenario ~size ~rows ~seed =
+  match String.lowercase_ascii scenario with
+  | "paper" -> Ok Server.Protocol.Paper
+  | "chain" -> Ok (Server.Protocol.Chain { n = size; rows; seed })
+  | "star" -> Ok (Server.Protocol.Star { leaves = size; rows; seed })
+  | other ->
+      Error (Printf.sprintf "unknown scenario %S (paper, chain or star)" other)
+
+(* --- serve ------------------------------------------------------------- *)
+
+let serve_run socket tcp jobs queue history_limit no_cache cache_mb =
+  match (socket, tcp) with
+  | None, None -> `Error (true, "one of --socket PATH or --tcp PORT is required")
+  | Some _, Some _ -> `Error (true, "--socket and --tcp are mutually exclusive")
+  | _ ->
+      (match history_limit with
+      | Some n -> Relational.Database.set_history_limit n
+      | None -> ());
+      let address =
+        match (socket, tcp) with
+        | Some path, _ -> Server.Loop.Unix_path path
+        | _, Some port -> Server.Loop.Tcp port
+        | None, None -> assert false
+      in
+      let registry =
+        Server.Registry.create ?jobs ~no_cache
+          ?cache_bytes:(Option.map (fun mb -> mb * 1024 * 1024) cache_mb)
+          ()
+      in
+      let service = Server.Service.create registry in
+      let config =
+        { (Server.Loop.default_config address) with queue_capacity = queue }
+      in
+      Printf.printf "clio_serve: listening on %s (jobs %d, queue %d)\n%!"
+        (match address with
+        | Server.Loop.Unix_path p -> p
+        | Server.Loop.Tcp p -> Printf.sprintf "127.0.0.1:%d" p)
+        (Server.Registry.jobs registry)
+        config.Server.Loop.queue_capacity;
+      Server.Loop.run config service;
+      Printf.printf "clio_serve: drained, bye\n%!";
+      `Ok ()
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket.")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT" ~doc:"Listen on loopback TCP port $(docv).")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains in the shared evaluation pool (default: CLIO_JOBS or 1).")
+
+let queue_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Bound on queued requests; beyond it clients get an $(i,overloaded) \
+           reply (backpressure) instead of a dropped connection.")
+
+let history_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "history-limit" ] ~docv:"N"
+        ~doc:
+          "Size of the per-database changelog window the incremental engine \
+           promotes across (default 32).")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Disable the shared F(J)/D(G) memo cache (ablation switch).")
+
+let cache_mb_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-mb" ] ~docv:"MB" ~doc:"Byte budget of the shared cache.")
+
+let serve_cmd =
+  let info =
+    Cmd.info "serve"
+      ~doc:"Run the mapping-refinement server until SIGTERM/SIGINT."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const serve_run $ socket_arg $ tcp_arg $ jobs_arg $ queue_arg
+       $ history_limit_arg $ no_cache_arg $ cache_mb_arg))
+
+(* --- loadgen ----------------------------------------------------------- *)
+
+let loadgen_run socket tcp clients ops scenario size rows seed limit no_verify
+    =
+  match scenario_of ~scenario ~size ~rows ~seed with
+  | Error msg -> `Error (true, msg)
+  | Ok scenario ->
+      let spec =
+        {
+          Server.Loadgen.scenario;
+          clients;
+          ops;
+          limit = (if limit > 0 then Some limit else None);
+        }
+      in
+      let verify = not no_verify in
+      let outcome =
+        match (socket, tcp) with
+        | Some _, Some _ ->
+            prerr_endline "--socket and --tcp are mutually exclusive";
+            exit 2
+        | Some path, None ->
+            Server.Loadgen.run_socket ~verify
+              ~address:(Server.Loop.Unix_path path) spec
+        | None, Some port ->
+            Server.Loadgen.run_socket ~verify ~address:(Server.Loop.Tcp port)
+              spec
+        | None, None ->
+            (* No server: drive the service in-process (cold substrate). *)
+            let registry = Server.Registry.create () in
+            Server.Loadgen.run_inprocess ~verify
+              (Server.Service.create registry)
+              spec
+      in
+      Format.printf "%a@." Server.Loadgen.pp_outcome outcome;
+      let failed =
+        outcome.Server.Loadgen.errors > 0
+        || match outcome.Server.Loadgen.mismatches with
+           | Some n when n > 0 -> true
+           | _ -> false
+      in
+      if failed then `Error (false, "load generation failed") else `Ok ()
+
+let clients_arg =
+  Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc:"Concurrent clients.")
+
+let ops_arg =
+  Arg.(value & opt int 12 & info [ "ops" ] ~docv:"N" ~doc:"Operations per client.")
+
+let scenario_arg =
+  Arg.(
+    value & opt string "paper"
+    & info [ "scenario" ] ~docv:"NAME" ~doc:"paper, chain or star.")
+
+let size_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "size" ] ~docv:"N" ~doc:"Chain length / star leaves.")
+
+let rows_arg =
+  Arg.(
+    value & opt int 500
+    & info [ "rows" ] ~docv:"N" ~doc:"Rows per synthetic relation.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+
+let limit_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "limit" ] ~docv:"N"
+        ~doc:"Rows to return per evaluation (0 = digests only).")
+
+let no_verify_arg =
+  Arg.(
+    value & flag
+    & info [ "no-verify" ]
+        ~doc:"Skip the sequential-replay digest verification.")
+
+let loadgen_cmd =
+  let info =
+    Cmd.info "loadgen"
+      ~doc:
+        "Drive a server (or an in-process service) with scripted clients and \
+         verify results against a sequential replay."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const loadgen_run $ socket_arg $ tcp_arg $ clients_arg $ ops_arg
+       $ scenario_arg $ size_arg $ rows_arg $ seed_arg $ limit_arg
+       $ no_verify_arg))
+
+let () =
+  let info =
+    Cmd.info "clio_serve" ~version:"dev"
+      ~doc:"Long-lived multi-session mapping-refinement service."
+  in
+  exit (Cmd.eval (Cmd.group info [ serve_cmd; loadgen_cmd ]))

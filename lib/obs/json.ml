@@ -128,6 +128,12 @@ let utf8_of_code_point buf cp =
     Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
   end
 
+(* Nesting bound: recursion in the parser is proportional to container
+   depth (element/member loops are tail calls), so a hostile input like
+   100k '['s would otherwise overflow the stack instead of returning
+   [Error].  No legitimate document of ours comes anywhere near this. *)
+let max_depth = 512
+
 let parse_exn (s : string) : t =
   let n = String.length s in
   let pos = ref 0 in
@@ -221,7 +227,8 @@ let parse_exn (s : string) : t =
     | Some f -> f
     | None -> fail "bad number"
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting too deep";
     skip_ws ();
     match peek () with
     | Some '{' ->
@@ -237,7 +244,7 @@ let parse_exn (s : string) : t =
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -258,7 +265,7 @@ let parse_exn (s : string) : t =
         end
         else
           let rec elements acc =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -283,7 +290,7 @@ let parse_exn (s : string) : t =
     | Some _ -> Num (parse_number ())
     | None -> fail "unexpected end of input"
   in
-  let v = parse_value () in
+  let v = parse_value 0 in
   skip_ws ();
   if !pos <> n then fail "trailing garbage";
   v

@@ -30,7 +30,14 @@ val to_string_pretty : t -> string
 
 exception Bad of string
 
-(** @raise Bad on malformed input. *)
+(** Container nesting the parser accepts before rejecting the input —
+    hostile wire frames (e.g. 100k ['[']s) get an error, not a stack
+    overflow. *)
+val max_depth : int
+
+(** @raise Bad on malformed input (including nesting beyond
+    {!max_depth}); never raises anything else and never loops, whatever
+    the input bytes. *)
 val parse_exn : string -> t
 
 val parse : string -> (t, string) result

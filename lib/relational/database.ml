@@ -19,7 +19,13 @@ let next_version =
    costs about as much as recomputing, and cached entries that old have
    usually been evicted anyway.  Beyond the bound the oldest steps are
    dropped, which soundly degrades [deltas_from] to "unknown ancestry". *)
-let history_limit = 32
+let default_history_limit = 32
+let history_limit_ref = ref default_history_limit
+let history_limit () = !history_limit_ref
+
+let set_history_limit n =
+  if n < 1 then invalid_arg "Database.set_history_limit: limit must be >= 1";
+  history_limit_ref := n
 
 let empty =
   {
@@ -36,9 +42,10 @@ let record t kind =
   let to_version = next_version () in
   Obs.count Obs.Names.delta_records;
   let step = { Delta.from_version = t.version; to_version; kind } in
+  let limit = history_limit () in
   let history =
-    if List.length t.history >= history_limit then
-      step :: List.filteri (fun i _ -> i < history_limit - 1) t.history
+    if List.length t.history >= limit then
+      step :: List.filteri (fun i _ -> i < limit - 1) t.history
     else step :: t.history
   in
   (to_version, history)

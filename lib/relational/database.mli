@@ -42,8 +42,17 @@ val deltas_from : t -> int -> Delta.t list option
     cache at each recorded ancestor version. *)
 val history : t -> Delta.t list
 
-(** Size of the bounded changelog window. *)
-val history_limit : int
+(** Size of the bounded changelog window — a process-wide setting,
+    consulted each time a mutation records a step (an existing database's
+    already-recorded window is not retrimmed).  Larger windows let the
+    engine's incremental promotion reach further-back ancestors at the
+    cost of retaining more deltas per version. *)
+val history_limit : unit -> int
+
+val default_history_limit : int
+
+(** Raises [Invalid_argument] when [n < 1]. *)
+val set_history_limit : int -> unit
 
 val of_relations : ?constraints:Integrity.t list -> Relation.t list -> t
 val find : t -> string -> Relation.t option

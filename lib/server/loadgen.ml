@@ -1,0 +1,363 @@
+open Relational
+module P = Protocol
+
+type spec = {
+  scenario : P.scenario;
+  clients : int;
+  ops : int;
+  limit : int option;
+}
+
+type outcome = {
+  sent : int;
+  ok : int;
+  errors : int;
+  overloads : int;
+  elapsed_s : float;
+  throughput : float;
+  p50_us : float;
+  p99_us : float;
+  max_us : float;
+  digests : string list array;
+  mismatches : int option;
+}
+
+(* Scenario-specific script parameters: where the data walk goes and what
+   an insert looks like (unique per client and step, schema-correct). *)
+
+let walk_params = function
+  | P.Paper -> ("Children", "PhoneDir", 2)
+  | P.Chain _ -> ("R1", "R2", 3)
+  | P.Star _ -> ("Fact", "D1", 3)
+
+let insert_of scenario ~client ~i =
+  match scenario with
+  | P.Paper ->
+      ( "Children",
+        [|
+          Value.String (Printf.sprintf "9%02d%03d" client i);
+          Value.String (Printf.sprintf "Kid-%d-%d" client i);
+          Value.Int (i mod 12);
+          Value.String "103";
+          Value.String "104";
+          Value.String "d31";
+        |] )
+  | P.Chain _ ->
+      ( "R1",
+        [|
+          Value.Int (1_000_000 + (client * 100_000) + i);
+          Value.String (Printf.sprintf "edit-%d-%d" client i);
+          Value.Int i;
+        |] )
+  | P.Star { leaves; _ } ->
+      ( "Fact",
+        Array.append
+          [|
+            Value.Int (1_000_000 + (client * 100_000) + i);
+            Value.String (Printf.sprintf "edit-%d-%d" client i);
+          |]
+          (Array.make leaves Value.Null) )
+
+let client_requests spec ~client =
+  let start, goal, max_len = walk_params spec.scenario in
+  List.init spec.ops (fun i ->
+      match i mod 6 with
+      | 0 -> P.Offer { start; goal; max_len }
+      | 1 -> P.Evaluate { what = P.Dg; limit = spec.limit }
+      | 2 -> P.Rotate
+      | 3 -> P.Evaluate { what = P.Target; limit = spec.limit }
+      | 4 ->
+          let relation, row = insert_of spec.scenario ~client ~i in
+          P.Insert { relation; rows = [ row ] }
+      | _ -> P.Confirm)
+
+(* ------------------------------------------------------------------ *)
+(* The verification arm: a plain Workspace replay, no server code path. *)
+
+let digest_of rel = Digest.to_hex (Digest.string (Render.relation rel))
+
+let replay_digests spec =
+  Array.init spec.clients (fun client ->
+      let db, kb, mapping = Scenario.resolve_fresh spec.scenario in
+      let ctx = Clio.Eval_ctx.create ~no_cache:true ~jobs:1 ~kb db in
+      let ws = ref (Clio.Workspace.create ctx mapping) in
+      let digests = ref [] in
+      let active_mapping () =
+        (Clio.Workspace.active !ws).Clio.Workspace.mapping
+      in
+      List.iter
+        (fun req ->
+          match req with
+          | P.Evaluate { what; _ } ->
+              let rel =
+                match what with
+                | P.Target -> Clio.Workspace.target_view !ws
+                | P.Dg ->
+                    Fulldisj.Full_disjunction.to_relation
+                      (Clio.Mapping_eval.data_associations
+                         (Clio.Workspace.ctx !ws) (active_mapping ()))
+                | P.Fj ->
+                    Clio.Eval_ctx.full_associations (Clio.Workspace.ctx !ws)
+                      (active_mapping ()).Clio.Mapping.graph
+              in
+              digests := digest_of rel :: !digests
+          | P.Offer { start; goal; max_len } -> (
+              try
+                let alts =
+                  Clio.Op_walk.data_walk (Clio.Workspace.ctx !ws)
+                    (active_mapping ()) ~start ~goal ~max_len ()
+                in
+                if alts <> [] then
+                  ws :=
+                    Clio.Workspace.offer !ws
+                      ~labels:
+                        (List.map (fun a -> a.Clio.Op_walk.description) alts)
+                      (List.map (fun a -> a.Clio.Op_walk.mapping) alts)
+              with Invalid_argument _ -> ())
+          | P.Rotate -> ws := Clio.Workspace.rotate !ws
+          | P.Confirm -> ws := Clio.Workspace.confirm !ws
+          | P.Insert { relation; rows } -> (
+              try ws := Clio.Workspace.add_tuples !ws relation rows
+              with Invalid_argument _ -> ())
+          | _ -> ())
+        (client_requests spec ~client);
+      List.rev !digests)
+
+let count_mismatches ~expected ~got =
+  let per_client exp act =
+    let rec go n = function
+      | [], [] -> n
+      | e :: es, a :: as_ -> go (if String.equal e a then n else n + 1) (es, as_)
+      | rest, [] | [], rest -> n + List.length rest
+    in
+    go 0 (exp, act)
+  in
+  let total = ref 0 in
+  Array.iteri
+    (fun c exp -> total := !total + per_client exp (Array.get got c))
+    expected;
+  !total
+
+(* ------------------------------------------------------------------ *)
+(* Shared accounting. *)
+
+type accum = {
+  mutable sent : int;
+  mutable ok : int;
+  mutable errors : int;
+  mutable overloads : int;
+  mutable latencies : float list;
+  client_digests : string list array;  (** newest first *)
+}
+
+let make_accum clients =
+  {
+    sent = 0;
+    ok = 0;
+    errors = 0;
+    overloads = 0;
+    latencies = [];
+    client_digests = Array.make clients [];
+  }
+
+let record acc ~client ~latency_us (resp : P.response) =
+  acc.latencies <- latency_us :: acc.latencies;
+  match resp.P.result with
+  | Ok (P.Evaluated info) ->
+      acc.ok <- acc.ok + 1;
+      acc.client_digests.(client) <-
+        info.P.digest :: acc.client_digests.(client)
+  | Ok _ -> acc.ok <- acc.ok + 1
+  | Error (P.Overloaded, _) -> acc.overloads <- acc.overloads + 1
+  | Error _ -> acc.errors <- acc.errors + 1
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (Float.ceil (q /. 100. *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let finish spec acc ~verify ~elapsed_s =
+  let sorted = Array.of_list acc.latencies in
+  Array.sort compare sorted;
+  let digests = Array.map List.rev acc.client_digests in
+  let mismatches =
+    if verify then
+      Some (count_mismatches ~expected:(replay_digests spec) ~got:digests)
+    else None
+  in
+  {
+    sent = acc.sent;
+    ok = acc.ok;
+    errors = acc.errors;
+    overloads = acc.overloads;
+    elapsed_s;
+    throughput = (if elapsed_s > 0. then float_of_int acc.ok /. elapsed_s else 0.);
+    p50_us = percentile sorted 50.;
+    p99_us = percentile sorted 99.;
+    max_us = percentile sorted 100.;
+    digests;
+    mismatches;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* In-process mode: straight into Service.handle, no transport. *)
+
+let run_inprocess ?(verify = true) service spec =
+  let acc = make_accum spec.clients in
+  let next_id = ref 0 in
+  let fresh_id () =
+    incr next_id;
+    !next_id
+  in
+  let call ~client ?session request =
+    let env = { P.id = fresh_id (); session; request } in
+    acc.sent <- acc.sent + 1;
+    let t0 = Unix.gettimeofday () in
+    let resp = Service.handle service env in
+    record acc ~client ~latency_us:((Unix.gettimeofday () -. t0) *. 1e6) resp;
+    resp
+  in
+  let t_start = Unix.gettimeofday () in
+  let sids =
+    Array.init spec.clients (fun client ->
+        match call ~client (P.Open_session spec.scenario) with
+        | { P.result = Ok (P.Opened { session; _ }); _ } -> Some session
+        | _ -> None)
+  in
+  let scripts =
+    Array.init spec.clients (fun client -> client_requests spec ~client)
+  in
+  for i = 0 to spec.ops - 1 do
+    for client = 0 to spec.clients - 1 do
+      match sids.(client) with
+      | None -> ()
+      | Some sid -> ignore (call ~client ~session:sid (List.nth scripts.(client) i))
+    done
+  done;
+  Array.iteri
+    (fun client sid ->
+      match sid with
+      | None -> ()
+      | Some sid -> ignore (call ~client ~session:sid P.Close_session))
+    sids;
+  finish spec acc ~verify ~elapsed_s:(Unix.gettimeofday () -. t_start)
+
+(* ------------------------------------------------------------------ *)
+(* Socket mode: one blocking connection per client, one request in
+   flight each, [overloaded] replies retried with a short pause. *)
+
+type client_conn = { fd : Unix.file_descr; buf : Buffer.t; mutable carry : string }
+
+let connect address =
+  let fd, addr =
+    match address with
+    | Loop.Unix_path path ->
+        (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path)
+    | Loop.Tcp port ->
+        ( Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0,
+          Unix.ADDR_INET (Unix.inet_addr_loopback, port) )
+  in
+  Unix.connect fd addr;
+  { fd; buf = Buffer.create 4096; carry = "" }
+
+let send_line conn line =
+  let bytes = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length bytes in
+  let written = ref 0 in
+  while !written < len do
+    written :=
+      !written + Unix.write conn.fd bytes !written (len - !written)
+  done
+
+let recv_line conn =
+  let rec split () =
+    match String.index_opt conn.carry '\n' with
+    | Some i ->
+        let line = String.sub conn.carry 0 i in
+        conn.carry <-
+          String.sub conn.carry (i + 1) (String.length conn.carry - i - 1);
+        line
+    | None ->
+        let chunk = Bytes.create 65536 in
+        let n = Unix.read conn.fd chunk 0 (Bytes.length chunk) in
+        if n = 0 then failwith "server closed the connection";
+        conn.carry <- conn.carry ^ Bytes.sub_string chunk 0 n;
+        split ()
+  in
+  split ()
+
+let run_socket ?(verify = true) ~address spec =
+  let acc = make_accum spec.clients in
+  let next_id = ref 0 in
+  let fresh_id () =
+    incr next_id;
+    !next_id
+  in
+  (* Send, await the matching reply, retry (bounded) while overloaded. *)
+  let call conn ~client ?session request =
+    acc.sent <- acc.sent + 1;
+    let rec attempt retries =
+      let id = fresh_id () in
+      let line = P.encode_request { P.id; session; request } in
+      let t0 = Unix.gettimeofday () in
+      send_line conn line;
+      let resp =
+        match P.parse_response (recv_line conn) with
+        | Ok r -> r
+        | Error msg -> failwith ("unparseable reply: " ^ msg)
+      in
+      record acc ~client ~latency_us:((Unix.gettimeofday () -. t0) *. 1e6) resp;
+      match resp.P.result with
+      | Error (P.Overloaded, _) when retries > 0 ->
+          ignore (Unix.select [] [] [] 0.002);
+          attempt (retries - 1)
+      | _ -> resp
+    in
+    attempt 1000
+  in
+  let conns = Array.init spec.clients (fun _ -> connect address) in
+  let t_start = Unix.gettimeofday () in
+  let sids =
+    Array.init spec.clients (fun client ->
+        match call conns.(client) ~client (P.Open_session spec.scenario) with
+        | { P.result = Ok (P.Opened { session; _ }); _ } -> Some session
+        | _ -> None)
+  in
+  let scripts =
+    Array.init spec.clients (fun client -> client_requests spec ~client)
+  in
+  for i = 0 to spec.ops - 1 do
+    for client = 0 to spec.clients - 1 do
+      match sids.(client) with
+      | None -> ()
+      | Some sid ->
+          ignore
+            (call conns.(client) ~client ~session:sid
+               (List.nth scripts.(client) i))
+    done
+  done;
+  Array.iteri
+    (fun client sid ->
+      match sid with
+      | None -> ()
+      | Some sid ->
+          ignore (call conns.(client) ~client ~session:sid P.Close_session))
+    sids;
+  let elapsed_s = Unix.gettimeofday () -. t_start in
+  Array.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
+  finish spec acc ~verify ~elapsed_s
+
+let pp_outcome ppf (o : outcome) =
+  Format.fprintf ppf
+    "@[<v>requests   %d (ok %d, errors %d, overload retries %d)@,\
+     elapsed    %.3f s  (%.0f ops/s)@,\
+     latency    p50 %.0f us   p99 %.0f us   max %.0f us@,\
+     verify     %s@]"
+    o.sent o.ok o.errors o.overloads o.elapsed_s o.throughput o.p50_us o.p99_us
+    o.max_us
+    (match o.mismatches with
+    | None -> "off"
+    | Some 0 -> "ok: all evaluation digests match the sequential replay"
+    | Some n -> Printf.sprintf "FAILED: %d digest mismatches" n)

@@ -1,0 +1,55 @@
+(** The B16 load generator: N scripted clients driving mixed
+    refinement/evaluation traffic against one server, with an optional
+    verification arm.
+
+    Each client runs the same deterministic script over its own session —
+    open, then [ops] operations cycling offer → evaluate D(G) → rotate →
+    evaluate target → insert (a tuple unique to that client and step) →
+    confirm, then close — so any two runs over equal specs do identical
+    work.  Clients are interleaved round-robin (in-process) or pipelined
+    one-in-flight-each (socket), which is what makes the shared-cache and
+    isolation claims observable: sessions share D(G)/F(J) entries until
+    their first insert forks them onto private database versions.
+
+    Verification replays every client's script {e sequentially} through a
+    plain {!Clio.Workspace} over {!Scenario.resolve_fresh} state with a
+    fresh cache-less context — a genuinely independent path — and compares
+    the MD5 digests of every evaluation result byte-for-byte. *)
+
+type spec = {
+  scenario : Protocol.scenario;
+  clients : int;
+  ops : int;  (** operations per client, between open and close *)
+  limit : int option;  (** rows included in evaluate replies *)
+}
+
+type outcome = {
+  sent : int;  (** requests sent (retries of overloaded ones not counted) *)
+  ok : int;
+  errors : int;  (** error replies other than [overloaded] *)
+  overloads : int;  (** [overloaded] replies observed (each retried) *)
+  elapsed_s : float;
+  throughput : float;  (** successful replies per second *)
+  p50_us : float;
+  p99_us : float;
+  max_us : float;
+  digests : string list array;  (** per client, evaluation results in order *)
+  mismatches : int option;  (** digest mismatches vs the sequential replay
+                                ([None] when verification was off) *)
+}
+
+(** The request script of one client (open/close not included). *)
+val client_requests : spec -> client:int -> Protocol.request list
+
+(** Digests the sequential replay produces, per client. *)
+val replay_digests : spec -> string list array
+
+(** Drive a {!Service} directly, no transport (cold = fresh registry).
+    [verify] (default [true]) runs the replay arm. *)
+val run_inprocess : ?verify:bool -> Service.t -> spec -> outcome
+
+(** Drive a running server over its socket: one connection per client,
+    requests pipelined round-robin, bounded retry on [overloaded]. *)
+val run_socket : ?verify:bool -> address:Loop.address -> spec -> outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,216 @@
+module P = Protocol
+
+type address = Unix_path of string | Tcp of int
+
+type config = {
+  address : address;
+  queue_capacity : int;
+  max_frame : int;
+  max_connections : int;
+}
+
+let default_config address =
+  { address; queue_capacity = 64; max_frame = 8 * 1024 * 1024; max_connections = 64 }
+
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  mutable outbuf : string;
+  mutable closing : bool;  (** close once [outbuf] drains *)
+}
+
+let listen_socket = function
+  | Unix_path path ->
+      if Sys.file_exists path then Unix.unlink path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 16;
+      fd
+  | Tcp port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen fd 16;
+      fd
+
+let send conn line = conn.outbuf <- conn.outbuf ^ line ^ "\n"
+
+(* Split complete frames off the connection's input buffer. *)
+let take_frames conn =
+  let data = Buffer.contents conn.inbuf in
+  let frames = ref [] and start = ref 0 in
+  String.iteri
+    (fun i c ->
+      if c = '\n' then begin
+        frames := String.sub data !start (i - !start) :: !frames;
+        start := i + 1
+      end)
+    data;
+  Buffer.clear conn.inbuf;
+  Buffer.add_substring conn.inbuf data !start (String.length data - !start);
+  List.rev !frames
+
+let run ?on_ready config service =
+  let registry = Service.registry service in
+  let lfd = listen_socket config.address in
+  let stop = ref false in
+  let prev_term =
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true))
+  and prev_int =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
+  and prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let queue : (conn * P.envelope) Queue.t = Queue.create () in
+  Service.set_extra_stats service (fun () ->
+      [
+        ("server.queue.depth", float_of_int (Queue.length queue));
+        ("server.queue.capacity", float_of_int config.queue_capacity);
+        ("server.connections", float_of_int (Hashtbl.length conns));
+      ]);
+  let close_conn conn =
+    Hashtbl.remove conns conn.fd;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  in
+  let accept_ready () =
+    match Unix.accept lfd with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        let conn =
+          { fd; inbuf = Buffer.create 256; outbuf = ""; closing = false }
+        in
+        if Hashtbl.length conns >= config.max_connections then begin
+          (* Reject at the door, but with a frame the client can parse. *)
+          conn.closing <- true;
+          send conn
+            (P.encode_response
+               (P.error None P.Overloaded "connection limit reached"))
+        end;
+        Hashtbl.replace conns fd conn
+  in
+  let admit conn frame =
+    match P.parse_request frame with
+    | Error (id, code, msg) ->
+        Registry.count_request registry;
+        Registry.count_error registry;
+        send conn (P.encode_response (P.error id code msg))
+    | Ok env ->
+        if Queue.length queue >= config.queue_capacity then begin
+          Registry.count_request registry;
+          Registry.count_error registry;
+          Registry.count_overload registry;
+          send conn
+            (P.encode_response
+               (P.error (Some env.P.id) P.Overloaded
+                  "request queue full, retry later"))
+        end
+        else Queue.add (conn, env) queue
+  in
+  let read_ready conn =
+    let chunk = Bytes.create 65536 in
+    match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error _ -> close_conn conn
+    | 0 ->
+        (* Peer closed its write side; anything buffered without a final
+           newline is not a frame. *)
+        if conn.outbuf = "" then close_conn conn else conn.closing <- true
+    | n ->
+        Buffer.add_subbytes conn.inbuf chunk 0 n;
+        List.iter (admit conn) (take_frames conn);
+        if Buffer.length conn.inbuf > config.max_frame then begin
+          send conn
+            (P.encode_response
+               (P.error None P.Parse_error "frame too large"));
+          conn.closing <- true
+        end
+  in
+  let write_ready conn =
+    let len = String.length conn.outbuf in
+    match Unix.single_write_substring conn.fd conn.outbuf 0 len with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error _ -> close_conn conn
+    | n ->
+        conn.outbuf <- String.sub conn.outbuf n (len - n);
+        if conn.outbuf = "" && conn.closing then close_conn conn
+  in
+  let execute_queued () =
+    while not (Queue.is_empty queue) do
+      let conn, env = Queue.pop queue in
+      let reply = Service.handle service env in
+      if Hashtbl.mem conns conn.fd then
+        send conn (P.encode_response reply)
+    done
+  in
+  Unix.set_nonblock lfd;
+  (match on_ready with Some f -> f () | None -> ());
+  let draining () = !stop || Service.draining service in
+  (* Main phase: accept, read, execute, write. *)
+  while not (draining ()) do
+    let reads =
+      lfd
+      :: Hashtbl.fold
+           (fun fd conn acc -> if conn.closing then acc else fd :: acc)
+           conns []
+    and writes =
+      Hashtbl.fold
+        (fun fd conn acc -> if conn.outbuf <> "" then fd :: acc else acc)
+        conns []
+    in
+    match Unix.select reads writes [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, writable, _ ->
+        List.iter
+          (fun fd ->
+            if fd = lfd then accept_ready ()
+            else
+              match Hashtbl.find_opt conns fd with
+              | Some conn -> read_ready conn
+              | None -> ())
+          readable;
+        execute_queued ();
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt conns fd with
+            | Some conn -> write_ready conn
+            | None -> ())
+          writable
+  done;
+  (* Drain phase: no more reads or accepts; answer what was queued and
+     flush every connection, bounded so a stuck peer cannot wedge exit. *)
+  execute_queued ();
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let pending () =
+    Hashtbl.fold (fun _ c acc -> acc || c.outbuf <> "") conns false
+  in
+  while pending () && Unix.gettimeofday () < deadline do
+    let writes =
+      Hashtbl.fold
+        (fun fd conn acc -> if conn.outbuf <> "" then fd :: acc else acc)
+        conns []
+    in
+    match Unix.select [] writes [] 0.1 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | _, writable, _ ->
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt conns fd with
+            | Some conn -> write_ready conn
+            | None -> ())
+          writable
+  done;
+  Hashtbl.iter (fun _ conn -> try Unix.close conn.fd with _ -> ()) conns;
+  Hashtbl.reset conns;
+  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  (match config.address with
+  | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  Sys.set_signal Sys.sigterm prev_term;
+  Sys.set_signal Sys.sigint prev_int;
+  Sys.set_signal Sys.sigpipe prev_pipe

@@ -1,0 +1,32 @@
+(** The transport: a single-threaded [Unix.select] event loop speaking the
+    newline-delimited protocol over a Unix-domain or loopback TCP socket.
+
+    Admission control happens here, before execution: a frame that is not
+    valid JSON gets an immediate [parse_error] reply; a valid request that
+    arrives while the bounded queue is full gets an immediate [overloaded]
+    reply (the connection stays open — backpressure, not disconnection).
+    Queued requests execute FIFO through {!Service.handle}; replies to
+    executed requests keep per-connection submission order, while
+    admission-time error replies may overtake them.
+
+    Shutdown: SIGTERM/SIGINT (or a [shutdown] request) flips the loop into
+    draining — it stops reading, finishes every queued request, flushes
+    every connection's output buffer, closes, removes the socket file, and
+    returns.  The caller then exits 0. *)
+
+type address =
+  | Unix_path of string
+  | Tcp of int  (** loopback only: binds 127.0.0.1 *)
+
+type config = {
+  address : address;
+  queue_capacity : int;  (** pending-request bound; beyond it, [overloaded] *)
+  max_frame : int;  (** bytes per frame; beyond it the connection is closed *)
+  max_connections : int;
+}
+
+val default_config : address -> config
+
+(** Blocks until shutdown.  [on_ready] (if given) runs once the socket is
+    listening — the bench harness uses it to start its clients. *)
+val run : ?on_ready:(unit -> unit) -> config -> Service.t -> unit

@@ -1,0 +1,535 @@
+open Relational
+module J = Obs.Json
+
+type scenario =
+  | Paper
+  | Chain of { n : int; rows : int; seed : int }
+  | Star of { leaves : int; rows : int; seed : int }
+
+let scenario_to_string = function
+  | Paper -> "paper"
+  | Chain { n; rows; seed } -> Printf.sprintf "chain(n=%d,rows=%d,seed=%d)" n rows seed
+  | Star { leaves; rows; seed } ->
+      Printf.sprintf "star(leaves=%d,rows=%d,seed=%d)" leaves rows seed
+
+type what = Dg | Fj | Target
+
+let what_name = function Dg -> "dg" | Fj -> "fj" | Target -> "target"
+
+type request =
+  | Ping
+  | Open_session of scenario
+  | Close_session
+  | Evaluate of { what : what; limit : int option }
+  | Offer of { start : string; goal : string; max_len : int }
+  | Rotate
+  | Select of { entry : int }
+  | Delete of { entry : int }
+  | Confirm
+  | Insert of { relation : string; rows : Value.t array list }
+  | Rank
+  | Stats
+  | Shutdown
+
+type envelope = { id : int; session : string option; request : request }
+
+type entry_info = {
+  entry : int;
+  label : string;
+  graph : string;
+  active : bool;
+  score : int option;
+}
+
+type eval_info = {
+  what : what;
+  count : int;
+  scheme : string list;
+  digest : string;
+  rows : string list list option;
+}
+
+type result =
+  | Pong
+  | Opened of { session : string; relations : string list; version : int }
+  | Closed
+  | Evaluated of eval_info
+  | Entries of entry_info list
+  | Inserted of { fresh : bool; version : int }
+  | Stats_report of (string * float) list
+  | Bye
+
+type error_code =
+  | Parse_error
+  | Bad_request
+  | Unknown_session
+  | Overloaded
+  | Unavailable
+  | Internal
+
+let error_code_name = function
+  | Parse_error -> "parse_error"
+  | Bad_request -> "bad_request"
+  | Unknown_session -> "unknown_session"
+  | Overloaded -> "overloaded"
+  | Unavailable -> "unavailable"
+  | Internal -> "internal"
+
+let error_code_of_name = function
+  | "parse_error" -> Some Parse_error
+  | "bad_request" -> Some Bad_request
+  | "unknown_session" -> Some Unknown_session
+  | "overloaded" -> Some Overloaded
+  | "unavailable" -> Some Unavailable
+  | "internal" -> Some Internal
+  | _ -> None
+
+type response = {
+  id : int option;
+  result : (result, error_code * string) Stdlib.result;
+}
+
+(* --- value <-> JSON ---
+
+   Integral numbers decode to [Int]; [Value.equal] treats numerically
+   equal [Int]/[Float] as equal, so the coercion is invisible to the
+   relational layer.  Non-finite floats would emit as [null] (Json's
+   rule) and are rejected on encode instead of silently becoming nulls. *)
+
+let json_of_value = function
+  | Value.Null -> J.Null
+  | Value.Bool b -> J.Bool b
+  | Value.Int i -> J.Num (float_of_int i)
+  | Value.Float f ->
+      if Float.is_nan f || f = infinity || f = neg_infinity then
+        invalid_arg "Protocol: non-finite floats are not representable on the wire"
+      else J.Num f
+  | Value.String s -> J.Str s
+
+let value_of_json = function
+  | J.Null -> Ok Value.Null
+  | J.Bool b -> Ok (Value.Bool b)
+  | J.Num f ->
+      if Float.is_integer f && Float.abs f <= 1e15 then
+        Ok (Value.Int (int_of_float f))
+      else Ok (Value.Float f)
+  | J.Str s -> Ok (Value.String s)
+  | J.Arr _ | J.Obj _ -> Error "cell must be null, boolean, number or string"
+
+(* --- encoding: requests --- *)
+
+let scenario_json = function
+  | Paper -> J.Obj [ ("kind", J.Str "paper") ]
+  | Chain { n; rows; seed } ->
+      J.Obj
+        [
+          ("kind", J.Str "chain");
+          ("n", J.Num (float_of_int n));
+          ("rows", J.Num (float_of_int rows));
+          ("seed", J.Num (float_of_int seed));
+        ]
+  | Star { leaves; rows; seed } ->
+      J.Obj
+        [
+          ("kind", J.Str "star");
+          ("leaves", J.Num (float_of_int leaves));
+          ("rows", J.Num (float_of_int rows));
+          ("seed", J.Num (float_of_int seed));
+        ]
+
+let request_fields = function
+  | Ping -> ("ping", [])
+  | Open_session sc -> ("open", [ ("scenario", scenario_json sc) ])
+  | Close_session -> ("close", [])
+  | Evaluate { what; limit } ->
+      ( "evaluate",
+        ("what", J.Str (what_name what))
+        ::
+        (match limit with
+        | None -> []
+        | Some k -> [ ("limit", J.Num (float_of_int k)) ]) )
+  | Offer { start; goal; max_len } ->
+      ( "offer",
+        [
+          ("start", J.Str start);
+          ("goal", J.Str goal);
+          ("max_len", J.Num (float_of_int max_len));
+        ] )
+  | Rotate -> ("rotate", [])
+  | Select { entry } -> ("select", [ ("entry", J.Num (float_of_int entry)) ])
+  | Delete { entry } -> ("delete", [ ("entry", J.Num (float_of_int entry)) ])
+  | Confirm -> ("confirm", [])
+  | Insert { relation; rows } ->
+      ( "insert",
+        [
+          ("relation", J.Str relation);
+          ( "rows",
+            J.Arr
+              (List.map
+                 (fun row ->
+                   J.Arr (Array.to_list (Array.map json_of_value row)))
+                 rows) );
+        ] )
+  | Rank -> ("rank", [])
+  | Stats -> ("stats", [])
+  | Shutdown -> ("shutdown", [])
+
+let encode_request { id; session; request } =
+  let op, fields = request_fields request in
+  let session_field =
+    match session with None -> [] | Some s -> [ ("session", J.Str s) ]
+  in
+  J.to_string
+    (J.Obj
+       ((("id", J.Num (float_of_int id)) :: ("op", J.Str op) :: session_field)
+       @ fields))
+
+(* --- encoding: responses --- *)
+
+let result_json = function
+  | Pong -> J.Obj [ ("kind", J.Str "pong") ]
+  | Opened { session; relations; version } ->
+      J.Obj
+        [
+          ("kind", J.Str "opened");
+          ("session", J.Str session);
+          ("relations", J.Arr (List.map (fun r -> J.Str r) relations));
+          ("version", J.Num (float_of_int version));
+        ]
+  | Closed -> J.Obj [ ("kind", J.Str "closed") ]
+  | Evaluated { what; count; scheme; digest; rows } ->
+      J.Obj
+        ([
+           ("kind", J.Str "evaluated");
+           ("what", J.Str (what_name what));
+           ("count", J.Num (float_of_int count));
+           ("scheme", J.Arr (List.map (fun c -> J.Str c) scheme));
+           ("digest", J.Str digest);
+         ]
+        @
+        match rows with
+        | None -> []
+        | Some rows ->
+            [
+              ( "rows",
+                J.Arr
+                  (List.map
+                     (fun row -> J.Arr (List.map (fun c -> J.Str c) row))
+                     rows) );
+            ])
+  | Entries entries ->
+      J.Obj
+        [
+          ("kind", J.Str "entries");
+          ( "entries",
+            J.Arr
+              (List.map
+                 (fun e ->
+                   J.Obj
+                     ([
+                        ("entry", J.Num (float_of_int e.entry));
+                        ("label", J.Str e.label);
+                        ("graph", J.Str e.graph);
+                        ("active", J.Bool e.active);
+                      ]
+                     @
+                     match e.score with
+                     | None -> []
+                     | Some s -> [ ("score", J.Num (float_of_int s)) ]))
+                 entries) );
+        ]
+  | Inserted { fresh; version } ->
+      J.Obj
+        [
+          ("kind", J.Str "inserted");
+          ("fresh", J.Bool fresh);
+          ("version", J.Num (float_of_int version));
+        ]
+  | Stats_report counters ->
+      J.Obj
+        [
+          ("kind", J.Str "stats");
+          ("counters", J.Obj (List.map (fun (k, v) -> (k, J.Num v)) counters));
+        ]
+  | Bye -> J.Obj [ ("kind", J.Str "bye") ]
+
+let encode_response { id; result } =
+  let id_field =
+    match id with
+    | Some id -> [ ("id", J.Num (float_of_int id)) ]
+    | None -> [ ("id", J.Null) ]
+  in
+  match result with
+  | Ok r ->
+      J.to_string
+        (J.Obj (id_field @ [ ("ok", J.Bool true); ("result", result_json r) ]))
+  | Error (code, message) ->
+      J.to_string
+        (J.Obj
+           (id_field
+           @ [
+               ("ok", J.Bool false);
+               ( "error",
+                 J.Obj
+                   [
+                     ("code", J.Str (error_code_name code));
+                     ("message", J.Str message);
+                   ] );
+             ]))
+
+let ok id r = { id = Some id; result = Ok r }
+let error id code message = { id; result = Error (code, message) }
+
+(* --- parsing helpers --- *)
+
+exception Reject of string
+
+let reject fmt = Printf.ksprintf (fun m -> raise (Reject m)) fmt
+
+let str_field name j =
+  match J.member name j with
+  | Some (J.Str s) -> s
+  | Some _ -> reject "field %S must be a string" name
+  | None -> reject "missing field %S" name
+
+let int_field ?default name j =
+  match (J.member name j, default) with
+  | Some (J.Num f), _ when Float.is_integer f && Float.abs f <= 1e15 ->
+      int_of_float f
+  | Some _, _ -> reject "field %S must be an integer" name
+  | None, Some d -> d
+  | None, None -> reject "missing field %S" name
+
+let opt_int_field name j =
+  match J.member name j with
+  | None -> None
+  | Some (J.Num f) when Float.is_integer f && Float.abs f <= 1e15 ->
+      Some (int_of_float f)
+  | Some _ -> reject "field %S must be an integer" name
+
+(* --- parsing: requests --- *)
+
+let scenario_of_json j =
+  match str_field "kind" j with
+  | "paper" -> Paper
+  | "chain" ->
+      Chain
+        {
+          n = int_field "n" j;
+          rows = int_field "rows" j;
+          seed = int_field ~default:0 "seed" j;
+        }
+  | "star" ->
+      Star
+        {
+          leaves = int_field "leaves" j;
+          rows = int_field "rows" j;
+          seed = int_field ~default:0 "seed" j;
+        }
+  | k -> reject "unknown scenario kind %S" k
+
+let request_of_json j =
+  match str_field "op" j with
+  | "ping" -> Ping
+  | "open" -> (
+      match J.member "scenario" j with
+      | Some sc -> Open_session (scenario_of_json sc)
+      | None -> reject "missing field \"scenario\"")
+  | "close" -> Close_session
+  | "evaluate" ->
+      let what =
+        match str_field "what" j with
+        | "dg" -> Dg
+        | "fj" -> Fj
+        | "target" -> Target
+        | w -> reject "unknown evaluate target %S" w
+      in
+      Evaluate { what; limit = opt_int_field "limit" j }
+  | "offer" ->
+      Offer
+        {
+          start = str_field "start" j;
+          goal = str_field "goal" j;
+          max_len = int_field ~default:2 "max_len" j;
+        }
+  | "rotate" -> Rotate
+  | "select" -> Select { entry = int_field "entry" j }
+  | "delete" -> Delete { entry = int_field "entry" j }
+  | "confirm" -> Confirm
+  | "insert" ->
+      let rows =
+        match J.member "rows" j with
+        | Some (J.Arr rows) ->
+            List.map
+              (fun row ->
+                match row with
+                | J.Arr cells ->
+                    Array.of_list
+                      (List.map
+                         (fun c ->
+                           match value_of_json c with
+                           | Ok v -> v
+                           | Error m -> reject "%s" m)
+                         cells)
+                | _ -> reject "each row must be an array of cells")
+              rows
+        | Some _ -> reject "field \"rows\" must be an array"
+        | None -> reject "missing field \"rows\""
+      in
+      Insert { relation = str_field "relation" j; rows }
+  | "rank" -> Rank
+  | "stats" -> Stats
+  | "shutdown" -> Shutdown
+  | op -> reject "unknown op %S" op
+
+let parse_request line =
+  match J.parse line with
+  | Error msg -> Error (None, Parse_error, msg)
+  | Ok j -> (
+      let id =
+        match J.member "id" j with
+        | Some (J.Num f) when Float.is_integer f && f >= 0. && f <= 1e15 ->
+            Some (int_of_float f)
+        | _ -> None
+      in
+      match id with
+      | None ->
+          Error (None, Bad_request, "\"id\" must be a non-negative integer")
+      | Some id -> (
+          try
+            let session =
+              match J.member "session" j with
+              | Some (J.Str s) -> Some s
+              | Some J.Null | None -> None
+              | Some _ -> reject "field \"session\" must be a string"
+            in
+            Ok { id; session; request = request_of_json j }
+          with Reject msg -> Error (Some id, Bad_request, msg)))
+
+(* --- parsing: responses --- *)
+
+let result_of_json j =
+  match str_field "kind" j with
+  | "pong" -> Pong
+  | "opened" ->
+      Opened
+        {
+          session = str_field "session" j;
+          relations =
+            (match J.member "relations" j with
+            | Some (J.Arr rs) ->
+                List.map
+                  (function
+                    | J.Str s -> s | _ -> reject "relation names must be strings")
+                  rs
+            | _ -> reject "missing field \"relations\"");
+          version = int_field "version" j;
+        }
+  | "closed" -> Closed
+  | "evaluated" ->
+      Evaluated
+        {
+          what =
+            (match str_field "what" j with
+            | "dg" -> Dg
+            | "fj" -> Fj
+            | "target" -> Target
+            | w -> reject "unknown evaluate target %S" w);
+          count = int_field "count" j;
+          scheme =
+            (match J.member "scheme" j with
+            | Some (J.Arr cs) ->
+                List.map
+                  (function J.Str s -> s | _ -> reject "scheme must be strings")
+                  cs
+            | _ -> reject "missing field \"scheme\"");
+          digest = str_field "digest" j;
+          rows =
+            (match J.member "rows" j with
+            | None -> None
+            | Some (J.Arr rows) ->
+                Some
+                  (List.map
+                     (function
+                       | J.Arr cells ->
+                           List.map
+                             (function
+                               | J.Str s -> s
+                               | _ -> reject "row cells must be strings")
+                             cells
+                       | _ -> reject "rows must be arrays")
+                     rows)
+            | Some _ -> reject "field \"rows\" must be an array");
+        }
+  | "entries" ->
+      Entries
+        (match J.member "entries" j with
+        | Some (J.Arr es) ->
+            List.map
+              (fun e ->
+                {
+                  entry = int_field "entry" e;
+                  label = str_field "label" e;
+                  graph = str_field "graph" e;
+                  active =
+                    (match J.member "active" e with
+                    | Some (J.Bool b) -> b
+                    | _ -> reject "field \"active\" must be a boolean");
+                  score = opt_int_field "score" e;
+                })
+              es
+        | _ -> reject "missing field \"entries\"")
+  | "inserted" ->
+      Inserted
+        {
+          fresh =
+            (match J.member "fresh" j with
+            | Some (J.Bool b) -> b
+            | _ -> reject "field \"fresh\" must be a boolean");
+          version = int_field "version" j;
+        }
+  | "stats" ->
+      Stats_report
+        (match J.member "counters" j with
+        | Some (J.Obj fields) ->
+            List.map
+              (fun (k, v) ->
+                match v with
+                | J.Num f -> (k, f)
+                | _ -> reject "counter values must be numbers"
+                )
+              fields
+        | _ -> reject "missing field \"counters\"")
+  | "bye" -> Bye
+  | k -> reject "unknown result kind %S" k
+
+let parse_response line =
+  match J.parse line with
+  | Error msg -> Error msg
+  | Ok j -> (
+      try
+        let id =
+          match J.member "id" j with
+          | Some (J.Num f) when Float.is_integer f && f >= 0. && f <= 1e15 ->
+              Some (int_of_float f)
+          | Some J.Null -> None
+          | _ -> reject "\"id\" must be an integer or null"
+        in
+        match J.member "ok" j with
+        | Some (J.Bool true) -> (
+            match J.member "result" j with
+            | Some r -> Ok { id; result = Ok (result_of_json r) }
+            | None -> reject "missing field \"result\"")
+        | Some (J.Bool false) -> (
+            match J.member "error" j with
+            | Some e ->
+                let code_name = str_field "code" e in
+                let code =
+                  match error_code_of_name code_name with
+                  | Some c -> c
+                  | None -> reject "unknown error code %S" code_name
+                in
+                Ok { id; result = Error (code, str_field "message" e) }
+            | None -> reject "missing field \"error\"")
+        | _ -> reject "\"ok\" must be a boolean"
+      with Reject msg -> Error msg)

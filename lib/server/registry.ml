@@ -1,0 +1,172 @@
+type metrics = {
+  per_op : (string, int) Hashtbl.t;
+  mutable requests : int;
+  mutable errors : int;
+  mutable latencies_us : float list;  (** newest first *)
+  mutable latency_max : float;
+  mutable latency_sum : float;
+}
+
+type session = {
+  sid : string;
+  scenario : Protocol.scenario;
+  opened_at : float;
+  mutable ws : Clio.Workspace.t;
+  metrics : metrics;
+}
+
+type t = {
+  cache : Engine.Eval_cache.t option;
+  algorithm : Clio.Eval_ctx.algorithm;
+  jobs : int;
+  sessions : (string, session) Hashtbl.t;
+  mutable next_sid : int;
+  mutable opened_total : int;
+  mutable requests_total : int;
+  mutable errors_total : int;
+  mutable overloads_total : int;
+  started_at : float;
+}
+
+let create ?(algorithm = Clio.Eval_ctx.Indexed) ?jobs ?(no_cache = false)
+    ?cache_bytes () =
+  let jobs = match jobs with Some j -> j | None -> Par.default_jobs () in
+  let cache =
+    if no_cache then None
+    else Some (Engine.Eval_cache.create ?byte_budget:cache_bytes ())
+  in
+  {
+    cache;
+    algorithm;
+    jobs;
+    sessions = Hashtbl.create 16;
+    next_sid = 1;
+    opened_total = 0;
+    requests_total = 0;
+    errors_total = 0;
+    overloads_total = 0;
+    started_at = Unix.gettimeofday ();
+  }
+
+let cache t = t.cache
+let jobs t = t.jobs
+
+let open_session t spec =
+  let db, kb, mapping = Scenario.resolve spec in
+  let ctx =
+    match t.cache with
+    | Some cache ->
+        Clio.Eval_ctx.create ~algorithm:t.algorithm ~cache ~jobs:t.jobs ~kb db
+    | None ->
+        Clio.Eval_ctx.create ~algorithm:t.algorithm ~no_cache:true ~jobs:t.jobs
+          ~kb db
+  in
+  let ws = Clio.Workspace.create ctx mapping in
+  let sid = Printf.sprintf "s%d" t.next_sid in
+  t.next_sid <- t.next_sid + 1;
+  t.opened_total <- t.opened_total + 1;
+  let session =
+    {
+      sid;
+      scenario = spec;
+      opened_at = Unix.gettimeofday ();
+      ws;
+      metrics =
+        {
+          per_op = Hashtbl.create 8;
+          requests = 0;
+          errors = 0;
+          latencies_us = [];
+          latency_max = 0.;
+          latency_sum = 0.;
+        };
+    }
+  in
+  Hashtbl.replace t.sessions sid session;
+  session
+
+let find t sid = Hashtbl.find_opt t.sessions sid
+
+let close_session t sid =
+  if Hashtbl.mem t.sessions sid then begin
+    Hashtbl.remove t.sessions sid;
+    true
+  end
+  else false
+
+let session_count t = Hashtbl.length t.sessions
+
+let session_ids t =
+  Hashtbl.fold (fun sid _ acc -> sid :: acc) t.sessions []
+  |> List.sort compare
+
+let count_request t = t.requests_total <- t.requests_total + 1
+let count_error t = t.errors_total <- t.errors_total + 1
+let count_overload t = t.overloads_total <- t.overloads_total + 1
+let overloads t = t.overloads_total
+
+let record_op s ~op ~latency_us ~ok =
+  let m = s.metrics in
+  m.requests <- m.requests + 1;
+  if not ok then m.errors <- m.errors + 1;
+  Hashtbl.replace m.per_op op
+    (1 + Option.value ~default:0 (Hashtbl.find_opt m.per_op op));
+  m.latencies_us <- latency_us :: m.latencies_us;
+  m.latency_sum <- m.latency_sum +. latency_us;
+  if latency_us > m.latency_max then m.latency_max <- latency_us
+
+(* Nearest-rank percentile over the retained samples (same convention as
+   Obs.Histogram). *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (Float.ceil (q /. 100. *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let session_stats s =
+  let m = s.metrics in
+  let sorted = Array.of_list m.latencies_us in
+  Array.sort compare sorted;
+  let ops =
+    Hashtbl.fold
+      (fun op n acc -> ("session.ops." ^ op, float_of_int n) :: acc)
+      m.per_op []
+    |> List.sort compare
+  in
+  [
+    ("session.requests", float_of_int m.requests);
+    ("session.errors", float_of_int m.errors);
+    ( "session.latency_us.mean",
+      if m.requests = 0 then 0. else m.latency_sum /. float_of_int m.requests );
+    ("session.latency_us.p50", percentile sorted 50.);
+    ("session.latency_us.p99", percentile sorted 99.);
+    ("session.latency_us.max", m.latency_max);
+    ( "session.db_version",
+      float_of_int (Clio.Eval_ctx.version (Clio.Workspace.ctx s.ws)) );
+    ( "session.entries",
+      float_of_int (List.length (Clio.Workspace.entries s.ws)) );
+  ]
+  @ ops
+
+let server_stats t =
+  [
+    ("server.sessions.open", float_of_int (session_count t));
+    ("server.sessions.opened_total", float_of_int t.opened_total);
+    ("server.requests_total", float_of_int t.requests_total);
+    ("server.errors_total", float_of_int t.errors_total);
+    ("server.overloads_total", float_of_int t.overloads_total);
+    ("server.uptime_s", Unix.gettimeofday () -. t.started_at);
+    ("server.jobs", float_of_int t.jobs);
+  ]
+  @
+  match t.cache with
+  | None -> [ ("server.cache.enabled", 0.) ]
+  | Some cache ->
+      [
+        ("server.cache.enabled", 1.);
+        ( "server.cache.entries",
+          float_of_int (Engine.Eval_cache.entry_count cache) );
+        ( "server.cache.bytes_resident",
+          float_of_int (Engine.Eval_cache.bytes_resident cache) );
+      ]

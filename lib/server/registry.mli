@@ -1,0 +1,69 @@
+(** The session registry: many isolated refinement sessions over one
+    shared evaluation substrate.
+
+    Each session owns a {!Clio.Workspace.t} — and through it an
+    {!Engine.Eval_ctx} holding a private versioned {!Relational.Database}
+    view — while every context is built over the registry's single
+    {!Engine.Eval_cache} and jobs setting, so sessions opened from the
+    same scenario share memoized F(J)/D(G) results (version keys make the
+    sharing safe: a session that edits its database forks to fresh
+    versions and simply stops hitting the common entries).
+
+    Per-session counters and operation latencies are recorded here and
+    surfaced by the [stats] verb as [session.*] metrics. *)
+
+(** Per-session metric accumulators (opaque; read via {!session_stats}). *)
+type metrics
+
+type session = {
+  sid : string;
+  scenario : Protocol.scenario;
+  opened_at : float;
+  mutable ws : Clio.Workspace.t;
+  metrics : metrics;
+}
+
+type t
+
+val create :
+  ?algorithm:Clio.Eval_ctx.algorithm ->
+  ?jobs:int ->
+  ?no_cache:bool ->
+  ?cache_bytes:int ->
+  unit ->
+  t
+
+val cache : t -> Engine.Eval_cache.t option
+val jobs : t -> int
+
+(** Raises [Invalid_argument] on an invalid scenario spec. *)
+val open_session : t -> Protocol.scenario -> session
+
+val find : t -> string -> session option
+
+(** [true] when the session existed. *)
+val close_session : t -> string -> bool
+
+val session_count : t -> int
+val session_ids : t -> string list
+
+(** Bookkeeping used by the service/loop layers. *)
+
+val count_request : t -> unit
+val count_error : t -> unit
+val count_overload : t -> unit
+val overloads : t -> int
+
+(** [record_op s ~op ~latency_us ~ok] — bump the session's per-verb
+    counter and retain the latency sample. *)
+val record_op : session -> op:string -> latency_us:float -> ok:bool -> unit
+
+(** The [session.*] metrics of one session: request/error totals, per-verb
+    counts, latency mean/max and nearest-rank p50/p99 (µs), database
+    version, workspace entry count. *)
+val session_stats : session -> (string * float) list
+
+(** The [server.*] metrics: sessions open/opened, requests, errors,
+    overload rejections, uptime, and the shared cache's entry count and
+    resident bytes. *)
+val server_stats : t -> (string * float) list

@@ -1,0 +1,224 @@
+open Relational
+module P = Protocol
+
+type t = {
+  registry : Registry.t;
+  mutable draining : bool;
+  mutable extra_stats : unit -> (string * float) list;
+}
+
+let create registry = { registry; draining = false; extra_stats = (fun () -> []) }
+let registry t = t.registry
+let set_extra_stats t f = t.extra_stats <- f
+let draining t = t.draining
+
+let digest_of rel = Digest.to_hex (Digest.string (Render.relation rel))
+
+let scheme_of rel =
+  Array.to_list (Array.map Attr.to_string (Schema.attrs (Relation.schema rel)))
+
+let rows_of rel limit =
+  match limit with
+  | None -> None
+  | Some k ->
+      let rows = ref [] and taken = ref 0 in
+      (try
+         Relation.iter
+           (fun tup ->
+             if !taken >= k then raise Exit;
+             incr taken;
+             rows := Array.to_list (Array.map Value.to_string tup) :: !rows)
+           rel
+       with Exit -> ());
+      Some (List.rev !rows)
+
+let entry_infos ?scores ws =
+  let active = (Clio.Workspace.active ws).Clio.Workspace.id in
+  List.map
+    (fun (e : Clio.Workspace.entry) ->
+      {
+        P.entry = e.id;
+        label = e.label;
+        graph = Querygraph.Qgraph.to_string e.mapping.Clio.Mapping.graph;
+        active = e.id = active;
+        score =
+          (match scores with
+          | None -> None
+          | Some tbl -> Hashtbl.find_opt tbl e.id);
+      })
+    (Clio.Workspace.entries ws)
+
+let evaluate session what limit =
+  let ws = session.Registry.ws in
+  let ctx = Clio.Workspace.ctx ws in
+  let mapping = (Clio.Workspace.active ws).Clio.Workspace.mapping in
+  let rel =
+    match what with
+    | P.Target -> Clio.Workspace.target_view ws
+    | P.Dg ->
+        Fulldisj.Full_disjunction.to_relation
+          (Clio.Mapping_eval.data_associations ctx mapping)
+    | P.Fj -> Clio.Eval_ctx.full_associations ctx mapping.Clio.Mapping.graph
+  in
+  P.Evaluated
+    {
+      what;
+      count = Relation.cardinality rel;
+      scheme = scheme_of rel;
+      digest = digest_of rel;
+      rows = rows_of rel limit;
+    }
+
+let offer session ~start ~goal ~max_len =
+  let ws = session.Registry.ws in
+  let ctx = Clio.Workspace.ctx ws in
+  let mapping = (Clio.Workspace.active ws).Clio.Workspace.mapping in
+  let alts = Clio.Op_walk.data_walk ctx mapping ~start ~goal ~max_len () in
+  if alts = [] then
+    invalid_arg
+      (Printf.sprintf "no walks from %s to %s within %d steps" start goal
+         max_len)
+  else begin
+    let mappings = List.map (fun a -> a.Clio.Op_walk.mapping) alts in
+    let labels = List.map (fun a -> a.Clio.Op_walk.description) alts in
+    session.Registry.ws <- Clio.Workspace.offer ws ~labels mappings;
+    P.Entries (entry_infos session.Registry.ws)
+  end
+
+let rank session =
+  let ws = session.Registry.ws in
+  let kb = Clio.Workspace.kb ws in
+  let old = (Clio.Workspace.active ws).Clio.Workspace.mapping.Clio.Mapping.graph in
+  let scores = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Clio.Workspace.entry) ->
+      Hashtbl.replace scores e.id
+        (Schemakb.Rank.total
+           (Schemakb.Rank.score ~kb ~old e.mapping.Clio.Mapping.graph)))
+    (Clio.Workspace.entries ws);
+  P.Entries (entry_infos ~scores ws)
+
+(* Execute a session verb against [session], mutating [session.ws]. *)
+let run_session_verb t session request =
+  let ws = session.Registry.ws in
+  match request with
+  | P.Close_session ->
+      ignore (Registry.close_session t.registry session.Registry.sid);
+      P.Closed
+  | P.Evaluate { what; limit } -> evaluate session what limit
+  | P.Offer { start; goal; max_len } -> offer session ~start ~goal ~max_len
+  | P.Rotate ->
+      session.Registry.ws <- Clio.Workspace.rotate ws;
+      P.Entries (entry_infos session.Registry.ws)
+  | P.Select { entry } ->
+      session.Registry.ws <- Clio.Workspace.select ws entry;
+      P.Entries (entry_infos session.Registry.ws)
+  | P.Delete { entry } ->
+      session.Registry.ws <- Clio.Workspace.delete ws entry;
+      P.Entries (entry_infos session.Registry.ws)
+  | P.Confirm ->
+      session.Registry.ws <- Clio.Workspace.confirm ws;
+      P.Entries (entry_infos session.Registry.ws)
+  | P.Insert { relation; rows } ->
+      let before = Database.version (Clio.Workspace.db ws) in
+      session.Registry.ws <- Clio.Workspace.add_tuples ws relation rows;
+      let after = Database.version (Clio.Workspace.db session.Registry.ws) in
+      P.Inserted { fresh = after <> before; version = after }
+  | P.Rank -> rank session
+  | P.Stats -> P.Stats_report (Registry.session_stats session)
+  | P.Ping | P.Open_session _ | P.Shutdown ->
+      assert false (* handled before session dispatch *)
+
+let verb_name = function
+  | P.Ping -> "ping"
+  | P.Open_session _ -> "open"
+  | P.Close_session -> "close"
+  | P.Evaluate _ -> "evaluate"
+  | P.Offer _ -> "offer"
+  | P.Rotate -> "rotate"
+  | P.Select _ -> "select"
+  | P.Delete _ -> "delete"
+  | P.Confirm -> "confirm"
+  | P.Insert _ -> "insert"
+  | P.Rank -> "rank"
+  | P.Stats -> "stats"
+  | P.Shutdown -> "shutdown"
+
+let handle t (env : P.envelope) =
+  Registry.count_request t.registry;
+  let id = env.id in
+  let reply =
+    if t.draining && env.request <> P.Shutdown then
+      P.error (Some id) P.Unavailable "server is draining"
+    else
+      match env.request with
+      | P.Ping -> P.ok id P.Pong
+      | P.Stats when env.session = None ->
+          (* Server-wide stats, including the transport's gauges. *)
+          P.ok id
+            (P.Stats_report
+               (Registry.server_stats t.registry @ t.extra_stats ()))
+      | P.Shutdown ->
+          t.draining <- true;
+          P.ok id P.Bye
+      | P.Open_session spec -> begin
+          match Scenario.validate spec with
+          | Error msg -> P.error (Some id) P.Bad_request msg
+          | Ok () ->
+              let session = Registry.open_session t.registry spec in
+              let db = Clio.Workspace.db session.Registry.ws in
+              P.ok id
+                (P.Opened
+                   {
+                     session = session.Registry.sid;
+                     relations = Database.relation_names db;
+                     version = Database.version db;
+                   })
+        end
+      | request -> begin
+          match env.session with
+          | None ->
+              P.error (Some id) P.Bad_request
+                "this request needs a \"session\" field"
+          | Some sid -> begin
+              match Registry.find t.registry sid with
+              | None ->
+                  P.error (Some id) P.Unknown_session
+                    (Printf.sprintf "no session %S" sid)
+              | Some session ->
+                  let t0 = Unix.gettimeofday () in
+                  let reply =
+                    match run_session_verb t session request with
+                    | result -> P.ok id result
+                    | exception Invalid_argument msg ->
+                        P.error (Some id) P.Bad_request msg
+                    | exception Not_found ->
+                        P.error (Some id) P.Bad_request "unknown entry"
+                    | exception exn ->
+                        P.error (Some id) P.Internal (Printexc.to_string exn)
+                  in
+                  let latency_us =
+                    (Unix.gettimeofday () -. t0) *. 1_000_000.
+                  in
+                  Registry.record_op session ~op:(verb_name request)
+                    ~latency_us
+                    ~ok:(Stdlib.Result.is_ok reply.P.result);
+                  reply
+            end
+        end
+  in
+  (match reply.P.result with
+  | Ok _ -> ()
+  | Error _ -> Registry.count_error t.registry);
+  reply
+
+let handle_frame t line =
+  let reply =
+    match P.parse_request line with
+    | Error (id, code, msg) ->
+        Registry.count_request t.registry;
+        Registry.count_error t.registry;
+        P.error id code msg
+    | Ok env -> handle t env
+  in
+  P.encode_response reply

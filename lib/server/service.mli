@@ -1,0 +1,29 @@
+(** The request executor: one {!Protocol.envelope} in, one
+    {!Protocol.response} out, against the shared {!Registry}.
+
+    This layer is transport-free — the event loop ({!Loop}) and the
+    in-process load generator ({!Loadgen}) both drive it — and owns the
+    error discipline: session-verb exceptions ([Invalid_argument],
+    [Not_found]) become [Bad_request] replies, anything unexpected becomes
+    [Internal], and nothing escapes to the caller.  Per-session [session.*]
+    metrics (verb counts, latency percentiles) are recorded here, around
+    each executed request. *)
+
+type t
+
+val create : Registry.t -> t
+val registry : t -> Registry.t
+
+(** Set once by the event loop: extra [server.*] gauges (queue depth,
+    connection count) appended to no-session [stats] replies. *)
+val set_extra_stats : t -> (unit -> (string * float) list) -> unit
+
+(** [true] after a [shutdown] request was accepted: the owner should stop
+    admitting work, finish what is queued, and exit. *)
+val draining : t -> bool
+
+val handle : t -> Protocol.envelope -> Protocol.response
+
+(** Parse one frame, execute it, encode the reply (no trailing newline).
+    Malformed frames yield an encoded error reply, never an exception. *)
+val handle_frame : t -> string -> string

@@ -422,6 +422,95 @@ let test_metrics_export_rejects_garbage () =
       ("counters not an object", {|{"schema_version": 1, "counters": []}|});
     ]
 
+(* --- hostile-input fuzzing of the Json parser ---
+
+   Json frames now arrive over clio_serve's socket from arbitrary peers,
+   so the parser must be total: any byte string yields [Ok] or [Error],
+   never an exception (Stack_overflow included) and never a hang. *)
+
+let parse_total s =
+  match Obs.Json.parse s with Ok _ -> true | Error _ -> true
+
+let test_json_hostile_nesting () =
+  (* 100k unclosed '['s: an error, not a stack overflow. *)
+  (match Obs.Json.parse (String.make 100_000 '[') with
+  | Ok _ -> Alcotest.fail "unterminated arrays accepted"
+  | Error _ -> ());
+  let deep n = String.make n '[' ^ "1" ^ String.make n ']' in
+  (match Obs.Json.parse (deep (Obs.Json.max_depth + 50)) with
+  | Ok _ -> Alcotest.fail "nesting beyond max_depth accepted"
+  | Error msg ->
+      Alcotest.(check bool) "depth error mentions nesting" true
+        (String.length msg > 0));
+  match Obs.Json.parse (deep 100) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "depth 100 should parse: %s" msg
+
+let test_json_hostile_numbers () =
+  (* Overflowing/underflowing literals must not raise; what they decode
+     to (infinity is fine for a diagnostics format) is emit's problem. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "total on %s" s) true
+        (parse_total s))
+    [
+      "1e309";
+      "-1e309";
+      "1e-400";
+      String.make 5000 '9';
+      "1e999999999";
+      "-0.0000000000000000000000000001";
+      "9007199254740993";
+    ]
+
+let json_gen : Obs.Json.t QCheck2.Gen.t =
+  QCheck2.Gen.(
+    sized @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [
+              return Obs.Json.Null;
+              map (fun b -> Obs.Json.Bool b) bool;
+              map (fun f -> Obs.Json.Num f) (float_bound_inclusive 1e6);
+              map (fun s -> Obs.Json.Str s) (string_size (int_bound 12));
+            ]
+        in
+        if n <= 0 then leaf
+        else
+          oneof
+            [
+              leaf;
+              map
+                (fun l -> Obs.Json.Arr l)
+                (list_size (int_bound 4) (self (n / 2)));
+              map
+                (fun l -> Obs.Json.Obj l)
+                (list_size (int_bound 4)
+                   (pair (string_size (int_bound 8)) (self (n / 2))));
+            ]))
+
+let fuzz_json_random_bytes =
+  QCheck2.Test.make ~name:"parser total on random bytes" ~count:1000
+    QCheck2.Gen.(string_size (int_bound 300))
+    parse_total
+
+let fuzz_json_truncated_mutated =
+  QCheck2.Test.make ~name:"parser total on truncated/corrupted documents"
+    ~count:500
+    QCheck2.Gen.(triple json_gen (int_bound 10_000) (int_bound 255))
+    (fun (doc, cut, byte) ->
+      let s = Obs.Json.to_string doc in
+      let truncated = String.sub s 0 (min cut (String.length s)) in
+      let mutated =
+        if s = "" then s
+        else begin
+          let b = Bytes.of_string s in
+          Bytes.set b (cut mod Bytes.length b) (Char.chr byte);
+          Bytes.to_string b
+        end
+      in
+      parse_total truncated && parse_total mutated)
+
 (* --- Bench_compare --- *)
 
 let bench_doc ~time_ns ~checks ~minor =
@@ -655,6 +744,13 @@ let () =
             test_json_escape_controls;
           tc "json lines parse with depths" `Quick test_json_lines_valid;
           tc "text export" `Quick test_text_export;
+        ] );
+      ( "json-fuzz",
+        [
+          tc "hostile nesting" `Quick test_json_hostile_nesting;
+          tc "hostile numbers" `Quick test_json_hostile_numbers;
+          QCheck_alcotest.to_alcotest ~long:false fuzz_json_random_bytes;
+          QCheck_alcotest.to_alcotest ~long:false fuzz_json_truncated_mutated;
         ] );
       ( "metrics-export",
         [

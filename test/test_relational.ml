@@ -563,13 +563,31 @@ let test_history_bounded () =
     List.fold_left
       (fun db i -> Database.insert_tuples db "R" [ Tuple.make [ v_int (100 + i); v_int i ] ])
       delta_db
-      (List.init (Database.history_limit + 8) Fun.id)
+      (List.init (Database.history_limit () + 8) Fun.id)
   in
-  Alcotest.(check int) "window bounded" Database.history_limit
+  Alcotest.(check int) "window bounded" (Database.history_limit ())
     (List.length (Database.history db));
   (* Beyond the window the ancestor is unreachable. *)
   Alcotest.(check bool) "pre-window ancestor unreachable" true
     (Database.deltas_from db (Database.version delta_db) = None)
+
+let test_history_limit_setting () =
+  let saved = Database.history_limit () in
+  Fun.protect
+    ~finally:(fun () -> Database.set_history_limit saved)
+    (fun () ->
+      Database.set_history_limit 4;
+      let db =
+        List.fold_left
+          (fun db i ->
+            Database.insert_tuples db "R" [ Tuple.make [ v_int (200 + i); v_int i ] ])
+          delta_db
+          (List.init 10 Fun.id)
+      in
+      Alcotest.(check int) "narrow window" 4 (List.length (Database.history db));
+      Alcotest.check_raises "limit must be positive"
+        (Invalid_argument "Database.set_history_limit: limit must be >= 1")
+        (fun () -> Database.set_history_limit 0))
 
 (* --- CSV --- *)
 
@@ -708,6 +726,7 @@ let () =
           tc "replace classification" `Quick test_replace_delta_classification;
           tc "deltas_from" `Quick test_deltas_from;
           tc "history bounded" `Quick test_history_bounded;
+          tc "history limit setting" `Quick test_history_limit_setting;
         ] );
       ( "csv",
         [

@@ -1,0 +1,512 @@
+(* The server test suite: protocol round-trips for every request and
+   response variant, registry/service semantics in process, and a
+   socket-level integration test against a spawned clio_serve.
+
+   The integration test starts the real binary with Unix.create_process
+   (never fork: the test runner may hold a domain pool under CLIO_JOBS,
+   and forking a multi-domain OCaml 5 process is undefined). *)
+
+open Server
+module P = Protocol
+module V = Relational.Value
+
+(* --- protocol round-trips --- *)
+
+let all_requests : P.envelope list =
+  let e ?session id request = { P.id; session; request } in
+  [
+    e 0 P.Ping;
+    e 1 (P.Open_session P.Paper);
+    e 2 (P.Open_session (P.Chain { n = 3; rows = 100; seed = 7 }));
+    e 3 (P.Open_session (P.Star { leaves = 4; rows = 50; seed = 0 }));
+    e ~session:"s1" 4 P.Close_session;
+    e ~session:"s1" 5 (P.Evaluate { what = P.Dg; limit = None });
+    e ~session:"s1" 6 (P.Evaluate { what = P.Fj; limit = Some 10 });
+    e ~session:"s1" 7 (P.Evaluate { what = P.Target; limit = Some 0 });
+    e ~session:"s1" 8 (P.Offer { start = "Children"; goal = "PhoneDir"; max_len = 2 });
+    e ~session:"s1" 9 P.Rotate;
+    e ~session:"s1" 10 (P.Select { entry = 3 });
+    e ~session:"s1" 11 (P.Delete { entry = 2 });
+    e ~session:"s1" 12 P.Confirm;
+    e ~session:"s1" 13
+      (P.Insert
+         {
+           relation = "Children";
+           rows =
+             [
+               [| V.String "a\"b\\c"; V.Null; V.Int (-3) |];
+               [| V.Float 1.5; V.Bool true; V.String "\n\t" |];
+             ];
+         });
+    e ~session:"s1" 14 P.Rank;
+    e ~session:"s2" 15 P.Stats;
+    e 16 P.Stats;
+    e 17 P.Shutdown;
+  ]
+
+let all_responses : P.response list =
+  [
+    P.ok 0 P.Pong;
+    P.ok 1
+      (P.Opened { session = "s1"; relations = [ "A"; "B" ]; version = 12 });
+    P.ok 2 P.Closed;
+    P.ok 3
+      (P.Evaluated
+         {
+           what = P.Dg;
+           count = 9;
+           scheme = [ "C.id"; "P.id" ];
+           digest = "d41d8cd98f00b204e9800998ecf8427e";
+           rows = None;
+         });
+    P.ok 4
+      (P.Evaluated
+         {
+           what = P.Target;
+           count = 2;
+           scheme = [ "name" ];
+           digest = "x";
+           rows = Some [ [ "Zoe"; "7" ]; [ "Ann"; "" ] ];
+         });
+    P.ok 5
+      (P.Entries
+         [
+           {
+             P.entry = 1;
+             label = "walk via Parents2";
+             graph = "Children -- Parents2";
+             active = true;
+             score = Some 3;
+           };
+           { P.entry = 2; label = ""; graph = "g"; active = false; score = None };
+         ]);
+    P.ok 6 (P.Inserted { fresh = true; version = 44 });
+    P.ok 7 (P.Stats_report [ ("server.requests_total", 12.); ("x.y", 0.5) ]);
+    P.ok 8 P.Bye;
+    P.error (Some 9) P.Parse_error "bad frame";
+    P.error None P.Bad_request "no op";
+    P.error (Some 11) P.Unknown_session "no session \"s9\"";
+    P.error (Some 12) P.Overloaded "queue full";
+    P.error (Some 13) P.Unavailable "draining";
+    P.error (Some 14) P.Internal "boom";
+  ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun env ->
+      let line = P.encode_request env in
+      match P.parse_request line with
+      | Error (_, _, msg) -> Alcotest.failf "%s did not parse: %s" line msg
+      | Ok env' ->
+          Alcotest.(check string)
+            (Printf.sprintf "request %d round-trips" env.P.id)
+            line (P.encode_request env'))
+    all_requests
+
+let test_response_roundtrip () =
+  List.iter
+    (fun resp ->
+      let line = P.encode_response resp in
+      match P.parse_response line with
+      | Error msg -> Alcotest.failf "%s did not parse: %s" line msg
+      | Ok resp' ->
+          Alcotest.(check string) "response round-trips" line
+            (P.encode_response resp'))
+    all_responses
+
+let test_parse_request_rejects () =
+  let cases =
+    [
+      ("not json", "{oops", P.Parse_error, None);
+      ("not an object", "[1,2]", P.Bad_request, None);
+      ("missing id", {|{"op":"ping"}|}, P.Bad_request, None);
+      ("fractional id", {|{"id":1.5,"op":"ping"}|}, P.Bad_request, None);
+      ("negative id", {|{"id":-1,"op":"ping"}|}, P.Bad_request, None);
+      ("missing op", {|{"id":3}|}, P.Bad_request, Some 3);
+      ("unknown op", {|{"id":4,"op":"frobnicate"}|}, P.Bad_request, Some 4);
+      ( "bad scenario",
+        {|{"id":5,"op":"open","scenario":{"kind":"cube"}}|},
+        P.Bad_request,
+        Some 5 );
+      ( "bad what",
+        {|{"id":6,"op":"evaluate","session":"s1","what":"qq"}|},
+        P.Bad_request,
+        Some 6 );
+      ( "non-finite via huge literal is a number, id recovered",
+        {|{"id":7,"op":"evaluate","session":"s1","what":"dg","limit":"x"}|},
+        P.Bad_request,
+        Some 7 );
+    ]
+  in
+  List.iter
+    (fun (label, line, code, id) ->
+      match P.parse_request line with
+      | Ok _ -> Alcotest.failf "%s unexpectedly parsed" label
+      | Error (id', code', _) ->
+          Alcotest.(check string) (label ^ ": code") (P.error_code_name code)
+            (P.error_code_name code');
+          Alcotest.(check (option int)) (label ^ ": id recovered") id id')
+    cases
+
+(* --- in-process service semantics --- *)
+
+let with_service f =
+  let registry = Registry.create ~jobs:1 () in
+  f (Service.create registry)
+
+let ok_result label = function
+  | { P.result = Ok r; _ } -> r
+  | { P.result = Error (code, msg); _ } ->
+      Alcotest.failf "%s failed: %s (%s)" label (P.error_code_name code) msg
+
+let test_service_session_flow () =
+  with_service @@ fun service ->
+  let next = ref 0 in
+  let call ?session request =
+    incr next;
+    Service.handle service { P.id = !next; session; request }
+  in
+  let sid =
+    match ok_result "open" (call (P.Open_session P.Paper)) with
+    | P.Opened { session; relations; _ } ->
+        Alcotest.(check bool) "paper relations present" true
+          (List.mem "Children" relations);
+        session
+    | _ -> Alcotest.fail "expected Opened"
+  in
+  (match
+     ok_result "offer"
+       (call ~session:sid
+          (P.Offer { start = "Children"; goal = "PhoneDir"; max_len = 2 }))
+   with
+  | P.Entries entries ->
+      Alcotest.(check bool) "offer yields alternatives" true
+        (List.length entries >= 2)
+  | _ -> Alcotest.fail "expected Entries");
+  let digest_of what =
+    match
+      ok_result "evaluate" (call ~session:sid (P.Evaluate { what; limit = Some 5 }))
+    with
+    | P.Evaluated info -> info
+    | _ -> Alcotest.fail "expected Evaluated"
+  in
+  let dg = digest_of P.Dg in
+  Alcotest.(check bool) "D(G) nonempty" true (dg.P.count > 0);
+  Alcotest.(check int) "rows honoured" (min 5 dg.P.count)
+    (List.length (Option.get dg.P.rows));
+  (match ok_result "rank" (call ~session:sid P.Rank) with
+  | P.Entries entries ->
+      List.iter
+        (fun e ->
+          Alcotest.(check bool) "rank fills scores" true (e.P.score <> None))
+        entries
+  | _ -> Alcotest.fail "expected Entries");
+  (* Unknown relation in insert → Bad_request, session survives. *)
+  (match
+     call ~session:sid (P.Insert { relation = "Nope"; rows = [ [| V.Int 1 |] ] })
+   with
+  | { P.result = Error (P.Bad_request, _); _ } -> ()
+  | _ -> Alcotest.fail "bad insert should be Bad_request");
+  (match ok_result "stats" (call ~session:sid P.Stats) with
+  | P.Stats_report kvs ->
+      let get k = List.assoc k kvs in
+      Alcotest.(check bool) "session.requests counted" true
+        (get "session.requests" >= 4.);
+      Alcotest.(check bool) "session.errors counted" true
+        (get "session.errors" >= 1.);
+      Alcotest.(check bool) "per-verb counter present" true
+        (List.mem_assoc "session.ops.evaluate" kvs)
+  | _ -> Alcotest.fail "expected Stats_report");
+  (match ok_result "server stats" (call P.Stats) with
+  | P.Stats_report kvs ->
+      Alcotest.(check bool) "server.sessions.open" true
+        (List.assoc "server.sessions.open" kvs = 1.)
+  | _ -> Alcotest.fail "expected Stats_report");
+  (match call ~session:"s999" P.Rotate with
+  | { P.result = Error (P.Unknown_session, _); _ } -> ()
+  | _ -> Alcotest.fail "unknown session should be rejected");
+  (match ok_result "close" (call ~session:sid P.Close_session) with
+  | P.Closed -> ()
+  | _ -> Alcotest.fail "expected Closed");
+  match call ~session:sid P.Rotate with
+  | { P.result = Error (P.Unknown_session, _); _ } -> ()
+  | _ -> Alcotest.fail "closed session should be gone"
+
+let test_service_isolation_and_sharing () =
+  with_service @@ fun service ->
+  let next = ref 0 in
+  let call ?session request =
+    incr next;
+    Service.handle service { P.id = !next; session; request }
+  in
+  let open_one () =
+    match ok_result "open" (call (P.Open_session P.Paper)) with
+    | P.Opened { session; version; _ } -> (session, version)
+    | _ -> Alcotest.fail "expected Opened"
+  in
+  let s1, v1 = open_one () in
+  let s2, v2 = open_one () in
+  Alcotest.(check int) "same resolved database version (shared cache keys)" v1
+    v2;
+  let digest sid =
+    match
+      ok_result "evaluate"
+        (call ~session:sid (P.Evaluate { what = P.Dg; limit = None }))
+    with
+    | P.Evaluated info -> info.P.digest
+    | _ -> Alcotest.fail "expected Evaluated"
+  in
+  let d1 = digest s1 in
+  (* s2 inserts: it forks to a fresh version; s1's view must not move. *)
+  (match
+     ok_result "insert"
+       (call ~session:s2
+          (P.Insert
+             {
+               relation = "Children";
+               rows =
+                 [
+                   [|
+                     V.String "999"; V.String "New"; V.Int 1; V.String "103";
+                     V.String "104"; V.String "d31";
+                   |];
+                 ];
+             }))
+   with
+  | P.Inserted { fresh; version } ->
+      Alcotest.(check bool) "insert forks a fresh version" true fresh;
+      Alcotest.(check bool) "version advanced" true (version > v2)
+  | _ -> Alcotest.fail "expected Inserted");
+  Alcotest.(check string) "s1 unaffected by s2's insert" d1 (digest s1);
+  Alcotest.(check bool) "s2 sees its own insert" true (digest s2 <> d1)
+
+let test_service_draining () =
+  with_service @@ fun service ->
+  let resp = Service.handle service { P.id = 1; session = None; request = P.Shutdown } in
+  (match resp.P.result with
+  | Ok P.Bye -> ()
+  | _ -> Alcotest.fail "expected Bye");
+  Alcotest.(check bool) "draining flag set" true (Service.draining service);
+  match Service.handle service { P.id = 2; session = None; request = P.Ping } with
+  | { P.result = Error (P.Unavailable, _); _ } -> ()
+  | _ -> Alcotest.fail "requests while draining should be Unavailable"
+
+(* --- load generator, in process --- *)
+
+let test_loadgen_inprocess_verified () =
+  with_service @@ fun service ->
+  let spec =
+    { Loadgen.scenario = P.Paper; clients = 4; ops = 12; limit = None }
+  in
+  let o = Loadgen.run_inprocess ~verify:true service spec in
+  Alcotest.(check int) "no protocol errors" 0 o.Loadgen.errors;
+  Alcotest.(check (option int)) "byte-identical vs sequential replay" (Some 0)
+    o.Loadgen.mismatches;
+  Alcotest.(check bool) "every client evaluated" true
+    (Array.for_all (fun ds -> List.length ds = 4) o.Loadgen.digests)
+
+(* --- socket integration against a spawned clio_serve --- *)
+
+(* Relative to the test binary, not the cwd, so both [dune runtest] and a
+   by-hand [dune exec test/test_server.exe] find it. *)
+let serve_exe =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "clio_serve.exe"))
+
+type client = { fd : Unix.file_descr; mutable carry : string }
+
+let connect_retry path =
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> { fd; carry = "" }
+    | exception Unix.Unix_error _ when Unix.gettimeofday () < deadline ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        ignore (Unix.select [] [] [] 0.05);
+        go ()
+  in
+  go ()
+
+let send_raw c s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write c.fd b !written (len - !written)
+  done
+
+let recv_line c =
+  let rec go () =
+    match String.index_opt c.carry '\n' with
+    | Some i ->
+        let line = String.sub c.carry 0 i in
+        c.carry <- String.sub c.carry (i + 1) (String.length c.carry - i - 1);
+        line
+    | None ->
+        let chunk = Bytes.create 65536 in
+        let n = Unix.read c.fd chunk 0 (Bytes.length chunk) in
+        if n = 0 then failwith "server closed connection";
+        c.carry <- c.carry ^ Bytes.sub_string chunk 0 n;
+        go ()
+  in
+  go ()
+
+let rpc c env =
+  send_raw c (P.encode_request env ^ "\n");
+  match P.parse_response (recv_line c) with
+  | Ok r -> r
+  | Error msg -> failwith ("bad reply: " ^ msg)
+
+let with_server ~args f =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "clio-test-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process serve_exe
+      (Array.of_list
+         ([ "clio_serve"; "serve"; "--socket"; path; "--jobs"; "1" ] @ args))
+      null null Unix.stderr
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close null;
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () -> f path pid)
+
+let test_socket_session () =
+  with_server ~args:[] @@ fun path _pid ->
+  let c = connect_retry path in
+  (match rpc c { P.id = 1; session = None; request = P.Ping } with
+  | { P.result = Ok P.Pong; id = Some 1 } -> ()
+  | _ -> Alcotest.fail "expected pong");
+  let sid =
+    match rpc c { P.id = 2; session = None; request = P.Open_session P.Paper } with
+    | { P.result = Ok (P.Opened { session; _ }); _ } -> session
+    | _ -> Alcotest.fail "expected Opened"
+  in
+  let digest =
+    match
+      rpc c
+        {
+          P.id = 3;
+          session = Some sid;
+          request = P.Evaluate { what = P.Dg; limit = None };
+        }
+    with
+    | { P.result = Ok (P.Evaluated info); _ } -> info.P.digest
+    | _ -> Alcotest.fail "expected Evaluated"
+  in
+  Alcotest.(check int) "md5 hex digest" 32 (String.length digest);
+  (* A malformed frame draws an error reply and the connection survives. *)
+  send_raw c "{oops\n";
+  (match P.parse_response (recv_line c) with
+  | Ok { P.result = Error (P.Parse_error, _); _ } -> ()
+  | _ -> Alcotest.fail "expected parse_error reply");
+  (match rpc c { P.id = 4; session = Some sid; request = P.Confirm } with
+  | { P.result = Ok (P.Entries _); _ } -> ()
+  | _ -> Alcotest.fail "connection should survive the bad frame");
+  (match rpc c { P.id = 5; session = Some sid; request = P.Stats } with
+  | { P.result = Ok (P.Stats_report kvs); _ } ->
+      Alcotest.(check bool) "session.requests visible" true
+        (List.mem_assoc "session.requests" kvs)
+  | _ -> Alcotest.fail "expected Stats_report");
+  (match rpc c { P.id = 6; session = None; request = P.Stats } with
+  | { P.result = Ok (P.Stats_report kvs); _ } ->
+      Alcotest.(check bool) "queue gauges visible" true
+        (List.mem_assoc "server.queue.capacity" kvs)
+  | _ -> Alcotest.fail "expected server stats");
+  (match rpc c { P.id = 7; session = Some sid; request = P.Close_session } with
+  | { P.result = Ok P.Closed; _ } -> ()
+  | _ -> Alcotest.fail "expected Closed");
+  Unix.close c.fd
+
+let test_socket_overload_backpressure () =
+  with_server ~args:[ "--queue"; "2" ] @@ fun path _pid ->
+  let c = connect_retry path in
+  (* One write carrying many pings: the loop admits up to the queue bound
+     per pass and answers the rest with overloaded — the connection must
+     survive and every request must get a correlated reply. *)
+  let burst = 64 in
+  let frames = Buffer.create 1024 in
+  for i = 1 to burst do
+    Buffer.add_string frames
+      (P.encode_request { P.id = i; session = None; request = P.Ping } ^ "\n")
+  done;
+  send_raw c (Buffer.contents frames);
+  let pongs = ref 0 and overloads = ref 0 in
+  for _ = 1 to burst do
+    match P.parse_response (recv_line c) with
+    | Ok { P.result = Ok P.Pong; _ } -> incr pongs
+    | Ok { P.result = Error (P.Overloaded, _); id = Some _ } -> incr overloads
+    | Ok r -> Alcotest.failf "unexpected reply %s" (P.encode_response r)
+    | Error msg -> Alcotest.failf "bad reply: %s" msg
+  done;
+  Alcotest.(check int) "every frame answered" burst (!pongs + !overloads);
+  Alcotest.(check bool) "backpressure engaged" true (!overloads > 0);
+  Alcotest.(check bool) "some requests still served" true (!pongs > 0);
+  (* And the connection is still usable afterwards. *)
+  (match rpc c { P.id = 9999; session = None; request = P.Ping } with
+  | { P.result = Ok P.Pong; _ } -> ()
+  | _ -> Alcotest.fail "connection should survive overload");
+  Unix.close c.fd
+
+let test_socket_shutdown_drains () =
+  with_server ~args:[] @@ fun path pid ->
+  let c = connect_retry path in
+  (match rpc c { P.id = 1; session = None; request = P.Shutdown } with
+  | { P.result = Ok P.Bye; _ } -> ()
+  | _ -> Alcotest.fail "expected Bye");
+  Unix.close c.fd;
+  let _, status = Unix.waitpid [] pid in
+  match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "server exited %d" n
+  | _ -> Alcotest.fail "server did not exit cleanly"
+
+let test_socket_loadgen () =
+  with_server ~args:[] @@ fun path _pid ->
+  ignore (connect_retry path).fd;
+  let spec =
+    { Loadgen.scenario = P.Paper; clients = 4; ops = 12; limit = None }
+  in
+  let o = Loadgen.run_socket ~verify:true ~address:(Loop.Unix_path path) spec in
+  Alcotest.(check int) "no protocol errors" 0 o.Loadgen.errors;
+  Alcotest.(check (option int)) "byte-identical vs sequential replay" (Some 0)
+    o.Loadgen.mismatches
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [
+          tc "every request round-trips" `Quick test_request_roundtrip;
+          tc "every response round-trips" `Quick test_response_roundtrip;
+          tc "malformed requests are rejected with ids recovered" `Quick
+            test_parse_request_rejects;
+        ] );
+      ( "service",
+        [
+          tc "session flow" `Quick test_service_session_flow;
+          tc "isolation with a shared substrate" `Quick
+            test_service_isolation_and_sharing;
+          tc "draining" `Quick test_service_draining;
+          tc "loadgen in process, verified" `Quick
+            test_loadgen_inprocess_verified;
+        ] );
+      ( "socket",
+        [
+          tc "session over a unix socket" `Quick test_socket_session;
+          tc "overload backpressure" `Quick test_socket_overload_backpressure;
+          tc "shutdown request drains" `Quick test_socket_shutdown_drains;
+          tc "socket loadgen verified" `Quick test_socket_loadgen;
+        ] );
+    ]
