@@ -479,10 +479,40 @@ let server_loadgen_warm () =
        (Lazy.force server_warm_service)
        b16_spec)
 
+(* Telemetry arm: the warm substrate again, but with the request plane
+   fully armed — Obs on, every request running inside an Obs.Scope
+   (counter snapshot + captured span subtree) and leaving one JSONL line
+   in an event log.  Against the plain warm arm this prices the
+   observability tax the telemetry-smoke CI job gates at 5% on p50. *)
+let server_warm_telemetry_service =
+  lazy
+    (let service = Server.Service.create (Server.Registry.create ~jobs:1 ()) in
+     let log =
+       Obs.Event_log.create ~level:Obs.Event_log.Info
+         (Filename.temp_file "clio_bench_telemetry" ".log")
+     in
+     Server.Service.set_telemetry service (Server.Telemetry.create ~log ());
+     service)
+
+let server_loadgen_telemetry () =
+  (* Leave the switch as found: the timing harness runs with Obs off, the
+     counter harness with Obs on and a live workload span. *)
+  let was_enabled = Obs.enabled () in
+  if not was_enabled then Obs.enable ();
+  Fun.protect
+    ~finally:(fun () -> if not was_enabled then Obs.disable ())
+    (fun () ->
+      ignore
+        (Server.Loadgen.run_inprocess ~verify:false
+           (Lazy.force server_warm_telemetry_service)
+           b16_spec))
+
 let server_tests =
   [
     Test.make ~name:"server/loadgen/cold" (Staged.stage server_loadgen_cold);
     Test.make ~name:"server/loadgen/warm" (Staged.stage server_loadgen_warm);
+    Test.make ~name:"server/loadgen/telemetry"
+      (Staged.stage server_loadgen_telemetry);
   ]
 
 (* --- B11: illustration at scale — full universe vs sampled slice --- *)
@@ -843,6 +873,7 @@ let workloads : (string * (unit -> unit)) list =
   @ [
       ("server/loadgen/cold", server_loadgen_cold);
       ("server/loadgen/warm", server_loadgen_warm);
+      ("server/loadgen/telemetry", server_loadgen_telemetry);
     ]
 
 let run_measurements () =
@@ -948,12 +979,17 @@ let run_counter_tables () =
       ]
     (workload_names "server/");
   (* B16 headline: one verified run per arm, end-to-end numbers. *)
-  let b16_outcome ~warm =
+  let b16_outcome ~arm =
     let service =
-      if warm then Lazy.force server_warm_service
-      else Server.Service.create (Server.Registry.create ~jobs:1 ())
+      match arm with
+      | `Cold -> Server.Service.create (Server.Registry.create ~jobs:1 ())
+      | `Warm -> Lazy.force server_warm_service
+      | `Telemetry -> Lazy.force server_warm_telemetry_service
     in
-    Server.Loadgen.run_inprocess ~verify:true service b16_spec
+    if arm = `Telemetry then Obs.enable ();
+    Fun.protect
+      ~finally:(fun () -> if arm = `Telemetry then Obs.disable ())
+      (fun () -> Server.Loadgen.run_inprocess ~verify:true service b16_spec)
   in
   print_endline
     (Printf.sprintf
@@ -964,8 +1000,8 @@ let run_counter_tables () =
     "p99(us)" "errors" "verified";
   Printf.printf "%s\n" (String.make 60 '-');
   List.iter
-    (fun (label, warm) ->
-      let o = b16_outcome ~warm in
+    (fun (label, arm) ->
+      let o = b16_outcome ~arm in
       Printf.printf "%-6s %10.0f %10.0f %10.0f %8d %10s\n" label
         o.Server.Loadgen.throughput o.Server.Loadgen.p50_us
         o.Server.Loadgen.p99_us o.Server.Loadgen.errors
@@ -973,7 +1009,7 @@ let run_counter_tables () =
         | Some 0 -> "yes"
         | Some n -> Printf.sprintf "NO(%d)" n
         | None -> "off"))
-    [ ("cold", false); ("warm", true) ];
+    [ ("cold", `Cold); ("warm", `Warm); ("telem", `Telemetry) ];
   print_newline ();
   (* Allocation per workload: the memory-side counterpart of part 2. *)
   let names = List.map fst workloads in

@@ -1,40 +1,92 @@
-(* clio-serve — the long-lived mapping-refinement service and its load
-   generator.
+(* clio-serve — the long-lived mapping-refinement service, its load
+   generator, and its operator clients.
 
      clio_serve serve --socket /tmp/clio.sock     Unix-domain socket
      clio_serve serve --tcp 7411                  loopback TCP
+     clio_serve serve --socket S --log --slow-ms 50   telemetry on
      clio_serve loadgen --socket /tmp/clio.sock --clients 4 --ops 12
      clio_serve loadgen --clients 4 --ops 12      in-process (no server)
+     clio_serve scrape --socket /tmp/clio.sock --check
+     clio_serve top --socket /tmp/clio.sock
 
    The server holds one shared evaluation substrate (Eval_cache + domain
    pool) and any number of concurrent sessions; the protocol is
-   newline-delimited JSON — see docs/server.md. *)
+   newline-delimited JSON — see docs/server.md.  Telemetry (docs/
+   observability.md): --log writes a leveled JSONL event log with one
+   request.complete line per request (trace id, latency, cache deltas);
+   requests at or above --slow-ms get their span subtree dumped as a
+   Chrome-trace exemplar named by trace id; scrape fetches the Prometheus
+   text exposition; top renders live server/session tables. *)
 
 open Cmdliner
+module P = Server.Protocol
 
 let scenario_of ~scenario ~size ~rows ~seed =
   match String.lowercase_ascii scenario with
-  | "paper" -> Ok Server.Protocol.Paper
-  | "chain" -> Ok (Server.Protocol.Chain { n = size; rows; seed })
-  | "star" -> Ok (Server.Protocol.Star { leaves = size; rows; seed })
+  | "paper" -> Ok P.Paper
+  | "chain" -> Ok (P.Chain { n = size; rows; seed })
+  | "star" -> Ok (P.Star { leaves = size; rows; seed })
   | other ->
       Error (Printf.sprintf "unknown scenario %S (paper, chain or star)" other)
 
+let address_of socket tcp =
+  match (socket, tcp) with
+  | None, None -> Error "one of --socket PATH or --tcp PORT is required"
+  | Some _, Some _ -> Error "--socket and --tcp are mutually exclusive"
+  | Some path, None -> Ok (Server.Loop.Unix_path path)
+  | None, Some port -> Ok (Server.Loop.Tcp port)
+
+(* --- shared args ------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT" ~doc:"Loopback TCP port $(docv).")
+
 (* --- serve ------------------------------------------------------------- *)
 
-let serve_run socket tcp jobs queue history_limit no_cache cache_mb =
-  match (socket, tcp) with
-  | None, None -> `Error (true, "one of --socket PATH or --tcp PORT is required")
-  | Some _, Some _ -> `Error (true, "--socket and --tcp are mutually exclusive")
-  | _ ->
+let serve_run socket tcp jobs queue history_limit no_cache cache_mb metrics
+    log log_level slow_ms exemplars exemplar_keep =
+  match address_of socket tcp with
+  | Error msg -> `Error (true, msg)
+  | Ok address when log = Some "" || metrics = Some "" ->
+      ignore address;
+      `Error (true, "--log/--metrics need a non-empty filename")
+  | Ok address ->
       (match history_limit with
       | Some n -> Relational.Database.set_history_limit n
       | None -> ());
-      let address =
-        match (socket, tcp) with
-        | Some path, _ -> Server.Loop.Unix_path path
-        | _, Some port -> Server.Loop.Tcp port
-        | None, None -> assert false
+      (* Any telemetry sink needs the Obs switch on: counters, spans and
+         histograms are what the log lines, exemplars and scrapes show. *)
+      if metrics <> None || log <> None || slow_ms <> None || exemplars <> None
+      then Obs.enable ();
+      let log_sink =
+        Option.map (fun path -> Obs.Event_log.create ~level:log_level path) log
+      in
+      let exemplar_dir =
+        match (exemplars, slow_ms) with
+        | Some dir, _ -> Some dir
+        | None, Some _ -> Some "clio-exemplars"
+        | None, None -> None
+      in
+      (match exemplar_dir with
+      | Some dir -> (
+          try Unix.mkdir dir 0o755
+          with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+      | None -> ());
+      let telemetry =
+        if log_sink = None && slow_ms = None && exemplar_dir = None then
+          Server.Telemetry.none
+        else
+          Server.Telemetry.create ?log:log_sink ?slow_ms ?exemplar_dir
+            ~exemplar_keep ()
       in
       let registry =
         Server.Registry.create ?jobs ~no_cache
@@ -42,6 +94,7 @@ let serve_run socket tcp jobs queue history_limit no_cache cache_mb =
           ()
       in
       let service = Server.Service.create registry in
+      Server.Service.set_telemetry service telemetry;
       let config =
         { (Server.Loop.default_config address) with queue_capacity = queue }
       in
@@ -51,21 +104,24 @@ let serve_run socket tcp jobs queue history_limit no_cache cache_mb =
         | Server.Loop.Tcp p -> Printf.sprintf "127.0.0.1:%d" p)
         (Server.Registry.jobs registry)
         config.Server.Loop.queue_capacity;
-      Server.Loop.run config service;
-      Printf.printf "clio_serve: drained, bye\n%!";
+      let reason = Server.Loop.run config service in
+      (* Epilogue runs on every exit path — a SIGTERM'd server still
+         leaves complete --metrics/--log files behind. *)
+      (match metrics with
+      | Some file -> (
+          try
+            Obs.write_metrics file;
+            Printf.eprintf "metrics written to %s\n%!" file
+          with Sys_error msg ->
+            Printf.eprintf "clio_serve: cannot write metrics: %s\n%!" msg)
+      | None -> ());
+      Server.Telemetry.close telemetry;
+      (match reason with
+      | Server.Loop.Drained -> Printf.printf "clio_serve: drained, bye\n%!"
+      | Server.Loop.Interrupted code ->
+          Printf.printf "clio_serve: interrupted, exiting %d\n%!" code;
+          exit code);
       `Ok ()
-
-let socket_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket.")
-
-let tcp_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "tcp" ] ~docv:"PORT" ~doc:"Listen on loopback TCP port $(docv).")
 
 let jobs_arg =
   Arg.(
@@ -104,21 +160,88 @@ let cache_mb_arg =
     & opt (some int) None
     & info [ "cache-mb" ] ~docv:"MB" ~doc:"Byte budget of the shared cache.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "metrics.json") (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the full Obs metrics state as JSON at exit (flushed on \
+           SIGINT/SIGTERM too; default $(i,metrics.json)).  Enables \
+           observability.")
+
+let log_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "clio_serve.log") (some string) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:
+          "Append a structured JSONL event log (connections, admissions, one \
+           $(i,request.complete) line per request with trace id, latency and \
+           cache deltas; size-rotated).  Default $(i,clio_serve.log).  \
+           Enables observability.")
+
+let log_level_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("debug", Obs.Event_log.Debug);
+             ("info", Obs.Event_log.Info);
+             ("warn", Obs.Event_log.Warn);
+             ("error", Obs.Event_log.Error);
+           ])
+        Obs.Event_log.Info
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:"Minimum level written to --log: debug, info, warn, error.")
+
+let slow_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "Capture a Chrome-trace exemplar (the request's span subtree, \
+           linked by trace id) for every request taking at least $(docv) \
+           milliseconds; 0 captures everything.  Enables observability.")
+
+let exemplars_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "exemplars" ] ~docv:"DIR"
+        ~doc:
+          "Directory for slow-request exemplar traces (created if missing; \
+           default $(i,clio-exemplars) when --slow-ms is set).")
+
+let exemplar_keep_arg =
+  Arg.(
+    value
+    & opt int Server.Telemetry.default_exemplar_keep
+    & info [ "exemplar-keep" ] ~docv:"N"
+        ~doc:"Exemplar files retained; the oldest beyond $(docv) are removed.")
+
 let serve_cmd =
   let info =
     Cmd.info "serve"
-      ~doc:"Run the mapping-refinement server until SIGTERM/SIGINT."
+      ~doc:
+        "Run the mapping-refinement server until SIGTERM/SIGINT (exit \
+         143/130, telemetry flushed) or a drained $(i,shutdown) request \
+         (exit 0)."
   in
   Cmd.v info
     Term.(
       ret
         (const serve_run $ socket_arg $ tcp_arg $ jobs_arg $ queue_arg
-       $ history_limit_arg $ no_cache_arg $ cache_mb_arg))
+       $ history_limit_arg $ no_cache_arg $ cache_mb_arg $ metrics_arg
+       $ log_arg $ log_level_arg $ slow_ms_arg $ exemplars_arg
+       $ exemplar_keep_arg))
 
 (* --- loadgen ----------------------------------------------------------- *)
 
 let loadgen_run socket tcp clients ops scenario size rows seed limit no_verify
-    =
+    latencies =
   match scenario_of ~scenario ~size ~rows ~seed with
   | Error msg -> `Error (true, msg)
   | Ok scenario ->
@@ -150,8 +273,28 @@ let loadgen_run socket tcp clients ops scenario size rows seed limit no_verify
               spec
       in
       Format.printf "%a@." Server.Loadgen.pp_outcome outcome;
+      (* One "<op> <microseconds>" line per request, appended — running
+         the generator several times with the same file pools the runs'
+         distributions, and the op label lets a consumer slice out one
+         mode (the CI overhead gate compares per-op medians: a raw p50
+         mixes 15 us rotates with multi-ms offers and lands on a mode
+         boundary, where it is too noisy to hold a tight ratio). *)
+      (match latencies with
+      | None -> ()
+      | Some file -> (
+          try
+            let oc =
+              open_out_gen [ Open_append; Open_creat ] 0o644 file
+            in
+            Array.iter
+              (fun (op, us) -> Printf.fprintf oc "%s %.0f\n" op us)
+              outcome.Server.Loadgen.latencies_us;
+            close_out oc
+          with Sys_error msg ->
+            Printf.eprintf "latencies not written: %s\n%!" msg));
       let failed =
         outcome.Server.Loadgen.errors > 0
+        || outcome.Server.Loadgen.echo_failures > 0
         || match outcome.Server.Loadgen.mismatches with
            | Some n when n > 0 -> true
            | _ -> false
@@ -194,23 +337,215 @@ let no_verify_arg =
     & info [ "no-verify" ]
         ~doc:"Skip the sequential-replay digest verification.")
 
+let latencies_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "latencies" ] ~docv:"FILE"
+        ~doc:
+          "Append every request's latency (one '<op> <microseconds>' line \
+           per request) to $(docv).  Reusing the file across runs pools \
+           their distributions.")
+
 let loadgen_cmd =
   let info =
     Cmd.info "loadgen"
       ~doc:
         "Drive a server (or an in-process service) with scripted clients and \
-         verify results against a sequential replay."
+         verify results against a sequential replay.  Every request carries \
+         a trace id; a reply that fails to echo it fails the run."
   in
   Cmd.v info
     Term.(
       ret
         (const loadgen_run $ socket_arg $ tcp_arg $ clients_arg $ ops_arg
        $ scenario_arg $ size_arg $ rows_arg $ seed_arg $ limit_arg
-       $ no_verify_arg))
+       $ no_verify_arg $ latencies_arg))
+
+(* --- scrape ------------------------------------------------------------ *)
+
+let scrape_run socket tcp check out =
+  match address_of socket tcp with
+  | Error msg -> `Error (true, msg)
+  | Ok address -> (
+      match
+        Server.Loadgen.rpc_once ~address
+          [ { P.id = 1; session = None; request = P.Metrics_prom; trace_id = None } ]
+      with
+      | exception (Failure msg | Sys_error msg) -> `Error (false, msg)
+      | exception Unix.Unix_error (e, fn, _) ->
+          `Error (false, Printf.sprintf "%s: %s" fn (Unix.error_message e))
+      | [ { P.result = Ok (P.Prom_text text); _ } ] -> (
+          (match out with
+          | Some file ->
+              let oc = open_out file in
+              output_string oc text;
+              close_out oc
+          | None -> print_string text);
+          if not check then `Ok ()
+          else
+            match Obs.Prom_export.validate text with
+            | Ok () ->
+                Printf.eprintf "scrape: format ok\n%!";
+                `Ok ()
+            | Error msg -> `Error (false, "scrape format check failed: " ^ msg))
+      | [ { P.result = Error (_, msg); _ } ] ->
+          `Error (false, "server error: " ^ msg)
+      | _ -> `Error (false, "unexpected reply"))
+
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Validate the exposition (name charset, histogram bucket \
+           monotonicity, +Inf bucket = count) and fail on any violation.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE" ~doc:"Write the scrape to $(docv) instead of stdout.")
+
+let scrape_cmd =
+  let info =
+    Cmd.info "scrape"
+      ~doc:
+        "One-shot Prometheus text-exposition scrape of a running server \
+         (every counter, histogram and server/session gauge)."
+  in
+  Cmd.v info
+    Term.(ret (const scrape_run $ socket_arg $ tcp_arg $ check_arg $ out_arg))
+
+(* --- top --------------------------------------------------------------- *)
+
+(* Render one no-session [stats] reply as server + per-session tables.
+   Keys arrive flat: server.* from the registry and transport,
+   sessions.<sid>.<metric> for each open session. *)
+let render_stats pairs =
+  let b = Buffer.create 1024 in
+  let num v =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.1f" v
+  in
+  Buffer.add_string b "server\n";
+  List.iter
+    (fun (k, v) ->
+      if String.starts_with ~prefix:"server." k then
+        Printf.bprintf b "  %-32s %s\n"
+          (String.sub k 7 (String.length k - 7))
+          (num v))
+    pairs;
+  (* group sessions.<sid>.<metric> *)
+  let sids = ref [] in
+  let by_sid : (string, (string * float) list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (k, v) ->
+      if String.starts_with ~prefix:"sessions." k then
+        let rest = String.sub k 9 (String.length k - 9) in
+        match String.index_opt rest '.' with
+        | None -> ()
+        | Some i ->
+            let sid = String.sub rest 0 i in
+            let metric = String.sub rest (i + 1) (String.length rest - i - 1) in
+            if not (Hashtbl.mem by_sid sid) then sids := sid :: !sids;
+            Hashtbl.replace by_sid sid
+              ((metric, v) :: Option.value ~default:[] (Hashtbl.find_opt by_sid sid)))
+    pairs;
+  let sids = List.rev !sids in
+  if sids <> [] then begin
+    Printf.bprintf b "\n%-8s %8s %7s %10s %10s %10s %5s %7s\n" "session"
+      "requests" "errors" "p50(us)" "p99(us)" "max(us)" "dbv" "entries";
+    List.iter
+      (fun sid ->
+        let m = Option.value ~default:[] (Hashtbl.find_opt by_sid sid) in
+        let get name = Option.value ~default:0. (List.assoc_opt name m) in
+        Printf.bprintf b "%-8s %8.0f %7.0f %10.0f %10.0f %10.0f %5.0f %7.0f\n"
+          sid (get "requests") (get "errors") (get "latency_us.p50")
+          (get "latency_us.p99") (get "latency_us.max") (get "db_version")
+          (get "entries"))
+      sids;
+    (* per-op and cache attribution lines, one per session, only when
+       present *)
+    List.iter
+      (fun sid ->
+        let m = Option.value ~default:[] (Hashtbl.find_opt by_sid sid) in
+        let section prefix label =
+          match
+            List.filter_map
+              (fun (k, v) ->
+                if String.starts_with ~prefix k then
+                  Some
+                    (Printf.sprintf "%s=%s"
+                       (String.sub k (String.length prefix)
+                          (String.length k - String.length prefix))
+                       (num v))
+                else None)
+              (List.sort compare m)
+          with
+          | [] -> ()
+          | parts ->
+              Printf.bprintf b "  %-6s %s: %s\n" sid label
+                (String.concat " " parts)
+        in
+        section "ops." "ops";
+        section "cache." "cache")
+      sids
+  end;
+  Buffer.contents b
+
+let top_run socket tcp interval count =
+  match address_of socket tcp with
+  | Error msg -> `Error (true, msg)
+  | Ok address -> (
+      try
+        for i = 1 to count do
+          match
+            Server.Loadgen.rpc_once ~address
+              [ { P.id = i; session = None; request = P.Stats; trace_id = None } ]
+          with
+          | [ { P.result = Ok (P.Stats_report pairs); _ } ] ->
+              if count > 1 then Printf.printf "--- sample %d/%d\n" i count;
+              print_string (render_stats pairs);
+              print_string "\n";
+              flush stdout;
+              if i < count then ignore (Unix.select [] [] [] interval)
+          | [ { P.result = Error (_, msg); _ } ] ->
+              failwith ("server error: " ^ msg)
+          | _ -> failwith "unexpected reply"
+        done;
+        `Ok ()
+      with
+      | Failure msg | Sys_error msg -> `Error (false, msg)
+      | Unix.Unix_error (e, fn, _) ->
+          `Error (false, Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+
+let interval_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "interval" ] ~docv:"SECS" ~doc:"Seconds between samples.")
+
+let count_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "count" ] ~docv:"N" ~doc:"Samples to take (default one shot).")
+
+let top_cmd =
+  let info =
+    Cmd.info "top"
+      ~doc:
+        "Render a running server's live stats: server totals and a \
+         per-session table (requests, latency percentiles, per-op counts, \
+         cache attribution) from the $(i,stats) request."
+  in
+  Cmd.v info
+    Term.(
+      ret (const top_run $ socket_arg $ tcp_arg $ interval_arg $ count_arg))
 
 let () =
   let info =
     Cmd.info "clio_serve" ~version:"dev"
       ~doc:"Long-lived multi-session mapping-refinement service."
   in
-  exit (Cmd.eval (Cmd.group info [ serve_cmd; loadgen_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ serve_cmd; loadgen_cmd; scrape_cmd; top_cmd ]))

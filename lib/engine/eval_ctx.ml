@@ -138,14 +138,35 @@ let graph_bases g =
   |> List.map (fun n -> n.Querygraph.Qgraph.base)
   |> List.sort_uniq String.compare
 
+(* Engine entry spans (engine.fj / engine.dg): tagged with the active
+   request scope's trace id so a slow wire request's exemplar trace shows
+   exactly which engine evaluations it triggered, and with the cache
+   outcome ("hit" | "miss" | "promoted-free" | "promoted-repaired" | "off")
+   once known.  One branch when observability is disabled. *)
+let with_engine_span name f =
+  if not (Obs.enabled ()) then f ()
+  else
+    Obs.with_span name (fun () ->
+        (match Obs.Scope.current () with
+        | Some id -> Obs.set_attr "trace_id" id
+        | None -> ());
+        f ())
+
+let set_cache_attr outcome = if Obs.enabled () then Obs.set_attr "cache" outcome
+
 let full_associations t j =
+  with_engine_span Obs.Names.sp_engine_fj @@ fun () ->
   match t.cache with
-  | None -> Join_eval.full_associations (base_source t) j
+  | None ->
+      set_cache_attr "off";
+      Join_eval.full_associations (base_source t) j
   | Some cache -> (
       let version = version t in
       let key = Graph_key.of_graph j in
       match Eval_cache.find_fj cache ~version key with
-      | Some r -> r
+      | Some r ->
+          set_cache_attr "hit";
+          r
       | None ->
           let promoted =
             if not t.incremental then None
@@ -154,9 +175,11 @@ let full_associations t j =
                 ~peek:(fun v -> Eval_cache.peek_fj cache ~version:v key)
                 ~free:(fun r ->
                   Obs.count Obs.Names.cache_promote_fj_free;
+                  set_cache_attr "promoted-free";
                   r)
                 ~repair:(fun r ~changed ->
                   Obs.count Obs.Names.cache_promote_fj_repaired;
+                  set_cache_attr "promoted-repaired";
                   let src = Source.with_pool t.pool (base_source t) in
                   Join_eval.canonical
                     (Algebra.union r
@@ -165,7 +188,9 @@ let full_associations t j =
           let r =
             match promoted with
             | Some r -> r
-            | None -> Join_eval.full_associations (base_source t) j
+            | None ->
+                set_cache_attr "miss";
+                Join_eval.full_associations (base_source t) j
           in
           Eval_cache.add_fj cache ~version key r;
           r)
@@ -189,14 +214,19 @@ let run_algorithm t alg g =
 
 let data_associations ?algorithm t g =
   let alg = match algorithm with Some a -> a | None -> t.algorithm in
+  with_engine_span Obs.Names.sp_engine_dg @@ fun () ->
   match t.cache with
-  | None -> run_algorithm t alg g
+  | None ->
+      set_cache_attr "off";
+      run_algorithm t alg g
   | Some cache -> (
       let version = version t in
       let variant = algorithm_name alg in
       let key = Graph_key.of_graph g in
       match Eval_cache.find_dg cache ~version ~variant key with
-      | Some r -> r
+      | Some r ->
+          set_cache_attr "hit";
+          r
       | None ->
           let promoted =
             if not t.incremental then None
@@ -205,14 +235,20 @@ let data_associations ?algorithm t g =
                 ~peek:(fun v -> Eval_cache.peek_dg cache ~version:v ~variant key)
                 ~free:(fun r ->
                   Obs.count Obs.Names.cache_promote_dg_free;
+                  set_cache_attr "promoted-free";
                   r)
                 ~repair:(fun old ~changed ->
                   Obs.count Obs.Names.cache_promote_dg_repaired;
+                  set_cache_attr "promoted-repaired";
                   let src = Source.with_pool t.pool (base_source t) in
                   Full_disjunction.delta src g ~old ~changed)
           in
           let r =
-            match promoted with Some r -> r | None -> run_algorithm t alg g
+            match promoted with
+            | Some r -> r
+            | None ->
+                set_cache_attr "miss";
+                run_algorithm t alg g
           in
           Eval_cache.add_dg cache ~version ~variant key r;
           r)

@@ -82,6 +82,27 @@ let find name =
 
 let all () = Mutex.protect registry_mutex (fun () -> List.rev !rev_order)
 
+(* Registration ids are dense (0 .. next_id-1), so a snapshot is just an
+   int array indexed by id: taking and diffing one costs a single array
+   allocation and no string hashing — unlike a name-keyed table, cheap
+   enough to run once per server request. *)
+type snapshot = int array
+
+let snapshot () =
+  Mutex.protect registry_mutex (fun () ->
+      let arr = Array.make !next_id 0 in
+      List.iter (fun c -> arr.(c.id) <- value c) !rev_order;
+      arr)
+
+let deltas_since before =
+  let n = Array.length before in
+  List.filter_map
+    (fun c ->
+      let base = if c.id < n then before.(c.id) else 0 in
+      let d = value c - base in
+      if d = 0 then None else Some (c.name, d))
+    (all ())
+
 let reset_all () =
   List.iter
     (fun c ->

@@ -45,6 +45,21 @@ val find : string -> t option
 (** All registered counters in registration order. *)
 val all : unit -> t list
 
+(** A point-in-time reading of every registered counter, indexed by
+    registration id — cheap to take and diff (one int-array allocation,
+    no string hashing), sized for once-per-request use on a server's hot
+    path. *)
+type snapshot
+
+val snapshot : unit -> snapshot
+
+(** [deltas_since before] lists the counters whose value changed since
+    [before] was taken, as [(name, delta)] in registration order.
+    Counters registered after the snapshot diff against an implicit 0
+    baseline; gauge-style {!set} users can go negative, which is reported
+    as seen. *)
+val deltas_since : snapshot -> (string * int) list
+
 (** Zero every registered counter (registrations are kept). *)
 val reset_all : unit -> unit
 

@@ -1,0 +1,84 @@
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+(* Line-schema version: bump when a field is renamed or its meaning
+   changes; adding fields is backwards-compatible and does not bump it.
+   v2: "ts" is integer epoch milliseconds (v1 was fractional seconds,
+   which the JSON printer's %.9g rendered at ~100 s resolution). *)
+let schema_version = 2
+
+type t = {
+  path : string;
+  level : level;
+  max_bytes : int;
+  keep : int;
+  mutable oc : out_channel;
+  mutable bytes : int;
+}
+
+let open_append path =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  let bytes = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
+  (oc, bytes)
+
+let create ?(level = Info) ?(max_bytes = 8 * 1024 * 1024) ?(keep = 3) path =
+  if path = "" then invalid_arg "Event_log.create: empty path";
+  let oc, bytes = open_append path in
+  { path; level; max_bytes; keep; oc; bytes }
+
+let rotated_name path i = Printf.sprintf "%s.%d" path i
+
+(* Shift path.(keep-1) off the end, path.i -> path.(i+1), path -> path.1,
+   then reopen path fresh.  Rename failures (e.g. a gap in the chain) are
+   ignored: rotation is best-effort, logging must not take the server
+   down. *)
+let rotate t =
+  close_out_noerr t.oc;
+  for i = t.keep - 1 downto 1 do
+    let src = if i = 1 then t.path else rotated_name t.path (i - 1) in
+    let dst = rotated_name t.path i in
+    if Sys.file_exists src then try Sys.rename src dst with Sys_error _ -> ()
+  done;
+  if t.keep <= 1 && Sys.file_exists t.path then
+    (try Sys.remove t.path with Sys_error _ -> ());
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 t.path in
+  t.oc <- oc;
+  t.bytes <- 0
+
+let would_log t level = level_rank level >= level_rank t.level
+
+let log t level event fields =
+  if would_log t level then begin
+    let line =
+      Json.to_string
+        (Json.Obj
+           (("v", Json.Num (float_of_int schema_version))
+           :: ("ts", Json.Num (Float.round (Unix.gettimeofday () *. 1000.)))
+           :: ("level", Json.Str (level_to_string level))
+           :: ("event", Json.Str event)
+           :: fields))
+    in
+    let len = String.length line + 1 in
+    if t.bytes > 0 && t.bytes + len > t.max_bytes then rotate t;
+    output_string t.oc line;
+    output_char t.oc '\n';
+    t.bytes <- t.bytes + len
+  end
+
+let flush t = flush t.oc
+let close t = close_out_noerr t.oc
+let path t = t.path

@@ -1,0 +1,43 @@
+(** Leveled structured event log: one JSON object per line (JSONL),
+    emitted through the strict {!Json} printer so every line round-trips
+    through {!Json.parse_exn}.
+
+    Line schema (version {!schema_version}): every line carries
+    [{"v": <schema_version>, "ts": <integer unix epoch milliseconds>,
+    "level": "debug"|"info"|"warn"|"error", "event": <string>, ...}]
+    followed by event-specific fields.  Adding fields is
+    backwards-compatible; renames bump [v].
+
+    Size-based rotation: when appending a line would push the file past
+    [max_bytes], the current file is rotated to [path.1] (existing [path.i]
+    shifted to [path.(i+1)], the oldest beyond [keep-1] dropped) and a
+    fresh [path] is opened.  Rotation is best-effort — rename failures are
+    swallowed, logging never takes the process down. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+val level_of_string : string -> level option
+
+(** Current line-schema version (2). *)
+val schema_version : int
+
+type t
+
+(** [create ?level ?max_bytes ?keep path] opens [path] in append mode
+    (creating it at 0644).  [level] (default [Info]) is the minimum level
+    written; [max_bytes] (default 8 MiB) the rotation threshold; [keep]
+    (default 3) the number of files retained including the live one.
+    @raise Invalid_argument on an empty path. *)
+val create : ?level:level -> ?max_bytes:int -> ?keep:int -> string -> t
+
+(** Whether a line at this level would be written. *)
+val would_log : t -> level -> bool
+
+(** [log t level event fields] appends one line; a no-op below the sink's
+    minimum level.  [fields] follow the four standard fields. *)
+val log : t -> level -> string -> (string * Json.t) list -> unit
+
+val flush : t -> unit
+val close : t -> unit
+val path : t -> string

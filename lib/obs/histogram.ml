@@ -9,17 +9,41 @@ type stats = {
   p99 : float;
 }
 
+(* Retention bound for raw observations.  Below it percentiles are exact;
+   beyond it the sample array becomes a uniform reservoir (algorithm R) of
+   this size and percentiles are reservoir estimates.  Count, sum, mean,
+   min, max and the exposition buckets stay exact at any volume — only the
+   percentile estimator degrades, and it degrades gracefully (a 4096-sample
+   uniform reservoir pins p99 to well under a percentile point of error).
+   Before the cap existed a long-lived daemon retained every observation
+   forever: 8 bytes x requests x histograms, an unbounded leak. *)
+let reservoir_cap = 4096
+
+(* Fixed bucket upper bounds (inclusive, Prometheus [le] semantics) for the
+   text exposition: a 1-2.5-5 ladder wide enough for both sub-millisecond
+   operator spans and multi-second requests, in milliseconds.  Counts are
+   maintained exactly on every observation, independent of the reservoir. *)
+let bucket_bounds =
+  [|
+    0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50.; 100.;
+    250.; 500.; 1000.; 2500.; 5000.; 10000.;
+  |]
+
 type t = {
   name : string;
-  mutable n : int;
+  mutable n : int;  (* total observations, beyond the reservoir *)
   mutable sum : float;
   mutable min_v : float;
   mutable max_v : float;
-  (* Raw observations, for exact percentiles.  Grows by doubling; only
+  (* Raw observations for percentiles: the first [reservoir_cap] exactly,
+     a uniform reservoir thereafter.  Grows by doubling up to the cap; only
      written when observability is enabled, so disabled-mode cost is
-     unchanged.  8 bytes per observation — observations are span
-     durations and similar once-per-operation events, not per-tuple. *)
+     unchanged. *)
   mutable samples : float array;
+  (* Per-bucket (non-cumulative) counts; last slot is the +Inf overflow. *)
+  buckets : int array;
+  (* Deterministic per-histogram stream for reservoir replacement. *)
+  rng : Random.State.t;
 }
 
 let registry : (string, t) Hashtbl.t = Hashtbl.create 64
@@ -43,6 +67,8 @@ let make name =
               min_v = infinity;
               max_v = neg_infinity;
               samples = [||];
+              buckets = Array.make (Array.length bucket_bounds + 1) 0;
+              rng = Random.State.make [| Hashtbl.hash name |];
             }
           in
           Hashtbl.replace registry name h;
@@ -51,14 +77,34 @@ let make name =
 
 let name h = h.name
 
+(* Retained sample count: everything up to the cap, the reservoir after. *)
+let retained h = min h.n reservoir_cap
+
+let bucket_index v =
+  let rec go i =
+    if i >= Array.length bucket_bounds then i
+    else if v <= bucket_bounds.(i) then i
+    else go (i + 1)
+  in
+  go 0
+
 let record h v =
-  if h.n >= Array.length h.samples then begin
-    let cap = max 16 (2 * Array.length h.samples) in
-    let grown = Array.make cap 0. in
-    Array.blit h.samples 0 grown 0 h.n;
-    h.samples <- grown
-  end;
-  h.samples.(h.n) <- v;
+  (if h.n < reservoir_cap then begin
+     if h.n >= Array.length h.samples then begin
+       let cap = min reservoir_cap (max 16 (2 * Array.length h.samples)) in
+       let grown = Array.make cap 0. in
+       Array.blit h.samples 0 grown 0 h.n;
+       h.samples <- grown
+     end;
+     h.samples.(h.n) <- v
+   end
+   else
+     (* Algorithm R: observation i (0-based) replaces a uniformly chosen
+        slot with probability cap/(i+1), keeping every prefix a uniform
+        sample of the stream so far. *)
+     let j = Random.State.int h.rng (h.n + 1) in
+     if j < reservoir_cap then h.samples.(j) <- v);
+  h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
   h.n <- h.n + 1;
   h.sum <- h.sum +. v;
   if v < h.min_v then h.min_v <- v;
@@ -108,14 +154,16 @@ let percentile_of_sorted sorted n q =
     sorted.(max 0 (min (n - 1) (rank - 1)))
 
 let percentile h q =
-  let sorted = Array.sub h.samples 0 h.n in
+  let kept = retained h in
+  let sorted = Array.sub h.samples 0 kept in
   Array.sort compare sorted;
-  percentile_of_sorted sorted h.n q
+  percentile_of_sorted sorted kept q
 
 let stats h : stats =
-  let sorted = Array.sub h.samples 0 h.n in
+  let kept = retained h in
+  let sorted = Array.sub h.samples 0 kept in
   Array.sort compare sorted;
-  let p = percentile_of_sorted sorted h.n in
+  let p = percentile_of_sorted sorted kept in
   {
     n = h.n;
     sum = h.sum;
@@ -126,6 +174,9 @@ let stats h : stats =
     p90 = p 90.;
     p99 = p 99.;
   }
+
+let bucket_counts h = Array.copy h.buckets
+let sample_count h = retained h
 
 let find name =
   Mutex.protect registry_mutex (fun () -> Hashtbl.find_opt registry name)
@@ -140,5 +191,6 @@ let reset_all () =
       h.sum <- 0.;
       h.min_v <- infinity;
       h.max_v <- neg_infinity;
-      h.samples <- [||])
+      h.samples <- [||];
+      Array.fill h.buckets 0 (Array.length h.buckets) 0)
     (all ())

@@ -3,10 +3,14 @@
     automatically under ["span.<span name>"], giving a cheap per-operation
     latency rollup even when no trace file is written.
 
-    Raw observations are retained (only while observability is enabled),
-    so {!stats} reports exact nearest-rank percentiles alongside
-    count/mean/min/max.  Observations are once-per-operation events (span
-    durations), not per-tuple counts, so retention is cheap. *)
+    Raw observations are retained up to {!reservoir_cap} per histogram
+    (only while observability is enabled): below the cap {!stats} reports
+    exact nearest-rank percentiles alongside count/mean/min/max; beyond it
+    the retained samples form a uniform reservoir (Vitter's algorithm R,
+    deterministic per-name stream) and percentiles become reservoir
+    estimates — count/sum/mean/min/max and the fixed exposition buckets
+    stay exact at any volume.  This bounds a long-lived daemon's memory:
+    previously every observation was retained forever. *)
 
 type t
 
@@ -21,6 +25,16 @@ type stats = {
   p99 : float;
 }
 
+(** Maximum raw observations retained per histogram for percentile
+    estimation (4096).  Percentiles are exact while [n <= reservoir_cap]. *)
+val reservoir_cap : int
+
+(** Fixed bucket upper bounds (inclusive [le] semantics, milliseconds) used
+    for the Prometheus text exposition; an implicit +Inf overflow bucket
+    follows the last bound.  Bucket counts are exact regardless of the
+    reservoir. *)
+val bucket_bounds : float array
+
 (** [make name] returns the registered histogram called [name], creating it
     empty on first use. *)
 val make : string -> t
@@ -30,12 +44,20 @@ val name : t -> string
 (** Record one observation iff observability is enabled. *)
 val observe : t -> float -> unit
 
-(** Summary including exact nearest-rank percentiles (0 everywhere when
-    empty). *)
+(** Summary including nearest-rank percentiles over the retained samples
+    (exact while [n <= reservoir_cap]; 0 everywhere when empty). *)
 val stats : t -> stats
 
-(** Exact nearest-rank percentile, [q] in percent (e.g. [percentile h 99.]). *)
+(** Nearest-rank percentile over the retained samples, [q] in percent
+    (e.g. [percentile h 99.]).  Exact while [n <= reservoir_cap]. *)
 val percentile : t -> float -> float
+
+(** Per-bucket (non-cumulative) exact counts aligned with {!bucket_bounds};
+    the extra final slot is the +Inf overflow.  Fresh copy. *)
+val bucket_counts : t -> int array
+
+(** Number of raw samples currently retained: [min n reservoir_cap]. *)
+val sample_count : t -> int
 
 val find : string -> t option
 

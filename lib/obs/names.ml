@@ -85,3 +85,10 @@ let sp_chase = "op_chase.chase"
 let sp_walk = "op_walk.data_walk"
 let sp_explain = "explain.of_target_tuple"
 let sp_why_null = "explain.why_null"
+
+(* Server request scope and the engine entry points it captures: the
+   request span is the root of every per-request exemplar trace; the
+   engine spans carry trace-id and cache-outcome attributes. *)
+let sp_request = "server.request"
+let sp_engine_fj = "engine.fj"
+let sp_engine_dg = "engine.dg"

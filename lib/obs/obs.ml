@@ -7,6 +7,9 @@ module Metrics_export = Metrics_export
 module Bench_compare = Bench_compare
 module Json = Json
 module Names = Names
+module Scope = Scope
+module Event_log = Event_log
+module Prom_export = Prom_export
 
 let enable () = Switch.on := true
 let disable () = Switch.on := false

@@ -27,6 +27,15 @@ module Bench_compare = Bench_compare
 module Json = Json
 module Names = Names
 
+(** Request-scoped telemetry: trace ids, per-request counter deltas and
+    captured span subtrees ({!Scope}), the server's leveled JSONL event
+    log ({!Event_log}), and Prometheus text exposition of the registries
+    ({!Prom_export}). *)
+module Scope = Scope
+
+module Event_log = Event_log
+module Prom_export = Prom_export
+
 val enable : unit -> unit
 val disable : unit -> unit
 val enabled : unit -> bool

@@ -1,0 +1,52 @@
+type record = {
+  trace_id : string;
+  duration_ms : float;
+  deltas : (string * int) list;
+  root : Span.t option;
+}
+
+(* Process-unique-enough trace ids: a pid fragment and a boot-time hash
+   distinguish server restarts, the atomic counter distinguishes requests
+   within one process.  Not cryptographic — these are correlation handles,
+   not capabilities. *)
+let boot_salt = lazy (Hashtbl.hash (Unix.getpid (), Unix.gettimeofday ()) land 0xffffff)
+let id_counter = Atomic.make 0
+
+let fresh_id () =
+  let n = Atomic.fetch_and_add id_counter 1 in
+  Printf.sprintf "%06x-%06x" (Lazy.force boot_salt) (n land 0xffffff)
+
+(* Stack of active scope trace ids, innermost first.  Only the main domain
+   pushes and pops (the server loop is single-threaded); worker domains may
+   read [current] concurrently, hence the Atomic. *)
+let stack : string list Atomic.t = Atomic.make []
+
+let current () = match Atomic.get stack with [] -> None | id :: _ -> Some id
+
+let run ?(attrs = []) ~trace_id name f =
+  if not !Switch.on then begin
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let duration_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+    (r, { trace_id; duration_ms; deltas = []; root = None })
+  end
+  else begin
+    let before = Counter.snapshot () in
+    Atomic.set stack (trace_id :: Atomic.get stack);
+    let r, span =
+      Fun.protect
+        ~finally:(fun () ->
+          match Atomic.get stack with
+          | _ :: rest -> Atomic.set stack rest
+          | [] -> ())
+        (fun () ->
+          Span.with_captured ~attrs:(("trace_id", trace_id) :: attrs) name f)
+    in
+    ( r,
+      {
+        trace_id;
+        duration_ms = Span.duration_ms span;
+        deltas = Counter.deltas_since before;
+        root = Some span;
+      } )
+  end

@@ -1,0 +1,45 @@
+(** Request-scoped telemetry.
+
+    A {e scope} ties one unit of externally-driven work — a wire request in
+    [clio_serve] — to a trace id, and captures what happened inside it:
+    wall-clock duration, the delta of every registered counter (cache
+    hits/misses, promote outcomes, operator counts...), and the request's
+    own span subtree, detached from the global trace so a long-lived server
+    never accumulates per-request roots.
+
+    Scopes nest on a stack; {!current} exposes the innermost active trace
+    id so engine-level spans ({!Obs.Names.sp_engine_fj} etc.) can tag
+    themselves with the request they serve, across domains.
+
+    When observability is disabled, {!run} only measures duration — no
+    snapshot, no capture — keeping the telemetry-off fast path one branch
+    wide. *)
+
+type record = {
+  trace_id : string;
+  duration_ms : float;
+  deltas : (string * int) list;
+      (** counters that moved during the scope, registration order *)
+  root : Span.t option;
+      (** captured span subtree; [None] when observability is disabled *)
+}
+
+(** A fresh process-unique trace id ([<boot>-<seq>] hex).  Correlation
+    handles, not capabilities. *)
+val fresh_id : unit -> string
+
+(** The innermost active scope's trace id.  Readable from any domain. *)
+val current : unit -> string option
+
+(** [run ?attrs ~trace_id name f] executes [f] inside a scope.  The
+    returned record always carries [trace_id] and a measured duration;
+    counter deltas and the captured span (named [name], with
+    [("trace_id", trace_id)] prepended to [attrs]) are populated only when
+    observability is enabled.  The scope is popped even if [f] raises (the
+    record is then lost with the exception). *)
+val run :
+  ?attrs:(string * string) list ->
+  trace_id:string ->
+  string ->
+  (unit -> 'a) ->
+  'a * record

@@ -55,6 +55,17 @@ val children : t -> t list
     current one.  Exception-safe: the span closes even if [f] raises. *)
 val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
 
+(** [with_captured ?attrs name f] times [f ()] under a new span like
+    {!with_span} (caller must have checked observability is enabled), then
+    {e detaches} the closed span from the trace — it does not join the
+    finished roots or the enclosing span's children — and returns it
+    alongside [f]'s result.  The duration still lands in the
+    ["span.<name>"] histogram.  This is how request-scoped capture
+    ({!Obs.Scope}) keeps per-request span subtrees without a long-lived
+    server accumulating one root per request forever. *)
+val with_captured :
+  ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a * t
+
 (** Attach an attribute to the innermost open span (no-op if none). *)
 val set_attr : string -> string -> unit
 

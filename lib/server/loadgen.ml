@@ -13,11 +13,13 @@ type outcome = {
   ok : int;
   errors : int;
   overloads : int;
+  echo_failures : int;
   elapsed_s : float;
   throughput : float;
   p50_us : float;
   p99_us : float;
   max_us : float;
+  latencies_us : (string * float) array;
   digests : string list array;
   mismatches : int option;
 }
@@ -146,7 +148,8 @@ type accum = {
   mutable ok : int;
   mutable errors : int;
   mutable overloads : int;
-  mutable latencies : float list;
+  mutable echo_failures : int;
+  mutable latencies : (string * float) list;  (** (op, us), newest first *)
   client_digests : string list array;  (** newest first *)
 }
 
@@ -156,12 +159,17 @@ let make_accum clients =
     ok = 0;
     errors = 0;
     overloads = 0;
+    echo_failures = 0;
     latencies = [];
     client_digests = Array.make clients [];
   }
 
-let record acc ~client ~latency_us (resp : P.response) =
-  acc.latencies <- latency_us :: acc.latencies;
+(* Every loadgen request carries a trace id, and [trace] is what the reply
+   must echo — a mismatch (or a missing echo) is a protocol failure. *)
+let record acc ~client ~trace ~op ~latency_us (resp : P.response) =
+  acc.latencies <- (op, latency_us) :: acc.latencies;
+  if resp.P.trace_id <> Some trace then
+    acc.echo_failures <- acc.echo_failures + 1;
   match resp.P.result with
   | Ok (P.Evaluated info) ->
       acc.ok <- acc.ok + 1;
@@ -179,8 +187,9 @@ let percentile sorted q =
     sorted.(max 0 (min (n - 1) (rank - 1)))
 
 let finish spec acc ~verify ~elapsed_s =
-  let sorted = Array.of_list acc.latencies in
-  Array.sort compare sorted;
+  let pairs = Array.of_list acc.latencies in
+  Array.sort (fun (_, a) (_, b) -> Float.compare a b) pairs;
+  let sorted = Array.map snd pairs in
   let digests = Array.map List.rev acc.client_digests in
   let mismatches =
     if verify then
@@ -192,11 +201,13 @@ let finish spec acc ~verify ~elapsed_s =
     ok = acc.ok;
     errors = acc.errors;
     overloads = acc.overloads;
+    echo_failures = acc.echo_failures;
     elapsed_s;
     throughput = (if elapsed_s > 0. then float_of_int acc.ok /. elapsed_s else 0.);
     p50_us = percentile sorted 50.;
     p99_us = percentile sorted 99.;
     max_us = percentile sorted 100.;
+    latencies_us = pairs;
     digests;
     mismatches;
   }
@@ -212,11 +223,15 @@ let run_inprocess ?(verify = true) service spec =
     !next_id
   in
   let call ~client ?session request =
-    let env = { P.id = fresh_id (); session; request } in
+    let id = fresh_id () in
+    let trace = Printf.sprintf "lg%d-%d" client id in
+    let env = { P.id; session; request; trace_id = Some trace } in
     acc.sent <- acc.sent + 1;
     let t0 = Unix.gettimeofday () in
     let resp = Service.handle service env in
-    record acc ~client ~latency_us:((Unix.gettimeofday () -. t0) *. 1e6) resp;
+    record acc ~client ~trace ~op:(Service.verb_name request)
+      ~latency_us:((Unix.gettimeofday () -. t0) *. 1e6)
+      resp;
     resp
   in
   let t_start = Unix.gettimeofday () in
@@ -300,7 +315,8 @@ let run_socket ?(verify = true) ~address spec =
     acc.sent <- acc.sent + 1;
     let rec attempt retries =
       let id = fresh_id () in
-      let line = P.encode_request { P.id; session; request } in
+      let trace = Printf.sprintf "lg%d-%d" client id in
+      let line = P.encode_request { P.id; session; request; trace_id = Some trace } in
       let t0 = Unix.gettimeofday () in
       send_line conn line;
       let resp =
@@ -308,7 +324,9 @@ let run_socket ?(verify = true) ~address spec =
         | Ok r -> r
         | Error msg -> failwith ("unparseable reply: " ^ msg)
       in
-      record acc ~client ~latency_us:((Unix.gettimeofday () -. t0) *. 1e6) resp;
+      record acc ~client ~trace ~op:(Service.verb_name request)
+        ~latency_us:((Unix.gettimeofday () -. t0) *. 1e6)
+        resp;
       match resp.P.result with
       | Error (P.Overloaded, _) when retries > 0 ->
           ignore (Unix.select [] [] [] 0.002);
@@ -349,14 +367,33 @@ let run_socket ?(verify = true) ~address spec =
   Array.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
   finish spec acc ~verify ~elapsed_s
 
+(* One-shot client call for the scrape/top utilities: connect, send the
+   envelopes in order, await one reply per envelope, close. *)
+let rpc_once ~address envelopes =
+  let conn = connect address in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close conn.fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      List.map
+        (fun env ->
+          send_line conn (P.encode_request env);
+          match P.parse_response (recv_line conn) with
+          | Ok r -> r
+          | Error msg -> failwith ("unparseable reply: " ^ msg))
+        envelopes)
+
 let pp_outcome ppf (o : outcome) =
   Format.fprintf ppf
     "@[<v>requests   %d (ok %d, errors %d, overload retries %d)@,\
      elapsed    %.3f s  (%.0f ops/s)@,\
      latency    p50 %.0f us   p99 %.0f us   max %.0f us@,\
+     trace echo %s@,\
      verify     %s@]"
     o.sent o.ok o.errors o.overloads o.elapsed_s o.throughput o.p50_us o.p99_us
     o.max_us
+    (if o.echo_failures = 0 then "ok: every reply echoed its request's trace id"
+     else Printf.sprintf "FAILED: %d replies with missing/wrong trace id"
+       o.echo_failures)
     (match o.mismatches with
     | None -> "off"
     | Some 0 -> "ok: all evaluation digests match the sequential replay"

@@ -28,11 +28,20 @@ type outcome = {
   ok : int;
   errors : int;  (** error replies other than [overloaded] *)
   overloads : int;  (** [overloaded] replies observed (each retried) *)
+  echo_failures : int;
+      (** replies whose [trace_id] did not echo the request's — every
+          loadgen request sends one ([lg<client>-<id>]), so this must be
+          0 against a correct server *)
   elapsed_s : float;
   throughput : float;  (** successful replies per second *)
   p50_us : float;
   p99_us : float;
   max_us : float;
+  latencies_us : (string * float) array;
+      (** every request as (op, latency in us), sorted by latency — the
+          samples behind the percentiles above, exposed so callers can
+          pool distributions across runs and slice them per operation (a
+          single run's p50 mixes op modes and is too noisy to gate on) *)
   digests : string list array;  (** per client, evaluation results in order *)
   mismatches : int option;  (** digest mismatches vs the sequential replay
                                 ([None] when verification was off) *)
@@ -51,5 +60,12 @@ val run_inprocess : ?verify:bool -> Service.t -> spec -> outcome
 (** Drive a running server over its socket: one connection per client,
     requests pipelined round-robin, bounded retry on [overloaded]. *)
 val run_socket : ?verify:bool -> address:Loop.address -> spec -> outcome
+
+(** One-shot client call: connect, send the envelopes in order, await one
+    reply per envelope, close.  Used by the [clio_serve scrape]/[top]
+    utilities.  @raise Failure on an unparseable reply or closed
+    connection. *)
+val rpc_once :
+  address:Loop.address -> Protocol.envelope list -> Protocol.response list
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,6 +1,9 @@
 module P = Protocol
+module J = Obs.Json
 
 type address = Unix_path of string | Tcp of int
+
+type stop_reason = Drained | Interrupted of int
 
 type config = {
   address : address;
@@ -52,12 +55,17 @@ let take_frames conn =
 
 let run ?on_ready config service =
   let registry = Service.registry service in
+  let telemetry = Service.telemetry service in
+  let tlog level event fields = Telemetry.log telemetry level event fields in
   let lfd = listen_socket config.address in
-  let stop = ref false in
+  (* [Some code] once a signal fired: the conventional exit code (130 for
+     SIGINT, 143 for SIGTERM) the caller should exit with after the
+     drain. *)
+  let stop : int option ref = ref None in
   let prev_term =
-    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true))
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := Some 143))
   and prev_int =
-    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := Some 130))
   and prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
   let queue : (conn * P.envelope) Queue.t = Queue.create () in
@@ -69,6 +77,8 @@ let run ?on_ready config service =
       ]);
   let close_conn conn =
     Hashtbl.remove conns conn.fd;
+    tlog Obs.Event_log.Debug "conn.close"
+      [ ("connections", J.Num (float_of_int (Hashtbl.length conns))) ];
     try Unix.close conn.fd with Unix.Unix_error _ -> ()
   in
   let accept_ready () =
@@ -84,10 +94,15 @@ let run ?on_ready config service =
         if Hashtbl.length conns >= config.max_connections then begin
           (* Reject at the door, but with a frame the client can parse. *)
           conn.closing <- true;
+          tlog Obs.Event_log.Warn "conn.reject"
+            [ ("reason", J.Str "connection limit reached") ];
           send conn
             (P.encode_response
                (P.error None P.Overloaded "connection limit reached"))
-        end;
+        end
+        else
+          tlog Obs.Event_log.Debug "conn.accept"
+            [ ("connections", J.Num (float_of_int (1 + Hashtbl.length conns))) ];
         Hashtbl.replace conns fd conn
   in
   let admit conn frame =
@@ -95,18 +110,37 @@ let run ?on_ready config service =
     | Error (id, code, msg) ->
         Registry.count_request registry;
         Registry.count_error registry;
+        tlog Obs.Event_log.Warn "request.parse_error"
+          (("message", J.Str msg)
+          ::
+          (match id with
+          | Some id -> [ ("id", J.Num (float_of_int id)) ]
+          | None -> []));
         send conn (P.encode_response (P.error id code msg))
     | Ok env ->
         if Queue.length queue >= config.queue_capacity then begin
           Registry.count_request registry;
           Registry.count_error registry;
           Registry.count_overload registry;
+          tlog Obs.Event_log.Warn "request.overload"
+            (("id", J.Num (float_of_int env.P.id))
+            ::
+            (match env.P.trace_id with
+            | Some tid -> [ ("trace_id", J.Str tid) ]
+            | None -> []));
           send conn
             (P.encode_response
-               (P.error (Some env.P.id) P.Overloaded
+               (P.error ?trace_id:env.P.trace_id (Some env.P.id) P.Overloaded
                   "request queue full, retry later"))
         end
-        else Queue.add (conn, env) queue
+        else begin
+          tlog Obs.Event_log.Debug "request.admit"
+            [
+              ("id", J.Num (float_of_int env.P.id));
+              ("queued", J.Num (float_of_int (1 + Queue.length queue)));
+            ];
+          Queue.add (conn, env) queue
+        end
   in
   let read_ready conn =
     let chunk = Bytes.create 65536 in
@@ -150,7 +184,7 @@ let run ?on_ready config service =
   in
   Unix.set_nonblock lfd;
   (match on_ready with Some f -> f () | None -> ());
-  let draining () = !stop || Service.draining service in
+  let draining () = !stop <> None || Service.draining service in
   (* Main phase: accept, read, execute, write. *)
   while not (draining ()) do
     let reads =
@@ -184,6 +218,16 @@ let run ?on_ready config service =
   done;
   (* Drain phase: no more reads or accepts; answer what was queued and
      flush every connection, bounded so a stuck peer cannot wedge exit. *)
+  tlog Obs.Event_log.Info "server.drain"
+    [
+      ( "reason",
+        J.Str
+          (match !stop with
+          | Some 130 -> "sigint"
+          | Some _ -> "sigterm"
+          | None -> "shutdown_request") );
+      ("queued", J.Num (float_of_int (Queue.length queue)));
+    ];
   execute_queued ();
   let deadline = Unix.gettimeofday () +. 5.0 in
   let pending () =
@@ -213,4 +257,15 @@ let run ?on_ready config service =
   | Tcp _ -> ());
   Sys.set_signal Sys.sigterm prev_term;
   Sys.set_signal Sys.sigint prev_int;
-  Sys.set_signal Sys.sigpipe prev_pipe
+  Sys.set_signal Sys.sigpipe prev_pipe;
+  let reason =
+    match !stop with Some code -> Interrupted code | None -> Drained
+  in
+  tlog Obs.Event_log.Info "server.shutdown"
+    [
+      ( "exit",
+        J.Num (match reason with Interrupted c -> float_of_int c | Drained -> 0.)
+      );
+    ];
+  Telemetry.flush telemetry;
+  reason

@@ -12,11 +12,22 @@
     Shutdown: SIGTERM/SIGINT (or a [shutdown] request) flips the loop into
     draining — it stops reading, finishes every queued request, flushes
     every connection's output buffer, closes, removes the socket file, and
-    returns.  The caller then exits 0. *)
+    returns a {!stop_reason}.  The caller exits 0 after a [shutdown]
+    drain, or with the conventional signal code (130/143) after
+    SIGINT/SIGTERM — telemetry sinks are flushed either way.
+
+    Transport telemetry (through the service's {!Telemetry.t}):
+    [conn.accept]/[conn.close]/[request.admit] at debug,
+    [conn.reject]/[request.overload]/[request.parse_error] at warn,
+    [server.drain]/[server.shutdown] at info. *)
 
 type address =
   | Unix_path of string
   | Tcp of int  (** loopback only: binds 127.0.0.1 *)
+
+(** Why the loop returned: a drained [shutdown] request, or a signal with
+    its conventional exit code (SIGINT 130, SIGTERM 143). *)
+type stop_reason = Drained | Interrupted of int
 
 type config = {
   address : address;
@@ -29,4 +40,4 @@ val default_config : address -> config
 
 (** Blocks until shutdown.  [on_ready] (if given) runs once the socket is
     listening — the bench harness uses it to start its clients. *)
-val run : ?on_ready:(unit -> unit) -> config -> Service.t -> unit
+val run : ?on_ready:(unit -> unit) -> config -> Service.t -> stop_reason

@@ -29,9 +29,15 @@ type request =
   | Insert of { relation : string; rows : Value.t array list }
   | Rank
   | Stats
+  | Metrics_prom
   | Shutdown
 
-type envelope = { id : int; session : string option; request : request }
+type envelope = {
+  id : int;
+  session : string option;
+  request : request;
+  trace_id : string option;
+}
 
 type entry_info = {
   entry : int;
@@ -57,6 +63,7 @@ type result =
   | Entries of entry_info list
   | Inserted of { fresh : bool; version : int }
   | Stats_report of (string * float) list
+  | Prom_text of string
   | Bye
 
 type error_code =
@@ -87,6 +94,7 @@ let error_code_of_name = function
 type response = {
   id : int option;
   result : (result, error_code * string) Stdlib.result;
+  trace_id : string option;
 }
 
 (* --- value <-> JSON ---
@@ -172,17 +180,23 @@ let request_fields = function
         ] )
   | Rank -> ("rank", [])
   | Stats -> ("stats", [])
+  | Metrics_prom -> ("metrics_prom", [])
   | Shutdown -> ("shutdown", [])
 
-let encode_request { id; session; request } =
+let encode_request { id; session; request; trace_id } =
   let op, fields = request_fields request in
   let session_field =
     match session with None -> [] | Some s -> [ ("session", J.Str s) ]
   in
+  (* trace_id is emitted only when present, so a client that never sends
+     one produces frames byte-identical to the pre-telemetry protocol. *)
+  let trace_field =
+    match trace_id with None -> [] | Some t -> [ ("trace_id", J.Str t) ]
+  in
   J.to_string
     (J.Obj
        ((("id", J.Num (float_of_int id)) :: ("op", J.Str op) :: session_field)
-       @ fields))
+       @ trace_field @ fields))
 
 (* --- encoding: responses --- *)
 
@@ -251,22 +265,31 @@ let result_json = function
           ("kind", J.Str "stats");
           ("counters", J.Obj (List.map (fun (k, v) -> (k, J.Num v)) counters));
         ]
+  | Prom_text text ->
+      J.Obj [ ("kind", J.Str "prom"); ("text", J.Str text) ]
   | Bye -> J.Obj [ ("kind", J.Str "bye") ]
 
-let encode_response { id; result } =
+let encode_response { id; result; trace_id } =
   let id_field =
     match id with
     | Some id -> [ ("id", J.Num (float_of_int id)) ]
     | None -> [ ("id", J.Null) ]
   in
+  (* Echoed only when the request carried one: replies to trace-id-less
+     clients stay byte-identical to the pre-telemetry protocol. *)
+  let trace_field =
+    match trace_id with None -> [] | Some t -> [ ("trace_id", J.Str t) ]
+  in
   match result with
   | Ok r ->
       J.to_string
-        (J.Obj (id_field @ [ ("ok", J.Bool true); ("result", result_json r) ]))
+        (J.Obj
+           (id_field @ trace_field
+           @ [ ("ok", J.Bool true); ("result", result_json r) ]))
   | Error (code, message) ->
       J.to_string
         (J.Obj
-           (id_field
+           (id_field @ trace_field
            @ [
                ("ok", J.Bool false);
                ( "error",
@@ -277,8 +300,8 @@ let encode_response { id; result } =
                    ] );
              ]))
 
-let ok id r = { id = Some id; result = Ok r }
-let error id code message = { id; result = Error (code, message) }
+let ok ?trace_id id r = { id = Some id; result = Ok r; trace_id }
+let error ?trace_id id code message = { id; result = Error (code, message); trace_id }
 
 (* --- parsing helpers --- *)
 
@@ -379,8 +402,15 @@ let request_of_json j =
       Insert { relation = str_field "relation" j; rows }
   | "rank" -> Rank
   | "stats" -> Stats
+  | "metrics_prom" -> Metrics_prom
   | "shutdown" -> Shutdown
   | op -> reject "unknown op %S" op
+
+let trace_id_of_json j =
+  match J.member "trace_id" j with
+  | Some (J.Str s) -> Some s
+  | Some J.Null | None -> None
+  | Some _ -> reject "field \"trace_id\" must be a string"
 
 let parse_request line =
   match J.parse line with
@@ -403,7 +433,8 @@ let parse_request line =
               | Some J.Null | None -> None
               | Some _ -> reject "field \"session\" must be a string"
             in
-            Ok { id; session; request = request_of_json j }
+            let trace_id = trace_id_of_json j in
+            Ok { id; session; request = request_of_json j; trace_id }
           with Reject msg -> Error (Some id, Bad_request, msg)))
 
 (* --- parsing: responses --- *)
@@ -500,6 +531,7 @@ let result_of_json j =
                 )
               fields
         | _ -> reject "missing field \"counters\"")
+  | "prom" -> Prom_text (str_field "text" j)
   | "bye" -> Bye
   | k -> reject "unknown result kind %S" k
 
@@ -515,10 +547,11 @@ let parse_response line =
           | Some J.Null -> None
           | _ -> reject "\"id\" must be an integer or null"
         in
+        let trace_id = trace_id_of_json j in
         match J.member "ok" j with
         | Some (J.Bool true) -> (
             match J.member "result" j with
-            | Some r -> Ok { id; result = Ok (result_of_json r) }
+            | Some r -> Ok { id; result = Ok (result_of_json r); trace_id }
             | None -> reject "missing field \"result\"")
         | Some (J.Bool false) -> (
             match J.member "error" j with
@@ -529,7 +562,7 @@ let parse_response line =
                   | Some c -> c
                   | None -> reject "unknown error code %S" code_name
                 in
-                Ok { id; result = Error (code, str_field "message" e) }
+                Ok { id; result = Error (code, str_field "message" e); trace_id }
             | None -> reject "missing field \"error\"")
         | _ -> reject "\"ok\" must be a boolean"
       with Reject msg -> Error msg)

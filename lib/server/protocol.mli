@@ -57,11 +57,23 @@ type request =
           every workspace illustration ({!Clio.Workspace.add_tuples}). *)
   | Rank
   | Stats
+  | Metrics_prom
+      (** one-shot Prometheus text-exposition scrape of the server's
+          Obs registries ([clio_serve scrape]) *)
   | Shutdown
 
 (** A request with its client-chosen id and (for session verbs) the
-    session it addresses. *)
-type envelope = { id : int; session : string option; request : request }
+    session it addresses.  [trace_id], when sent, is attached to the
+    request's server-side telemetry (log line, spans, exemplar trace) and
+    echoed verbatim on the response; when absent the server assigns an
+    internal id and the reply is byte-identical to the pre-telemetry
+    protocol — old clients are unaffected. *)
+type envelope = {
+  id : int;
+  session : string option;
+  request : request;
+  trace_id : string option;
+}
 
 type entry_info = {
   entry : int;
@@ -88,6 +100,8 @@ type result =
   | Entries of entry_info list
   | Inserted of { fresh : bool; version : int }
   | Stats_report of (string * float) list
+  | Prom_text of string
+      (** Prometheus text exposition document ({!Obs.Prom_export}) *)
   | Bye  (** shutdown acknowledged; the server drains and exits *)
 
 type error_code =
@@ -105,6 +119,8 @@ val error_code_name : error_code -> string
 type response = {
   id : int option;  (** [None] when no id could be recovered from the frame *)
   result : (result, error_code * string) Stdlib.result;
+  trace_id : string option;
+      (** echo of the request's [trace_id]; never present unless sent *)
 }
 
 (** Encoders emit a single line (no trailing newline). *)
@@ -123,5 +139,5 @@ val parse_response : string -> (response, string) Stdlib.result
 
 (** Convenience constructors used by the server. *)
 
-val ok : int -> result -> response
-val error : int option -> error_code -> string -> response
+val ok : ?trace_id:string -> int -> result -> response
+val error : ?trace_id:string -> int option -> error_code -> string -> response

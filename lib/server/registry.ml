@@ -1,11 +1,22 @@
 type metrics = {
   per_op : (string, int) Hashtbl.t;
+  (* accumulated per-request cache.* counter deltas (hits, misses,
+     promote outcomes...) attributed to this session's requests *)
+  cache_deltas : (string, int) Hashtbl.t;
   mutable requests : int;
   mutable errors : int;
   mutable latencies_us : float list;  (** newest first *)
+  mutable latency_retained : int;  (** length of [latencies_us] *)
   mutable latency_max : float;
   mutable latency_sum : float;
 }
+
+(* Latency samples retained per session for the percentile report.  Beyond
+   the cap the window slides: percentiles describe the most recent
+   [latency_keep] requests (mean/max stay all-time).  Mirrors the
+   Obs.Histogram reservoir fix — a long-lived session must not retain one
+   float per request forever. *)
+let latency_keep = 4096
 
 type session = {
   sid : string;
@@ -74,9 +85,11 @@ let open_session t spec =
       metrics =
         {
           per_op = Hashtbl.create 8;
+          cache_deltas = Hashtbl.create 8;
           requests = 0;
           errors = 0;
           latencies_us = [];
+          latency_retained = 0;
           latency_max = 0.;
           latency_sum = 0.;
         };
@@ -105,13 +118,28 @@ let count_error t = t.errors_total <- t.errors_total + 1
 let count_overload t = t.overloads_total <- t.overloads_total + 1
 let overloads t = t.overloads_total
 
-let record_op s ~op ~latency_us ~ok =
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+let record_op ?(cache_deltas = []) s ~op ~latency_us ~ok =
   let m = s.metrics in
   m.requests <- m.requests + 1;
   if not ok then m.errors <- m.errors + 1;
   Hashtbl.replace m.per_op op
     (1 + Option.value ~default:0 (Hashtbl.find_opt m.per_op op));
+  List.iter
+    (fun (name, d) ->
+      Hashtbl.replace m.cache_deltas name
+        (d + Option.value ~default:0 (Hashtbl.find_opt m.cache_deltas name)))
+    cache_deltas;
   m.latencies_us <- latency_us :: m.latencies_us;
+  m.latency_retained <- m.latency_retained + 1;
+  (* amortized O(1): truncate back to the cap only at twice the cap *)
+  if m.latency_retained > 2 * latency_keep then begin
+    m.latencies_us <- take latency_keep m.latencies_us;
+    m.latency_retained <- latency_keep
+  end;
   m.latency_sum <- m.latency_sum +. latency_us;
   if latency_us > m.latency_max then m.latency_max <- latency_us
 
@@ -134,6 +162,12 @@ let session_stats s =
       m.per_op []
     |> List.sort compare
   in
+  let cache =
+    Hashtbl.fold
+      (fun name d acc -> ("session." ^ name, float_of_int d) :: acc)
+      m.cache_deltas []
+    |> List.sort compare
+  in
   [
     ("session.requests", float_of_int m.requests);
     ("session.errors", float_of_int m.errors);
@@ -147,7 +181,7 @@ let session_stats s =
     ( "session.entries",
       float_of_int (List.length (Clio.Workspace.entries s.ws)) );
   ]
-  @ ops
+  @ ops @ cache
 
 let server_stats t =
   [
@@ -170,3 +204,46 @@ let server_stats t =
         ( "server.cache.bytes_resident",
           float_of_int (Engine.Eval_cache.bytes_resident cache) );
       ]
+
+(* Per-session metrics flattened under [sessions.<sid>.], appended to
+   no-session [stats] replies so one request paints the whole server —
+   what `clio_serve top` renders. *)
+let sessions_rollup t =
+  List.concat_map
+    (fun sid ->
+      match find t sid with
+      | None -> []
+      | Some s ->
+          List.map
+            (fun (k, v) ->
+              let suffix =
+                (* keys from [session_stats] all start with "session." *)
+                if String.length k > 8 && String.sub k 0 8 = "session." then
+                  String.sub k 8 (String.length k - 8)
+                else k
+              in
+              (Printf.sprintf "sessions.%s.%s" sid suffix, v))
+            (session_stats s))
+    (session_ids t)
+
+(* The same numbers shaped for Prometheus: server.* as plain gauges,
+   per-session metrics as [session_*] gauge families with a [session]
+   label instead of the sid baked into the name. *)
+let prom_gauges t =
+  List.map
+    (fun (k, v) -> { Obs.Prom_export.gauge_name = k; labels = []; value = v })
+    (server_stats t)
+  @ List.concat_map
+      (fun sid ->
+        match find t sid with
+        | None -> []
+        | Some s ->
+            List.map
+              (fun (k, v) ->
+                {
+                  Obs.Prom_export.gauge_name = k;
+                  labels = [ ("session", sid) ];
+                  value = v;
+                })
+              (session_stats s))
+      (session_ids t)

@@ -55,15 +55,35 @@ val count_overload : t -> unit
 val overloads : t -> int
 
 (** [record_op s ~op ~latency_us ~ok] — bump the session's per-verb
-    counter and retain the latency sample. *)
-val record_op : session -> op:string -> latency_us:float -> ok:bool -> unit
+    counter, fold the request's [cache.*] counter deltas (from
+    {!Obs.Scope}) into the session's cache attribution, and retain the
+    latency sample.  Latency retention is capped (newest 4096): beyond the
+    cap, p50/p99 describe the most recent window while mean/max stay
+    all-time. *)
+val record_op :
+  ?cache_deltas:(string * int) list ->
+  session ->
+  op:string ->
+  latency_us:float ->
+  ok:bool ->
+  unit
 
 (** The [session.*] metrics of one session: request/error totals, per-verb
     counts, latency mean/max and nearest-rank p50/p99 (µs), database
-    version, workspace entry count. *)
+    version, workspace entry count, and accumulated [session.cache.*]
+    deltas. *)
 val session_stats : session -> (string * float) list
 
 (** The [server.*] metrics: sessions open/opened, requests, errors,
     overload rejections, uptime, and the shared cache's entry count and
     resident bytes. *)
 val server_stats : t -> (string * float) list
+
+(** Every open session's {!session_stats} flattened under
+    [sessions.<sid>.<metric>], sid-sorted — appended to no-session [stats]
+    replies. *)
+val sessions_rollup : t -> (string * float) list
+
+(** {!server_stats} as unlabeled gauges plus each session's metrics as
+    [session]-labeled gauges, for the Prometheus exposition. *)
+val prom_gauges : t -> Obs.Prom_export.gauge list

@@ -5,11 +5,21 @@ type t = {
   registry : Registry.t;
   mutable draining : bool;
   mutable extra_stats : unit -> (string * float) list;
+  mutable telemetry : Telemetry.t;
 }
 
-let create registry = { registry; draining = false; extra_stats = (fun () -> []) }
+let create registry =
+  {
+    registry;
+    draining = false;
+    extra_stats = (fun () -> []);
+    telemetry = Telemetry.none;
+  }
+
 let registry t = t.registry
 let set_extra_stats t f = t.extra_stats <- f
+let set_telemetry t tel = t.telemetry <- tel
+let telemetry t = t.telemetry
 let draining t = t.draining
 
 let digest_of rel = Digest.to_hex (Digest.string (Render.relation rel))
@@ -126,7 +136,7 @@ let run_session_verb t session request =
       P.Inserted { fresh = after <> before; version = after }
   | P.Rank -> rank session
   | P.Stats -> P.Stats_report (Registry.session_stats session)
-  | P.Ping | P.Open_session _ | P.Shutdown ->
+  | P.Ping | P.Open_session _ | P.Metrics_prom | P.Shutdown ->
       assert false (* handled before session dispatch *)
 
 let verb_name = function
@@ -142,75 +152,124 @@ let verb_name = function
   | P.Insert _ -> "insert"
   | P.Rank -> "rank"
   | P.Stats -> "stats"
+  | P.Metrics_prom -> "metrics_prom"
   | P.Shutdown -> "shutdown"
 
-let handle t (env : P.envelope) =
-  Registry.count_request t.registry;
+(* Execute the request, returning the reply and (for session verbs) the
+   session it ran against, so the caller can attribute the request's
+   latency and cache deltas to it. *)
+let dispatch t (env : P.envelope) =
   let id = env.id in
-  let reply =
-    if t.draining && env.request <> P.Shutdown then
-      P.error (Some id) P.Unavailable "server is draining"
-    else
-      match env.request with
-      | P.Ping -> P.ok id P.Pong
-      | P.Stats when env.session = None ->
-          (* Server-wide stats, including the transport's gauges. *)
-          P.ok id
+  if t.draining && env.request <> P.Shutdown then
+    (P.error (Some id) P.Unavailable "server is draining", None)
+  else
+    match env.request with
+    | P.Ping -> (P.ok id P.Pong, None)
+    | P.Stats when env.session = None ->
+        (* Server-wide stats: the registry's totals, every session
+           flattened under [sessions.<sid>.*], and the transport's
+           gauges. *)
+        ( P.ok id
             (P.Stats_report
-               (Registry.server_stats t.registry @ t.extra_stats ()))
-      | P.Shutdown ->
-          t.draining <- true;
-          P.ok id P.Bye
-      | P.Open_session spec -> begin
-          match Scenario.validate spec with
-          | Error msg -> P.error (Some id) P.Bad_request msg
-          | Ok () ->
-              let session = Registry.open_session t.registry spec in
-              let db = Clio.Workspace.db session.Registry.ws in
-              P.ok id
+               (Registry.server_stats t.registry
+               @ Registry.sessions_rollup t.registry
+               @ t.extra_stats ())),
+          None )
+    | P.Metrics_prom ->
+        let gauges =
+          Registry.prom_gauges t.registry
+          @ List.map
+              (fun (k, v) ->
+                { Obs.Prom_export.gauge_name = k; labels = []; value = v })
+              (t.extra_stats ())
+        in
+        (P.ok id (P.Prom_text (Obs.Prom_export.render ~gauges ())), None)
+    | P.Shutdown ->
+        t.draining <- true;
+        (P.ok id P.Bye, None)
+    | P.Open_session spec -> begin
+        match Scenario.validate spec with
+        | Error msg -> (P.error (Some id) P.Bad_request msg, None)
+        | Ok () ->
+            let session = Registry.open_session t.registry spec in
+            let db = Clio.Workspace.db session.Registry.ws in
+            ( P.ok id
                 (P.Opened
                    {
                      session = session.Registry.sid;
                      relations = Database.relation_names db;
                      version = Database.version db;
-                   })
-        end
-      | request -> begin
-          match env.session with
-          | None ->
-              P.error (Some id) P.Bad_request
-                "this request needs a \"session\" field"
-          | Some sid -> begin
-              match Registry.find t.registry sid with
-              | None ->
-                  P.error (Some id) P.Unknown_session
-                    (Printf.sprintf "no session %S" sid)
-              | Some session ->
-                  let t0 = Unix.gettimeofday () in
-                  let reply =
-                    match run_session_verb t session request with
-                    | result -> P.ok id result
-                    | exception Invalid_argument msg ->
-                        P.error (Some id) P.Bad_request msg
-                    | exception Not_found ->
-                        P.error (Some id) P.Bad_request "unknown entry"
-                    | exception exn ->
-                        P.error (Some id) P.Internal (Printexc.to_string exn)
-                  in
-                  let latency_us =
-                    (Unix.gettimeofday () -. t0) *. 1_000_000.
-                  in
-                  Registry.record_op session ~op:(verb_name request)
-                    ~latency_us
-                    ~ok:(Stdlib.Result.is_ok reply.P.result);
-                  reply
-            end
-        end
+                   }),
+              None )
+      end
+    | request -> begin
+        match env.session with
+        | None ->
+            ( P.error (Some id) P.Bad_request
+                "this request needs a \"session\" field",
+              None )
+        | Some sid -> begin
+            match Registry.find t.registry sid with
+            | None ->
+                ( P.error (Some id) P.Unknown_session
+                    (Printf.sprintf "no session %S" sid),
+                  None )
+            | Some session ->
+                let reply =
+                  match run_session_verb t session request with
+                  | result -> P.ok id result
+                  | exception Invalid_argument msg ->
+                      P.error (Some id) P.Bad_request msg
+                  | exception Not_found ->
+                      P.error (Some id) P.Bad_request "unknown entry"
+                  | exception exn ->
+                      P.error (Some id) P.Internal (Printexc.to_string exn)
+                in
+                (reply, Some session)
+          end
+      end
+
+let cache_prefix = "cache."
+
+let is_cache_delta (name, _) =
+  String.length name >= String.length cache_prefix
+  && String.sub name 0 (String.length cache_prefix) = cache_prefix
+
+let handle t (env : P.envelope) =
+  Registry.count_request t.registry;
+  (* Every request runs under a scope: the client's trace id when sent,
+     a server-assigned one otherwise.  The scope captures the request's
+     span subtree and counter deltas for the log line / exemplar. *)
+  let trace_id =
+    match env.trace_id with Some tid -> tid | None -> Obs.Scope.fresh_id ()
   in
-  (match reply.P.result with
-  | Ok _ -> ()
-  | Error _ -> Registry.count_error t.registry);
-  reply
+  let op = verb_name env.request in
+  let (reply, session), record =
+    Obs.Scope.run
+      ~attrs:[ ("op", op); ("request_id", string_of_int env.id) ]
+      ~trace_id Obs.Names.sp_request
+      (fun () -> dispatch t env)
+  in
+  let ok = Stdlib.Result.is_ok reply.P.result in
+  (match session with
+  | Some session ->
+      Registry.record_op session
+        ~cache_deltas:(List.filter is_cache_delta record.Obs.Scope.deltas)
+        ~op
+        ~latency_us:(record.Obs.Scope.duration_ms *. 1000.)
+        ~ok
+  | None -> ());
+  if not ok then Registry.count_error t.registry;
+  Telemetry.request_complete t.telemetry ~record ~op ~id:env.id
+    ~session:
+      (match session with
+      | Some s -> Some s.Registry.sid
+      | None -> env.session)
+    ~ok
+    ~client_traced:(env.trace_id <> None);
+  (* Echo the trace id only when the client sent one: trace-id-less
+     clients get replies byte-identical to the pre-telemetry wire. *)
+  { reply with P.trace_id = env.trace_id }
 
 let handle_frame t line =
   let reply =

@@ -18,9 +18,22 @@ val registry : t -> Registry.t
     connection count) appended to no-session [stats] replies. *)
 val set_extra_stats : t -> (unit -> (string * float) list) -> unit
 
+(** Telemetry sinks ({!Telemetry.none} until set).  Every executed request
+    runs under an {!Obs.Scope} — the client's [trace_id] when sent, a
+    server-assigned id otherwise — whose record feeds the
+    [request.complete] log line, the per-session cache attribution, and
+    the slow-request exemplar ring. *)
+val set_telemetry : t -> Telemetry.t -> unit
+
+val telemetry : t -> Telemetry.t
+
 (** [true] after a [shutdown] request was accepted: the owner should stop
     admitting work, finish what is queued, and exit. *)
 val draining : t -> bool
+
+(** The short operation name a request is attributed under in stats,
+    logs and the load generator's latency dump ("evaluate", "rotate", …). *)
+val verb_name : Protocol.request -> string
 
 val handle : t -> Protocol.envelope -> Protocol.response
 

@@ -301,6 +301,343 @@ let test_histogram_percentiles_small =
   Alcotest.(check (float 1e-9)) "p50 of pair" 1. (Obs.Histogram.percentile h2 50.);
   Alcotest.(check (float 1e-9)) "p90 of pair" 3. (Obs.Histogram.percentile h2 90.)
 
+(* --- histogram reservoir bounds --- *)
+
+let test_histogram_reservoir_bounded =
+  with_obs @@ fun () ->
+  let cap = Obs.Histogram.reservoir_cap in
+  let h = Obs.Histogram.make "test.reservoir" in
+  let n = (3 * cap) + 17 in
+  (* 1..n shuffled deterministically; a co-prime stride visits each once. *)
+  let stride = 104729 in
+  for i = 0 to n - 1 do
+    Obs.observe h (float_of_int ((i * stride mod n) + 1))
+  done;
+  let s = Obs.Histogram.stats h in
+  Alcotest.(check int) "count stays exact past the cap" n s.Obs.Histogram.n;
+  Alcotest.(check (float 1e-6)) "sum stays exact"
+    (float_of_int (n * (n + 1) / 2))
+    s.Obs.Histogram.sum;
+  Alcotest.(check (float 1e-9)) "min stays exact" 1. s.Obs.Histogram.min;
+  Alcotest.(check (float 1e-9)) "max stays exact" (float_of_int n)
+    s.Obs.Histogram.max;
+  Alcotest.(check int) "retention bounded at reservoir_cap" cap
+    (Obs.Histogram.sample_count h);
+  (* The reservoir is a uniform sample of 1..n: its median estimates n/2.
+     With cap=4096 the estimate concentrates well within ±10% — this is a
+     determinism-backed bound (the per-name RNG stream is fixed), not a
+     probabilistic flake. *)
+  let p50 = s.Obs.Histogram.p50 and mid = float_of_int n /. 2. in
+  Alcotest.(check bool)
+    (Printf.sprintf "reservoir p50 %.0f within 10%% of %.0f" p50 mid)
+    true
+    (Float.abs (p50 -. mid) <= 0.1 *. mid)
+
+let test_histogram_exact_below_cap =
+  with_obs @@ fun () ->
+  let h = Obs.Histogram.make "test.exact" in
+  let n = Obs.Histogram.reservoir_cap in
+  for i = n downto 1 do
+    Obs.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "all samples retained at the cap" n
+    (Obs.Histogram.sample_count h);
+  (* Nearest-rank percentiles of 1..n are exact integers. *)
+  Alcotest.(check (float 1e-9)) "p50 exact"
+    (Float.of_int (int_of_float (ceil (0.50 *. float_of_int n))))
+    (Obs.Histogram.percentile h 50.);
+  Alcotest.(check (float 1e-9)) "p99 exact"
+    (Float.of_int (int_of_float (ceil (0.99 *. float_of_int n))))
+    (Obs.Histogram.percentile h 99.)
+
+let test_histogram_bucket_counts =
+  with_obs @@ fun () ->
+  let h = Obs.Histogram.make "test.buckets" in
+  let bounds = Obs.Histogram.bucket_bounds in
+  (* One observation exactly on each bound (le is inclusive), plus two
+     beyond the last bound (the +Inf overflow slot). *)
+  Array.iter (Obs.observe h) bounds;
+  Obs.observe h (bounds.(Array.length bounds - 1) *. 10.);
+  Obs.observe h infinity;
+  let counts = Obs.Histogram.bucket_counts h in
+  Alcotest.(check int) "one slot per bound plus overflow"
+    (Array.length bounds + 1)
+    (Array.length counts);
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int) (Printf.sprintf "bucket %d" i)
+        (if i = Array.length bounds then 2 else 1)
+        c)
+    counts;
+  Alcotest.(check bool) "bounds strictly increasing" true
+    (let ok = ref true in
+     Array.iteri
+       (fun i b -> if i > 0 && b <= bounds.(i - 1) then ok := false)
+       bounds;
+     !ok)
+
+(* --- Prometheus exposition --- *)
+
+let test_prom_sanitize () =
+  List.iter
+    (fun (input, expected) ->
+      Alcotest.(check string) input expected (Obs.Prom_export.sanitize_name input))
+    [
+      ("fj.hits", "clio_fj_hits");
+      ("server.queue-depth", "clio_server_queue_depth");
+      ("0day", "clio_0day");
+      ("weird näme", "clio_weird_n__me");
+      ("already_ok:colons", "clio_already_ok:colons");
+    ];
+  Alcotest.(check string) "label escaping"
+    "a\\\\b\\\"c\\nd"
+    (Obs.Prom_export.escape_label_value "a\\b\"c\nd")
+
+let test_prom_render_validates =
+  with_obs @@ fun () ->
+  Obs.add Obs.Names.index_probes 41;
+  let h = Obs.Histogram.make "test.prom" in
+  List.iter (Obs.observe h) [ 0.02; 0.3; 7.; 1e6 ];
+  let gauges =
+    [
+      { Obs.Prom_export.gauge_name = "sessions.open"; labels = []; value = 3. };
+      {
+        Obs.Prom_export.gauge_name = "session.requests";
+        labels = [ ("session", "s\"1\n") ];
+        value = 12.;
+      };
+    ]
+  in
+  let text = Obs.Prom_export.render ~gauges () in
+  (match Obs.Prom_export.validate text with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "rendered exposition invalid: %s" msg);
+  let has needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter family present" true
+    (has "clio_fulldisj_index_probes_total 41");
+  Alcotest.(check bool) "histogram TYPE line" true
+    (has "# TYPE clio_test_prom_ms histogram");
+  Alcotest.(check bool) "+Inf bucket carries total count" true
+    (has "clio_test_prom_ms_bucket{le=\"+Inf\"} 4");
+  Alcotest.(check bool) "count line" true (has "clio_test_prom_ms_count 4");
+  Alcotest.(check bool) "plain gauge" true (has "clio_sessions_open 3");
+  Alcotest.(check bool) "labeled gauge with escaping" true
+    (has "clio_session_requests{session=\"s\\\"1\\n\"} 12")
+
+let test_prom_validate_rejects () =
+  List.iter
+    (fun (label, doc) ->
+      match Obs.Prom_export.validate doc with
+      | Ok () -> Alcotest.failf "%s unexpectedly valid" label
+      | Error _ -> ())
+    [
+      ("bad metric name", "clio_bad-name 1\n");
+      ("unparseable value", "clio_x notanumber\n");
+      ( "non-monotone buckets",
+        "clio_h_ms_bucket{le=\"1\"} 5\nclio_h_ms_bucket{le=\"2\"} 3\n\
+         clio_h_ms_bucket{le=\"+Inf\"} 5\nclio_h_ms_count 5\n" );
+      ( "bounds out of order",
+        "clio_h_ms_bucket{le=\"2\"} 1\nclio_h_ms_bucket{le=\"1\"} 2\n\
+         clio_h_ms_bucket{le=\"+Inf\"} 2\nclio_h_ms_count 2\n" );
+      ( "missing +Inf",
+        "clio_h_ms_bucket{le=\"1\"} 1\nclio_h_ms_count 1\n" );
+      ( "+Inf disagrees with count",
+        "clio_h_ms_bucket{le=\"1\"} 1\nclio_h_ms_bucket{le=\"+Inf\"} 1\n\
+         clio_h_ms_count 2\n" );
+    ];
+  match Obs.Prom_export.validate "# just a comment\n\n" with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "comments/blank lines must pass: %s" msg
+
+(* --- event log --- *)
+
+let with_temp_log f () =
+  let path = Filename.temp_file "clio_test_log" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".1"; path ^ ".2"; path ^ ".3" ])
+    (fun () -> f path)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let test_event_log_schema =
+  with_temp_log @@ fun path ->
+  let log = Obs.Event_log.create ~level:Obs.Event_log.Debug path in
+  Obs.Event_log.log log Obs.Event_log.Info "request.complete"
+    [ ("trace_id", Str "t-1"); ("latency_ms", Num 1.5) ];
+  Obs.Event_log.log log Obs.Event_log.Warn "request.overload" [];
+  Obs.Event_log.close log;
+  match List.map parse_json (read_lines path) with
+  | [ first; second ] ->
+      Alcotest.(check bool) "v is the schema version" true
+        (member "v" first
+        = Some (Num (float_of_int Obs.Event_log.schema_version)));
+      (match member "ts" first with
+      | Some (Num ts) ->
+          Alcotest.(check bool) "ts is a plausible epoch in ms" true
+            (ts > 1e12 && Float.is_integer ts)
+      | _ -> Alcotest.fail "first line lacks ts");
+      Alcotest.(check bool) "level rendered" true
+        (member "level" first = Some (Str "info"));
+      Alcotest.(check bool) "event rendered" true
+        (member "event" first = Some (Str "request.complete"));
+      Alcotest.(check bool) "custom fields follow" true
+        (member "trace_id" first = Some (Str "t-1")
+        && member "latency_ms" first = Some (Num 1.5));
+      Alcotest.(check bool) "second line is the warn" true
+        (member "level" second = Some (Str "warn"))
+  | lines -> Alcotest.failf "expected 2 lines, got %d" (List.length lines)
+
+let test_event_log_level_filter =
+  with_temp_log @@ fun path ->
+  let log = Obs.Event_log.create ~level:Obs.Event_log.Warn path in
+  Alcotest.(check bool) "debug below threshold" false
+    (Obs.Event_log.would_log log Obs.Event_log.Debug);
+  Alcotest.(check bool) "error above threshold" true
+    (Obs.Event_log.would_log log Obs.Event_log.Error);
+  Obs.Event_log.log log Obs.Event_log.Debug "dropped" [];
+  Obs.Event_log.log log Obs.Event_log.Info "dropped too" [];
+  Obs.Event_log.log log Obs.Event_log.Error "kept" [];
+  Obs.Event_log.close log;
+  Alcotest.(check int) "only the error line written" 1
+    (List.length (read_lines path))
+
+let test_event_log_rotation =
+  with_temp_log @@ fun path ->
+  (* Tiny threshold: every couple of lines forces a rotation; with keep=2
+     only the live file and path.1 may exist afterwards. *)
+  let log = Obs.Event_log.create ~max_bytes:256 ~keep:2 path in
+  for i = 1 to 50 do
+    Obs.Event_log.log log Obs.Event_log.Info "tick"
+      [ ("i", Num (float_of_int i)); ("pad", Str (String.make 40 'x')) ]
+  done;
+  Obs.Event_log.close log;
+  Alcotest.(check bool) "live file exists" true (Sys.file_exists path);
+  Alcotest.(check bool) "one rotated file kept" true
+    (Sys.file_exists (path ^ ".1"));
+  Alcotest.(check bool) "older rotations dropped" false
+    (Sys.file_exists (path ^ ".2"));
+  (* Both surviving files still hold only complete, parseable lines. *)
+  List.iter
+    (fun p ->
+      List.iter (fun l -> ignore (parse_json l)) (read_lines p))
+    [ path; path ^ ".1" ]
+
+let test_event_log_empty_path () =
+  match Obs.Event_log.create "" with
+  | exception Invalid_argument _ -> ()
+  | log ->
+      Obs.Event_log.close log;
+      Alcotest.fail "empty path accepted"
+
+(* Any event name and field set a caller could pick must produce a line
+   that parses back to exactly the fields written (the strict Json printer
+   is doing the escaping). *)
+let fuzz_event_log_roundtrip =
+  QCheck2.Test.make ~name:"event-log lines round-trip through strict Json"
+    ~count:100
+    QCheck2.Gen.(
+      pair (string_size (int_bound 20))
+        (small_list (pair (string_size (int_bound 10)) (string_size (int_bound 30)))))
+    (fun (event, fields) ->
+      (* Field keys must not collide with the four standard keys or each
+         other — the log writes them verbatim. *)
+      let reserved = [ "v"; "ts"; "level"; "event" ] in
+      let fields =
+        List.filteri
+          (fun i (k, _) ->
+            (not (List.mem k reserved))
+            && not (List.exists (fun (k', _) -> k' = k)
+                      (List.filteri (fun j _ -> j < i) fields)))
+          fields
+      in
+      let path = Filename.temp_file "clio_fuzz_log" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let log = Obs.Event_log.create path in
+          Obs.Event_log.log log Obs.Event_log.Info event
+            (List.map (fun (k, v) -> (k, Obs.Json.Str v)) fields);
+          Obs.Event_log.close log;
+          match read_lines path with
+          | [ line ] ->
+              let doc = parse_json line in
+              member "event" doc = Some (Str event)
+              && List.for_all
+                   (fun (k, v) -> member k doc = Some (Str v))
+                   fields
+          | _ -> false))
+
+(* --- request scopes --- *)
+
+let test_scope_captures =
+  with_obs @@ fun () ->
+  let c = Obs.Counter.make "test.scope.counter" in
+  Alcotest.(check (option string)) "no scope outside run" None
+    (Obs.Scope.current ());
+  let v, record =
+    Obs.Scope.run ~attrs:[ ("op", "ping") ] ~trace_id:"tid-1" "server.request"
+      (fun () ->
+        Alcotest.(check (option string)) "current inside the scope"
+          (Some "tid-1") (Obs.Scope.current ());
+        Obs.add c 3;
+        Obs.with_span "inner.work" (fun () -> ());
+        17)
+  in
+  Alcotest.(check int) "thunk value" 17 v;
+  Alcotest.(check string) "trace id" "tid-1" record.Obs.Scope.trace_id;
+  Alcotest.(check bool) "duration measured" true
+    (record.Obs.Scope.duration_ms >= 0.);
+  Alcotest.(check (option int)) "counter delta captured" (Some 3)
+    (List.assoc_opt "test.scope.counter" record.Obs.Scope.deltas);
+  (match record.Obs.Scope.root with
+  | Some root ->
+      Alcotest.(check string) "captured root name" "server.request"
+        (Obs.Span.name root);
+      Alcotest.(check (option string)) "trace id attr on the root"
+        (Some "tid-1")
+        (List.assoc_opt "trace_id" (Obs.Span.attrs root));
+      Alcotest.(check (list string)) "subtree travels with the root"
+        [ "inner.work" ]
+        (List.map Obs.Span.name (Obs.Span.children root))
+  | None -> Alcotest.fail "enabled scope must capture its root");
+  (* The captured subtree is detached: a long-lived server's global trace
+     does not grow per request. *)
+  Alcotest.(check int) "global trace empty after the scope" 0
+    (List.length (Obs.finished_spans ()));
+  Alcotest.(check (option string)) "scope popped" None (Obs.Scope.current ())
+
+let test_scope_disabled_is_cheap () =
+  Obs.disable ();
+  Obs.reset ();
+  let v, record = Obs.Scope.run ~trace_id:"t" "req" (fun () -> 5) in
+  Alcotest.(check int) "thunk runs" 5 v;
+  Alcotest.(check bool) "no captured root when disabled" true
+    (record.Obs.Scope.root = None);
+  Alcotest.(check int) "no deltas when disabled" 0
+    (List.length record.Obs.Scope.deltas)
+
+let test_scope_fresh_ids_unique () =
+  let ids = List.init 1000 (fun _ -> Obs.Scope.fresh_id ()) in
+  Alcotest.(check int) "1000 fresh ids, 1000 distinct" 1000
+    (List.length (List.sort_uniq compare ids))
+
 (* --- allocation-aware spans --- *)
 
 (* Keep the allocation out of the minor heap's noise floor. *)
@@ -733,6 +1070,40 @@ let () =
           tc "percentiles on tiny samples" `Quick
             test_histogram_percentiles_small;
           tc "names are authoritative" `Quick test_names_are_authoritative;
+        ] );
+      ( "reservoir",
+        [
+          tc "memory bounded past the cap, aggregates exact" `Quick
+            test_histogram_reservoir_bounded;
+          tc "percentiles exact at the cap" `Quick
+            test_histogram_exact_below_cap;
+          tc "exposition bucket counts exact" `Quick
+            test_histogram_bucket_counts;
+        ] );
+      ( "prometheus",
+        [
+          tc "name sanitization and label escaping" `Quick test_prom_sanitize;
+          tc "render passes its own validator" `Quick
+            test_prom_render_validates;
+          tc "validator rejects malformed expositions" `Quick
+            test_prom_validate_rejects;
+        ] );
+      ( "event-log",
+        [
+          tc "line schema v1" `Quick test_event_log_schema;
+          tc "level filtering" `Quick test_event_log_level_filter;
+          tc "size rotation keeps the newest files" `Quick
+            test_event_log_rotation;
+          tc "empty path rejected" `Quick test_event_log_empty_path;
+          QCheck_alcotest.to_alcotest ~long:false fuzz_event_log_roundtrip;
+        ] );
+      ( "scope",
+        [
+          tc "captures deltas and a detached subtree" `Quick
+            test_scope_captures;
+          tc "disabled scope measures only duration" `Quick
+            test_scope_disabled_is_cheap;
+          tc "fresh ids are unique" `Quick test_scope_fresh_ids_unique;
         ] );
       ( "export",
         [

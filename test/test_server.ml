@@ -13,7 +13,7 @@ module V = Relational.Value
 (* --- protocol round-trips --- *)
 
 let all_requests : P.envelope list =
-  let e ?session id request = { P.id; session; request } in
+  let e ?session id request = { P.id; session; request; trace_id = None } in
   [
     e 0 P.Ping;
     e 1 (P.Open_session P.Paper);
@@ -148,6 +148,38 @@ let test_parse_request_rejects () =
           Alcotest.(check (option int)) (label ^ ": id recovered") id id')
     cases
 
+(* Wire compatibility: an envelope or response without a trace id must
+   encode to exactly the pre-trace-id bytes — no "trace_id" key at all —
+   so old clients and captured transcripts stay byte-identical. *)
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_trace_id_wire_compat () =
+  let bare = { P.id = 1; session = None; request = P.Ping; trace_id = None } in
+  Alcotest.(check bool) "absent trace id absent from the wire" false
+    (contains ~needle:"trace_id" (P.encode_request bare));
+  Alcotest.(check bool) "absent trace id absent from replies" false
+    (contains ~needle:"trace_id" (P.encode_response (P.ok 1 P.Pong)));
+  let traced = { bare with P.trace_id = Some "t-9" } in
+  (match P.parse_request (P.encode_request traced) with
+  | Ok env ->
+      Alcotest.(check (option string)) "request trace id round-trips"
+        (Some "t-9") env.P.trace_id
+  | Error (_, _, msg) -> Alcotest.failf "traced request did not parse: %s" msg);
+  (match P.parse_response (P.encode_response (P.ok ~trace_id:"t-9" 1 P.Pong)) with
+  | Ok resp ->
+      Alcotest.(check (option string)) "response trace id round-trips"
+        (Some "t-9") resp.P.trace_id
+  | Error msg -> Alcotest.failf "traced response did not parse: %s" msg);
+  (* A pre-trace-id frame still parses (the field is genuinely optional). *)
+  match P.parse_request {|{"id":1,"op":"ping"}|} with
+  | Ok env ->
+      Alcotest.(check (option string)) "old frames parse with no trace id"
+        None env.P.trace_id
+  | Error (_, _, msg) -> Alcotest.failf "old frame rejected: %s" msg
+
 (* --- in-process service semantics --- *)
 
 let with_service f =
@@ -164,7 +196,7 @@ let test_service_session_flow () =
   let next = ref 0 in
   let call ?session request =
     incr next;
-    Service.handle service { P.id = !next; session; request }
+    Service.handle service { P.id = !next; session; request; trace_id = None }
   in
   let sid =
     match ok_result "open" (call (P.Open_session P.Paper)) with
@@ -237,7 +269,7 @@ let test_service_isolation_and_sharing () =
   let next = ref 0 in
   let call ?session request =
     incr next;
-    Service.handle service { P.id = !next; session; request }
+    Service.handle service { P.id = !next; session; request; trace_id = None }
   in
   let open_one () =
     match ok_result "open" (call (P.Open_session P.Paper)) with
@@ -282,12 +314,12 @@ let test_service_isolation_and_sharing () =
 
 let test_service_draining () =
   with_service @@ fun service ->
-  let resp = Service.handle service { P.id = 1; session = None; request = P.Shutdown } in
+  let resp = Service.handle service { P.id = 1; session = None; request = P.Shutdown; trace_id = None } in
   (match resp.P.result with
   | Ok P.Bye -> ()
   | _ -> Alcotest.fail "expected Bye");
   Alcotest.(check bool) "draining flag set" true (Service.draining service);
-  match Service.handle service { P.id = 2; session = None; request = P.Ping } with
+  match Service.handle service { P.id = 2; session = None; request = P.Ping; trace_id = None } with
   | { P.result = Error (P.Unavailable, _); _ } -> ()
   | _ -> Alcotest.fail "requests while draining should be Unavailable"
 
@@ -304,6 +336,205 @@ let test_loadgen_inprocess_verified () =
     o.Loadgen.mismatches;
   Alcotest.(check bool) "every client evaluated" true
     (Array.for_all (fun ds -> List.length ds = 4) o.Loadgen.digests)
+
+(* --- trace echo and telemetry attribution, in process --- *)
+
+let test_service_trace_echo () =
+  with_service @@ fun service ->
+  let traced =
+    Service.handle service
+      { P.id = 1; session = None; request = P.Ping; trace_id = Some "cli-7" }
+  in
+  Alcotest.(check (option string)) "client trace id echoed" (Some "cli-7")
+    traced.P.trace_id;
+  let bare =
+    Service.handle service
+      { P.id = 2; session = None; request = P.Ping; trace_id = None }
+  in
+  Alcotest.(check (option string))
+    "no trace id sent, none echoed (old clients unchanged)" None
+    bare.P.trace_id;
+  Alcotest.(check bool) "echo is byte-invisible to old clients" false
+    (let enc = P.encode_response bare in
+     contains ~needle:"trace_id" enc)
+
+let with_obs_off f () =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | l -> go (l :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let test_service_telemetry_attribution =
+  with_obs_off @@ fun () ->
+  Obs.enable ();
+  Obs.reset ();
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "clio-exemplars-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let log_path = Filename.temp_file "clio_serve_test" ".log" in
+  let telemetry =
+    Server.Telemetry.create
+      ~log:(Obs.Event_log.create ~level:Obs.Event_log.Debug log_path)
+      ~slow_ms:0. ~exemplar_dir:dir ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Telemetry.close telemetry;
+      (try Sys.remove log_path with Sys_error _ -> ());
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      end)
+  @@ fun () ->
+  let registry = Registry.create ~jobs:1 () in
+  let service = Service.create registry in
+  Service.set_telemetry service telemetry;
+  let call ?session ?trace_id id request =
+    Service.handle service { P.id; session; request; trace_id }
+  in
+  let sid =
+    match call ~trace_id:"att-1" 1 (P.Open_session P.Paper) with
+    | { P.result = Ok (P.Opened { session; _ }); _ } -> session
+    | _ -> Alcotest.fail "expected Opened"
+  in
+  (match
+     call ~session:sid ~trace_id:"att-2" 2
+       (P.Evaluate { what = P.Fj; limit = None })
+   with
+  | { P.result = Ok (P.Evaluated _); trace_id = Some "att-2"; _ } -> ()
+  | _ -> Alcotest.fail "expected traced Evaluated");
+  ignore (call ~session:sid 3 P.Close_session);
+  Server.Telemetry.flush telemetry;
+  (* The event log carries one request.complete per request, each with the
+     client's trace id, a latency, and (for the evaluate) a cache
+     breakdown. *)
+  let docs = List.map Obs.Json.parse_exn (read_lines log_path) in
+  let completes =
+    List.filter
+      (fun d -> Obs.Json.member "event" d = Some (Obs.Json.Str "request.complete"))
+      docs
+  in
+  Alcotest.(check int) "one completion line per request" 3
+    (List.length completes);
+  let field k d =
+    match Obs.Json.member k d with Some v -> v | None -> Obs.Json.Null
+  in
+  let eval_line =
+    List.find (fun d -> field "trace_id" d = Obs.Json.Str "att-2") completes
+  in
+  (match field "latency_ms" eval_line with
+  | Obs.Json.Num ms -> Alcotest.(check bool) "latency recorded" true (ms >= 0.)
+  | _ -> Alcotest.fail "completion line lacks latency_ms");
+  Alcotest.(check bool) "client_traced flagged" true
+    (field "client_traced" eval_line = Obs.Json.Bool true);
+  (match field "cache" eval_line with
+  | Obs.Json.Obj kvs ->
+      Alcotest.(check bool) "evaluate line attributes cache counters" true
+        (kvs <> []
+        && List.for_all
+             (fun (k, _) -> String.length k > 6 && String.sub k 0 6 = "cache.")
+             kvs)
+  | _ -> Alcotest.fail "evaluate completion lacks a cache breakdown");
+  (* slow-ms 0: every request leaves an exemplar trace named by its id,
+     and the log line points at it. *)
+  List.iter
+    (fun d ->
+      match field "exemplar" d with
+      | Obs.Json.Str path ->
+          Alcotest.(check bool)
+            (Printf.sprintf "exemplar %s exists" path)
+            true (Sys.file_exists path);
+          (match Obs.Json.parse_exn (String.concat "\n" (read_lines path)) with
+          | Obs.Json.Arr (_ :: _) -> ()
+          | _ -> Alcotest.fail "exemplar is not a chrome trace array")
+      | _ -> Alcotest.fail "completion line lacks its exemplar path")
+    completes;
+  (* Session stats picked up the per-request cache deltas. *)
+  (* The captured subtrees were detached: the server's global span list
+     must not grow per request. *)
+  Alcotest.(check int) "no span roots leak per request" 0
+    (List.length (Obs.finished_spans ()))
+
+(* The Prometheus rendering of a live service: served over the protocol,
+   self-consistent, and with the counter families stable (golden). *)
+let test_service_metrics_prom =
+  with_obs_off @@ fun () ->
+  Obs.enable ();
+  Obs.reset ();
+  let registry = Registry.create ~jobs:1 () in
+  let service = Service.create registry in
+  let spec =
+    { Loadgen.scenario = P.Paper; clients = 2; ops = 6; limit = None }
+  in
+  let o = Loadgen.run_inprocess ~verify:false service spec in
+  Alcotest.(check int) "loadgen clean" 0 o.Loadgen.errors;
+  Alcotest.(check int) "every reply echoed its trace id" 0 o.Loadgen.echo_failures;
+  (* Loadgen closes its sessions; keep one open so the scrape shows the
+     per-session gauge labeling. *)
+  (match
+     Service.handle service
+       { P.id = 98; session = None; request = P.Open_session P.Paper;
+         trace_id = None }
+   with
+  | { P.result = Ok (P.Opened _); _ } -> ()
+  | _ -> Alcotest.fail "expected Opened");
+  let text =
+    match
+      Service.handle service
+        { P.id = 99; session = None; request = P.Metrics_prom; trace_id = None }
+    with
+    | { P.result = Ok (P.Prom_text text); _ } -> text
+    | _ -> Alcotest.fail "expected Prom_text"
+  in
+  (match Obs.Prom_export.validate text with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "scrape invalid: %s" msg);
+  Alcotest.(check bool) "server gauges exported" true
+    (contains ~needle:"clio_server_requests_total" text);
+  Alcotest.(check bool) "per-session gauges labeled" true
+    (contains ~needle:"{session=\"" text);
+  Alcotest.(check bool) "request latency histogram exported" true
+    (contains ~needle:"clio_span_server_request_ms_bucket" text);
+  (* Golden: the counter families of a loadgen run are exactly the
+     registered Obs.Names counters — catches silent renames/losses. *)
+  let counter_families =
+    String.split_on_char '\n' text
+    |> List.filter_map (fun line ->
+           if
+             String.length line > 7
+             && String.sub line 0 7 = "# TYPE "
+             && String.length line > 8 + 7
+             && String.sub line (String.length line - 8) 8 = " counter"
+           then Some (String.sub line 7 (String.length line - 15))
+           else None)
+    |> List.sort compare
+  in
+  let golden_path =
+    Filename.concat (Filename.dirname Sys.executable_name) "prom_counters.golden"
+  in
+  let golden =
+    List.filter (fun l -> String.trim l <> "") (read_lines golden_path)
+  in
+  Alcotest.(check (list string))
+    "counter families match the golden scrape" golden counter_families
 
 (* --- socket integration against a spawned clio_serve --- *)
 
@@ -384,11 +615,11 @@ let with_server ~args f =
 let test_socket_session () =
   with_server ~args:[] @@ fun path _pid ->
   let c = connect_retry path in
-  (match rpc c { P.id = 1; session = None; request = P.Ping } with
-  | { P.result = Ok P.Pong; id = Some 1 } -> ()
+  (match rpc c { P.id = 1; session = None; request = P.Ping; trace_id = None } with
+  | { P.result = Ok P.Pong; id = Some 1; _ } -> ()
   | _ -> Alcotest.fail "expected pong");
   let sid =
-    match rpc c { P.id = 2; session = None; request = P.Open_session P.Paper } with
+    match rpc c { P.id = 2; session = None; request = P.Open_session P.Paper; trace_id = None } with
     | { P.result = Ok (P.Opened { session; _ }); _ } -> session
     | _ -> Alcotest.fail "expected Opened"
   in
@@ -399,6 +630,7 @@ let test_socket_session () =
           P.id = 3;
           session = Some sid;
           request = P.Evaluate { what = P.Dg; limit = None };
+          trace_id = None;
         }
     with
     | { P.result = Ok (P.Evaluated info); _ } -> info.P.digest
@@ -410,20 +642,20 @@ let test_socket_session () =
   (match P.parse_response (recv_line c) with
   | Ok { P.result = Error (P.Parse_error, _); _ } -> ()
   | _ -> Alcotest.fail "expected parse_error reply");
-  (match rpc c { P.id = 4; session = Some sid; request = P.Confirm } with
+  (match rpc c { P.id = 4; session = Some sid; request = P.Confirm; trace_id = None } with
   | { P.result = Ok (P.Entries _); _ } -> ()
   | _ -> Alcotest.fail "connection should survive the bad frame");
-  (match rpc c { P.id = 5; session = Some sid; request = P.Stats } with
+  (match rpc c { P.id = 5; session = Some sid; request = P.Stats; trace_id = None } with
   | { P.result = Ok (P.Stats_report kvs); _ } ->
       Alcotest.(check bool) "session.requests visible" true
         (List.mem_assoc "session.requests" kvs)
   | _ -> Alcotest.fail "expected Stats_report");
-  (match rpc c { P.id = 6; session = None; request = P.Stats } with
+  (match rpc c { P.id = 6; session = None; request = P.Stats; trace_id = None } with
   | { P.result = Ok (P.Stats_report kvs); _ } ->
       Alcotest.(check bool) "queue gauges visible" true
         (List.mem_assoc "server.queue.capacity" kvs)
   | _ -> Alcotest.fail "expected server stats");
-  (match rpc c { P.id = 7; session = Some sid; request = P.Close_session } with
+  (match rpc c { P.id = 7; session = Some sid; request = P.Close_session; trace_id = None } with
   | { P.result = Ok P.Closed; _ } -> ()
   | _ -> Alcotest.fail "expected Closed");
   Unix.close c.fd
@@ -438,14 +670,14 @@ let test_socket_overload_backpressure () =
   let frames = Buffer.create 1024 in
   for i = 1 to burst do
     Buffer.add_string frames
-      (P.encode_request { P.id = i; session = None; request = P.Ping } ^ "\n")
+      (P.encode_request { P.id = i; session = None; request = P.Ping; trace_id = None } ^ "\n")
   done;
   send_raw c (Buffer.contents frames);
   let pongs = ref 0 and overloads = ref 0 in
   for _ = 1 to burst do
     match P.parse_response (recv_line c) with
     | Ok { P.result = Ok P.Pong; _ } -> incr pongs
-    | Ok { P.result = Error (P.Overloaded, _); id = Some _ } -> incr overloads
+    | Ok { P.result = Error (P.Overloaded, _); id = Some _; _ } -> incr overloads
     | Ok r -> Alcotest.failf "unexpected reply %s" (P.encode_response r)
     | Error msg -> Alcotest.failf "bad reply: %s" msg
   done;
@@ -453,7 +685,7 @@ let test_socket_overload_backpressure () =
   Alcotest.(check bool) "backpressure engaged" true (!overloads > 0);
   Alcotest.(check bool) "some requests still served" true (!pongs > 0);
   (* And the connection is still usable afterwards. *)
-  (match rpc c { P.id = 9999; session = None; request = P.Ping } with
+  (match rpc c { P.id = 9999; session = None; request = P.Ping; trace_id = None } with
   | { P.result = Ok P.Pong; _ } -> ()
   | _ -> Alcotest.fail "connection should survive overload");
   Unix.close c.fd
@@ -461,7 +693,7 @@ let test_socket_overload_backpressure () =
 let test_socket_shutdown_drains () =
   with_server ~args:[] @@ fun path pid ->
   let c = connect_retry path in
-  (match rpc c { P.id = 1; session = None; request = P.Shutdown } with
+  (match rpc c { P.id = 1; session = None; request = P.Shutdown; trace_id = None } with
   | { P.result = Ok P.Bye; _ } -> ()
   | _ -> Alcotest.fail "expected Bye");
   Unix.close c.fd;
@@ -482,6 +714,99 @@ let test_socket_loadgen () =
   Alcotest.(check (option int)) "byte-identical vs sequential replay" (Some 0)
     o.Loadgen.mismatches
 
+let test_socket_sigterm_flushes_telemetry () =
+  let tmp = Filename.get_temp_dir_name () in
+  let stamp = Printf.sprintf "clio-term-%d" (Unix.getpid ()) in
+  let log_path = Filename.concat tmp (stamp ^ ".log") in
+  let metrics_path = Filename.concat tmp (stamp ^ ".metrics.json") in
+  let dir = Filename.concat tmp (stamp ^ "-exemplars") in
+  let cleanup () =
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ log_path; log_path ^ ".1"; metrics_path ];
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end
+  in
+  cleanup ();
+  Fun.protect ~finally:cleanup @@ fun () ->
+  with_server
+    ~args:
+      [
+        "--log"; log_path; "--slow-ms"; "0"; "--exemplars"; dir; "--metrics";
+        metrics_path;
+      ]
+  @@ fun path pid ->
+  let c = connect_retry path in
+  let sid =
+    match
+      rpc c
+        { P.id = 1; session = None; request = P.Open_session P.Paper;
+          trace_id = Some "term-1" }
+    with
+    | { P.result = Ok (P.Opened { session; _ }); trace_id = Some "term-1"; _ }
+      ->
+        session
+    | _ -> Alcotest.fail "expected traced Opened"
+  in
+  (match
+     rpc c
+       { P.id = 2; session = Some sid;
+         request = P.Evaluate { what = P.Dg; limit = None };
+         trace_id = Some "term-2" }
+   with
+  | { P.result = Ok (P.Evaluated _); trace_id = Some "term-2"; _ } -> ()
+  | _ -> Alcotest.fail "expected traced Evaluated");
+  Unix.kill pid Sys.sigterm;
+  let _, status = Unix.waitpid [] pid in
+  (match status with
+  | Unix.WEXITED 143 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "expected exit 143, got %d" n
+  | _ -> Alcotest.fail "server did not exit on SIGTERM");
+  Unix.close c.fd;
+  (* Telemetry survived the signal: the log ends with the shutdown record,
+     every completion has its exemplar on disk, and the metrics file is a
+     complete document. *)
+  let docs = List.map Obs.Json.parse_exn (read_lines log_path) in
+  let events =
+    List.filter_map
+      (fun d ->
+        match Obs.Json.member "event" d with
+        | Some (Obs.Json.Str e) -> Some (e, d)
+        | _ -> None)
+      docs
+  in
+  Alcotest.(check bool) "drain logged as sigterm" true
+    (List.exists
+       (fun (e, d) ->
+         e = "server.drain"
+         && Obs.Json.member "reason" d = Some (Obs.Json.Str "sigterm"))
+       events);
+  Alcotest.(check bool) "shutdown logged with exit 143" true
+    (List.exists
+       (fun (e, d) ->
+         e = "server.shutdown"
+         && Obs.Json.member "exit" d = Some (Obs.Json.Num 143.))
+       events);
+  let completes = List.filter (fun (e, _) -> e = "request.complete") events in
+  Alcotest.(check int) "both requests completed in the log" 2
+    (List.length completes);
+  List.iter
+    (fun (_, d) ->
+      match Obs.Json.member "exemplar" d with
+      | Some (Obs.Json.Str p) ->
+          Alcotest.(check bool) (p ^ " exists") true (Sys.file_exists p)
+      | _ -> Alcotest.fail "completion line lacks its exemplar")
+    completes;
+  match
+    Obs.Metrics_export.of_string (String.concat "\n" (read_lines metrics_path))
+  with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "metrics file incomplete after SIGTERM: %s" msg
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "server"
@@ -492,6 +817,8 @@ let () =
           tc "every response round-trips" `Quick test_response_roundtrip;
           tc "malformed requests are rejected with ids recovered" `Quick
             test_parse_request_rejects;
+          tc "trace id is optional and wire-compatible" `Quick
+            test_trace_id_wire_compat;
         ] );
       ( "service",
         [
@@ -502,11 +829,21 @@ let () =
           tc "loadgen in process, verified" `Quick
             test_loadgen_inprocess_verified;
         ] );
+      ( "telemetry",
+        [
+          tc "trace ids echo only when sent" `Quick test_service_trace_echo;
+          tc "event log + exemplars attribute each request" `Quick
+            test_service_telemetry_attribution;
+          tc "prometheus scrape over the protocol (golden families)" `Quick
+            test_service_metrics_prom;
+        ] );
       ( "socket",
         [
           tc "session over a unix socket" `Quick test_socket_session;
           tc "overload backpressure" `Quick test_socket_overload_backpressure;
           tc "shutdown request drains" `Quick test_socket_shutdown_drains;
           tc "socket loadgen verified" `Quick test_socket_loadgen;
+          tc "SIGTERM exits 143 with telemetry flushed" `Quick
+            test_socket_sigterm_flushes_telemetry;
         ] );
     ]
