@@ -234,7 +234,7 @@ let walk_cmd =
         ~graph:(Querygraph.Qgraph.singleton ~alias:start ~base:start)
         ~target:"Out" ~target_cols:[] ()
     in
-    match Clio.Op_walk.data_walk_kb ~kb m ~start ~goal ~max_len () with
+    match Clio.Op_walk.walk_alternatives ~kb m ~start ~goal ~max_len () with
     | [] -> Printf.printf "no walks from %s to %s within %d steps\n" start goal max_len
     | alts ->
         List.iteri
@@ -352,7 +352,7 @@ let stats_cmd =
       List.map
         (fun (label, algorithm) ->
           Obs.reset ();
-          ignore (Clio.Mapping_eval.examples_db ~algorithm db m);
+          ignore (Clio.Mapping_eval.examples ~algorithm (Clio.Eval_ctx.transient db) m);
           (label, (Obs.Metrics.snapshot ()).Obs.Metrics.counters))
         algorithms
     in
@@ -363,7 +363,7 @@ let stats_cmd =
            []
     in
     print_endline
-      "Mapping_eval.examples_db on the paper mapping — operator counters per D(G) algorithm:";
+      "Mapping_eval.examples (Clio.Eval_ctx.transient on) the paper mapping — operator counters per D(G) algorithm:";
     print_newline ();
     let width = List.fold_left (fun w n -> max w (String.length n)) 7 names in
     Printf.printf "%-*s" width "counter";
@@ -382,7 +382,7 @@ let stats_cmd =
       names;
     (* End-to-end rollup of the default workflow, histograms included. *)
     Obs.reset ();
-    ignore (Clio.illustrate_db db m);
+    ignore (Clio.illustrate (Clio.Eval_ctx.transient db) m);
     print_newline ();
     print_endline "End-to-end `illustrate` rollup (indexed algorithm):";
     print_newline ();
@@ -391,7 +391,7 @@ let stats_cmd =
        explain.* counters (derivations enumerated, tuples matched) are
        visible next to the evaluation counters. *)
     Obs.reset ();
-    let exs = Clio.Mapping_eval.examples_db db m in
+    let exs = Clio.Mapping_eval.examples (Clio.Eval_ctx.transient db) m in
     (match
        List.find_opt (fun e -> e.Clio.Example.positive) exs
      with
@@ -409,8 +409,8 @@ let stats_cmd =
           in
           pick 0 cols
         in
-        ignore (Clio.Explain.of_target_tuple_db db m t);
-        Option.iter (fun col -> ignore (Clio.Explain.why_null_db db m t col)) null_col;
+        ignore (Clio.Explain.of_target_tuple (Clio.Eval_ctx.transient db) m t);
+        Option.iter (fun col -> ignore (Clio.Explain.why_null (Clio.Eval_ctx.transient db) m t col)) null_col;
         print_newline ();
         Printf.printf "Lineage rollup (`explain` on target row %s):\n"
           (Tuple.to_string t);

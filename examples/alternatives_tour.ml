@@ -16,10 +16,10 @@ let short = Paperdata.Figure1.short
 let () =
   let m = Paperdata.Running.mapping_g1 in
   print_endline "Current mapping (children with their fathers' affiliations):";
-  print_endline (Render.relation (Mapping_eval.target_view_db db m));
+  print_endline (Render.relation (Mapping_eval.target_view (Eval_ctx.transient db) m));
 
   print_endline "\nThe user wants phone numbers.  DataWalk(G1, Children, PhoneDir):";
-  let alts = Op_walk.data_walk_kb ~kb m ~start:"Children" ~goal:"PhoneDir" ~max_len:2 () in
+  let alts = Op_walk.walk_alternatives ~kb m ~start:"Children" ~goal:"PhoneDir" ~max_len:2 () in
 
   (* Show each alternative with its rank score and Maya's example — the
      tuple the user knows, so she can tell mother from father. *)
@@ -37,8 +37,8 @@ let () =
         Mapping.set_correspondence a.Op_walk.mapping
           (corr_identity "contactPh" a.Op_walk.new_alias "number")
       in
-      let fd = Mapping_eval.data_associations_db db withcorr in
-      let universe = Mapping_eval.examples_db db withcorr in
+      let fd = Mapping_eval.data_associations (Eval_ctx.transient db) withcorr in
+      let universe = Mapping_eval.examples (Eval_ctx.transient db) withcorr in
       let focus =
         Focus.focus_set ~universe ~scheme:fd.Fulldisj.Full_disjunction.scheme
           ~rel:"Children" ~tuples:maya
@@ -57,12 +57,12 @@ let () =
   List.iter
     (fun (a : Op_chase.alternative) ->
       Printf.printf "  %s\n" a.Op_chase.description)
-    (Op_chase.chase_db db m ~attr:(Attr.make "Children" "ID") ~value:(Value.String "002"));
+    (Op_chase.chase (Eval_ctx.transient db) m ~attr:(Attr.make "Children" "ID") ~value:(Value.String "002"));
 
   (* And how a subtle trimming decision shows up in the examples. *)
   let with_bus =
     match
-      Op_walk.data_walk_kb ~kb m ~start:"Children" ~goal:"SBPS" ~max_len:1 ()
+      Op_walk.walk_alternatives ~kb m ~start:"Children" ~goal:"SBPS" ~max_len:1 ()
     with
     | (a : Op_walk.alternative) :: _ ->
         Mapping.set_correspondence a.Op_walk.mapping
@@ -70,12 +70,12 @@ let () =
     | [] -> assert false
   in
   print_endline "\nAfter linking SBPS, two trimming choices:";
-  let outer = Mapping_eval.target_view_db db with_bus in
+  let outer = Mapping_eval.target_view (Eval_ctx.transient db) with_bus in
   Printf.printf "  outer semantics: %d kids (Ann has a null BusSchedule)\n"
     (Relation.cardinality
        (Relation.filter (fun t -> not (Value.is_null t.(0))) outer));
-  let inner = (Op_trim.require_target_column_db db with_bus "BusSchedule").Op_trim.mapping in
-  let inner_view = Mapping_eval.target_view_db db inner in
+  let inner = (Op_trim.require_target_column (Eval_ctx.transient db) with_bus "BusSchedule").Op_trim.mapping in
+  let inner_view = Mapping_eval.target_view (Eval_ctx.transient db) inner in
   Printf.printf "  BusSchedule required: %d kids (Ann disappears)\n"
     (Relation.cardinality
        (Relation.filter (fun t -> not (Value.is_null t.(0))) inner_view))

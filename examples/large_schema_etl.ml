@@ -40,7 +40,7 @@ let () =
     | _ -> assert false
   in
 
-  let ws = Workspace.create_db ~db ~kb m in
+  let ws = Workspace.create (Eval_ctx.create ~kb db) m in
 
   (* Link D1: inspect the alternatives in workspaces, confirm the best. *)
   let ws =
@@ -68,9 +68,9 @@ let () =
   in
 
   (* Only facts present in the report. *)
-  let m = (Op_trim.require_target_column_db db m "fact").Op_trim.mapping in
+  let m = (Op_trim.require_target_column (Eval_ctx.transient db) m "fact").Op_trim.mapping in
 
-  let view = Mapping_eval.target_view_db db m in
+  let view = Mapping_eval.target_view (Eval_ctx.transient db) m in
   Printf.printf "\nReport rows: %d (of %d facts; nulls where dims are missing)\n"
     (Relation.cardinality view)
     (Relation.cardinality (Database.get db "Fact"));
@@ -90,9 +90,9 @@ let () =
   print_endline (Mapping_sql.outer_join ~root:"Fact" m);
 
   (* The illustration stays small even though the database is large. *)
-  let ill = Clio.illustrate_db db m in
+  let ill = Clio.illustrate (Eval_ctx.transient db) m in
   Printf.printf
     "\nSufficient illustration: %d examples (out of %d data associations)\n"
     (List.length ill)
     (List.length
-       (Mapping_eval.data_associations_db db m).Fulldisj.Full_disjunction.associations)
+       (Mapping_eval.data_associations (Eval_ctx.transient db) m).Fulldisj.Full_disjunction.associations)

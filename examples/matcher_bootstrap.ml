@@ -43,7 +43,7 @@ let () =
   (match proposals with
   | (m1, _) :: (m2, _) :: _ ->
       print_endline "\n== 3. What tells proposals 1 and 2 apart? ==";
-      let contrasts = Differentiate.distinguishing_db db ~rel:"Children" m1 m2 in
+      let contrasts = Differentiate.distinguishing (Eval_ctx.transient db) ~rel:"Children" m1 m2 in
       if contrasts = [] then print_endline "  (nothing — they agree on this database)"
       else
         print_endline
@@ -66,11 +66,11 @@ let () =
   in
   let t0 = Unix.gettimeofday () in
   let universe, ill =
-    Sampling.illustrate_sampled_db ~seed:7 ~per_relation:12 inst.Synth.Gen_graph.db big_m
+    Sampling.illustrate_sampled ~seed:7 ~per_relation:12 (Eval_ctx.transient inst.Synth.Gen_graph.db) big_m
   in
   let dt = Unix.gettimeofday () -. t0 in
   Printf.printf
     "  slice universe: %d associations; sufficient illustration: %d examples (%.1f ms)\n"
     (List.length universe) (List.length ill) (dt *. 1000.);
   Printf.printf "  sound w.r.t. the full database: %b\n"
-    (Sampling.sound_db inst.Synth.Gen_graph.db big_m ~slice_universe:universe)
+    (Sampling.sound (Eval_ctx.transient inst.Synth.Gen_graph.db) big_m ~slice_universe:universe)

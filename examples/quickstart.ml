@@ -10,7 +10,7 @@ open Relational
 open Clio
 
 let mk name cols rows =
-  Relation.make name (Schema.make name cols)
+  Relation.create name (Schema.make name cols)
     (List.map (fun r -> Tuple.make (List.map Value.of_csv_cell r)) rows)
 
 let db =
@@ -78,12 +78,12 @@ let () =
 
   (* The mapping's examples: one per data association, with polarity. *)
   print_endline "\n== 4. Sufficient illustration ==";
-  let fd = Mapping_eval.data_associations_db db m in
-  let ill = Clio.illustrate_db db m in
+  let fd = Mapping_eval.data_associations (Eval_ctx.transient db) m in
+  let ill = Clio.illustrate (Eval_ctx.transient db) m in
   print_endline (Illustration.render ~scheme:fd.Fulldisj.Full_disjunction.scheme ill);
 
   (* Keep only report rows that actually have an order (trimming). *)
-  let change = Op_trim.require_target_column_db db m "order_id" in
+  let change = Op_trim.require_target_column (Eval_ctx.transient db) m "order_id" in
   let m = change.Op_trim.mapping in
   Printf.printf "\n== 5. Requiring order_id flips %d example(s) negative ==\n"
     (List.length change.Op_trim.became_negative);
@@ -92,4 +92,4 @@ let () =
   print_endline (Mapping_sql.outer_join ~root:"Orders" m);
 
   print_endline "\n== 7. Target view (WYSIWYG) ==";
-  print_endline (Render.relation (Mapping_eval.target_view_db db m))
+  print_endline (Render.relation (Mapping_eval.target_view (Eval_ctx.transient db) m))

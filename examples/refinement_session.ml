@@ -23,8 +23,8 @@ let short = Paperdata.Figure1.short
 let step n title = Printf.printf "\n===== Step %d: %s =====\n" n title
 
 let show_illustration m =
-  let fd = Mapping_eval.data_associations_db db m in
-  let ill = Clio.illustrate_db db m in
+  let fd = Mapping_eval.data_associations (Eval_ctx.transient db) m in
+  let ill = Clio.illustrate (Eval_ctx.transient db) m in
   print_endline
     (Illustration.render ~short ~scheme:fd.Fulldisj.Full_disjunction.scheme ill)
 
@@ -46,7 +46,7 @@ let () =
         [ corr_identity "ID" "Children" "ID"; corr_identity "name" "Children" "name" ]
       ()
   in
-  print_endline (Render.relation (Mapping_eval.target_view_db db m));
+  print_endline (Render.relation (Mapping_eval.target_view (Eval_ctx.transient db) m));
 
   step 2 "v3: affiliation — which parent?";
   let m =
@@ -77,7 +77,7 @@ let () =
 
   step 3 "data walk to PhoneDir — whose phone?";
   let m =
-    let alts = Op_walk.data_walk_kb ~kb m ~start:"Children" ~goal:"PhoneDir" ~max_len:2 () in
+    let alts = Op_walk.walk_alternatives ~kb m ~start:"Children" ~goal:"PhoneDir" ~max_len:2 () in
     (* The user wants the mothers' phones: the alternative whose path goes
        through a Parents copy on mid. *)
     let is_mid (a : Op_walk.alternative) =
@@ -100,7 +100,7 @@ let () =
 
   step 4 "chase 002 — where do bus schedules live?";
   let chase_alts =
-    Op_chase.chase_db db m ~attr:(Attr.make "Children" "ID") ~value:(Value.String "002")
+    Op_chase.chase (Eval_ctx.transient db) m ~attr:(Attr.make "Children" "ID") ~value:(Value.String "002")
   in
   List.iteri
     (fun i (a : Op_chase.alternative) ->
@@ -118,10 +118,10 @@ let () =
   step 5 "v5: BusSchedule from SBPS.time";
   let m = Mapping.set_correspondence m (corr_identity "BusSchedule" "SBPS" "time") in
   let m = Mapping.add_target_filter m Paperdata.Running.id_required in
-  print_endline (Render.relation (Mapping_eval.target_view_db db m));
+  print_endline (Render.relation (Mapping_eval.target_view (Eval_ctx.transient db) m));
 
   step 6 "fine-tuning: what if BusSchedule were required?";
-  let change = Op_trim.require_target_column_db db m "BusSchedule" in
+  let change = Op_trim.require_target_column (Eval_ctx.transient db) m "BusSchedule" in
   Printf.printf "  Requiring BusSchedule would drop %d kid(s):\n"
     (List.length change.Op_trim.became_negative);
   List.iter
@@ -135,4 +135,4 @@ let () =
   print_newline ();
   print_endline (Mapping_sql.outer_join ~root:"Children" m);
   Printf.printf "\nRooted SQL equivalent to the formal mapping query: %b\n"
-    (Mapping_sql.rooted_equivalent_db db ~root:"Children" m)
+    (Mapping_sql.rooted_equivalent (Eval_ctx.transient db) ~root:"Children" m)

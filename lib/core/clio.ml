@@ -54,7 +54,5 @@ let illustrate ctx (m : Mapping.t) =
         ?pool:(Engine.Eval_ctx.pool ctx)
         ~universe ~target_cols:m.Mapping.target_cols ())
 
-let illustrate_db db m = illustrate (Engine.Eval_ctx.transient db) m
-
 let corr_identity target_col src_rel src_col =
   Correspondence.identity target_col (Attr.make src_rel src_col)

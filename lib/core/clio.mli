@@ -74,9 +74,6 @@ val context :
 (** The mapping's universe of examples and a fresh sufficient illustration. *)
 val illustrate : Eval_ctx.t -> Mapping.t -> Illustration.t
 
-(** Deprecated shim: transient, cache-less context. *)
-val illustrate_db : Database.t -> Mapping.t -> Illustration.t
-
 (** Shorthands for common correspondences. *)
 val corr_identity : string -> string -> string -> Correspondence.t
 (** [corr_identity target_col src_rel src_col]. *)

@@ -76,10 +76,3 @@ let render ~target_schema contrasts =
       contrasts
   in
   Render.annotated ~qualified:false ~annot_header:"focus/alt" rows target_schema
-
-(* Deprecated [Database.t] shims. *)
-let target_diff_db db m1 m2 = target_diff (Engine.Eval_ctx.transient db) m1 m2
-let equivalent_on_db db m1 m2 = equivalent_on (Engine.Eval_ctx.transient db) m1 m2
-
-let distinguishing_db db ~rel m1 m2 =
-  distinguishing (Engine.Eval_ctx.transient db) ~rel m1 m2

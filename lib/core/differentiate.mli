@@ -44,11 +44,3 @@ val distinguishing :
 
 (** Render contrasts side by side. *)
 val render : target_schema:Schema.t -> contrast list -> string
-
-(** Deprecated [Database.t] shims, kept for one release. *)
-
-val target_diff_db : Database.t -> Mapping.t -> Mapping.t -> target_diff list
-val equivalent_on_db : Database.t -> Mapping.t -> Mapping.t -> bool
-
-val distinguishing_db :
-  Database.t -> rel:string -> Mapping.t -> Mapping.t -> contrast list

@@ -51,11 +51,3 @@ let is_continuous ctx ~old_mapping ~old_illustration ~new_mapping illustration =
               && continues ~old_scheme ~new_scheme old_e e)
             universe)
     old_illustration
-
-(* Deprecated [Database.t] shims. *)
-let evolve_db db ~old_mapping ~old_illustration new_m =
-  evolve (Engine.Eval_ctx.transient db) ~old_mapping ~old_illustration new_m
-
-let is_continuous_db db ~old_mapping ~old_illustration ~new_mapping ill =
-  is_continuous (Engine.Eval_ctx.transient db) ~old_mapping ~old_illustration
-    ~new_mapping ill

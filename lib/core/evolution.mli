@@ -42,20 +42,3 @@ val is_continuous :
   new_mapping:Mapping.t ->
   Example.t list ->
   bool
-
-(** Deprecated [Database.t] shims, kept for one release. *)
-
-val evolve_db :
-  Database.t ->
-  old_mapping:Mapping.t ->
-  old_illustration:Example.t list ->
-  Mapping.t ->
-  Example.t list
-
-val is_continuous_db :
-  Database.t ->
-  old_mapping:Mapping.t ->
-  old_illustration:Example.t list ->
-  new_mapping:Mapping.t ->
-  Example.t list ->
-  bool

@@ -76,12 +76,3 @@ let render sch p =
         (Tuple.to_string p.example.Example.target_tuple)
         (Example.tag p.example))
     :: lines)
-
-(* Deprecated [Database.t] shims. *)
-let scheme_db db m = scheme (Engine.Eval_ctx.transient db) m
-
-let of_target_tuple_db db m target_tuple =
-  of_target_tuple (Engine.Eval_ctx.transient db) m target_tuple
-
-let why_null_db db m target_tuple col =
-  why_null (Engine.Eval_ctx.transient db) m target_tuple col

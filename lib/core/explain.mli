@@ -38,12 +38,3 @@ val render : Schema.t -> provenance -> string
 
 (** D(G)'s scheme for the mapping (needed to render provenances). *)
 val scheme : Engine.Eval_ctx.t -> Mapping.t -> Schema.t
-
-(** Deprecated [Database.t] shims, kept for one release. *)
-
-val of_target_tuple_db : Database.t -> Mapping.t -> Tuple.t -> provenance list
-
-val why_null_db :
-  Database.t -> Mapping.t -> Tuple.t -> string -> (provenance * null_reason) list
-
-val scheme_db : Database.t -> Mapping.t -> Schema.t

@@ -60,7 +60,7 @@ let eval ctx (m : Mapping.t) interp =
     let fs = List.map (Predicate.compile schema) m.Mapping.target_filters in
     fun t -> List.for_all (fun f -> f t) fs
   in
-  Relation.make ~allow_all_null:true m.Mapping.target (Mapping.target_schema m)
+  Relation.create ~allow_all_null:true m.Mapping.target (Mapping.target_schema m)
     (List.filter_map
        (fun (a : Assoc.t) ->
          if src_ok a.Assoc.tuple then
@@ -98,8 +98,3 @@ let render_comparison ~target_schema c =
   in
   if rows = [] then "(no difference on this database)"
   else Render.annotated ~qualified:false ~annot_header:"difference" rows target_schema
-
-(* Deprecated [Database.t] shims. *)
-let eval_db db m interp = eval (Engine.Eval_ctx.transient db) m interp
-let compare_under_db db m a b = compare_under (Engine.Eval_ctx.transient db) m a b
-let no_effect_db db m a b = no_effect (Engine.Eval_ctx.transient db) m a b

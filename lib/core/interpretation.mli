@@ -41,9 +41,3 @@ val compare_under : Engine.Eval_ctx.t -> Mapping.t -> t -> t -> comparison
 val no_effect : Engine.Eval_ctx.t -> Mapping.t -> t -> t -> bool
 
 val render_comparison : target_schema:Schema.t -> comparison -> string
-
-(** Deprecated [Database.t] shims, kept for one release. *)
-
-val eval_db : Database.t -> Mapping.t -> t -> Relation.t
-val compare_under_db : Database.t -> Mapping.t -> t -> t -> comparison
-val no_effect_db : Database.t -> Mapping.t -> t -> t -> bool

@@ -74,7 +74,7 @@ let eval_pruned ctx (m : Mapping.t) =
     let fs = List.map (Predicate.compile schema) m.Mapping.target_filters in
     fun t -> List.for_all (fun f -> f t) fs
   in
-  Relation.make ~allow_all_null:true m.Mapping.target (Mapping.target_schema m)
+  Relation.create ~allow_all_null:true m.Mapping.target (Mapping.target_schema m)
     (List.filter_map
        (fun (a : Assoc.t) ->
          if src_ok a.Assoc.tuple then
@@ -82,6 +82,3 @@ let eval_pruned ctx (m : Mapping.t) =
            if tgt_ok t then Some t else None
          else None)
        fd.Full_disjunction.associations)
-
-(* Deprecated [Database.t] shim. *)
-let eval_pruned_db db m = eval_pruned (Engine.Eval_ctx.transient db) m

@@ -36,6 +36,3 @@ val possibly_positive_categories : Mapping.t -> string list list
     Equal to {!Mapping_eval.eval} (tested); faster when filters doom many
     categories. *)
 val eval_pruned : Engine.Eval_ctx.t -> Mapping.t -> Relation.t
-
-(** Deprecated [Database.t] shim, kept for one release. *)
-val eval_pruned_db : Database.t -> Mapping.t -> Relation.t

@@ -73,7 +73,7 @@ let apply_one (fd : Full_disjunction.result) (m : Mapping.t) (a : Assoc.t) =
 let eval ?algorithm ctx (m : Mapping.t) =
   Obs.with_span Obs.Names.sp_eval (fun () ->
       let exs = examples ?algorithm ctx m in
-      Relation.make ~allow_all_null:true m.Mapping.target
+      Relation.create ~allow_all_null:true m.Mapping.target
         (Mapping.target_schema m)
         (List.filter_map
            (fun e ->
@@ -81,11 +81,3 @@ let eval ?algorithm ctx (m : Mapping.t) =
            exs))
 
 let target_view = eval
-
-(* Deprecated [Database.t] shims (transient, cache-less context). *)
-let data_associations_db ?algorithm db m =
-  data_associations ?algorithm (Eval_ctx.transient db) m
-
-let examples_db ?algorithm db m = examples ?algorithm (Eval_ctx.transient db) m
-let eval_db ?algorithm db m = eval ?algorithm (Eval_ctx.transient db) m
-let target_view_db = eval_db

@@ -8,8 +8,8 @@
     All entry points evaluate through an {!Engine.Eval_ctx}: D(G) and every
     per-subgraph F(J) go through the context's memo cache (when enabled),
     which is what makes the interactive offer/rotate/refine loop cheap.
-    The [_db] variants are deprecated shims that build a transient,
-    cache-less context. *)
+    For one-shot evaluation over a bare [Database.t], build a context with
+    [Engine.Eval_ctx.transient]. *)
 
 open Relational
 open Fulldisj
@@ -47,12 +47,3 @@ val eval : ?algorithm:algorithm -> Engine.Eval_ctx.t -> Mapping.t -> Relation.t
     "target viewer" contents for this mapping. *)
 val target_view :
   ?algorithm:algorithm -> Engine.Eval_ctx.t -> Mapping.t -> Relation.t
-
-(** Deprecated [Database.t] shims, kept for one release. *)
-
-val data_associations_db :
-  ?algorithm:algorithm -> Database.t -> Mapping.t -> Full_disjunction.result
-
-val examples_db : ?algorithm:algorithm -> Database.t -> Mapping.t -> Example.t list
-val eval_db : ?algorithm:algorithm -> Database.t -> Mapping.t -> Relation.t
-val target_view_db : ?algorithm:algorithm -> Database.t -> Mapping.t -> Relation.t

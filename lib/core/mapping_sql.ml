@@ -161,7 +161,7 @@ let rooted_equivalent ctx ~root (m : Mapping.t) =
     fun tuple -> List.for_all (fun f -> f tuple) fs
   in
   let rooted_result =
-    Relation.make ~allow_all_null:true m.Mapping.target (Mapping.target_schema m)
+    Relation.create ~allow_all_null:true m.Mapping.target (Mapping.target_schema m)
       (List.filter_map
          (fun (a : Assoc.t) ->
            if src_ok a.Assoc.tuple then
@@ -171,7 +171,3 @@ let rooted_equivalent ctx ~root (m : Mapping.t) =
          fd.Full_disjunction.associations)
   in
   Relation.equal_contents reference rooted_result
-
-(* Deprecated [Database.t] shim. *)
-let rooted_equivalent_db db ~root m =
-  rooted_equivalent (Engine.Eval_ctx.transient db) ~root m

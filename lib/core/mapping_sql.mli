@@ -28,6 +28,3 @@ val pullback_target_filters : Mapping.t -> Predicate.t list
 (** Evaluate both semantics and compare: the mapping query (Definition
     3.14) against the rooted left-join cascade with the same filters. *)
 val rooted_equivalent : Engine.Eval_ctx.t -> root:string -> Mapping.t -> bool
-
-(** Deprecated [Database.t] shim, kept for one release. *)
-val rooted_equivalent_db : Database.t -> root:string -> Mapping.t -> bool

@@ -88,13 +88,3 @@ let chase ?illustration ?index ctx (m : Mapping.t) ~attr ~value =
                (if o.count = 1 then "" else "s")
                alias (Predicate.to_sql pred);
          })
-
-(* Deprecated [Database.t] shims. *)
-let occurrences_anywhere_db ?index db v =
-  occurrences_anywhere ?index (Engine.Eval_ctx.transient db) v
-
-let occurrences_db ?index db m v =
-  occurrences ?index (Engine.Eval_ctx.transient db) m v
-
-let chase_db ?illustration ?index db m ~attr ~value =
-  chase ?illustration ?index (Engine.Eval_ctx.transient db) m ~attr ~value

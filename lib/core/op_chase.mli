@@ -47,20 +47,3 @@ val chase :
   attr:Attr.t ->
   value:Value.t ->
   alternative list
-
-(** Deprecated [Database.t] shims, kept for one release. *)
-
-val occurrences_db :
-  ?index:Value_index.t -> Database.t -> Mapping.t -> Value.t -> occurrence list
-
-val occurrences_anywhere_db :
-  ?index:Value_index.t -> Database.t -> Value.t -> occurrence list
-
-val chase_db :
-  ?illustration:Example.t list ->
-  ?index:Value_index.t ->
-  Database.t ->
-  Mapping.t ->
-  attr:Attr.t ->
-  value:Value.t ->
-  alternative list

@@ -40,7 +40,7 @@ let link_missing ~kb ?max_len ?(beam = 6) (m : Mapping.t) missing =
       let goal = base_of_name ~kb name in
       List.concat_map
         (fun p ->
-          Op_walk.data_walk_any_start_kb ~kb p.p_mapping ~goal ?max_len ()
+          Op_walk.walk_alternatives_any_start ~kb p.p_mapping ~goal ?max_len ()
           |> List.filteri (fun i _ -> i < beam)
           |> List.map (fun (w : Op_walk.alternative) ->
                  {

@@ -37,10 +37,3 @@ let remove_target_filter ctx m p = diff ctx m (Mapping.remove_target_filter m p)
 let require_target_column ctx m col =
   add_target_filter ctx m (Predicate.Is_not_null (Expr.col m.Mapping.target col))
 
-(* Deprecated [Database.t] shims. *)
-let tr = Engine.Eval_ctx.transient
-let add_source_filter_db db m p = add_source_filter (tr db) m p
-let add_target_filter_db db m p = add_target_filter (tr db) m p
-let remove_source_filter_db db m p = remove_source_filter (tr db) m p
-let remove_target_filter_db db m p = remove_target_filter (tr db) m p
-let require_target_column_db db m col = require_target_column (tr db) m col

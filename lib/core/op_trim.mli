@@ -23,11 +23,3 @@ val remove_target_filter :
     target filter [col is not null].  The outer-join SQL generator renders
     the corresponding join as inner. *)
 val require_target_column : Engine.Eval_ctx.t -> Mapping.t -> string -> change
-
-(** Deprecated [Database.t] shims, kept for one release. *)
-
-val add_source_filter_db : Database.t -> Mapping.t -> Predicate.t -> change
-val add_target_filter_db : Database.t -> Mapping.t -> Predicate.t -> change
-val remove_source_filter_db : Database.t -> Mapping.t -> Predicate.t -> change
-val remove_target_filter_db : Database.t -> Mapping.t -> Predicate.t -> change
-val require_target_column_db : Database.t -> Mapping.t -> string -> change

@@ -105,7 +105,7 @@ let path_end path start =
   | _ :: _ as ends -> List.hd ends
   | [] -> start
 
-let data_walk_kb ~kb (m : Mapping.t) ~start ~goal ?max_len () =
+let walk_alternatives ~kb (m : Mapping.t) ~start ~goal ?max_len () =
   Obs.with_span
     ~attrs:[ ("start", start); ("goal", goal) ]
     Obs.Names.sp_walk
@@ -137,13 +137,13 @@ let data_walk_kb ~kb (m : Mapping.t) ~start ~goal ?max_len () =
         Obs.add Obs.Names.walk_alternatives (List.length alternatives);
       alternatives)
 
-let data_walk_any_start_kb ?pool ~kb (m : Mapping.t) ~goal ?max_len () =
+let walk_alternatives_any_start ?pool ~kb (m : Mapping.t) ~goal ?max_len () =
   (* Walk enumeration from each start node is independent; starts fan out
      over the pool and results land in alias order, so the concatenation —
      and the dedup/ranking below — match sequential evaluation exactly. *)
   let all =
     Par.map ?pool
-      (fun start -> data_walk_kb ~kb m ~start ~goal ?max_len ())
+      (fun start -> walk_alternatives ~kb m ~start ~goal ?max_len ())
       (Qgraph.aliases m.Mapping.graph)
     |> List.concat
   in
@@ -172,9 +172,9 @@ let data_walk_any_start_kb ?pool ~kb (m : Mapping.t) ~goal ?max_len () =
    taking the context keeps one calling convention across operators (and
    alternatives are then evaluated through the same context's cache). *)
 let data_walk ctx m ~start ~goal ?max_len () =
-  data_walk_kb ~kb:(Engine.Eval_ctx.kb ctx) m ~start ~goal ?max_len ()
+  walk_alternatives ~kb:(Engine.Eval_ctx.kb ctx) m ~start ~goal ?max_len ()
 
 let data_walk_any_start ctx m ~goal ?max_len () =
-  data_walk_any_start_kb
+  walk_alternatives_any_start
     ?pool:(Engine.Eval_ctx.pool ctx)
     ~kb:(Engine.Eval_ctx.kb ctx) m ~goal ?max_len ()

@@ -52,9 +52,11 @@ val data_walk_any_start :
   unit ->
   alternative list
 
-(** Deprecated [kb:]-labelled shims, kept for one release. *)
-
-val data_walk_kb :
+(** The kb-level enumeration core behind {!data_walk}: walks need only
+    schema metadata, so callers that have no database in hand (suggestion
+    and correspondence linking) enumerate directly from a
+    {!Schemakb.Kb.t}. *)
+val walk_alternatives :
   kb:Schemakb.Kb.t ->
   Mapping.t ->
   start:string ->
@@ -63,7 +65,7 @@ val data_walk_kb :
   unit ->
   alternative list
 
-val data_walk_any_start_kb :
+val walk_alternatives_any_start :
   ?pool:Par.Pool.t ->
   kb:Schemakb.Kb.t ->
   Mapping.t ->

@@ -20,13 +20,10 @@ let mappings t = t.mappings
 let materialize ?(minimal = false) ctx t =
   match t.mappings with
   | [] ->
-      Relation.make ~allow_all_null:true t.target
+      Relation.create ~allow_all_null:true t.target
         (Schema.make t.target t.target_cols)
         []
   | ms -> if minimal then Target.assemble_min ctx ms else Target.assemble ctx ms
-
-let materialize_db ?minimal db t =
-  materialize ?minimal (Engine.Eval_ctx.transient db) t
 
 type column_report = {
   column : string;
@@ -55,9 +52,6 @@ let completeness ?minimal ctx t =
       in
       { column = col; mapped_by; non_null_rows; total_rows })
     t.target_cols
-
-let completeness_db ?minimal db t =
-  completeness ?minimal (Engine.Eval_ctx.transient db) t
 
 let render_completeness reports =
   let header = [ "column"; "mapped by"; "non-null"; "rows"; "coverage" ] in

@@ -38,9 +38,4 @@ type column_report = {
 (** Per-column completeness of the materialized target. *)
 val completeness : ?minimal:bool -> Engine.Eval_ctx.t -> t -> column_report list
 
-(** Deprecated [Database.t] shims (transient, cache-less context). *)
-
-val materialize_db : ?minimal:bool -> Database.t -> t -> Relation.t
-val completeness_db : ?minimal:bool -> Database.t -> t -> column_report list
-
 val render_completeness : column_report list -> string

@@ -126,7 +126,3 @@ let page ?title ?short ?root ctx (m : Mapping.t) =
         else Mapping_sql.canonical m));
   add "</body></html>";
   Buffer.contents b
-
-(* Deprecated [Database.t] shim. *)
-let page_db ?title ?short ?root db m =
-  page ?title ?short ?root (Engine.Eval_ctx.transient db) m

@@ -25,12 +25,3 @@ val page :
   Engine.Eval_ctx.t ->
   Mapping.t ->
   string
-
-(** Deprecated [Database.t] shim, kept for one release. *)
-val page_db :
-  ?title:string ->
-  ?short:(string -> string option) ->
-  ?root:string ->
-  Database.t ->
-  Mapping.t ->
-  string

@@ -166,7 +166,7 @@ let slice ?(seed = 1) ?(per_relation = 20) db graph =
       (fun r ->
         let name = Relation.name r in
         if List.mem name bases then
-          Relation.make ~allow_all_null:true name (Relation.schema r)
+          Relation.create ~allow_all_null:true name (Relation.schema r)
             (List.rev (selection name).order)
         else r)
       (Database.relations db)
@@ -192,10 +192,3 @@ let sound ctx (m : Mapping.t) ~slice_universe =
          List.exists
            (fun (a : Assoc.t) -> Tuple.equal a.Assoc.tuple e.Example.assoc.Assoc.tuple)
            full.Full_disjunction.associations)
-
-(* Deprecated [Database.t] shims. *)
-let illustrate_sampled_db ?seed ?per_relation db m =
-  illustrate_sampled ?seed ?per_relation (Engine.Eval_ctx.transient db) m
-
-let sound_db db m ~slice_universe =
-  sound (Engine.Eval_ctx.transient db) m ~slice_universe

@@ -36,14 +36,3 @@ val illustrate_sampled :
     database (soundness oracle used by tests). *)
 val sound :
   Engine.Eval_ctx.t -> Mapping.t -> slice_universe:Example.t list -> bool
-
-(** Deprecated [Database.t] shims, kept for one release. *)
-
-val illustrate_sampled_db :
-  ?seed:int ->
-  ?per_relation:int ->
-  Database.t ->
-  Mapping.t ->
-  Example.t list * Example.t list
-
-val sound_db : Database.t -> Mapping.t -> slice_universe:Example.t list -> bool

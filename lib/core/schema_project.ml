@@ -37,10 +37,3 @@ let report ?minimal ctx t =
            (if List.length (Project.mappings p) = 1 then "" else "s")
            (Project.render_completeness (Project.completeness ?minimal ctx p)))
   |> String.concat "\n\n"
-
-(* Deprecated [Database.t] shims (transient, cache-less context). *)
-let materialize_db ?minimal db t =
-  materialize ?minimal (Engine.Eval_ctx.transient db) t
-
-let check_db ?minimal db t = check ?minimal (Engine.Eval_ctx.transient db) t
-let report_db ?minimal db t = report ?minimal (Engine.Eval_ctx.transient db) t

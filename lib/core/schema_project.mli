@@ -38,9 +38,3 @@ val check : ?minimal:bool -> Engine.Eval_ctx.t -> t -> Integrity.violation list
 
 (** Completeness of every target relation (see {!Project.completeness}). *)
 val report : ?minimal:bool -> Engine.Eval_ctx.t -> t -> string
-
-(** Deprecated [Database.t] shims (transient, cache-less context). *)
-
-val materialize_db : ?minimal:bool -> Database.t -> t -> Database.t
-val check_db : ?minimal:bool -> Database.t -> t -> Integrity.violation list
-val report_db : ?minimal:bool -> Database.t -> t -> string

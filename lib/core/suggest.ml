@@ -24,7 +24,7 @@ let connection_graphs ~kb ?max_len ?(beam = 6) rels =
                   let m =
                     Mapping.make ~graph:p.graph_ ~target:"_suggest" ~target_cols:[] ()
                   in
-                  Op_walk.data_walk_any_start_kb ~kb m ~goal:rel ?max_len ()
+                  Op_walk.walk_alternatives_any_start ~kb m ~goal:rel ?max_len ()
                   |> List.filteri (fun i _ -> i < beam)
                   |> List.map (fun (w : Op_walk.alternative) ->
                          {

@@ -15,17 +15,11 @@ let check_compatible = function
 let assemble ctx mappings =
   let first = check_compatible mappings in
   let results = List.map (Mapping_eval.eval ctx) mappings in
-  Relation.make ~allow_all_null:true first.Mapping.target
+  Relation.create ~allow_all_null:true first.Mapping.target
     (Mapping.target_schema first)
     (List.concat_map Relation.tuples results)
 
 let assemble_min ctx mappings =
   let r = assemble ctx mappings in
-  Relation.make ~allow_all_null:true (Relation.name r) (Relation.schema r)
+  Relation.create ~allow_all_null:true (Relation.name r) (Relation.schema r)
     (Fulldisj.Min_union.remove_subsumed (Relation.tuples r))
-
-(* Deprecated [Database.t] shims. *)
-let assemble_db db mappings = assemble (Engine.Eval_ctx.transient db) mappings
-
-let assemble_min_db db mappings =
-  assemble_min (Engine.Eval_ctx.transient db) mappings

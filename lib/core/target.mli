@@ -13,8 +13,3 @@ val assemble : Engine.Eval_ctx.t -> Mapping.t list -> Relation.t
     useful when complementary mappings (Example 6.1) can produce a padded
     and an extended version of the same kid. *)
 val assemble_min : Engine.Eval_ctx.t -> Mapping.t list -> Relation.t
-
-(** Deprecated [Database.t] shims, kept for one release. *)
-
-val assemble_db : Database.t -> Mapping.t list -> Relation.t
-val assemble_min_db : Database.t -> Mapping.t list -> Relation.t

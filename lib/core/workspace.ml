@@ -30,8 +30,6 @@ let create ctx ?(label = "initial") m =
 (* Deprecated shim.  Note it still builds a persistent *caching* context:
    a workspace is exactly the interactive session the memo cache exists
    for (offer/rotate/confirm re-evaluate overlapping graphs constantly). *)
-let create_db ~db ~kb ?label m = create (Eval_ctx.create ~kb db) ?label m
-
 let ctx t = t.ctx
 let db t = Eval_ctx.db t.ctx
 let kb t = Eval_ctx.kb t.ctx

@@ -26,11 +26,6 @@ type t
     its memo cache, which is what makes the interactive loop cheap. *)
 val create : Engine.Eval_ctx.t -> ?label:string -> Mapping.t -> t
 
-(** Deprecated shim: builds a caching context from [db]/[kb] (the
-    pre-engine calling convention). *)
-val create_db :
-  db:Database.t -> kb:Schemakb.Kb.t -> ?label:string -> Mapping.t -> t
-
 val ctx : t -> Engine.Eval_ctx.t
 val db : t -> Database.t
 val kb : t -> Schemakb.Kb.t

@@ -1,20 +1,20 @@
 open Relational
 open Fulldisj
 
-(* --- approximate byte accounting --------------------------------------- *)
+(* --- approximate byte accounting ---------------------------------------
 
-let value_bytes = function
-  | Value.String s -> 24 + String.length s
-  | Value.Null | Value.Int _ | Value.Float _ | Value.Bool _ -> 16
+   Resident cost is accounted in columnar units: 8 bytes a cell plus
+   fixed per-row/per-relation overhead ({!Relation.footprint_bytes}).
+   Cell payloads live in the process-global value pool, shared across
+   every resident entry, so they are deliberately not attributed to any
+   one of them.  Deterministic, and O(1) for the F(J) tier. *)
 
-let tuple_bytes t =
-  Array.fold_left (fun acc v -> acc + value_bytes v) (16 + (8 * Array.length t)) t
-
-let relation_bytes r = Relation.fold (fun acc t -> acc + tuple_bytes t) 256 r
+let relation_bytes = Relation.footprint_bytes
 
 let result_bytes (r : Full_disjunction.result) =
+  let arity = Schema.arity r.Full_disjunction.scheme in
   List.fold_left
-    (fun acc (a : Assoc.t) -> acc + tuple_bytes a.Assoc.tuple + 48)
+    (fun acc (_ : Assoc.t) -> acc + (8 * arity) + 72)
     512 r.Full_disjunction.associations
 
 (* --- the store ---------------------------------------------------------- *)

@@ -184,6 +184,39 @@ let compute src g =
           end;
           { scheme; node_positions; associations = canonical_order associations }))
 
+(* End-to-end batch evaluation of D(G) as a relation, never leaving the
+   columnar plane when the switch is on: each connected category's F(J)
+   is padded to the full scheme (shared columns + null fills), the
+   categories are vertically concatenated and set-deduplicated in one
+   pass, the subsumption sweep runs on bitmask/class-id kernels, and the
+   survivors come out in canonical [Tuple.compare] order.  Renders
+   byte-identically to [to_relation (compute src g)] — coverage tags are
+   the only thing [compute] adds, and equal tuples carry equal coverage
+   (see [canonical_order]), so dropping them loses nothing at the
+   relation level.  This is the path bench B17 measures. *)
+let compute_relation ?(name = "D(G)") src g =
+  Obs.with_span ~attrs:[ ("algorithm", "columnar") ] Obs.Names.sp_fulldisj
+    (fun () ->
+      let scheme = Source.scheme src g in
+      let subsets = Subgraphs.connected_node_sets g in
+      Obs.add Obs.Names.categories (List.length subsets);
+      let padded =
+        Par.map ?pool:(Source.pool src)
+          (fun aliases ->
+            let j = Qgraph.induced g aliases in
+            Algebra.pad (Join_eval.full_associations src j) scheme)
+          subsets
+      in
+      let union_all =
+        if Columnar.enabled () && Schema.arity scheme > 0 && padded <> [] then
+          Relation.of_columns ~allow_all_null:true name scheme
+            (Col_ops.concat (List.map Relation.columns padded))
+        else
+          Relation.create ~allow_all_null:true name scheme
+            (List.concat_map Relation.tuples padded)
+      in
+      Join_eval.canonical (Min_union.minimize ?pool:(Source.pool src) union_all))
+
 (* Incremental repair: after an insert-only database update, D(G)'s new
    possible associations all come from categories containing an alias over
    a touched base.  Each such category contributes its delta join (padded,
@@ -251,15 +284,8 @@ let delta src g ~old ~changed =
       in
       { scheme; node_positions; associations })
 
-(* Deprecated shims; prefer passing a Source. *)
-let naive_db db g = naive (Source.of_db db) g
-let compute_db db g = compute (Source.of_db db) g
-let naive_fn ~lookup g = naive (Source.of_fn lookup) g
-let compute_fn ~lookup g = compute (Source.of_fn lookup) g
-let possible_associations_fn ~lookup g = possible_associations (Source.of_fn lookup) g
-
 let to_relation ?(name = "D(G)") r =
-  Relation.make ~allow_all_null:true name r.scheme
+  Relation.create ~allow_all_null:true name r.scheme
     (List.map (fun (a : Assoc.t) -> a.Assoc.tuple) r.associations)
 
 let categories r =

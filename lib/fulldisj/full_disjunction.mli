@@ -45,13 +45,13 @@ val delta :
     for the outer-join planner and for tests. *)
 val canonical_order : Assoc.t list -> Assoc.t list
 
-(** Deprecated aliases for [naive (Source.of_db db)] etc., kept for one
-    release; prefer passing a {!Source.t}. *)
-val naive_db : Database.t -> Qgraph.t -> result
-
-val compute_db : Database.t -> Qgraph.t -> result
-val naive_fn : lookup:(string -> Relation.t option) -> Qgraph.t -> result
-val compute_fn : lookup:(string -> Relation.t option) -> Qgraph.t -> result
+(** [compute_relation src g] — D(G) directly as a relation, evaluated on
+    the columnar batch kernels end to end (concatenated padded
+    categories, one-pass set dedup, bitmask subsumption sweep, canonical
+    sort).  Renders byte-identically to [to_relation (compute src g)];
+    with the columnar switch off it falls back to the boxed kernels and
+    still returns the same relation.  Bench B17 measures this path. *)
+val compute_relation : ?name:string -> Source.t -> Qgraph.t -> Relation.t
 
 (** D(G) as a relation (coverage dropped). *)
 val to_relation : ?name:string -> result -> Relation.t
@@ -63,7 +63,3 @@ val categories : result -> (Coverage.t * Assoc.t list) list
 (** The possible data associations S(G) (Definition 3.6): every F(J) padded,
     {e without} subsumption removal.  Exposed for tests/oracles. *)
 val possible_associations : Source.t -> Qgraph.t -> result
-
-(** Deprecated alias; prefer {!possible_associations} on a {!Source.t}. *)
-val possible_associations_fn :
-  lookup:(string -> Relation.t option) -> Qgraph.t -> result

@@ -8,8 +8,16 @@ let reorder r target =
   let positions =
     Array.to_list (Schema.attrs target) |> List.map (Schema.index src)
   in
-  Relation.make ~allow_all_null:true (Relation.name r) target
-    (List.map (fun t -> Tuple.project t positions) (Relation.tuples r))
+  (* A column permutation: rows are untouched, so the input set stays a
+     set and dedup is skipped on the columnar path. *)
+  if Columnar.enabled () && Schema.arity target > 0 then
+    let cols = Relation.columns r in
+    Relation.of_columns ~dedup:false ~allow_all_null:true (Relation.name r)
+      target
+      (Array.of_list (List.map (fun i -> cols.(i)) positions))
+  else
+    Relation.create ~allow_all_null:true (Relation.name r) target
+      (List.map (fun t -> Tuple.project t positions) (Relation.tuples r))
 
 (* BFS order from the lexicographically first alias; each step joins the next
    node in, with the conjunction of all edges linking it to nodes already
@@ -37,9 +45,16 @@ let join_order g =
    makes equal tuple *sets* structurally identical relations, which the
    incremental/from-scratch parity guarantee is stated in terms of. *)
 let canonical r =
-  let arr = Array.copy (Relation.tuples_array r) in
-  Array.sort Tuple.compare arr;
-  Relation.of_array_unsafe (Relation.name r) (Relation.schema r) arr
+  if Columnar.enabled () && Schema.arity (Relation.schema r) > 0 then
+    Relation.of_columns ~dedup:false ~allow_all_null:true (Relation.name r)
+      (Relation.schema r)
+      (Col_ops.sort_rows_canonical (Relation.columns r))
+  else begin
+    let arr = Array.copy (Relation.tuples_array r) in
+    Array.sort Tuple.compare arr;
+    Relation.create ~dedup:false ~allow_all_null:true (Relation.name r)
+      (Relation.schema r) (Array.to_list arr)
+  end
 
 let join_base_with ~rel_of ~scheme g =
   if Qgraph.node_count g = 0 then invalid_arg "Join_eval.full_associations: empty graph";
@@ -95,7 +110,7 @@ let full_associations_delta src g ~changed =
             invalid_arg
               ("Join_eval.full_associations_delta: unknown base relation " ^ base0)
         | Some r ->
-            let d = Relation.make base0 (Relation.schema r) tuples in
+            let d = Relation.create base0 (Relation.schema r) tuples in
             let d = Relation.with_name alias d in
             if String.equal base0 alias then d
             else Relation.rename_rel d ~from:base0 ~into:alias
@@ -105,7 +120,7 @@ let full_associations_delta src g ~changed =
   in
   match List.map contribution touched with
   | [] ->
-      Relation.make ~allow_all_null:true
+      Relation.create ~allow_all_null:true
         (match Qgraph.aliases g with a :: _ -> a | [] -> "delta")
         scheme []
   | first :: rest -> List.fold_left Algebra.union first rest
@@ -124,5 +139,3 @@ let full_associations src g =
           ~attrs:[ ("nodes", string_of_int (Qgraph.node_count g)) ]
           Obs.Names.sp_full_associations
           (fun () -> join_base ~lookup g)
-
-let full_associations_fn ~lookup g = full_associations (Source.of_fn lookup) g

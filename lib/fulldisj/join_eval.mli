@@ -32,11 +32,6 @@ val full_associations_delta :
   changed:(string * Tuple.t list) list ->
   Relation.t
 
-(** Deprecated alias for [full_associations (Source.of_fn lookup)]; prefer
-    passing a {!Source.t}. *)
-val full_associations_fn :
-  lookup:(string -> Relation.t option) -> Querygraph.Qgraph.t -> Relation.t
-
 (** Reorder a relation's columns to match a target schema containing
     exactly the same attributes. *)
 val reorder : Relation.t -> Schema.t -> Relation.t

@@ -3,7 +3,7 @@
     Two implementations of subsumed-tuple removal are provided: the naive
     quadratic scan and a per-column hash-indexed variant; bench [B1]
     compares them.  Both require input deduplicated to set semantics (every
-    caller here goes through {!Relational.Relation.make}, which dedups). *)
+    caller here goes through {!Relational.Relation.create}, which dedups). *)
 
 open Relational
 
@@ -44,6 +44,18 @@ val merge_keep_flags :
     batch, assuming [rel] was minimal.  Raises [Invalid_argument] on an
     arity mismatch. *)
 val merge_minimal : ?pool:Par.Pool.t -> Relation.t -> Tuple.t list -> Relation.t
+
+(** [sweep ?pool rel] — [rel] minus its strictly subsumed rows, row order
+    preserved.  Runs on the columnar bitmask/class-id kernel when the
+    {!Relational.Columnar} switch is on (and the arity fits an int
+    bitmask), on {!remove_subsumed} otherwise; the result is identical
+    either way. *)
+val sweep : ?pool:Par.Pool.t -> Relation.t -> Relation.t
+
+(** {!sweep} wrapped in the [min_union] telemetry span, with
+    considered/kept counters — the building block of every D(G)
+    algorithm's final subsumption pass. *)
+val minimize : ?pool:Par.Pool.t -> Relation.t -> Relation.t
 
 (** Minimum union of two relations: outer union with strictly subsumed
     tuples removed. *)

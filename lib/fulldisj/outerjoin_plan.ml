@@ -71,9 +71,8 @@ let full_disjunction src g =
       (* Safety net: the cascade can only miss subsumption across branches. *)
       let minimal =
         Obs.with_span Obs.Names.sp_oj_sweep (fun () ->
-            Relation.make ~allow_all_null:true "D(G)" (Relation.schema fused)
-              (Min_union.remove_subsumed ?pool:(Source.pool src)
-                 (Relation.tuples fused)))
+            Min_union.sweep ?pool:(Source.pool src)
+              (Relation.with_name "D(G)" fused))
       in
       tag_result ~lookup g minimal)
 
@@ -90,11 +89,3 @@ let rooted src ~root g =
   if not (Qgraph.mem_node g root) then invalid_arg ("Outerjoin_plan.rooted: " ^ root);
   let rel = cascade ~lookup ~join:Algebra.left_outer_join g root in
   tag_result ~lookup g rel
-
-(* Deprecated shims; prefer passing a Source. *)
-let full_disjunction_fn ~lookup g = full_disjunction (Source.of_fn lookup) g
-
-let full_disjunction_no_sweep_fn ~lookup g =
-  full_disjunction_no_sweep (Source.of_fn lookup) g
-
-let rooted_fn ~lookup ~root g = rooted (Source.of_fn lookup) ~root g

@@ -12,7 +12,6 @@
     parent/phone/bus data) arises: rooting at [Children] and left-joining
     outward computes exactly the data associations that cover the root. *)
 
-open Relational
 module Qgraph = Querygraph.Qgraph
 
 val is_tree : Qgraph.t -> bool
@@ -30,16 +29,3 @@ val full_disjunction_no_sweep : Source.t -> Qgraph.t -> Full_disjunction.result
     Equals the subset of D(G) whose coverage contains [root] (tested).
     Raises [Invalid_argument] if [g] is not a tree. *)
 val rooted : Source.t -> root:string -> Qgraph.t -> Full_disjunction.result
-
-(** Deprecated [~lookup] aliases, kept for one release. *)
-val full_disjunction_fn :
-  lookup:(string -> Relation.t option) -> Qgraph.t -> Full_disjunction.result
-
-val full_disjunction_no_sweep_fn :
-  lookup:(string -> Relation.t option) -> Qgraph.t -> Full_disjunction.result
-
-val rooted_fn :
-  lookup:(string -> Relation.t option) ->
-  root:string ->
-  Qgraph.t ->
-  Full_disjunction.result

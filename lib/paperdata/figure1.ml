@@ -5,7 +5,7 @@ let i v = Value.Int v
 let nul = Value.Null
 
 let rel name cols rows =
-  Relation.make name (Schema.make name cols) (List.map Tuple.make rows)
+  Relation.create name (Schema.make name cols) (List.map Tuple.make rows)
 
 let children =
   rel "Children"

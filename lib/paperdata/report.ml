@@ -79,7 +79,7 @@ let fig3 () =
 
 let fig4 () =
   let alts =
-    Op_walk.data_walk_kb ~kb Running.mapping_g1 ~start:"Children" ~goal:"PhoneDir"
+    Op_walk.walk_alternatives ~kb Running.mapping_g1 ~start:"Children" ~goal:"PhoneDir"
       ~max_len:2 ()
   in
   let b = Buffer.create 2048 in
@@ -137,8 +137,8 @@ let fig6 () =
     ]
 
 let fig7 () =
-  let f_g1 = Join_eval.full_associations_fn ~lookup Running.graph_g1 in
-  let f_g2 = Join_eval.full_associations_fn ~lookup Running.graph_g2 in
+  let f_g1 = Join_eval.full_associations (Source.of_fn lookup) Running.graph_g1 in
+  let f_g2 = Join_eval.full_associations (Source.of_fn lookup) Running.graph_g2 in
   let s2 = Relation.schema f_g2 in
   let padded = Algebra.pad f_g1 s2 in
   let find rel =
@@ -176,7 +176,7 @@ let render_fd fd =
   Render.annotated ~annot_header:"coverage" rows fd.Full_disjunction.scheme
 
 let fig8 () =
-  let fd = Full_disjunction.compute_fn ~lookup Running.graph_g in
+  let fd = Full_disjunction.compute (Source.of_fn lookup) Running.graph_g in
   "D(G) — the data associations of query graph G, tagged with coverage:\n"
   ^ render_fd fd
 
@@ -208,7 +208,7 @@ let fig9 () =
 
 let fig11 () =
   let alts =
-    Op_walk.data_walk_kb ~kb Running.mapping_g1 ~start:"Children" ~goal:"PhoneDir"
+    Op_walk.walk_alternatives ~kb Running.mapping_g1 ~start:"Children" ~goal:"PhoneDir"
       ~max_len:2 ()
   in
   let b = Buffer.create 1024 in

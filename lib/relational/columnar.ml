@@ -1,0 +1,25 @@
+(* Process-wide switch for the columnar operator kernels.
+
+   When enabled (the default), the hot operators — equi hash joins,
+   padding, projection, union, min-union subsumption — run over interned
+   int columns; when disabled they take the boxed Tuple.t path the
+   pre-columnar code used.  Output is byte-identical either way (the
+   qcheck parity suite in test_columnar.ml asserts it); the switch exists
+   as the `--no-columnar` ablation for bench/main B17 and as an escape
+   hatch.  Storage is unaffected: relations always carry/lazily build both
+   views. *)
+
+let flag = Atomic.make true
+
+let () =
+  match Sys.getenv_opt "CLIO_NO_COLUMNAR" with
+  | Some ("1" | "true" | "yes") -> Atomic.set flag false
+  | Some _ | None -> ()
+
+let enabled () = Atomic.get flag
+let set_enabled b = Atomic.set flag b
+
+let with_enabled b f =
+  let prev = Atomic.get flag in
+  Atomic.set flag b;
+  Fun.protect ~finally:(fun () -> Atomic.set flag prev) f

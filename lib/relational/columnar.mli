@@ -1,0 +1,13 @@
+(** Process-wide switch for the columnar operator kernels.
+
+    On by default; [CLIO_NO_COLUMNAR=1] in the environment or
+    {!set_enabled}[ false] routes every operator through the boxed
+    [Tuple.t] path instead (the bench ablation).  Results are
+    byte-identical either way; only speed changes. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** Run [f] with the switch forced to [b], restoring the previous state
+    (used by the parity tests and the bench ablation arms). *)
+val with_enabled : bool -> (unit -> 'a) -> 'a

@@ -59,7 +59,7 @@ let relation_of_string ~name text =
             Tuple.make (List.map Value.of_csv_cell cells))
           rows
       in
-      Relation.make name schema tuples
+      Relation.create name schema tuples
 
 let relation_of_file ~name path =
   let ic = open_in_bin path in

@@ -131,7 +131,7 @@ let insert_tuples t name tuples =
   if fresh = [] then t
   else begin
     let r =
-      Relation.make (Relation.name old_r) (Relation.schema old_r)
+      Relation.create (Relation.name old_r) (Relation.schema old_r)
         (Relation.tuples old_r @ fresh)
     in
     let by_name = Hashtbl.copy t.by_name in

@@ -1,4 +1,31 @@
-type t = { name : string; schema : Schema.t; tuples : Tuple.t array }
+(* A relation carries up to two interchangeable representations of the
+   same rows, built lazily from one another and memoized:
+
+   - the *boxed* view: an array of [Tuple.t] (what the pre-columnar code
+     stored), still the substrate for predicates, rendering and every
+     tuple-level accessor;
+   - the *columnar* view: one int array per attribute holding
+     {!Value_pool} structural ids (0 = null), the substrate for the batch
+     operator kernels.
+
+   Constructors record whichever representation they were given; the
+   other materializes on first demand.  Both views describe the same row
+   sequence in the same order, and because interning is a structural
+   round-trip ([Value_pool.resolve (intern v)] is [v] bit-for-bit),
+   boxing a columnar relation renders byte-identically to the original.
+
+   The memo fields are written at most once per representation with a
+   single pointer store; a concurrent second computation (two Par domains
+   forcing the same view) produces an equal array and the last store
+   wins — benign. *)
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  nrows : int;
+  mutable boxed : Tuple.t array option;
+  mutable cols : int array array option;
+}
 
 module Tuple_tbl = Hashtbl.Make (struct
   type t = Tuple.t
@@ -7,7 +34,7 @@ module Tuple_tbl = Hashtbl.Make (struct
   let hash = Tuple.hash
 end)
 
-let dedup tuples =
+let dedup_list tuples =
   let seen = Tuple_tbl.create (List.length tuples) in
   List.filter
     (fun t ->
@@ -18,72 +45,91 @@ let dedup tuples =
       end)
     tuples
 
-let make ?(allow_all_null = false) name schema tuples =
+let validate ~ctor ~allow_all_null name schema tuples =
   let n = Schema.arity schema in
   List.iter
     (fun t ->
       if Tuple.arity t <> n then
         invalid_arg
-          (Printf.sprintf "Relation.make %s: tuple arity %d, schema arity %d" name
+          (Printf.sprintf "%s %s: tuple arity %d, schema arity %d" ctor name
              (Tuple.arity t) n);
       if (not allow_all_null) && n > 0 && Tuple.all_null t then
-        invalid_arg (Printf.sprintf "Relation.make %s: all-null tuple" name))
-    tuples;
-  { name; schema; tuples = Array.of_list (dedup tuples) }
+        invalid_arg (Printf.sprintf "%s %s: all-null tuple" ctor name))
+    tuples
 
-let make_of_array ?(allow_all_null = false) name schema tuples =
-  let n = Schema.arity schema in
-  Array.iter
-    (fun t ->
-      if Tuple.arity t <> n then
+let create ?(dedup = true) ?(allow_all_null = false) name schema tuples =
+  validate ~ctor:"Relation.create" ~allow_all_null name schema tuples;
+  let tuples = if dedup then dedup_list tuples else tuples in
+  let arr = Array.of_list tuples in
+  { name; schema; nrows = Array.length arr; boxed = Some arr; cols = None }
+
+let of_columns ?(dedup = true) ?(allow_all_null = false) name schema cols =
+  let arity = Schema.arity schema in
+  if Array.length cols <> arity then
+    invalid_arg
+      (Printf.sprintf "Relation.of_columns %s: %d columns, schema arity %d" name
+         (Array.length cols) arity);
+  let n = Col_ops.nrows cols in
+  Array.iteri
+    (fun c col ->
+      if Array.length col <> n then
         invalid_arg
-          (Printf.sprintf "Relation.make_of_array %s: tuple arity %d, schema arity %d"
-             name (Tuple.arity t) n);
-      if (not allow_all_null) && n > 0 && Tuple.all_null t then
-        invalid_arg (Printf.sprintf "Relation.make_of_array %s: all-null tuple" name))
-    tuples;
-  let len = Array.length tuples in
-  let seen = Tuple_tbl.create len in
-  let unique = ref 0 in
-  Array.iter
-    (fun t ->
-      if not (Tuple_tbl.mem seen t) then begin
-        Tuple_tbl.add seen t ();
-        incr unique
-      end)
-    tuples;
-  let tuples =
-    if !unique = len then tuples
-    else begin
-      (* Rare path: duplicates present.  Re-walk with a fresh table,
-         keeping first occurrences in order. *)
-      let out = Array.make !unique [||] in
-      let keep = Tuple_tbl.create !unique in
-      let j = ref 0 in
-      Array.iter
-        (fun t ->
-          if not (Tuple_tbl.mem keep t) then begin
-            Tuple_tbl.add keep t ();
-            out.(!j) <- t;
-            incr j
-          end)
-        tuples;
-      out
-    end
+          (Printf.sprintf "Relation.of_columns %s: column %d length %d, expected %d"
+             name c (Array.length col) n))
+    cols;
+  if (not allow_all_null) && arity > 0 then
+    for i = 0 to n - 1 do
+      let all_null = ref true in
+      for c = 0 to arity - 1 do
+        if cols.(c).(i) <> 0 then all_null := false
+      done;
+      if !all_null then
+        invalid_arg (Printf.sprintf "Relation.of_columns %s: all-null tuple" name)
+    done;
+  let cols =
+    if not dedup then cols
+    else
+      match Col_ops.dedup_keep_first cols with
+      | None -> cols
+      | Some keep -> Col_ops.gather cols keep
   in
-  { name; schema; tuples }
+  { name; schema; nrows = Col_ops.nrows cols; boxed = None; cols = Some cols }
 
-let of_array_unsafe name schema tuples = { name; schema; tuples }
+let tuples_array t =
+  match t.boxed with
+  | Some arr -> arr
+  | None ->
+      let cols = Option.get t.cols in
+      let arity = Schema.arity t.schema in
+      let arr =
+        Array.init t.nrows (fun i ->
+            Array.init arity (fun c -> Value_pool.resolve cols.(c).(i)))
+      in
+      t.boxed <- Some arr;
+      arr
+
+let columns t =
+  match t.cols with
+  | Some cols -> cols
+  | None ->
+      let arr = Option.get t.boxed in
+      let cols = Value_pool.intern_rows arr ~arity:(Schema.arity t.schema) in
+      t.cols <- Some cols;
+      cols
+
 let name t = t.name
 let schema t = t.schema
-let tuples t = Array.to_list t.tuples
-let tuples_array t = t.tuples
-let cardinality t = Array.length t.tuples
-let is_empty t = Array.length t.tuples = 0
-let mem t tup = Array.exists (Tuple.equal tup) t.tuples
-let iter f t = Array.iter f t.tuples
-let fold f init t = Array.fold_left f init t.tuples
-let filter p t = { t with tuples = Array.of_list (List.filter p (tuples t)) }
+let tuples t = Array.to_list (tuples_array t)
+let cardinality t = t.nrows
+let is_empty t = t.nrows = 0
+let mem t tup = Array.exists (Tuple.equal tup) (tuples_array t)
+let iter f t = Array.iter f (tuples_array t)
+let fold f init t = Array.fold_left f init (tuples_array t)
+
+let filter p t =
+  let arr = Array.of_list (List.filter p (tuples t)) in
+  { t with nrows = Array.length arr; boxed = Some arr; cols = None }
+
 let with_name name t = { t with name }
 
 let rename_rel t ~from ~into =
@@ -108,8 +154,17 @@ let equal_contents a b =
   && cardinality a = cardinality b
   &&
   let set = Tuple_tbl.create (cardinality b) in
-  Array.iter (fun t -> Tuple_tbl.replace set t ()) b.tuples;
-  Array.for_all (fun t -> Tuple_tbl.mem set t) a.tuples
+  Array.iter (fun t -> Tuple_tbl.replace set t ()) (tuples_array b);
+  Array.for_all (fun t -> Tuple_tbl.mem set t) (tuples_array a)
+
+(* Columnar footprint: what the relation costs once resident as columns —
+   8 bytes per cell plus per-column and record overhead.  The value pool
+   is process-global and shared across every resident relation, so its
+   bytes are deliberately not attributed here.  Used by the engine's
+   cache accounting; deterministic and O(1). *)
+let footprint_bytes t =
+  let arity = Schema.arity t.schema in
+  256 + (arity * 24) + (8 * arity * t.nrows)
 
 let pp ppf t =
   Format.fprintf ppf "%s%a {@[<v>%a@]}" t.name Schema.pp t.schema

@@ -1,38 +1,58 @@
 (** Named finite sets of tuples over a scheme.
 
-    Relations use set semantics: {!make} and all operators deduplicate.
-    Tuples are stored in an array for cheap iteration; order is unspecified
-    except where an operation documents sorting. *)
+    Relations use set semantics: {!create} and all operators deduplicate
+    (under [Value.equal], which identifies [Int 1] with [Float 1.0]).
+    Order is unspecified except where an operation documents sorting.
 
-type t = private { name : string; schema : Schema.t; tuples : Tuple.t array }
+    A relation holds up to two memoized representations of the same row
+    sequence — the boxed [Tuple.t array] view and the columnar
+    {!Value_pool}-id view — each materialized lazily from the other.
+    Tuple-level accessors ({!tuples}, {!iter}, {!fold}, {!pp}, …) force
+    the boxed view; the batch operator kernels ({!Algebra},
+    [Fulldisj.Min_union]) work on {!columns}.  See docs/data-plane.md. *)
+
+type t
 
 (** Hash table keyed by whole tuples ({!Tuple.equal} / {!Tuple.hash});
     the building block for one-pass set operations over relations. *)
 module Tuple_tbl : Hashtbl.S with type key = Tuple.t
 
-(** Build a relation, checking every tuple's arity and removing duplicates.
-    Raises [Invalid_argument] on arity mismatch or if a source tuple is
-    all-null (disallowed by the paper's preliminaries). Pass
-    [~allow_all_null:true] for intermediate results (e.g. padded
-    associations) where all-null rows may legitimately appear. *)
-val make : ?allow_all_null:bool -> string -> Schema.t -> Tuple.t list -> t
+(** The one tuple-level builder.  Checks every tuple's arity against the
+    schema (always), rejects all-null tuples unless [~allow_all_null:true]
+    (intermediate results such as padded associations may legitimately
+    contain them), and removes duplicates unless [~dedup:false] (pass it
+    only when the input is already a set — operator hot paths — or when
+    the caller accepts first-occurrence semantics being skipped).
+    Replaces the former [make] / [make_of_array] / [of_array_unsafe]
+    trio: ownership of the list is irrelevant (it is reified), and the
+    two optional flags are the whole validation contract. *)
+val create :
+  ?dedup:bool -> ?allow_all_null:bool -> string -> Schema.t -> Tuple.t list -> t
 
-(** Array-native {!make}: same arity / all-null validation and
-    deduplication, but takes ownership of the array — when the input is
-    already duplicate-free (the common case on operator hot paths) the
-    array is used as-is with no copy, so the caller must not mutate it
-    afterwards. *)
-val make_of_array : ?allow_all_null:bool -> string -> Schema.t -> Tuple.t array -> t
-
-(** Like {!make} without the all-null check and from an array (no copy). *)
-val of_array_unsafe : string -> Schema.t -> Tuple.t array -> t
+(** Columnar builder: one int array of {!Value_pool} structural ids per
+    attribute, all of equal length.  Takes ownership of the arrays — do
+    not mutate them afterwards.  Same validation contract as {!create}
+    ([dedup] compares rows class-wise, first occurrence wins). *)
+val of_columns :
+  ?dedup:bool ->
+  ?allow_all_null:bool ->
+  string ->
+  Schema.t ->
+  int array array ->
+  t
 
 val name : t -> string
 val schema : t -> Schema.t
 val tuples : t -> Tuple.t list
 
-(** The underlying tuple array itself, no copy — read-only by contract. *)
+(** The boxed tuple array, memoized, no copy — read-only by contract. *)
 val tuples_array : t -> Tuple.t array
+
+(** The columnar view, memoized, no copy — read-only by contract.  One
+    int array per attribute; cells are {!Value_pool} structural ids
+    (0 = null). *)
+val columns : t -> int array array
+
 val cardinality : t -> int
 val is_empty : t -> bool
 val mem : t -> Tuple.t -> bool
@@ -50,5 +70,10 @@ val column_values : t -> Attr.t -> Value.t list
 
 (** Set equality (same schema, same tuple set). *)
 val equal_contents : t -> t -> bool
+
+(** Approximate resident bytes of the columnar representation (8 bytes a
+    cell; the shared {!Value_pool} is not attributed).  Deterministic and
+    O(1); the engine cache's byte budget is accounted in these units. *)
+val footprint_bytes : t -> int
 
 val pp : Format.formatter -> t -> unit

@@ -24,6 +24,10 @@ val equal : t -> t -> bool
     [Int]s and [Float]s are compared numerically across constructors). *)
 val compare : t -> t -> int
 
+(** The constructor rank {!compare} orders by first: 0 [Null], 1 [Bool],
+    2 numeric ([Int] and [Float] share a rank), 3 [String]. *)
+val rank : t -> int
+
 (** SQL-flavoured equality used by predicates: [None] when either side is
     [Null] (unknown), [Some b] otherwise. *)
 val sql_eq : t -> t -> bool option

@@ -44,7 +44,7 @@ let relation st ~name ~rows ~payload_cols ~fks ~key_space =
         Tuple.make ((Value.Int id :: payload) @ fk_vals))
       ids
   in
-  Relation.make name schema tuples
+  Relation.create name schema tuples
 
 let sparse_tuples st ~rows ~arity ~null_prob ~domain =
   List.init rows (fun _ ->
@@ -79,3 +79,66 @@ let skewed_tuples st ~rows ~arity ~null_prob ~domain ?(zipf_s = 1.0) () =
       Array.init arity (fun _ ->
           if Random.State.float st 1.0 < null_prob then Value.Null
           else Value.Int (sample ())))
+
+(* --- column-native generation (million-tuple scale) ---------------------
+
+   The columnar builders fill [Value_pool] id columns directly — no boxed
+   tuple is ever allocated on the generation path, so a million-row
+   relation costs array fills plus RNG draws.  Integer domains are
+   pre-interned once and indexed thereafter. *)
+
+let interned_int_domain n =
+  Array.init n (fun k -> Value_pool.intern (Value.Int k))
+
+let columnar_chain_relation st ~name ~rows ?payload_domain ~fk () =
+  if rows <= 0 then invalid_arg "Gen_db.columnar_chain_relation: rows must be > 0";
+  let ids = interned_int_domain rows in
+  let id_col = Array.init rows (fun i -> ids.(i)) in
+  let payload =
+    match payload_domain with
+    | None -> []
+    | Some d ->
+        if d <= 0 then
+          invalid_arg "Gen_db.columnar_chain_relation: payload_domain must be > 0";
+        let pool =
+          Array.init d (fun k ->
+              Value_pool.intern (Value.String (Printf.sprintf "%s-%06d" name k)))
+        in
+        [ ("pay", Array.init rows (fun _ -> pool.(Random.State.int st d))) ]
+  in
+  let cols =
+    match fk with
+    | None -> ("id", id_col) :: payload
+    | Some (target, target_rows, null_prob) ->
+        let tids = interned_int_domain target_rows in
+        let fk_col =
+          Array.init rows (fun _ ->
+              if Random.State.float st 1.0 < null_prob then 0
+              else tids.(Random.State.int st target_rows))
+        in
+        ("id", id_col) :: ("fk_" ^ target, fk_col) :: payload
+  in
+  Relation.of_columns ~dedup:false name
+    (Schema.make name (List.map fst cols))
+    (Array.of_list (List.map snd cols))
+
+let columnar_chain_db st ~names ~rows ?payload_domain ~null_prob () =
+  if names = [] then invalid_arg "Gen_db.columnar_chain_db: no relations";
+  let rec build = function
+    | [] -> []
+    | [ last ] ->
+        [ columnar_chain_relation st ~name:last ~rows ?payload_domain ~fk:None () ]
+    | name :: (next :: _ as rest) ->
+        columnar_chain_relation st ~name ~rows ?payload_domain
+          ~fk:(Some (next, rows, null_prob))
+          ()
+        :: build rest
+  in
+  Database.of_relations (build names)
+
+let sparse_columns st ~rows ~arity ~null_prob ~domain =
+  let ids = interned_int_domain domain in
+  Array.init arity (fun _ ->
+      Array.init rows (fun _ ->
+          if Random.State.float st 1.0 < null_prob then 0
+          else ids.(Random.State.int st domain)))

@@ -43,3 +43,43 @@ val skewed_tuples :
   ?zipf_s:float ->
   unit ->
   Tuple.t list
+
+(** [columnar_chain_relation st ~name ~rows ~fk] — a relation built
+    directly as {!Value_pool} id columns (no boxed tuples on the
+    generation path): an ["id"] key column [0 .. rows-1] plus, when
+    [fk = Some (target, target_rows, null_prob)], one ["fk_<target>"]
+    column drawn uniformly from the target's key space with the given
+    null rate, and, with [?payload_domain:d], a ["pay"] column of
+    strings drawn from [d] distinct relation-specific payloads (string
+    work is what boxed kernels pay per operator and interning pays
+    once). *)
+val columnar_chain_relation :
+  Random.State.t ->
+  name:string ->
+  rows:int ->
+  ?payload_domain:int ->
+  fk:(string * int * float) option ->
+  unit ->
+  Relation.t
+
+(** A database of [names] chained by FK columns ([R1.fk_R2 = R2.id], …),
+    [rows] tuples each, all built column-natively — the substrate of the
+    million-tuple full-disjunction workload (bench B17). *)
+val columnar_chain_db :
+  Random.State.t ->
+  names:string list ->
+  rows:int ->
+  ?payload_domain:int ->
+  null_prob:float ->
+  unit ->
+  Database.t
+
+(** Like {!sparse_tuples}, but as interned id columns: subsumption-heavy
+    input for the columnar sweep at scales where boxing would dominate. *)
+val sparse_columns :
+  Random.State.t ->
+  rows:int ->
+  arity:int ->
+  null_prob:float ->
+  domain:int ->
+  int array array

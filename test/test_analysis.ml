@@ -46,8 +46,8 @@ let test_eval_pruned_equals_eval () =
   List.iter
     (fun m ->
       Alcotest.(check bool) "pruned = full" true
-        (Relation.equal_contents (Mapping_eval.eval_db db m)
-           (Mapping_analysis.eval_pruned_db db m)))
+        (Relation.equal_contents (Mapping_eval.eval (Eval_ctx.transient db) m)
+           (Mapping_analysis.eval_pruned (Eval_ctx.transient db) m)))
     [ m9; Paperdata.Running.section2_mapping; Paperdata.Running.mapping_g1 ]
 
 let test_eval_pruned_random_instances () =
@@ -70,8 +70,8 @@ let test_eval_pruned_random_instances () =
     in
     Alcotest.(check bool) "pruned = full" true
       (Relation.equal_contents
-         (Mapping_eval.eval_db inst.Synth.Gen_graph.db m)
-         (Mapping_analysis.eval_pruned_db inst.Synth.Gen_graph.db m))
+         (Mapping_eval.eval (Eval_ctx.transient inst.Synth.Gen_graph.db) m)
+         (Mapping_analysis.eval_pruned (Eval_ctx.transient inst.Synth.Gen_graph.db) m))
   done
 
 let test_no_filter_means_everything_possible () =
@@ -126,22 +126,22 @@ let test_schema_project_materialize_and_check () =
   let sp = schema_project () in
   let sp = Schema_project.accept sp kids_mapping in
   let sp = Schema_project.accept sp guardians_mapping in
-  let inst = Schema_project.materialize_db db sp in
+  let inst = Schema_project.materialize (Eval_ctx.transient db) sp in
   Alcotest.(check (list string)) "two targets" [ "Kids"; "Guardians" ]
     (Database.relation_names inst);
   Alcotest.(check int) "4 kids" 4 (Relation.cardinality (Database.get inst "Kids"));
   (* All fathers are in Parents: the cross-target FK holds. *)
-  Alcotest.(check int) "no violations" 0 (List.length (Schema_project.check_db db sp))
+  Alcotest.(check int) "no violations" 0 (List.length (Schema_project.check (Eval_ctx.transient db) sp))
 
 let test_schema_project_detects_fk_violation () =
   (* Kids accepted but Guardians left unmapped: every father_id dangles. *)
   let sp = Schema_project.accept (schema_project ()) kids_mapping in
   Alcotest.(check bool) "violations" true
-    (List.length (Schema_project.check_db db sp) > 0)
+    (List.length (Schema_project.check (Eval_ctx.transient db) sp) > 0)
 
 let test_schema_project_report () =
   let sp = Schema_project.accept (schema_project ()) kids_mapping in
-  let s = Schema_project.report_db db sp in
+  let s = Schema_project.report (Eval_ctx.transient db) sp in
   Alcotest.(check bool) "mentions both targets" true
     (contains s "Kids" && contains s "Guardians");
   Alcotest.(check bool) "mentions mappings count" true (contains s "(1 mapping)")

@@ -18,7 +18,7 @@ module Graph_key = Engine.Graph_key
 let qtest t = QCheck_alcotest.to_alcotest ~long:false t
 let tc = Alcotest.test_case
 let v_int i = Value.Int i
-let mk name cols rows = Relation.make name (Schema.make name cols) rows
+let mk name cols rows = Relation.create name (Schema.make name cols) rows
 
 (* --- database versioning --- *)
 
@@ -136,7 +136,7 @@ let test_version_invalidation () =
   (* Mutate R1: drop half its tuples; the context carries the cache over. *)
   let r1 = Database.get db "R1" in
   let r1' =
-    Relation.make "R1" (Relation.schema r1)
+    Relation.create "R1" (Relation.schema r1)
       (List.filteri (fun i _ -> i mod 2 = 0) (Relation.tuples r1))
   in
   let ctx' = Eval_ctx.with_db ctx (Database.replace db r1') in
@@ -229,7 +229,7 @@ let mutate_db step db =
   let tuples =
     match Relation.tuples victim with [] -> [] | _ :: rest -> rest
   in
-  Database.replace db (Relation.make name (Relation.schema victim) tuples)
+  Database.replace db (Relation.create name (Relation.schema victim) tuples)
 
 let prop_cached_equals_uncached =
   QCheck2.Test.make ~name:"cached = uncached across mutate interleavings"

@@ -10,7 +10,7 @@ module Qgraph = Querygraph.Qgraph
 
 let db = Paperdata.Figure1.database
 let v_int i = Value.Int i
-let mk name cols rows = Relation.make name (Schema.make name cols) rows
+let mk name cols rows = Relation.create name (Schema.make name cols) rows
 
 (* --- Value_index --- *)
 
@@ -34,11 +34,11 @@ let test_index_chase_integration () =
   let idx = Value_index.build db in
   let m = Paperdata.Running.mapping_g1 in
   let with_index =
-    Clio.Op_chase.chase_db ~index:idx db m ~attr:(Attr.make "Children" "ID")
+    Clio.Op_chase.chase ~index:idx (Clio.Eval_ctx.transient db) m ~attr:(Attr.make "Children" "ID")
       ~value:(Value.String "002")
   in
   let without =
-    Clio.Op_chase.chase_db db m ~attr:(Attr.make "Children" "ID")
+    Clio.Op_chase.chase (Clio.Eval_ctx.transient db) m ~attr:(Attr.make "Children" "ID")
       ~value:(Value.String "002")
   in
   Alcotest.(check int) "same alternatives" (List.length without)
@@ -187,8 +187,8 @@ let test_apply_reproduces_paper_behavior () =
   in
   Alcotest.(check bool) "same view" true
     (Relation.equal_contents
-       (Clio.Mapping_eval.target_view_db db m)
-       (Clio.Mapping_eval.target_view_db db constrained));
+       (Clio.Mapping_eval.target_view (Clio.Eval_ctx.transient db) m)
+       (Clio.Mapping_eval.target_view (Clio.Eval_ctx.transient db) constrained));
   (* Idempotent. *)
   let again =
     Clio.Target_constraints.apply [ Integrity.Not_null ("Kids", "ID") ] constrained

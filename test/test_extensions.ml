@@ -121,7 +121,7 @@ let test_family_income_two_copies () =
       let incomes =
         List.filter_map
           (fun (a : Op_correspondence.alternative) ->
-            let view = Mapping_eval.target_view_db db a.Op_correspondence.mapping in
+            let view = Mapping_eval.target_view (Eval_ctx.transient db) a.Op_correspondence.mapping in
             let s = Relation.schema view in
             Relation.tuples view
             |> List.find_opt (fun t ->
@@ -139,7 +139,7 @@ let test_family_income_two_copies () =
 (* --- Session --- *)
 
 let test_session_undo_redo () =
-  let ws0 = Workspace.create_db ~db ~kb Paperdata.Running.mapping_g1 in
+  let ws0 = Workspace.create (Eval_ctx.create ~kb db) Paperdata.Running.mapping_g1 in
   let s = Session.start ws0 in
   Alcotest.(check bool) "no undo yet" false (Session.can_undo s);
   let s =
@@ -159,7 +159,7 @@ let test_session_undo_redo () =
     (Workspace.active (Session.current s)).Workspace.label
 
 let test_session_apply_truncates_redo () =
-  let ws0 = Workspace.create_db ~db ~kb Paperdata.Running.mapping_g1 in
+  let ws0 = Workspace.create (Eval_ctx.create ~kb db) Paperdata.Running.mapping_g1 in
   let s = Session.start ws0 in
   let s = Session.apply s ws0 in
   let s = Session.apply s ws0 in
@@ -170,7 +170,7 @@ let test_session_apply_truncates_redo () =
   Alcotest.(check int) "two states" 2 (Session.depth s)
 
 let test_session_undo_at_start_is_identity () =
-  let ws0 = Workspace.create_db ~db ~kb Paperdata.Running.mapping_g1 in
+  let ws0 = Workspace.create (Eval_ctx.create ~kb db) Paperdata.Running.mapping_g1 in
   let s = Session.start ws0 in
   Alcotest.(check int) "depth" 1 (Session.depth (Session.undo s))
 
@@ -206,18 +206,18 @@ let test_project_materialize () =
   let mothers, fathers = mothers_fathers () in
   let p = Project.create ~target:"Kids" ~target_cols:[ "ID"; "name"; "contactPh" ] in
   let p = Project.accept (Project.accept p mothers) fathers in
-  let r = Project.materialize_db db p in
+  let r = Project.materialize (Eval_ctx.transient db) p in
   Alcotest.(check int) "four kids" 4 (Relation.cardinality r)
 
 let test_project_empty_materializes_empty () =
   let p = Project.create ~target:"Kids" ~target_cols:[ "ID" ] in
-  Alcotest.(check int) "empty" 0 (Relation.cardinality (Project.materialize_db db p))
+  Alcotest.(check int) "empty" 0 (Relation.cardinality (Project.materialize (Eval_ctx.transient db) p))
 
 let test_project_completeness () =
   let mothers, fathers = mothers_fathers () in
   let p = Project.create ~target:"Kids" ~target_cols:[ "ID"; "name"; "contactPh" ] in
   let p = Project.accept (Project.accept p mothers) fathers in
-  let reports = Project.completeness_db db p in
+  let reports = Project.completeness (Eval_ctx.transient db) p in
   let find col = List.find (fun r -> r.Project.column = col) reports in
   Alcotest.(check int) "ID everywhere" 4 (find "ID").Project.non_null_rows;
   Alcotest.(check int) "contactPh everywhere" 4 (find "contactPh").Project.non_null_rows;
@@ -232,7 +232,7 @@ let test_project_retract () =
   let p = Project.retract p 0 in
   Alcotest.(check int) "one mapping" 1 (List.length (Project.mappings p));
   (* Only the motherless-kids mapping remains. *)
-  Alcotest.(check int) "only Bob" 1 (Relation.cardinality (Project.materialize_db db p))
+  Alcotest.(check int) "only Bob" 1 (Relation.cardinality (Project.materialize (Eval_ctx.transient db) p))
 
 let test_project_rejects_mismatch () =
   let p = Project.create ~target:"Kids" ~target_cols:[ "ID" ] in
@@ -249,39 +249,39 @@ let test_project_rejects_mismatch () =
 
 let test_explain_positive_row () =
   let m = Paperdata.Running.mapping in
-  let view = Mapping_eval.target_view_db db m in
+  let view = Mapping_eval.target_view (Eval_ctx.transient db) m in
   let s = Relation.schema view in
   let maya =
     Relation.tuples view
     |> List.find (fun t ->
            Value.equal (Tuple.value s t (Attr.make "Kids" "name")) (Value.String "Maya"))
   in
-  match Explain.of_target_tuple_db db m maya with
+  match Explain.of_target_tuple (Eval_ctx.transient db) m maya with
   | [ prov ] ->
       let contribution alias = List.assoc alias prov.Explain.contributions in
       Alcotest.(check bool) "Children contributed" true
         (Option.is_some (contribution "Children"));
       Alcotest.(check bool) "SBPS contributed" true
         (Option.is_some (contribution "SBPS"));
-      let rendered = Explain.render (Explain.scheme_db db m) prov in
+      let rendered = Explain.render (Explain.scheme (Eval_ctx.transient db) m) prov in
       Alcotest.(check bool) "rendered" true (contains rendered "Children")
   | provs -> Alcotest.failf "expected one derivation, got %d" (List.length provs)
 
 let test_explain_why_null () =
   let m = Paperdata.Running.mapping in
-  let view = Mapping_eval.target_view_db db m in
+  let view = Mapping_eval.target_view (Eval_ctx.transient db) m in
   let s = Relation.schema view in
   let ann =
     Relation.tuples view
     |> List.find (fun t ->
            Value.equal (Tuple.value s t (Attr.make "Kids" "name")) (Value.String "Ann"))
   in
-  (match Explain.why_null_db db m ann "BusSchedule" with
+  (match Explain.why_null (Eval_ctx.transient db) m ann "BusSchedule" with
   | [ (_, Explain.Source_relation_absent [ "SBPS" ]) ] -> ()
   | _ -> Alcotest.fail "expected Source_relation_absent [SBPS]");
   (* An unmapped column reports Not_mapped. *)
   let m2 = Mapping.remove_correspondence m "BusSchedule" in
-  let view2 = Mapping_eval.target_view_db db m2 in
+  let view2 = Mapping_eval.target_view (Eval_ctx.transient db) m2 in
   let ann2 =
     Relation.tuples view2
     |> List.find (fun t ->
@@ -289,14 +289,14 @@ let test_explain_why_null () =
              (Tuple.value (Relation.schema view2) t (Attr.make "Kids" "name"))
              (Value.String "Ann"))
   in
-  match Explain.why_null_db db m2 ann2 "BusSchedule" with
+  match Explain.why_null (Eval_ctx.transient db) m2 ann2 "BusSchedule" with
   | (_, Explain.Not_mapped) :: _ -> ()
   | _ -> Alcotest.fail "expected Not_mapped"
 
 (* --- HTML report --- *)
 
 let test_html_report () =
-  let html = Report_html.page_db ~short:Paperdata.Figure1.short db Paperdata.Running.mapping in
+  let html = Report_html.page ~short:Paperdata.Figure1.short (Eval_ctx.transient db) Paperdata.Running.mapping in
   List.iter
     (fun sub -> Alcotest.(check bool) sub true (contains html sub))
     [
@@ -314,7 +314,7 @@ let test_html_report () =
       (Correspondence.of_expr "name"
          (Expr.Const (Value.String "<script>alert(1)</script>")))
   in
-  let html2 = Report_html.page_db db m in
+  let html2 = Report_html.page (Eval_ctx.transient db) m in
   Alcotest.(check bool) "escaped" false (contains html2 "<script>alert");
   Alcotest.(check bool) "entity present" true (contains html2 "&lt;script&gt;")
 
@@ -346,7 +346,7 @@ let test_html_cyclic_graph_uses_canonical_sql () =
     Mapping.make ~graph:g ~target:"Kids" ~target_cols:[ "ID" ]
       ~correspondences:[ Clio.corr_identity "ID" "Children" "ID" ] ()
   in
-  let html = Report_html.page_db db m in
+  let html = Report_html.page (Eval_ctx.transient db) m in
   Alcotest.(check bool) "canonical form" true (contains html "from D(G)")
 
 (* --- ablation variants agree with their reference implementations --- *)
@@ -369,9 +369,9 @@ let test_no_sweep_superset () =
   let st = Random.State.make [| 5 |] in
   let inst = Synth.Gen_graph.random_tree st ~n:4 ~rows:30 () in
   let lookup = Database.find inst.Synth.Gen_graph.db in
-  let swept = Fulldisj.Outerjoin_plan.full_disjunction_fn ~lookup inst.Synth.Gen_graph.graph in
+  let swept = Fulldisj.Outerjoin_plan.full_disjunction (Fulldisj.Source.of_fn lookup) inst.Synth.Gen_graph.graph in
   let raw =
-    Fulldisj.Outerjoin_plan.full_disjunction_no_sweep_fn ~lookup inst.Synth.Gen_graph.graph
+    Fulldisj.Outerjoin_plan.full_disjunction_no_sweep (Fulldisj.Source.of_fn lookup) inst.Synth.Gen_graph.graph
   in
   (* Every swept association appears in the raw cascade. *)
   Alcotest.(check bool) "subset" true

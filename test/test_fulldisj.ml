@@ -63,7 +63,7 @@ let test_remove_subsumed_all_null () =
 
 let test_min_union_not_commutative_content () =
   (* ⊕ is commutative on contents (schema order may differ). *)
-  let mk name cols rows = Relation.make name (Schema.make name cols) rows in
+  let mk name cols rows = Relation.create name (Schema.make name cols) rows in
   let a = mk "A" [ "x" ] [ Tuple.make [ v_int 1 ] ] in
   let b = mk "B" [ "y" ] [ Tuple.make [ v_int 2 ] ] in
   let ab = Min_union.min_union a b in
@@ -132,7 +132,7 @@ let test_merge_minimal_unit () =
   let schema = Schema.make "B" [ "x"; "y"; "z" ] in
   let t a b c = Tuple.make [ a; b; c ] in
   let base =
-    Relation.make "B" schema
+    Relation.create "B" schema
       [
         t (v_int 1) (v_int 2) Value.Null;
         t (v_int 9) Value.Null Value.Null;
@@ -162,7 +162,7 @@ let test_merge_minimal_unit () =
 
 let test_merge_minimal_noop () =
   let schema = Schema.make "B" [ "x" ] in
-  let base = Relation.make "B" schema [ Tuple.make [ v_int 1 ] ] in
+  let base = Relation.create "B" schema [ Tuple.make [ v_int 1 ] ] in
   let same = Min_union.merge_minimal base [ Tuple.make [ v_int 1 ] ] in
   Alcotest.(check bool) "all-duplicate batch returns the base" true (base == same)
 
@@ -186,7 +186,7 @@ let sorted_tuples ts = List.sort Tuple.compare ts
 let check_merge_equals_reminimize ?pool (arity, base_raw, batch) =
   let schema = Schema.make "B" (List.init arity (Printf.sprintf "c%d")) in
   let base_minimal = Min_union.remove_subsumed (dedup_tuples base_raw) in
-  let rel = Relation.make ~allow_all_null:true "B" schema base_minimal in
+  let rel = Relation.create ~allow_all_null:true "B" schema base_minimal in
   let merged = Min_union.merge_minimal ?pool rel batch in
   let reference =
     Min_union.remove_subsumed (dedup_tuples (base_minimal @ batch))
@@ -209,7 +209,7 @@ let prop_merge_equals_reminimize_pooled =
 (* --- Full disjunction on a concrete instance --- *)
 
 let eq r1 c1 r2 c2 = Predicate.eq_cols (Attr.make r1 c1) (Attr.make r2 c2)
-let mk name cols rows = Relation.make name (Schema.make name cols) rows
+let mk name cols rows = Relation.create name (Schema.make name cols) rows
 
 (* A(id) -- B(aid, cid) -- C(id): B links A and C. *)
 let small_db =
@@ -234,13 +234,13 @@ let small_graph =
 
 let test_full_associations () =
   let f =
-    Join_eval.full_associations_fn ~lookup:(Database.find small_db) small_graph
+    Join_eval.full_associations (Source.of_fn (Database.find small_db)) small_graph
   in
   (* Only A1-B(1,7)-C7 fully joins. *)
   Alcotest.(check int) "one full association" 1 (Relation.cardinality f)
 
 let test_full_disjunction_small () =
-  let fd = Full_disjunction.compute_db small_db small_graph in
+  let fd = Full_disjunction.compute (Source.of_db small_db) small_graph in
   let by_label =
     Full_disjunction.categories fd
     |> List.map (fun (c, l) -> (Coverage.to_list c, List.length l))
@@ -261,17 +261,17 @@ let test_full_disjunction_small () =
     by_label
 
 let test_naive_equals_indexed_small () =
-  let a = Full_disjunction.naive_db small_db small_graph in
-  let b = Full_disjunction.compute_db small_db small_graph in
+  let a = Full_disjunction.naive (Source.of_db small_db) small_graph in
+  let b = Full_disjunction.compute (Source.of_db small_db) small_graph in
   Alcotest.(check bool) "same D(G)" true
     (Relation.equal_contents
        (Full_disjunction.to_relation a)
        (Full_disjunction.to_relation b))
 
 let test_outerjoin_plan_small () =
-  let a = Full_disjunction.compute_db small_db small_graph in
+  let a = Full_disjunction.compute (Source.of_db small_db) small_graph in
   let b =
-    Outerjoin_plan.full_disjunction_fn ~lookup:(Database.find small_db) small_graph
+    Outerjoin_plan.full_disjunction (Source.of_fn (Database.find small_db)) small_graph
   in
   Alcotest.(check bool) "oj = naive" true
     (Relation.equal_contents
@@ -290,12 +290,12 @@ let test_outerjoin_rejects_cycles () =
   in
   Alcotest.check_raises "not a tree"
     (Invalid_argument "Outerjoin_plan.full_disjunction: not a tree") (fun () ->
-      ignore (Outerjoin_plan.full_disjunction_fn ~lookup:(Database.find small_db) tri))
+      ignore (Outerjoin_plan.full_disjunction (Source.of_fn (Database.find small_db)) tri))
 
 let test_rooted_is_root_covering_subset () =
-  let fd = Full_disjunction.compute_db small_db small_graph in
+  let fd = Full_disjunction.compute (Source.of_db small_db) small_graph in
   let rooted =
-    Outerjoin_plan.rooted_fn ~lookup:(Database.find small_db) ~root:"A" small_graph
+    Outerjoin_plan.rooted (Source.of_fn (Database.find small_db)) ~root:"A" small_graph
   in
   let covers_a (a : Assoc.t) = Coverage.mem "A" a.Assoc.coverage in
   let expected =
@@ -313,9 +313,9 @@ let test_rooted_is_root_covering_subset () =
 
 let test_possible_associations_superset () =
   let poss =
-    Full_disjunction.possible_associations_fn ~lookup:(Database.find small_db) small_graph
+    Full_disjunction.possible_associations (Source.of_fn (Database.find small_db)) small_graph
   in
-  let fd = Full_disjunction.compute_db small_db small_graph in
+  let fd = Full_disjunction.compute (Source.of_db small_db) small_graph in
   Alcotest.(check bool) "D(G) ⊆ S(G)" true
     (List.for_all
        (fun (a : Assoc.t) ->
@@ -342,9 +342,9 @@ let prop_algorithms_agree =
       let lookup = Database.find inst.Synth.Gen_graph.db in
       let g = inst.Synth.Gen_graph.graph in
       let rel r = Full_disjunction.to_relation r in
-      let a = rel (Full_disjunction.naive_fn ~lookup g) in
-      let b = rel (Full_disjunction.compute_fn ~lookup g) in
-      let c = rel (Outerjoin_plan.full_disjunction_fn ~lookup g) in
+      let a = rel (Full_disjunction.naive (Source.of_fn lookup) g) in
+      let b = rel (Full_disjunction.compute (Source.of_fn lookup) g) in
+      let c = rel (Outerjoin_plan.full_disjunction (Source.of_fn lookup) g) in
       Relation.equal_contents a b && Relation.equal_contents a c)
 
 let prop_fd_is_minimal =
@@ -355,7 +355,7 @@ let prop_fd_is_minimal =
         Synth.Gen_graph.random_tree st ~n ~rows ~null_prob:0.3 ~orphan_prob:0.2 ()
       in
       let fd =
-        Full_disjunction.compute_fn ~lookup:(Database.find inst.Synth.Gen_graph.db)
+        Full_disjunction.compute (Source.of_fn (Database.find inst.Synth.Gen_graph.db))
           inst.Synth.Gen_graph.graph
       in
       Min_union.is_minimal
@@ -370,7 +370,7 @@ let prop_coverage_matches_nullness =
         Synth.Gen_graph.random_tree st ~n ~rows ~null_prob:0.3 ~orphan_prob:0.2 ()
       in
       let fd =
-        Full_disjunction.compute_fn ~lookup:(Database.find inst.Synth.Gen_graph.db)
+        Full_disjunction.compute (Source.of_fn (Database.find inst.Synth.Gen_graph.db))
           inst.Synth.Gen_graph.graph
       in
       fd.Full_disjunction.associations
@@ -408,7 +408,7 @@ let test_plan_tree_vs_cyclic () =
 let test_plan_execute_matches_compute () =
   let lookup = Database.find small_db in
   let a = Full_disjunction.to_relation (Plan.execute ~lookup small_graph) in
-  let b = Full_disjunction.to_relation (Full_disjunction.compute_fn ~lookup small_graph) in
+  let b = Full_disjunction.to_relation (Full_disjunction.compute (Source.of_fn lookup) small_graph) in
   Alcotest.(check bool) "same" true (Relation.equal_contents a b)
 
 let test_plan_render () =

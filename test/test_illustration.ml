@@ -10,10 +10,10 @@ module Qgraph = Querygraph.Qgraph
 let db = Paperdata.Figure1.database
 let m = Paperdata.Running.mapping
 let target_cols = Paperdata.Running.kids_cols
-let universe = Mapping_eval.examples_db db m
+let universe = Mapping_eval.examples (Eval_ctx.transient db) m
 
 let scheme =
-  (Mapping_eval.data_associations_db db m).Full_disjunction.scheme
+  (Mapping_eval.data_associations (Eval_ctx.transient db) m).Full_disjunction.scheme
 
 let label e = Coverage.label ~short:Paperdata.Figure1.short (Example.coverage e)
 let select () = Sufficiency.select ~universe ~target_cols ()
@@ -171,7 +171,7 @@ let test_select_exact () =
              aliases)
         ()
     in
-    let u = Mapping_eval.examples_db inst.Synth.Gen_graph.db m in
+    let u = Mapping_eval.examples (Eval_ctx.transient inst.Synth.Gen_graph.db) m in
     let cols = m.Mapping.target_cols in
     let e = Sufficiency.select_exact ~universe:u ~target_cols:cols () in
     let g = Sufficiency.select ~universe:u ~target_cols:cols () in

@@ -19,7 +19,7 @@ module Graph_key = Engine.Graph_key
 let qtest t = QCheck_alcotest.to_alcotest ~long:false t
 let tc = Alcotest.test_case
 let v_int i = Value.Int i
-let mk name cols rows = Relation.make name (Schema.make name cols) rows
+let mk name cols rows = Relation.create name (Schema.make name cols) rows
 
 let chain_instance ?(rows = 40) () =
   Synth.Gen_graph.chain
@@ -136,7 +136,7 @@ let test_rewrite_fallback () =
       ignore (Eval_ctx.data_associations ctx g);
       let r2 = Database.get (Eval_ctx.db ctx) "R2" in
       let r2' =
-        Relation.make "R2" (Relation.schema r2)
+        Relation.create "R2" (Relation.schema r2)
           (match Relation.tuples r2 with [] -> [] | _ :: rest -> rest)
       in
       let ctx' = Eval_ctx.with_db ctx (Database.replace (Eval_ctx.db ctx) r2') in
@@ -235,7 +235,7 @@ let apply_op db (op, rel_idx, salt) =
       let tuples =
         match Relation.tuples victim with [] -> [] | _ :: rest -> rest
       in
-      Database.replace db (Relation.make name (Relation.schema victim) tuples)
+      Database.replace db (Relation.create name (Relation.schema victim) tuples)
   | 4 -> (
       match Relation.tuples victim with
       | [] -> db

@@ -8,7 +8,7 @@ open Clio
 
 let v_int i = Value.Int i
 let v_str s = Value.String s
-let mk name cols rows = Relation.make name (Schema.make name cols) rows
+let mk name cols rows = Relation.create name (Schema.make name cols) rows
 let eq r1 c1 r2 c2 = Predicate.eq_cols (Attr.make r1 c1) (Attr.make r2 c2)
 
 let contains s sub =
@@ -123,12 +123,12 @@ let test_referenced_aliases () =
 (* --- Evaluation --- *)
 
 let test_eval_unfiltered () =
-  let r = Mapping_eval.eval_db db base_mapping in
+  let r = Mapping_eval.eval (Eval_ctx.transient db) base_mapping in
   (* D(G): (1,toys) joined; 2 alone; 3 alone; dept 30 alone. *)
   Alcotest.(check int) "four rows" 4 (Relation.cardinality r)
 
 let test_eval_applies_correspondences () =
-  let r = Mapping_eval.eval_db db base_mapping in
+  let r = Mapping_eval.eval (Eval_ctx.transient db) base_mapping in
   let s = Relation.schema r in
   let ann =
     Relation.tuples r
@@ -145,7 +145,7 @@ let test_eval_source_filter () =
     Mapping.add_source_filter base_mapping
       (Predicate.Cmp (Predicate.Ge, Expr.col "Emp" "sal", Expr.Const (v_int 200)))
   in
-  let r = Mapping_eval.eval_db db m in
+  let r = Mapping_eval.eval (Eval_ctx.transient db) m in
   (* bob and cat pass; dept-only association has null sal -> filtered
      (strong-ish semantics: unknown collapses to false). *)
   Alcotest.(check int) "two rows" 2 (Relation.cardinality r)
@@ -155,7 +155,7 @@ let test_eval_target_filter () =
     Mapping.add_target_filter base_mapping
       (Predicate.Is_not_null (Expr.col "Out" "eid"))
   in
-  let r = Mapping_eval.eval_db db m in
+  let r = Mapping_eval.eval (Eval_ctx.transient db) m in
   Alcotest.(check int) "emp-covering rows" 3 (Relation.cardinality r)
 
 let test_examples_polarity () =
@@ -163,7 +163,7 @@ let test_examples_polarity () =
     Mapping.add_target_filter base_mapping
       (Predicate.Is_not_null (Expr.col "Out" "eid"))
   in
-  let exs = Mapping_eval.examples_db db m in
+  let exs = Mapping_eval.examples (Eval_ctx.transient db) m in
   Alcotest.(check int) "universe = D(G)" 4 (List.length exs);
   Alcotest.(check int) "positives" 3
     (List.length (List.filter Example.is_positive exs));
@@ -177,7 +177,7 @@ let test_apply_one () =
     Mapping.add_target_filter base_mapping
       (Predicate.Is_not_null (Expr.col "Out" "eid"))
   in
-  let fd = Mapping_eval.data_associations_db db m in
+  let fd = Mapping_eval.data_associations (Eval_ctx.transient db) m in
   let assocs = fd.Fulldisj.Full_disjunction.associations in
   let pos =
     List.filter
@@ -194,15 +194,15 @@ let test_apply_one () =
     pos
 
 let test_algorithms_agree_on_eval () =
-  let a = Mapping_eval.eval_db ~algorithm:Mapping_eval.Naive db base_mapping in
-  let b = Mapping_eval.eval_db ~algorithm:Mapping_eval.Indexed db base_mapping in
-  let c = Mapping_eval.eval_db ~algorithm:Mapping_eval.Outerjoin_if_tree db base_mapping in
+  let a = Mapping_eval.eval ~algorithm:Mapping_eval.Naive (Eval_ctx.transient db) base_mapping in
+  let b = Mapping_eval.eval ~algorithm:Mapping_eval.Indexed (Eval_ctx.transient db) base_mapping in
+  let c = Mapping_eval.eval ~algorithm:Mapping_eval.Outerjoin_if_tree (Eval_ctx.transient db) base_mapping in
   Alcotest.(check bool) "naive=indexed" true (Relation.equal_contents a b);
   Alcotest.(check bool) "naive=outerjoin" true (Relation.equal_contents a c)
 
 let test_unmapped_column_is_null () =
   let m = Mapping.remove_correspondence base_mapping "pay" in
-  let r = Mapping_eval.eval_db db m in
+  let r = Mapping_eval.eval (Eval_ctx.transient db) m in
   Relation.iter
     (fun t -> Alcotest.(check bool) "pay null" true (Value.is_null t.(3)))
     r
@@ -249,11 +249,11 @@ let test_pullback () =
 
 let test_rooted_equivalent () =
   Alcotest.(check bool) "rooted = Q_M" true
-    (Mapping_sql.rooted_equivalent_db db ~root:"Emp" section2_like);
+    (Mapping_sql.rooted_equivalent (Eval_ctx.transient db) ~root:"Emp" section2_like);
   (* Without the root-forcing filter they differ: Q_M keeps the dept-only
      association. *)
   Alcotest.(check bool) "differs without filter" false
-    (Mapping_sql.rooted_equivalent_db db ~root:"Emp" base_mapping)
+    (Mapping_sql.rooted_equivalent (Eval_ctx.transient db) ~root:"Emp" base_mapping)
 
 let test_aliased_copy_sql () =
   let g =

@@ -965,7 +965,7 @@ let test_pipeline_counters =
   with_obs @@ fun () ->
   let db = Paperdata.Figure1.database in
   let m = Paperdata.Running.mapping in
-  let exs = Clio.Mapping_eval.examples_db db m in
+  let exs = Clio.Mapping_eval.examples (Clio.Eval_ctx.transient db) m in
   Alcotest.(check bool) "examples computed" true (List.length exs > 0);
   Alcotest.(check bool) "nonzero fulldisj.subsumption_checks" true
     (Obs.Metrics.value "fulldisj.subsumption_checks" > 0);
@@ -998,7 +998,7 @@ let test_pipeline_disabled_is_silent () =
   Obs.reset ();
   let db = Paperdata.Figure1.database in
   let m = Paperdata.Running.mapping in
-  ignore (Clio.Mapping_eval.examples_db db m);
+  ignore (Clio.Mapping_eval.examples (Clio.Eval_ctx.transient db) m);
   Alcotest.(check int) "no counters when disabled" 0
     (List.length (Obs.Metrics.snapshot ()).Obs.Metrics.counters);
   Alcotest.(check int) "no spans when disabled" 0
@@ -1025,10 +1025,10 @@ let test_explain_counters =
   let m = Paperdata.Running.mapping in
   let ex =
     List.find (fun e -> e.Clio.Example.positive)
-      (Clio.Mapping_eval.examples_db db m)
+      (Clio.Mapping_eval.examples (Clio.Eval_ctx.transient db) m)
   in
   Obs.reset ();
-  let ds = Clio.Explain.of_target_tuple_db db m ex.Clio.Example.target_tuple in
+  let ds = Clio.Explain.of_target_tuple (Clio.Eval_ctx.transient db) m ex.Clio.Example.target_tuple in
   Alcotest.(check bool) "found a derivation" true (List.length ds > 0);
   Alcotest.(check int) "explain.derivations counts them"
     (List.length ds)

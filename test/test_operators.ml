@@ -23,7 +23,7 @@ let graph_signature g =
 
 (* --- Data walk: Figure 11 / Example 5.1 --- *)
 
-let walk_alts = lazy (Op_walk.data_walk_kb ~kb m_g1 ~start:"Children" ~goal:"PhoneDir" ~max_len:2 ())
+let walk_alts = lazy (Op_walk.walk_alternatives ~kb m_g1 ~start:"Children" ~goal:"PhoneDir" ~max_len:2 ())
 
 let test_walk_produces_three_alternatives () =
   (* G2: via the existing fid edge (father's phone)
@@ -74,7 +74,7 @@ let test_walk_inherits_correspondences_and_filters () =
     Mapping.add_source_filter m_g1
       (Predicate.Cmp (Predicate.Lt, Expr.col "Children" "age", Expr.Const (Value.Int 7)))
   in
-  let alts = Op_walk.data_walk_kb ~kb m ~start:"Children" ~goal:"PhoneDir" ~max_len:2 () in
+  let alts = Op_walk.walk_alternatives ~kb m ~start:"Children" ~goal:"PhoneDir" ~max_len:2 () in
   List.iter
     (fun (a : Op_walk.alternative) ->
       Alcotest.(check int) "correspondences inherited" 3
@@ -121,7 +121,7 @@ let test_walk_description_readable () =
        alts)
 
 let test_walk_any_start_dedups () =
-  let alts = Op_walk.data_walk_any_start_kb ~kb m_g1 ~goal:"PhoneDir" ~max_len:2 () in
+  let alts = Op_walk.walk_alternatives_any_start ~kb m_g1 ~goal:"PhoneDir" ~max_len:2 () in
   let sigs =
     List.map
       (fun (a : Op_walk.alternative) -> graph_signature a.Op_walk.mapping.Mapping.graph)
@@ -195,7 +195,7 @@ let test_add_second_way_triggers_new_mapping () =
 
 let test_chase_002 () =
   let alts =
-    Op_chase.chase_db db m_g1 ~attr:(Attr.make "Children" "ID")
+    Op_chase.chase (Eval_ctx.transient db) m_g1 ~attr:(Attr.make "Children" "ID")
       ~value:(Value.String "002")
   in
   (* SBPS.ID, XmasBar.sellerID, XmasBar.buyerID — Children itself excluded,
@@ -209,7 +209,7 @@ let test_chase_002 () =
 
 let test_chase_extends_with_equijoin () =
   let alts =
-    Op_chase.chase_db db m_g1 ~attr:(Attr.make "Children" "ID")
+    Op_chase.chase (Eval_ctx.transient db) m_g1 ~attr:(Attr.make "Children" "ID")
       ~value:(Value.String "002")
   in
   let sbps =
@@ -228,7 +228,7 @@ let test_chase_extends_with_equijoin () =
 
 let test_chase_excludes_mapped_relations () =
   let alts =
-    Op_chase.chase_db db m_g1 ~attr:(Attr.make "Children" "ID")
+    Op_chase.chase (Eval_ctx.transient db) m_g1 ~attr:(Attr.make "Children" "ID")
       ~value:(Value.String "001")
   in
   Alcotest.(check bool) "no Parents/Children targets" true
@@ -239,24 +239,24 @@ let test_chase_excludes_mapped_relations () =
        alts)
 
 let test_chase_validates_illustration () =
-  let exs = Mapping_eval.examples_db db m_g1 in
+  let exs = Mapping_eval.examples (Eval_ctx.transient db) m_g1 in
   (* 999 is a PhoneDir id, never a Children.ID in the illustration. *)
   Alcotest.(check bool) "rejects invisible value" true
     (try
        ignore
-         (Op_chase.chase_db ~illustration:exs db m_g1 ~attr:(Attr.make "Children" "ID")
+         (Op_chase.chase ~illustration:exs (Eval_ctx.transient db) m_g1 ~attr:(Attr.make "Children" "ID")
             ~value:(Value.String "999"));
        false
      with Invalid_argument _ -> true);
   (* 002 is visible: accepted. *)
   let alts =
-    Op_chase.chase_db ~illustration:exs db m_g1 ~attr:(Attr.make "Children" "ID")
+    Op_chase.chase ~illustration:exs (Eval_ctx.transient db) m_g1 ~attr:(Attr.make "Children" "ID")
       ~value:(Value.String "002")
   in
   Alcotest.(check bool) "accepted" true (List.length alts > 0)
 
 let test_chase_occurrences_anywhere () =
-  let occs = Op_chase.occurrences_anywhere_db db (Value.String "002") in
+  let occs = Op_chase.occurrences_anywhere (Eval_ctx.transient db) (Value.String "002") in
   Alcotest.(check int) "four occurrences incl. Children" 4 (List.length occs)
 
 (* --- Data trimming --- *)
@@ -264,7 +264,7 @@ let test_chase_occurrences_anywhere () =
 let test_trim_add_source_filter_reports_changes () =
   let m = Paperdata.Running.mapping in
   let change =
-    Op_trim.add_source_filter_db db (Mapping.remove_source_filter m Paperdata.Running.age_filter)
+    Op_trim.add_source_filter (Eval_ctx.transient db) (Mapping.remove_source_filter m Paperdata.Running.age_filter)
       Paperdata.Running.age_filter
   in
   (* Restoring age<7 flips Bob to negative. *)
@@ -277,12 +277,12 @@ let test_trim_add_source_filter_reports_changes () =
 
 let test_trim_remove_filter_restores () =
   let m = Paperdata.Running.mapping in
-  let change = Op_trim.remove_source_filter_db db m Paperdata.Running.age_filter in
+  let change = Op_trim.remove_source_filter (Eval_ctx.transient db) m Paperdata.Running.age_filter in
   Alcotest.(check int) "Bob back" 1 (List.length change.Op_trim.became_positive)
 
 let test_trim_require_target_column () =
   let m = Paperdata.Running.mapping in
-  let change = Op_trim.require_target_column_db db m "BusSchedule" in
+  let change = Op_trim.require_target_column (Eval_ctx.transient db) m "BusSchedule" in
   (* Ann (null BusSchedule) becomes negative. *)
   Alcotest.(check bool) "Ann flipped" true
     (List.exists
@@ -293,12 +293,12 @@ let test_trim_require_target_column () =
 
 let test_evolution_continuations_exist () =
   let old_m = m_g1 in
-  let old_ill = Clio.illustrate_db db old_m in
+  let old_ill = Clio.illustrate (Eval_ctx.transient db) old_m in
   let new_m = (List.hd (Lazy.force walk_alts)).Op_walk.mapping in
   let lookup = Database.find db in
   let old_scheme = Qgraph.scheme ~lookup old_m.Mapping.graph in
   let new_scheme = Qgraph.scheme ~lookup new_m.Mapping.graph in
-  let new_universe = Mapping_eval.examples_db db new_m in
+  let new_universe = Mapping_eval.examples (Eval_ctx.transient db) new_m in
   List.iter
     (fun old_e ->
       Alcotest.(check bool) "has continuation" true
@@ -307,26 +307,26 @@ let test_evolution_continuations_exist () =
 
 let test_evolve_is_sufficient_and_continuous () =
   let old_m = m_g1 in
-  let old_ill = Clio.illustrate_db db old_m in
+  let old_ill = Clio.illustrate (Eval_ctx.transient db) old_m in
   let new_m = (List.hd (Lazy.force walk_alts)).Op_walk.mapping in
-  let evolved = Evolution.evolve_db db ~old_mapping:old_m ~old_illustration:old_ill new_m in
-  let universe = Mapping_eval.examples_db db new_m in
+  let evolved = Evolution.evolve (Eval_ctx.transient db) ~old_mapping:old_m ~old_illustration:old_ill new_m in
+  let universe = Mapping_eval.examples (Eval_ctx.transient db) new_m in
   Alcotest.(check bool) "sufficient" true
     (Sufficiency.is_sufficient ~universe ~target_cols:new_m.Mapping.target_cols evolved);
   Alcotest.(check bool) "continuous" true
-    (Evolution.is_continuous_db db ~old_mapping:old_m ~old_illustration:old_ill
+    (Evolution.is_continuous (Eval_ctx.transient db) ~old_mapping:old_m ~old_illustration:old_ill
        ~new_mapping:new_m evolved)
 
 let test_fresh_selection_may_break_continuity () =
   (* The continuity checker must actually discriminate: an illustration
      missing all continuations of some old example fails it. *)
   let old_m = m_g1 in
-  let old_ill = Clio.illustrate_db db old_m in
+  let old_ill = Clio.illustrate (Eval_ctx.transient db) old_m in
   let new_m = (List.hd (Lazy.force walk_alts)).Op_walk.mapping in
   let empty_ill = [] in
   Alcotest.(check bool) "empty not continuous" false
     (old_ill <> []
-    && Evolution.is_continuous_db db ~old_mapping:old_m ~old_illustration:old_ill
+    && Evolution.is_continuous (Eval_ctx.transient db) ~old_mapping:old_m ~old_illustration:old_ill
          ~new_mapping:new_m empty_ill)
 
 let () =

@@ -110,7 +110,7 @@ let test_subgraphs_of_g () =
 (* --- Figure 7 / Example 3.7: t, u, v --- *)
 
 let test_figure7 () =
-  let f_g1 = Join_eval.full_associations_fn ~lookup Paperdata.Running.graph_g1 in
+  let f_g1 = Join_eval.full_associations (Source.of_fn lookup) Paperdata.Running.graph_g1 in
   (* Maya joined with her mother 103 is a full association of G1. *)
   let s = Relation.schema f_g1 in
   let maya =
@@ -126,7 +126,7 @@ let test_figure7 () =
         (Value.to_string (Tuple.value s t (Attr.make "Parents" "ID"))));
   (* Padding it to G2's scheme gives a possible association u of G2,
      strictly subsumed by the full association v (mother's phone). *)
-  let f_g2 = Join_eval.full_associations_fn ~lookup Paperdata.Running.graph_g2 in
+  let f_g2 = Join_eval.full_associations (Source.of_fn lookup) Paperdata.Running.graph_g2 in
   let padded = Algebra.pad f_g1 (Relation.schema f_g2) in
   let u =
     Relation.tuples padded
@@ -143,8 +143,8 @@ let test_figure7 () =
 (* --- Example 3.10: R1 ⊕ R2 = R2 --- *)
 
 let test_example_3_10 () =
-  let r1 = Join_eval.full_associations_fn ~lookup Paperdata.Running.graph_g1 in
-  let r2 = Join_eval.full_associations_fn ~lookup Paperdata.Running.graph_g2 in
+  let r1 = Join_eval.full_associations (Source.of_fn lookup) Paperdata.Running.graph_g1 in
+  let r2 = Join_eval.full_associations (Source.of_fn lookup) Paperdata.Running.graph_g2 in
   let mu = Min_union.min_union r1 r2 in
   Alcotest.(check bool) "R1 (+) R2 = R2" true
     (Relation.equal_contents mu (Algebra.pad r2 (Relation.schema mu)))
@@ -152,7 +152,7 @@ let test_example_3_10 () =
 (* --- Figure 8: D(G) with coverage tags --- *)
 
 let test_figure8_categories () =
-  let fd = Full_disjunction.compute_fn ~lookup Paperdata.Running.graph_g in
+  let fd = Full_disjunction.compute (Source.of_fn lookup) Paperdata.Running.graph_g in
   Alcotest.(check (list (pair string int)))
     "coverage histogram"
     (List.sort compare [ ("C", 1); ("P", 1); ("Ph", 1); ("PPh", 5); ("CPPh", 3) ])
@@ -162,13 +162,13 @@ let test_figure8_categories () =
 
 (* Empty categories: CP is empty because no mother lacks a phone. *)
 let test_figure8_empty_categories () =
-  let fd = Full_disjunction.compute_fn ~lookup Paperdata.Running.graph_g in
+  let fd = Full_disjunction.compute (Source.of_fn lookup) Paperdata.Running.graph_g in
   let labels = List.map coverage_label fd.Full_disjunction.associations in
   Alcotest.(check bool) "no CP association" false (List.mem "CP" labels)
 
 (* --- Figure 9 / Example 4.3: the running mapping's categories --- *)
 
-let fig9_fd = lazy (Full_disjunction.compute_fn ~lookup Paperdata.Running.fig9_graph)
+let fig9_fd = lazy (Full_disjunction.compute (Source.of_fn lookup) Paperdata.Running.fig9_graph)
 
 let test_figure9_categories () =
   let fd = Lazy.force fig9_fd in
@@ -189,7 +189,7 @@ let test_figure9_no_C_CP_CPS () =
 (* --- the running mapping's target view (WYSIWYG) --- *)
 
 let test_running_mapping_target_view () =
-  let view = Clio.Mapping_eval.target_view_db db Paperdata.Running.mapping in
+  let view = Clio.Mapping_eval.target_view (Clio.Eval_ctx.transient db) Paperdata.Running.mapping in
   let names =
     Relation.column_values view (Attr.make "Kids" "name")
     |> List.map Value.to_string |> List.sort compare
@@ -198,7 +198,7 @@ let test_running_mapping_target_view () =
   Alcotest.(check (list string)) "kids under 7" [ "Ann"; "Joe"; "Maya" ] names
 
 let test_running_mapping_ann_has_null_bus () =
-  let view = Clio.Mapping_eval.target_view_db db Paperdata.Running.mapping in
+  let view = Clio.Mapping_eval.target_view (Clio.Eval_ctx.transient db) Paperdata.Running.mapping in
   let s = Relation.schema view in
   let ann =
     Relation.tuples view
@@ -234,11 +234,11 @@ let test_example_3_13_filter_formulations () =
   in
   Alcotest.(check bool) "same target tuples" true
     (Relation.equal_contents
-       (Clio.Mapping_eval.eval_db db via_target)
-       (Clio.Mapping_eval.eval_db db via_source))
+       (Clio.Mapping_eval.eval (Clio.Eval_ctx.transient db) via_target)
+       (Clio.Mapping_eval.eval (Clio.Eval_ctx.transient db) via_source))
 
 let test_section2_target_view () =
-  let view = Clio.Mapping_eval.target_view_db db Paperdata.Running.section2_mapping in
+  let view = Clio.Mapping_eval.target_view (Clio.Eval_ctx.transient db) Paperdata.Running.section2_mapping in
   Alcotest.(check int) "four kids" 4 (Relation.cardinality view);
   let s = Relation.schema view in
   let bob =

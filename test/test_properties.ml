@@ -62,9 +62,9 @@ let prop_eval_algorithms_agree =
       let inst = make_instance params in
       let m = identity_mapping inst in
       let db = inst.Synth.Gen_graph.db in
-      let a = Mapping_eval.eval_db ~algorithm:Mapping_eval.Naive db m in
-      let b = Mapping_eval.eval_db ~algorithm:Mapping_eval.Indexed db m in
-      let c = Mapping_eval.eval_db ~algorithm:Mapping_eval.Outerjoin_if_tree db m in
+      let a = Mapping_eval.eval ~algorithm:Mapping_eval.Naive (Eval_ctx.transient db) m in
+      let b = Mapping_eval.eval ~algorithm:Mapping_eval.Indexed (Eval_ctx.transient db) m in
+      let c = Mapping_eval.eval ~algorithm:Mapping_eval.Outerjoin_if_tree (Eval_ctx.transient db) m in
       Relation.equal_contents a b && Relation.equal_contents a c)
 
 let prop_rooted_sql_equivalence =
@@ -76,14 +76,14 @@ let prop_rooted_sql_equivalence =
       let m =
         Mapping.add_target_filter m (Predicate.Is_not_null (Expr.col "T" ("c_" ^ root)))
       in
-      Mapping_sql.rooted_equivalent_db inst.Synth.Gen_graph.db ~root m)
+      Mapping_sql.rooted_equivalent (Eval_ctx.transient inst.Synth.Gen_graph.db) ~root m)
 
 let prop_selection_sufficient =
   QCheck2.Test.make ~name:"greedy selection is sufficient" ~count:50 instance_gen
     (fun params ->
       let inst = make_instance params in
       let m = identity_mapping inst in
-      let universe = Mapping_eval.examples_db inst.Synth.Gen_graph.db m in
+      let universe = Mapping_eval.examples (Eval_ctx.transient inst.Synth.Gen_graph.db) m in
       let ill =
         Sufficiency.select ~universe ~target_cols:m.Mapping.target_cols ()
       in
@@ -101,12 +101,12 @@ let prop_positive_examples_match_eval =
       in
       let db = inst.Synth.Gen_graph.db in
       let from_examples =
-        Mapping_eval.examples_db db m
+        Mapping_eval.examples (Eval_ctx.transient db) m
         |> List.filter Example.is_positive
         |> List.map (fun e -> e.Example.target_tuple)
         |> List.sort_uniq Tuple.compare
       in
-      let from_eval = Relation.tuples (Mapping_eval.eval_db db m) |> List.sort Tuple.compare in
+      let from_eval = Relation.tuples (Mapping_eval.eval (Eval_ctx.transient db) m) |> List.sort Tuple.compare in
       List.length from_examples = List.length from_eval
       && List.for_all2 Tuple.equal from_examples from_eval)
 
@@ -127,7 +127,7 @@ let prop_walk_alternatives_preserve_g =
       let m = Mapping.make ~graph:g0 ~target:"T" ~target_cols:[ "x" ] () in
       let goal = "D1" in
       let alts =
-        Op_walk.data_walk_kb ~kb:inst.Synth.Gen_graph.kb m ~start:"Fact" ~goal
+        Op_walk.walk_alternatives ~kb:inst.Synth.Gen_graph.kb m ~start:"Fact" ~goal
           ~max_len:2 ()
       in
       alts <> []
@@ -181,8 +181,8 @@ let prop_every_association_has_continuation =
               let lookup = Database.find db in
               let old_scheme = Qgraph.scheme ~lookup g in
               let new_scheme = Qgraph.scheme ~lookup g' in
-              let old_exs = Mapping_eval.examples_db db old_m in
-              let new_exs = Mapping_eval.examples_db db new_m in
+              let old_exs = Mapping_eval.examples (Eval_ctx.transient db) old_m in
+              let new_exs = Mapping_eval.examples (Eval_ctx.transient db) new_m in
               List.for_all
                 (fun old_e ->
                   Evolution.continuations ~old_scheme ~new_scheme old_e new_exs <> [])
@@ -200,21 +200,21 @@ let prop_evolve_sufficient_and_continuous =
           ~correspondences:[ Correspondence.identity "x" (Attr.make "Fact" "id") ]
           ()
       in
-      let old_ill = Clio.illustrate_db db m0 in
+      let old_ill = Clio.illustrate (Eval_ctx.transient db) m0 in
       match
-        Op_walk.data_walk_kb ~kb:inst.Synth.Gen_graph.kb m0 ~start:"Fact" ~goal:"D1"
+        Op_walk.walk_alternatives ~kb:inst.Synth.Gen_graph.kb m0 ~start:"Fact" ~goal:"D1"
           ~max_len:1 ()
       with
       | [] -> true
       | (alt : Op_walk.alternative) :: _ ->
           let new_m = alt.Op_walk.mapping in
           let evolved =
-            Evolution.evolve_db db ~old_mapping:m0 ~old_illustration:old_ill new_m
+            Evolution.evolve (Eval_ctx.transient db) ~old_mapping:m0 ~old_illustration:old_ill new_m
           in
-          let universe = Mapping_eval.examples_db db new_m in
+          let universe = Mapping_eval.examples (Eval_ctx.transient db) new_m in
           Sufficiency.is_sufficient ~universe ~target_cols:new_m.Mapping.target_cols
             evolved
-          && Evolution.is_continuous_db db ~old_mapping:m0 ~old_illustration:old_ill
+          && Evolution.is_continuous (Eval_ctx.transient db) ~old_mapping:m0 ~old_illustration:old_ill
                ~new_mapping:new_m evolved)
 
 (* --- chase always yields valid mappings --- *)
@@ -233,7 +233,7 @@ let prop_chase_mappings_valid =
       | [] -> true
       | t :: _ ->
           let v = t.(0) in
-          Op_chase.chase_db db m ~attr:(Attr.make root "id") ~value:v
+          Op_chase.chase (Eval_ctx.transient db) m ~attr:(Attr.make root "id") ~value:v
           |> List.for_all (fun (a : Op_chase.alternative) ->
                  Qgraph.is_connected a.Op_chase.mapping.Mapping.graph
                  && Qgraph.node_count a.Op_chase.mapping.Mapping.graph = 2))
@@ -250,9 +250,9 @@ let prop_sampling_sound =
       in
       let m = identity_mapping inst in
       let universe, ill =
-        Sampling.illustrate_sampled_db ~seed ~per_relation:5 inst.Synth.Gen_graph.db m
+        Sampling.illustrate_sampled ~seed ~per_relation:5 (Eval_ctx.transient inst.Synth.Gen_graph.db) m
       in
-      Sampling.sound_db inst.Synth.Gen_graph.db m ~slice_universe:universe
+      Sampling.sound (Eval_ctx.transient inst.Synth.Gen_graph.db) m ~slice_universe:universe
       && Sufficiency.is_sufficient ~universe ~target_cols:m.Mapping.target_cols ill)
 
 (* --- mapping persistence round-trips on random instances --- *)

@@ -88,7 +88,7 @@ let test_fresh_alias () =
   Alcotest.(check string) "A and A2 taken" "A3" (Qgraph.fresh_alias with_a2 "A")
 
 let test_scheme_and_node_relation () =
-  let r name = Relation.make name (Schema.make name [ "x"; "y"; "z" ]) [] in
+  let r name = Relation.create name (Schema.make name [ "x"; "y"; "z" ]) [] in
   let lookup n = Some (r n) in
   let g =
     Qgraph.make [ ("P", "Parents"); ("P2", "Parents") ] [ ("P", "P2", eq "P" "x" "P2" "x") ]

@@ -172,7 +172,7 @@ let test_tuple_ops () =
 
 (* --- Relation --- *)
 
-let mk_rel name cols rows = Relation.make name (Schema.make name cols) rows
+let mk_rel name cols rows = Relation.create name (Schema.make name cols) rows
 
 let r_small =
   mk_rel "R" [ "a"; "b" ]
@@ -183,12 +183,12 @@ let test_relation_dedup () =
   Alcotest.(check int) "dedup" 1 (Relation.cardinality r)
 
 let test_relation_all_null_rejected () =
-  Alcotest.check_raises "all null" (Invalid_argument "Relation.make R: all-null tuple")
+  Alcotest.check_raises "all null" (Invalid_argument "Relation.create R: all-null tuple")
     (fun () -> ignore (mk_rel "R" [ "a"; "b" ] [ Tuple.nulls 2 ]))
 
 let test_relation_arity_mismatch () =
   Alcotest.check_raises "arity"
-    (Invalid_argument "Relation.make R: tuple arity 1, schema arity 2") (fun () ->
+    (Invalid_argument "Relation.create R: tuple arity 1, schema arity 2") (fun () ->
       ignore (mk_rel "R" [ "a"; "b" ] [ Tuple.make [ v_int 1 ] ]))
 
 let test_relation_column_values () =
@@ -338,7 +338,7 @@ let test_product () =
 let test_union_difference () =
   let a = mk_rel "A" [ "x" ] [ Tuple.make [ v_int 1 ]; Tuple.make [ v_int 2 ] ] in
   let b =
-    Relation.make "B" (Schema.make "A" [ "x" ])
+    Relation.create "B" (Schema.make "A" [ "x" ])
       [ Tuple.make [ v_int 2 ]; Tuple.make [ v_int 3 ] ]
   in
   Alcotest.(check int) "union" 3 (Relation.cardinality (Algebra.union a b));
@@ -433,40 +433,65 @@ let test_database_find_value () =
   (* id 1 in P.id and C.pid. *)
   Alcotest.(check int) "two occurrences" 2 (List.length occs)
 
-(* --- array-native construction and one-pass scans --- *)
+(* --- the consolidated builder and the columnar twin --- *)
 
-let test_make_of_array () =
+let test_create_builder () =
   let schema = Schema.make "A" [ "x"; "y" ] in
   let dup =
-    [|
+    [
       Tuple.make [ v_int 1; v_int 2 ];
       Tuple.make [ v_int 3; Value.Null ];
       Tuple.make [ v_int 1; v_int 2 ];
-    |]
+    ]
   in
-  let r = Relation.make_of_array "A" schema dup in
-  (* Dedup keeps the first occurrence, like Relation.make. *)
+  let r = Relation.create "A" schema dup in
+  (* Dedup keeps the first occurrence. *)
   Alcotest.(check int) "deduped" 2 (Relation.cardinality r);
-  Alcotest.(check bool) "same contents as list constructor" true
-    (Relation.equal_contents r (Relation.make "A" schema (Array.to_list dup)));
+  Alcotest.(check int) "dedup skippable on known sets" 2
+    (Relation.cardinality
+       (Relation.create ~dedup:false "A" schema (Relation.tuples r)));
   Alcotest.check_raises "arity mismatch"
-    (Invalid_argument "Relation.make_of_array A: tuple arity 1, schema arity 2")
-    (fun () ->
-      ignore (Relation.make_of_array "A" schema [| Tuple.make [ v_int 1 ] |]));
+    (Invalid_argument "Relation.create A: tuple arity 1, schema arity 2")
+    (fun () -> ignore (Relation.create "A" schema [ Tuple.make [ v_int 1 ] ]));
   Alcotest.check_raises "all-null rejected"
-    (Invalid_argument "Relation.make_of_array A: all-null tuple") (fun () ->
+    (Invalid_argument "Relation.create A: all-null tuple") (fun () ->
       ignore
-        (Relation.make_of_array "A" schema [| Tuple.make [ Value.Null; Value.Null ] |]));
+        (Relation.create "A" schema [ Tuple.make [ Value.Null; Value.Null ] ]));
   Alcotest.(check int) "all-null allowed when asked" 1
     (Relation.cardinality
-       (Relation.make_of_array ~allow_all_null:true "A" schema
-          [| Tuple.make [ Value.Null; Value.Null ] |]))
+       (Relation.create ~allow_all_null:true "A" schema
+          [ Tuple.make [ Value.Null; Value.Null ] ]))
+
+let test_of_columns_builder () =
+  let schema = Schema.make "A" [ "x"; "y" ] in
+  let boxed =
+    Relation.create "A" schema
+      [
+        Tuple.make [ v_int 1; v_int 2 ];
+        Tuple.make [ v_int 3; Value.Null ];
+      ]
+  in
+  let r = Relation.of_columns "A" schema (Relation.columns boxed) in
+  Alcotest.(check bool) "round-trips through columns" true
+    (Relation.equal_contents boxed r);
+  Alcotest.check_raises "column count"
+    (Invalid_argument "Relation.of_columns A: 1 columns, schema arity 2")
+    (fun () -> ignore (Relation.of_columns "A" schema [| [| 0 |] |]));
+  Alcotest.check_raises "ragged columns"
+    (Invalid_argument "Relation.of_columns A: column 1 length 0, expected 1")
+    (fun () -> ignore (Relation.of_columns "A" schema [| [| 0 |]; [||] |]));
+  Alcotest.check_raises "all-null rejected"
+    (Invalid_argument "Relation.of_columns A: all-null tuple") (fun () ->
+      ignore (Relation.of_columns "A" schema [| [| 0 |]; [| 0 |] |]));
+  Alcotest.(check int) "all-null allowed when asked" 1
+    (Relation.cardinality
+       (Relation.of_columns ~allow_all_null:true "A" schema [| [| 0 |]; [| 0 |] |]))
 
 let test_equal_contents_order_insensitive () =
   let schema = Schema.make "A" [ "x" ] in
-  let r1 = Relation.make "A" schema [ Tuple.make [ v_int 1 ]; Tuple.make [ v_int 2 ] ] in
-  let r2 = Relation.make "A" schema [ Tuple.make [ v_int 2 ]; Tuple.make [ v_int 1 ] ] in
-  let r3 = Relation.make "A" schema [ Tuple.make [ v_int 1 ] ] in
+  let r1 = Relation.create "A" schema [ Tuple.make [ v_int 1 ]; Tuple.make [ v_int 2 ] ] in
+  let r2 = Relation.create "A" schema [ Tuple.make [ v_int 2 ]; Tuple.make [ v_int 1 ] ] in
+  let r3 = Relation.create "A" schema [ Tuple.make [ v_int 1 ] ] in
   Alcotest.(check bool) "order irrelevant" true (Relation.equal_contents r1 r2);
   Alcotest.(check bool) "cardinality matters" false (Relation.equal_contents r1 r3);
   Alcotest.(check bool) "subset is not equality" false (Relation.equal_contents r3 r1)
@@ -476,7 +501,7 @@ let test_equal_contents_order_insensitive () =
 let delta_db =
   Database.of_relations
     [
-      Relation.make "R"
+      Relation.create "R"
         (Schema.make "R" [ "a"; "b" ])
         [ Tuple.make [ v_int 1; v_int 10 ]; Tuple.make [ v_int 2; v_int 20 ] ];
     ]
@@ -506,7 +531,7 @@ let test_replace_delta_classification () =
   let r = Database.get delta_db "R" in
   (* Pure superset: an Insert of exactly the added tuples. *)
   let grown =
-    Relation.make "R" (Relation.schema r)
+    Relation.create "R" (Relation.schema r)
       (Relation.tuples r @ [ Tuple.make [ v_int 5; v_int 50 ] ])
   in
   (match Database.history (Database.replace delta_db grown) with
@@ -514,18 +539,18 @@ let test_replace_delta_classification () =
   | _ -> Alcotest.fail "superset replace should record Insert");
   (* A removal is a Rewrite. *)
   let shrunk =
-    Relation.make "R" (Relation.schema r) [ Tuple.make [ v_int 1; v_int 10 ] ]
+    Relation.create "R" (Relation.schema r) [ Tuple.make [ v_int 1; v_int 10 ] ]
   in
   (match Database.history (Database.replace delta_db shrunk) with
   | { Delta.kind = Delta.Rewrite { relation = "R" }; _ } :: _ -> ()
   | _ -> Alcotest.fail "shrinking replace should record Rewrite");
   (* A schema change is a Rewrite even with no tuples removed. *)
-  let reshaped = Relation.make "R" (Schema.make "R" [ "a"; "c" ]) (Relation.tuples r) in
+  let reshaped = Relation.create "R" (Schema.make "R" [ "a"; "c" ]) (Relation.tuples r) in
   (match Database.history (Database.replace delta_db reshaped) with
   | { Delta.kind = Delta.Rewrite { relation = "R" }; _ } :: _ -> ()
   | _ -> Alcotest.fail "schema-changing replace should record Rewrite");
   (* add and add_constraint record their own kinds. *)
-  let s = Relation.make "S" (Schema.make "S" [ "x" ]) [] in
+  let s = Relation.create "S" (Schema.make "S" [ "x" ]) [] in
   (match Database.history (Database.add delta_db s) with
   | { Delta.kind = Delta.New_relation "S"; _ } :: _ -> ()
   | _ -> Alcotest.fail "add should record New_relation");
@@ -717,7 +742,8 @@ let () =
         ] );
       ( "arrays",
         [
-          tc "make_of_array" `Quick test_make_of_array;
+          tc "create builder" `Quick test_create_builder;
+          tc "of_columns builder" `Quick test_of_columns_builder;
           tc "equal_contents" `Quick test_equal_contents_order_insensitive;
         ] );
       ( "changelog",

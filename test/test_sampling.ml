@@ -45,16 +45,16 @@ let test_slice_sound () =
   let inst = big_instance 5 in
   let m = identity_mapping inst in
   let universe, _ =
-    Sampling.illustrate_sampled_db ~seed:11 ~per_relation:10 inst.Synth.Gen_graph.db m
+    Sampling.illustrate_sampled ~seed:11 ~per_relation:10 (Eval_ctx.transient inst.Synth.Gen_graph.db) m
   in
   Alcotest.(check bool) "all slice associations are real" true
-    (Sampling.sound_db inst.Synth.Gen_graph.db m ~slice_universe:universe)
+    (Sampling.sound (Eval_ctx.transient inst.Synth.Gen_graph.db) m ~slice_universe:universe)
 
 let test_sampled_illustration_sufficient_over_slice () =
   let inst = big_instance 6 in
   let m = identity_mapping inst in
   let universe, ill =
-    Sampling.illustrate_sampled_db ~seed:13 ~per_relation:10 inst.Synth.Gen_graph.db m
+    Sampling.illustrate_sampled ~seed:13 ~per_relation:10 (Eval_ctx.transient inst.Synth.Gen_graph.db) m
   in
   Alcotest.(check bool) "sufficient" true
     (Sufficiency.is_sufficient ~universe ~target_cols:m.Mapping.target_cols ill);
@@ -66,7 +66,7 @@ let test_dangling_witnesses_surface_categories () =
   let inst = big_instance 7 in
   let m = identity_mapping inst in
   let universe, _ =
-    Sampling.illustrate_sampled_db ~seed:17 ~per_relation:8 inst.Synth.Gen_graph.db m
+    Sampling.illustrate_sampled ~seed:17 ~per_relation:8 (Eval_ctx.transient inst.Synth.Gen_graph.db) m
   in
   let categories =
     universe
@@ -80,9 +80,9 @@ let test_paper_db_slice_is_whole () =
      illustration equals the ordinary one. *)
   let db = Paperdata.Figure1.database in
   let m = Paperdata.Running.mapping in
-  let universe, _ = Sampling.illustrate_sampled_db ~per_relation:50 db m in
+  let universe, _ = Sampling.illustrate_sampled ~per_relation:50 (Eval_ctx.transient db) m in
   Alcotest.(check int) "same universe size"
-    (List.length (Mapping_eval.examples_db db m))
+    (List.length (Mapping_eval.examples (Eval_ctx.transient db) m))
     (List.length universe)
 
 let test_non_graph_relations_pass_through () =

@@ -7,7 +7,7 @@ module Mine = Schemakb.Mine
 module Rank = Schemakb.Rank
 module Qgraph = Querygraph.Qgraph
 
-let mk name cols rows = Relation.make name (Schema.make name cols) rows
+let mk name cols rows = Relation.create name (Schema.make name cols) rows
 let v_int i = Value.Int i
 
 (* --- Kb --- *)

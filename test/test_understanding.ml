@@ -42,17 +42,17 @@ let fathers = phone_mapping ~via:"fid"
 (* --- Differentiate --- *)
 
 let test_target_diff_mother_vs_father () =
-  let diffs = Differentiate.target_diff_db db mothers fathers in
+  let diffs = Differentiate.target_diff (Eval_ctx.transient db) mothers fathers in
   (* Every kid's phone differs between the linkings (plus Bob only exists
      under fathers). *)
   Alcotest.(check bool) "differences exist" true (diffs <> []);
-  Alcotest.(check bool) "not equivalent" false (Differentiate.equivalent_on_db db mothers fathers)
+  Alcotest.(check bool) "not equivalent" false (Differentiate.equivalent_on (Eval_ctx.transient db) mothers fathers)
 
 let test_self_equivalent () =
-  Alcotest.(check bool) "m ≡ m" true (Differentiate.equivalent_on_db db mothers mothers)
+  Alcotest.(check bool) "m ≡ m" true (Differentiate.equivalent_on (Eval_ctx.transient db) mothers mothers)
 
 let test_distinguishing_by_child () =
-  let contrasts = Differentiate.distinguishing_db db ~rel:"Children" mothers fathers in
+  let contrasts = Differentiate.distinguishing (Eval_ctx.transient db) ~rel:"Children" mothers fathers in
   (* All four children distinguish the two mappings: Joe/Maya/Ann get a
      different phone; Bob appears only under fathers. *)
   Alcotest.(check int) "four contrasts" 4 (List.length contrasts);
@@ -74,10 +74,10 @@ let test_distinguishing_by_child () =
 
 let test_distinguishing_detects_equivalence () =
   Alcotest.(check int) "no contrasts against self" 0
-    (List.length (Differentiate.distinguishing_db db ~rel:"Children" mothers mothers))
+    (List.length (Differentiate.distinguishing (Eval_ctx.transient db) ~rel:"Children" mothers mothers))
 
 let test_distinguishing_render () =
-  let contrasts = Differentiate.distinguishing_db db ~rel:"Children" mothers fathers in
+  let contrasts = Differentiate.distinguishing (Eval_ctx.transient db) ~rel:"Children" mothers fathers in
   let s =
     Differentiate.render ~target_schema:(Mapping.target_schema mothers) contrasts
   in
@@ -92,7 +92,7 @@ let test_target_diff_schema_mismatch () =
   in
   Alcotest.check_raises "mismatch"
     (Invalid_argument "Differentiate.target_diff: target schemas differ") (fun () ->
-      ignore (Differentiate.target_diff_db db mothers other))
+      ignore (Differentiate.target_diff (Eval_ctx.transient db) mothers other))
 
 (* --- Interpretation --- *)
 
@@ -100,8 +100,8 @@ let test_inner_vs_full_disjunction () =
   (* Under inner-join interpretation, only children whose mother has a
      phone survive; Bob (no mother) disappears even under fathers'
      mapping... here use mothers: Bob drops. *)
-  let inner = Interpretation.eval_db db mothers Interpretation.Inner_join in
-  let fd = Interpretation.eval_db db mothers Interpretation.Full_disjunction in
+  let inner = Interpretation.eval (Eval_ctx.transient db) mothers Interpretation.Inner_join in
+  let fd = Interpretation.eval (Eval_ctx.transient db) mothers Interpretation.Full_disjunction in
   Alcotest.(check int) "inner: 3 kids" 3 (Relation.cardinality inner);
   Alcotest.(check int) "fd keeps Bob? no — target filter drops rootless rows" 4
     (Relation.cardinality fd)
@@ -110,12 +110,12 @@ let test_rooted_equals_fd_with_root_filter () =
   (* With the ID-not-null filter, rooted-at-Children and full disjunction
      agree (the paper's 'no effect' case). *)
   Alcotest.(check bool) "no effect" true
-    (Interpretation.no_effect_db db mothers (Interpretation.Rooted "Children")
+    (Interpretation.no_effect (Eval_ctx.transient db) mothers (Interpretation.Rooted "Children")
        Interpretation.Full_disjunction)
 
 let test_inner_vs_rooted_differs () =
   let c =
-    Interpretation.compare_under_db db mothers Interpretation.Inner_join
+    Interpretation.compare_under (Eval_ctx.transient db) mothers Interpretation.Inner_join
       (Interpretation.Rooted "Children")
   in
   (* Bob: present when rooted (padded), absent under inner join. *)
@@ -131,9 +131,9 @@ let test_covering_interpretation () =
      mother has no phone would drop.  Here every mother has one, so only
      the motherless Bob distinguishes Covering [Children] from
      Covering [Children; PhoneDir]. *)
-  let base = Interpretation.eval_db db mothers (Interpretation.Covering [ "Children" ]) in
+  let base = Interpretation.eval (Eval_ctx.transient db) mothers (Interpretation.Covering [ "Children" ]) in
   let strict =
-    Interpretation.eval_db db mothers
+    Interpretation.eval (Eval_ctx.transient db) mothers
       (Interpretation.Covering [ "Children"; "PhoneDir" ])
   in
   Alcotest.(check int) "all kids" 4 (Relation.cardinality base);
@@ -141,7 +141,7 @@ let test_covering_interpretation () =
   (* Covering [root] coincides with Rooted root. *)
   Alcotest.(check bool) "covering = rooted" true
     (Relation.equal_contents base
-       (Interpretation.eval_db db mothers (Interpretation.Rooted "Children")))
+       (Interpretation.eval (Eval_ctx.transient db) mothers (Interpretation.Rooted "Children")))
 
 let test_no_effect_when_join_lossless () =
   (* Every child has a father: rooting at Children vs inner join over
@@ -163,13 +163,13 @@ let test_no_effect_when_join_lossless () =
       ()
   in
   Alcotest.(check bool) "no effect" true
-    (Interpretation.no_effect_db db m Interpretation.Inner_join
+    (Interpretation.no_effect (Eval_ctx.transient db) m Interpretation.Inner_join
        (Interpretation.Rooted "Children"))
 
 (* --- Op_example --- *)
 
 let m9 = Paperdata.Running.mapping
-let universe9 = Mapping_eval.examples_db db m9
+let universe9 = Mapping_eval.examples (Eval_ctx.transient db) m9
 let cols9 = m9.Mapping.target_cols
 let ill9 = Sufficiency.select ~universe:universe9 ~target_cols:cols9 ()
 
@@ -234,7 +234,7 @@ let test_remove_allows_redundant () =
 
 (* --- algebraic facts the paper cites --- *)
 
-let mk name cols rows = Relation.make name (Schema.make name cols) rows
+let mk name cols rows = Relation.create name (Schema.make name cols) rows
 let v_int i = Value.Int i
 
 let test_full_outer_join_not_associative () =
@@ -275,7 +275,7 @@ let test_min_union_associative_property () =
       |> List.filter (fun t -> not (Tuple.all_null t))
     in
     let schema = Schema.make "R" [ "a"; "b"; "c" ] in
-    let rel name ts = Relation.make ~allow_all_null:true name schema ts in
+    let rel name ts = Relation.create ~allow_all_null:true name schema ts in
     let a = rel "A" (gen ()) and b = rel "B" (gen ()) and c = rel "C" (gen ()) in
     let l = Fulldisj.Min_union.min_union (Fulldisj.Min_union.min_union a b) c in
     let r = Fulldisj.Min_union.min_union a (Fulldisj.Min_union.min_union b c) in

@@ -14,25 +14,25 @@ let eq r1 c1 r2 c2 = Predicate.eq_cols (Attr.make r1 c1) (Attr.make r2 c2)
 (* --- Workspace lifecycle --- *)
 
 let test_create_has_sufficient_illustration () =
-  let ws = Workspace.create_db ~db ~kb m_g1 in
+  let ws = Workspace.create (Eval_ctx.create ~kb db) m_g1 in
   let e = Workspace.active ws in
-  let universe = Mapping_eval.examples_db db m_g1 in
+  let universe = Mapping_eval.examples (Eval_ctx.transient db) m_g1 in
   Alcotest.(check bool) "sufficient" true
     (Sufficiency.is_sufficient ~universe ~target_cols:m_g1.Mapping.target_cols
        e.Workspace.illustration)
 
 let test_target_view_wysiwyg () =
-  let ws = Workspace.create_db ~db ~kb m_g1 in
+  let ws = Workspace.create (Eval_ctx.create ~kb db) m_g1 in
   let view = Workspace.target_view ws in
   Alcotest.(check bool) "same as eval" true
-    (Relation.equal_contents view (Mapping_eval.eval_db db m_g1))
+    (Relation.equal_contents view (Mapping_eval.eval (Eval_ctx.transient db) m_g1))
 
 let walk_mappings () =
-  Op_walk.data_walk_kb ~kb m_g1 ~start:"Children" ~goal:"PhoneDir" ~max_len:2 ()
+  Op_walk.walk_alternatives ~kb m_g1 ~start:"Children" ~goal:"PhoneDir" ~max_len:2 ()
   |> List.map (fun (a : Op_walk.alternative) -> a.Op_walk.mapping)
 
 let test_offer_creates_workspaces () =
-  let ws = Workspace.create_db ~db ~kb m_g1 in
+  let ws = Workspace.create (Eval_ctx.create ~kb db) m_g1 in
   let ws = Workspace.offer ws (walk_mappings ()) in
   Alcotest.(check int) "three workspaces" 3 (List.length (Workspace.entries ws));
   (* First (highest ranked) is active. *)
@@ -44,7 +44,7 @@ let test_offer_creates_workspaces () =
    alternatives must fall back to the positional default, and explicit labels
    must land on the alternative with the same index. *)
 let test_offer_partial_labels () =
-  let ws = Workspace.create_db ~db ~kb m_g1 in
+  let ws = Workspace.create (Eval_ctx.create ~kb db) m_g1 in
   let ws = Workspace.offer ws ~labels:[ "first" ] (walk_mappings ()) in
   match Workspace.entries ws with
   | [ e1; e2; e3 ] ->
@@ -54,19 +54,19 @@ let test_offer_partial_labels () =
   | es -> Alcotest.failf "expected 3 entries, got %d" (List.length es)
 
 let test_offer_evolves_illustrations () =
-  let ws = Workspace.create_db ~db ~kb m_g1 in
+  let ws = Workspace.create (Eval_ctx.create ~kb db) m_g1 in
   let old = Workspace.active ws in
   let ws = Workspace.offer ws (walk_mappings ()) in
   List.iter
     (fun (e : Workspace.entry) ->
       Alcotest.(check bool) "continuous" true
-        (Evolution.is_continuous_db db ~old_mapping:m_g1
+        (Evolution.is_continuous (Eval_ctx.transient db) ~old_mapping:m_g1
            ~old_illustration:old.Workspace.illustration ~new_mapping:e.Workspace.mapping
            e.Workspace.illustration))
     (Workspace.entries ws)
 
 let test_rotate_cycles () =
-  let ws = Workspace.create_db ~db ~kb m_g1 in
+  let ws = Workspace.create (Eval_ctx.create ~kb db) m_g1 in
   let ws = Workspace.offer ws (walk_mappings ()) in
   let ids = List.map (fun (e : Workspace.entry) -> e.Workspace.id) (Workspace.entries ws) in
   let ws1 = Workspace.rotate ws in
@@ -75,7 +75,7 @@ let test_rotate_cycles () =
   Alcotest.(check int) "wraps" (List.hd ids) (Workspace.active ws3).Workspace.id
 
 let test_select_delete_confirm () =
-  let ws = Workspace.create_db ~db ~kb m_g1 in
+  let ws = Workspace.create (Eval_ctx.create ~kb db) m_g1 in
   let ws = Workspace.offer ws (walk_mappings ()) in
   let ids = List.map (fun (e : Workspace.entry) -> e.Workspace.id) (Workspace.entries ws) in
   let ws = Workspace.select ws (List.nth ids 2) in
@@ -87,7 +87,7 @@ let test_select_delete_confirm () =
   Alcotest.(check int) "active kept" (List.nth ids 2) (Workspace.active ws).Workspace.id
 
 let test_delete_active_moves_activation () =
-  let ws = Workspace.create_db ~db ~kb m_g1 in
+  let ws = Workspace.create (Eval_ctx.create ~kb db) m_g1 in
   let ws = Workspace.offer ws (walk_mappings ()) in
   let active_id = (Workspace.active ws).Workspace.id in
   let ws = Workspace.delete ws active_id in
@@ -97,7 +97,7 @@ let test_delete_active_moves_activation () =
        (Workspace.entries ws))
 
 let test_delete_last_rejected () =
-  let ws = Workspace.create_db ~db ~kb m_g1 in
+  let ws = Workspace.create (Eval_ctx.create ~kb db) m_g1 in
   Alcotest.check_raises "last"
     (Invalid_argument "Workspace.delete: cannot delete the last workspace") (fun () ->
       ignore (Workspace.delete ws (Workspace.active ws).Workspace.id))
@@ -111,7 +111,7 @@ let test_compare_entries () =
   (* Without a contactPh correspondence, alternative linkings produce the
      same target — compare_entries must say so; with it mapped, the
      alternatives become distinguishable. *)
-  let ws = Workspace.create_db ~db ~kb m_g1 in
+  let ws = Workspace.create (Eval_ctx.create ~kb db) m_g1 in
   let bare = Workspace.offer ws (walk_mappings ()) in
   (match Workspace.entries bare with
   | e1 :: e2 :: _ ->
@@ -121,7 +121,7 @@ let test_compare_entries () =
               e2.Workspace.id))
   | _ -> Alcotest.fail "expected at least two workspaces");
   let with_phone =
-    Op_walk.data_walk_kb ~kb m_g1 ~start:"Children" ~goal:"PhoneDir" ~max_len:2 ()
+    Op_walk.walk_alternatives ~kb m_g1 ~start:"Children" ~goal:"PhoneDir" ~max_len:2 ()
     |> List.map (fun (a : Op_walk.alternative) ->
            Mapping.set_correspondence a.Op_walk.mapping
              (Clio.corr_identity "contactPh" a.Op_walk.new_alias "number"))
@@ -140,7 +140,7 @@ let test_compare_entries () =
   | _ -> Alcotest.fail "expected at least two workspaces"
 
 let test_render_dashboard () =
-  let ws = Workspace.create_db ~db ~kb m_g1 in
+  let ws = Workspace.create (Eval_ctx.create ~kb db) m_g1 in
   let ws = Workspace.offer ws ~labels:[ "father"; "mother"; "direct" ] (walk_mappings ()) in
   let s = Workspace.render ~short:Paperdata.Figure1.short ws in
   Alcotest.(check bool) "lists workspaces" true (contains s "Workspaces:");
@@ -149,7 +149,7 @@ let test_render_dashboard () =
   Alcotest.(check bool) "target view" true (contains s "WYSIWYG")
 
 let test_update_active () =
-  let ws = Workspace.create_db ~db ~kb m_g1 in
+  let ws = Workspace.create (Eval_ctx.create ~kb db) m_g1 in
   let m' = Mapping.add_source_filter m_g1 Paperdata.Running.age_filter in
   let ws = Workspace.update_active ws ~label:"age filter" m' in
   Alcotest.(check string) "label" "age filter" (Workspace.active ws).Workspace.label;
@@ -233,7 +233,7 @@ let test_example_6_2 () =
       Alcotest.(check bool) "ClassSched linked" true
         (Qgraph.mem_node m.Mapping.graph "ClassSched");
       (* Ann (no bus, has a class schedule) appears in the new mapping. *)
-      let view = Mapping_eval.target_view_db db m in
+      let view = Mapping_eval.target_view (Eval_ctx.transient db) m in
       let names =
         Relation.column_values view (Attr.make "Kids" "name") |> List.map Value.to_string
       in
@@ -283,7 +283,7 @@ let fathers_phone_mapping =
 let test_example_6_1_complementary_mappings () =
   (* Mothers' phones where a mother exists; fathers' phones for motherless
      children.  No child disappears. *)
-  let combined = Target.assemble_db db [ mothers_phone_mapping; fathers_phone_mapping ] in
+  let combined = Target.assemble (Eval_ctx.transient db) [ mothers_phone_mapping; fathers_phone_mapping ] in
   Alcotest.(check int) "four kids" 4 (Relation.cardinality combined);
   let s = Relation.schema combined in
   let phone_of name =
@@ -296,7 +296,7 @@ let test_example_6_1_complementary_mappings () =
   Alcotest.(check string) "Bob: father's phone" "555-0107" (phone_of "Bob")
 
 let test_mothers_only_loses_bob () =
-  let view = Mapping_eval.target_view_db db mothers_phone_mapping in
+  let view = Mapping_eval.target_view (Eval_ctx.transient db) mothers_phone_mapping in
   let names =
     Relation.column_values view (Attr.make "Kids" "name") |> List.map Value.to_string
   in
@@ -310,7 +310,7 @@ let test_assemble_rejects_mixed_targets () =
   in
   Alcotest.check_raises "mismatch"
     (Invalid_argument "Target.assemble: mappings disagree on the target relation")
-    (fun () -> ignore (Target.assemble_db db [ mothers_phone_mapping; other ]))
+    (fun () -> ignore (Target.assemble (Eval_ctx.transient db) [ mothers_phone_mapping; other ]))
 
 let test_assemble_min_removes_subsumed () =
   (* Without the complementary filters, mothers+fathers mappings both emit
@@ -320,8 +320,8 @@ let test_assemble_min_removes_subsumed () =
   let no_filter m = Mapping.remove_source_filter m (List.hd m.Mapping.source_filters) in
   let a = no_filter mothers_phone_mapping in
   let b = no_filter fathers_phone_mapping in
-  let plain = Target.assemble_db db [ a; b ] in
-  let minimal = Target.assemble_min_db db [ a; b ] in
+  let plain = Target.assemble (Eval_ctx.transient db) [ a; b ] in
+  let minimal = Target.assemble_min (Eval_ctx.transient db) [ a; b ] in
   Alcotest.(check bool) "min smaller" true
     (Relation.cardinality minimal < Relation.cardinality plain);
   Alcotest.(check bool) "minimal" true
