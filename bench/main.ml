@@ -472,6 +472,7 @@ let b16_spec =
     clients = 4;
     ops = (if quick then 6 else 12);
     limit = None;
+    keep_open = false;
   }
 
 let server_loadgen_cold () =
@@ -685,11 +686,98 @@ let colplane_tests =
     Test.make ~name:"colplane/boxed" (Staged.stage (b17_eval ~columnar:false));
   ]
 
+(* --- B18: branching version store — warm-restart vs cold-restart
+   ablation ---
+
+   A fork-heavy store persisted once: one chain-scenario session whose
+   trunk is forked into K branches, each committing a private example
+   insert.  Both arms then simulate a server reboot — fresh registry,
+   [Registry.restore] replaying the snapshot + changelog — and evaluate
+   D(G) on every branch, trunk first.  The warm arm restores over a
+   shared cache: the trunk evaluation fills entries at the fork-root
+   version and every sibling branch promotes them across the fork
+   ([cache.promote.cross_branch.*]); the cold arm (no cache) recomputes
+   each branch from scratch.  The counter table and headline check the
+   promotions fire and the per-branch digests match byte-for-byte. *)
+
+let b18_rows = if quick then 400 else 2000
+let b18_branches = 6
+
+let b18_store_dir =
+  lazy
+    (let dir = Filename.temp_file "clio_b18_store" "" in
+     Sys.remove dir;
+     let registry = Server.Registry.create ~jobs:1 () in
+     let session =
+       Server.Registry.open_session registry
+         (Server.Protocol.Chain { n = 3; rows = b18_rows; seed = 7 })
+     in
+     let store = session.Server.Registry.store in
+     for k = 1 to b18_branches do
+       let name = Printf.sprintf "fork-%d" k in
+       ignore (Version.Store.branch store ~from:Version.Store.main name);
+       ignore
+         (Version.Store.commit store ~branch:name
+            (Version.Op.Insert
+               {
+                 relation = "R1";
+                 rows =
+                   [
+                     [|
+                       Value.Int (2_000_000 + k);
+                       Value.String name;
+                       Value.Int k;
+                     |];
+                   ];
+               }))
+     done;
+     Server.Registry.persist registry ~dir;
+     dir)
+
+let b18_digests ~warm () =
+  let dir = Lazy.force b18_store_dir in
+  let registry = Server.Registry.create ~jobs:1 ~no_cache:(not warm) () in
+  ignore (Server.Registry.restore registry ~dir);
+  let stores =
+    List.fold_left
+      (fun acc sid ->
+        match Server.Registry.find registry sid with
+        | Some s when not (List.memq s.Server.Registry.store acc) ->
+            s.Server.Registry.store :: acc
+        | _ -> acc)
+      []
+      (Server.Registry.session_ids registry)
+    |> List.rev
+  in
+  List.concat_map
+    (fun store ->
+      List.map
+        (fun branch ->
+          let ws = Version.Store.checkout store branch in
+          let ctx = Clio.Workspace.ctx ws in
+          let mapping = (Clio.Workspace.active ws).Clio.Workspace.mapping in
+          let rel =
+            Fulldisj.Full_disjunction.to_relation
+              (Clio.Mapping_eval.data_associations ctx mapping)
+          in
+          (branch, Digest.to_hex (Digest.string (Render.relation rel))))
+        (Version.Store.branch_names store))
+    stores
+
+let restart_tests =
+  [
+    Test.make ~name:"version/restart/warm"
+      (Staged.stage (fun () -> ignore (b18_digests ~warm:true ())));
+    Test.make ~name:"version/restart/cold"
+      (Staged.stage (fun () -> ignore (b18_digests ~warm:false ())));
+  ]
+
 let all_tests =
   minunion_tests @ fulldisj_tests @ illustration_tests @ walk_tests @ chase_tests
   @ mapping_tests @ mine_tests @ evolve_tests @ engine_walk_tests
   @ engine_session_tests @ engine_edit_tests @ server_tests @ sampling_tests
   @ join_impl_tests @ match_tests @ pruning_tests @ par_tests @ colplane_tests
+  @ restart_tests
 
 (* --- running and reporting --- *)
 
@@ -697,6 +785,7 @@ let run_benchmarks () =
   (* Data generation must not be charged to the first timed run of the
      arm that happens to force it (at CI quotas that's the only run). *)
   ignore (Lazy.force b17_instance);
+  ignore (Lazy.force b18_store_dir);
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -939,6 +1028,13 @@ let workloads : (string * (unit -> unit)) list =
       ("colplane/columnar", b17_eval ~columnar:true);
       ("colplane/boxed", b17_eval ~columnar:false);
     ]
+  (* B18: restart-resume over the branching version store — the
+     cross-branch promotion counters are the evidence that branches with
+     a common ancestor share warm entries after a reboot. *)
+  @ [
+      ("version/restart/warm", fun () -> ignore (b18_digests ~warm:true ()));
+      ("version/restart/cold", fun () -> ignore (b18_digests ~warm:false ()));
+    ]
 
 let run_measurements () =
   (* Prime B16's persistent substrate so the measured warm arm really runs
@@ -1054,6 +1150,34 @@ let run_counter_tables () =
         ("index.probes", Obs.Names.index_probes);
       ]
     (workload_names "colplane/");
+  counter_table
+    ~title:
+      "B18 — branching version store: restart replay + cross-branch \
+       promotion (warm vs cold)"
+    ~columns:
+      [
+        ("replayed", Obs.Names.version_snapshot_commits_replayed);
+        ("cross.fj", Obs.Names.cache_promote_fj_cross_branch);
+        ("cross.dg", Obs.Names.cache_promote_dg_cross_branch);
+        ("promote.dg.free", Obs.Names.cache_promote_dg_free);
+        ("delta.fallbacks", Obs.Names.delta_fallbacks);
+      ]
+    (workload_names "version/restart/");
+  (* B18 headline: both reboot arms must agree byte-for-byte on every
+     branch — the warm cache is an optimization, never an answer change. *)
+  (let warm = b18_digests ~warm:true () in
+   let cold = b18_digests ~warm:false () in
+   let agree =
+     List.length warm = List.length cold
+     && List.for_all2
+          (fun (b1, d1) (b2, d2) -> String.equal b1 b2 && String.equal d1 d2)
+          warm cold
+   in
+   Printf.printf
+     "B18 — restart-resume headline: %d branches re-evaluated, warm vs cold \
+      digests %s\n\n"
+     (List.length warm)
+     (if agree then "byte-identical" else "MISMATCH"));
   (* B16 headline: one verified run per arm, end-to-end numbers. *)
   let b16_outcome ~arm =
     let service =

@@ -544,6 +544,271 @@ let repl_cmd =
   in
   Cmd.v (Cmd.info "repl" ~doc:"Interactive mapping session") Term.(const run $ data_arg)
 
+(* --- store: the branching version store, offline -----------------------
+
+   Single-shot counterparts of the server's branch/checkout/merge/diff
+   verbs: each invocation loads the store from --dir (replaying its
+   changelog), performs one operation, and saves it back.  The same
+   snapshot format clio_serve --store-dir uses, so a server's persisted
+   sessions can be inspected and mutated offline. *)
+
+let store_resolve spec =
+  let db, kb, mapping = Version.Scenario.resolve spec in
+  let ctx = Clio.Eval_ctx.create ~kb db in
+  Clio.Workspace.create ctx mapping
+
+let store_load dir = Version.Store.load ~resolve:store_resolve ~dir ()
+
+let store_dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR" ~doc:"Store directory (snapshot + changelog).")
+
+let store_branch_arg =
+  Arg.(
+    value
+    & opt string Version.Store.main
+    & info [ "branch" ] ~docv:"NAME" ~doc:"Branch to operate on.")
+
+let store_wrap f =
+  match f () with
+  | () -> `Ok ()
+  | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
+      `Error (false, msg)
+
+let store_init_run dir scenario size rows seed =
+  let spec =
+    match String.lowercase_ascii scenario with
+    | "paper" -> Version.Scenario.Paper
+    | "chain" -> Version.Scenario.Chain { n = size; rows; seed }
+    | "star" -> Version.Scenario.Star { leaves = size; rows; seed }
+    | other ->
+        Printf.eprintf "unknown scenario %S (paper, chain or star)\n" other;
+        exit 2
+  in
+  store_wrap (fun () ->
+      (match Version.Scenario.validate spec with
+      | Ok () -> ()
+      | Error msg -> failwith msg);
+      let store = Version.Store.create ~resolve:store_resolve spec in
+      Version.Store.save store ~dir;
+      Printf.printf "initialized %s store in %s\n"
+        (Version.Scenario.to_string spec)
+        dir)
+
+let store_init_cmd =
+  let scenario_arg =
+    Arg.(
+      value & opt string "paper"
+      & info [ "scenario" ] ~docv:"NAME" ~doc:"paper, chain or star.")
+  in
+  let size_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "size" ] ~docv:"N" ~doc:"Chain length / star leaves.")
+  in
+  let rows_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "rows" ] ~docv:"N" ~doc:"Rows per synthetic relation.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+  in
+  Cmd.v
+    (Cmd.info "init" ~doc:"Create a fresh store over a scenario")
+    Term.(
+      ret
+        (const store_init_run $ store_dir_arg $ scenario_arg $ size_arg
+       $ rows_arg $ seed_arg))
+
+let store_show_run dir =
+  store_wrap (fun () ->
+      let store = store_load dir in
+      Printf.printf "scenario  %s\n"
+        (Version.Scenario.to_string (Version.Store.spec store));
+      List.iter
+        (fun (name, version) ->
+          Printf.printf "%-12s head %-4d dbv %-4d %s\n" name
+            (Version.Store.head store name)
+            version
+            (Version.Store.state_digest store name))
+        (Version.Store.branches store))
+
+let store_show_cmd =
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:"List branches: head commit, database version, state digest")
+    Term.(ret (const store_show_run $ store_dir_arg))
+
+let store_branch_run dir from name =
+  store_wrap (fun () ->
+      let store = store_load dir in
+      ignore (Version.Store.branch store ~from name);
+      Version.Store.save store ~dir;
+      Printf.printf "branched %s off %s at commit %d\n" name from
+        (Version.Store.head store from))
+
+let store_branch_cmd =
+  let from_arg =
+    Arg.(
+      value
+      & opt string Version.Store.main
+      & info [ "from" ] ~docv:"NAME" ~doc:"Branch to fork off.")
+  in
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"New branch name.")
+  in
+  Cmd.v
+    (Cmd.info "branch" ~doc:"Fork a new branch off an existing one")
+    Term.(ret (const store_branch_run $ store_dir_arg $ from_arg $ name_arg))
+
+let store_merge_run dir into from =
+  store_wrap (fun () ->
+      let store = store_load dir in
+      let rows = Version.Store.merge store ~into ~from in
+      Version.Store.save store ~dir;
+      Printf.printf "merged %s into %s: %d new row(s)\n" from into rows)
+
+let store_merge_cmd =
+  let into_arg =
+    Arg.(
+      value
+      & opt string Version.Store.main
+      & info [ "into" ] ~docv:"NAME" ~doc:"Branch merged into.")
+  in
+  let from_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "from" ] ~docv:"NAME" ~doc:"Branch whose inserts are folded in.")
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:"Fold one branch's example-tuple inserts into another")
+    Term.(ret (const store_merge_run $ store_dir_arg $ into_arg $ from_arg))
+
+let store_diff_run dir a b =
+  store_wrap (fun () ->
+      let store = store_load dir in
+      List.iter
+        (fun (k, v) ->
+          Printf.printf "%-24s %s\n" k
+            (if Float.is_integer v then Printf.sprintf "%.0f" v
+             else Printf.sprintf "%g" v))
+        (Version.Store.diff store ~a ~b))
+
+let store_diff_cmd =
+  let a_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"A" ~doc:"First branch.")
+  in
+  let b_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"B" ~doc:"Second branch.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two branches: LCA, commits ahead/behind, per-relation row \
+          drift")
+    Term.(ret (const store_diff_run $ store_dir_arg $ a_arg $ b_arg))
+
+let store_log_run dir branch =
+  store_wrap (fun () ->
+      let store = store_load dir in
+      List.iter
+        (fun (c : Version.Store.commit) ->
+          let what =
+            match c.Version.Store.kind with
+            | Version.Store.Root -> "root"
+            | Version.Store.Apply op -> Version.Op.name op
+            | Version.Store.Branch_from src ->
+                Printf.sprintf "branch from %s" src
+            | Version.Store.Merge { from_branch; inserts } ->
+                Printf.sprintf "merge %s (%d relation(s))" from_branch
+                  (List.length inserts)
+          in
+          Printf.printf "%4d %-10s %s\n" c.Version.Store.cid
+            c.Version.Store.branch what)
+        (Version.Store.log store ~branch))
+
+let store_log_cmd =
+  Cmd.v
+    (Cmd.info "log" ~doc:"A branch's commits, oldest first, through its fork")
+    Term.(ret (const store_log_run $ store_dir_arg $ store_branch_arg))
+
+(* "null" -> Null, integers -> Int, other numbers -> Float, rest -> String
+   (same typing rule as the wire protocol's value decoding). *)
+let parse_cell s =
+  if String.lowercase_ascii s = "null" then Value.Null
+  else
+    match int_of_string_opt s with
+    | Some i -> Value.Int i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Value.Float f
+        | None -> Value.String s)
+
+let store_insert_run dir branch relation cells =
+  store_wrap (fun () ->
+      let row = Array.of_list (List.map parse_cell cells) in
+      let store = store_load dir in
+      ignore
+        (Version.Store.commit store ~branch
+           (Version.Op.Insert { relation; rows = [ row ] }));
+      Version.Store.save store ~dir;
+      Printf.printf "inserted into %s on %s (commit %d)\n" relation branch
+        (Version.Store.head store branch))
+
+let store_insert_cmd =
+  let relation_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REL" ~doc:"Relation inserted into.")
+  in
+  let cells_arg =
+    Arg.(
+      non_empty & pos_right 0 string []
+      & info [] ~docv:"VALUE"
+          ~doc:
+            "Cell values, one per column ($(i,null), integers and floats \
+             are typed; anything else is a string).")
+  in
+  Cmd.v
+    (Cmd.info "insert"
+       ~doc:"Commit an example-tuple insert on a branch")
+    Term.(
+      ret
+        (const store_insert_run $ store_dir_arg $ store_branch_arg
+       $ relation_arg $ cells_arg))
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:
+         "Offline access to a branching version store (the same on-disk \
+          format clio_serve --store-dir persists): init, branch, insert, \
+          merge, diff, log, show.")
+    [
+      store_init_cmd;
+      store_show_cmd;
+      store_branch_cmd;
+      store_merge_cmd;
+      store_diff_cmd;
+      store_log_cmd;
+      store_insert_cmd;
+    ]
+
 (* Raised from the signal handlers so that Ctrl-C (or a TERM) during a
    long evaluation unwinds to the epilogue below — the --trace/--metrics
    files still get written — and exits with the conventional 128+signo
@@ -623,6 +888,7 @@ let () =
         select_cmd;
         run_cmd;
         repl_cmd;
+        store_cmd;
       ]
   in
   (* [~catch:false] so [Interrupted] reaches us; anything else gets

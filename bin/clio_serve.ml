@@ -52,8 +52,8 @@ let tcp_arg =
 
 (* --- serve ------------------------------------------------------------- *)
 
-let serve_run socket tcp jobs queue history_limit no_cache cache_mb metrics
-    log log_level slow_ms exemplars exemplar_keep =
+let serve_run socket tcp jobs queue history_limit no_cache cache_mb store_dir
+    metrics log log_level slow_ms exemplars exemplar_keep =
   match address_of socket tcp with
   | Error msg -> `Error (true, msg)
   | Ok address when log = Some "" || metrics = Some "" ->
@@ -93,6 +93,19 @@ let serve_run socket tcp jobs queue history_limit no_cache cache_mb metrics
           ?cache_bytes:(Option.map (fun mb -> mb * 1024 * 1024) cache_mb)
           ()
       in
+      (* Warm boot: when --store-dir holds a manifest from a previous
+         run, replay it — sessions resume on their branches with the
+         shared cache re-warmed by the replay itself. *)
+      (match store_dir with
+      | Some dir when Sys.file_exists (Filename.concat dir "registry.json") -> (
+          try
+            let n = Server.Registry.restore registry ~dir in
+            Printf.printf "clio_serve: restored %d session(s) from %s\n%!" n
+              dir
+          with Failure msg | Sys_error msg ->
+            Printf.eprintf "clio_serve: cannot restore store: %s\n%!" msg;
+            exit 1)
+      | _ -> ());
       let service = Server.Service.create registry in
       Server.Service.set_telemetry service telemetry;
       let config =
@@ -106,7 +119,18 @@ let serve_run socket tcp jobs queue history_limit no_cache cache_mb metrics
         config.Server.Loop.queue_capacity;
       let reason = Server.Loop.run config service in
       (* Epilogue runs on every exit path — a SIGTERM'd server still
-         leaves complete --metrics/--log files behind. *)
+         leaves complete --metrics/--log files and a resumable store
+         behind. *)
+      (match store_dir with
+      | Some dir -> (
+          try
+            Server.Registry.persist registry ~dir;
+            Printf.printf "clio_serve: persisted %d session(s) to %s\n%!"
+              (Server.Registry.session_count registry)
+              dir
+          with Sys_error msg | Failure msg ->
+            Printf.eprintf "clio_serve: cannot persist store: %s\n%!" msg)
+      | None -> ());
       (match metrics with
       | Some file -> (
           try
@@ -159,6 +183,17 @@ let cache_mb_arg =
     value
     & opt (some int) None
     & info [ "cache-mb" ] ~docv:"MB" ~doc:"Byte budget of the shared cache.")
+
+let store_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist every open session's version store (snapshot + \
+           changelog) to $(docv) at exit, and resume from it at boot when \
+           a manifest is present — a restarted server comes back warm \
+           with the same sessions, branches and state.")
 
 let metrics_arg =
   Arg.(
@@ -234,14 +269,14 @@ let serve_cmd =
     Term.(
       ret
         (const serve_run $ socket_arg $ tcp_arg $ jobs_arg $ queue_arg
-       $ history_limit_arg $ no_cache_arg $ cache_mb_arg $ metrics_arg
-       $ log_arg $ log_level_arg $ slow_ms_arg $ exemplars_arg
+       $ history_limit_arg $ no_cache_arg $ cache_mb_arg $ store_dir_arg
+       $ metrics_arg $ log_arg $ log_level_arg $ slow_ms_arg $ exemplars_arg
        $ exemplar_keep_arg))
 
 (* --- loadgen ----------------------------------------------------------- *)
 
 let loadgen_run socket tcp clients ops scenario size rows seed limit no_verify
-    latencies =
+    keep_open latencies =
   match scenario_of ~scenario ~size ~rows ~seed with
   | Error msg -> `Error (true, msg)
   | Ok scenario ->
@@ -251,6 +286,7 @@ let loadgen_run socket tcp clients ops scenario size rows seed limit no_verify
           clients;
           ops;
           limit = (if limit > 0 then Some limit else None);
+          keep_open;
         }
       in
       let verify = not no_verify in
@@ -337,6 +373,15 @@ let no_verify_arg =
     & info [ "no-verify" ]
         ~doc:"Skip the sequential-replay digest verification.")
 
+let keep_open_arg =
+  Arg.(
+    value & flag
+    & info [ "keep-open" ]
+        ~doc:
+          "Leave the sessions open after the run (no final $(i,close)) so a \
+           later $(i,digests) call — or a $(b,--store-dir) shutdown — still \
+           sees them.")
+
 let latencies_arg =
   Arg.(
     value
@@ -360,7 +405,7 @@ let loadgen_cmd =
       ret
         (const loadgen_run $ socket_arg $ tcp_arg $ clients_arg $ ops_arg
        $ scenario_arg $ size_arg $ rows_arg $ seed_arg $ limit_arg
-       $ no_verify_arg $ latencies_arg))
+       $ no_verify_arg $ keep_open_arg $ latencies_arg))
 
 (* --- scrape ------------------------------------------------------------ *)
 
@@ -416,6 +461,81 @@ let scrape_cmd =
   in
   Cmd.v info
     Term.(ret (const scrape_run $ socket_arg $ tcp_arg $ check_arg $ out_arg))
+
+(* --- digests ----------------------------------------------------------- *)
+
+(* One "sid dg-digest target-digest" line per open session, sid-sorted —
+   the byte-identity witness the restart-smoke harness diffs across a
+   SIGTERM + warm reboot. *)
+let digests_run socket tcp =
+  match address_of socket tcp with
+  | Error msg -> `Error (true, msg)
+  | Ok address -> (
+      try
+        let sids =
+          match
+            Server.Loadgen.rpc_once ~address
+              [ { P.id = 1; session = None; request = P.Stats; trace_id = None } ]
+          with
+          | [ { P.result = Ok (P.Stats_report pairs); _ } ] ->
+              List.filter_map
+                (fun (k, _) ->
+                  if String.starts_with ~prefix:"sessions." k then
+                    let rest = String.sub k 9 (String.length k - 9) in
+                    Option.map (fun i -> String.sub rest 0 i)
+                      (String.index_opt rest '.')
+                  else None)
+                pairs
+              |> List.sort_uniq compare
+          | [ { P.result = Error (_, msg); _ } ] ->
+              failwith ("server error: " ^ msg)
+          | _ -> failwith "unexpected reply"
+        in
+        List.iter
+          (fun sid ->
+            match
+              Server.Loadgen.rpc_once ~address
+                [
+                  {
+                    P.id = 1;
+                    session = Some sid;
+                    request = P.Evaluate { what = P.Dg; limit = None };
+                    trace_id = None;
+                  };
+                  {
+                    P.id = 2;
+                    session = Some sid;
+                    request = P.Evaluate { what = P.Target; limit = None };
+                    trace_id = None;
+                  };
+                ]
+            with
+            | [
+                { P.result = Ok (P.Evaluated dg); _ };
+                { P.result = Ok (P.Evaluated target); _ };
+              ] ->
+                Printf.printf "%s %s %s\n" sid dg.P.digest target.P.digest
+            | [ { P.result = Error (_, msg); _ }; _ ]
+            | [ _; { P.result = Error (_, msg); _ } ] ->
+                failwith (Printf.sprintf "session %s: %s" sid msg)
+            | _ -> failwith "unexpected reply")
+          sids;
+        `Ok ()
+      with
+      | Failure msg | Sys_error msg -> `Error (false, msg)
+      | Unix.Unix_error (e, fn, _) ->
+          `Error (false, Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+
+let digests_cmd =
+  let info =
+    Cmd.info "digests"
+      ~doc:
+        "Print every open session's D(G) and target-view digests (one \
+         $(i,sid dg target) line per session, sid-sorted).  Two servers — \
+         e.g. one before and one after a $(b,--store-dir) restart — agree \
+         iff their outputs are byte-identical."
+  in
+  Cmd.v info Term.(ret (const digests_run $ socket_arg $ tcp_arg))
 
 (* --- top --------------------------------------------------------------- *)
 
@@ -548,4 +668,7 @@ let () =
     Cmd.info "clio_serve" ~version:"dev"
       ~doc:"Long-lived multi-session mapping-refinement service."
   in
-  exit (Cmd.eval (Cmd.group info [ serve_cmd; loadgen_cmd; scrape_cmd; top_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ serve_cmd; loadgen_cmd; scrape_cmd; digests_cmd; top_cmd ]))

@@ -33,6 +33,7 @@ let create ctx ?(label = "initial") m =
 let ctx t = t.ctx
 let db t = Eval_ctx.db t.ctx
 let kb t = Eval_ctx.kb t.ctx
+let with_branch_root t v = { t with ctx = Eval_ctx.with_branch_root t.ctx v }
 let entries t = t.entries
 let active t = List.find (fun e -> e.id = t.active_id) t.entries
 let target_view t = Mapping_eval.target_view t.ctx (active t).mapping

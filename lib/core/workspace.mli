@@ -29,6 +29,11 @@ val create : Engine.Eval_ctx.t -> ?label:string -> Mapping.t -> t
 val ctx : t -> Engine.Eval_ctx.t
 val db : t -> Database.t
 val kb : t -> Schemakb.Kb.t
+
+(** Tag the workspace's context with the database version its branch
+    forked at ({!Engine.Eval_ctx.with_branch_root}) — used by the version
+    store so cross-branch cache promotions are counted. *)
+val with_branch_root : t -> int -> t
 val entries : t -> entry list
 val active : t -> entry
 

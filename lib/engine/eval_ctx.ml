@@ -16,6 +16,10 @@ type t = {
   incremental : bool;
   jobs : int;
   pool : Par.Pool.t option;
+  branch_root : int option;
+      (** database version this context's branch forked at — promotions
+          from at-or-below it reuse state shared with sibling branches and
+          count as [cache.promote.cross_branch.*] *)
 }
 
 (* A process-wide default honoured by [create] — how `clio_cli --no-cache`
@@ -42,7 +46,16 @@ let create ?(algorithm = Indexed) ?(no_cache = false) ?cache ?incremental ?jobs
     match incremental with Some b -> b | None -> !incremental_default
   in
   let jobs = match jobs with Some j -> j | None -> Par.default_jobs () in
-  { db; kb; cache; algorithm; incremental; jobs; pool = Par.get_pool ~jobs }
+  {
+    db;
+    kb;
+    cache;
+    algorithm;
+    incremental;
+    jobs;
+    pool = Par.get_pool ~jobs;
+    branch_root = None;
+  }
 
 (* Single-shot contexts for the deprecated [Database.t]-taking wrappers:
    no cache, so behaviour (and benchmarks) match the pre-engine code path
@@ -56,6 +69,7 @@ let transient ?(algorithm = Indexed) db =
     incremental = false;
     jobs = 1;
     pool = None;
+    branch_root = None;
   }
 
 let db t = t.db
@@ -76,6 +90,8 @@ let with_kb t kb = { t with kb }
 let with_algorithm t algorithm = { t with algorithm }
 let without_cache t = { t with cache = None }
 let with_jobs t jobs = { t with jobs; pool = Par.get_pool ~jobs }
+let branch_root t = t.branch_root
+let with_branch_root t v = { t with branch_root = Some v }
 
 let base_source t = Source.of_db t.db
 
@@ -95,8 +111,18 @@ let base_source t = Source.of_db t.db
    - any graph base poisoned          → no ancestor can help; recompute.
 
    [peek] probes the cache at one ancestor version; [free]/[repair] build
-   the promoted payload (and bump their counters). *)
-let promote_via_chain t ~bases ~peek ~free ~repair =
+   the promoted payload (and bump their counters).  [cross] is the
+   cross-branch counter for this tier: on a branched version graph, a
+   branch's history runs back through its fork point into the trunk shared
+   with sibling branches, so a promotion whose source entry sits at or
+   below the context's [branch_root] is warm state inherited across
+   branches — typically cached by a sibling session or the shared root. *)
+let note_cross_branch t ~cross ~from_version =
+  match t.branch_root with
+  | Some root when from_version <= root -> Obs.count cross
+  | _ -> ()
+
+let promote_via_chain t ~bases ~cross ~peek ~free ~repair =
   let merge_changed pairs =
     List.fold_left
       (fun acc (rel, tups) ->
@@ -123,6 +149,7 @@ let promote_via_chain t ~bases ~peek ~free ~repair =
         else
           match peek step.Delta.from_version with
           | Some payload -> (
+              note_cross_branch t ~cross ~from_version:step.Delta.from_version;
               match
                 merge_changed
                   (List.filter (fun (rel, _) -> List.mem rel bases) changed)
@@ -172,6 +199,7 @@ let full_associations t j =
             if not t.incremental then None
             else
               promote_via_chain t ~bases:(graph_bases j)
+                ~cross:Obs.Names.cache_promote_fj_cross_branch
                 ~peek:(fun v -> Eval_cache.peek_fj cache ~version:v key)
                 ~free:(fun r ->
                   Obs.count Obs.Names.cache_promote_fj_free;
@@ -232,6 +260,7 @@ let data_associations ?algorithm t g =
             if not t.incremental then None
             else
               promote_via_chain t ~bases:(graph_bases g)
+                ~cross:Obs.Names.cache_promote_dg_cross_branch
                 ~peek:(fun v -> Eval_cache.peek_dg cache ~version:v ~variant key)
                 ~free:(fun r ->
                   Obs.count Obs.Names.cache_promote_dg_free;

@@ -98,6 +98,18 @@ val with_algorithm : t -> algorithm -> t
 val without_cache : t -> t
 val with_jobs : t -> int -> t
 
+(** The database version this context's branch forked from the trunk at,
+    if it belongs to a branch of a {{!section-branching} version store}.
+    Promotion is oblivious to it — a branch's recorded history already
+    runs back through the fork into trunk versions shared with sibling
+    branches — but promotions sourced at or below the root are counted as
+    [cache.promote.cross_branch.{fj,dg}]: warm state inherited across
+    branches through a common ancestor rather than recomputed per
+    branch. *)
+val branch_root : t -> int option
+
+val with_branch_root : t -> int -> t
+
 (** The {!Fulldisj.Source} this context evaluates through: the database's
     lookup plus (when caching) the F(J) memo hook — the [of_ctx]
     constructor promised in {!Fulldisj.Source}'s documentation. *)

@@ -56,10 +56,38 @@ let cache_bytes_resident = Counter.make "cache.bytes_resident"
 
 let delta_records = Counter.make "delta.records"
 let delta_fallbacks = Counter.make "delta.fallbacks"
+
+(* Bumped when recording a step pushes the oldest step out of a database's
+   bounded changelog window — from then on [deltas_from] answers "unknown
+   ancestry" for versions behind the drop, so promotion falls back to a
+   from-scratch evaluation instead of silently repairing a stale entry. *)
+let delta_history_evicted = Counter.make "delta.history_evicted"
 let cache_promote_fj_free = Counter.make "cache.promote.fj.free"
 let cache_promote_fj_repaired = Counter.make "cache.promote.fj.repaired"
 let cache_promote_dg_free = Counter.make "cache.promote.dg.free"
 let cache_promote_dg_repaired = Counter.make "cache.promote.dg.repaired"
+
+(* --- counters: branching version store (lib/version) --- *)
+
+(* Promotions whose source entry was cached at or below the session's
+   branch-fork version — warm state inherited from the common ancestor of
+   another branch rather than from this branch's own history. *)
+let cache_promote_fj_cross_branch = Counter.make "cache.promote.cross_branch.fj"
+let cache_promote_dg_cross_branch = Counter.make "cache.promote.cross_branch.dg"
+let version_branches = Counter.make "version.branches"
+let version_merges = Counter.make "version.merges"
+let version_commits = Counter.make "version.commits"
+let version_snapshot_saves = Counter.make "version.snapshot.saves"
+let version_snapshot_loads = Counter.make "version.snapshot.loads"
+let version_snapshot_commits_replayed =
+  Counter.make "version.snapshot.commits_replayed"
+
+(* Gauges mirroring the process-global value-intern pool ([Value_pool]):
+   distinct interned values and their approximate retained bytes.  The
+   pool never evicts, so in a long-lived server these only grow — the
+   scrape is the leak detector (docs/data-plane.md). *)
+let value_pool_count = Counter.make "value_pool.count"
+let value_pool_bytes = Counter.make "value_pool.bytes"
 
 (* --- counters: lineage / explanation --- *)
 

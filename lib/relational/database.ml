@@ -4,6 +4,9 @@ type t = {
   by_name : (string, Relation.t) Hashtbl.t;
   constraints : Integrity.t list;
   history : Delta.t list;  (** newest-first, bounded by {!history_limit} *)
+  limit : int option;
+      (** per-database changelog bound; [None] defers to the process
+          default at each recording *)
 }
 
 (* Versions are drawn from a process-global counter so that any two
@@ -21,7 +24,7 @@ let next_version =
    dropped, which soundly degrades [deltas_from] to "unknown ancestry". *)
 let default_history_limit = 32
 let history_limit_ref = ref default_history_limit
-let history_limit () = !history_limit_ref
+let process_history_limit () = !history_limit_ref
 
 let set_history_limit n =
   if n < 1 then invalid_arg "Database.set_history_limit: limit must be >= 1";
@@ -34,18 +37,28 @@ let empty =
     by_name = Hashtbl.create 16;
     constraints = [];
     history = [];
+    limit = None;
   }
 
 let version t = t.version
+
+let history_limit t =
+  match t.limit with Some n -> n | None -> process_history_limit ()
+
+let with_history_limit t n =
+  if n < 1 then invalid_arg "Database.with_history_limit: limit must be >= 1";
+  { t with limit = Some n }
 
 let record t kind =
   let to_version = next_version () in
   Obs.count Obs.Names.delta_records;
   let step = { Delta.from_version = t.version; to_version; kind } in
-  let limit = history_limit () in
+  let limit = history_limit t in
   let history =
-    if List.length t.history >= limit then
+    if List.length t.history >= limit then begin
+      Obs.count Obs.Names.delta_history_evicted;
       step :: List.filteri (fun i _ -> i < limit - 1) t.history
+    end
     else step :: t.history
   in
   (to_version, history)
@@ -160,8 +173,13 @@ let deltas_from t ancestor_version =
     in
     take [] t.history
 
-let of_relations ?(constraints = []) rels =
-  let t = List.fold_left add empty rels in
+let of_relations ?history_limit ?(constraints = []) rels =
+  let seed =
+    match history_limit with
+    | None -> empty
+    | Some n -> with_history_limit empty n
+  in
+  let t = List.fold_left add seed rels in
   List.fold_left add_constraint t constraints
 
 let find t name = Hashtbl.find_opt t.by_name name

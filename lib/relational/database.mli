@@ -42,19 +42,37 @@ val deltas_from : t -> int -> Delta.t list option
     cache at each recorded ancestor version. *)
 val history : t -> Delta.t list
 
-(** Size of the bounded changelog window — a process-wide setting,
-    consulted each time a mutation records a step (an existing database's
-    already-recorded window is not retrimmed).  Larger windows let the
-    engine's incremental promotion reach further-back ancestors at the
-    cost of retaining more deltas per version. *)
-val history_limit : unit -> int
+(** Size of this database's bounded changelog window, consulted each time
+    a mutation records a step (an existing database's already-recorded
+    window is not retrimmed).  Databases built without an explicit limit
+    read the process default ({!set_history_limit}) at each recording.
+    Larger windows let the engine's incremental promotion reach
+    further-back ancestors at the cost of retaining more deltas per
+    version.  When recording a step pushes the oldest one out of the
+    window, the [delta.history_evicted] counter is bumped. *)
+val history_limit : t -> int
+
+(** Pin the changelog bound for this database (and everything derived from
+    it) regardless of the process default.  Raises [Invalid_argument] when
+    [n < 1]. *)
+val with_history_limit : t -> int -> t
 
 val default_history_limit : int
 
-(** Raises [Invalid_argument] when [n < 1]. *)
+(** The process-wide default consulted by databases without a pinned
+    limit. *)
+val process_history_limit : unit -> int
+
+(** Set the process-wide default window size.  Deprecated in favour of the
+    per-database {!with_history_limit} / [of_relations ~history_limit]:
+    this setter affects every database in the process that has not pinned
+    its own limit — in a multi-session server, one session adjusting it
+    would silently resize every other session's window.  Raises
+    [Invalid_argument] when [n < 1]. *)
 val set_history_limit : int -> unit
 
-val of_relations : ?constraints:Integrity.t list -> Relation.t list -> t
+val of_relations :
+  ?history_limit:int -> ?constraints:Integrity.t list -> Relation.t list -> t
 val find : t -> string -> Relation.t option
 
 (** Raises [Not_found]. *)

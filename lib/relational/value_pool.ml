@@ -65,6 +65,10 @@ type pool = {
   mutable tags : Bytes.t array;
   mutable nums : float array array;
   mutable count : int;
+  (* Approximate retained footprint: a fixed per-id charge for the chunk
+     slots and hashtable entries, plus string payload bytes.  Maintained
+     incrementally so a scrape never walks the table. *)
+  mutable bytes : int;
   (* Set the first time an id's class differs from the id itself ([Int 1]
      then [Float 1.0]); until then class columns are identity. *)
   mutable aliased : bool;
@@ -75,6 +79,13 @@ type pool = {
 
 let null_id = 0
 
+(* Per-id retained cost: two chunk slots (value + class word), the tag
+   byte and num float, and the two hashtable entries (struct + class key)
+   — call it 64 bytes of fixed overhead — plus the string payload, the
+   only per-value allocation whose size varies. *)
+let bytes_of v =
+  64 + (match v with Value.String s -> String.length s | _ -> 0)
+
 let pool =
   let p =
     {
@@ -83,6 +94,7 @@ let pool =
       tags = Array.make 16 Bytes.empty;
       nums = Array.make 16 [||];
       count = 0;
+      bytes = 0;
       aliased = false;
       ids = Struct_tbl.create 1024;
       class_ids = Value.Table.create 1024;
@@ -97,6 +109,7 @@ let pool =
   Struct_tbl.add p.ids Value.Null 0;
   Value.Table.add p.class_ids Value.Null 0;
   p.count <- 1;
+  p.bytes <- bytes_of Value.Null;
   p
 
 let ensure_chunk chunk =
@@ -153,6 +166,7 @@ let intern_locked v =
         | Value.Null | Value.String _ -> 0.);
       Struct_tbl.add pool.ids v id;
       pool.count <- id + 1;
+      pool.bytes <- pool.bytes + bytes_of v;
       id
 
 let intern v = Mutex.protect pool.lock (fun () -> intern_locked v)
@@ -170,6 +184,18 @@ let resolve id = pool.values.(id lsr chunk_bits).(id land chunk_mask)
 let class_of id = pool.classes.(id lsr chunk_bits).(id land chunk_mask)
 let is_null id = id = 0
 let size () = Mutex.protect pool.lock (fun () -> pool.count)
+let count = size
+let footprint_bytes () = Mutex.protect pool.lock (fun () -> pool.bytes)
+
+(* Publish the pool gauges into the Obs registry.  The pool never evicts
+   (ids are stable for the process lifetime), so in a long-lived server
+   these readings only grow — scraping them is how a payload-churn leak is
+   seen (docs/data-plane.md). *)
+let observe () =
+  if Obs.enabled () then
+    Mutex.protect pool.lock (fun () ->
+        Obs.Counter.set Obs.Names.value_pool_count pool.count;
+        Obs.Counter.set Obs.Names.value_pool_bytes pool.bytes)
 
 let classes_trivial () = not pool.aliased
 

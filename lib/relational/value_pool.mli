@@ -50,6 +50,21 @@ val class_of : int -> int
 (** Number of distinct interned values (including [Null]). *)
 val size : unit -> int
 
+(** Alias of {!size}, matching the exported gauge name
+    [value_pool.count]. *)
+val count : unit -> int
+
+(** Approximate retained bytes: a fixed per-id charge (chunk slots plus
+    hashtable entries) plus string payload lengths.  Monotone — the pool
+    never evicts. *)
+val footprint_bytes : unit -> int
+
+(** Publish {!count} and {!footprint_bytes} as the [value_pool.count] /
+    [value_pool.bytes] Obs gauges (no-op while observability is
+    disabled).  Called by stats/scrape endpoints so every reading is
+    fresh at scrape time. *)
+val observe : unit -> unit
+
 (** {!Value.compare} lifted to ids; [0] exactly for class-equal ids. *)
 val compare_resolved : int -> int -> int
 

@@ -6,6 +6,7 @@ type spec = {
   clients : int;
   ops : int;
   limit : int option;
+  keep_open : bool;
 }
 
 type outcome = {
@@ -251,12 +252,13 @@ let run_inprocess ?(verify = true) service spec =
       | Some sid -> ignore (call ~client ~session:sid (List.nth scripts.(client) i))
     done
   done;
-  Array.iteri
-    (fun client sid ->
-      match sid with
-      | None -> ()
-      | Some sid -> ignore (call ~client ~session:sid P.Close_session))
-    sids;
+  if not spec.keep_open then
+    Array.iteri
+      (fun client sid ->
+        match sid with
+        | None -> ()
+        | Some sid -> ignore (call ~client ~session:sid P.Close_session))
+      sids;
   finish spec acc ~verify ~elapsed_s:(Unix.gettimeofday () -. t_start)
 
 (* ------------------------------------------------------------------ *)
@@ -356,13 +358,14 @@ let run_socket ?(verify = true) ~address spec =
                (List.nth scripts.(client) i))
     done
   done;
-  Array.iteri
-    (fun client sid ->
-      match sid with
-      | None -> ()
-      | Some sid ->
-          ignore (call conns.(client) ~client ~session:sid P.Close_session))
-    sids;
+  if not spec.keep_open then
+    Array.iteri
+      (fun client sid ->
+        match sid with
+        | None -> ()
+        | Some sid ->
+            ignore (call conns.(client) ~client ~session:sid P.Close_session))
+      sids;
   let elapsed_s = Unix.gettimeofday () -. t_start in
   Array.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
   finish spec acc ~verify ~elapsed_s

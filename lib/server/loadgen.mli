@@ -21,6 +21,10 @@ type spec = {
   clients : int;
   ops : int;  (** operations per client, between open and close *)
   limit : int option;  (** rows included in evaluate replies *)
+  keep_open : bool;
+      (** skip the final [close]: sessions stay open after the run — what
+          the restart-smoke harness uses so a [--store-dir] shutdown
+          persists them for the next boot to resume *)
 }
 
 type outcome = {

@@ -1,16 +1,15 @@
 open Relational
 module J = Obs.Json
 
-type scenario =
+(* The spec type lives in the version library (snapshots embed it); the
+   protocol re-exports it with an equation so both sides keep pattern
+   matching on [Protocol.Paper] etc. *)
+type scenario = Version.Scenario.t =
   | Paper
   | Chain of { n : int; rows : int; seed : int }
   | Star of { leaves : int; rows : int; seed : int }
 
-let scenario_to_string = function
-  | Paper -> "paper"
-  | Chain { n; rows; seed } -> Printf.sprintf "chain(n=%d,rows=%d,seed=%d)" n rows seed
-  | Star { leaves; rows; seed } ->
-      Printf.sprintf "star(leaves=%d,rows=%d,seed=%d)" leaves rows seed
+let scenario_to_string = Version.Scenario.to_string
 
 type what = Dg | Fj | Target
 
@@ -28,6 +27,12 @@ type request =
   | Confirm
   | Insert of { relation : string; rows : Value.t array list }
   | Rank
+  | Branch of { name : string }
+  | Checkout of { name : string }
+  | Merge of { from_ : string }
+  | Diff of { other : string }
+  | Branches
+  | Open_branch of { of_session : string; branch : string }
   | Stats
   | Metrics_prom
   | Shutdown
@@ -62,6 +67,10 @@ type result =
   | Evaluated of eval_info
   | Entries of entry_info list
   | Inserted of { fresh : bool; version : int }
+  | Branched of { branch : string; version : int }
+  | Checked_out of { branch : string; version : int }
+  | Merged of { branch : string; rows : int; version : int }
+  | Branch_list of { current : string; branches : (string * int) list }
   | Stats_report of (string * float) list
   | Prom_text of string
   | Bye
@@ -104,46 +113,12 @@ type response = {
    relational layer.  Non-finite floats would emit as [null] (Json's
    rule) and are rejected on encode instead of silently becoming nulls. *)
 
-let json_of_value = function
-  | Value.Null -> J.Null
-  | Value.Bool b -> J.Bool b
-  | Value.Int i -> J.Num (float_of_int i)
-  | Value.Float f ->
-      if Float.is_nan f || f = infinity || f = neg_infinity then
-        invalid_arg "Protocol: non-finite floats are not representable on the wire"
-      else J.Num f
-  | Value.String s -> J.Str s
-
-let value_of_json = function
-  | J.Null -> Ok Value.Null
-  | J.Bool b -> Ok (Value.Bool b)
-  | J.Num f ->
-      if Float.is_integer f && Float.abs f <= 1e15 then
-        Ok (Value.Int (int_of_float f))
-      else Ok (Value.Float f)
-  | J.Str s -> Ok (Value.String s)
-  | J.Arr _ | J.Obj _ -> Error "cell must be null, boolean, number or string"
+let json_of_value = Version.Op.json_of_value
+let value_of_json = Version.Op.value_of_json
 
 (* --- encoding: requests --- *)
 
-let scenario_json = function
-  | Paper -> J.Obj [ ("kind", J.Str "paper") ]
-  | Chain { n; rows; seed } ->
-      J.Obj
-        [
-          ("kind", J.Str "chain");
-          ("n", J.Num (float_of_int n));
-          ("rows", J.Num (float_of_int rows));
-          ("seed", J.Num (float_of_int seed));
-        ]
-  | Star { leaves; rows; seed } ->
-      J.Obj
-        [
-          ("kind", J.Str "star");
-          ("leaves", J.Num (float_of_int leaves));
-          ("rows", J.Num (float_of_int rows));
-          ("seed", J.Num (float_of_int seed));
-        ]
+let scenario_json = Version.Scenario.to_json
 
 let request_fields = function
   | Ping -> ("ping", [])
@@ -179,6 +154,14 @@ let request_fields = function
                  rows) );
         ] )
   | Rank -> ("rank", [])
+  | Branch { name } -> ("branch", [ ("name", J.Str name) ])
+  | Checkout { name } -> ("checkout", [ ("name", J.Str name) ])
+  | Merge { from_ } -> ("merge", [ ("from", J.Str from_) ])
+  | Diff { other } -> ("diff", [ ("other", J.Str other) ])
+  | Branches -> ("branches", [])
+  | Open_branch { of_session; branch } ->
+      ( "open_branch",
+        [ ("of_session", J.Str of_session); ("branch", J.Str branch) ] )
   | Stats -> ("stats", [])
   | Metrics_prom -> ("metrics_prom", [])
   | Shutdown -> ("shutdown", [])
@@ -259,6 +242,44 @@ let result_json = function
           ("fresh", J.Bool fresh);
           ("version", J.Num (float_of_int version));
         ]
+  | Branched { branch; version } ->
+      J.Obj
+        [
+          ("kind", J.Str "branched");
+          ("branch", J.Str branch);
+          ("version", J.Num (float_of_int version));
+        ]
+  | Checked_out { branch; version } ->
+      J.Obj
+        [
+          ("kind", J.Str "checked_out");
+          ("branch", J.Str branch);
+          ("version", J.Num (float_of_int version));
+        ]
+  | Merged { branch; rows; version } ->
+      J.Obj
+        [
+          ("kind", J.Str "merged");
+          ("branch", J.Str branch);
+          ("rows", J.Num (float_of_int rows));
+          ("version", J.Num (float_of_int version));
+        ]
+  | Branch_list { current; branches } ->
+      J.Obj
+        [
+          ("kind", J.Str "branches");
+          ("current", J.Str current);
+          ( "branches",
+            J.Arr
+              (List.map
+                 (fun (name, version) ->
+                   J.Obj
+                     [
+                       ("name", J.Str name);
+                       ("version", J.Num (float_of_int version));
+                     ])
+                 branches) );
+        ]
   | Stats_report counters ->
       J.Obj
         [
@@ -333,23 +354,9 @@ let opt_int_field name j =
 (* --- parsing: requests --- *)
 
 let scenario_of_json j =
-  match str_field "kind" j with
-  | "paper" -> Paper
-  | "chain" ->
-      Chain
-        {
-          n = int_field "n" j;
-          rows = int_field "rows" j;
-          seed = int_field ~default:0 "seed" j;
-        }
-  | "star" ->
-      Star
-        {
-          leaves = int_field "leaves" j;
-          rows = int_field "rows" j;
-          seed = int_field ~default:0 "seed" j;
-        }
-  | k -> reject "unknown scenario kind %S" k
+  match Version.Scenario.of_json j with
+  | Ok sc -> sc
+  | Error msg -> reject "%s" msg
 
 let request_of_json j =
   match str_field "op" j with
@@ -401,6 +408,17 @@ let request_of_json j =
       in
       Insert { relation = str_field "relation" j; rows }
   | "rank" -> Rank
+  | "branch" -> Branch { name = str_field "name" j }
+  | "checkout" -> Checkout { name = str_field "name" j }
+  | "merge" -> Merge { from_ = str_field "from" j }
+  | "diff" -> Diff { other = str_field "other" j }
+  | "branches" -> Branches
+  | "open_branch" ->
+      Open_branch
+        {
+          of_session = str_field "of_session" j;
+          branch = str_field "branch" j;
+        }
   | "stats" -> Stats
   | "metrics_prom" -> Metrics_prom
   | "shutdown" -> Shutdown
@@ -518,6 +536,31 @@ let result_of_json j =
             | Some (J.Bool b) -> b
             | _ -> reject "field \"fresh\" must be a boolean");
           version = int_field "version" j;
+        }
+  | "branched" ->
+      Branched
+        { branch = str_field "branch" j; version = int_field "version" j }
+  | "checked_out" ->
+      Checked_out
+        { branch = str_field "branch" j; version = int_field "version" j }
+  | "merged" ->
+      Merged
+        {
+          branch = str_field "branch" j;
+          rows = int_field "rows" j;
+          version = int_field "version" j;
+        }
+  | "branches" ->
+      Branch_list
+        {
+          current = str_field "current" j;
+          branches =
+            (match J.member "branches" j with
+            | Some (J.Arr bs) ->
+                List.map
+                  (fun b -> (str_field "name" b, int_field "version" b))
+                  bs
+            | _ -> reject "missing field \"branches\"");
         }
   | "stats" ->
       Stats_report

@@ -23,8 +23,9 @@ open Relational
     Section 5 starting mapping, or a synthetic chain/star instance
     ({!Synth.Gen_graph}) with an identity mapping rooted at its first
     relation.  Specs are value-comparable: two sessions opened from equal
-    specs share one resolved database (see {!Scenario}). *)
-type scenario =
+    specs share one resolved database (see {!Scenario}).  Re-exported from
+    {!Version.Scenario} (the version store embeds specs in snapshots). *)
+type scenario = Version.Scenario.t =
   | Paper
   | Chain of { n : int; rows : int; seed : int }
   | Star of { leaves : int; rows : int; seed : int }
@@ -56,6 +57,22 @@ type request =
       (** The example-edit: insert tuples into a base relation and evolve
           every workspace illustration ({!Clio.Workspace.add_tuples}). *)
   | Rank
+  | Branch of { name : string }
+      (** fork a new branch off the session's current branch at its head
+          and switch the session to it (like [git checkout -b]) *)
+  | Checkout of { name : string }
+      (** point the session at an existing branch of its store *)
+  | Merge of { from_ : string }
+      (** fold branch [from_]'s example-tuple inserts into the session's
+          current branch ({!Version.Store.merge}) *)
+  | Diff of { other : string }
+      (** compare the session's branch against [other]; replied to with a
+          [Stats_report] of [diff.*] keys ({!Version.Store.diff}) *)
+  | Branches  (** list the store's branches and the session's current one *)
+  | Open_branch of { of_session : string; branch : string }
+      (** server-level verb: open a {e new} session sharing [of_session]'s
+          version store, positioned on [branch] — how two clients
+          collaborate on one scenario with per-branch isolation *)
   | Stats
   | Metrics_prom
       (** one-shot Prometheus text-exposition scrape of the server's
@@ -99,6 +116,12 @@ type result =
   | Evaluated of eval_info
   | Entries of entry_info list
   | Inserted of { fresh : bool; version : int }
+  | Branched of { branch : string; version : int }
+  | Checked_out of { branch : string; version : int }
+  | Merged of { branch : string; rows : int; version : int }
+      (** [rows]: genuinely new tuples folded in (0 = nothing to merge) *)
+  | Branch_list of { current : string; branches : (string * int) list }
+      (** [(name, database version)] per branch, creation order *)
   | Stats_report of (string * float) list
   | Prom_text of string
       (** Prometheus text exposition document ({!Obs.Prom_export}) *)

@@ -1,3 +1,5 @@
+module J = Obs.Json
+
 type metrics = {
   per_op : (string, int) Hashtbl.t;
   (* accumulated per-request cache.* counter deltas (hits, misses,
@@ -22,7 +24,8 @@ type session = {
   sid : string;
   scenario : Protocol.scenario;
   opened_at : float;
-  mutable ws : Clio.Workspace.t;
+  store : Version.Store.t;
+  mutable branch : string;
   metrics : metrics;
 }
 
@@ -62,7 +65,12 @@ let create ?(algorithm = Clio.Eval_ctx.Indexed) ?jobs ?(no_cache = false)
 let cache t = t.cache
 let jobs t = t.jobs
 
-let open_session t spec =
+(* The workspace factory every session's version store resolves scenarios
+   through: all contexts share the registry's one cache, jobs setting and
+   algorithm, so sessions (and branches, and changelog replays) key their
+   memo entries into the same cache.  Deterministic per spec — resolution
+   itself is memoized in [Scenario]. *)
+let resolver t spec =
   let db, kb, mapping = Scenario.resolve spec in
   let ctx =
     match t.cache with
@@ -72,33 +80,59 @@ let open_session t spec =
         Clio.Eval_ctx.create ~algorithm:t.algorithm ~no_cache:true ~jobs:t.jobs
           ~kb db
   in
-  let ws = Clio.Workspace.create ctx mapping in
+  Clio.Workspace.create ctx mapping
+
+let ws s = Version.Store.checkout s.store s.branch
+
+let fresh_metrics () =
+  {
+    per_op = Hashtbl.create 8;
+    cache_deltas = Hashtbl.create 8;
+    requests = 0;
+    errors = 0;
+    latencies_us = [];
+    latency_retained = 0;
+    latency_max = 0.;
+    latency_sum = 0.;
+  }
+
+let fresh_sid t =
   let sid = Printf.sprintf "s%d" t.next_sid in
   t.next_sid <- t.next_sid + 1;
-  t.opened_total <- t.opened_total + 1;
+  sid
+
+let add_session t ~scenario ~store ~branch =
   let session =
     {
-      sid;
-      scenario = spec;
+      sid = fresh_sid t;
+      scenario;
       opened_at = Unix.gettimeofday ();
-      ws;
-      metrics =
-        {
-          per_op = Hashtbl.create 8;
-          cache_deltas = Hashtbl.create 8;
-          requests = 0;
-          errors = 0;
-          latencies_us = [];
-          latency_retained = 0;
-          latency_max = 0.;
-          latency_sum = 0.;
-        };
+      store;
+      branch;
+      metrics = fresh_metrics ();
     }
   in
-  Hashtbl.replace t.sessions sid session;
+  t.opened_total <- t.opened_total + 1;
+  Hashtbl.replace t.sessions session.sid session;
   session
 
+let open_session t spec =
+  let store = Version.Store.create ~resolve:(resolver t) spec in
+  add_session t ~scenario:spec ~store ~branch:Version.Store.main
+
 let find t sid = Hashtbl.find_opt t.sessions sid
+
+(* A new session over an existing session's store, positioned on one of
+   its branches — two clients refining one scenario, isolated per branch.
+   The store (and through it the commit DAG) is shared by reference. *)
+let open_branch t ~of_session ~branch =
+  match find t of_session with
+  | None -> None
+  | Some base ->
+      if not (Version.Store.has_branch base.store branch) then
+        invalid_arg (Printf.sprintf "unknown branch %S" branch)
+      else
+        Some (add_session t ~scenario:base.scenario ~store:base.store ~branch)
 
 let close_session t sid =
   if Hashtbl.mem t.sessions sid then begin
@@ -168,6 +202,7 @@ let session_stats s =
       m.cache_deltas []
     |> List.sort compare
   in
+  let ws = ws s in
   [
     ("session.requests", float_of_int m.requests);
     ("session.errors", float_of_int m.errors);
@@ -177,13 +212,18 @@ let session_stats s =
     ("session.latency_us.p99", percentile sorted 99.);
     ("session.latency_us.max", m.latency_max);
     ( "session.db_version",
-      float_of_int (Clio.Eval_ctx.version (Clio.Workspace.ctx s.ws)) );
-    ( "session.entries",
-      float_of_int (List.length (Clio.Workspace.entries s.ws)) );
+      float_of_int (Clio.Eval_ctx.version (Clio.Workspace.ctx ws)) );
+    ("session.entries", float_of_int (List.length (Clio.Workspace.entries ws)));
+    ( "session.branches",
+      float_of_int (List.length (Version.Store.branch_names s.store)) );
   ]
   @ ops @ cache
 
 let server_stats t =
+  (* Refresh the value-pool gauges at scrape time: the pool is
+     process-global and never evicts, so these readings are the leak
+     detector for long-lived servers (docs/data-plane.md). *)
+  Relational.Value_pool.observe ();
   [
     ("server.sessions.open", float_of_int (session_count t));
     ("server.sessions.opened_total", float_of_int t.opened_total);
@@ -192,6 +232,10 @@ let server_stats t =
     ("server.overloads_total", float_of_int t.overloads_total);
     ("server.uptime_s", Unix.gettimeofday () -. t.started_at);
     ("server.jobs", float_of_int t.jobs);
+    ( "server.value_pool.count",
+      float_of_int (Relational.Value_pool.count ()) );
+    ( "server.value_pool.bytes",
+      float_of_int (Relational.Value_pool.footprint_bytes ()) );
   ]
   @
   match t.cache with
@@ -247,3 +291,127 @@ let prom_gauges t =
                 })
               (session_stats s))
       (session_ids t)
+
+(* --- persistence: one directory per store, plus a session manifest ---- *)
+
+let registry_file dir = Filename.concat dir "registry.json"
+let registry_format = 1
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Persist every open session: each distinct store (sessions opened via
+   [open_branch] share one) saves under its own subdirectory, and the
+   manifest records which store and branch each sid points at.  Written on
+   graceful shutdown; [restore] makes the next boot resume warm. *)
+let persist t ~dir =
+  mkdir_p dir;
+  let stores = ref [] in
+  let store_name store =
+    match List.find_opt (fun (_, s) -> s == store) !stores with
+    | Some (name, _) -> name
+    | None ->
+        let name = Printf.sprintf "store-%d" (List.length !stores + 1) in
+        stores := !stores @ [ (name, store) ];
+        name
+  in
+  let sessions =
+    List.filter_map (find t) (session_ids t)
+    |> List.map (fun s ->
+           J.Obj
+             [
+               ("sid", J.Str s.sid);
+               ("branch", J.Str s.branch);
+               ("store", J.Str (store_name s.store));
+             ])
+  in
+  List.iter
+    (fun (name, store) ->
+      Version.Store.save store ~dir:(Filename.concat dir name))
+    !stores;
+  write_file (registry_file dir)
+    (J.to_string
+       (J.Obj
+          [
+            ("format", J.Num (float_of_int registry_format));
+            ("next_sid", J.Num (float_of_int t.next_sid));
+            ("sessions", J.Arr sessions);
+          ]))
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+(* Rebuild the sessions recorded by [persist]: load each store once
+   (changelog replay re-warms the shared cache as a side effect) and
+   re-point the recorded sids at the recovered branches.  Session metrics
+   restart at zero — they describe this process's requests.  Returns the
+   number of sessions restored. *)
+let restore t ~dir =
+  let j =
+    match J.parse (read_file (registry_file dir)) with
+    | Ok j -> j
+    | Error msg -> fail "Registry.restore: unreadable manifest: %s" msg
+  in
+  (match J.member "format" j with
+  | Some (J.Num f) when int_of_float f = registry_format -> ()
+  | _ -> fail "Registry.restore: unsupported manifest format");
+  let next_sid =
+    match J.member "next_sid" j with
+    | Some (J.Num f) when Float.is_integer f -> int_of_float f
+    | _ -> fail "Registry.restore: missing next_sid"
+  in
+  let loaded = Hashtbl.create 4 in
+  let store_of name =
+    match Hashtbl.find_opt loaded name with
+    | Some store -> store
+    | None ->
+        let store =
+          Version.Store.load ~resolve:(resolver t)
+            ~dir:(Filename.concat dir name) ()
+        in
+        Hashtbl.replace loaded name store;
+        store
+  in
+  let restored = ref 0 in
+  (match J.member "sessions" j with
+  | Some (J.Arr sessions) ->
+      List.iter
+        (fun s ->
+          match (J.member "sid" s, J.member "branch" s, J.member "store" s) with
+          | Some (J.Str sid), Some (J.Str branch), Some (J.Str store_name) ->
+              let store = store_of store_name in
+              if not (Version.Store.has_branch store branch) then
+                fail "Registry.restore: session %s names unknown branch %S" sid
+                  branch;
+              let session =
+                {
+                  sid;
+                  scenario = Version.Store.spec store;
+                  opened_at = Unix.gettimeofday ();
+                  store;
+                  branch;
+                  metrics = fresh_metrics ();
+                }
+              in
+              Hashtbl.replace t.sessions sid session;
+              t.opened_total <- t.opened_total + 1;
+              incr restored
+          | _ -> fail "Registry.restore: malformed session entry")
+        sessions
+  | _ -> fail "Registry.restore: missing sessions");
+  t.next_sid <- max t.next_sid next_sid;
+  !restored

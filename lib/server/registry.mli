@@ -1,16 +1,20 @@
 (** The session registry: many isolated refinement sessions over one
     shared evaluation substrate.
 
-    Each session owns a {!Clio.Workspace.t} — and through it an
-    {!Engine.Eval_ctx} holding a private versioned {!Relational.Database}
-    view — while every context is built over the registry's single
+    Each session points at one branch of a {!Version.Store.t} — the
+    branching version DAG of database + workspace + mapping state — while
+    every workspace the store resolves is built over the registry's single
     {!Engine.Eval_cache} and jobs setting, so sessions opened from the
     same scenario share memoized F(J)/D(G) results (version keys make the
     sharing safe: a session that edits its database forks to fresh
-    versions and simply stops hitting the common entries).
+    versions and simply stops hitting the common entries).  Sessions
+    opened via {!open_branch} share one store by reference: that is how
+    two clients collaborate on one scenario with per-branch isolation.
 
     Per-session counters and operation latencies are recorded here and
-    surfaced by the [stats] verb as [session.*] metrics. *)
+    surfaced by the [stats] verb as [session.*] metrics.  The whole
+    registry persists ({!persist}/{!restore}) so a restarted server
+    resumes its sessions warm. *)
 
 (** Per-session metric accumulators (opaque; read via {!session_stats}). *)
 type metrics
@@ -19,7 +23,8 @@ type session = {
   sid : string;
   scenario : Protocol.scenario;
   opened_at : float;
-  mutable ws : Clio.Workspace.t;
+  store : Version.Store.t;
+  mutable branch : string;  (** which branch of [store] this session is on *)
   metrics : metrics;
 }
 
@@ -36,10 +41,19 @@ val create :
 val cache : t -> Engine.Eval_cache.t option
 val jobs : t -> int
 
+(** The session's current workspace: its store's state at its branch. *)
+val ws : session -> Clio.Workspace.t
+
 (** Raises [Invalid_argument] on an invalid scenario spec. *)
 val open_session : t -> Protocol.scenario -> session
 
 val find : t -> string -> session option
+
+(** [open_branch t ~of_session ~branch] — a {e new} session sharing
+    [of_session]'s version store, positioned on [branch].  [None] when
+    [of_session] is unknown; raises [Invalid_argument] when the branch
+    does not exist. *)
+val open_branch : t -> of_session:string -> branch:string -> session option
 
 (** [true] when the session existed. *)
 val close_session : t -> string -> bool
@@ -70,13 +84,14 @@ val record_op :
 
 (** The [session.*] metrics of one session: request/error totals, per-verb
     counts, latency mean/max and nearest-rank p50/p99 (µs), database
-    version, workspace entry count, and accumulated [session.cache.*]
-    deltas. *)
+    version, workspace entry count, branch count of its store, and
+    accumulated [session.cache.*] deltas. *)
 val session_stats : session -> (string * float) list
 
 (** The [server.*] metrics: sessions open/opened, requests, errors,
-    overload rejections, uptime, and the shared cache's entry count and
-    resident bytes. *)
+    overload rejections, uptime, the shared cache's entry count and
+    resident bytes, and the value-pool retention gauges
+    ([server.value_pool.count]/[.bytes] — refreshed at scrape time). *)
 val server_stats : t -> (string * float) list
 
 (** Every open session's {!session_stats} flattened under
@@ -87,3 +102,17 @@ val sessions_rollup : t -> (string * float) list
 (** {!server_stats} as unlabeled gauges plus each session's metrics as
     [session]-labeled gauges, for the Prometheus exposition. *)
 val prom_gauges : t -> Obs.Prom_export.gauge list
+
+(** {2 Persistence} — how [clio_serve --store-dir] survives restarts. *)
+
+(** [persist t ~dir] — save every open session: each distinct store under
+    its own [dir/store-N] subdirectory ({!Version.Store.save}) plus a
+    [dir/registry.json] manifest mapping sids to (store, branch). *)
+val persist : t -> dir:string -> unit
+
+(** [restore t ~dir] — rebuild the sessions recorded by {!persist} by
+    replaying each store's changelog (re-warming the shared cache as a
+    side effect) and re-pointing the recorded sids at the recovered
+    branches.  Session metrics restart at zero.  Returns the number of
+    sessions restored; raises [Failure] on malformed or divergent state. *)
+val restore : t -> dir:string -> int

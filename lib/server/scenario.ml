@@ -1,68 +1,6 @@
-open Relational
-module Qgraph = Querygraph.Qgraph
-
-let validate = function
-  | Protocol.Paper -> Ok ()
-  | Protocol.Chain { n; rows; seed = _ } ->
-      if n < 2 || n > 8 then Error "chain: n must be in 2..8"
-      else if rows < 1 || rows > 200_000 then
-        Error "chain: rows must be in 1..200000"
-      else Ok ()
-  | Protocol.Star { leaves; rows; seed = _ } ->
-      if leaves < 1 || leaves > 8 then Error "star: leaves must be in 1..8"
-      else if rows < 1 || rows > 200_000 then
-        Error "star: rows must be in 1..200000"
-      else Ok ()
-
-(* The initial mapping is deliberately small — one node, one identity
-   correspondence — so a session starts where the paper's Section 5
-   refinement loop starts: offer walks, inspect, confirm. *)
-let rooted_mapping ~root =
-  Clio.Mapping.make
-    ~graph:(Qgraph.singleton ~alias:root ~base:root)
-    ~target:"Out" ~target_cols:[ "c" ]
-    ~correspondences:[ Clio.Correspondence.identity "c" (Attr.make root "id") ]
-    ()
-
-let resolve_fresh spec =
-  (match validate spec with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Scenario.resolve: " ^ msg));
-  match spec with
-  | Protocol.Paper ->
-      ( Paperdata.Figure1.database,
-        Paperdata.Figure1.kb,
-        Paperdata.Running.mapping_g1 )
-  | Protocol.Chain { n; rows; seed } ->
-      let inst =
-        Synth.Gen_graph.chain
-          (Random.State.make [| seed |])
-          ~n ~rows ~null_prob:0.25 ~orphan_prob:0.2 ()
-      in
-      (inst.Synth.Gen_graph.db, inst.Synth.Gen_graph.kb, rooted_mapping ~root:"R1")
-  | Protocol.Star { leaves; rows; seed } ->
-      let inst =
-        Synth.Gen_graph.star
-          (Random.State.make [| seed |])
-          ~leaves ~rows ~null_prob:0.25 ~orphan_prob:0.2 ()
-      in
-      ( inst.Synth.Gen_graph.db,
-        inst.Synth.Gen_graph.kb,
-        rooted_mapping ~root:"Fact" )
-
-(* Memo keyed by the spec value itself (immutable variants compare
-   structurally).  The paper scenario is already a program-wide constant;
-   the memo extends the same sharing to synthetic specs, so a fleet of
-   sessions forking one scenario all key their cache entries to a single
-   database version. *)
-let memo : (Protocol.scenario, Database.t * Schemakb.Kb.t * Clio.Mapping.t) Hashtbl.t
-    =
-  Hashtbl.create 8
-
-let resolve spec =
-  match Hashtbl.find_opt memo spec with
-  | Some r -> r
-  | None ->
-      let r = resolve_fresh spec in
-      Hashtbl.add memo spec r;
-      r
+(* Moved to [Version.Scenario] (the version store embeds specs in its
+   snapshots; the offline CLI resolves them without linking the server).
+   This shim keeps the server-side name — and the process-wide resolve
+   memo is the version library's, so server sessions and store replays
+   share one resolved database per spec. *)
+include Version.Scenario

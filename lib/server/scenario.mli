@@ -1,28 +1,7 @@
-(** Resolving a {!Protocol.scenario} spec into the state a session starts
-    from: a database, its knowledge base, and the initial mapping the
-    workspace holds.
+(** Alias of {!Version.Scenario} — scenario specs and their memoized
+    resolution live in the version library so the store's snapshots and
+    the offline CLI share them; the server keeps this name for its own
+    call sites.  [Protocol.scenario] equals {!Version.Scenario.t} by a
+    type equation, so both names interchange freely. *)
 
-    Resolution is memoized per spec: every session opened from an equal
-    spec receives the {e same} {!Relational.Database.t} value — same
-    {!Relational.Database.version} — so their evaluations share entries in
-    the server's one {!Engine.Eval_cache} (cache keys are
-    [(version, graph)]; distinct versions never share).  A session that
-    then edits its database forks off a fresh version and stops sharing,
-    which is exactly the isolation the versioned store provides. *)
-
-open Relational
-
-(** [validate spec] — [Error msg] when the spec's sizes are outside the
-    supported envelope (chain [2 <= n <= 8], star [1 <= leaves <= 8],
-    [1 <= rows <= 200_000], any seed). *)
-val validate : Protocol.scenario -> (unit, string) Stdlib.result
-
-(** [resolve spec] — memoized; raises [Invalid_argument] on an invalid
-    spec (callers should {!validate} first). *)
-val resolve : Protocol.scenario -> Database.t * Schemakb.Kb.t * Clio.Mapping.t
-
-(** Like {!resolve} but never memoized: a private database value with a
-    fresh version, sharing nothing — what a direct single-session replay
-    (the load generator's verification arm) uses. *)
-val resolve_fresh :
-  Protocol.scenario -> Database.t * Schemakb.Kb.t * Clio.Mapping.t
+include module type of Version.Scenario with type t = Version.Scenario.t

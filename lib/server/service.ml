@@ -58,8 +58,10 @@ let entry_infos ?scores ws =
       })
     (Clio.Workspace.entries ws)
 
+let db_version ws = Database.version (Clio.Workspace.db ws)
+
 let evaluate session what limit =
-  let ws = session.Registry.ws in
+  let ws = Registry.ws session in
   let ctx = Clio.Workspace.ctx ws in
   let mapping = (Clio.Workspace.active ws).Clio.Workspace.mapping in
   let rel =
@@ -79,24 +81,8 @@ let evaluate session what limit =
       rows = rows_of rel limit;
     }
 
-let offer session ~start ~goal ~max_len =
-  let ws = session.Registry.ws in
-  let ctx = Clio.Workspace.ctx ws in
-  let mapping = (Clio.Workspace.active ws).Clio.Workspace.mapping in
-  let alts = Clio.Op_walk.data_walk ctx mapping ~start ~goal ~max_len () in
-  if alts = [] then
-    invalid_arg
-      (Printf.sprintf "no walks from %s to %s within %d steps" start goal
-         max_len)
-  else begin
-    let mappings = List.map (fun a -> a.Clio.Op_walk.mapping) alts in
-    let labels = List.map (fun a -> a.Clio.Op_walk.description) alts in
-    session.Registry.ws <- Clio.Workspace.offer ws ~labels mappings;
-    P.Entries (entry_infos session.Registry.ws)
-  end
-
 let rank session =
-  let ws = session.Registry.ws in
+  let ws = Registry.ws session in
   let kb = Clio.Workspace.kb ws in
   let old = (Clio.Workspace.active ws).Clio.Workspace.mapping.Clio.Mapping.graph in
   let scores = Hashtbl.create 8 in
@@ -108,35 +94,71 @@ let rank session =
     (Clio.Workspace.entries ws);
   P.Entries (entry_infos ~scores ws)
 
-(* Execute a session verb against [session], mutating [session.ws]. *)
+(* Every mutation runs as a commit on the session's current branch: the
+   op is applied and recorded in the store's DAG, which is what makes the
+   state branchable, mergeable and replayable after a restart.  When the
+   op raises (bad arguments), nothing is recorded. *)
+let commit session op =
+  Version.Store.commit session.Registry.store ~branch:session.Registry.branch
+    op
+
+(* Execute a session verb against [session]. *)
 let run_session_verb t session request =
-  let ws = session.Registry.ws in
   match request with
   | P.Close_session ->
       ignore (Registry.close_session t.registry session.Registry.sid);
       P.Closed
   | P.Evaluate { what; limit } -> evaluate session what limit
-  | P.Offer { start; goal; max_len } -> offer session ~start ~goal ~max_len
-  | P.Rotate ->
-      session.Registry.ws <- Clio.Workspace.rotate ws;
-      P.Entries (entry_infos session.Registry.ws)
+  | P.Offer { start; goal; max_len } ->
+      P.Entries
+        (entry_infos (commit session (Version.Op.Offer { start; goal; max_len })))
+  | P.Rotate -> P.Entries (entry_infos (commit session Version.Op.Rotate))
   | P.Select { entry } ->
-      session.Registry.ws <- Clio.Workspace.select ws entry;
-      P.Entries (entry_infos session.Registry.ws)
+      P.Entries (entry_infos (commit session (Version.Op.Select { entry })))
   | P.Delete { entry } ->
-      session.Registry.ws <- Clio.Workspace.delete ws entry;
-      P.Entries (entry_infos session.Registry.ws)
-  | P.Confirm ->
-      session.Registry.ws <- Clio.Workspace.confirm ws;
-      P.Entries (entry_infos session.Registry.ws)
+      P.Entries (entry_infos (commit session (Version.Op.Delete { entry })))
+  | P.Confirm -> P.Entries (entry_infos (commit session Version.Op.Confirm))
   | P.Insert { relation; rows } ->
-      let before = Database.version (Clio.Workspace.db ws) in
-      session.Registry.ws <- Clio.Workspace.add_tuples ws relation rows;
-      let after = Database.version (Clio.Workspace.db session.Registry.ws) in
+      let before = db_version (Registry.ws session) in
+      let ws = commit session (Version.Op.Insert { relation; rows }) in
+      let after = db_version ws in
       P.Inserted { fresh = after <> before; version = after }
   | P.Rank -> rank session
   | P.Stats -> P.Stats_report (Registry.session_stats session)
-  | P.Ping | P.Open_session _ | P.Metrics_prom | P.Shutdown ->
+  | P.Branch { name } ->
+      let ws =
+        Version.Store.branch session.Registry.store
+          ~from:session.Registry.branch name
+      in
+      session.Registry.branch <- name;
+      P.Branched { branch = name; version = db_version ws }
+  | P.Checkout { name } ->
+      let ws = Version.Store.checkout session.Registry.store name in
+      session.Registry.branch <- name;
+      P.Checked_out { branch = name; version = db_version ws }
+  | P.Merge { from_ } ->
+      let rows =
+        Version.Store.merge session.Registry.store
+          ~into:session.Registry.branch ~from:from_
+      in
+      P.Merged
+        {
+          branch = session.Registry.branch;
+          rows;
+          version = db_version (Registry.ws session);
+        }
+  | P.Diff { other } ->
+      P.Stats_report
+        (Version.Store.diff session.Registry.store ~a:session.Registry.branch
+           ~b:other)
+  | P.Branches ->
+      P.Branch_list
+        {
+          current = session.Registry.branch;
+          branches = Version.Store.branches session.Registry.store;
+        }
+  | P.Ping | P.Open_session _ | P.Open_branch _ | P.Metrics_prom | P.Shutdown
+    ->
       assert false (* handled before session dispatch *)
 
 let verb_name = function
@@ -151,9 +173,25 @@ let verb_name = function
   | P.Confirm -> "confirm"
   | P.Insert _ -> "insert"
   | P.Rank -> "rank"
+  | P.Branch _ -> "branch"
+  | P.Checkout _ -> "checkout"
+  | P.Merge _ -> "merge"
+  | P.Diff _ -> "diff"
+  | P.Branches -> "branches"
+  | P.Open_branch _ -> "open_branch"
   | P.Stats -> "stats"
   | P.Metrics_prom -> "metrics_prom"
   | P.Shutdown -> "shutdown"
+
+let opened_reply id (session : Registry.session) =
+  let db = Clio.Workspace.db (Registry.ws session) in
+  P.ok id
+    (P.Opened
+       {
+         session = session.Registry.sid;
+         relations = Database.relation_names db;
+         version = Database.version db;
+       })
 
 (* Execute the request, returning the reply and (for session verbs) the
    session it ran against, so the caller can attribute the request's
@@ -192,15 +230,19 @@ let dispatch t (env : P.envelope) =
         | Error msg -> (P.error (Some id) P.Bad_request msg, None)
         | Ok () ->
             let session = Registry.open_session t.registry spec in
-            let db = Clio.Workspace.db session.Registry.ws in
-            ( P.ok id
-                (P.Opened
-                   {
-                     session = session.Registry.sid;
-                     relations = Database.relation_names db;
-                     version = Database.version db;
-                   }),
+            (opened_reply id session, None)
+      end
+    | P.Open_branch { of_session; branch } -> begin
+        (* Server-level like [Open_session]: names its base session
+           explicitly rather than through the envelope. *)
+        match Registry.open_branch t.registry ~of_session ~branch with
+        | None ->
+            ( P.error (Some id) P.Unknown_session
+                (Printf.sprintf "no session %S" of_session),
               None )
+        | Some session -> (opened_reply id session, None)
+        | exception Invalid_argument msg ->
+            (P.error (Some id) P.Bad_request msg, None)
       end
     | request -> begin
         match env.session with

@@ -1,0 +1,163 @@
+open Relational
+module J = Obs.Json
+
+type t =
+  | Insert of { relation : string; rows : Value.t array list }
+  | Offer of { start : string; goal : string; max_len : int }
+  | Rotate
+  | Select of { entry : int }
+  | Delete of { entry : int }
+  | Confirm
+
+let name = function
+  | Insert _ -> "insert"
+  | Offer _ -> "offer"
+  | Rotate -> "rotate"
+  | Select _ -> "select"
+  | Delete _ -> "delete"
+  | Confirm -> "confirm"
+
+(* --- value <-> JSON ---
+
+   Integral numbers decode to [Int]; [Value.equal] treats numerically
+   equal [Int]/[Float] as equal, so the coercion is invisible to the
+   relational layer.  Non-finite floats would emit as [null] (Json's
+   rule) and are rejected on encode instead of silently becoming nulls.
+   Shared with [Server.Protocol], so a changelog row and a wire row are
+   the same bytes. *)
+
+let json_of_value = function
+  | Value.Null -> J.Null
+  | Value.Bool b -> J.Bool b
+  | Value.Int i -> J.Num (float_of_int i)
+  | Value.Float f ->
+      if Float.is_nan f || f = infinity || f = neg_infinity then
+        invalid_arg "Op: non-finite floats are not representable on the wire"
+      else J.Num f
+  | Value.String s -> J.Str s
+
+let value_of_json = function
+  | J.Null -> Ok Value.Null
+  | J.Bool b -> Ok (Value.Bool b)
+  | J.Num f ->
+      if Float.is_integer f && Float.abs f <= 1e15 then
+        Ok (Value.Int (int_of_float f))
+      else Ok (Value.Float f)
+  | J.Str s -> Ok (Value.String s)
+  | J.Arr _ | J.Obj _ -> Error "cell must be null, boolean, number or string"
+
+let json_of_rows rows =
+  J.Arr
+    (List.map
+       (fun row -> J.Arr (Array.to_list (Array.map json_of_value row)))
+       rows)
+
+let rows_of_json = function
+  | J.Arr rows ->
+      let ( let* ) = Result.bind in
+      List.fold_left
+        (fun acc row ->
+          let* acc = acc in
+          match row with
+          | J.Arr cells ->
+              let* cells =
+                List.fold_left
+                  (fun acc c ->
+                    let* acc = acc in
+                    let* v = value_of_json c in
+                    Ok (v :: acc))
+                  (Ok []) cells
+              in
+              Ok (Array.of_list (List.rev cells) :: acc)
+          | _ -> Error "each row must be an array of cells")
+        (Ok []) rows
+      |> Result.map List.rev
+  | _ -> Error "rows must be an array"
+
+let to_json = function
+  | Insert { relation; rows } ->
+      J.Obj
+        [
+          ("op", J.Str "insert");
+          ("relation", J.Str relation);
+          ("rows", json_of_rows rows);
+        ]
+  | Offer { start; goal; max_len } ->
+      J.Obj
+        [
+          ("op", J.Str "offer");
+          ("start", J.Str start);
+          ("goal", J.Str goal);
+          ("max_len", J.Num (float_of_int max_len));
+        ]
+  | Rotate -> J.Obj [ ("op", J.Str "rotate") ]
+  | Select { entry } ->
+      J.Obj [ ("op", J.Str "select"); ("entry", J.Num (float_of_int entry)) ]
+  | Delete { entry } ->
+      J.Obj [ ("op", J.Str "delete"); ("entry", J.Num (float_of_int entry)) ]
+  | Confirm -> J.Obj [ ("op", J.Str "confirm") ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let str name =
+    match J.member name j with
+    | Some (J.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "op: field %S must be a string" name)
+  in
+  let int name =
+    match J.member name j with
+    | Some (J.Num f) when Float.is_integer f && Float.abs f <= 1e15 ->
+        Ok (int_of_float f)
+    | _ -> Error (Printf.sprintf "op: field %S must be an integer" name)
+  in
+  let* op = str "op" in
+  match op with
+  | "insert" ->
+      let* relation = str "relation" in
+      let* rows =
+        match J.member "rows" j with
+        | Some rows -> rows_of_json rows
+        | None -> Error "op: missing field \"rows\""
+      in
+      Ok (Insert { relation; rows })
+  | "offer" ->
+      let* start = str "start" in
+      let* goal = str "goal" in
+      let* max_len = int "max_len" in
+      Ok (Offer { start; goal; max_len })
+  | "rotate" -> Ok Rotate
+  | "select" ->
+      let* entry = int "entry" in
+      Ok (Select { entry })
+  | "delete" ->
+      let* entry = int "entry" in
+      Ok (Delete { entry })
+  | "confirm" -> Ok Confirm
+  | op -> Error (Printf.sprintf "op: unknown op %S" op)
+
+(* Applying an op is the single definition of what a refinement step does
+   to a workspace — the server's session verbs, the offline CLI and the
+   changelog replay all route through here, which is what makes the
+   replayed state byte-identical to the live one.  Ops are deterministic:
+   [data_walk] enumerates alternatives in a canonical order and
+   [add_tuples] dedups structurally, so replaying the same op sequence on
+   the same root state always converges. *)
+let apply ws op =
+  match op with
+  | Insert { relation; rows } -> Clio.Workspace.add_tuples ws relation rows
+  | Offer { start; goal; max_len } ->
+      let ctx = Clio.Workspace.ctx ws in
+      let mapping = (Clio.Workspace.active ws).Clio.Workspace.mapping in
+      let alts = Clio.Op_walk.data_walk ctx mapping ~start ~goal ~max_len () in
+      if alts = [] then
+        invalid_arg
+          (Printf.sprintf "no walks from %s to %s within %d steps" start goal
+             max_len)
+      else
+        Clio.Workspace.offer ws
+          ~labels:(List.map (fun a -> a.Clio.Op_walk.description) alts)
+          (List.map (fun a -> a.Clio.Op_walk.mapping) alts)
+  | Rotate -> Clio.Workspace.rotate ws
+  | Select { entry } -> Clio.Workspace.select ws entry
+  | Delete { entry } -> Clio.Workspace.delete ws entry
+  | Confirm -> Clio.Workspace.confirm ws

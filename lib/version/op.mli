@@ -1,0 +1,41 @@
+(** The mutation vocabulary of a refinement session, reified.
+
+    Every state-changing step a session can take — example-tuple inserts
+    and the workspace verbs — is one [t].  The server's session verbs, the
+    offline [clio_cli store] commands and the version store's
+    changelog-replay all construct the next state through {!apply}, so
+    "what happened" has exactly one executable definition and a replayed
+    changelog reproduces the live state byte-for-byte.
+
+    Read-only operations (evaluate, rank, stats) are deliberately not ops:
+    they never appear in a changelog. *)
+
+open Relational
+
+type t =
+  | Insert of { relation : string; rows : Value.t array list }
+  | Offer of { start : string; goal : string; max_len : int }
+  | Rotate
+  | Select of { entry : int }
+  | Delete of { entry : int }
+  | Confirm
+
+val name : t -> string
+
+(** JSON codec, used for both the wire protocol's rows and the on-disk
+    changelog.  [json_of_value] raises [Invalid_argument] on non-finite
+    floats (JSON cannot carry them losslessly). *)
+val json_of_value : Value.t -> Obs.Json.t
+
+val value_of_json : Obs.Json.t -> (Value.t, string) Stdlib.result
+val json_of_rows : Value.t array list -> Obs.Json.t
+val rows_of_json : Obs.Json.t -> (Value.t array list, string) Stdlib.result
+val to_json : t -> Obs.Json.t
+val of_json : Obs.Json.t -> (t, string) Stdlib.result
+
+(** Apply one op.  Deterministic given the workspace state.  Raises
+    [Invalid_argument] (unknown relation, malformed tuples, no walks, last
+    entry) or [Not_found] (unknown entry id) exactly as the underlying
+    workspace operations do; on raise the input workspace is unchanged
+    (workspaces are immutable values). *)
+val apply : Clio.Workspace.t -> t -> Clio.Workspace.t

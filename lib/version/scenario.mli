@@ -1,0 +1,48 @@
+(** Scenario specs and their resolution into the state a session starts
+    from: a database, its knowledge base, and the initial mapping the
+    workspace holds.
+
+    The spec type lives here (rather than in the server's wire protocol)
+    so the offline CLI, the version store's snapshots and the server all
+    share one definition; [Server.Protocol] re-exports it with a type
+    equation.
+
+    Resolution is memoized per spec: every session opened from an equal
+    spec receives the {e same} {!Relational.Database.t} value — same
+    {!Relational.Database.version} — so their evaluations share entries in
+    the server's one {!Engine.Eval_cache} (cache keys are
+    [(version, graph)]; distinct versions never share).  A session that
+    then edits its database forks off a fresh version and stops sharing,
+    which is exactly the isolation the versioned store provides. *)
+
+open Relational
+
+type t =
+  | Paper
+  | Chain of { n : int; rows : int; seed : int }
+  | Star of { leaves : int; rows : int; seed : int }
+
+val to_string : t -> string
+
+(** [validate spec] — [Error msg] when the spec's sizes are outside the
+    supported envelope (chain [2 <= n <= 8], star [1 <= leaves <= 8],
+    [1 <= rows <= 200_000], any seed). *)
+val validate : t -> (unit, string) Stdlib.result
+
+(** JSON image, used by the wire protocol and the on-disk snapshot format
+    alike.  [of_json] accepts what [to_json] emits (seed defaults to 0). *)
+val to_json : t -> Obs.Json.t
+
+val of_json : Obs.Json.t -> (t, string) Stdlib.result
+
+(** The one-node identity mapping a synthetic session starts from. *)
+val rooted_mapping : root:string -> Clio.Mapping.t
+
+(** [resolve spec] — memoized; raises [Invalid_argument] on an invalid
+    spec (callers should {!validate} first). *)
+val resolve : t -> Database.t * Schemakb.Kb.t * Clio.Mapping.t
+
+(** Like {!resolve} but never memoized: a private database value with a
+    fresh version, sharing nothing — what a direct single-session replay
+    (the load generator's verification arm) uses. *)
+val resolve_fresh : t -> Database.t * Schemakb.Kb.t * Clio.Mapping.t

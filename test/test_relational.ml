@@ -588,16 +588,16 @@ let test_history_bounded () =
     List.fold_left
       (fun db i -> Database.insert_tuples db "R" [ Tuple.make [ v_int (100 + i); v_int i ] ])
       delta_db
-      (List.init (Database.history_limit () + 8) Fun.id)
+      (List.init (Database.history_limit delta_db + 8) Fun.id)
   in
-  Alcotest.(check int) "window bounded" (Database.history_limit ())
+  Alcotest.(check int) "window bounded" (Database.history_limit db)
     (List.length (Database.history db));
   (* Beyond the window the ancestor is unreachable. *)
   Alcotest.(check bool) "pre-window ancestor unreachable" true
     (Database.deltas_from db (Database.version delta_db) = None)
 
 let test_history_limit_setting () =
-  let saved = Database.history_limit () in
+  let saved = Database.process_history_limit () in
   Fun.protect
     ~finally:(fun () -> Database.set_history_limit saved)
     (fun () ->
@@ -613,6 +613,64 @@ let test_history_limit_setting () =
       Alcotest.check_raises "limit must be positive"
         (Invalid_argument "Database.set_history_limit: limit must be >= 1")
         (fun () -> Database.set_history_limit 0))
+
+(* Two databases with different pinned limits truncate independently:
+   neither the process default nor the other database's limit leaks. *)
+let test_history_limit_per_database () =
+  let grow db n base =
+    List.fold_left
+      (fun db i ->
+        Database.insert_tuples db "R" [ Tuple.make [ v_int (base + i); v_int i ] ])
+      db
+      (List.init n Fun.id)
+  in
+  let narrow = grow (Database.with_history_limit delta_db 3) 12 300 in
+  let wide = grow (Database.with_history_limit delta_db 9) 12 400 in
+  Alcotest.(check int) "narrow db keeps 3" 3 (List.length (Database.history narrow));
+  Alcotest.(check int) "wide db keeps 9" 9 (List.length (Database.history wide));
+  (* The process default is untouched by pinned databases... *)
+  let default = grow delta_db 5 500 in
+  Alcotest.(check int) "default db reads the process default"
+    (Database.process_history_limit ())
+    (Database.history_limit default);
+  (* ...and changing it does not move a pinned database's window. *)
+  let saved = Database.process_history_limit () in
+  Fun.protect
+    ~finally:(fun () -> Database.set_history_limit saved)
+    (fun () ->
+      Database.set_history_limit 2;
+      let narrow2 = grow narrow 4 600 in
+      Alcotest.(check int) "pinned limit survives the global setter" 3
+        (List.length (Database.history narrow2)));
+  Alcotest.check_raises "pinned limit must be positive"
+    (Invalid_argument "Database.with_history_limit: limit must be >= 1")
+    (fun () -> ignore (Database.with_history_limit delta_db 0))
+
+(* Dropping a step off the bounded window must bump the eviction counter
+   — the signal that promotion will degrade to from-scratch recompute. *)
+let test_history_eviction_counted () =
+  let was_enabled = Obs.enabled () in
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () -> if not was_enabled then Obs.disable ())
+    (fun () ->
+      let evicted () = Obs.Counter.value Obs.Names.delta_history_evicted in
+      let db = Database.with_history_limit delta_db 3 in
+      let db, _ =
+        List.fold_left
+          (fun (db, i) () ->
+            (Database.insert_tuples db "R" [ Tuple.make [ v_int (700 + i); v_int i ] ],
+             i + 1))
+          (db, 0)
+          (List.init 3 (fun _ -> ()))
+      in
+      let before = evicted () in
+      let db' =
+        Database.insert_tuples db "R" [ Tuple.make [ v_int 799; v_int 99 ] ]
+      in
+      Alcotest.(check int) "overflow recorded" (before + 1) (evicted ());
+      Alcotest.(check int) "window still bounded" 3
+        (List.length (Database.history db')))
 
 (* --- CSV --- *)
 
@@ -753,6 +811,8 @@ let () =
           tc "deltas_from" `Quick test_deltas_from;
           tc "history bounded" `Quick test_history_bounded;
           tc "history limit setting" `Quick test_history_limit_setting;
+          tc "history limit per database" `Quick test_history_limit_per_database;
+          tc "history eviction counted" `Quick test_history_eviction_counted;
         ] );
       ( "csv",
         [

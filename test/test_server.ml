@@ -41,7 +41,13 @@ let all_requests : P.envelope list =
     e ~session:"s1" 14 P.Rank;
     e ~session:"s2" 15 P.Stats;
     e 16 P.Stats;
-    e 17 P.Shutdown;
+    e ~session:"s1" 17 (P.Branch { name = "exp-1" });
+    e ~session:"s1" 18 (P.Checkout { name = "main" });
+    e ~session:"s1" 19 (P.Merge { from_ = "exp-1" });
+    e ~session:"s1" 20 (P.Diff { other = "exp-1" });
+    e ~session:"s1" 21 P.Branches;
+    e 22 (P.Open_branch { of_session = "s1"; branch = "exp-1" });
+    e 23 P.Shutdown;
   ]
 
 let all_responses : P.response list =
@@ -83,6 +89,12 @@ let all_responses : P.response list =
     P.ok 6 (P.Inserted { fresh = true; version = 44 });
     P.ok 7 (P.Stats_report [ ("server.requests_total", 12.); ("x.y", 0.5) ]);
     P.ok 8 P.Bye;
+    P.ok 9 (P.Branched { branch = "exp-1"; version = 7 });
+    P.ok 10 (P.Checked_out { branch = "main"; version = 3 });
+    P.ok 11 (P.Merged { branch = "main"; rows = 2; version = 9 });
+    P.ok 12
+      (P.Branch_list
+         { current = "exp-1"; branches = [ ("main", 3); ("exp-1", 7) ] });
     P.error (Some 9) P.Parse_error "bad frame";
     P.error None P.Bad_request "no op";
     P.error (Some 11) P.Unknown_session "no session \"s9\"";
@@ -312,6 +324,187 @@ let test_service_isolation_and_sharing () =
   Alcotest.(check string) "s1 unaffected by s2's insert" d1 (digest s1);
   Alcotest.(check bool) "s2 sees its own insert" true (digest s2 <> d1)
 
+let chain_row k tag =
+  [ [| V.Int (1_000_000 + k); V.String tag; V.Int k |] ]
+
+let test_service_branching_flow () =
+  with_service @@ fun service ->
+  let next = ref 0 in
+  let call ?session request =
+    incr next;
+    Service.handle service { P.id = !next; session; request; trace_id = None }
+  in
+  let sid =
+    match
+      ok_result "open" (call (P.Open_session (P.Chain { n = 3; rows = 50; seed = 3 })))
+    with
+    | P.Opened { session; _ } -> session
+    | _ -> Alcotest.fail "expected Opened"
+  in
+  let digest () =
+    match
+      ok_result "evaluate" (call ~session:sid (P.Evaluate { what = P.Dg; limit = None }))
+    with
+    | P.Evaluated info -> info.P.digest
+    | _ -> Alcotest.fail "expected Evaluated"
+  in
+  (match ok_result "branches" (call ~session:sid P.Branches) with
+  | P.Branch_list { current = "main"; branches = [ ("main", _) ] } -> ()
+  | _ -> Alcotest.fail "a fresh session lives on main alone");
+  let trunk = digest () in
+  (match ok_result "branch" (call ~session:sid (P.Branch { name = "exp" })) with
+  | P.Branched { branch = "exp"; _ } -> ()
+  | _ -> Alcotest.fail "expected Branched");
+  (* The branch verb switches the session onto the fork; a commit there
+     must not move the trunk. *)
+  (match
+     ok_result "insert"
+       (call ~session:sid (P.Insert { relation = "R1"; rows = chain_row 1 "x" }))
+   with
+  | P.Inserted { fresh = true; _ } -> ()
+  | _ -> Alcotest.fail "expected a fresh Inserted");
+  let forked = digest () in
+  Alcotest.(check bool) "the fork diverged" true (forked <> trunk);
+  (match ok_result "checkout" (call ~session:sid (P.Checkout { name = "main" })) with
+  | P.Checked_out { branch = "main"; _ } -> ()
+  | _ -> Alcotest.fail "expected Checked_out");
+  Alcotest.(check string) "trunk unmoved by the fork's insert" trunk (digest ());
+  (match ok_result "diff" (call ~session:sid (P.Diff { other = "exp" })) with
+  | P.Stats_report kvs ->
+      Alcotest.(check bool) "diff is stats-shaped" true
+        (List.mem_assoc "diff.lca_cid" kvs)
+  | _ -> Alcotest.fail "expected Stats_report");
+  (match ok_result "merge" (call ~session:sid (P.Merge { from_ = "exp" })) with
+  | P.Merged { branch = "main"; rows = 1; _ } -> ()
+  | _ -> Alcotest.fail "merge should fold the fork's one insert");
+  Alcotest.(check string) "merged trunk evaluates like the fork" forked (digest ());
+  (* Store-level invariants surface as Bad_request, session intact. *)
+  (match call ~session:sid (P.Branch { name = "exp" }) with
+  | { P.result = Error (P.Bad_request, _); _ } -> ()
+  | _ -> Alcotest.fail "duplicate branch name should be Bad_request");
+  (match call ~session:sid (P.Checkout { name = "nope" }) with
+  | { P.result = Error (P.Bad_request, _); _ } -> ()
+  | _ -> Alcotest.fail "unknown branch should be Bad_request");
+  (* Open_branch: a second session on the same store, parked on the fork;
+     it sees the fork's state and its commits land in the shared store. *)
+  let sid2 =
+    match
+      ok_result "open_branch"
+        (call (P.Open_branch { of_session = sid; branch = "exp" }))
+    with
+    | P.Opened { session; _ } -> session
+    | _ -> Alcotest.fail "expected Opened"
+  in
+  Alcotest.(check bool) "distinct session ids" true (sid2 <> sid);
+  (match
+     ok_result "evaluate" (call ~session:sid2 (P.Evaluate { what = P.Dg; limit = None }))
+   with
+  | P.Evaluated info ->
+      Alcotest.(check string) "the new session sees the fork" forked info.P.digest
+  | _ -> Alcotest.fail "expected Evaluated");
+  (match
+     ok_result "insert"
+       (call ~session:sid2 (P.Insert { relation = "R1"; rows = chain_row 2 "y" }))
+   with
+  | P.Inserted _ -> ()
+  | _ -> Alcotest.fail "expected Inserted");
+  (match ok_result "checkout exp" (call ~session:sid (P.Checkout { name = "exp" })) with
+  | P.Checked_out _ -> ()
+  | _ -> Alcotest.fail "expected Checked_out");
+  (match
+     ok_result "evaluate" (call ~session:sid2 (P.Evaluate { what = P.Dg; limit = None }))
+   with
+  | P.Evaluated info ->
+      Alcotest.(check string) "one store: both sessions see the commit"
+        (digest ()) info.P.digest
+  | _ -> Alcotest.fail "expected Evaluated");
+  (match call (P.Open_branch { of_session = "s999"; branch = "main" }) with
+  | { P.result = Error (P.Unknown_session, _); _ } -> ()
+  | _ -> Alcotest.fail "open_branch of an unknown session");
+  match call (P.Open_branch { of_session = sid; branch = "nope" }) with
+  | { P.result = Error (P.Bad_request, _); _ } -> ()
+  | _ -> Alcotest.fail "open_branch of an unknown branch"
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    try Unix.rmdir path with Unix.Unix_error _ -> ()
+  end
+  else try Sys.remove path with Sys_error _ -> ()
+
+let test_registry_persist_restore () =
+  let dir = Filename.temp_file "clio_test_registry" "" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+  @@ fun () ->
+  let registry = Registry.create ~jobs:1 () in
+  let service = Service.create registry in
+  let next = ref 0 in
+  let call svc ?session request =
+    incr next;
+    Service.handle svc { P.id = !next; session; request; trace_id = None }
+  in
+  let sid =
+    match
+      ok_result "open"
+        (call service (P.Open_session (P.Chain { n = 3; rows = 50; seed = 5 })))
+    with
+    | P.Opened { session; _ } -> session
+    | _ -> Alcotest.fail "expected Opened"
+  in
+  ignore (ok_result "branch" (call service ~session:sid (P.Branch { name = "exp" })));
+  ignore
+    (ok_result "insert"
+       (call service ~session:sid (P.Insert { relation = "R1"; rows = chain_row 7 "z" })));
+  let sid2 =
+    match
+      ok_result "open_branch"
+        (call service (P.Open_branch { of_session = sid; branch = "main" }))
+    with
+    | P.Opened { session; _ } -> session
+    | _ -> Alcotest.fail "expected Opened"
+  in
+  let digest svc sid =
+    match
+      ok_result "evaluate"
+        (call svc ~session:sid (P.Evaluate { what = P.Dg; limit = None }))
+    with
+    | P.Evaluated info -> info.P.digest
+    | _ -> Alcotest.fail "expected Evaluated"
+  in
+  let d1 = digest service sid and d2 = digest service sid2 in
+  Alcotest.(check bool) "the two sessions sit on different branches" true (d1 <> d2);
+  Registry.persist registry ~dir;
+  (* A cold process: fresh registry, same directory — same sessions, same
+     branch positions, same bytes. *)
+  let registry' = Registry.create ~jobs:1 () in
+  Alcotest.(check int) "both sessions restored" 2 (Registry.restore registry' ~dir);
+  let service' = Service.create registry' in
+  Alcotest.(check string) "fork session survives the restart" d1
+    (digest service' sid);
+  Alcotest.(check string) "trunk session survives the restart" d2
+    (digest service' sid2);
+  (match
+     ok_result "branches" (call service' ~session:sid P.Branches)
+   with
+  | P.Branch_list { current = "exp"; branches } ->
+      Alcotest.(check (list string)) "branch list survives" [ "main"; "exp" ]
+        (List.map fst branches)
+  | _ -> Alcotest.fail "expected Branch_list on exp");
+  (* The restored store is shared again: both restored sessions observe a
+     post-restart merge. *)
+  (match ok_result "merge" (call service' ~session:sid2 (P.Merge { from_ = "exp" })) with
+  | P.Merged { rows = 1; _ } -> ()
+  | _ -> Alcotest.fail "merge after restart should fold the insert");
+  Alcotest.(check string) "post-restart merge visible across sessions" d1
+    (digest service' sid2);
+  (* And new sessions never collide with restored ids. *)
+  match ok_result "open" (call service' (P.Open_session P.Paper)) with
+  | P.Opened { session; _ } ->
+      Alcotest.(check bool) "fresh sid distinct" true
+        (session <> sid && session <> sid2)
+  | _ -> Alcotest.fail "expected Opened"
+
 let test_service_draining () =
   with_service @@ fun service ->
   let resp = Service.handle service { P.id = 1; session = None; request = P.Shutdown; trace_id = None } in
@@ -328,7 +521,7 @@ let test_service_draining () =
 let test_loadgen_inprocess_verified () =
   with_service @@ fun service ->
   let spec =
-    { Loadgen.scenario = P.Paper; clients = 4; ops = 12; limit = None }
+    { Loadgen.scenario = P.Paper; clients = 4; ops = 12; limit = None; keep_open = false }
   in
   let o = Loadgen.run_inprocess ~verify:true service spec in
   Alcotest.(check int) "no protocol errors" 0 o.Loadgen.errors;
@@ -482,7 +675,7 @@ let test_service_metrics_prom =
   let registry = Registry.create ~jobs:1 () in
   let service = Service.create registry in
   let spec =
-    { Loadgen.scenario = P.Paper; clients = 2; ops = 6; limit = None }
+    { Loadgen.scenario = P.Paper; clients = 2; ops = 6; limit = None; keep_open = false }
   in
   let o = Loadgen.run_inprocess ~verify:false service spec in
   Alcotest.(check int) "loadgen clean" 0 o.Loadgen.errors;
@@ -707,7 +900,7 @@ let test_socket_loadgen () =
   with_server ~args:[] @@ fun path _pid ->
   ignore (connect_retry path).fd;
   let spec =
-    { Loadgen.scenario = P.Paper; clients = 4; ops = 12; limit = None }
+    { Loadgen.scenario = P.Paper; clients = 4; ops = 12; limit = None; keep_open = false }
   in
   let o = Loadgen.run_socket ~verify:true ~address:(Loop.Unix_path path) spec in
   Alcotest.(check int) "no protocol errors" 0 o.Loadgen.errors;
@@ -825,6 +1018,10 @@ let () =
           tc "session flow" `Quick test_service_session_flow;
           tc "isolation with a shared substrate" `Quick
             test_service_isolation_and_sharing;
+          tc "branch, checkout, merge, diff over the protocol" `Quick
+            test_service_branching_flow;
+          tc "persist and restore across a cold registry" `Quick
+            test_registry_persist_restore;
           tc "draining" `Quick test_service_draining;
           tc "loadgen in process, verified" `Quick
             test_loadgen_inprocess_verified;
