@@ -772,12 +772,106 @@ let restart_tests =
       (Staged.stage (fun () -> ignore (b18_digests ~warm:false ())));
   ]
 
+(* --- B19: concurrent request execution — socket throughput, workers=4
+   vs workers=1 ---
+
+   The real server binary over a Unix socket, one long-lived process per
+   arm, identical except for --workers.  The measured unit is one
+   concurrent Loadgen.run_socket burst: 4 clients driven from one
+   multiplexed thread, each with one request in flight, sessions opened
+   per burst so each client's post-insert evaluations are private work
+   the 4-worker arm can overlap across its shards.  --jobs stays 1 so
+   the only parallelism under test is the worker plane.  Digest parity
+   against the sequential in-process replay is proved by one verified
+   priming burst per arm (and the B19 headline re-checks it); the timed
+   bursts then run with verification off.  On a single-core host the two
+   arms time alike: CI only arms compare.exe's `--require-faster
+   server/socket/workers4 server/socket/workers1 1.5` gate when the
+   runner reports 2+ cores. *)
+
+let b19_spec =
+  {
+    Server.Loadgen.scenario =
+      Server.Protocol.Chain { n = 3; rows = (if quick then 150 else 400); seed = 11 };
+    clients = 4;
+    ops = 12;
+    limit = None;
+    keep_open = false;
+  }
+
+let b19_serve_exe =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "clio_serve.exe"))
+
+let b19_spawn workers =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "clio-b19-w%d-%d.sock" workers (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process b19_serve_exe
+      [|
+        "clio_serve"; "serve"; "--socket"; path; "--jobs"; "1"; "--workers";
+        string_of_int workers; "--queue"; "64";
+      |]
+      null null Unix.stderr
+  in
+  Unix.close null;
+  at_exit (fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ());
+  (* Wait until the server is accepting, then prove digest parity once:
+     the verified burst replays every client sequentially in process and
+     compares evaluation digests byte-for-byte. *)
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec wait () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Unix.close fd
+    | exception Unix.Unix_error _ when Unix.gettimeofday () < deadline ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        ignore (Unix.select [] [] [] 0.05);
+        wait ()
+  in
+  wait ();
+  let primed =
+    Server.Loadgen.run_socket ~verify:true
+      ~address:(Server.Loop.Unix_path path) b19_spec
+  in
+  if primed.Server.Loadgen.mismatches <> Some 0 then
+    failwith
+      (Printf.sprintf "B19 workers=%d: digest mismatch vs sequential replay"
+         workers);
+  path
+
+let b19_server_w1 = lazy (b19_spawn 1)
+let b19_server_w4 = lazy (b19_spawn 4)
+
+let b19_burst server () =
+  ignore
+    (Server.Loadgen.run_socket ~verify:false
+       ~address:(Server.Loop.Unix_path (Lazy.force server))
+       b19_spec)
+
+let socket_workers_tests =
+  [
+    Test.make ~name:"server/socket/workers1"
+      (Staged.stage (b19_burst b19_server_w1));
+    Test.make ~name:"server/socket/workers4"
+      (Staged.stage (b19_burst b19_server_w4));
+  ]
+
 let all_tests =
   minunion_tests @ fulldisj_tests @ illustration_tests @ walk_tests @ chase_tests
   @ mapping_tests @ mine_tests @ evolve_tests @ engine_walk_tests
   @ engine_session_tests @ engine_edit_tests @ server_tests @ sampling_tests
   @ join_impl_tests @ match_tests @ pruning_tests @ par_tests @ colplane_tests
-  @ restart_tests
+  @ restart_tests @ socket_workers_tests
 
 (* --- running and reporting --- *)
 
@@ -786,6 +880,10 @@ let run_benchmarks () =
      arm that happens to force it (at CI quotas that's the only run). *)
   ignore (Lazy.force b17_instance);
   ignore (Lazy.force b18_store_dir);
+  (* Server spawn + verified priming burst must not be charged to the
+     first timed B19 run either. *)
+  ignore (Lazy.force b19_server_w1);
+  ignore (Lazy.force b19_server_w4);
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -1210,6 +1308,34 @@ let run_counter_tables () =
         | Some n -> Printf.sprintf "NO(%d)" n
         | None -> "off"))
     [ ("cold", `Cold); ("warm", `Warm); ("telem", `Telemetry) ];
+  print_newline ();
+  (* B19 headline: the socket arms, one verified concurrent burst each —
+     end-to-end throughput plus the byte-for-byte digest check against
+     the sequential in-process replay. *)
+  print_endline
+    (Printf.sprintf
+       "B19 — concurrent request execution headline (%d clients x %d ops, \
+        chain scenario, socket)"
+       b19_spec.Server.Loadgen.clients b19_spec.Server.Loadgen.ops);
+  print_newline ();
+  Printf.printf "%-10s %10s %10s %10s %8s %10s\n" "arm" "ops/s" "p50(us)"
+    "p99(us)" "errors" "verified";
+  Printf.printf "%s\n" (String.make 64 '-');
+  List.iter
+    (fun (label, server) ->
+      let o =
+        Server.Loadgen.run_socket ~verify:true
+          ~address:(Server.Loop.Unix_path (Lazy.force server))
+          b19_spec
+      in
+      Printf.printf "%-10s %10.0f %10.0f %10.0f %8d %10s\n" label
+        o.Server.Loadgen.throughput o.Server.Loadgen.p50_us
+        o.Server.Loadgen.p99_us o.Server.Loadgen.errors
+        (match o.Server.Loadgen.mismatches with
+        | Some 0 -> "yes"
+        | Some n -> Printf.sprintf "NO(%d)" n
+        | None -> "off"))
+    [ ("workers=1", b19_server_w1); ("workers=4", b19_server_w4) ];
   print_newline ();
   (* Allocation per workload: the memory-side counterpart of part 2. *)
   let names = List.map fst workloads in

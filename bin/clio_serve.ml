@@ -52,8 +52,8 @@ let tcp_arg =
 
 (* --- serve ------------------------------------------------------------- *)
 
-let serve_run socket tcp jobs queue history_limit no_cache cache_mb store_dir
-    metrics log log_level slow_ms exemplars exemplar_keep =
+let serve_run socket tcp jobs workers queue history_limit no_cache cache_mb
+    store_dir metrics log log_level slow_ms exemplars exemplar_keep =
   match address_of socket tcp with
   | Error msg -> `Error (true, msg)
   | Ok address when log = Some "" || metrics = Some "" ->
@@ -108,15 +108,31 @@ let serve_run socket tcp jobs queue history_limit no_cache cache_mb store_dir
       | _ -> ());
       let service = Server.Service.create registry in
       Server.Service.set_telemetry service telemetry;
-      let config =
-        { (Server.Loop.default_config address) with queue_capacity = queue }
+      (* Worker domains executing requests: --workers, then CLIO_WORKERS,
+         then 1 (serial — the pre-worker-plane behavior). *)
+      let workers =
+        max 1
+          (match workers with
+          | Some n -> n
+          | None -> (
+              match Sys.getenv_opt "CLIO_WORKERS" with
+              | Some s -> ( try int_of_string (String.trim s) with _ -> 1)
+              | None -> 1))
       in
-      Printf.printf "clio_serve: listening on %s (jobs %d, queue %d)\n%!"
+      let config =
+        {
+          (Server.Loop.default_config address) with
+          queue_capacity = queue;
+          workers;
+        }
+      in
+      Printf.printf
+        "clio_serve: listening on %s (jobs %d, workers %d, queue %d)\n%!"
         (match address with
         | Server.Loop.Unix_path p -> p
         | Server.Loop.Tcp p -> Printf.sprintf "127.0.0.1:%d" p)
         (Server.Registry.jobs registry)
-        config.Server.Loop.queue_capacity;
+        config.Server.Loop.workers config.Server.Loop.queue_capacity;
       let reason = Server.Loop.run config service in
       (* Epilogue runs on every exit path — a SIGTERM'd server still
          leaves complete --metrics/--log files and a resumable store
@@ -154,6 +170,19 @@ let jobs_arg =
     & info [ "jobs" ] ~docv:"N"
         ~doc:
           "Domains in the shared evaluation pool (default: CLIO_JOBS or 1).")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workers" ] ~docv:"K"
+        ~doc:
+          "Worker domains executing requests (default: CLIO_WORKERS or 1). \
+           Requests within a session execute serially in admission order; \
+           sessions on distinct stores execute in parallel across the \
+           $(docv) workers.  Composes with --jobs: each executing request \
+           may additionally fan its evaluation across the shared domain \
+           pool.")
 
 let queue_arg =
   Arg.(
@@ -268,10 +297,10 @@ let serve_cmd =
   Cmd.v info
     Term.(
       ret
-        (const serve_run $ socket_arg $ tcp_arg $ jobs_arg $ queue_arg
-       $ history_limit_arg $ no_cache_arg $ cache_mb_arg $ store_dir_arg
-       $ metrics_arg $ log_arg $ log_level_arg $ slow_ms_arg $ exemplars_arg
-       $ exemplar_keep_arg))
+        (const serve_run $ socket_arg $ tcp_arg $ jobs_arg $ workers_arg
+       $ queue_arg $ history_limit_arg $ no_cache_arg $ cache_mb_arg
+       $ store_dir_arg $ metrics_arg $ log_arg $ log_level_arg $ slow_ms_arg
+       $ exemplars_arg $ exemplar_keep_arg))
 
 (* --- loadgen ----------------------------------------------------------- *)
 

@@ -28,6 +28,9 @@ type t = {
   keep : int;
   mutable oc : out_channel;
   mutable bytes : int;
+  (* The server loop and its worker domains log to one sink; the lock
+     keeps lines whole and rotation atomic with respect to writes. *)
+  mutex : Mutex.t;
 }
 
 let open_append path =
@@ -38,7 +41,7 @@ let open_append path =
 let create ?(level = Info) ?(max_bytes = 8 * 1024 * 1024) ?(keep = 3) path =
   if path = "" then invalid_arg "Event_log.create: empty path";
   let oc, bytes = open_append path in
-  { path; level; max_bytes; keep; oc; bytes }
+  { path; level; max_bytes; keep; oc; bytes; mutex = Mutex.create () }
 
 let rotated_name path i = Printf.sprintf "%s.%d" path i
 
@@ -73,12 +76,13 @@ let log t level event fields =
            :: fields))
     in
     let len = String.length line + 1 in
-    if t.bytes > 0 && t.bytes + len > t.max_bytes then rotate t;
-    output_string t.oc line;
-    output_char t.oc '\n';
-    t.bytes <- t.bytes + len
+    Mutex.protect t.mutex (fun () ->
+        if t.bytes > 0 && t.bytes + len > t.max_bytes then rotate t;
+        output_string t.oc line;
+        output_char t.oc '\n';
+        t.bytes <- t.bytes + len)
   end
 
-let flush t = flush t.oc
-let close t = close_out_noerr t.oc
+let flush t = Mutex.protect t.mutex (fun () -> flush t.oc)
+let close t = Mutex.protect t.mutex (fun () -> close_out_noerr t.oc)
 let path t = t.path

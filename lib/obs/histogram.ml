@@ -51,7 +51,7 @@ let rev_order : t list ref = ref []
 
 (* Handles are created from worker domains too (a span name's first use may
    happen inside a pool task), so registration is locked.  Sample recording
-   stays unlocked: only the main domain writes into a histogram. *)
+   is locked separately ([record_mutex] below). *)
 let registry_mutex = Mutex.create ()
 
 let make name =
@@ -77,6 +77,14 @@ let make name =
 
 let name h = h.name
 
+(* Serializes every sample-array mutation and read.  Main-domain spans
+   record directly; worker-domain observations are parked and replayed by
+   whichever domain calls [adopt_pending] — with the server running
+   requests on several worker domains at once, "whichever domain" is no
+   longer always the main one, so recording must be safe from any
+   domain. *)
+let record_mutex = Mutex.create ()
+
 (* Retained sample count: everything up to the cap, the reservoir after. *)
 let retained h = min h.n reservoir_cap
 
@@ -88,7 +96,7 @@ let bucket_index v =
   in
   go 0
 
-let record h v =
+let record_locked h v =
   (if h.n < reservoir_cap then begin
      if h.n >= Array.length h.samples then begin
        let cap = min reservoir_cap (max 16 (2 * Array.length h.samples)) in
@@ -110,10 +118,12 @@ let record h v =
   if v < h.min_v then h.min_v <- v;
   if v > h.max_v then h.max_v <- v
 
+let record h v = Mutex.protect record_mutex (fun () -> record_locked h v)
+
 (* Worker-domain observations are buffered domain-locally (newest first),
    parked in [pending] when the task completes, and replayed into the real
-   histograms by the main domain after the batch joins — so the sample
-   arrays are only ever mutated by one domain. *)
+   histograms after the batch joins — by the batch's caller, whatever
+   domain that is (the locked [record] makes the replay safe). *)
 let buffer_key : (t * float) list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
@@ -154,29 +164,37 @@ let percentile_of_sorted sorted n q =
     sorted.(max 0 (min (n - 1) (rank - 1)))
 
 let percentile h q =
-  let kept = retained h in
-  let sorted = Array.sub h.samples 0 kept in
+  let sorted, kept =
+    Mutex.protect record_mutex (fun () ->
+        let kept = retained h in
+        (Array.sub h.samples 0 kept, kept))
+  in
   Array.sort compare sorted;
   percentile_of_sorted sorted kept q
 
 let stats h : stats =
-  let kept = retained h in
-  let sorted = Array.sub h.samples 0 kept in
+  let sorted, kept, n, sum, min_v, max_v =
+    Mutex.protect record_mutex (fun () ->
+        let kept = retained h in
+        (Array.sub h.samples 0 kept, kept, h.n, h.sum, h.min_v, h.max_v))
+  in
   Array.sort compare sorted;
   let p = percentile_of_sorted sorted kept in
   {
-    n = h.n;
-    sum = h.sum;
-    mean = (if h.n = 0 then 0. else h.sum /. float_of_int h.n);
-    min = (if h.n = 0 then 0. else h.min_v);
-    max = (if h.n = 0 then 0. else h.max_v);
+    n;
+    sum;
+    mean = (if n = 0 then 0. else sum /. float_of_int n);
+    min = (if n = 0 then 0. else min_v);
+    max = (if n = 0 then 0. else max_v);
     p50 = p 50.;
     p90 = p 90.;
     p99 = p 99.;
   }
 
-let bucket_counts h = Array.copy h.buckets
-let sample_count h = retained h
+let bucket_counts h =
+  Mutex.protect record_mutex (fun () -> Array.copy h.buckets)
+
+let sample_count h = Mutex.protect record_mutex (fun () -> retained h)
 
 let find name =
   Mutex.protect registry_mutex (fun () -> Hashtbl.find_opt registry name)
@@ -187,10 +205,11 @@ let reset_all () =
   Mutex.protect pending_mutex (fun () -> pending := []);
   List.iter
     (fun h ->
-      h.n <- 0;
-      h.sum <- 0.;
-      h.min_v <- infinity;
-      h.max_v <- neg_infinity;
-      h.samples <- [||];
-      Array.fill h.buckets 0 (Array.length h.buckets) 0)
+      Mutex.protect record_mutex (fun () ->
+          h.n <- 0;
+          h.sum <- 0.;
+          h.min_v <- infinity;
+          h.max_v <- neg_infinity;
+          h.samples <- [||];
+          Array.fill h.buckets 0 (Array.length h.buckets) 0))
     (all ())

@@ -66,11 +66,11 @@ val all : unit -> t list
 
 val reset_all : unit -> unit
 
-(** Worker domains buffer observations domain-locally; only the main domain
-    mutates a histogram's sample array.  [flush_worker] parks this domain's
-    buffered observations for adoption (pool calls it per completed task);
-    [adopt_pending] replays everything parked — main domain only, after the
-    batch has joined. *)
+(** Worker domains buffer observations domain-locally.  [flush_worker]
+    parks this domain's buffered observations for adoption (pool calls it
+    per completed task); [adopt_pending] replays everything parked into the
+    real histograms — callable from any domain after a batch has joined
+    (recording is internally locked). *)
 val flush_worker : unit -> unit
 
 val adopt_pending : unit -> unit

@@ -16,12 +16,29 @@ let fresh_id () =
   let n = Atomic.fetch_and_add id_counter 1 in
   Printf.sprintf "%06x-%06x" (Lazy.force boot_salt) (n land 0xffffff)
 
-(* Stack of active scope trace ids, innermost first.  Only the main domain
-   pushes and pops (the server loop is single-threaded); worker domains may
-   read [current] concurrently, hence the Atomic. *)
-let stack : string list Atomic.t = Atomic.make []
+(* Stack of active scope trace ids, innermost first — domain-local, like
+   the span stack: with the server executing requests on several worker
+   domains at once, each domain runs its own scope and a shared stack
+   would interleave pushes and pops across requests.  [current] therefore
+   answers for the calling domain only: pool-helper tasks spawned by a
+   scoped request see [None] (their span trees still nest into the request
+   via the Span parking/adoption machinery). *)
+let stack_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
-let current () = match Atomic.get stack with [] -> None | id :: _ -> Some id
+let stack () = Domain.DLS.get stack_key
+
+let current () = match !(stack ()) with [] -> None | id :: _ -> Some id
+
+(* Counter deltas around a scope: on a worker domain this domain's bumps
+   sit in its domain-local cells until flushed, so fold them into the
+   global totals at both edges of the window — otherwise the scope's own
+   work would be invisible to its delta.  With several scopes running at
+   once the deltas are best-effort attribution (concurrent requests' bumps
+   land in the same window); per-request exactness would need per-domain
+   snapshots and is not worth the bookkeeping. *)
+let counter_sync () =
+  if not (Domain.is_main_domain ()) then Counter.flush_worker_cells ()
 
 let run ?(attrs = []) ~trace_id name f =
   if not !Switch.on then begin
@@ -31,17 +48,20 @@ let run ?(attrs = []) ~trace_id name f =
     (r, { trace_id; duration_ms; deltas = []; root = None })
   end
   else begin
+    counter_sync ();
     let before = Counter.snapshot () in
-    Atomic.set stack (trace_id :: Atomic.get stack);
+    let stack = stack () in
+    stack := trace_id :: !stack;
     let r, span =
       Fun.protect
         ~finally:(fun () ->
-          match Atomic.get stack with
-          | _ :: rest -> Atomic.set stack rest
+          match !stack with
+          | _ :: rest -> stack := rest
           | [] -> ())
         (fun () ->
           Span.with_captured ~attrs:(("trace_id", trace_id) :: attrs) name f)
     in
+    counter_sync ();
     ( r,
       {
         trace_id;

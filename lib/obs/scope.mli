@@ -7,9 +7,15 @@
     own span subtree, detached from the global trace so a long-lived server
     never accumulates per-request roots.
 
-    Scopes nest on a stack; {!current} exposes the innermost active trace
-    id so engine-level spans ({!Obs.Names.sp_engine_fj} etc.) can tag
-    themselves with the request they serve, across domains.
+    Scopes nest on a domain-local stack; {!current} exposes the calling
+    domain's innermost active trace id so engine-level spans
+    ({!Obs.Names.sp_engine_fj} etc.) can tag themselves with the request
+    they serve.  Domain-local because the server runs one request per
+    worker domain: pool-helper tasks a scoped request fans out to see
+    [None] (their spans still join the request tree via {!Span}
+    parking/adoption).  Counter deltas are best-effort under concurrent
+    scopes — bumps from requests running at the same time land in each
+    other's windows.
 
     When observability is disabled, {!run} only measures duration — no
     snapshot, no capture — keeping the telemetry-off fast path one branch

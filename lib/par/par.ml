@@ -1,4 +1,5 @@
 module Pool = Pool
+module Workers = Workers
 
 let sequential = None
 
@@ -66,7 +67,13 @@ let run_batch pool items f =
     Condition.wait batch_done mutex
   done;
   Mutex.unlock mutex;
-  if Domain.is_main_domain () then Obs.Domains.adopt_pending ();
+  (* The caller adopts parked worker state whatever domain it runs on —
+     the server executes requests (and so batches) on worker domains, and
+     never adopting there would leak parked spans.  Under concurrent
+     batches adoption is best-effort attribution: a caller can graft
+     another in-flight batch's just-parked helper spans into its own open
+     span.  Histogram replay is internally locked, so this is safe. *)
+  Obs.Domains.adopt_pending ();
   Array.iteri
     (fun _ e -> match e with Some e -> raise e | None -> ())
     errors;

@@ -19,6 +19,10 @@
 
 module Pool = Pool
 
+(** The sharded submit/notify executor behind the server's concurrent
+    request plane ([clio_serve --workers]). *)
+module Workers = Workers
+
 (** [jobs] below this or a missing pool mean sequential execution. *)
 val sequential : Pool.t option
 

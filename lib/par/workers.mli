@@ -1,0 +1,44 @@
+(** A sharded submit/notify executor: [workers] domains, one FIFO queue
+    each.  Tasks submitted to the same shard run serially in submission
+    order; distinct shards run concurrently.  The server loop uses this as
+    its request execution plane, pinning every session's store to a shard
+    — per-session serial, cross-session parallel.
+
+    Fire-and-forget, unlike the {!Pool} batch combinators: {!submit} never
+    blocks, and each completed task invokes the executor's [notify]
+    callback from the worker domain (the server points it at a self-pipe
+    write, waking its blocked [select]).  Workers flush their domain-local
+    observability state ({!Obs.Domains.flush_worker}) after every task. *)
+
+type t
+
+(** [create ~workers ~notify] spawns [max 1 workers] domains.  [notify]
+    runs on a worker domain after each task finishes (its exceptions are
+    swallowed); it must be domain-safe and fast. *)
+val create : workers:int -> notify:(unit -> unit) -> t
+
+val shards : t -> int
+
+(** [submit t ~shard task] enqueues [task] on [shard mod shards t].  Tasks
+    on one shard execute in submission order.  [task]'s exceptions are
+    swallowed — wrap it if you need to observe them.  Raises
+    [Invalid_argument] after {!shutdown}. *)
+val submit : t -> shard:int -> (unit -> unit) -> unit
+
+(** Tasks submitted and not yet finished (queued or running). *)
+val in_flight : t -> int
+
+(** Blocks until every submitted task has finished.  Does not stop the
+    workers: more work may be submitted afterwards. *)
+val drain : t -> unit
+
+(** Stops the workers after their queues empty and joins the domains. *)
+val shutdown : t -> unit
+
+(** Monitoring, readable from any domain: tasks ever submitted, tasks
+    executing right now, and cumulative submit-to-start queue wait in
+    milliseconds. *)
+val dispatched : t -> int
+
+val busy : t -> int
+val wait_ms : t -> int

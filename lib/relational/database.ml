@@ -11,12 +11,13 @@ type t = {
 
 (* Versions are drawn from a process-global counter so that any two
    databases built by different construction paths never share a stamp.
-   [empty] is the sole exception: it is version 0 and safe to share. *)
+   [empty] is the sole exception: it is version 0 and safe to share.
+   Atomic: the server commits mutations from several worker domains at
+   once, and a duplicated stamp would alias two distinct databases in the
+   version-keyed evaluation cache. *)
 let next_version =
-  let n = ref 0 in
-  fun () ->
-    incr n;
-    !n
+  let n = Atomic.make 0 in
+  fun () -> 1 + Atomic.fetch_and_add n 1
 
 (* Deep edit histories stop paying for themselves: walking a long chain
    costs about as much as recomputing, and cached entries that old have

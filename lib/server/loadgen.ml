@@ -305,6 +305,24 @@ let recv_line conn =
   in
   split ()
 
+(* Per-client driver state for the concurrent socket mode.  Each client
+   keeps at most one request in flight; [lg_pending] is the attempt
+   awaiting its reply, [lg_retry] a scheduled resend after an
+   [overloaded] reply. *)
+type lg_phase = Lg_opening | Lg_ops | Lg_closing | Lg_done
+
+type lg_client = {
+  lg_idx : int;
+  lg_conn : client_conn;
+  mutable lg_sid : string option;
+  mutable lg_script : P.request list;  (** remaining scripted ops *)
+  mutable lg_phase : lg_phase;
+  mutable lg_pending : (P.request * string * float * int) option;
+      (** (request, trace, send time, retries left) *)
+  mutable lg_retry : (float * P.request * int) option;
+      (** (due, request, retries left) *)
+}
+
 let run_socket ?(verify = true) ~address spec =
   let acc = make_accum spec.clients in
   let next_id = ref 0 in
@@ -312,62 +330,149 @@ let run_socket ?(verify = true) ~address spec =
     incr next_id;
     !next_id
   in
-  (* Send, await the matching reply, retry (bounded) while overloaded. *)
-  let call conn ~client ?session request =
-    acc.sent <- acc.sent + 1;
-    let rec attempt retries =
-      let id = fresh_id () in
-      let trace = Printf.sprintf "lg%d-%d" client id in
-      let line = P.encode_request { P.id; session; request; trace_id = Some trace } in
-      let t0 = Unix.gettimeofday () in
-      send_line conn line;
-      let resp =
-        match P.parse_response (recv_line conn) with
-        | Ok r -> r
-        | Error msg -> failwith ("unparseable reply: " ^ msg)
-      in
-      record acc ~client ~trace ~op:(Service.verb_name request)
-        ~latency_us:((Unix.gettimeofday () -. t0) *. 1e6)
-        resp;
-      match resp.P.result with
-      | Error (P.Overloaded, _) when retries > 0 ->
-          ignore (Unix.select [] [] [] 0.002);
-          attempt (retries - 1)
-      | _ -> resp
+  (* All clients run concurrently from this one thread: each keeps one
+     request in flight and a single select multiplexes the replies, so a
+     multi-worker server can overlap distinct sessions' requests.  Per
+     connection the wire behavior matches the old serial driver: one
+     request at a time, [overloaded] retried (bounded) after a 2 ms
+     pause with a fresh id and trace, every attempt recorded. *)
+  let clients =
+    Array.init spec.clients (fun idx ->
+        {
+          lg_idx = idx;
+          lg_conn = connect address;
+          lg_sid = None;
+          lg_script = client_requests spec ~client:idx;
+          lg_phase = Lg_opening;
+          lg_pending = None;
+          lg_retry = None;
+        })
+  in
+  let send c ~fresh request retries =
+    if fresh then acc.sent <- acc.sent + 1;
+    let id = fresh_id () in
+    let trace = Printf.sprintf "lg%d-%d" c.lg_idx id in
+    let session =
+      match c.lg_phase with Lg_opening -> None | _ -> c.lg_sid
     in
-    attempt 1000
+    let line =
+      P.encode_request { P.id; session; request; trace_id = Some trace }
+    in
+    c.lg_pending <- Some (request, trace, Unix.gettimeofday (), retries);
+    send_line c.lg_conn line
   in
-  let conns = Array.init spec.clients (fun _ -> connect address) in
+  let advance c =
+    match c.lg_phase with
+    | Lg_opening when c.lg_sid = None ->
+        (* open failed: this client sits the run out, like the serial
+           driver's [None] session *)
+        c.lg_phase <- Lg_done
+    | Lg_opening | Lg_ops -> (
+        c.lg_phase <- Lg_ops;
+        match c.lg_script with
+        | req :: rest ->
+            c.lg_script <- rest;
+            send c ~fresh:true req 1000
+        | [] ->
+            if spec.keep_open then c.lg_phase <- Lg_done
+            else begin
+              c.lg_phase <- Lg_closing;
+              send c ~fresh:true P.Close_session 1000
+            end)
+    | Lg_closing | Lg_done -> c.lg_phase <- Lg_done
+  in
+  let handle_reply c line =
+    match c.lg_pending with
+    | None -> failwith "reply with no request in flight"
+    | Some (request, trace, t0, retries) -> (
+        let resp =
+          match P.parse_response line with
+          | Ok r -> r
+          | Error msg -> failwith ("unparseable reply: " ^ msg)
+        in
+        record acc ~client:c.lg_idx ~trace ~op:(Service.verb_name request)
+          ~latency_us:((Unix.gettimeofday () -. t0) *. 1e6)
+          resp;
+        c.lg_pending <- None;
+        match resp.P.result with
+        | Error (P.Overloaded, _) when retries > 0 ->
+            c.lg_retry <-
+              Some (Unix.gettimeofday () +. 0.002, request, retries - 1)
+        | result ->
+            (match (c.lg_phase, result) with
+            | Lg_opening, Ok (P.Opened { session; _ }) ->
+                c.lg_sid <- Some session
+            | _ -> ());
+            advance c)
+  in
+  let read_client c =
+    let conn = c.lg_conn in
+    let chunk = Bytes.create 65536 in
+    match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> failwith "server closed the connection"
+    | n ->
+        conn.carry <- conn.carry ^ Bytes.sub_string chunk 0 n;
+        let rec drain () =
+          if c.lg_pending <> None then
+            match String.index_opt conn.carry '\n' with
+            | Some i ->
+                let line = String.sub conn.carry 0 i in
+                conn.carry <-
+                  String.sub conn.carry (i + 1)
+                    (String.length conn.carry - i - 1);
+                handle_reply c line;
+                drain ()
+            | None -> ()
+        in
+        drain ()
+  in
   let t_start = Unix.gettimeofday () in
-  let sids =
-    Array.init spec.clients (fun client ->
-        match call conns.(client) ~client (P.Open_session spec.scenario) with
-        | { P.result = Ok (P.Opened { session; _ }); _ } -> Some session
-        | _ -> None)
-  in
-  let scripts =
-    Array.init spec.clients (fun client -> client_requests spec ~client)
-  in
-  for i = 0 to spec.ops - 1 do
-    for client = 0 to spec.clients - 1 do
-      match sids.(client) with
-      | None -> ()
-      | Some sid ->
-          ignore
-            (call conns.(client) ~client ~session:sid
-               (List.nth scripts.(client) i))
-    done
+  Array.iter
+    (fun c -> send c ~fresh:true (P.Open_session spec.scenario) 1000)
+    clients;
+  while not (Array.for_all (fun c -> c.lg_phase = Lg_done) clients) do
+    let now = Unix.gettimeofday () in
+    Array.iter
+      (fun c ->
+        match c.lg_retry with
+        | Some (due, request, retries) when due <= now ->
+            c.lg_retry <- None;
+            send c ~fresh:false request retries
+        | _ -> ())
+      clients;
+    let reads =
+      Array.fold_left
+        (fun fds c ->
+          if c.lg_pending <> None then c.lg_conn.fd :: fds else fds)
+        [] clients
+    in
+    let timeout =
+      Array.fold_left
+        (fun t c ->
+          match c.lg_retry with
+          | Some (due, _, _) ->
+              let d = Float.max 0.0005 (due -. now) in
+              Some (match t with None -> d | Some t -> Float.min t d)
+          | None -> t)
+        None clients
+    in
+    if reads = [] && timeout = None then failwith "loadgen stalled"
+    else begin
+      match
+        Unix.select reads [] []
+          (match timeout with Some t -> t | None -> -1.0)
+      with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | readable, _, _ ->
+          Array.iter
+            (fun c -> if List.memq c.lg_conn.fd readable then read_client c)
+            clients
+    end
   done;
-  if not spec.keep_open then
-    Array.iteri
-      (fun client sid ->
-        match sid with
-        | None -> ()
-        | Some sid ->
-            ignore (call conns.(client) ~client ~session:sid P.Close_session))
-      sids;
   let elapsed_s = Unix.gettimeofday () -. t_start in
-  Array.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
+  Array.iter
+    (fun c -> try Unix.close c.lg_conn.fd with Unix.Unix_error _ -> ())
+    clients;
   finish spec acc ~verify ~elapsed_s
 
 (* One-shot client call for the scrape/top utilities: connect, send the

@@ -1,6 +1,10 @@
 module J = Obs.Json
 
 type metrics = {
+  (* One lock per session: [record_op] runs on the worker domain owning
+     the session's shard while [session_stats] may run on any other shard
+     (a sessionless [stats] scrape). *)
+  mutex : Mutex.t;
   per_op : (string, int) Hashtbl.t;
   (* accumulated per-request cache.* counter deltas (hits, misses,
      promote outcomes...) attributed to this session's requests *)
@@ -11,6 +15,14 @@ type metrics = {
   mutable latency_retained : int;  (** length of [latencies_us] *)
   mutable latency_max : float;
   mutable latency_sum : float;
+  (* Workspace-shape gauges (database version, entry count, branch count)
+     cached here so a stats scrape never touches the session's version
+     store from a foreign domain — the owning shard refreshes them after
+     every session verb ([record_op]), so they are at most one operation
+     stale for sessions sharing a store across shards. *)
+  mutable db_version : int;
+  mutable entries : int;
+  mutable branches : int;
 }
 
 (* Latency samples retained per session for the percentile report.  Beyond
@@ -26,6 +38,10 @@ type session = {
   opened_at : float;
   store : Version.Store.t;
   mutable branch : string;
+  (* Shard pinning key: assigned per version *store*, so sessions sharing
+     a store (open_branch) land on one worker shard and their commits —
+     which mutate the shared store's tables — serialize without locks. *)
+  affinity : int;
   metrics : metrics;
 }
 
@@ -33,12 +49,15 @@ type t = {
   cache : Engine.Eval_cache.t option;
   algorithm : Clio.Eval_ctx.algorithm;
   jobs : int;
+  (* Guards [sessions]: opened/found/closed from any worker shard. *)
+  sessions_mutex : Mutex.t;
   sessions : (string, session) Hashtbl.t;
-  mutable next_sid : int;
-  mutable opened_total : int;
-  mutable requests_total : int;
-  mutable errors_total : int;
-  mutable overloads_total : int;
+  next_sid : int Atomic.t;
+  next_affinity : int Atomic.t;
+  opened_total : int Atomic.t;
+  requests_total : int Atomic.t;
+  errors_total : int Atomic.t;
+  overloads_total : int Atomic.t;
   started_at : float;
 }
 
@@ -53,12 +72,14 @@ let create ?(algorithm = Clio.Eval_ctx.Indexed) ?jobs ?(no_cache = false)
     cache;
     algorithm;
     jobs;
+    sessions_mutex = Mutex.create ();
     sessions = Hashtbl.create 16;
-    next_sid = 1;
-    opened_total = 0;
-    requests_total = 0;
-    errors_total = 0;
-    overloads_total = 0;
+    next_sid = Atomic.make 1;
+    next_affinity = Atomic.make 0;
+    opened_total = Atomic.make 0;
+    requests_total = Atomic.make 0;
+    errors_total = Atomic.make 0;
+    overloads_total = Atomic.make 0;
     started_at = Unix.gettimeofday ();
   }
 
@@ -83,9 +104,11 @@ let resolver t spec =
   Clio.Workspace.create ctx mapping
 
 let ws s = Version.Store.checkout s.store s.branch
+let affinity s = s.affinity
 
 let fresh_metrics () =
   {
+    mutex = Mutex.create ();
     per_op = Hashtbl.create 8;
     cache_deltas = Hashtbl.create 8;
     requests = 0;
@@ -94,14 +117,29 @@ let fresh_metrics () =
     latency_retained = 0;
     latency_max = 0.;
     latency_sum = 0.;
+    db_version = 0;
+    entries = 0;
+    branches = 0;
   }
 
-let fresh_sid t =
-  let sid = Printf.sprintf "s%d" t.next_sid in
-  t.next_sid <- t.next_sid + 1;
-  sid
+let fresh_sid t = Printf.sprintf "s%d" (Atomic.fetch_and_add t.next_sid 1)
 
-let add_session t ~scenario ~store ~branch =
+(* Refresh the cached workspace-shape gauges from the store.  Called only
+   where the caller owns the store: at session creation (the opening
+   request is the only one touching a fresh store; open_branch runs on the
+   base session's shard) and from [record_op] on the session's shard. *)
+let refresh_gauges s =
+  let m = s.metrics in
+  let ws = ws s in
+  let db_version = Clio.Eval_ctx.version (Clio.Workspace.ctx ws) in
+  let entries = List.length (Clio.Workspace.entries ws) in
+  let branches = List.length (Version.Store.branch_names s.store) in
+  Mutex.protect m.mutex (fun () ->
+      m.db_version <- db_version;
+      m.entries <- entries;
+      m.branches <- branches)
+
+let add_session t ~scenario ~store ~branch ~affinity =
   let session =
     {
       sid = fresh_sid t;
@@ -109,22 +147,29 @@ let add_session t ~scenario ~store ~branch =
       opened_at = Unix.gettimeofday ();
       store;
       branch;
+      affinity;
       metrics = fresh_metrics ();
     }
   in
-  t.opened_total <- t.opened_total + 1;
-  Hashtbl.replace t.sessions session.sid session;
+  refresh_gauges session;
+  Atomic.incr t.opened_total;
+  Mutex.protect t.sessions_mutex (fun () ->
+      Hashtbl.replace t.sessions session.sid session);
   session
 
 let open_session t spec =
   let store = Version.Store.create ~resolve:(resolver t) spec in
   add_session t ~scenario:spec ~store ~branch:Version.Store.main
+    ~affinity:(Atomic.fetch_and_add t.next_affinity 1)
 
-let find t sid = Hashtbl.find_opt t.sessions sid
+let find t sid =
+  Mutex.protect t.sessions_mutex (fun () -> Hashtbl.find_opt t.sessions sid)
 
 (* A new session over an existing session's store, positioned on one of
    its branches — two clients refining one scenario, isolated per branch.
-   The store (and through it the commit DAG) is shared by reference. *)
+   The store (and through it the commit DAG) is shared by reference, and
+   with it the base session's shard affinity: the new session's commits
+   mutate the same store, so they must serialize onto the same shard. *)
 let open_branch t ~of_session ~branch =
   match find t of_session with
   | None -> None
@@ -132,25 +177,30 @@ let open_branch t ~of_session ~branch =
       if not (Version.Store.has_branch base.store branch) then
         invalid_arg (Printf.sprintf "unknown branch %S" branch)
       else
-        Some (add_session t ~scenario:base.scenario ~store:base.store ~branch)
+        Some
+          (add_session t ~scenario:base.scenario ~store:base.store ~branch
+             ~affinity:base.affinity)
 
 let close_session t sid =
-  if Hashtbl.mem t.sessions sid then begin
-    Hashtbl.remove t.sessions sid;
-    true
-  end
-  else false
+  Mutex.protect t.sessions_mutex (fun () ->
+      if Hashtbl.mem t.sessions sid then begin
+        Hashtbl.remove t.sessions sid;
+        true
+      end
+      else false)
 
-let session_count t = Hashtbl.length t.sessions
+let session_count t =
+  Mutex.protect t.sessions_mutex (fun () -> Hashtbl.length t.sessions)
 
 let session_ids t =
-  Hashtbl.fold (fun sid _ acc -> sid :: acc) t.sessions []
+  Mutex.protect t.sessions_mutex (fun () ->
+      Hashtbl.fold (fun sid _ acc -> sid :: acc) t.sessions [])
   |> List.sort compare
 
-let count_request t = t.requests_total <- t.requests_total + 1
-let count_error t = t.errors_total <- t.errors_total + 1
-let count_overload t = t.overloads_total <- t.overloads_total + 1
-let overloads t = t.overloads_total
+let count_request t = Atomic.incr t.requests_total
+let count_error t = Atomic.incr t.errors_total
+let count_overload t = Atomic.incr t.overloads_total
+let overloads t = Atomic.get t.overloads_total
 
 let rec take n = function
   | x :: rest when n > 0 -> x :: take (n - 1) rest
@@ -158,24 +208,27 @@ let rec take n = function
 
 let record_op ?(cache_deltas = []) s ~op ~latency_us ~ok =
   let m = s.metrics in
-  m.requests <- m.requests + 1;
-  if not ok then m.errors <- m.errors + 1;
-  Hashtbl.replace m.per_op op
-    (1 + Option.value ~default:0 (Hashtbl.find_opt m.per_op op));
-  List.iter
-    (fun (name, d) ->
-      Hashtbl.replace m.cache_deltas name
-        (d + Option.value ~default:0 (Hashtbl.find_opt m.cache_deltas name)))
-    cache_deltas;
-  m.latencies_us <- latency_us :: m.latencies_us;
-  m.latency_retained <- m.latency_retained + 1;
-  (* amortized O(1): truncate back to the cap only at twice the cap *)
-  if m.latency_retained > 2 * latency_keep then begin
-    m.latencies_us <- take latency_keep m.latencies_us;
-    m.latency_retained <- latency_keep
-  end;
-  m.latency_sum <- m.latency_sum +. latency_us;
-  if latency_us > m.latency_max then m.latency_max <- latency_us
+  Mutex.protect m.mutex (fun () ->
+      m.requests <- m.requests + 1;
+      if not ok then m.errors <- m.errors + 1;
+      Hashtbl.replace m.per_op op
+        (1 + Option.value ~default:0 (Hashtbl.find_opt m.per_op op));
+      List.iter
+        (fun (name, d) ->
+          Hashtbl.replace m.cache_deltas name
+            (d + Option.value ~default:0 (Hashtbl.find_opt m.cache_deltas name)))
+        cache_deltas;
+      m.latencies_us <- latency_us :: m.latencies_us;
+      m.latency_retained <- m.latency_retained + 1;
+      (* amortized O(1): truncate back to the cap only at twice the cap *)
+      if m.latency_retained > 2 * latency_keep then begin
+        m.latencies_us <- take latency_keep m.latencies_us;
+        m.latency_retained <- latency_keep
+      end;
+      m.latency_sum <- m.latency_sum +. latency_us;
+      if latency_us > m.latency_max then m.latency_max <- latency_us);
+  (* Off the metrics lock: reads the version store, owned by this shard. *)
+  refresh_gauges s
 
 (* Nearest-rank percentile over the retained samples (same convention as
    Obs.Histogram). *)
@@ -186,36 +239,50 @@ let percentile sorted q =
     let rank = int_of_float (Float.ceil (q /. 100. *. float_of_int n)) in
     sorted.(max 0 (min (n - 1) (rank - 1)))
 
+(* Reads only the metrics record (under its lock) — never the version
+   store, which belongs to the session's worker shard.  The workspace-shape
+   gauges come from the cache [record_op] maintains. *)
 let session_stats s =
   let m = s.metrics in
-  let sorted = Array.of_list m.latencies_us in
+  let sorted, ops, cache, requests, errors, latency_sum, latency_max, dbv, entries, branches
+      =
+    Mutex.protect m.mutex (fun () ->
+        let sorted = Array.of_list m.latencies_us in
+        let ops =
+          Hashtbl.fold
+            (fun op n acc -> ("session.ops." ^ op, float_of_int n) :: acc)
+            m.per_op []
+          |> List.sort compare
+        in
+        let cache =
+          Hashtbl.fold
+            (fun name d acc -> ("session." ^ name, float_of_int d) :: acc)
+            m.cache_deltas []
+          |> List.sort compare
+        in
+        ( sorted,
+          ops,
+          cache,
+          m.requests,
+          m.errors,
+          m.latency_sum,
+          m.latency_max,
+          m.db_version,
+          m.entries,
+          m.branches ))
+  in
   Array.sort compare sorted;
-  let ops =
-    Hashtbl.fold
-      (fun op n acc -> ("session.ops." ^ op, float_of_int n) :: acc)
-      m.per_op []
-    |> List.sort compare
-  in
-  let cache =
-    Hashtbl.fold
-      (fun name d acc -> ("session." ^ name, float_of_int d) :: acc)
-      m.cache_deltas []
-    |> List.sort compare
-  in
-  let ws = ws s in
   [
-    ("session.requests", float_of_int m.requests);
-    ("session.errors", float_of_int m.errors);
+    ("session.requests", float_of_int requests);
+    ("session.errors", float_of_int errors);
     ( "session.latency_us.mean",
-      if m.requests = 0 then 0. else m.latency_sum /. float_of_int m.requests );
+      if requests = 0 then 0. else latency_sum /. float_of_int requests );
     ("session.latency_us.p50", percentile sorted 50.);
     ("session.latency_us.p99", percentile sorted 99.);
-    ("session.latency_us.max", m.latency_max);
-    ( "session.db_version",
-      float_of_int (Clio.Eval_ctx.version (Clio.Workspace.ctx ws)) );
-    ("session.entries", float_of_int (List.length (Clio.Workspace.entries ws)));
-    ( "session.branches",
-      float_of_int (List.length (Version.Store.branch_names s.store)) );
+    ("session.latency_us.max", latency_max);
+    ("session.db_version", float_of_int dbv);
+    ("session.entries", float_of_int entries);
+    ("session.branches", float_of_int branches);
   ]
   @ ops @ cache
 
@@ -226,10 +293,10 @@ let server_stats t =
   Relational.Value_pool.observe ();
   [
     ("server.sessions.open", float_of_int (session_count t));
-    ("server.sessions.opened_total", float_of_int t.opened_total);
-    ("server.requests_total", float_of_int t.requests_total);
-    ("server.errors_total", float_of_int t.errors_total);
-    ("server.overloads_total", float_of_int t.overloads_total);
+    ("server.sessions.opened_total", float_of_int (Atomic.get t.opened_total));
+    ("server.requests_total", float_of_int (Atomic.get t.requests_total));
+    ("server.errors_total", float_of_int (Atomic.get t.errors_total));
+    ("server.overloads_total", float_of_int (Atomic.get t.overloads_total));
     ("server.uptime_s", Unix.gettimeofday () -. t.started_at);
     ("server.jobs", float_of_int t.jobs);
     ( "server.value_pool.count",
@@ -349,7 +416,7 @@ let persist t ~dir =
        (J.Obj
           [
             ("format", J.Num (float_of_int registry_format));
-            ("next_sid", J.Num (float_of_int t.next_sid));
+            ("next_sid", J.Num (float_of_int (Atomic.get t.next_sid)));
             ("sessions", J.Arr sessions);
           ]))
 
@@ -375,16 +442,19 @@ let restore t ~dir =
     | _ -> fail "Registry.restore: missing next_sid"
   in
   let loaded = Hashtbl.create 4 in
+  (* One affinity per distinct store, like [open_session]/[open_branch]:
+     restored sessions sharing a store must land on one worker shard. *)
   let store_of name =
     match Hashtbl.find_opt loaded name with
-    | Some store -> store
+    | Some pair -> pair
     | None ->
         let store =
           Version.Store.load ~resolve:(resolver t)
             ~dir:(Filename.concat dir name) ()
         in
-        Hashtbl.replace loaded name store;
-        store
+        let pair = (store, Atomic.fetch_and_add t.next_affinity 1) in
+        Hashtbl.replace loaded name pair;
+        pair
   in
   let restored = ref 0 in
   (match J.member "sessions" j with
@@ -393,7 +463,7 @@ let restore t ~dir =
         (fun s ->
           match (J.member "sid" s, J.member "branch" s, J.member "store" s) with
           | Some (J.Str sid), Some (J.Str branch), Some (J.Str store_name) ->
-              let store = store_of store_name in
+              let store, affinity = store_of store_name in
               if not (Version.Store.has_branch store branch) then
                 fail "Registry.restore: session %s names unknown branch %S" sid
                   branch;
@@ -404,14 +474,22 @@ let restore t ~dir =
                   opened_at = Unix.gettimeofday ();
                   store;
                   branch;
+                  affinity;
                   metrics = fresh_metrics ();
                 }
               in
-              Hashtbl.replace t.sessions sid session;
-              t.opened_total <- t.opened_total + 1;
+              refresh_gauges session;
+              Mutex.protect t.sessions_mutex (fun () ->
+                  Hashtbl.replace t.sessions sid session);
+              Atomic.incr t.opened_total;
               incr restored
           | _ -> fail "Registry.restore: malformed session entry")
         sessions
   | _ -> fail "Registry.restore: missing sessions");
-  t.next_sid <- max t.next_sid next_sid;
+  (let rec bump () =
+     let cur = Atomic.get t.next_sid in
+     if next_sid > cur && not (Atomic.compare_and_set t.next_sid cur next_sid)
+     then bump ()
+   in
+   bump ());
   !restored

@@ -25,6 +25,9 @@ type session = {
   opened_at : float;
   store : Version.Store.t;
   mutable branch : string;  (** which branch of [store] this session is on *)
+  affinity : int;
+      (** shard-pinning key, one per distinct store: sessions sharing a
+          store share it, so their commits serialize onto one worker *)
   metrics : metrics;
 }
 
@@ -43,6 +46,9 @@ val jobs : t -> int
 
 (** The session's current workspace: its store's state at its branch. *)
 val ws : session -> Clio.Workspace.t
+
+(** The session's shard-pinning key ([affinity] field). *)
+val affinity : session -> int
 
 (** Raises [Invalid_argument] on an invalid scenario spec. *)
 val open_session : t -> Protocol.scenario -> session

@@ -3,7 +3,9 @@ module P = Protocol
 
 type t = {
   registry : Registry.t;
-  mutable draining : bool;
+  (* Atomic: a worker domain executing [shutdown] flips it while the I/O
+     loop polls it between selects. *)
+  draining : bool Atomic.t;
   mutable extra_stats : unit -> (string * float) list;
   mutable telemetry : Telemetry.t;
 }
@@ -11,7 +13,7 @@ type t = {
 let create registry =
   {
     registry;
-    draining = false;
+    draining = Atomic.make false;
     extra_stats = (fun () -> []);
     telemetry = Telemetry.none;
   }
@@ -20,7 +22,7 @@ let registry t = t.registry
 let set_extra_stats t f = t.extra_stats <- f
 let set_telemetry t tel = t.telemetry <- tel
 let telemetry t = t.telemetry
-let draining t = t.draining
+let draining t = Atomic.get t.draining
 
 let digest_of rel = Digest.to_hex (Digest.string (Render.relation rel))
 
@@ -198,7 +200,7 @@ let opened_reply id (session : Registry.session) =
    latency and cache deltas to it. *)
 let dispatch t (env : P.envelope) =
   let id = env.id in
-  if t.draining && env.request <> P.Shutdown then
+  if Atomic.get t.draining && env.request <> P.Shutdown then
     (P.error (Some id) P.Unavailable "server is draining", None)
   else
     match env.request with
@@ -223,7 +225,7 @@ let dispatch t (env : P.envelope) =
         in
         (P.ok id (P.Prom_text (Obs.Prom_export.render ~gauges ())), None)
     | P.Shutdown ->
-        t.draining <- true;
+        Atomic.set t.draining true;
         (P.ok id P.Bye, None)
     | P.Open_session spec -> begin
         match Scenario.validate spec with

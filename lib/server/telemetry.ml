@@ -5,7 +5,9 @@ type t = {
   slow_ms : float option;
   exemplar_dir : string option;
   exemplar_keep : int;
-  (* (trace id, file path), oldest first; bounded by [exemplar_keep] *)
+  (* (trace id, file path), oldest first; bounded by [exemplar_keep].
+     Written from whichever worker domain completes a slow request. *)
+  ring_mutex : Mutex.t;
   ring : (string * string) Queue.t;
 }
 
@@ -15,6 +17,7 @@ let none =
     slow_ms = None;
     exemplar_dir = None;
     exemplar_keep = 0;
+    ring_mutex = Mutex.create ();
     ring = Queue.create ();
   }
 
@@ -22,7 +25,14 @@ let default_exemplar_keep = 256
 
 let create ?log ?slow_ms ?exemplar_dir ?(exemplar_keep = default_exemplar_keep)
     () =
-  { log; slow_ms; exemplar_dir; exemplar_keep; ring = Queue.create () }
+  {
+    log;
+    slow_ms;
+    exemplar_dir;
+    exemplar_keep;
+    ring_mutex = Mutex.create ();
+    ring = Queue.create ();
+  }
 
 let log t level event fields =
   match t.log with
@@ -62,11 +72,18 @@ let write_exemplar t ~trace_id root =
         let oc = open_out path in
         output_string oc (Obs.Trace_export.to_chrome [ root ]);
         close_out oc;
-        Queue.add (trace_id, path) t.ring;
-        while Queue.length t.ring > t.exemplar_keep do
-          let _, old = Queue.pop t.ring in
-          try Sys.remove old with Sys_error _ -> ()
-        done;
+        let evicted =
+          Mutex.protect t.ring_mutex (fun () ->
+              Queue.add (trace_id, path) t.ring;
+              let old = ref [] in
+              while Queue.length t.ring > t.exemplar_keep do
+                old := snd (Queue.pop t.ring) :: !old
+              done;
+              !old)
+        in
+        List.iter
+          (fun old -> try Sys.remove old with Sys_error _ -> ())
+          evicted;
         Some path
       with Sys_error _ -> None)
 

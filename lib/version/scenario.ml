@@ -121,10 +121,15 @@ let resolve_fresh spec =
 let memo : (t, Database.t * Schemakb.Kb.t * Clio.Mapping.t) Hashtbl.t =
   Hashtbl.create 8
 
+(* Sessions open concurrently on worker domains; the lock covers the whole
+   miss path so two domains resolving the same spec agree on one value. *)
+let memo_mutex = Mutex.create ()
+
 let resolve spec =
-  match Hashtbl.find_opt memo spec with
-  | Some r -> r
-  | None ->
-      let r = resolve_fresh spec in
-      Hashtbl.add memo spec r;
-      r
+  Mutex.protect memo_mutex (fun () ->
+      match Hashtbl.find_opt memo spec with
+      | Some r -> r
+      | None ->
+          let r = resolve_fresh spec in
+          Hashtbl.add memo spec r;
+          r)

@@ -783,7 +783,7 @@ let rpc c env =
   | Ok r -> r
   | Error msg -> failwith ("bad reply: " ^ msg)
 
-let with_server ~args f =
+let with_server ?(jobs = 1) ~args f =
   let path =
     Filename.concat
       (Filename.get_temp_dir_name ())
@@ -794,7 +794,9 @@ let with_server ~args f =
   let pid =
     Unix.create_process serve_exe
       (Array.of_list
-         ([ "clio_serve"; "serve"; "--socket"; path; "--jobs"; "1" ] @ args))
+         ([ "clio_serve"; "serve"; "--socket"; path; "--jobs";
+            string_of_int jobs ]
+         @ args))
       null null Unix.stderr
   in
   Fun.protect
@@ -1000,6 +1002,180 @@ let test_socket_sigterm_flushes_telemetry () =
   | Ok _ -> ()
   | Error msg -> Alcotest.failf "metrics file incomplete after SIGTERM: %s" msg
 
+(* Queue fairness: a connection flooding far past the queue bound must
+   absorb the overload replies itself; a polite client sending one request
+   at a time through the same storm must never see [overloaded] — the
+   round-robin admission ring gives its one-deep inbox a turn every
+   pass. *)
+let test_socket_flood_fairness () =
+  with_server ~args:[ "--queue"; "2" ] @@ fun path _pid ->
+  let flooder = connect_retry path in
+  let victim = connect_retry path in
+  let burst = 64 in
+  let frames = Buffer.create 1024 in
+  for i = 1 to burst do
+    Buffer.add_string frames
+      (P.encode_request
+         { P.id = i; session = None; request = P.Ping; trace_id = None }
+      ^ "\n")
+  done;
+  send_raw flooder (Buffer.contents frames);
+  (* While the flood drains, the victim converses normally. *)
+  for i = 1 to 16 do
+    match
+      rpc victim
+        { P.id = 1000 + i; session = None; request = P.Ping; trace_id = None }
+    with
+    | { P.result = Ok P.Pong; _ } -> ()
+    | { P.result = Error (P.Overloaded, _); _ } ->
+        Alcotest.fail "victim of another connection's flood got overloaded"
+    | r -> Alcotest.failf "unexpected victim reply %s" (P.encode_response r)
+  done;
+  let pongs = ref 0 and overloads = ref 0 in
+  for _ = 1 to burst do
+    match P.parse_response (recv_line flooder) with
+    | Ok { P.result = Ok P.Pong; _ } -> incr pongs
+    | Ok { P.result = Error (P.Overloaded, _); _ } -> incr overloads
+    | Ok r -> Alcotest.failf "unexpected reply %s" (P.encode_response r)
+    | Error msg -> Alcotest.failf "bad reply: %s" msg
+  done;
+  Alcotest.(check int) "every flooded frame answered" burst
+    (!pongs + !overloads);
+  Alcotest.(check bool) "overload landed on the flooder" true (!overloads > 0);
+  Unix.close flooder.fd;
+  Unix.close victim.fd
+
+(* Concurrency parity: the same multi-session load must produce evaluation
+   digests byte-identical to the single-threaded sequential replay at
+   every (workers, jobs) combination.  The interleaving across sessions is
+   whatever the worker scheduling happens to produce — randomized by
+   nature, re-rolled every run — while each client's own stream stays
+   ordered; the digests (and the zero trace-echo-failure count) prove
+   execution is deterministic per session regardless. *)
+let test_socket_concurrency_parity () =
+  List.iteri
+    (fun i (workers, jobs) ->
+      with_server ~jobs ~args:[ "--workers"; string_of_int workers ]
+      @@ fun path _pid ->
+      let probe = connect_retry path in
+      Unix.close probe.fd;
+      let spec =
+        {
+          Loadgen.scenario = P.Chain { n = 3; rows = 60; seed = 7 + i };
+          clients = 4;
+          ops = 12;
+          limit = None;
+          keep_open = false;
+        }
+      in
+      let o = Loadgen.run_socket ~verify:true ~address:(Loop.Unix_path path) spec in
+      let label fmt =
+        Printf.sprintf "workers=%d jobs=%d: %s" workers jobs fmt
+      in
+      Alcotest.(check int) (label "no protocol errors") 0 o.Loadgen.errors;
+      Alcotest.(check int) (label "trace ids echoed") 0 o.Loadgen.echo_failures;
+      Alcotest.(check (option int))
+        (label "digests byte-identical to sequential replay")
+        (Some 0) o.Loadgen.mismatches)
+    [ (1, 1); (1, 4); (4, 1); (4, 4) ]
+
+(* Reply sequencing: frames pipelined on one connection — across two
+   sessions pinned to different shards, plus sessionless pings — must be
+   answered in exactly the order they were submitted, even when a
+   4-worker server finishes them out of order. *)
+let test_socket_pipelined_reply_order () =
+  with_server ~args:[ "--workers"; "4" ] @@ fun path _pid ->
+  let c = connect_retry path in
+  let open_session id =
+    match
+      rpc c
+        { P.id; session = None; request = P.Open_session P.Paper;
+          trace_id = None }
+    with
+    | { P.result = Ok (P.Opened { session; _ }); _ } -> session
+    | _ -> Alcotest.fail "expected Opened"
+  in
+  let sa = open_session 1 and sb = open_session 2 in
+  let ids = List.init 12 (fun i -> 10 + i) in
+  let frames = Buffer.create 1024 in
+  List.iter
+    (fun id ->
+      let session, request =
+        match id mod 3 with
+        | 0 -> (None, P.Ping)
+        | 1 -> (Some sa, P.Evaluate { what = P.Dg; limit = None })
+        | _ -> (Some sb, P.Evaluate { what = P.Target; limit = None })
+      in
+      Buffer.add_string frames
+        (P.encode_request { P.id; session; request; trace_id = None } ^ "\n"))
+    ids;
+  send_raw c (Buffer.contents frames);
+  let got =
+    List.map
+      (fun _ ->
+        match P.parse_response (recv_line c) with
+        | Ok { P.id = Some id; P.result = Ok _; _ } -> id
+        | Ok r -> Alcotest.failf "error reply %s" (P.encode_response r)
+        | Error msg -> Alcotest.failf "bad reply: %s" msg)
+      ids
+  in
+  Alcotest.(check (list int)) "replies in submission order" ids got;
+  Unix.close c.fd
+
+(* Drain under load: a burst of work immediately followed by [shutdown]
+   must leave no request unanswered — everything parsed before the drain
+   gets exactly one reply (executed or [unavailable], depending on when
+   the shutdown verb lands on its shard) and the server exits 0. *)
+let test_socket_drain_under_load () =
+  with_server ~args:[ "--workers"; "4" ] @@ fun path pid ->
+  let c = connect_retry path in
+  let sid =
+    match
+      rpc c
+        { P.id = 1; session = None; request = P.Open_session P.Paper;
+          trace_id = None }
+    with
+    | { P.result = Ok (P.Opened { session; _ }); _ } -> session
+    | _ -> Alcotest.fail "expected Opened"
+  in
+  let n = 16 in
+  let frames = Buffer.create 1024 in
+  for i = 1 to n do
+    Buffer.add_string frames
+      (P.encode_request
+         { P.id = 10 + i; session = Some sid;
+           request = P.Evaluate { what = P.Dg; limit = None };
+           trace_id = None }
+      ^ "\n")
+  done;
+  Buffer.add_string frames
+    (P.encode_request
+       { P.id = 100; session = None; request = P.Shutdown; trace_id = None }
+    ^ "\n");
+  send_raw c (Buffer.contents frames);
+  let expected = List.init n (fun i -> 10 + 1 + i) @ [ 100 ] in
+  List.iter
+    (fun want ->
+      match P.parse_response (recv_line c) with
+      | Ok { P.id = Some id; P.result; _ } -> (
+          Alcotest.(check int) "reply order under drain" want id;
+          match (want, result) with
+          | 100, Ok P.Bye -> ()
+          | 100, _ -> Alcotest.fail "expected Bye to shutdown"
+          | _, Ok (P.Evaluated _) | _, Error (P.Unavailable, _) -> ()
+          | _, r ->
+              Alcotest.failf "unexpected drain reply %s"
+                (P.encode_response { P.id = Some id; result = r; trace_id = None }))
+      | Ok r -> Alcotest.failf "reply without id %s" (P.encode_response r)
+      | Error msg -> Alcotest.failf "bad reply: %s" msg)
+    expected;
+  Unix.close c.fd;
+  let _, status = Unix.waitpid [] pid in
+  match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED code -> Alcotest.failf "server exited %d" code
+  | _ -> Alcotest.fail "server did not exit cleanly"
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "server"
@@ -1042,5 +1218,16 @@ let () =
           tc "socket loadgen verified" `Quick test_socket_loadgen;
           tc "SIGTERM exits 143 with telemetry flushed" `Quick
             test_socket_sigterm_flushes_telemetry;
+        ] );
+      ( "concurrency",
+        [
+          tc "flood overloads the flooder, not its neighbour" `Quick
+            test_socket_flood_fairness;
+          tc "digest parity across workers x jobs" `Quick
+            test_socket_concurrency_parity;
+          tc "pipelined replies keep submission order (workers=4)" `Quick
+            test_socket_pipelined_reply_order;
+          tc "drain under load answers everything, exits 0" `Quick
+            test_socket_drain_under_load;
         ] );
     ]
